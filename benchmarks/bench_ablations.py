@@ -1,0 +1,137 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* pruning join on/off — the HP-SPC vs PL-SPC-style construction gap on a
+  *non-planar* graph (the paper only contrasts them on Delaunay);
+* vertex-ordering quality — random vs degree vs significant-path label
+  mass (§3.4's claim that the order drives everything);
+* reduction composition order — shell-then-equivalence (the pipeline's
+  choice) vs equivalence-then-shell;
+* the budgeted L^nc approximation (§6 future work) — accuracy vs
+  retained-entry curve.
+"""
+
+import random
+
+import pytest
+
+from repro.core.approx import accuracy_curve
+from repro.core.hp_spc import build_labels
+from repro.core.index import SPCIndex
+from repro.bench.workloads import query_workload
+from repro.reductions.equivalence import EquivalenceReduction
+from repro.reductions.shell import ShellReduction
+
+
+@pytest.fixture(scope="module")
+def social(datasets):
+    return datasets["FB"]
+
+
+@pytest.fixture(scope="module")
+def web(datasets):
+    return datasets["IN"]
+
+
+class TestPruningAblation:
+    def test_pruned_construction(self, benchmark, social):
+        labels = benchmark.pedantic(
+            build_labels, args=(social,), kwargs={"ordering": "degree"},
+            rounds=1, iterations=1,
+        )
+        benchmark.extra_info["entries"] = labels.total_entries()
+
+    def test_unpruned_construction(self, benchmark, social):
+        labels = benchmark.pedantic(
+            build_labels, args=(social,),
+            kwargs={"ordering": "degree", "prune": False},
+            rounds=1, iterations=1,
+        )
+        benchmark.extra_info["entries"] = labels.total_entries()
+
+    def test_pruning_shrinks_labels_dramatically(self, social):
+        pruned = build_labels(social, ordering="degree")
+        unpruned = build_labels(social, ordering="degree", prune=False)
+        # On small-world graphs the pruning join is what keeps labels
+        # subquadratic; the gap widens with graph size and is already
+        # >1.3x at the smallest benchmark scale.
+        assert unpruned.total_entries() > 1.3 * pruned.total_entries()
+
+
+class TestOrderingAblation:
+    @pytest.mark.parametrize("ordering", ["random", "degree", "significant-path"])
+    def test_order_quality(self, benchmark, social, ordering):
+        if ordering == "random":
+            order = list(social.vertices())
+            random.Random(13).shuffle(order)
+            spec = order
+        else:
+            spec = ordering
+        labels = benchmark.pedantic(
+            build_labels, args=(social,), kwargs={"ordering": spec},
+            rounds=1, iterations=1,
+        )
+        benchmark.extra_info["entries"] = labels.total_entries()
+
+    def test_informed_orders_beat_random(self, social):
+        order = list(social.vertices())
+        random.Random(13).shuffle(order)
+        random_size = build_labels(social, ordering=order).total_entries()
+        degree_size = build_labels(social, ordering="degree").total_entries()
+        assert degree_size < random_size
+
+
+class TestReductionOrderAblation:
+    def test_shell_then_equivalence(self, benchmark, web):
+        def run():
+            shell = ShellReduction.compute(web)
+            equiv = EquivalenceReduction.compute(shell.graph_reduced)
+            return shell.removed_count + equiv.removed_count
+
+        removed = benchmark(run)
+        benchmark.extra_info["removed"] = removed
+
+    def test_equivalence_then_shell(self, benchmark, web):
+        def run():
+            equiv = EquivalenceReduction.compute(web)
+            shell = ShellReduction.compute(equiv.graph_reduced)
+            return equiv.removed_count + shell.removed_count
+
+        removed = benchmark(run)
+        benchmark.extra_info["removed"] = removed
+
+    def test_orders_remove_comparable_mass(self, web):
+        shell_first = ShellReduction.compute(web)
+        a = shell_first.removed_count + EquivalenceReduction.compute(
+            shell_first.graph_reduced
+        ).removed_count
+        equiv_first = EquivalenceReduction.compute(web)
+        b = equiv_first.removed_count + ShellReduction.compute(
+            equiv_first.graph_reduced
+        ).removed_count
+        assert abs(a - b) <= 0.25 * max(a, b, 1)
+
+
+class TestApproximationBudget:
+    def test_budget_curve(self, benchmark, social):
+        labels = build_labels(social, ordering="significant-path")
+        pairs = query_workload(social.n, 150, seed=4)
+
+        def curve():
+            return accuracy_curve(labels, pairs, budgets=[0, 1, 2, 4, 8, None])
+
+        rows = benchmark.pedantic(curve, rounds=1, iterations=1)
+        for row in rows:
+            benchmark.extra_info[f"budget_{row['budget']}"] = round(
+                row["exact_fraction"], 3
+            )
+        fractions = [row["exact_fraction"] for row in rows]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_small_budget_recovers_most_mass(self, social):
+        labels = build_labels(social, ordering="significant-path")
+        pairs = query_workload(social.n, 200, seed=5)
+        rows = accuracy_curve(labels, pairs, budgets=[0, 8])
+        # A budget of 8 nc-entries per vertex should close most of the gap.
+        assert rows[1]["exact_fraction"] >= rows[0]["exact_fraction"]
+        assert rows[1]["mean_ratio"] <= rows[0]["mean_ratio"]

@@ -1,0 +1,55 @@
+"""§1 application — group betweenness via the oracle vs per-group BFS."""
+
+import math
+
+import pytest
+
+from repro.applications.group_betweenness import (
+    GroupBetweennessEvaluator,
+    group_betweenness_exact,
+)
+from repro.bench.workloads import group_workload, query_workload
+from repro.reductions.pipeline import ReducedSPCIndex
+
+
+@pytest.fixture(scope="module")
+def gbc_setup(datasets):
+    graph = datasets["FB"]
+    index = ReducedSPCIndex.build(
+        graph, ordering="significant-path", reductions=("shell", "equivalence")
+    )
+    pairs = query_workload(graph.n, 150, seed=9)
+    groups = group_workload(graph.n, groups=6, group_size=4, seed=10)
+    return graph, index, pairs, groups
+
+
+def test_gbc_oracle(benchmark, gbc_setup):
+    _, index, pairs, groups = gbc_setup
+    evaluator = GroupBetweennessEvaluator(index, pairs)
+
+    def score_all():
+        return [evaluator.evaluate(group) for group in groups]
+
+    scores = benchmark(score_all)
+    benchmark.extra_info["score_sum"] = sum(scores)
+
+
+def test_gbc_bfs_baseline(benchmark, gbc_setup):
+    graph, _, pairs, groups = gbc_setup
+
+    def score_all():
+        return [group_betweenness_exact(graph, group, pairs) for group in groups]
+
+    scores = benchmark.pedantic(score_all, rounds=1, iterations=1)
+    benchmark.extra_info["score_sum"] = sum(scores)
+
+
+def test_gbc_methods_agree(gbc_setup):
+    graph, index, pairs, groups = gbc_setup
+    evaluator = GroupBetweennessEvaluator(index, pairs)
+    for group in groups:
+        assert math.isclose(
+            evaluator.evaluate(group),
+            group_betweenness_exact(graph, group, pairs),
+            rel_tol=1e-9,
+        )

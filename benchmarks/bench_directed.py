@@ -1,0 +1,65 @@
+"""§7 — directed/weighted extension vs online Dijkstra."""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_queries
+from repro.bench.workloads import query_workload
+from repro.directed.index import DirectedSPCIndex
+from repro.graph.digraph import WeightedDigraph
+from repro.graph.traversal import spc_dijkstra
+
+N = 250
+
+
+@pytest.fixture(scope="module")
+def digraph():
+    rng = random.Random(5)
+    edges = [
+        (u, v, rng.choice((1, 2, 3)))
+        for u in range(N)
+        for v in range(N)
+        if u != v and rng.random() < 5.0 / N
+    ]
+    return WeightedDigraph.from_edges(N, edges)
+
+
+@pytest.fixture(scope="module")
+def directed_pairs(digraph):
+    return query_workload(digraph.n, 150, seed=8)
+
+
+@pytest.fixture(scope="module")
+def directed_indexes(digraph):
+    return {
+        "HP-SPC-Dij": DirectedSPCIndex.build(digraph),
+        "HP-SPC-Dij*": DirectedSPCIndex.build(
+            digraph, reductions=("shell", "equivalence", "independent-set")
+        ),
+    }
+
+
+@pytest.mark.parametrize("variant", ["HP-SPC-Dij", "HP-SPC-Dij*"])
+def test_directed_queries(benchmark, directed_indexes, directed_pairs, variant):
+    index = directed_indexes[variant]
+    benchmark.extra_info["entries"] = index.total_entries()
+    benchmark(run_queries, index, directed_pairs)
+
+
+def test_directed_dijkstra_baseline(benchmark, digraph, directed_pairs):
+    def online():
+        for s, t in directed_pairs:
+            spc_dijkstra(digraph, s, t)
+
+    benchmark(online)
+
+
+def test_directed_construction(benchmark, digraph):
+    benchmark.pedantic(DirectedSPCIndex.build, args=(digraph,), rounds=1, iterations=1)
+
+
+def test_directed_exactness_sample(directed_indexes, digraph, directed_pairs):
+    index = directed_indexes["HP-SPC-Dij*"]
+    for s, t in directed_pairs[:60]:
+        assert index.count_with_distance(s, t) == spc_dijkstra(digraph, s, t)

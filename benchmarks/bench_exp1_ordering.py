@@ -1,0 +1,51 @@
+"""Exp-1 / Figure 5 — degree vs significant-path ordering for HP-SPC+.
+
+Figure 5's three panels are (a) index construction time, (b) index size,
+(c) query time. Construction and queries are measured as separate
+benchmarks; the index size lands in ``extra_info``.
+"""
+
+import pytest
+
+from benchmarks.conftest import FAST_NOTATIONS, run_queries
+from repro.reductions.pipeline import ReducedSPCIndex
+
+HP_SPC_PLUS = ("shell", "equivalence")
+ORDERINGS = (("D", "degree"), ("S", "significant-path"))
+
+
+@pytest.fixture(scope="module")
+def plus_indexes(datasets):
+    """HP-SPC+ under both orderings, for every dataset."""
+    out = {}
+    for notation, graph in datasets.items():
+        for key, ordering in ORDERINGS:
+            out[(notation, key)] = ReducedSPCIndex.build(
+                graph, ordering=ordering, reductions=HP_SPC_PLUS
+            )
+    return out
+
+
+@pytest.mark.parametrize("ordering_key,ordering", ORDERINGS)
+@pytest.mark.parametrize("notation", FAST_NOTATIONS)
+def test_figure5a_construction(benchmark, datasets, notation, ordering_key, ordering):
+    graph = datasets[notation]
+    benchmark.pedantic(
+        ReducedSPCIndex.build,
+        args=(graph,),
+        kwargs={"ordering": ordering, "reductions": HP_SPC_PLUS},
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("ordering_key", [key for key, _ in ORDERINGS])
+@pytest.mark.parametrize(
+    "notation",
+    ["FB", "GW", "WI", "GO", "DB", "BE", "YT", "PE", "FL", "IN"],
+)
+def test_figure5c_queries(benchmark, plus_indexes, workloads, notation, ordering_key):
+    index = plus_indexes[(notation, ordering_key)]
+    benchmark.extra_info["index_entries"] = index.total_entries()
+    benchmark.extra_info["index_bytes"] = index.size_bytes()
+    benchmark(run_queries, index, workloads[notation])

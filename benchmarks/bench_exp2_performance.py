@@ -1,0 +1,65 @@
+"""Exp-2 / Figure 6 — HP-SPC vs HP-SPC+ vs HP-SPC* (significant-path order).
+
+Panels: (a) construction time, (b) index size, (c) query time. The paper's
+shape: '+' shrinks the index at similar query cost; '*' shrinks further at
+roughly 2.8x the query time; all stay orders of magnitude under BFS.
+"""
+
+import pytest
+
+from benchmarks.conftest import FAST_NOTATIONS, run_queries
+from repro.core.index import SPCIndex
+from repro.reductions.pipeline import ReducedSPCIndex
+
+VARIANTS = (
+    ("HP-SPC_S", "significant-path", ()),
+    ("HP-SPC+_S", "significant-path", ("shell", "equivalence")),
+    ("HP-SPC*_S", "significant-path", ("shell", "equivalence", "independent-set")),
+    ("HP-SPC*_D", "degree", ("shell", "equivalence", "independent-set")),
+)
+
+
+def build_variant(graph, ordering, reductions):
+    if reductions:
+        return ReducedSPCIndex.build(graph, ordering=ordering, reductions=reductions)
+    return SPCIndex.build(graph, ordering=ordering)
+
+
+@pytest.fixture(scope="module")
+def variant_indexes(datasets):
+    return {
+        (notation, name): build_variant(graph, ordering, reductions)
+        for notation, graph in datasets.items()
+        for name, ordering, reductions in VARIANTS
+    }
+
+
+@pytest.mark.parametrize("name,ordering,reductions", VARIANTS)
+@pytest.mark.parametrize("notation", FAST_NOTATIONS)
+def test_figure6a_construction(benchmark, datasets, notation, name, ordering, reductions):
+    graph = datasets[notation]
+    benchmark.pedantic(
+        build_variant, args=(graph, ordering, reductions), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("name", [name for name, _, _ in VARIANTS])
+@pytest.mark.parametrize(
+    "notation",
+    ["FB", "GW", "WI", "GO", "DB", "BE", "YT", "PE", "FL", "IN"],
+)
+def test_figure6c_queries(benchmark, variant_indexes, workloads, notation, name):
+    index = variant_indexes[(notation, name)]
+    benchmark.extra_info["index_entries"] = index.total_entries()
+    benchmark.extra_info["index_bytes"] = index.size_bytes()
+    benchmark(run_queries, index, workloads[notation])
+
+
+@pytest.mark.parametrize("notation", FAST_NOTATIONS)
+def test_figure6b_size_reduction_shape(variant_indexes, notation):
+    """Non-timing assertion: the paper's size ordering must hold."""
+    plain = variant_indexes[(notation, "HP-SPC_S")].total_entries()
+    plus = variant_indexes[(notation, "HP-SPC+_S")].total_entries()
+    star = variant_indexes[(notation, "HP-SPC*_S")].total_entries()
+    assert plus <= plain, "'+' may not grow the index"
+    assert star <= plus, "'*' may not grow the index"

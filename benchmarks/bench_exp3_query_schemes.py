@@ -1,0 +1,41 @@
+"""Exp-3 / Figure 7 — filtered vs direct query schemes for HP-SPC*.
+
+Same index, two §4.3 evaluation strategies. The paper's shape: filtered
+wins by skipping the large L^nc labels of off-path neighbors.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_queries
+from repro.reductions.pipeline import ReducedSPCIndex
+
+HP_SPC_STAR = ("shell", "equivalence", "independent-set")
+
+
+@pytest.fixture(scope="module")
+def star_indexes(datasets):
+    return {
+        notation: ReducedSPCIndex.build(
+            graph, ordering="significant-path", reductions=HP_SPC_STAR
+        )
+        for notation, graph in datasets.items()
+    }
+
+
+@pytest.mark.parametrize("scheme", ["filtered", "direct"])
+@pytest.mark.parametrize(
+    "notation",
+    ["FB", "GW", "WI", "GO", "DB", "BE", "YT", "PE", "FL", "IN"],
+)
+def test_figure7_schemes(benchmark, star_indexes, workloads, notation, scheme):
+    index = star_indexes[notation].with_scheme(scheme)
+    benchmark(run_queries, index, workloads[notation])
+
+
+@pytest.mark.parametrize("notation", ["FB", "YT"])
+def test_schemes_agree(star_indexes, workloads, notation):
+    """Sanity: both schemes return identical answers on the workload."""
+    filtered = star_indexes[notation]
+    direct = filtered.with_scheme("direct")
+    for s, t in workloads[notation][:100]:
+        assert filtered.count_with_distance(s, t) == direct.count_with_distance(s, t)

@@ -1,0 +1,53 @@
+"""Exp-4 / Figure 8 — vertices removed by shell / equivalence / both.
+
+Benchmarks the reduction computations themselves and records the removed
+fractions; the shape assertions encode the paper's findings (combination
+is the most robust; shell dominates YT/FL; PE reduces least).
+"""
+
+import pytest
+
+from repro.reductions.equivalence import EquivalenceReduction
+from repro.reductions.pipeline import reduction_report
+from repro.reductions.shell import ShellReduction
+
+
+@pytest.fixture(scope="module")
+def reports(datasets):
+    return {
+        notation: reduction_report(graph) for notation, graph in datasets.items()
+    }
+
+
+@pytest.mark.parametrize("notation", ["FB", "GO", "YT", "PE", "IN"])
+def test_figure8_shell_computation(benchmark, datasets, notation):
+    graph = datasets[notation]
+    result = benchmark(ShellReduction.compute, graph)
+    benchmark.extra_info["removed_fraction"] = result.removed_count / graph.n
+
+
+@pytest.mark.parametrize("notation", ["FB", "GO", "YT", "PE", "IN"])
+def test_figure8_equivalence_computation(benchmark, datasets, notation):
+    graph = datasets[notation]
+    result = benchmark(EquivalenceReduction.compute, graph)
+    benchmark.extra_info["removed_fraction"] = result.removed_count / graph.n
+
+
+def test_figure8_combination_is_most_robust(reports):
+    for notation, report in reports.items():
+        assert report["both_fraction"] >= report["shell_fraction"] - 1e-9
+        # Equivalence after shell can differ from equivalence alone, but
+        # the combination must never do worse than the best single one by
+        # a large margin; the paper reports it best on every graph.
+        assert report["both_fraction"] >= report["equiv_fraction"] * 0.8
+
+
+def test_figure8_shell_dominates_fringe_heavy_graphs(reports):
+    assert reports["YT"]["shell_fraction"] > 0.3
+    assert reports["FL"]["shell_fraction"] > 0.3
+
+
+def test_figure8_pe_reduces_least(reports):
+    pe = reports["PE"]["both_fraction"]
+    others = [r["both_fraction"] for n, r in reports.items() if n != "PE"]
+    assert pe <= min(others) + 0.05

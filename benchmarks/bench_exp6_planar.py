@@ -1,0 +1,97 @@
+"""Exp-6 / Table 5 — PL-SPC vs HP-SPC variants on a Delaunay graph.
+
+The paper's shape: PL-SPC indexes fastest but is largest and slowest to
+query; HP-SPC_P (same separator order, with pruning) is smaller and
+faster to query but pays for its pruning joins at construction;
+HP-SPC_D / HP-SPC_S win overall. Entry sizes use the wide 32+32+128-bit
+packing of the paper's Delaunay experiment.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import run_queries
+from repro.baselines.pl_spc import PLSPCIndex
+from repro.bench.workloads import query_workload
+from repro.core.index import SPCIndex
+from repro.datasets.registry import load_delaunay
+from repro.theory.planar_order import planar_separator_order
+
+DELAUNAY_N = int(os.environ.get("REPRO_BENCH_DELAUNAY_N", "400"))
+
+
+@pytest.fixture(scope="module")
+def delaunay():
+    return load_delaunay(n=DELAUNAY_N, seed=20)
+
+
+@pytest.fixture(scope="module")
+def separator_order(delaunay):
+    graph, points = delaunay
+    return planar_separator_order(graph, points=points)
+
+
+@pytest.fixture(scope="module")
+def table5_indexes(delaunay, separator_order):
+    graph, _ = delaunay
+    return {
+        "PL-SPC": PLSPCIndex.build(graph, order=separator_order),
+        "HP-SPC_P": SPCIndex.build(graph, ordering=list(separator_order)),
+        "HP-SPC_D": SPCIndex.build(graph, ordering="degree"),
+        "HP-SPC_S": SPCIndex.build(graph, ordering="significant-path"),
+    }
+
+
+@pytest.fixture(scope="module")
+def delaunay_pairs(delaunay):
+    graph, _ = delaunay
+    return query_workload(graph.n, 200, seed=6)
+
+
+@pytest.mark.parametrize("variant", ["PL-SPC", "HP-SPC_P", "HP-SPC_D", "HP-SPC_S"])
+def test_table5_queries(benchmark, table5_indexes, delaunay_pairs, variant):
+    index = table5_indexes[variant]
+    benchmark.extra_info["entries"] = index.total_entries()
+    benchmark.extra_info["bytes_192bit"] = index.size_bytes(192)
+    benchmark(run_queries, index, delaunay_pairs)
+
+
+def test_table5_construction_pl_spc(benchmark, delaunay, separator_order):
+    graph, _ = delaunay
+    benchmark.pedantic(
+        PLSPCIndex.build, args=(graph,), kwargs={"order": separator_order},
+        rounds=1, iterations=1,
+    )
+
+
+def test_table5_construction_hp_spc_p(benchmark, delaunay, separator_order):
+    graph, _ = delaunay
+    benchmark.pedantic(
+        SPCIndex.build, args=(graph,), kwargs={"ordering": list(separator_order)},
+        rounds=1, iterations=1,
+    )
+
+
+def test_table5_construction_hp_spc_d(benchmark, delaunay):
+    graph, _ = delaunay
+    benchmark.pedantic(
+        SPCIndex.build, args=(graph,), kwargs={"ordering": "degree"},
+        rounds=1, iterations=1,
+    )
+
+
+def test_table5_shape(table5_indexes):
+    """The paper's Table 5 orderings that are structural, not timing."""
+    pl = table5_indexes["PL-SPC"]
+    hp_p = table5_indexes["HP-SPC_P"]
+    assert pl.total_entries() >= hp_p.total_entries(), "PL-SPC labels ⊇ HP-SPC_P's"
+    for v in range(hp_p.labels.n):
+        assert hp_p.labels.hubs(v) <= pl.labels.hubs(v)
+
+
+def test_table5_all_agree(table5_indexes, delaunay_pairs):
+    indexes = list(table5_indexes.values())
+    for s, t in delaunay_pairs[:60]:
+        results = {index.count_with_distance(s, t) for index in indexes}
+        assert len(results) == 1

@@ -1,0 +1,26 @@
+"""Table 3 — dataset statistics and online BFS query time.
+
+Regenerates the paper's Table 3 columns for the synthetic analogs: the
+graph sizes are printed once; the benchmark measures the per-query BFS
+counting cost (the paper's "BFS Time" column).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_queries
+from repro.baselines.bfs_counting import BFSCountingOracle
+from repro.datasets.registry import dataset_notations, paper_stats
+
+
+@pytest.mark.parametrize("notation", dataset_notations())
+def test_table3_bfs_time(benchmark, datasets, workloads, notation):
+    graph = datasets[notation]
+    oracle = BFSCountingOracle(graph)
+    pairs = workloads[notation][:50]
+    benchmark.extra_info["n"] = graph.n
+    benchmark.extra_info["m"] = graph.m
+    paper_n, paper_m, paper_bfs_ms = paper_stats(notation)
+    benchmark.extra_info["paper_n"] = paper_n
+    benchmark.extra_info["paper_m"] = paper_m
+    benchmark.extra_info["paper_bfs_ms"] = paper_bfs_ms
+    benchmark(run_queries, oracle, pairs)

@@ -1,0 +1,73 @@
+"""§5 — theory orders: construction cost and (α, β)-boundedness.
+
+One benchmark per theorem: build the special order + labels, assert the
+measured sizes sit within a small constant of the theorem's bound.
+"""
+
+import math
+
+import pytest
+
+from repro.core.hp_spc import build_labels
+from repro.generators.classic import random_tree
+from repro.generators.planar import triangular_lattice
+from repro.graph.traversal import approximate_diameter
+from repro.theory.bounds import boundedness, planar_bound, treewidth_bound
+from repro.theory.highway import highway_order
+from repro.theory.planar_order import planar_separator_order
+from repro.theory.treewidth import centroid_order, min_degree_decomposition
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    return triangular_lattice(14, 14)
+
+
+def test_theorem51_planar_construction(benchmark, lattice):
+    graph, points = lattice
+
+    def build():
+        order = planar_separator_order(graph, points=points)
+        return build_labels(graph, ordering=order)
+
+    labels = benchmark.pedantic(build, rounds=1, iterations=1)
+    total, biggest = boundedness(labels)
+    alpha, beta = planar_bound(graph.n)
+    benchmark.extra_info["total"] = total
+    benchmark.extra_info["max_label"] = biggest
+    assert biggest <= 4 * beta
+    assert total <= 4 * alpha
+
+
+def test_theorem52_treewidth_construction(benchmark):
+    graph = random_tree(256, seed=1)
+
+    def build():
+        order, width = centroid_order(graph, min_degree_decomposition(graph))
+        return build_labels(graph, ordering=order), width
+
+    labels, width = benchmark.pedantic(build, rounds=1, iterations=1)
+    total, biggest = boundedness(labels)
+    alpha, beta = treewidth_bound(graph.n, width)
+    benchmark.extra_info["width"] = width
+    benchmark.extra_info["max_label"] = biggest
+    assert width == 1
+    assert biggest <= 3 * beta
+    assert total <= 3 * alpha
+
+
+def test_theorem53_highway_construction(benchmark, lattice):
+    graph, _ = lattice
+
+    def build():
+        return build_labels(graph, ordering=highway_order(graph, seed=2))
+
+    labels = benchmark.pedantic(build, rounds=1, iterations=1)
+    _, biggest = boundedness(labels)
+    diameter = approximate_diameter(graph)
+    implied_h = biggest / max(1.0, math.log2(max(2, diameter)))
+    benchmark.extra_info["max_label"] = biggest
+    benchmark.extra_info["implied_h"] = implied_h
+    # Grid-like graphs have modest highway dimension; the implied h from
+    # max |L(v)| = O(h log D) must stay far below n.
+    assert implied_h < graph.n / 4

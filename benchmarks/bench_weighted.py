@@ -1,0 +1,89 @@
+"""Weighted undirected pipeline vs the §7 directed lift vs online Dijkstra.
+
+The dedicated undirected implementation runs one Dijkstra per hub and
+stores one label set; lifting to a symmetric digraph doubles both. The
+shape assertions pin that saving down; timing benchmarks cover build and
+query paths for all three approaches.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_queries
+from repro.bench.workloads import query_workload
+from repro.directed.index import DirectedSPCIndex
+from repro.weighted.graph import WeightedGraph, spc_weighted
+from repro.weighted.index import WeightedSPCIndex
+
+N = 300
+
+
+@pytest.fixture(scope="module")
+def road_graph():
+    rng = random.Random(7)
+    cols = 20
+    rows = N // cols
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols and rng.random() > 0.06:
+                edges.append((u, u + 1, rng.choice((1, 1, 2, 3))))
+            if r + 1 < rows and rng.random() > 0.06:
+                edges.append((u, u + cols, rng.choice((1, 1, 2, 3))))
+    return WeightedGraph.from_edges(rows * cols, edges)
+
+
+@pytest.fixture(scope="module")
+def weighted_pairs(road_graph):
+    return query_workload(road_graph.n, 150, seed=3)
+
+
+@pytest.fixture(scope="module")
+def weighted_indexes(road_graph):
+    return {
+        "weighted": WeightedSPCIndex.build(
+            road_graph, reductions=("shell", "equivalence", "independent-set")
+        ),
+        "directed-lift": DirectedSPCIndex.build(road_graph.to_digraph()),
+    }
+
+
+def test_weighted_construction(benchmark, road_graph):
+    benchmark.pedantic(
+        WeightedSPCIndex.build, args=(road_graph,), rounds=1, iterations=1
+    )
+
+
+def test_directed_lift_construction(benchmark, road_graph):
+    digraph = road_graph.to_digraph()
+    benchmark.pedantic(DirectedSPCIndex.build, args=(digraph,), rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("variant", ["weighted", "directed-lift"])
+def test_weighted_queries(benchmark, weighted_indexes, weighted_pairs, variant):
+    index = weighted_indexes[variant]
+    benchmark.extra_info["entries"] = index.total_entries()
+    benchmark(run_queries, index, weighted_pairs)
+
+
+def test_online_dijkstra_baseline(benchmark, road_graph, weighted_pairs):
+    def online():
+        for s, t in weighted_pairs:
+            spc_weighted(road_graph, s, t)
+
+    benchmark.pedantic(online, rounds=1, iterations=1)
+
+
+def test_single_label_set_is_smaller(weighted_indexes):
+    weighted = weighted_indexes["weighted"].total_entries()
+    lifted = weighted_indexes["directed-lift"].total_entries()
+    assert weighted < lifted
+
+
+def test_all_agree(road_graph, weighted_indexes, weighted_pairs):
+    for s, t in weighted_pairs[:50]:
+        want = spc_weighted(road_graph, s, t)
+        for index in weighted_indexes.values():
+            assert index.count_with_distance(s, t) == want

@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+``REPRO_BENCH_SCALE`` (default 0.35) scales every dataset analog so the
+full suite stays minutes-fast in pure Python; raise it for sharper
+numbers. Indexes are built once per session and shared across the query
+benchmarks of each experiment.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.workloads import query_workload
+from repro.datasets.registry import dataset_notations, load_dataset
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.35"))
+QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "200"))
+
+#: Smaller notation subset for the construction-heavy benchmarks.
+FAST_NOTATIONS = ("FB", "GO", "YT", "IN")
+
+
+def pytest_report_header(config):
+    return f"repro benchmarks: scale={SCALE}, queries={QUERIES}"
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """All 10 analogs at benchmark scale, keyed by notation."""
+    return {
+        notation: load_dataset(notation, scale=SCALE)
+        for notation in dataset_notations()
+    }
+
+
+@pytest.fixture(scope="session")
+def workloads(datasets):
+    """A fixed random query workload per dataset."""
+    return {
+        notation: query_workload(graph.n, QUERIES, seed=17)
+        for notation, graph in datasets.items()
+    }
+
+
+def run_queries(index, pairs):
+    """The benchmarked unit: answer the whole workload once."""
+    query = index.count_with_distance
+    for s, t in pairs:
+        query(s, t)

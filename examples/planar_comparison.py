@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Exp-6 in miniature: PL-SPC vs HP-SPC variants on a Delaunay graph.
+
+Planar triangulations have enormous shortest-path counts; this script
+builds the paper's four competitors over one scipy Delaunay instance and
+prints a Table-5-style comparison (indexing time / entries / query time).
+
+Run:  python examples/planar_comparison.py
+"""
+
+import time
+
+from repro.baselines.pl_spc import PLSPCIndex
+from repro.core.index import SPCIndex
+from repro.datasets.registry import load_delaunay
+from repro.theory.planar_order import planar_separator_order
+from repro.utils.rng import random_pairs
+
+
+def measure_queries(index, pairs):
+    started = time.perf_counter()
+    for s, t in pairs:
+        index.count_with_distance(s, t)
+    return (time.perf_counter() - started) / len(pairs) * 1e6
+
+
+def main():
+    graph, points = load_delaunay(n=1200, seed=20)
+    print(f"Delaunay: {graph.n} vertices, {graph.m} edges")
+    pairs = list(random_pairs(graph.n, 500, rng=1))
+    order = planar_separator_order(graph, points=points)
+
+    competitors = []
+    pl = PLSPCIndex.build(graph, order=order)
+    competitors.append(("PL-SPC", pl))
+    competitors.append(("HP-SPC_P", SPCIndex.build(graph, ordering=list(order))))
+    competitors.append(("HP-SPC_D", SPCIndex.build(graph, ordering="degree")))
+    competitors.append(("HP-SPC_S", SPCIndex.build(graph, ordering="significant-path")))
+
+    print(f"\n{'variant':10s} {'index s':>8s} {'entries':>9s} {'query us':>9s}")
+    for name, index in competitors:
+        avg_us = measure_queries(index, pairs)
+        print(f"{name:10s} {index.build_seconds:8.2f} "
+              f"{index.total_entries():9d} {avg_us:9.1f}")
+
+    # Spot check: a big count, identical across competitors.
+    s, t = 0, graph.n - 1
+    counts = {name: index.count(s, t) for name, index in competitors}
+    assert len(set(counts.values())) == 1
+    print(f"\nspc({s}, {t}) = {counts['PL-SPC']} (all variants agree)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Count-aware relevance ranking (the paper's Figure 1 motivation).
+
+In small-world graphs many candidates sit at the same distance from a
+query vertex, so distance alone cannot rank them; the number of shortest
+paths breaks the tie. This script builds a counting index over a social
+analog, picks a source, and compares the distance-only ranking with the
+count-aware one.
+
+Run:  python examples/social_relevance.py
+"""
+
+from collections import Counter
+
+from repro import build_index
+from repro.applications.relevance import relevance_ranking
+from repro.datasets.registry import load_dataset
+
+
+def main():
+    graph = load_dataset("FB", scale=0.8)
+    index = build_index(graph, ordering="significant-path",
+                        reductions=("shell", "equivalence"))
+    source = max(graph.vertices(), key=graph.degree)
+
+    candidates = [v for v in graph.vertices() if v != source][:400]
+    ranked = relevance_ranking(index, source, candidates)
+
+    by_distance = Counter(dist for _, dist, count in ranked if count)
+    print(f"source {source} (degree {graph.degree(source)}); "
+          f"{len(candidates)} candidates")
+    print("candidates per distance:",
+          dict(sorted(by_distance.items())))
+
+    # Show how counts separate equally-distant candidates. Distance-1
+    # candidates always have exactly one path, so look at distance >= 2,
+    # where the Figure 1 effect appears.
+    top_distance = min(d for _, d, c in ranked if c and d >= 2)
+    tied = [(v, c) for v, d, c in ranked if d == top_distance]
+    tied.sort(key=lambda vc: -vc[1])
+    print(f"\n{len(tied)} candidates at distance {top_distance}, "
+          "ranked by shortest-path count:")
+    for v, count in tied[:10]:
+        print(f"  vertex {v:5d}: {count} shortest paths")
+    if len(tied) > 1:
+        best, worst = tied[0][1], tied[-1][1]
+        print(f"\nmost vs least relevant at the same distance: "
+              f"{best} vs {worst} paths "
+              f"({best / max(1, worst):.1f}x difference)")
+
+
+if __name__ == "__main__":
+    main()

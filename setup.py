@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (offline environments without wheel).
+
+All real metadata lives in pyproject.toml; this file only lets
+``pip install -e . --no-build-isolation`` fall back to setuptools'
+develop mode when the PEP 660 path is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — Hub Labeling for Shortest Path Counting (SIGMOD 2020).
+
+Public API
+----------
+* :class:`repro.core.index.SPCIndex` — plain HP-SPC index (§3).
+* :func:`repro.build_index` — one-call builder for HP-SPC / HP-SPC+ /
+  HP-SPC* with any ordering (§3-§4); returns an object with ``count``,
+  ``distance`` and ``count_with_distance``.
+* :mod:`repro.graph` — graph substrate; :mod:`repro.generators` — inputs.
+* :mod:`repro.directed` — the weighted/directed extension (§7).
+* :mod:`repro.applications` — betweenness-style consumers (§1).
+"""
+
+from repro.core.index import SPCIndex
+from repro.graph.digraph import WeightedDigraph
+from repro.graph.graph import Graph
+
+__version__ = "1.0.0"
+
+#: Paper-name aliases accepted by :func:`build_index`'s ``variant``.
+VARIANTS = {
+    "HP-SPC": (),
+    "HP-SPC+": ("shell", "equivalence"),
+    "HP-SPC*": ("shell", "equivalence", "independent-set"),
+}
+
+
+def build_index(graph, ordering="degree", reductions=(), scheme="filtered", variant=None):
+    """Build a shortest-path-counting index with optional reductions.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`repro.graph.graph.Graph`.
+    ordering:
+        ``"degree"``, ``"significant-path"``, an explicit vertex sequence,
+        or an :class:`~repro.core.ordering.OrderingStrategy`.
+    reductions:
+        Iterable drawn from ``{"shell", "equivalence", "independent-set"}``.
+        The paper's named variants map to: HP-SPC = ``()``; HP-SPC+ =
+        ``("shell", "equivalence")``; HP-SPC* = all three.
+    scheme:
+        ``"filtered"`` or ``"direct"`` — the §4.3 query scheme, only
+        relevant when ``"independent-set"`` is enabled.
+    variant:
+        Paper-name shorthand (``"HP-SPC"``, ``"HP-SPC+"``, ``"HP-SPC*"``)
+        that overrides ``reductions``.
+
+    Returns an index object exposing ``count(s, t)``, ``distance(s, t)``
+    and ``count_with_distance(s, t)``.
+    """
+    if variant is not None:
+        try:
+            reductions = VARIANTS[variant]
+        except KeyError:
+            raise ValueError(
+                f"unknown variant {variant!r}; expected one of {sorted(VARIANTS)}"
+            ) from None
+    reductions = tuple(reductions)
+    if not reductions:
+        return SPCIndex.build(graph, ordering=ordering)
+    from repro.reductions.pipeline import ReducedSPCIndex
+
+    return ReducedSPCIndex.build(graph, ordering=ordering, reductions=reductions, scheme=scheme)
+
+
+__all__ = ["Graph", "WeightedDigraph", "SPCIndex", "build_index", "VARIANTS", "__version__"]

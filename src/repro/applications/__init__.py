@@ -1,0 +1,35 @@
+"""Consumers of the counting oracle: betweenness analyses and ranking (§1)."""
+
+from repro.applications.betweenness import (
+    brandes_betweenness,
+    pair_dependency,
+    sampled_betweenness,
+)
+from repro.applications.centrality import (
+    all_closeness,
+    all_harmonic,
+    closeness_centrality,
+    harmonic_centrality,
+)
+from repro.applications.group_betweenness import (
+    GroupBetweennessEvaluator,
+    group_betweenness_exact,
+    pairwise_matrices,
+    spc_through_group,
+)
+from repro.applications.relevance import relevance_ranking
+
+__all__ = [
+    "brandes_betweenness",
+    "pair_dependency",
+    "sampled_betweenness",
+    "closeness_centrality",
+    "harmonic_centrality",
+    "all_closeness",
+    "all_harmonic",
+    "group_betweenness_exact",
+    "spc_through_group",
+    "pairwise_matrices",
+    "GroupBetweennessEvaluator",
+    "relevance_ranking",
+]

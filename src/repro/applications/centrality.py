@@ -1,0 +1,58 @@
+"""Closeness-style centralities from the inverted label index.
+
+The inverted index answers a full single-source sweep in one pass over
+the posting lists, which makes distance-aggregating centralities cheap
+once the counting index exists — another §1-style consumer that never
+touches the graph at evaluation time.
+"""
+
+from repro.core.inverted import InvertedLabelIndex
+
+INF = float("inf")
+
+
+def closeness_centrality(inverted, v, wf_improved=True):
+    """Closeness of ``v``: ``(r-1) / Σ dist`` over reachable vertices.
+
+    With ``wf_improved`` (Wasserman-Faust, networkx's default) the value
+    scales by ``(r-1)/(n-1)`` so vertices in small components don't win
+    by default. Returns 0.0 for isolated vertices.
+    """
+    dist, _ = inverted.single_source(v)
+    n = len(dist)
+    reachable = [d for d in dist if d != INF]
+    r = len(reachable)  # includes v itself at distance 0
+    total = sum(reachable)
+    if r <= 1 or total == 0:
+        return 0.0
+    closeness = (r - 1) / total
+    if wf_improved and n > 1:
+        closeness *= (r - 1) / (n - 1)
+    return closeness
+
+
+def harmonic_centrality(inverted, v):
+    """Harmonic centrality: ``Σ_{u != v} 1 / dist(v, u)`` (∞ -> 0)."""
+    dist, _ = inverted.single_source(v)
+    return sum(1.0 / d for u, d in enumerate(dist) if u != v and d != INF and d > 0)
+
+
+def all_closeness(labels_or_inverted, wf_improved=True):
+    """Closeness for every vertex; accepts labels or a prebuilt inverted index."""
+    inverted = _as_inverted(labels_or_inverted)
+    return [
+        closeness_centrality(inverted, v, wf_improved=wf_improved)
+        for v in range(inverted.labels.n)
+    ]
+
+
+def all_harmonic(labels_or_inverted):
+    """Harmonic centrality for every vertex."""
+    inverted = _as_inverted(labels_or_inverted)
+    return [harmonic_centrality(inverted, v) for v in range(inverted.labels.n)]
+
+
+def _as_inverted(labels_or_inverted):
+    if isinstance(labels_or_inverted, InvertedLabelIndex):
+        return labels_or_inverted
+    return InvertedLabelIndex(labels_or_inverted)

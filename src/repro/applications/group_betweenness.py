@@ -1,0 +1,165 @@
+"""Group betweenness from the counting oracle (§1, [44]).
+
+The group betweenness of a vertex set C is
+
+    B̈(C) = Σ_{s,t}  spc_C(s, t) / spc(s, t)
+
+over connected unordered pairs ``{s, t}`` with ``s ≠ t`` and
+``s, t ∉ C``, where ``spc_C`` counts the shortest paths meeting C.
+
+[44]'s GBC pipeline precomputes pairwise distance/count/path-betweenness
+matrices for *all* pairs — the "unaffordable overhead" that motivates the
+paper. Here the counting oracle replaces that precomputation: the number
+of s-t shortest paths *avoiding* C follows from oracle queries alone via
+the forward DP over C's members ordered by distance from s:
+
+    A(c) = spc(s, c) − Σ_{c' strictly between s and c}  A(c') · spc(c', c)
+
+(A(c) = paths from s to c meeting C only at c), so
+
+    spc_C(s, t) = Σ_{c on an s-t shortest path}  A(c) · spc(c, t).
+
+Every quantity is a pair query — O(|C|²) queries per pair, zero graph
+searches. :func:`group_betweenness_exact` is the BFS ground truth.
+"""
+
+from collections import deque
+
+INF = float("inf")
+
+
+def spc_through_group(oracle, s, t, group):
+    """``(spc(s,t), spc_C(s,t))`` using only oracle pair queries."""
+    sd_st, total = oracle.count_with_distance(s, t)
+    if total == 0:
+        return 0, 0
+    # Members that lie on at least one s-t shortest path.
+    on_path = []
+    for c in group:
+        d_sc, _ = oracle.count_with_distance(s, c)
+        d_ct, _ = oracle.count_with_distance(c, t)
+        if d_sc + d_ct == sd_st:
+            on_path.append((d_sc, c))
+    if not on_path:
+        return total, 0
+    on_path.sort()
+    # A(c): shortest s->c paths whose only group vertex is c.
+    arrivals = []
+    through = 0
+    for d_sc, c in on_path:
+        _, sc = oracle.count_with_distance(s, c)
+        a = sc
+        for d_prev, c_prev, a_prev in arrivals:
+            d_pc, pc = oracle.count_with_distance(c_prev, c)
+            if d_prev + d_pc == d_sc:
+                a -= a_prev * pc
+        arrivals.append((d_sc, c, a))
+        _, ct = oracle.count_with_distance(c, t)
+        through += a * ct
+    return total, through
+
+
+def group_betweenness_oracle(oracle, group, pairs):
+    """B̈(C) restricted to the given (s, t) pairs, via oracle queries only."""
+    group_set = set(group)
+    total = 0.0
+    for s, t in pairs:
+        if s == t or s in group_set or t in group_set:
+            continue
+        spc, through = spc_through_group(oracle, s, t, group)
+        if spc:
+            total += through / spc
+    return total
+
+
+def group_betweenness_exact(graph, group, pairs=None):
+    """Ground-truth B̈(C) by BFS counting with and without C.
+
+    ``spc_C(s,t) = spc(s,t) − [sd unchanged] · spc_{G−C}(s,t)``. With
+    ``pairs=None`` all unordered non-group pairs are used.
+    """
+    group_set = set(group)
+    n = graph.n
+    if pairs is None:
+        pairs = [(s, t) for s in range(n) for t in range(s + 1, n)]
+    blocked = [v in group_set for v in range(n)]
+    full_cache = {}
+    avoid_cache = {}
+
+    def bfs(source, avoid):
+        dist = [INF] * n
+        count = [0] * n
+        dist[source] = 0
+        count[source] = 1
+        queue = deque([source])
+        while queue:
+            v = queue.popleft()
+            dv = dist[v]
+            cv = count[v]
+            for w in graph.neighbors(v):
+                if avoid and blocked[w]:
+                    continue
+                dw = dist[w]
+                if dw == INF:
+                    dist[w] = dv + 1
+                    count[w] = cv
+                    queue.append(w)
+                elif dw == dv + 1:
+                    count[w] += cv
+        return dist, count
+
+    total = 0.0
+    for s, t in pairs:
+        if s == t or s in group_set or t in group_set:
+            continue
+        if s not in full_cache:
+            full_cache[s] = bfs(s, avoid=False)
+            avoid_cache[s] = bfs(s, avoid=True)
+        dist, count = full_cache[s]
+        if count[t] == 0:
+            continue
+        dist_a, count_a = avoid_cache[s]
+        avoiding = count_a[t] if dist_a[t] == dist[t] else 0
+        total += (count[t] - avoiding) / count[t]
+    return total
+
+
+def pairwise_matrices(oracle, vertices):
+    """The D and Σ matrices of [44]'s GBC, filled by oracle queries.
+
+    Returns ``(D, Sigma)`` as dicts keyed by vertex pairs — the online
+    construction step whose cost the hub labeling slashes (§1).
+    """
+    distance = {}
+    sigma = {}
+    for x in vertices:
+        for y in vertices:
+            d, c = oracle.count_with_distance(x, y)
+            distance[(x, y)] = d
+            sigma[(x, y)] = c
+    return distance, sigma
+
+
+class GroupBetweennessEvaluator:
+    """Evaluate many groups against a fixed pair workload.
+
+    Wraps an oracle (hub-labeling index, count matrix, or online BFS
+    adapter) and scores successive candidate groups — the "estimate the
+    group betweenness distribution" workload of §1.
+    """
+
+    def __init__(self, oracle, pairs):
+        self._oracle = oracle
+        self._pairs = list(pairs)
+
+    def evaluate(self, group):
+        """B̈(C) over this evaluator's pair workload."""
+        return group_betweenness_oracle(self._oracle, group, self._pairs)
+
+    def evaluate_incrementally(self, group):
+        """Scores of every prefix C_1 ⊆ C_2 ⊆ ... ⊆ C (the GBC iteration).
+
+        [44] evaluates a group one member at a time; the i-th entry here
+        is B̈({v_1, ..., v_i}).
+        """
+        return [self.evaluate(group[: i + 1]) for i in range(len(group))]

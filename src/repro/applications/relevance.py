@@ -1,0 +1,28 @@
+"""Count-aware relevance ranking (the paper's Figure 1 motivation).
+
+Among equally-distant candidates, the one connected to the source by more
+shortest paths is more relevant — the exact scenario (s, t₁, t₂) of §1.
+"""
+
+
+def relevance_ranking(oracle, source, candidates):
+    """Rank ``candidates`` by (distance asc, shortest-path count desc).
+
+    Returns ``[(vertex, distance, count), ...]`` best first; unreachable
+    candidates sort last. Works with any object exposing
+    ``count_with_distance``.
+    """
+    scored = []
+    for v in candidates:
+        dist, count = oracle.count_with_distance(source, v)
+        scored.append((v, dist, count))
+    scored.sort(key=lambda row: (row[1], -row[2], row[0]))
+    return scored
+
+
+def most_relevant(oracle, source, candidates):
+    """The single best candidate (ties broken by smaller id); None if none reachable."""
+    ranked = relevance_ranking(oracle, source, candidates)
+    if not ranked or ranked[0][2] == 0:
+        return None
+    return ranked[0][0]

@@ -1,0 +1,16 @@
+"""Baselines: online searches, distance-only PLL, PL-SPC, count matrices."""
+
+from repro.baselines.apsp_matrix import CountMatrixOracle
+from repro.baselines.bfs_counting import BFSCountingOracle, spc_all_pairs
+from repro.baselines.bidirectional import bidirectional_spc
+from repro.baselines.pl_spc import PLSPCIndex
+from repro.baselines.pll import PrunedLandmarkLabeling
+
+__all__ = [
+    "BFSCountingOracle",
+    "spc_all_pairs",
+    "bidirectional_spc",
+    "PrunedLandmarkLabeling",
+    "PLSPCIndex",
+    "CountMatrixOracle",
+]

@@ -1,0 +1,51 @@
+"""The count-matrix strawman of §1 ([44]'s precomputation).
+
+Group-betweenness pipelines want O(1) access to ``sd`` and ``spc`` for
+every pair; precomputing full n x n matrices delivers that at O(n²)
+memory — the "unaffordable overhead" hub labeling replaces. Kept as the
+memory/quality baseline for the applications benchmark.
+"""
+
+from repro.graph.traversal import bfs_count_from
+
+INF = float("inf")
+
+
+class CountMatrixOracle:
+    """Dense all-pairs distance and count matrices with O(1) queries."""
+
+    def __init__(self, dist_rows, count_rows):
+        self._dist = dist_rows
+        self._count = count_rows
+
+    @classmethod
+    def build(cls, graph, **_ignored):
+        dist_rows = []
+        count_rows = []
+        for source in graph.vertices():
+            dist, count = bfs_count_from(graph, source)
+            dist_rows.append(dist)
+            count_rows.append(count)
+        return cls(dist_rows, count_rows)
+
+    def count(self, s, t):
+        if s == t:
+            return 1
+        return self._count[s][t]
+
+    def distance(self, s, t):
+        return self._dist[s][t]
+
+    def count_with_distance(self, s, t):
+        if s == t:
+            return 0, 1
+        c = self._count[s][t]
+        return (self._dist[s][t], c) if c else (INF, 0)
+
+    def size_bytes(self, bytes_per_cell=12):
+        """Paper-style accounting: dist (4B) + count (8B) per ordered pair."""
+        n = len(self._dist)
+        return n * n * bytes_per_cell
+
+    def __repr__(self):
+        return f"CountMatrixOracle(n={len(self._dist)})"

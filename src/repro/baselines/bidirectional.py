@@ -1,0 +1,82 @@
+"""Bidirectional BFS shortest-path counting.
+
+A stronger online baseline than unidirectional BFS: balls grow from both
+endpoints, the smaller frontier expands first, and counting happens across
+a fixed cut once the balls are guaranteed to overlap on every shortest
+path. Counting across a *vertex cut at a fixed source distance* (rather
+than over every doubly-labelled vertex) is what keeps each path counted
+exactly once.
+"""
+
+from collections import deque
+
+INF = float("inf")
+
+
+def bidirectional_spc(graph, s, t):
+    """``(distance, count)`` between ``s`` and ``t`` by bidirectional BFS."""
+    if s == t:
+        return 0, 1
+    n = graph.n
+    dist_s = [INF] * n
+    dist_t = [INF] * n
+    count_s = [0] * n
+    count_t = [0] * n
+    dist_s[s] = dist_t[t] = 0
+    count_s[s] = count_t[t] = 1
+    frontier_s = [s]
+    frontier_t = [t]
+    level_s = level_t = 0
+    meet = INF
+
+    def expand(frontier, dist, count, other_dist, level):
+        """Grow one side by a level; report the best meeting distance seen."""
+        nxt = []
+        best = INF
+        for v in frontier:
+            cv = count[v]
+            for w in graph.neighbors(v):
+                dw = dist[w]
+                if dw is INF:
+                    dist[w] = level + 1
+                    count[w] = cv
+                    nxt.append(w)
+                    if other_dist[w] is not INF:
+                        best = min(best, level + 1 + other_dist[w])
+                elif dw == level + 1:
+                    count[w] += cv
+        return nxt, best
+
+    while meet > level_s + level_t:
+        if not frontier_s and not frontier_t:
+            return INF, 0
+        # Expand the smaller live frontier (classic balancing heuristic).
+        if frontier_s and (not frontier_t or len(frontier_s) <= len(frontier_t)):
+            frontier_s, best = expand(frontier_s, dist_s, count_s, dist_t, level_s)
+            level_s += 1
+        else:
+            frontier_t, best = expand(frontier_t, dist_t, count_t, dist_s, level_t)
+            level_t += 1
+        meet = min(meet, best)
+
+    # Count across the cut at source-distance a*: every shortest path has
+    # exactly one vertex there, and both sides' counts are final at it.
+    a_star = max(0, meet - level_t)
+    total = 0
+    queue = deque([s])
+    seen = [False] * n
+    seen[s] = True
+    while queue:
+        v = queue.popleft()
+        dv = dist_s[v]
+        if dv == a_star:
+            if dist_t[v] is not INF and dv + dist_t[v] == meet:
+                total += count_s[v] * count_t[v]
+            continue
+        for w in graph.neighbors(v):
+            if not seen[w] and dist_s[w] == dv + 1:
+                seen[w] = True
+                queue.append(w)
+    if total == 0:
+        return INF, 0
+    return meet, total

@@ -1,0 +1,74 @@
+"""PL-SPC — the planar counting oracle of Bezáková & Searns [12] (Exp-6).
+
+Both PL-SPC and HP-SPC_P consume the same recursive-separator preorder;
+the difference is pruning. PL-SPC performs no pruning joins: every vertex
+a hub's restricted BFS reaches receives a label entry. Removing
+higher-ranked separator vertices confines each BFS to the hub's region,
+so the label of a vertex in tree node t collects entries from t and all
+its ancestors — a superset of HP-SPC_P's hubs (§5.1).
+
+Entries can carry *stale* distances (longer than the true shortest
+distance, when every shortest path leaves the hub's region); the query's
+minimum-distance rule discards them, because for the highest-ranked
+vertex on any shortest path both entries are exact. Consequences measured
+in Table 5: cheaper indexing (no joins), larger index, slower queries.
+"""
+
+import time
+
+from repro.core.hp_spc import build_labels
+from repro.core.query import count_query, distance_query
+from repro.theory.planar_order import planar_separator_order
+
+
+class PLSPCIndex:
+    """The unpruned separator-order counting index."""
+
+    def __init__(self, labels, tree, build_seconds=None):
+        self._labels = labels
+        self._tree = tree
+        self._build_seconds = build_seconds
+
+    @classmethod
+    def build(cls, graph, points=None, leaf_size=8, order=None):
+        """Build over a separator preorder (computed here unless given)."""
+        started = time.perf_counter()
+        tree = None
+        if order is None:
+            order, tree = planar_separator_order(
+                graph, points=points, leaf_size=leaf_size, return_tree=True
+            )
+        labels = build_labels(graph, ordering=list(order), prune=False)
+        elapsed = time.perf_counter() - started
+        return cls(labels, tree, build_seconds=elapsed)
+
+    def count(self, s, t):
+        return count_query(self._labels, s, t)[1]
+
+    def distance(self, s, t):
+        return distance_query(self._labels, s, t)
+
+    def count_with_distance(self, s, t):
+        return count_query(self._labels, s, t)
+
+    @property
+    def labels(self):
+        return self._labels
+
+    @property
+    def tree(self):
+        return self._tree
+
+    @property
+    def build_seconds(self):
+        return self._build_seconds
+
+    def total_entries(self):
+        return self._labels.total_entries()
+
+    def size_bytes(self, entry_bits=192):
+        """Exp-6 sizing: the paper packs Delaunay entries in 32+32+128 bits."""
+        return self._labels.packed_size_bytes(entry_bits)
+
+    def __repr__(self):
+        return f"PLSPCIndex(n={self._labels.n}, entries={self._labels.total_entries()})"

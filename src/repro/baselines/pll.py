@@ -1,0 +1,115 @@
+"""Pruned landmark labeling (PLL) for *distance* queries [6].
+
+The state-of-the-art canonical 2-hop labeling HP-SPC extends. Included as
+a baseline and as a cross-check: under the same vertex order, PLL's hub
+set must equal the hubs of HP-SPC's canonical part ``L^c`` (§3.2), which
+the test suite asserts.
+"""
+
+from collections import deque
+
+from repro.core.ordering import resolve_ordering
+from repro.exceptions import OrderingError
+
+INF = float("inf")
+
+
+class PrunedLandmarkLabeling:
+    """Distance-only 2-hop labels built by pruned BFS.
+
+    Entries per vertex are ``(rank, hub, dist)`` sorted by rank; queries
+    are merge joins like the counting index's, minus the counts.
+    """
+
+    def __init__(self, labels, order):
+        self._labels = labels
+        self._order = tuple(order)
+
+    @classmethod
+    def build(cls, graph, ordering="degree"):
+        strategy = resolve_ordering(ordering)
+        if strategy.wants_tree:
+            raise OrderingError("PLL supports static orders only (degree or explicit)")
+        n = graph.n
+        adj = graph.adjacency
+        labels = [[] for _ in range(n)]
+        dist = [INF] * n
+        hub_dist = [INF] * n
+        pushed = [False] * n
+        order = []
+        w = strategy.first_vertex(graph) if n else None
+        while w is not None:
+            rank = len(order)
+            order.append(w)
+            pushed[w] = True
+            touched = []
+            for _, hub, d in labels[w]:
+                hub_dist[hub] = d
+                touched.append(hub)
+            dist[w] = 0
+            labels[w].append((rank, w, 0))
+            queue = deque([w])
+            visited = [w]
+            while queue:
+                v = queue.popleft()
+                dv = dist[v]
+                if v != w:
+                    best = min(
+                        (hub_dist[hub] + d for _, hub, d in labels[v]),
+                        default=INF,
+                    )
+                    # PLL prunes on <=: an equally-long path through a
+                    # higher-ranked hub makes w redundant for distances.
+                    if best <= dv:
+                        continue
+                    labels[v].append((rank, w, dv))
+                for v2 in adj[v]:
+                    if dist[v2] is INF and not pushed[v2]:
+                        dist[v2] = dv + 1
+                        queue.append(v2)
+                        visited.append(v2)
+            for v in visited:
+                dist[v] = INF
+            for hub in touched:
+                hub_dist[hub] = INF
+            w = strategy.next_vertex(graph, pushed, None)
+        if len(order) != n:
+            raise OrderingError("ordering did not cover all vertices")
+        return cls(labels, order)
+
+    def distance(self, s, t):
+        """``sd(s, t)``; ``inf`` when disconnected."""
+        if s == t:
+            return 0
+        row_s = self._labels[s]
+        row_t = self._labels[t]
+        best = INF
+        i = j = 0
+        while i < len(row_s) and j < len(row_t):
+            rs = row_s[i][0]
+            rt = row_t[j][0]
+            if rs < rt:
+                i += 1
+            elif rs > rt:
+                j += 1
+            else:
+                total = row_s[i][2] + row_t[j][2]
+                if total < best:
+                    best = total
+                i += 1
+                j += 1
+        return best
+
+    def hubs(self, v):
+        """The hub set of ``v`` (compared against ``L^c`` hubs in tests)."""
+        return {hub for _, hub, _ in self._labels[v]}
+
+    def total_entries(self):
+        return sum(len(row) for row in self._labels)
+
+    @property
+    def order(self):
+        return self._order
+
+    def __repr__(self):
+        return f"PrunedLandmarkLabeling(n={len(self._labels)}, entries={self.total_entries()})"

@@ -1,0 +1,6 @@
+"""Experiment harness: workloads, drivers for every table/figure, reporting."""
+
+from repro.bench.harness import format_table, time_queries
+from repro.bench.workloads import query_workload
+
+__all__ = ["format_table", "time_queries", "query_workload"]

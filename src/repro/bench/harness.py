@@ -1,0 +1,67 @@
+"""Benchmark plumbing: query timing and plain-text table rendering."""
+
+import time
+
+
+def time_queries(oracle, pairs, repeat=1):
+    """Average seconds per ``count_with_distance`` query over ``pairs``.
+
+    ``repeat`` replays the workload to smooth out timer noise on small
+    pair sets. Returns ``(avg_seconds, total_queries)``.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        raise ValueError("empty query workload")
+    query = oracle.count_with_distance
+    started = time.perf_counter()
+    for _ in range(repeat):
+        for s, t in pairs:
+            query(s, t)
+    elapsed = time.perf_counter() - started
+    total = repeat * len(pairs)
+    return elapsed / total, total
+
+
+def format_table(rows, columns, title=None):
+    """Render dict rows as an aligned text table (harness stdout format).
+
+    ``columns`` is a list of ``(key, header, format_spec)``; format_spec
+    may be ``None`` for plain ``str``.
+    """
+    headers = [header for _, header, _ in columns]
+    rendered = []
+    for row in rows:
+        cells = []
+        for key, _, spec in columns:
+            value = row.get(key, "")
+            cells.append(format(value, spec) if spec and value != "" else str(value))
+        rendered.append(cells)
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rendered), default=0))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def markdown_table(rows, columns, title=None):
+    """Render dict rows as a GitHub-flavored markdown table."""
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(header for _, header, _ in columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in rows:
+        cells = []
+        for key, _, spec in columns:
+            value = row.get(key, "")
+            cells.append(format(value, spec) if spec and value != "" else str(value))
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Terminal renderings of the paper's figures.
+
+The evaluation figures are grouped bar charts (Figures 5-9) and CDFs
+(Figure 10). The harness renders them as aligned ASCII bars so a report
+reader can see the *shape* — who wins, by how much — without a plotting
+stack. Log-scale bars are used where the paper's axes are log-scale.
+"""
+
+import math
+
+FULL_BLOCK = "█"
+HALF_BLOCK = "▌"
+
+
+def _bar(value, maximum, width, log_scale):
+    if value <= 0 or maximum <= 0:
+        return ""
+    if log_scale:
+        # Map [1, max] logarithmically onto the width; values below 1
+        # still get a sliver so they are visible.
+        span = math.log10(max(maximum, 10))
+        fraction = max(0.0, math.log10(max(value, 1.0))) / span
+    else:
+        fraction = value / maximum
+    cells = fraction * width
+    whole = int(cells)
+    text = FULL_BLOCK * whole
+    if cells - whole >= 0.5:
+        text += HALF_BLOCK
+    return text or HALF_BLOCK
+
+
+def bar_chart(rows, label_key, series, title=None, width=40, log_scale=False,
+              value_format=".1f"):
+    """Render a grouped bar chart.
+
+    ``rows`` are dicts; ``label_key`` names the group label column and
+    ``series`` is a list of ``(key, series_name)`` pairs — one bar per
+    series within each group, mirroring the paper's grouped bars.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    values = [row.get(key, 0) or 0 for row in rows for key, _ in series]
+    maximum = max(values, default=0)
+    label_width = max(
+        [len(str(row.get(label_key, ""))) for row in rows]
+        + [len(name) for _, name in series]
+        + [1]
+    )
+    for row in rows:
+        label = str(row.get(label_key, ""))
+        for index, (key, name) in enumerate(series):
+            value = row.get(key, 0) or 0
+            head = label if index == 0 else ""
+            bar = _bar(value, maximum, width, log_scale)
+            lines.append(
+                f"{head:<{label_width}} {name:<12} {bar} {format(value, value_format)}"
+            )
+        if len(series) > 1:
+            lines.append("")
+    while lines and not lines[-1]:
+        lines.pop()
+    return "\n".join(lines)
+
+
+def cdf_chart(values, title=None, width=50, height=10):
+    """Render an empirical CDF as a coarse ASCII curve (Figure 10 style).
+
+    The x axis spans the observed value range (log2 buckets, like the
+    paper's axis); each row prints the fraction of observations at or
+    below the bucket's upper edge.
+    """
+    from repro.utils.stats import cumulative_distribution
+
+    xs, fs = cumulative_distribution(values)
+    lines = []
+    if title:
+        lines.append(title)
+    if not xs:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    low = max(1, min(xs))
+    high = max(xs)
+    buckets = []
+    edge = low
+    while edge < high:
+        edge *= 2
+        buckets.append(edge)
+    if not buckets:
+        buckets = [high]
+    for edge in buckets:
+        fraction = 0.0
+        for x, f in zip(xs, fs):
+            if x <= edge:
+                fraction = f
+            else:
+                break
+        bar = FULL_BLOCK * int(round(fraction * width))
+        lines.append(f"|L| <= {edge:>8}  {bar:<{width}} {fraction:6.1%}")
+    return "\n".join(lines)

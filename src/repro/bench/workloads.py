@@ -1,0 +1,63 @@
+"""Query workloads for the experiments (the paper uses random pairs)."""
+
+from repro.utils.rng import ensure_rng
+
+
+def query_workload(n, queries=1000, seed=0, distinct=False):
+    """``queries`` uniform random (s, t) pairs over ``range(n)``.
+
+    The paper evaluates 1,000,000 random queries per graph; the harness
+    default is scaled to the synthetic analogs but keeps the same uniform
+    distribution.
+    """
+    rng = ensure_rng(seed)
+    pairs = []
+    for _ in range(queries):
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        while distinct and t == s and n > 1:
+            t = rng.randrange(n)
+        pairs.append((s, t))
+    return pairs
+
+
+def stratified_query_workload(graph, per_bucket=100, seed=0, max_sources=64):
+    """Pairs grouped by shortest distance: ``{distance: [(s, t), ...]}``.
+
+    The paper reports a single average query time; stratifying by pair
+    distance shows *where* the time goes (nearby pairs meet at low-rank
+    hubs early; distant pairs scan further). BFS from sampled sources
+    buckets candidate targets by distance, then each bucket is sampled
+    down to ``per_bucket`` pairs.
+    """
+    from repro.graph.traversal import bfs_distances
+
+    rng = ensure_rng(seed)
+    n = graph.n
+    if n == 0:
+        return {}
+    if n <= max_sources:
+        sources = list(graph.vertices())
+    else:
+        sources = [rng.randrange(n) for _ in range(max_sources)]
+    buckets = {}
+    for s in sources:
+        dist = bfs_distances(graph, s)
+        for t, d in enumerate(dist):
+            if t != s and d != float("inf"):
+                buckets.setdefault(d, []).append((s, t))
+    out = {}
+    for d, pairs in sorted(buckets.items()):
+        if len(pairs) > per_bucket:
+            pairs = rng.sample(pairs, per_bucket)
+        out[d] = pairs
+    return out
+
+
+def group_workload(n, groups=20, group_size=4, seed=0, exclude=()):
+    """Random vertex groups for the group-betweenness experiments."""
+    rng = ensure_rng(seed)
+    pool = [v for v in range(n) if v not in set(exclude)]
+    if group_size > len(pool):
+        raise ValueError("group_size exceeds available vertices")
+    return [sorted(rng.sample(pool, group_size)) for _ in range(groups)]

@@ -1,0 +1,207 @@
+"""Command-line interface: build, query, inspect and verify indexes.
+
+Usage (also available as ``python -m repro``):
+
+    repro-spc info   graph.txt
+    repro-spc build  graph.txt index.bin --ordering significant-path
+    repro-spc query  index.bin 12 9075
+    repro-spc query  index.bin --random 5 --graph graph.txt
+    repro-spc stats  index.bin
+    repro-spc verify index.bin graph.txt --samples 500
+    repro-spc bench  index.bin --queries 2000
+
+Graphs are whitespace edge lists (SNAP/KONECT style; ``#``/``%``
+comments). ``build`` writes the paper's packed 64-bit binary format, so
+indexes built here load anywhere the library runs. The CLI wraps the
+plain HP-SPC index; the reduced variants are library-level APIs (their
+query path needs reduction state that the binary format does not carry).
+"""
+
+import argparse
+import sys
+import time
+
+from repro.core.diagnostics import (
+    label_statistics,
+    validate_against_bfs,
+    validate_structure,
+)
+from repro.core.index import SPCIndex
+from repro.exceptions import ReproError
+from repro.graph.io import read_edge_list
+from repro.io.serialize import load_index, save_index
+from repro.utils.rng import random_pairs
+
+
+def _cmd_info(args):
+    from repro.graph.metrics import graph_summary
+
+    graph, id_map = read_edge_list(args.graph)
+    print(f"graph                : {args.graph}")
+    print(f"vertices             : {graph.n} (ids compacted from {len(id_map)} originals)")
+    for key, value in graph_summary(graph).items():
+        if key in ("n",):
+            continue
+        if isinstance(value, float):
+            print(f"{key:21s}: {value:.4f}")
+        else:
+            print(f"{key:21s}: {value}")
+    return 0
+
+
+def _cmd_build(args):
+    import time
+
+    from repro.io.serialize import WIDE_BITS, save_labels
+
+    if args.weighted:
+        from repro.graph.io import read_weighted_edge_list
+        from repro.weighted.labeling import build_weighted_labels
+
+        graph, _ = read_weighted_edge_list(args.graph)
+        print(f"building weighted HP-SPC over {graph.n} vertices / {graph.m} edges...")
+        started = time.perf_counter()
+        labels = build_weighted_labels(graph, ordering="degree")
+        elapsed = time.perf_counter() - started
+        # Weighted distances can exceed the 10-bit field: use the wide packing.
+        written = save_labels(labels, args.index, bits=WIDE_BITS, strict=args.strict)
+        entries = labels.total_entries()
+    else:
+        graph, _ = read_edge_list(args.graph)
+        print(f"building HP-SPC over {graph.n} vertices / {graph.m} edges "
+              f"(ordering: {args.ordering})...")
+        index = SPCIndex.build(graph, ordering=args.ordering)
+        written = save_index(index, args.index, strict=args.strict)
+        elapsed = index.build_seconds
+        entries = index.total_entries()
+    print(f"built in {elapsed:.2f}s; {entries} entries; "
+          f"wrote {written} bytes to {args.index}")
+    return 0
+
+
+def _cmd_query(args):
+    index = load_index(args.index)
+    pairs = []
+    if args.random:
+        if not args.graph:
+            n = index.labels.n
+        else:
+            n = read_edge_list(args.graph)[0].n
+        pairs = list(random_pairs(n, args.random, rng=args.seed))
+    elif args.s is not None and args.t is not None:
+        pairs = [(args.s, args.t)]
+    else:
+        print("query needs either S and T or --random N", file=sys.stderr)
+        return 2
+    print("     s       t    dist  #shortest-paths")
+    for s, t in pairs:
+        dist, count = index.count_with_distance(s, t)
+        dist_text = str(dist) if count else "inf"
+        print(f"{s:6d}  {t:6d}  {dist_text:>6}  {count}")
+    return 0
+
+
+def _cmd_stats(args):
+    index = load_index(args.index)
+    for key, value in label_statistics(index.labels).items():
+        if isinstance(value, float):
+            print(f"{key:22s} {value:.3f}")
+        else:
+            print(f"{key:22s} {value}")
+    return 0
+
+
+def _cmd_verify(args):
+    index = load_index(args.index)
+    graph, _ = read_edge_list(args.graph)
+    if graph.n != index.labels.n:
+        print(f"vertex count mismatch: index {index.labels.n}, graph {graph.n}",
+              file=sys.stderr)
+        return 1
+    validate_structure(index.labels, graph)
+    checked = validate_against_bfs(index.labels, graph, samples=args.samples,
+                                   seed=args.seed)
+    print(f"ok: structure valid; {checked} random queries match BFS")
+    return 0
+
+
+def _cmd_bench(args):
+    index = load_index(args.index)
+    n = index.labels.n
+    pairs = list(random_pairs(n, args.queries, rng=args.seed))
+    started = time.perf_counter()
+    for s, t in pairs:
+        index.count_with_distance(s, t)
+    elapsed = time.perf_counter() - started
+    print(f"{len(pairs)} queries in {elapsed:.3f}s "
+          f"({elapsed / len(pairs) * 1e6:.1f} us/query)")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-spc",
+        description="Hub labeling for shortest path counting (SIGMOD 2020).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="print statistics of an edge-list graph")
+    p.add_argument("graph")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("build", help="build an index from an edge list")
+    p.add_argument("graph")
+    p.add_argument("index")
+    p.add_argument("--ordering", default="degree",
+                   choices=["degree", "significant-path"])
+    p.add_argument("--strict", action="store_true",
+                   help="fail on 31-bit count overflow instead of saturating")
+    p.add_argument("--weighted", action="store_true",
+                   help="treat the third edge-list column as edge weights")
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("query", help="answer count queries from an index")
+    p.add_argument("index")
+    p.add_argument("s", nargs="?", type=int, default=None)
+    p.add_argument("t", nargs="?", type=int, default=None)
+    p.add_argument("--random", type=int, default=0, metavar="N",
+                   help="answer N random pairs instead")
+    p.add_argument("--graph", default=None, help="graph file (for --random ids)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("stats", help="print label statistics of an index")
+    p.add_argument("index")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("verify", help="validate an index against its graph")
+    p.add_argument("index")
+    p.add_argument("graph")
+    p.add_argument("--samples", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser("bench", help="time random queries against an index")
+    p.add_argument("index")
+    p.add_argument("--queries", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""The paper's primary contribution: HP-SPC hub labeling for counting."""
+
+from repro.core.approx import BudgetedApproximator, accuracy_curve
+from repro.core.diagnostics import (
+    label_statistics,
+    validate_against_bfs,
+    validate_oracle,
+    validate_structure,
+)
+from repro.core.hp_spc import BuildStats, build_labels
+from repro.core.index import SPCIndex
+from repro.core.labels import LabelEntry, LabelSet
+from repro.core.ordering import (
+    BetweennessOrdering,
+    DegreeOrdering,
+    OrderingStrategy,
+    PushTree,
+    SignificantPathOrdering,
+    StaticOrdering,
+    resolve_ordering,
+)
+from repro.core.query import (
+    count,
+    count_canonical_only,
+    count_query,
+    count_set_query,
+    distance_query,
+)
+
+__all__ = [
+    "SPCIndex",
+    "BudgetedApproximator",
+    "accuracy_curve",
+    "validate_against_bfs",
+    "validate_oracle",
+    "validate_structure",
+    "label_statistics",
+    "count_set_query",
+    "LabelSet",
+    "LabelEntry",
+    "BuildStats",
+    "build_labels",
+    "count",
+    "count_query",
+    "count_canonical_only",
+    "distance_query",
+    "OrderingStrategy",
+    "BetweennessOrdering",
+    "DegreeOrdering",
+    "SignificantPathOrdering",
+    "StaticOrdering",
+    "PushTree",
+    "resolve_ordering",
+]

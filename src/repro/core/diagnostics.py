@@ -1,0 +1,129 @@
+"""Labeling diagnostics: validation and structural statistics.
+
+Production tooling around an index: spot-check exactness against online
+BFS, report per-label statistics, and audit the structural invariants the
+construction guarantees (rank-sortedness, true distances, hub-rank
+dominance). Used by the CLI's ``stats``/``verify`` commands and by the
+integration tests.
+"""
+
+from repro.core.query import count_query
+from repro.exceptions import LabelingError
+from repro.graph.traversal import bfs_distances, spc_bfs
+from repro.utils.rng import random_pairs
+from repro.utils.stats import percentile
+
+INF = float("inf")
+
+
+def validate_against_bfs(labels, graph, samples=200, seed=0, multiplicity=None):
+    """Spot-check ``count_query`` against BFS counting on random pairs.
+
+    Intended for plain (unreduced) labelings, where label queries answer
+    the same graph the BFS runs on. Raises :class:`LabelingError` on the
+    first mismatch; returns the number of checked pairs.
+    """
+    checked = 0
+    for s, t in random_pairs(graph.n, samples, rng=seed):
+        want = spc_bfs(graph, s, t)
+        got = count_query(labels, s, t, multiplicity)
+        if got != want:
+            raise LabelingError(f"query ({s}, {t}): labels say {got}, BFS says {want}")
+        checked += 1
+    return checked
+
+
+def validate_oracle(oracle, graph, samples=200, seed=0):
+    """Spot-check *any* index (reduced, directed-on-symmetric, dynamic...)
+    exposing ``count_with_distance`` against BFS on ``graph``.
+
+    Raises :class:`LabelingError` on the first mismatch; returns the
+    number of checked pairs.
+    """
+    checked = 0
+    for s, t in random_pairs(graph.n, samples, rng=seed):
+        want = spc_bfs(graph, s, t)
+        got = oracle.count_with_distance(s, t)
+        if got != want:
+            raise LabelingError(f"query ({s}, {t}): oracle says {got}, BFS says {want}")
+        checked += 1
+    return checked
+
+
+def validate_structure(labels, graph):
+    """Audit construction invariants on every label entry.
+
+    * both lists rank-sorted;
+    * entry distances equal true BFS distances;
+    * every hub outranks (or equals) the labelled vertex;
+    * counts are positive;
+    * each vertex carries its self entry unless its label was dropped.
+
+    Raises :class:`LabelingError` on the first violation.
+    """
+    labels.validate_sorted()
+    rank_of = labels.rank_of
+    if rank_of is None:
+        raise LabelingError("labels carry no vertex order")
+    for v in range(labels.n):
+        merged = labels.merged(v)
+        if not merged:
+            continue  # dropped by the independent-set reduction
+        dist = bfs_distances(graph, v)
+        saw_self = False
+        for rank, hub, d, c in merged:
+            if rank_of[hub] != rank:
+                raise LabelingError(f"L({v}): hub {hub} carries wrong rank {rank}")
+            if rank > rank_of[v]:
+                raise LabelingError(f"L({v}): hub {hub} ranks below vertex {v}")
+            if d != dist[hub]:
+                raise LabelingError(
+                    f"L({v}): entry for hub {hub} has distance {d}, true {dist[hub]}"
+                )
+            if c < 1:
+                raise LabelingError(f"L({v}): non-positive count for hub {hub}")
+            saw_self = saw_self or hub == v
+        if not saw_self:
+            raise LabelingError(f"L({v}): missing self entry")
+    return True
+
+
+def label_statistics(labels):
+    """Summary statistics for reports (sizes, c/nc split, percentiles)."""
+    sizes = labels.size_histogram()
+    populated = [size for size in sizes if size] or [0]
+    return {
+        "n": labels.n,
+        "total_entries": labels.total_entries(),
+        "canonical_entries": labels.canonical_size(),
+        "noncanonical_entries": labels.noncanonical_size(),
+        "nc_over_c": labels.noncanonical_size() / max(1, labels.canonical_size()),
+        "dropped_labels": sum(1 for size in sizes if size == 0),
+        "min_label": min(populated),
+        "median_label": percentile(populated, 50),
+        "p90_label": percentile(populated, 90),
+        "max_label": max(populated),
+        "bytes_64bit": labels.packed_size_bytes(64),
+    }
+
+
+def query_statistics(labels, pairs):
+    """Per-query structural costs over a workload.
+
+    Reports the average scanned label entries (the Algorithm 2 cost
+    model, ``|L(s)| + |L(t)|``) and the average number of common hubs at
+    the shortest distance.
+    """
+    from repro.core.query import common_hubs
+
+    scanned = []
+    meeting = []
+    for s, t in pairs:
+        scanned.append(labels.label_size(s) + labels.label_size(t))
+        meeting.append(len(common_hubs(labels, s, t)))
+    return {
+        "queries": len(scanned),
+        "avg_scanned_entries": sum(scanned) / max(1, len(scanned)),
+        "avg_meeting_hubs": sum(meeting) / max(1, len(meeting)),
+        "max_scanned_entries": max(scanned, default=0),
+    }

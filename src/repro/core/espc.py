@@ -1,0 +1,178 @@
+"""Explicit exact shortest path coverings (§3.1).
+
+This module materialises the paper's ``T(·)`` structure — every trough
+shortest path, as an actual vertex sequence — so the ESPC definitions can
+be checked literally: ``cover(T(u), T(v))`` is built as a true multiset and
+compared with the enumerated ``P_{u,v}``. It is exponential in the worst
+case and exists for validation and pedagogy, not production use; HP-SPC
+(:mod:`repro.core.hp_spc`) builds the induced labeling without ever
+materialising paths.
+"""
+
+from collections import Counter, deque
+
+from repro.exceptions import LabelingError, OrderingError
+
+INF = float("inf")
+
+
+def all_shortest_paths(graph, s, t):
+    """Enumerate ``P_{s,t}`` as tuples of vertices (``s`` first).
+
+    Returns an empty list when ``s`` and ``t`` are disconnected; the single
+    empty-extension path ``(s,)`` when ``s == t``.
+    """
+    if s == t:
+        return [(s,)]
+    dist = [INF] * graph.n
+    dist[s] = 0
+    queue = deque([s])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            if dist[w] is INF:
+                dist[w] = dist[v] + 1
+                queue.append(w)
+    if dist[t] is INF:
+        return []
+    paths = []
+    stack = [(t, (t,))]
+    while stack:
+        v, suffix = stack.pop()
+        if v == s:
+            paths.append(suffix)
+            continue
+        for w in graph.neighbors(v):
+            if dist[w] == dist[v] - 1:
+                stack.append((w, (w,) + suffix))
+    return paths
+
+
+def vertices_on_shortest_paths(graph, s, t):
+    """``Q_{s,t}``: the set of vertices involved in ``P_{s,t}``."""
+    out = set()
+    for path in all_shortest_paths(graph, s, t):
+        out.update(path)
+    return out
+
+
+def is_trough_path(path, rank_of):
+    """Whether one endpoint outranks every other vertex of ``path`` ([32])."""
+    if len(path) == 1:
+        return True
+    best = min(rank_of[v] for v in path)
+    return rank_of[path[0]] == best or rank_of[path[-1]] == best
+
+
+def trough_shortest_paths(graph, v, w, rank_of):
+    """``C_{v,w}``: shortest ``v -> w`` paths with ``w`` ranked highest."""
+    paths = []
+    target_rank = rank_of[w]
+    for path in all_shortest_paths(graph, v, w):
+        if all(rank_of[x] >= target_rank for x in path):
+            paths.append(path)
+    return paths
+
+
+def build_espc(graph, order):
+    """Materialise ``T_⪯(·)`` for a total order (rank -> vertex list).
+
+    ``T(v)`` maps hub ``w`` to the tuple of trough shortest paths from
+    ``v`` to ``w`` (each path a vertex tuple starting at ``v``), for every
+    ``w ⪯ v`` with a non-empty path set — including the trivial self entry.
+    """
+    if sorted(order) != list(range(graph.n)):
+        raise OrderingError("order must be a permutation of the vertex set")
+    rank_of = [0] * graph.n
+    for rank, v in enumerate(order):
+        rank_of[v] = rank
+    cover_map = [dict() for _ in range(graph.n)]
+    for v in graph.vertices():
+        for w in graph.vertices():
+            if rank_of[w] > rank_of[v]:
+                continue  # w must outrank (or equal) v
+            paths = trough_shortest_paths(graph, v, w, rank_of)
+            if paths:
+                cover_map[v][w] = tuple(sorted(paths))
+    return cover_map, rank_of
+
+
+def cover(entries_u, entries_v, sd_u_v):
+    """The multiset ``cover(T(u), T(v))`` of §3.1.
+
+    ``entries_u``/``entries_v`` map hub -> tuple of paths (from ``u``/``v``
+    to the hub); concatenation reverses the second path. ``sd_u_v`` is the
+    shortest distance between ``u`` and ``v``; hub pairs whose distance sum
+    exceeds it contribute nothing.
+    """
+    result = Counter()
+    for w, paths_u in entries_u.items():
+        paths_v = entries_v.get(w)
+        if not paths_v:
+            continue
+        du = len(paths_u[0]) - 1
+        dv = len(paths_v[0]) - 1
+        if du + dv != sd_u_v:
+            continue
+        for p1 in paths_u:
+            for p2 in paths_v:
+                result[p1 + tuple(reversed(p2[:-1]))] += 1
+    return result
+
+
+def verify_espc(graph, cover_map):
+    """Check that ``cover_map`` is an ESPC: every pair's cover == P_{u,v}.
+
+    Raises :class:`LabelingError` naming the first failing pair; returns
+    ``True`` otherwise. Quadratic in pairs and exponential in path counts —
+    test-sized graphs only.
+    """
+    from repro.graph.traversal import bfs_distances
+
+    for u in graph.vertices():
+        dist = bfs_distances(graph, u)
+        for v in graph.vertices():
+            if v < u or dist[v] is INF:
+                continue
+            covered = cover(cover_map[u], cover_map[v], dist[v])
+            expected = Counter(all_shortest_paths(graph, u, v))
+            if covered != expected:
+                raise LabelingError(
+                    f"cover(T({u}), T({v})) != P_{{{u},{v}}}: "
+                    f"covered {sum(covered.values())} paths "
+                    f"({sum(v > 1 for v in covered.values())} duplicated), "
+                    f"expected {sum(expected.values())}"
+                )
+    return True
+
+
+def is_minimal_espc(graph, cover_map):
+    """Check §3.1's minimality claim: removing any entry breaks the ESPC."""
+    for v in graph.vertices():
+        for w in list(cover_map[v]):
+            removed = cover_map[v].pop(w)
+            try:
+                verify_espc(graph, cover_map)
+            except LabelingError:
+                pass  # breaking the cover is exactly what minimality demands
+            else:
+                cover_map[v][w] = removed
+                return False
+            cover_map[v][w] = removed
+    return True
+
+
+def labels_from_espc(cover_map):
+    """The hub labeling a cover induces: ``v -> {hub: (dist, count)}``.
+
+    Mirrors §3.1's construction: each entry ``(w, C_{v,w})`` becomes
+    ``(w, sd(v,w), |C_{v,w}|)``. Used to cross-check HP-SPC's output
+    against the ground-truth ESPC in tests.
+    """
+    out = []
+    for entries in cover_map:
+        label = {}
+        for w, paths in entries.items():
+            label[w] = (len(paths[0]) - 1, len(paths))
+        out.append(label)
+    return out

@@ -1,0 +1,96 @@
+"""High-level index facade over HP-SPC labels.
+
+:class:`SPCIndex` is the plain (unreduced) index of §3; the reduced
+variants HP-SPC+ and HP-SPC* live in :mod:`repro.reductions.pipeline` and
+share the same query surface, so callers can swap them freely.
+"""
+
+from repro.core.hp_spc import BuildStats, build_labels
+from repro.core.query import (
+    count_canonical_only,
+    count_query,
+    distance_query,
+)
+
+INF = float("inf")
+
+
+class SPCIndex:
+    """A queryable shortest-path-counting index (plain HP-SPC).
+
+    Build once with :meth:`build`, then answer ``count``/``distance``
+    queries in label-scan time without touching the graph.
+
+    >>> from repro.generators.classic import cycle_graph
+    >>> index = SPCIndex.build(cycle_graph(4))
+    >>> index.count(0, 2)   # two ways around the 4-cycle
+    2
+    >>> index.distance(0, 2)
+    2
+    """
+
+    def __init__(self, labels, build_stats=None, build_seconds=None):
+        self._labels = labels
+        self._build_stats = build_stats
+        self._build_seconds = build_seconds
+
+    @classmethod
+    def build(cls, graph, ordering="degree", collect_stats=False):
+        """Run HP-SPC on ``graph`` under ``ordering`` and wrap the labels."""
+        import time
+
+        stats = BuildStats() if collect_stats else None
+        started = time.perf_counter()
+        labels = build_labels(graph, ordering=ordering, stats=stats)
+        elapsed = time.perf_counter() - started
+        return cls(labels, build_stats=stats, build_seconds=elapsed)
+
+    # -- queries -------------------------------------------------------------
+
+    def count(self, s, t):
+        """``spc(s, t)``: the number of shortest paths (0 if disconnected)."""
+        return count_query(self._labels, s, t)[1]
+
+    def distance(self, s, t):
+        """``sd(s, t)``; ``inf`` when disconnected."""
+        return distance_query(self._labels, s, t)
+
+    def count_with_distance(self, s, t):
+        """``(sd(s,t), spc(s,t))`` in one label scan."""
+        return count_query(self._labels, s, t)
+
+    def count_approximate(self, s, t):
+        """The Exp-5 canonical-only estimate (may undercount, never over)."""
+        return count_canonical_only(self._labels, s, t)[1]
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def labels(self):
+        """The underlying :class:`~repro.core.labels.LabelSet`."""
+        return self._labels
+
+    @property
+    def order(self):
+        """The vertex order the index was built under (rank -> vertex)."""
+        return self._labels.order
+
+    @property
+    def build_stats(self):
+        """:class:`BuildStats` when built with ``collect_stats=True``."""
+        return self._build_stats
+
+    @property
+    def build_seconds(self):
+        """Wall-clock construction time recorded by :meth:`build`."""
+        return self._build_seconds
+
+    def total_entries(self):
+        return self._labels.total_entries()
+
+    def size_bytes(self, entry_bits=64):
+        """Paper-equivalent index size under the packed entry encoding."""
+        return self._labels.packed_size_bytes(entry_bits)
+
+    def __repr__(self):
+        return f"SPCIndex(n={self._labels.n}, entries={self._labels.total_entries()})"

@@ -1,0 +1,182 @@
+"""Hub label storage for shortest path counting (§3.1).
+
+A label entry is the triple ``(w, sd(v, w), σ_{v,w})`` of the paper. Each
+vertex keeps two entry lists — *canonical* (``L^c``: all shortest paths to
+the hub are trough paths) and *non-canonical* (``L^nc``) — because the
+independent-set reduction's filtered query scheme (§4.3) and the Exp-5
+analysis need them separately.
+
+Entries are stored as 4-tuples ``(rank, hub, dist, count)`` where ``rank``
+is the hub's position in the vertex order (0 = highest). HP-SPC appends
+entries in push order, so both lists are sorted by rank and the query's
+merge join needs no per-query sorting.
+"""
+
+from collections import namedtuple
+
+from repro.exceptions import LabelingError
+
+LabelEntry = namedtuple("LabelEntry", ["hub", "dist", "count"])
+
+
+class LabelSet:
+    """Per-vertex canonical and non-canonical hub labels.
+
+    Lifecycle: HP-SPC appends entries during construction, then calls
+    :meth:`set_order` and :meth:`finalize`; afterwards the structure is
+    read-only and ``merged(v)`` serves queries.
+    """
+
+    def __init__(self, n):
+        self._n = n
+        self._canonical = [[] for _ in range(n)]
+        self._noncanonical = [[] for _ in range(n)]
+        self._merged = None
+        self._order = None
+        self._rank_of = None
+
+    # -- construction-time API ----------------------------------------------
+
+    def append_canonical(self, v, rank, hub, dist, count):
+        self._canonical[v].append((rank, hub, dist, count))
+
+    def append_noncanonical(self, v, rank, hub, dist, count):
+        self._noncanonical[v].append((rank, hub, dist, count))
+
+    def drop_label(self, v):
+        """Discard both labels of ``v`` (independent-set reduction, §4.3)."""
+        self._canonical[v] = []
+        self._noncanonical[v] = []
+        if self._merged is not None:
+            self._merged[v] = []
+
+    def set_order(self, order):
+        """Record the vertex order (rank -> vertex) used during construction."""
+        if sorted(order) != list(range(self._n)):
+            raise LabelingError("order must be a permutation of the vertex set")
+        self._order = tuple(order)
+        rank_of = [0] * self._n
+        for rank, v in enumerate(order):
+            rank_of[v] = rank
+        self._rank_of = tuple(rank_of)
+
+    def finalize(self):
+        """Merge canonical and non-canonical lists into query-ready labels."""
+        merged = []
+        for v in range(self._n):
+            a = self._canonical[v]
+            b = self._noncanonical[v]
+            if not b:
+                merged.append(list(a))
+                continue
+            if not a:
+                merged.append(list(b))
+                continue
+            row = []
+            i = j = 0
+            la, lb = len(a), len(b)
+            while i < la and j < lb:
+                if a[i][0] <= b[j][0]:
+                    row.append(a[i])
+                    i += 1
+                else:
+                    row.append(b[j])
+                    j += 1
+            row.extend(a[i:])
+            row.extend(b[j:])
+            merged.append(row)
+        self._merged = merged
+        return self
+
+    # -- read API -------------------------------------------------------------
+
+    @property
+    def n(self):
+        return self._n
+
+    @property
+    def order(self):
+        """The vertex order (rank -> vertex), or None before :meth:`set_order`."""
+        return self._order
+
+    @property
+    def rank_of(self):
+        """Inverse of :attr:`order` (vertex -> rank)."""
+        return self._rank_of
+
+    def merged(self, v):
+        """Query-ready entries of ``L(v) = L^c(v) ∪ L^nc(v)``, rank-sorted."""
+        if self._merged is None:
+            raise LabelingError("labels not finalized; call finalize() first")
+        return self._merged[v]
+
+    def canonical(self, v):
+        """Raw ``(rank, hub, dist, count)`` tuples of ``L^c(v)``."""
+        return self._canonical[v]
+
+    def noncanonical(self, v):
+        """Raw ``(rank, hub, dist, count)`` tuples of ``L^nc(v)``."""
+        return self._noncanonical[v]
+
+    def canonical_entries(self, v):
+        """``L^c(v)`` as :class:`LabelEntry` triples (inspection/tests)."""
+        return [LabelEntry(hub, dist, count) for _, hub, dist, count in self._canonical[v]]
+
+    def noncanonical_entries(self, v):
+        """``L^nc(v)`` as :class:`LabelEntry` triples (inspection/tests)."""
+        return [LabelEntry(hub, dist, count) for _, hub, dist, count in self._noncanonical[v]]
+
+    def entries(self, v):
+        """``L(v)`` as :class:`LabelEntry` triples, rank-sorted."""
+        return [LabelEntry(hub, dist, count) for _, hub, dist, count in self.merged(v)]
+
+    def hubs(self, v):
+        """The hub set of ``v`` (canonical and non-canonical)."""
+        return {hub for _, hub, _, _ in self._canonical[v]} | {
+            hub for _, hub, _, _ in self._noncanonical[v]
+        }
+
+    # -- size accounting (Figures 6b, 9, 10) -----------------------------------
+
+    def label_size(self, v):
+        """|L(v)|: number of entries of ``v``."""
+        return len(self._canonical[v]) + len(self._noncanonical[v])
+
+    def canonical_size(self):
+        """Σ_v |L^c(v)| (the Figure 9 'canonical' bar)."""
+        return sum(len(row) for row in self._canonical)
+
+    def noncanonical_size(self):
+        """Σ_v |L^nc(v)| (the Figure 9 'non-canonical' bar)."""
+        return sum(len(row) for row in self._noncanonical)
+
+    def total_entries(self):
+        """Σ_v |L(v)|: the labeling size in the paper's sense."""
+        return self.canonical_size() + self.noncanonical_size()
+
+    def size_histogram(self):
+        """List of |L(v)| over all vertices (feeds the Figure 10 CDF)."""
+        return [self.label_size(v) for v in range(self._n)]
+
+    def packed_size_bytes(self, entry_bits=64):
+        """Index size in bytes under the paper's packed encoding.
+
+        The paper stores one entry in 64 bits (23/10/31 bit fields), or in
+        192 bits for the Delaunay experiment (32 + 32 + 128).
+        """
+        if entry_bits % 8:
+            raise ValueError("entry_bits must be a multiple of 8")
+        return self.total_entries() * (entry_bits // 8)
+
+    def validate_sorted(self):
+        """Check both lists of every vertex are strictly rank-sorted."""
+        for rows in (self._canonical, self._noncanonical):
+            for v, row in enumerate(rows):
+                for previous, current in zip(row, row[1:]):
+                    if previous[0] >= current[0]:
+                        raise LabelingError(f"label of vertex {v} is not rank-sorted")
+        return True
+
+    def __repr__(self):
+        state = "finalized" if self._merged is not None else "building"
+        return f"LabelSet(n={self._n}, entries={self.total_entries()}, {state})"

@@ -1,0 +1,155 @@
+"""Query evaluation over hub labels (§3.3, Algorithm 2).
+
+All queries are merge joins over rank-sorted label lists, so a query costs
+``O(|L(s)| + |L(t)|)``. The optional ``multiplicity`` argument implements
+the λ-weighted evaluation of the equivalence reduction (§4.2): a common hub
+``h`` that is not a query endpoint contributes ``σ_{s,h}·σ_{t,h}·mult(h)``.
+"""
+
+INF = float("inf")
+
+
+def _merge_join(row_s, row_t, s, t, multiplicity):
+    """Shared merge join: returns ``(distance, count)`` over two label rows."""
+    delta = INF
+    sigma = 0
+    i = j = 0
+    len_s = len(row_s)
+    len_t = len(row_t)
+    while i < len_s and j < len_t:
+        entry_s = row_s[i]
+        entry_t = row_t[j]
+        rank_s = entry_s[0]
+        rank_t = entry_t[0]
+        if rank_s < rank_t:
+            i += 1
+        elif rank_s > rank_t:
+            j += 1
+        else:
+            total = entry_s[2] + entry_t[2]
+            if total <= delta:
+                hub = entry_s[1]
+                if multiplicity is None or hub == s or hub == t:
+                    term = entry_s[3] * entry_t[3]
+                else:
+                    term = entry_s[3] * entry_t[3] * multiplicity[hub]
+                if total < delta:
+                    delta = total
+                    sigma = term
+                else:
+                    sigma += term
+            i += 1
+            j += 1
+    if sigma == 0:
+        return INF, 0
+    return delta, sigma
+
+
+def merge_join_rows(row_s, row_t, s, t, multiplicity=None):
+    """Public merge join over two rank-sorted label rows.
+
+    Shared by the directed extension (§7), which joins ``L^out(s)`` with
+    ``L^in(t)`` rows that live outside a :class:`LabelSet`.
+    """
+    return _merge_join(row_s, row_t, s, t, multiplicity)
+
+
+def count_query(labels, s, t, multiplicity=None):
+    """``(sd(s,t), spc(s,t))`` from the full labels ``L = L^c ∪ L^nc``.
+
+    Returns ``(inf, 0)`` for disconnected pairs and ``(0, 1)`` when
+    ``s == t`` (the empty path).
+    """
+    if s == t:
+        return 0, 1
+    return _merge_join(labels.merged(s), labels.merged(t), s, t, multiplicity)
+
+
+def count(labels, s, t, multiplicity=None):
+    """Just the shortest-path count ``spc(s, t)`` (Algorithm 2's return)."""
+    return count_query(labels, s, t, multiplicity)[1]
+
+
+def distance_query(labels, s, t):
+    """Shortest distance from the canonical labels alone (Equation 1)."""
+    if s == t:
+        return 0
+    delta, _ = _merge_join(labels.canonical(s), labels.canonical(t), s, t, None)
+    return delta
+
+
+def count_canonical_only(labels, s, t, multiplicity=None):
+    """The Exp-5 approximation: evaluate Algorithm 2 on ``L^c`` alone.
+
+    The distance is exact (canonical labels satisfy the cover constraint)
+    but the count can underestimate, since non-trough shortest paths are
+    only covered by ``L^nc`` entries. Returns ``(distance, approx_count)``.
+    """
+    if s == t:
+        return 0, 1
+    return _merge_join(labels.canonical(s), labels.canonical(t), s, t, multiplicity)
+
+
+def count_set_query(labels, sources, targets):
+    """Set-to-set counting: ``(sd(S, T), spc(S, T))`` (§4.3's notion).
+
+    ``sd(S, T)`` is the minimum pairwise distance and ``spc(S, T)`` the
+    number of shortest paths of that length between the sets. A path of
+    minimal length cannot contain a second source (its suffix would be
+    shorter), so aggregating each side's labels per hub — minimum
+    distance, counts summed at the minimum — counts every minimal path
+    exactly once, including length-0 paths when the sets intersect.
+    """
+    agg = {}
+    for v in sources:
+        for _, hub, dist, cnt in labels.merged(v):
+            found = agg.get(hub)
+            if found is None or dist < found[0]:
+                agg[hub] = (dist, cnt)
+            elif dist == found[0]:
+                agg[hub] = (dist, found[1] + cnt)
+    delta = INF
+    sigma = 0
+    for v in targets:
+        for _, hub, dist, cnt in labels.merged(v):
+            found = agg.get(hub)
+            if found is None:
+                continue
+            total = found[0] + dist
+            if total > delta:
+                continue
+            term = found[1] * cnt
+            if total < delta:
+                delta = total
+                sigma = term
+            else:
+                sigma += term
+    if sigma == 0:
+        return INF, 0
+    return delta, sigma
+
+
+def common_hubs(labels, s, t):
+    """The hubs shared by ``L(s)`` and ``L(t)`` that lie on shortest paths.
+
+    Diagnostic helper (used by tests and the ESPC verifier); not on any
+    query hot path.
+    """
+    if s == t:
+        return [s] if any(h == s for _, h, _, _ in labels.merged(s)) else []
+    row_s = labels.merged(s)
+    row_t = labels.merged(t)
+    delta, _ = _merge_join(row_s, row_t, s, t, None)
+    out = []
+    i = j = 0
+    while i < len(row_s) and j < len(row_t):
+        if row_s[i][0] < row_t[j][0]:
+            i += 1
+        elif row_s[i][0] > row_t[j][0]:
+            j += 1
+        else:
+            if row_s[i][2] + row_t[j][2] == delta:
+                out.append(row_s[i][1])
+            i += 1
+            j += 1
+    return out

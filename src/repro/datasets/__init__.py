@@ -1,0 +1,19 @@
+"""Evaluation datasets: synthetic analogs of the paper's 10 graphs."""
+
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    dataset_notations,
+    load_dataset,
+    load_delaunay,
+    paper_stats,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_notations",
+    "load_dataset",
+    "load_delaunay",
+    "paper_stats",
+]

@@ -1,0 +1,18 @@
+"""§7: hub labeling for counting on weighted directed graphs."""
+
+from repro.directed.index import DirectedSPCIndex
+from repro.directed.labeling import build_directed_labels, degree_order_directed
+from repro.directed.reductions import (
+    DirectedEquivalenceReduction,
+    DirectedShellReduction,
+    directed_equivalent,
+)
+
+__all__ = [
+    "DirectedSPCIndex",
+    "build_directed_labels",
+    "degree_order_directed",
+    "DirectedShellReduction",
+    "DirectedEquivalenceReduction",
+    "directed_equivalent",
+]

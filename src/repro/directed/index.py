@@ -1,0 +1,276 @@
+"""Facade index for weighted directed graphs (§7).
+
+Mirrors the undirected pipeline: optional shell cut, optional equivalence
+quotient (λ multiplicities), directed hub pushing, optional
+independent-set label dropping, and a query path that unwinds the stack.
+Same-class twin queries are the one case §7 leaves unspecified for
+weighted graphs (twins can be joined by arbitrarily-shaped shortest
+paths); the index answers them exactly with an online Dijkstra on the
+pre-quotient graph and documents the fallback.
+"""
+
+import time
+
+from repro.core.query import merge_join_rows
+from repro.directed.labeling import build_directed_labels, degree_order_directed
+from repro.directed.reductions import (
+    DirectedEquivalenceReduction,
+    DirectedShellReduction,
+)
+from repro.exceptions import OrderingError
+from repro.graph.traversal import spc_dijkstra
+
+INF = float("inf")
+
+VALID_REDUCTIONS = ("shell", "equivalence", "independent-set")
+
+
+class DirectedSPCIndex:
+    """Counting index over a :class:`~repro.graph.digraph.WeightedDigraph`."""
+
+    def __init__(self, digraph, shell, equiv, core, l_in, l_out, in_is, scheme,
+                 order, build_seconds=None):
+        self._digraph = digraph
+        self._shell = shell
+        self._equiv = equiv
+        self._core = core
+        self._l_in = l_in
+        self._l_out = l_out
+        self._in_is = in_is
+        self._scheme = scheme
+        self._order = order
+        self._mult = equiv.multiplicity if equiv else None
+        self._build_seconds = build_seconds
+
+    @classmethod
+    def build(cls, digraph, ordering="degree", reductions=(), scheme="filtered"):
+        reductions = tuple(reductions)
+        for name in reductions:
+            if name not in VALID_REDUCTIONS:
+                raise ValueError(f"unknown reduction {name!r}; expected {VALID_REDUCTIONS}")
+        if scheme not in ("filtered", "direct"):
+            raise ValueError(f"unknown query scheme {scheme!r}")
+        started = time.perf_counter()
+        shell = DirectedShellReduction.compute(digraph) if "shell" in reductions else None
+        core = shell.graph_reduced if shell else digraph
+        equiv = DirectedEquivalenceReduction.compute(core) if "equivalence" in reductions else None
+        if equiv is not None:
+            core = equiv.graph_reduced
+        multiplicity = equiv.multiplicity if equiv else None
+
+        if ordering == "degree":
+            order = degree_order_directed(core)
+        else:
+            order = list(ordering)
+            if sorted(order) != list(range(core.n)):
+                raise OrderingError("ordering must be a permutation of the core vertex set")
+        in_is = [False] * core.n
+        if "independent-set" in reductions:
+            rank_of = [0] * core.n
+            for rank, v in enumerate(order):
+                rank_of[v] = rank
+            for v in core.vertices():
+                rv = rank_of[v]
+                neighbors_outrank = all(
+                    rank_of[x] < rv for x, _ in core.out_neighbors(v)
+                ) and all(rank_of[x] < rv for x, _ in core.in_neighbors(v))
+                in_is[v] = neighbors_outrank
+        l_in, l_out = build_directed_labels(
+            core, ordering=order, multiplicity=multiplicity, skip=in_is
+        )
+        elapsed = time.perf_counter() - started
+        return cls(digraph, shell, equiv, core, l_in, l_out, in_is, scheme, order,
+                   build_seconds=elapsed)
+
+    # -- queries ---------------------------------------------------------------
+
+    def count_with_distance(self, s, t):
+        """``(sd(s -> t), spc(s -> t))`` in original vertex ids."""
+        if s == t:
+            return 0, 1
+        offset = 0
+        pre_quotient = self._shell.graph_reduced if self._shell else self._digraph
+        if self._shell is not None:
+            if self._shell.same_representative(s, t):
+                return self._shell.tree_answer(s, t)
+            up = self._shell.cost_to_representative(s)
+            down = self._shell.cost_from_representative(t)
+            if up == INF or down == INF:
+                return INF, 0
+            offset = up + down
+            s = self._shell.project(s)
+            t = self._shell.project(t)
+        if self._equiv is not None:
+            rs = self._equiv.eqr(s)
+            rt = self._equiv.eqr(t)
+            if rs == rt:
+                # §7 fallback: twin pairs answered online on the
+                # pre-quotient graph (exact; see module docstring).
+                dist, cnt = spc_dijkstra(pre_quotient, s, t)
+                return (dist + offset, cnt) if cnt else (INF, 0)
+            s = self._equiv.old_to_new[rs]
+            t = self._equiv.old_to_new[rt]
+        dist, cnt = self._core_query(s, t)
+        if cnt == 0:
+            return INF, 0
+        return dist + offset, cnt
+
+    def count(self, s, t):
+        """Number of shortest (minimum-weight) paths ``s -> t``."""
+        return self.count_with_distance(s, t)[1]
+
+    def distance(self, s, t):
+        """Shortest-path weight ``s -> t``; ``inf`` when unreachable."""
+        return self.count_with_distance(s, t)[0]
+
+    # -- core-graph query machinery -----------------------------------------------
+
+    def _core_query(self, s, t):
+        s_dropped = self._in_is[s]
+        t_dropped = self._in_is[t]
+        if not s_dropped and not t_dropped:
+            return merge_join_rows(
+                self._l_out.merged(s), self._l_in.merged(t), s, t, self._mult
+            )
+        if self._scheme == "direct":
+            return self._aggregate_query(s, t, s_dropped, t_dropped, filtered=False)
+        return self._aggregate_query(s, t, s_dropped, t_dropped, filtered=True)
+
+    def _sides(self, s, t, s_dropped, t_dropped):
+        core = self._core
+        if s_dropped:
+            side_s = [(x, weight) for x, weight in core.out_neighbors(s)]
+        else:
+            side_s = [(s, 0)]
+        if t_dropped:
+            side_t = [(y, weight) for y, weight in core.in_neighbors(t)]
+        else:
+            side_t = [(t, 0)]
+        return side_s, side_t
+
+    def _k_factor(self, u, hub, dropped_side):
+        if self._mult is None or not dropped_side or u == hub:
+            return 1
+        return self._mult[u]
+
+    def _m_factor(self, hub, s, t, s_dropped, t_dropped):
+        if self._mult is None:
+            return 1
+        if (hub == s and not s_dropped) or (hub == t and not t_dropped):
+            return 1
+        return self._mult[hub]
+
+    def _aggregate_query(self, s, t, s_dropped, t_dropped, filtered):
+        side_s, side_t = self._sides(s, t, s_dropped, t_dropped)
+        if filtered:
+            # Phase 1 on canonical labels: the exact distance plus the
+            # on-path members of each side.
+            dist_s = self._distance_map(side_s, self._l_out.canonical)
+            delta = INF
+            keep_t = []
+            for u, offset in side_t:
+                best = INF
+                for _, hub, dist, _ in self._l_in.canonical(u):
+                    found = dist_s.get(hub)
+                    if found is not None and found + dist < best:
+                        best = found + dist
+                total = best + offset
+                if total < delta:
+                    delta = total
+                    keep_t = [(u, offset)]
+                elif total == delta and total != INF:
+                    keep_t.append((u, offset))
+            if delta == INF:
+                return INF, 0
+            if len(side_s) == 1:
+                keep_s = side_s  # the endpoint itself is trivially on-path
+            else:
+                dist_t = self._distance_map(side_t, self._l_in.canonical)
+                keep_s = [
+                    (u, offset)
+                    for u, offset in side_s
+                    if self._best_through(u, offset, dist_t, self._l_out.canonical)
+                    == delta
+                ]
+            side_s, side_t = keep_s, keep_t
+        agg = {}
+        for u, offset in side_s:
+            for _, hub, dist, cnt in self._l_out.merged(u):
+                total = dist + offset
+                term = cnt * self._k_factor(u, hub, s_dropped)
+                found = agg.get(hub)
+                if found is None or total < found[0]:
+                    agg[hub] = (total, term)
+                elif total == found[0]:
+                    agg[hub] = (total, found[1] + term)
+        delta = INF
+        sigma = 0
+        for u, offset in side_t:
+            for _, hub, dist, cnt in self._l_in.merged(u):
+                found = agg.get(hub)
+                if found is None:
+                    continue
+                total = found[0] + dist + offset
+                if total > delta:
+                    continue
+                term = (
+                    found[1]
+                    * cnt
+                    * self._k_factor(u, hub, t_dropped)
+                    * self._m_factor(hub, s, t, s_dropped, t_dropped)
+                )
+                if total < delta:
+                    delta = total
+                    sigma = term
+                else:
+                    sigma += term
+        if sigma == 0:
+            return INF, 0
+        return delta, sigma
+
+    def _distance_map(self, side, label_of):
+        out = {}
+        for u, offset in side:
+            for _, hub, dist, _ in label_of(u):
+                total = dist + offset
+                if total < out.get(hub, INF):
+                    out[hub] = total
+        return out
+
+    @staticmethod
+    def _best_through(u, offset, other_map, label_of):
+        best = INF
+        for _, hub, dist, _ in label_of(u):
+            found = other_map.get(hub)
+            if found is not None and found + dist < best:
+                best = found + dist
+        return best + offset
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def labels_in(self):
+        return self._l_in
+
+    @property
+    def labels_out(self):
+        return self._l_out
+
+    @property
+    def order(self):
+        return tuple(self._order)
+
+    @property
+    def build_seconds(self):
+        return self._build_seconds
+
+    def total_entries(self):
+        return self._l_in.total_entries() + self._l_out.total_entries()
+
+    def size_bytes(self, entry_bits=64):
+        return self._l_in.packed_size_bytes(entry_bits) + self._l_out.packed_size_bytes(
+            entry_bits
+        )
+
+    def __repr__(self):
+        return f"DirectedSPCIndex(n={self._digraph.n}, entries={self.total_entries()})"

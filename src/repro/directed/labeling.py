@@ -1,0 +1,140 @@
+"""Directed hub pushing with Dijkstra (§7).
+
+Each vertex gets two labels: ``w ∈ L^in(v)`` iff a trough shortest path
+runs ``w -> v``, and ``w ∈ L^out(v)`` iff one runs ``v -> w``. Pushing hub
+``w`` therefore runs a *forward* Dijkstra (filling other vertices'
+``L^in``) and a *backward* Dijkstra (filling ``L^out``), both restricted
+to not-yet-pushed vertices. The pruning join for the forward direction
+asks for the best ``w -> v`` distance through higher-ranked vertices:
+``min_h sd(w, h) + sd(h, v)`` over ``h ∈ L^out_c(w) ∩ L^in_c(v)`` —
+mirrored for the backward direction.
+
+Strictly positive edge weights make a popped vertex's count final, so the
+canonical/non-canonical classification works exactly as in the BFS case.
+``multiplicity`` and ``skip`` have the same semantics as the undirected
+engine (equivalence λ-weights and the independent-set reduction).
+"""
+
+import heapq
+
+from repro.core.labels import LabelSet
+from repro.exceptions import OrderingError
+
+INF = float("inf")
+
+
+def degree_order_directed(digraph):
+    """Non-ascending total degree (in + out), ties by id — §7's default."""
+    return sorted(
+        digraph.vertices(),
+        key=lambda v: (-(digraph.in_degree(v) + digraph.out_degree(v)), v),
+    )
+
+
+def build_directed_labels(digraph, ordering="degree", multiplicity=None, skip=None, prune=True):
+    """Run directed HP-SPC; returns ``(l_in, l_out)`` finalized label sets."""
+    n = digraph.n
+    if ordering == "degree":
+        order = degree_order_directed(digraph)
+    else:
+        order = list(ordering)
+        if sorted(order) != list(range(n)):
+            raise OrderingError("ordering must be a permutation of the vertex set")
+    mult = list(multiplicity) if multiplicity is not None else None
+    skip_flags = list(skip) if skip is not None else [False] * n
+
+    l_in = LabelSet(n)
+    l_out = LabelSet(n)
+    dist = [INF] * n
+    count = [0] * n
+    settled = [False] * n
+    hub_dist = [INF] * n
+    pushed = [False] * n
+
+    for rank, w in enumerate(order):
+        pushed[w] = True
+        # Forward: paths w -> v; prune against L^out_c(w) x L^in_c(v).
+        _push_direction(
+            digraph, w, rank, True, l_out, l_in,
+            dist, count, settled, hub_dist, pushed, mult, skip_flags, prune,
+        )
+        # Backward: paths v -> w; prune against L^in_c(w) x L^out_c(v).
+        _push_direction(
+            digraph, w, rank, False, l_in, l_out,
+            dist, count, settled, hub_dist, pushed, mult, skip_flags, prune,
+        )
+
+    l_in.set_order(order)
+    l_out.set_order(order)
+    l_in.finalize()
+    l_out.finalize()
+    return l_in, l_out
+
+
+def _push_direction(
+    digraph, w, rank, forward, scatter_labels, target_labels,
+    dist, count, settled, hub_dist, pushed, mult, skip_flags, prune,
+):
+    """One Dijkstra sweep from ``w``; appends into ``target_labels``.
+
+    ``scatter_labels`` provides the hub's side of the pruning join
+    (``L^out(w)`` when searching forward, ``L^in(w)`` backward);
+    ``target_labels`` receives entries (``L^in`` forward, ``L^out``
+    backward) and provides each popped vertex's join side.
+    """
+    touched_hubs = []
+    if prune:
+        for _, hub, hub_distance, _ in scatter_labels._canonical[w]:
+            hub_dist[hub] = hub_distance
+            touched_hubs.append(hub)
+    neighbors = digraph.out_neighbors if forward else digraph.in_neighbors
+    canonical = target_labels._canonical
+    noncanonical = target_labels._noncanonical
+
+    dist[w] = 0
+    count[w] = 1
+    heap = [(0, w)]
+    visited = [w]
+    while heap:
+        dv, v = heapq.heappop(heap)
+        if settled[v]:
+            continue
+        settled[v] = True
+        if v == w:
+            if not skip_flags[w]:
+                canonical[w].append((rank, w, 0, 1))
+        elif not skip_flags[v]:
+            if prune:
+                best = min(
+                    (hub_dist[hub] + hub_distance
+                     for _, hub, hub_distance, _ in canonical[v]),
+                    default=INF,
+                )
+                if best < dv:
+                    continue  # pruned: do not relax out of v
+                if best == dv:
+                    noncanonical[v].append((rank, w, dv, count[v]))
+                else:
+                    canonical[v].append((rank, w, dv, count[v]))
+            else:
+                canonical[v].append((rank, w, dv, count[v]))
+        forwarded = count[v] if (mult is None or v == w) else count[v] * mult[v]
+        for v2, weight in neighbors(v):
+            if pushed[v2] and v2 != w:
+                continue
+            alt = dv + weight
+            d2 = dist[v2]
+            if alt < d2:
+                dist[v2] = alt
+                count[v2] = forwarded
+                heapq.heappush(heap, (alt, v2))
+                if d2 is INF:
+                    visited.append(v2)
+            elif alt == d2 and not settled[v2]:
+                count[v2] += forwarded
+    for v in visited:
+        dist[v] = INF
+        count[v] = 0
+        settled[v] = False
+    for hub in touched_hubs:
+        hub_dist[hub] = INF

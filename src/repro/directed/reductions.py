@@ -1,0 +1,248 @@
+"""Directed/weighted versions of the §4 reductions, as sketched in §7.
+
+* **1-shell** — computed on the undirected view; each shell component is
+  still a tree reachable through one undirected access edge, so in-tree
+  (and tree-to-core) connectivity reduces to walking the unique tree path
+  and checking each arc exists in the needed direction (the §7
+  "reachability oracle", trivial for trees).
+* **Neighborhood equivalence** — the five-condition relation of §7.
+  Non-adjacent twins hash directly on their exact weighted in/out lists;
+  adjacent twins are bucketed by a relaxed key (neighbor ids plus self)
+  and verified pairwise with :func:`directed_equivalent`.
+* **Independent set** — identical to §4.3 with both directions' neighbors
+  and per-arc weight offsets; handled by the directed index itself.
+"""
+
+from collections import deque
+
+from repro.graph.cores import one_shell_components
+
+INF = float("inf")
+
+
+class DirectedShellReduction:
+    """1-shell cutting for weighted digraphs."""
+
+    def __init__(self, digraph, undirected, shr, depth, parent, reduced, old_to_new):
+        self._digraph = digraph
+        self._shr = shr
+        self._depth = depth
+        self._parent = parent
+        self.graph_reduced = reduced
+        self.old_to_new = old_to_new
+        self.new_to_old = [None] * reduced.n
+        for old, new in old_to_new.items():
+            self.new_to_old[new] = old
+
+    @classmethod
+    def compute(cls, digraph):
+        from repro.graph.builders import undirect
+
+        undirected = undirect(digraph)
+        n = digraph.n
+        shr = list(range(n))
+        depth = [0] * n
+        parent = list(range(n))
+        for component, access in one_shell_components(undirected):
+            members = set(component)
+            queue = deque([access])
+            seen_local = {access}
+            while queue:
+                u = queue.popleft()
+                for w in undirected.neighbors(u):
+                    if w in members and w not in seen_local:
+                        seen_local.add(w)
+                        parent[w] = u
+                        depth[w] = depth[u] + 1
+                        shr[w] = access
+                        queue.append(w)
+        keep = [v for v in range(n) if shr[v] == v]
+        reduced, old_to_new = digraph.induced_subgraph(keep)
+        return cls(digraph, undirected, shr, depth, parent, reduced, old_to_new)
+
+    def shr(self, v):
+        return self._shr[v]
+
+    @property
+    def removed_count(self):
+        return self._digraph.n - self.graph_reduced.n
+
+    def same_representative(self, s, t):
+        return self._shr[s] == self._shr[t]
+
+    def project(self, v):
+        return self.old_to_new[self._shr[v]]
+
+    # -- directed tree-path costs -------------------------------------------------
+
+    def cost_to_representative(self, v):
+        """Weight of the directed walk ``v -> shr(v)`` along the tree; inf if an arc is missing."""
+        total = 0
+        node = v
+        while node != self._shr[v]:
+            weight = self._digraph.weight(node, self._parent[node])
+            if weight is None:
+                return INF
+            total += weight
+            node = self._parent[node]
+        return total
+
+    def cost_from_representative(self, v):
+        """Weight of the directed walk ``shr(v) -> v`` along the tree; inf if an arc is missing."""
+        total = 0
+        node = v
+        while node != self._shr[v]:
+            weight = self._digraph.weight(self._parent[node], node)
+            if weight is None:
+                return INF
+            total += weight
+            node = self._parent[node]
+        return total
+
+    def tree_answer(self, s, t):
+        """``(distance, count)`` for a same-representative pair.
+
+        The unique undirected tree path is walked through the LCA; the
+        count is 1 exactly when every arc exists in the travel direction
+        (the §7 per-component reachability oracle).
+        """
+        if self._shr[s] != self._shr[t]:
+            raise ValueError("tree_answer requires shr(s) == shr(t)")
+        # Lift both endpoints to equal depth, then in lockstep to the LCA,
+        # summing arc weights in the direction of travel.
+        a, b = s, t
+        up_cost = 0
+        down_cost = 0
+        da, db = self._depth[a], self._depth[b]
+        while da > db:
+            weight = self._digraph.weight(a, self._parent[a])
+            if weight is None:
+                return INF, 0
+            up_cost += weight
+            a = self._parent[a]
+            da -= 1
+        while db > da:
+            weight = self._digraph.weight(self._parent[b], b)
+            if weight is None:
+                return INF, 0
+            down_cost += weight
+            b = self._parent[b]
+            db -= 1
+        while a != b:
+            weight_up = self._digraph.weight(a, self._parent[a])
+            weight_down = self._digraph.weight(self._parent[b], b)
+            if weight_up is None or weight_down is None:
+                return INF, 0
+            up_cost += weight_up
+            down_cost += weight_down
+            a = self._parent[a]
+            b = self._parent[b]
+        return up_cost + down_cost, 1
+
+
+def directed_equivalent(digraph, u, v):
+    """The five-condition neighborhood equivalence of §7."""
+    if u == v:
+        return True
+    w_uv = digraph.weight(u, v)
+    w_vu = digraph.weight(v, u)
+    if (w_uv is None) != (w_vu is None):
+        return False  # condition (1): reciprocity
+    if w_uv is not None and w_uv != w_vu:
+        return False  # condition (1): equal mutual weights
+    in_u = {x: wt for x, wt in digraph.in_neighbors(u) if x != v}
+    in_v = {x: wt for x, wt in digraph.in_neighbors(v) if x != u}
+    if in_u != in_v:
+        return False  # conditions (2) + (3)
+    out_u = {x: wt for x, wt in digraph.out_neighbors(u) if x != v}
+    out_v = {x: wt for x, wt in digraph.out_neighbors(v) if x != u}
+    return out_u == out_v  # conditions (4) + (5)
+
+
+class DirectedEquivalenceReduction:
+    """The §7 equivalence partition and reduced weighted digraph."""
+
+    def __init__(self, digraph, eqr, class_size, adjacent_class, reduced, old_to_new):
+        self._digraph = digraph
+        self._eqr = eqr
+        self._class_size = class_size
+        self._adjacent_class = adjacent_class
+        self.graph_reduced = reduced
+        self.old_to_new = old_to_new
+        self.new_to_old = [None] * reduced.n
+        for old, new in old_to_new.items():
+            self.new_to_old[new] = old
+        self.multiplicity = [0] * reduced.n
+        for old, new in old_to_new.items():
+            self.multiplicity[new] = class_size[old]
+
+    @classmethod
+    def compute(cls, digraph):
+        n = digraph.n
+        eqr = list(range(n))
+        class_size = [1] * n
+        adjacent_class = [False] * n
+        # Pass 1: non-adjacent twins — exact weighted in/out lists match.
+        open_groups = {}
+        for v in range(n):
+            key = (digraph.in_neighbors(v), digraph.out_neighbors(v))
+            open_groups.setdefault(key, []).append(v)
+        assigned = [False] * n
+        for members in open_groups.values():
+            if len(members) < 2:
+                continue
+            rep = members[0]
+            for v in members:
+                assigned[v] = True
+                eqr[v] = rep
+                class_size[v] = len(members)
+        # Pass 2: adjacent twins — relaxed bucket, pairwise verification.
+        buckets = {}
+        for v in range(n):
+            if assigned[v]:
+                continue
+            ids = {x for x, _ in digraph.in_neighbors(v)}
+            ids.update(x for x, _ in digraph.out_neighbors(v))
+            ids.add(v)
+            buckets.setdefault(tuple(sorted(ids)), []).append(v)
+        for members in buckets.values():
+            if len(members) < 2:
+                continue
+            # ≡ is transitive, so grouping by "equivalent to the first
+            # unclaimed member" recovers the classes.
+            remaining = list(members)
+            while remaining:
+                seed_vertex = remaining[0]
+                cls_members = [seed_vertex]
+                rest = []
+                for other in remaining[1:]:
+                    if directed_equivalent(digraph, seed_vertex, other):
+                        cls_members.append(other)
+                    else:
+                        rest.append(other)
+                remaining = rest
+                if len(cls_members) >= 2:
+                    rep = min(cls_members)
+                    for v in cls_members:
+                        eqr[v] = rep
+                        class_size[v] = len(cls_members)
+                        adjacent_class[v] = True
+        keep = [v for v in range(n) if eqr[v] == v]
+        reduced, old_to_new = digraph.induced_subgraph(keep)
+        return cls(digraph, eqr, class_size, adjacent_class, reduced, old_to_new)
+
+    def eqr(self, v):
+        return self._eqr[v]
+
+    def eqc_size(self, v):
+        return self._class_size[v]
+
+    def is_adjacent_class(self, v):
+        return self._adjacent_class[v]
+
+    @property
+    def removed_count(self):
+        return self._digraph.n - self.graph_reduced.n
+
+    def project(self, v):
+        return self.old_to_new[self._eqr[v]]

@@ -1,0 +1,5 @@
+"""Dynamic updates over a static counting index (§8)."""
+
+from repro.dynamic.incremental import DynamicSPCIndex
+
+__all__ = ["DynamicSPCIndex"]

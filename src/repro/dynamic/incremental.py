@@ -1,0 +1,180 @@
+"""Exact queries under edge insertions, without touching the labels (§8).
+
+The paper lists dynamic maintenance as an open problem: updating the
+labeling itself is hard even for distances, and counting adds the σ
+bookkeeping. What *is* tractable — and implemented here — is keeping the
+static labeling and answering queries exactly on the *updated* graph, as
+long as the patch (the set of inserted edges) stays small.
+
+The key identity: decompose any shortest path of the updated graph by
+the **last inserted edge it uses**. The decomposition is unique, so with
+``old(x, y)`` denoting the static index's (distance, count) — which by
+construction counts exactly the paths using *no* inserted edge —
+
+    h(z) = combine( old(s, z),
+                    { h(a) ⊕ 1 ⊕ old(b, z)  for inserted edges (a, b) } )
+
+where ``h`` is the updated-graph answer from ``s``, ``⊕`` adds distances
+and multiplies counts, and ``combine`` keeps the minimum distance and
+sums counts at it. Every term strictly increases the distance, so a
+Dijkstra-style settle over the ≤ 2k+2 overlay vertices (patch endpoints
+plus the query pair) evaluates the fixpoint exactly with O(k²) label
+queries per query. Walks of shortest length cannot repeat a vertex, so
+no phantom (non-simple) combination survives at the minimum distance.
+
+Edge *deletions* invalidate label entries and are not supported — call
+:meth:`DynamicSPCIndex.rebuild` instead; that restriction is precisely
+the §8 open problem.
+"""
+
+from repro.core.index import SPCIndex
+from repro.exceptions import GraphError, VertexError
+from repro.graph.graph import Graph
+
+INF = float("inf")
+
+
+class DynamicSPCIndex:
+    """A counting index that absorbs edge insertions between rebuilds.
+
+    Queries stay exact after every :meth:`insert_edge`; their cost grows
+    quadratically with the patch size, so ``auto_rebuild`` (default 16
+    pending edges) folds the patch into a fresh static index when it gets
+    large. Set ``auto_rebuild=None`` to manage rebuilds manually.
+    """
+
+    def __init__(self, graph, ordering="degree", auto_rebuild=16):
+        if auto_rebuild is not None and auto_rebuild < 1:
+            raise ValueError("auto_rebuild must be positive or None")
+        self._ordering = ordering
+        self._auto_rebuild = auto_rebuild
+        self._graph = graph
+        self._index = SPCIndex.build(graph, ordering=ordering)
+        self._patch = []  # inserted edges, as (u, v) with u < v
+        self._patch_set = set()
+
+    # -- updates -----------------------------------------------------------------
+
+    def insert_edge(self, u, v):
+        """Insert edge ``(u, v)``; queries reflect it immediately."""
+        graph = self._graph
+        if not (0 <= u < graph.n):
+            raise VertexError(u, graph.n)
+        if not (0 <= v < graph.n):
+            raise VertexError(v, graph.n)
+        if u == v:
+            raise GraphError(f"self-loop at vertex {u}")
+        key = (min(u, v), max(u, v))
+        if graph.has_edge(u, v) or key in self._patch_set:
+            raise GraphError(f"edge {key} already present")
+        self._patch.append(key)
+        self._patch_set.add(key)
+        if self._auto_rebuild is not None and len(self._patch) >= self._auto_rebuild:
+            self.rebuild()
+
+    def delete_edge(self, u, v):
+        """Unsupported: label entries cannot be invalidated soundly (§8)."""
+        raise NotImplementedError(
+            "edge deletion invalidates label entries; rebuild() on the "
+            "updated graph instead (the §8 open problem)"
+        )
+
+    def rebuild(self):
+        """Fold the patch into the graph and rebuild the static index."""
+        if self._patch:
+            edges = list(self._graph.edges()) + self._patch
+            self._graph = Graph.from_edges(self._graph.n, edges)
+            self._patch = []
+            self._patch_set = set()
+        self._index = SPCIndex.build(self._graph, ordering=self._ordering)
+        return self
+
+    # -- queries --------------------------------------------------------------------
+
+    def count_with_distance(self, s, t):
+        """``(sd(s,t), spc(s,t))`` on the graph *including* the patch."""
+        if s == t:
+            return 0, 1
+        base = self._index.count_with_distance(s, t)
+        if not self._patch:
+            return base
+        return self._patched_query(s, t, base)
+
+    def count(self, s, t):
+        return self.count_with_distance(s, t)[1]
+
+    def distance(self, s, t):
+        return self.count_with_distance(s, t)[0]
+
+    # -- internals --------------------------------------------------------------------
+
+    def _patched_query(self, s, t, base):
+        old = self._index.count_with_distance
+        cache = {}
+
+        def old_cached(x, y):
+            key = (x, y) if x <= y else (y, x)
+            found = cache.get(key)
+            if found is None:
+                found = old(x, y)
+                cache[key] = found
+            return found
+
+        nodes = {t}
+        for a, b in self._patch:
+            nodes.add(a)
+            nodes.add(b)
+        # Directed view of the undirected patch: both orientations.
+        arcs = [(a, b) for a, b in self._patch] + [(b, a) for a, b in self._patch]
+
+        tentative = {z: old_cached(s, z) for z in nodes}
+        if s in tentative:
+            tentative[s] = (0, 1)
+        settled = {}
+        while tentative:
+            x = min(tentative, key=lambda z: tentative[z][0])
+            dist_x, count_x = tentative.pop(x)
+            settled[x] = (dist_x, count_x)
+            if dist_x == INF:
+                continue  # unreachable even with the patch
+            for a, b in arcs:
+                if a != x:
+                    continue
+                through = dist_x + 1
+                for z in tentative:
+                    seg_dist, seg_count = old_cached(b, z) if b != z else (0, 1)
+                    cand = through + seg_dist
+                    cur_dist, cur_count = tentative[z]
+                    if cand < cur_dist:
+                        tentative[z] = (cand, count_x * seg_count)
+                    elif cand == cur_dist and cand is not INF:
+                        tentative[z] = (cand, cur_count + count_x * seg_count)
+        dist, count = settled[t]
+        if count == 0:
+            return INF, 0
+        return dist, count
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def pending_edges(self):
+        """The inserted edges not yet folded into the static labels."""
+        return tuple(self._patch)
+
+    @property
+    def base_index(self):
+        return self._index
+
+    def current_graph(self):
+        """The logical graph (base plus patch), materialised."""
+        if not self._patch:
+            return self._graph
+        return Graph.from_edges(
+            self._graph.n, list(self._graph.edges()) + self._patch
+        )
+
+    def __repr__(self):
+        return (
+            f"DynamicSPCIndex(n={self._graph.n}, m={self._graph.m}, "
+            f"pending={len(self._patch)})"
+        )

@@ -1,0 +1,47 @@
+"""Typed exceptions raised across the library.
+
+Every error the library raises deliberately derives from :class:`ReproError`
+so callers can catch library failures without catching unrelated bugs.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Malformed graph input (bad vertex ids, self-loops where banned, ...)."""
+
+
+class VertexError(GraphError):
+    """A vertex id is out of range or otherwise invalid for the graph."""
+
+    def __init__(self, vertex, n):
+        super().__init__(f"vertex {vertex!r} is not in range [0, {n})")
+        self.vertex = vertex
+        self.n = n
+
+
+class OrderingError(ReproError):
+    """A vertex ordering is not a permutation of the graph's vertices."""
+
+
+class LabelingError(ReproError):
+    """A labeling is inconsistent (violates ESPC or cover constraints)."""
+
+
+class SerializationError(ReproError):
+    """An index could not be encoded to / decoded from its binary form."""
+
+
+class CountOverflowError(SerializationError):
+    """A shortest-path count does not fit in the configured bit width.
+
+    The paper caps 31-bit counts at ``2**31 - 1``; strict mode raises this
+    instead of saturating.
+    """
+
+    def __init__(self, count, bits):
+        super().__init__(f"count {count} does not fit in {bits} bits")
+        self.count = count
+        self.bits = bits

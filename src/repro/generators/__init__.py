@@ -1,0 +1,44 @@
+"""Graph generators: classic shapes, random models, web/social analogs, planar."""
+
+from repro.generators.classic import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.generators.augment import add_twins, attach_fringe
+from repro.generators.planar import delaunay_graph, grid_with_coordinates
+from repro.generators.rmat import rmat_graph
+from repro.generators.random_graphs import (
+    barabasi_albert_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    random_geometric_graph,
+    watts_strogatz_graph,
+)
+from repro.generators.social import affiliation_graph, caveman_graph
+from repro.generators.web import copying_model_graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "random_tree",
+    "gnp_random_graph",
+    "gnm_random_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "random_geometric_graph",
+    "copying_model_graph",
+    "affiliation_graph",
+    "caveman_graph",
+    "delaunay_graph",
+    "grid_with_coordinates",
+    "rmat_graph",
+    "attach_fringe",
+    "add_twins",
+]

@@ -1,0 +1,99 @@
+"""Structural augmentation: implant 1-shell fringe and equivalence twins.
+
+The paper's graphs carry heavy core-fringe structure (YT and FL lose over
+half their vertices to the 1-shell cut) and many neighborhood-equivalent
+vertices (web graphs full of pages copying link lists). Random generators
+produce little of either, so the dataset analogs implant them explicitly:
+``attach_fringe`` hangs random pendant trees off the core (pure 1-shell
+mass), ``add_twins`` duplicates the neighborhoods of random vertices
+(exact ≡-classes, adjacent or not). Both grow the graph by a controlled
+vertex fraction, keeping the reduction experiments' shape faithful.
+"""
+
+from repro.graph.graph import Graph
+from repro.utils.rng import ensure_rng
+
+
+def attach_fringe(graph, fraction, seed=None, max_tree_size=6, eligible=None):
+    """Grow the graph by ``fraction`` pendant-tree vertices.
+
+    Each tree's root attaches to a random vertex drawn from ``eligible``
+    (default: all) and grows by random-parent insertion up to
+    ``max_tree_size`` vertices; tree sizes are drawn uniformly. All added
+    vertices land in the 1-shell. Passing the non-twin vertices as
+    ``eligible`` keeps previously implanted equivalence classes intact.
+    """
+    if fraction < 0:
+        raise ValueError("fraction must be non-negative")
+    rng = ensure_rng(seed)
+    attach_pool = list(eligible) if eligible is not None else list(range(graph.n))
+    if not attach_pool and fraction > 0:
+        raise ValueError("no eligible attachment vertices")
+    edges = list(graph.edges())
+    next_id = graph.n
+    target = int(round(graph.n * fraction))
+    while target > 0:
+        size = min(target, rng.randint(1, max_tree_size))
+        attach = rng.choice(attach_pool)
+        members = []
+        for _ in range(size):
+            parent = rng.choice(members) if members and rng.random() < 0.6 else None
+            if parent is None:
+                edges.append((attach, next_id))
+            else:
+                edges.append((parent, next_id))
+            members.append(next_id)
+            next_id += 1
+        target -= size
+    return Graph.from_edges(next_id, edges)
+
+
+def add_twins(graph, fraction, seed=None, adjacent_probability=0.3, return_involved=False):
+    """Grow the graph by ``fraction`` twin vertices.
+
+    Each new vertex copies a random existing vertex's neighborhood —
+    open (independent-set class) or, with ``adjacent_probability``,
+    closed (clique class, adding the mutual edge). Prototypes are drawn
+    from the original vertices so classes can exceed size two. With
+    ``return_involved`` the set of prototypes and copies is returned too,
+    so later augmentation can avoid touching class members (attaching new
+    structure to a member splits its class; common neighbors are safe).
+    """
+    if fraction < 0:
+        raise ValueError("fraction must be non-negative")
+    rng = ensure_rng(seed)
+    base_n = graph.n
+    # Distribute the twin budget over random prototypes, then *blow up*:
+    # every copy of u is joined to every copy of each base neighbor of u.
+    # This is the only construction under which copies of different
+    # prototypes do not split each other's classes.
+    copies = [[v] for v in range(base_n)]
+    adjacent_class = [False] * base_n
+    next_id = base_n
+    involved = set()
+    budget = int(round(base_n * fraction))
+    candidates = [v for v in range(base_n) if graph.degree(v) > 0]
+    while budget > 0 and candidates:
+        prototype = rng.choice(candidates)
+        if len(copies[prototype]) == 1:
+            adjacent_class[prototype] = rng.random() < adjacent_probability
+            involved.add(prototype)
+        copies[prototype].append(next_id)
+        involved.add(next_id)
+        next_id += 1
+        budget -= 1
+    edges = []
+    for u, w in graph.edges():
+        for cu in copies[u]:
+            for cw in copies[w]:
+                edges.append((cu, cw))
+    for v in range(base_n):
+        if adjacent_class[v] and len(copies[v]) > 1:
+            members = copies[v]
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    edges.append((a, b))
+    out = Graph.from_edges(next_id, edges)
+    if return_involved:
+        return out, involved
+    return out

@@ -1,0 +1,94 @@
+"""Deterministic classic graphs (paths, cycles, grids, trees, ...)."""
+
+from repro.graph.graph import Graph
+from repro.utils.rng import ensure_rng
+
+
+def path_graph(n):
+    """The path ``0 - 1 - ... - (n-1)``."""
+    return Graph.from_edges(n, ((i, i + 1) for i in range(n - 1)))
+
+
+def cycle_graph(n):
+    """The cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(n, edges)
+
+
+def complete_graph(n):
+    """The complete graph ``K_n``."""
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Graph.from_edges(n, edges)
+
+
+def star_graph(n):
+    """A star: center 0 joined to leaves ``1..n-1``."""
+    return Graph.from_edges(n, ((0, i) for i in range(1, n)))
+
+
+def complete_bipartite_graph(a, b):
+    """``K_{a,b}``: left part ``0..a-1``, right part ``a..a+b-1``.
+
+    Between opposite-corner vertices of the same side there are ``b``
+    (resp. ``a``) shortest paths — a handy counting stress shape.
+    """
+    edges = [(i, a + j) for i in range(a) for j in range(b)]
+    return Graph.from_edges(a + b, edges)
+
+
+def grid_graph(rows, cols):
+    """The ``rows x cols`` grid; vertex ``(r, c)`` has id ``r * cols + c``.
+
+    Grids have hugely many shortest paths (binomial coefficients), which
+    exercises big-count handling.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError("grid dimensions must be positive")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return Graph.from_edges(rows * cols, edges)
+
+
+def random_tree(n, seed=None):
+    """A uniform-ish random tree: vertex ``i`` attaches to a random earlier one.
+
+    Trees have exactly one shortest path per connected pair, the base case
+    of the 1-shell reduction (§4.1).
+    """
+    rng = ensure_rng(seed)
+    edges = [(rng.randrange(i), i) for i in range(1, n)]
+    return Graph.from_edges(n, edges)
+
+
+def binary_tree(depth):
+    """The complete binary tree with ``2**(depth+1) - 1`` vertices."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    n = 2 ** (depth + 1) - 1
+    edges = [((i - 1) // 2, i) for i in range(1, n)]
+    return Graph.from_edges(n, edges)
+
+
+def barbell_graph(clique_size, bridge_length):
+    """Two cliques joined by a path — a crisp core/bridge test shape."""
+    if clique_size < 1:
+        raise ValueError("clique size must be positive")
+    edges = []
+    for i in range(clique_size):
+        for j in range(i + 1, clique_size):
+            edges.append((i, j))
+            edges.append((clique_size + bridge_length + i, clique_size + bridge_length + j))
+    previous = 0
+    for k in range(bridge_length):
+        edges.append((previous, clique_size + k))
+        previous = clique_size + k
+    edges.append((previous, clique_size + bridge_length))
+    return Graph.from_edges(2 * clique_size + bridge_length, edges)

@@ -1,0 +1,65 @@
+"""Planar graphs with coordinates: Delaunay triangulations and grids.
+
+Exp-6 of the paper compares against PL-SPC [12] on a Delaunay
+triangulation of random plane points (built with scipy, mirroring the
+paper's "Build Planar Graphs" script). Coordinates are returned alongside
+the graph because the geometric separator (§5.1 machinery) uses them.
+"""
+
+from repro.graph.graph import Graph
+from repro.utils.rng import ensure_rng
+
+
+def delaunay_graph(n, seed=None, return_points=False):
+    """Delaunay triangulation of ``n`` uniform random points in a square.
+
+    The paper's Delaunay instance (n = 500,000) is scaled down by callers;
+    the structure — planar, ~3n edges, enormous shortest-path counts — is
+    what the experiment needs.
+    """
+    import numpy as np
+    from scipy.spatial import Delaunay
+
+    if n < 3:
+        raise ValueError("a triangulation needs at least 3 points")
+    rng = ensure_rng(seed)
+    points = np.array([[rng.random(), rng.random()] for _ in range(n)])
+    triangulation = Delaunay(points)
+    edges = set()
+    for simplex in triangulation.simplices:
+        a, b, c = int(simplex[0]), int(simplex[1]), int(simplex[2])
+        edges.add((min(a, b), max(a, b)))
+        edges.add((min(b, c), max(b, c)))
+        edges.add((min(a, c), max(a, c)))
+    graph = Graph.from_edges(n, edges)
+    if return_points:
+        return graph, [(float(x), float(y)) for x, y in points]
+    return graph
+
+
+def grid_with_coordinates(rows, cols):
+    """A grid graph plus unit coordinates, for geometric separator tests."""
+    from repro.generators.classic import grid_graph
+
+    graph = grid_graph(rows, cols)
+    points = [(float(c), float(r)) for r in range(rows) for c in range(cols)]
+    return graph, points
+
+
+def triangular_lattice(rows, cols):
+    """A triangulated grid (each unit square gets one diagonal).
+
+    Planar, deterministic, and with many equal-length paths — a compact
+    stand-in for Delaunay in unit tests that must not depend on scipy.
+    """
+    from repro.generators.classic import grid_graph
+
+    base = grid_graph(rows, cols)
+    edges = list(base.edges())
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            v = r * cols + c
+            edges.append((v, v + cols + 1))
+    graph = Graph.from_edges(rows * cols, edges)
+    points = [(float(c), float(r)) for r in range(rows) for c in range(cols)]
+    return graph, points

@@ -1,0 +1,153 @@
+"""Random graph models used to synthesise the evaluation datasets."""
+
+import math
+
+from repro.graph.graph import Graph
+from repro.utils.rng import ensure_rng
+
+
+def gnp_random_graph(n, p, seed=None):
+    """Erdős–Rényi ``G(n, p)`` via geometric edge skipping (O(n + m))."""
+    rng = ensure_rng(seed)
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    edges = []
+    if p > 0:
+        if p >= 1.0:
+            edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+            return Graph.from_edges(n, edges)
+        log_q = math.log(1.0 - p)
+        v, w = 1, -1
+        while v < n:
+            w += 1 + int(math.log(1.0 - rng.random()) / log_q)
+            while w >= v and v < n:
+                w -= v
+                v += 1
+            if v < n:
+                edges.append((v, w))
+    return Graph.from_edges(n, edges)
+
+
+def gnm_random_graph(n, m, seed=None):
+    """Uniform random graph with exactly ``m`` distinct edges."""
+    rng = ensure_rng(seed)
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"cannot place {m} edges in a simple graph on {n} vertices")
+    chosen = set()
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        if u > v:
+            u, v = v, u
+        chosen.add((u, v))
+    return Graph.from_edges(n, chosen)
+
+
+def barabasi_albert_graph(n, m, seed=None):
+    """Preferential attachment: each new vertex links to ``m`` earlier ones.
+
+    Produces the heavy-tailed degree distribution of the paper's social
+    graphs (FB/YT/PE/FL analogs) and a dense core with tree-like fringe.
+    """
+    rng = ensure_rng(seed)
+    if m < 1 or m >= n:
+        raise ValueError("need 1 <= m < n")
+    edges = []
+    # Repeated-vertex list: sampling from it is preferential attachment.
+    repeated = []
+    targets = list(range(m))
+    for source in range(m, n):
+        new_edges = {(target, source) for target in targets}
+        edges.extend(new_edges)
+        for target in targets:
+            repeated.append(target)
+        repeated.extend(source for _ in range(len(targets)))
+        seen = set()
+        targets = []
+        while len(targets) < m:
+            candidate = rng.choice(repeated)
+            if candidate not in seen:
+                seen.add(candidate)
+                targets.append(candidate)
+    return Graph.from_edges(n, edges)
+
+
+def watts_strogatz_graph(n, k, p, seed=None):
+    """Small-world ring lattice with rewiring probability ``p``."""
+    rng = ensure_rng(seed)
+    if k % 2 or k < 2:
+        raise ValueError("k must be even and >= 2")
+    if k >= n:
+        raise ValueError("k must be smaller than n")
+    edge_set = set()
+    for v in range(n):
+        for offset in range(1, k // 2 + 1):
+            w = (v + offset) % n
+            edge_set.add((min(v, w), max(v, w)))
+    edges = list(edge_set)
+    rewired = set(edges)
+    for index, (u, v) in enumerate(edges):
+        if rng.random() < p:
+            for _ in range(8):  # a few attempts; keep the edge if unlucky
+                w = rng.randrange(n)
+                if w != u and (min(u, w), max(u, w)) not in rewired:
+                    rewired.discard((u, v))
+                    rewired.add((min(u, w), max(u, w)))
+                    break
+    return Graph.from_edges(n, rewired)
+
+
+def random_geometric_graph(n, radius, seed=None, return_points=False):
+    """Unit-square geometric graph: points closer than ``radius`` are joined.
+
+    Grid-bucketed neighbor search keeps it near-linear. The GW (Gowalla,
+    location-based) analog mixes this with a social overlay.
+    """
+    rng = ensure_rng(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    cell = max(radius, 1e-9)
+    buckets = {}
+    for i, (x, y) in enumerate(points):
+        buckets.setdefault((int(x / cell), int(y / cell)), []).append(i)
+    edges = []
+    r2 = radius * radius
+    for (cx, cy), members in buckets.items():
+        neighborhood = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                neighborhood.extend(buckets.get((cx + dx, cy + dy), ()))
+        for i in members:
+            xi, yi = points[i]
+            for j in neighborhood:
+                if j <= i:
+                    continue
+                xj, yj = points[j]
+                if (xi - xj) ** 2 + (yi - yj) ** 2 <= r2:
+                    edges.append((i, j))
+    graph = Graph.from_edges(n, edges)
+    return (graph, points) if return_points else graph
+
+
+def configuration_like_graph(degree_sequence, seed=None):
+    """Simple-graph approximation of the configuration model.
+
+    Stubs are paired at random; self-loops and duplicates are dropped, so
+    realised degrees can fall slightly short of the request. Good enough
+    for generating graphs with a prescribed heavy tail.
+    """
+    rng = ensure_rng(seed)
+    stubs = []
+    for v, d in enumerate(degree_sequence):
+        if d < 0:
+            raise ValueError("degrees must be non-negative")
+        stubs.extend(v for _ in range(d))
+    rng.shuffle(stubs)
+    edges = set()
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph.from_edges(len(degree_sequence), edges)

@@ -1,0 +1,46 @@
+"""R-MAT (recursive matrix) generator — the standard web/social synthesizer.
+
+Chakrabarti et al.'s model: each edge picks a quadrant of the adjacency
+matrix recursively with probabilities ``(a, b, c, d)``; skewed
+probabilities produce the heavy-tailed, community-ish structure of web
+and social crawls. Used as an alternative dataset family alongside the
+copying and preferential-attachment models.
+"""
+
+from repro.graph.graph import Graph
+from repro.utils.rng import ensure_rng
+
+
+def rmat_graph(scale, edge_factor=8, a=0.57, b=0.19, c=0.19, seed=None):
+    """Undirected R-MAT graph with ``2**scale`` vertices.
+
+    ``edge_factor`` is the target edges-per-vertex before deduplication
+    (the Graph500 convention); ``d = 1 - a - b - c``. Self-loops and
+    duplicates are dropped, so the realised edge count is a bit lower.
+    """
+    if scale < 1:
+        raise ValueError("scale must be at least 1")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative and sum <= 1")
+    rng = ensure_rng(seed)
+    n = 1 << scale
+    edges = set()
+    for _ in range(edge_factor * n):
+        u = v = 0
+        for _ in range(scale):
+            u <<= 1
+            v <<= 1
+            roll = rng.random()
+            if roll < a:
+                pass
+            elif roll < a + b:
+                v |= 1
+            elif roll < a + b + c:
+                u |= 1
+            else:
+                u |= 1
+                v |= 1
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph.from_edges(n, edges)

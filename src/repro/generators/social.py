@@ -1,0 +1,86 @@
+"""Social/coauthorship analogs: overlapping-group (affiliation) models.
+
+DBLP-style coauthorship graphs are unions of small cliques (papers); the
+affiliation model reproduces that: vertices join random groups and each
+group becomes a clique. Caveman graphs are the classic clustered-community
+shape used in smaller tests.
+"""
+
+from repro.graph.graph import Graph
+from repro.utils.rng import ensure_rng
+
+
+def affiliation_graph(n, groups, group_size_mean=4, memberships=2, seed=None):
+    """Clique-overlap (DBLP analog): ``n`` authors across ``groups`` papers.
+
+    Each author joins ``memberships`` random groups (papers); each group of
+    authors becomes a clique. Gives high clustering, heavy clique overlap,
+    and many degree-1 fringe authors — the structure that makes DB costly
+    for HP-SPC in the paper's Exp-2.
+    """
+    rng = ensure_rng(seed)
+    if groups < 1 or group_size_mean < 2:
+        raise ValueError("need at least one group of size >= 2")
+    members = [[] for _ in range(groups)]
+    for author in range(n):
+        for _ in range(memberships):
+            members[rng.randrange(groups)].append(author)
+    edges = set()
+    for group in members:
+        # Thin oversized groups down to around the requested mean size.
+        if len(group) > 2 * group_size_mean:
+            group = rng.sample(group, 2 * group_size_mean)
+        unique = sorted(set(group))
+        for i, u in enumerate(unique):
+            for v in unique[i + 1 :]:
+                edges.add((u, v))
+    return Graph.from_edges(n, edges)
+
+
+def caveman_graph(cliques, clique_size, rewire=1):
+    """Connected caveman graph: ``cliques`` cliques joined in a ring.
+
+    ``rewire`` edges per clique connect it to the next clique around the
+    ring (1 reproduces the classic construction).
+    """
+    if cliques < 1 or clique_size < 2:
+        raise ValueError("need cliques >= 1 and clique_size >= 2")
+    n = cliques * clique_size
+    edges = set()
+    for c in range(cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.add((base + i, base + j))
+    if cliques > 1:
+        for c in range(cliques):
+            base = c * clique_size
+            nxt = ((c + 1) % cliques) * clique_size
+            for k in range(max(1, rewire)):
+                edges.add((min(base + k % clique_size, nxt), max(base + k % clique_size, nxt)))
+    return Graph.from_edges(n, {(u, v) for u, v in edges if u != v})
+
+
+def interaction_graph(n, hubs=20, hub_density=0.6, noise_edges=3, seed=None):
+    """WikiConflict analog: a dense hub core plus noisy peripheral edges.
+
+    A small set of hub vertices is densely interconnected and every other
+    vertex attaches to a few random hubs and peers, giving the dense,
+    low-diameter interaction structure of WI.
+    """
+    rng = ensure_rng(seed)
+    hubs = min(hubs, n)
+    edges = set()
+    for i in range(hubs):
+        for j in range(i + 1, hubs):
+            if rng.random() < hub_density:
+                edges.add((i, j))
+    for v in range(hubs, n):
+        for _ in range(noise_edges):
+            if rng.random() < 0.7:
+                w = rng.randrange(hubs)
+            else:
+                w = rng.randrange(v)
+            if w != v:
+                edges.add((min(v, w), max(v, w)))
+    return Graph.from_edges(n, edges)

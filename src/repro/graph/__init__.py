@@ -1,0 +1,31 @@
+"""Graph substrate: graph types, traversals, decompositions and I/O."""
+
+from repro.graph.components import connected_components, is_connected, largest_component
+from repro.graph.cores import core_numbers, k_core_vertices, one_shell_components
+from repro.graph.digraph import WeightedDigraph
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    bfs_count_from,
+    bfs_distances,
+    bfs_tree,
+    dijkstra_count_from,
+    eccentricity,
+    spc_bfs,
+)
+
+__all__ = [
+    "Graph",
+    "WeightedDigraph",
+    "bfs_distances",
+    "bfs_count_from",
+    "bfs_tree",
+    "dijkstra_count_from",
+    "eccentricity",
+    "spc_bfs",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "core_numbers",
+    "k_core_vertices",
+    "one_shell_components",
+]

@@ -1,0 +1,101 @@
+"""Convenience constructors bridging other graph representations."""
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import WeightedDigraph
+from repro.graph.graph import Graph
+
+
+def graph_from_adjacency_dict(adjacency):
+    """Build a :class:`Graph` from ``{vertex: iterable_of_neighbors}``.
+
+    Keys and neighbor ids must together form ``0..n-1``. The dict only needs
+    to mention each edge in one direction; symmetry is restored here.
+    """
+    vertices = set(adjacency)
+    for neighbors in adjacency.values():
+        vertices.update(neighbors)
+    if vertices and (min(vertices) < 0 or max(vertices) >= len(vertices)):
+        raise GraphError("adjacency dict vertices must be dense 0..n-1")
+    n = len(vertices)
+    edges = [(u, v) for u, neighbors in adjacency.items() for v in neighbors]
+    return Graph.from_edges(n, edges)
+
+
+def graph_from_networkx(nx_graph):
+    """Convert a networkx graph; node labels are relabelled to ``0..n-1``.
+
+    Returns ``(graph, node_to_id)``. Used by tests that cross-check against
+    networkx oracles; the library's own algorithms never go through here.
+    """
+    nodes = sorted(nx_graph.nodes(), key=repr)
+    node_to_id = {node: i for i, node in enumerate(nodes)}
+    edges = [(node_to_id[u], node_to_id[v]) for u, v in nx_graph.edges() if u != v]
+    return Graph.from_edges(len(nodes), edges), node_to_id
+
+
+def graph_to_networkx(graph):
+    """Convert to a networkx graph (for oracle comparisons in tests)."""
+    import networkx as nx
+
+    out = nx.Graph()
+    out.add_nodes_from(graph.vertices())
+    out.add_edges_from(graph.edges())
+    return out
+
+
+def digraph_to_networkx(digraph):
+    """Convert a :class:`WeightedDigraph` to a weighted networkx DiGraph."""
+    import networkx as nx
+
+    out = nx.DiGraph()
+    out.add_nodes_from(digraph.vertices())
+    for u, v, w in digraph.edges():
+        out.add_edge(u, v, weight=w)
+    return out
+
+
+def disjoint_union(*graphs):
+    """Disjoint union of graphs, vertex ids shifted left to right."""
+    edges = []
+    offset = 0
+    for graph in graphs:
+        edges.extend((u + offset, v + offset) for u, v in graph.edges())
+        offset += graph.n
+    return Graph.from_edges(offset, edges)
+
+
+def with_pendant_trees(graph, trees):
+    """Attach pendant trees to a graph (crafting 1-shell structure).
+
+    ``trees`` is an iterable of ``(attach_vertex, parent_list)`` pairs:
+    ``parent_list[i]`` is the parent of new vertex ``i`` of the tree, where
+    parent ``-1`` means the attach vertex in the base graph. Returns the
+    grown graph; new vertices are appended after the originals. Used by
+    tests and generators to create graphs with non-trivial 1-shells.
+    """
+    edges = list(graph.edges())
+    next_id = graph.n
+    for attach, parents in trees:
+        if not (0 <= attach < graph.n):
+            raise GraphError(f"attach vertex {attach} not in base graph")
+        base = next_id
+        for i, parent in enumerate(parents):
+            if parent == -1:
+                edges.append((attach, base + i))
+            elif 0 <= parent < i:
+                edges.append((base + parent, base + i))
+            else:
+                raise GraphError(f"tree parent {parent} must be -1 or an earlier tree vertex")
+        next_id += len(parents)
+    return Graph.from_edges(next_id, edges)
+
+
+def undirect(digraph):
+    """Forget directions and weights (the paper's directed->undirected step)."""
+    edges = [(u, v) for u, v, _ in digraph.edges()]
+    return Graph.from_edges(digraph.n, edges)
+
+
+def digraph_from_graph(graph, weight=1):
+    """Alias of :meth:`WeightedDigraph.from_undirected` for discoverability."""
+    return WeightedDigraph.from_undirected(graph, weight=weight)

@@ -1,0 +1,55 @@
+"""Connected components of undirected graphs."""
+
+from collections import deque
+
+
+def connected_components(graph):
+    """List of components, each a sorted list of vertex ids."""
+    seen = [False] * graph.n
+    components = []
+    for start in graph.vertices():
+        if seen[start]:
+            continue
+        seen[start] = True
+        component = [start]
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for w in graph.neighbors(v):
+                if not seen[w]:
+                    seen[w] = True
+                    component.append(w)
+                    queue.append(w)
+        component.sort()
+        components.append(component)
+    return components
+
+
+def component_ids(graph):
+    """Array mapping each vertex to the index of its component."""
+    ids = [-1] * graph.n
+    for index, component in enumerate(connected_components(graph)):
+        for v in component:
+            ids[v] = index
+    return ids
+
+
+def is_connected(graph):
+    """Whether the graph has exactly one connected component (or is empty)."""
+    if graph.n == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def largest_component(graph):
+    """Induced subgraph on the largest component, plus the old->new map.
+
+    The paper's datasets are used whole (queries across components simply
+    count zero paths), but generators use this to hand out connected
+    instances when an experiment wants them.
+    """
+    components = connected_components(graph)
+    if not components:
+        return graph, {}
+    biggest = max(components, key=len)
+    return graph.induced_subgraph(biggest)

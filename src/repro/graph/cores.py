@@ -1,0 +1,104 @@
+"""k-core decomposition and the 1-shell structure of §4.1.
+
+The *k-core* is the maximal subgraph in which every vertex has degree at
+least ``k``; the *1-shell* is the set of vertices in the 1-core but not the
+2-core. Every connected component of the 1-shell is a tree hanging off the
+2-core through at most one edge, which is what makes the shell reduction
+sound (Lemma 4.2).
+"""
+
+from collections import deque
+
+
+def core_numbers(graph):
+    """Core number of every vertex, by the linear peeling algorithm.
+
+    ``core[v]`` is the largest ``k`` such that ``v`` belongs to the k-core.
+    Isolated vertices have core number 0.
+    """
+    n = graph.n
+    degree = [graph.degree(v) for v in range(n)]
+    max_degree = max(degree, default=0)
+    bins = [0] * (max_degree + 1)
+    for d in degree:
+        bins[d] += 1
+    start = 0
+    for d in range(max_degree + 1):
+        bins[d], start = start, start + bins[d]
+    position = [0] * n
+    ordered = [0] * n
+    for v in range(n):
+        position[v] = bins[degree[v]]
+        ordered[position[v]] = v
+        bins[degree[v]] += 1
+    for d in range(max_degree, 0, -1):
+        bins[d] = bins[d - 1]
+    if max_degree >= 0:
+        bins[0] = 0
+    core = degree[:]
+    for i in range(n):
+        v = ordered[i]
+        for w in graph.neighbors(v):
+            if core[w] > core[v]:
+                dw = core[w]
+                pw = position[w]
+                first = bins[dw]
+                u = ordered[first]
+                if u != w:
+                    ordered[first], ordered[pw] = w, u
+                    position[w], position[u] = first, pw
+                bins[dw] += 1
+                core[w] -= 1
+    return core
+
+
+def k_core_vertices(graph, k):
+    """Sorted list of vertices whose core number is at least ``k``."""
+    return [v for v, c in enumerate(core_numbers(graph)) if c >= k]
+
+
+def one_shell_vertices(graph):
+    """Vertices in the 1-core but not the 2-core (the paper's 1-shell)."""
+    return [v for v, c in enumerate(core_numbers(graph)) if c == 1]
+
+
+def one_shell_components(graph):
+    """Decompose the 1-shell into its tree components with access vertices.
+
+    Returns a list of ``(component, access)`` pairs where ``component`` is a
+    sorted list of 1-shell vertices and ``access`` is the 2-core vertex the
+    component attaches to (``a(cc)`` in §4.1), or a vertex of the component
+    itself when the component is isolated from the 2-core.
+    """
+    core = core_numbers(graph)
+    in_shell = [c == 1 for c in core]
+    seen = [False] * graph.n
+    out = []
+    for start in graph.vertices():
+        if not in_shell[start] or seen[start]:
+            continue
+        seen[start] = True
+        component = [start]
+        access = None
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for w in graph.neighbors(v):
+                if in_shell[w]:
+                    if not seen[w]:
+                        seen[w] = True
+                        component.append(w)
+                        queue.append(w)
+                elif core[w] >= 2:
+                    # The unique edge from this tree into the 2-core.
+                    access = w
+        component.sort()
+        if access is None:
+            access = component[0]
+        out.append((component, access))
+    return out
+
+
+def degeneracy(graph):
+    """The degeneracy of the graph (the largest core number)."""
+    return max(core_numbers(graph), default=0)

@@ -1,0 +1,153 @@
+"""Weighted directed simple graph, for the §7 extension.
+
+Edge weights are strictly positive (the paper assumes ``l(e) > 0`` so that
+Dijkstra-based hub pushing is well defined).
+"""
+
+from repro.exceptions import GraphError, VertexError
+
+
+class WeightedDigraph:
+    """An immutable weighted digraph on vertices ``0..n-1``.
+
+    Adjacency is stored in both directions: ``out_neighbors(v)`` and
+    ``in_neighbors(v)`` each yield ``(neighbor, weight)`` pairs sorted by
+    neighbor id. Weights may be ints or floats but must be positive.
+    """
+
+    __slots__ = ("_out", "_in", "_m")
+
+    def __init__(self, out_adjacency, in_adjacency):
+        self._out = tuple(tuple(row) for row in out_adjacency)
+        self._in = tuple(tuple(row) for row in in_adjacency)
+        self._m = sum(len(row) for row in self._out)
+
+    @classmethod
+    def from_edges(cls, n, edges, dedup=True):
+        """Build from an iterable of ``(u, v, weight)`` triples.
+
+        ``(u, v)`` and ``(v, u)`` are distinct edges. Duplicate ``(u, v)``
+        entries raise unless ``dedup``, in which case the *minimum* weight
+        wins (the only duplicate a shortest-path algorithm can observe).
+        """
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        weight_of = [dict() for _ in range(n)]
+        for u, v, w in edges:
+            if not (isinstance(u, int) and isinstance(v, int)):
+                raise GraphError(f"edge endpoints must be ints, got ({u!r}, {v!r})")
+            if not (0 <= u < n):
+                raise VertexError(u, n)
+            if not (0 <= v < n):
+                raise VertexError(v, n)
+            if u == v:
+                raise GraphError(f"self-loop at vertex {u}")
+            if w <= 0:
+                raise GraphError(f"edge ({u}, {v}) has non-positive weight {w}")
+            if v in weight_of[u]:
+                if not dedup:
+                    raise GraphError(f"duplicate edge ({u}, {v})")
+                weight_of[u][v] = min(weight_of[u][v], w)
+            else:
+                weight_of[u][v] = w
+        out_adjacency = [sorted(row.items()) for row in weight_of]
+        in_rows = [[] for _ in range(n)]
+        for u, row in enumerate(out_adjacency):
+            for v, w in row:
+                in_rows[v].append((u, w))
+        in_adjacency = [sorted(row) for row in in_rows]
+        return cls(out_adjacency, in_adjacency)
+
+    @classmethod
+    def from_undirected(cls, graph, weight=1):
+        """Lift an undirected :class:`~repro.graph.graph.Graph`.
+
+        Each undirected edge becomes two directed edges of weight
+        ``weight``, which makes directed results directly comparable with
+        the undirected pipeline in tests.
+        """
+        edges = []
+        for u, v in graph.edges():
+            edges.append((u, v, weight))
+            edges.append((v, u, weight))
+        return cls.from_edges(graph.n, edges)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def n(self):
+        """Number of vertices."""
+        return len(self._out)
+
+    @property
+    def m(self):
+        """Number of directed edges."""
+        return self._m
+
+    def out_neighbors(self, v):
+        """Sorted tuple of ``(successor, weight)`` pairs."""
+        self._check_vertex(v)
+        return self._out[v]
+
+    def in_neighbors(self, v):
+        """Sorted tuple of ``(predecessor, weight)`` pairs."""
+        self._check_vertex(v)
+        return self._in[v]
+
+    def out_degree(self, v):
+        self._check_vertex(v)
+        return len(self._out[v])
+
+    def in_degree(self, v):
+        self._check_vertex(v)
+        return len(self._in[v])
+
+    def vertices(self):
+        return range(len(self._out))
+
+    def edges(self):
+        """Yield every directed edge as ``(u, v, weight)``."""
+        for u, row in enumerate(self._out):
+            for v, w in row:
+                yield u, v, w
+
+    def weight(self, u, v):
+        """Weight of edge ``(u, v)``; ``None`` when absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        for x, w in self._out[u]:
+            if x == v:
+                return w
+            if x > v:
+                return None
+        return None
+
+    def reverse(self):
+        """The digraph with every edge flipped (used for backward searches)."""
+        return WeightedDigraph(self._in, self._out)
+
+    def induced_subgraph(self, keep):
+        """Induced sub-digraph on ``keep``; see :meth:`Graph.induced_subgraph`."""
+        keep_sorted = sorted(set(keep))
+        for v in keep_sorted:
+            self._check_vertex(v)
+        old_to_new = {old: new for new, old in enumerate(keep_sorted)}
+        edges = []
+        for old in keep_sorted:
+            for v, w in self._out[old]:
+                if v in old_to_new:
+                    edges.append((old_to_new[old], old_to_new[v], w))
+        return WeightedDigraph.from_edges(len(keep_sorted), edges), old_to_new
+
+    def __eq__(self, other):
+        return isinstance(other, WeightedDigraph) and self._out == other._out
+
+    def __hash__(self):
+        return hash(self._out)
+
+    def __repr__(self):
+        return f"WeightedDigraph(n={self.n}, m={self.m})"
+
+    def _check_vertex(self, v):
+        if not (isinstance(v, int) and 0 <= v < len(self._out)):
+            raise VertexError(v, len(self._out))

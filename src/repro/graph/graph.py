@@ -1,0 +1,155 @@
+"""Undirected, unweighted, simple graph.
+
+This is the substrate every algorithm in the paper runs on (§2): vertices
+are dense integers ``0..n-1``; the adjacency of each vertex is a sorted
+tuple, so the structure is immutable after construction and neighbor scans
+are cache-friendly Python loops.
+"""
+
+from repro.exceptions import GraphError, VertexError
+
+
+class Graph:
+    """An immutable undirected simple graph on vertices ``0..n-1``.
+
+    Construct with :meth:`from_edges` (the validating front door) or pass a
+    prebuilt adjacency to ``__init__`` (trusted internal path used by the
+    reductions, which already produce clean adjacencies).
+    """
+
+    __slots__ = ("_adj", "_m")
+
+    def __init__(self, adjacency):
+        self._adj = tuple(tuple(neighbors) for neighbors in adjacency)
+        self._m = sum(len(neighbors) for neighbors in self._adj) // 2
+
+    @classmethod
+    def from_edges(cls, n, edges, allow_self_loops=False, dedup=True):
+        """Build a graph on ``n`` vertices from an iterable of ``(u, v)``.
+
+        Self-loops raise :class:`GraphError` unless ``allow_self_loops``
+        (they are then *dropped*, since a simple graph cannot hold them, but
+        shortest-path semantics are unaffected). Duplicate edges are merged
+        when ``dedup`` is true and raise otherwise.
+        """
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        seen = [set() for _ in range(n)]
+        for u, v in edges:
+            if not (isinstance(u, int) and isinstance(v, int)):
+                raise GraphError(f"edge endpoints must be ints, got ({u!r}, {v!r})")
+            if not (0 <= u < n):
+                raise VertexError(u, n)
+            if not (0 <= v < n):
+                raise VertexError(v, n)
+            if u == v:
+                if allow_self_loops:
+                    continue
+                raise GraphError(f"self-loop at vertex {u}")
+            if v in seen[u]:
+                if dedup:
+                    continue
+                raise GraphError(f"duplicate edge ({u}, {v})")
+            seen[u].add(v)
+            seen[v].add(u)
+        return cls(sorted(neighbors) for neighbors in seen)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def n(self):
+        """Number of vertices."""
+        return len(self._adj)
+
+    @property
+    def m(self):
+        """Number of (undirected) edges."""
+        return self._m
+
+    def neighbors(self, v):
+        """Sorted tuple of the neighbors of ``v`` (``nbr(v)`` in the paper)."""
+        self._check_vertex(v)
+        return self._adj[v]
+
+    def degree(self, v):
+        """Degree of ``v`` (``deg(v)`` in the paper)."""
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def vertices(self):
+        """Range over all vertex ids."""
+        return range(len(self._adj))
+
+    def edges(self):
+        """Yield each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u, neighbors in enumerate(self._adj):
+            for v in neighbors:
+                if u < v:
+                    yield u, v
+
+    def has_edge(self, u, v):
+        """Whether ``(u, v)`` is an edge; binary search over sorted adjacency."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        row = self._adj[u]
+        lo, hi = 0, len(row)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if row[mid] < v:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo < len(row) and row[lo] == v
+
+    @property
+    def adjacency(self):
+        """The raw tuple-of-tuples adjacency (read-only by construction)."""
+        return self._adj
+
+    # -- derived views -----------------------------------------------------
+
+    def induced_subgraph(self, keep):
+        """Induced subgraph on ``keep``, plus the old->new vertex mapping.
+
+        Returns ``(subgraph, old_to_new)`` where ``old_to_new`` maps each
+        kept original id to its dense id in the subgraph (and omits dropped
+        vertices). Vertices keep their relative order.
+        """
+        keep_sorted = sorted(set(keep))
+        for v in keep_sorted:
+            self._check_vertex(v)
+        old_to_new = {old: new for new, old in enumerate(keep_sorted)}
+        adjacency = []
+        for old in keep_sorted:
+            adjacency.append(
+                sorted(old_to_new[w] for w in self._adj[old] if w in old_to_new)
+            )
+        return Graph(adjacency), old_to_new
+
+    def relabeled(self, permutation):
+        """Return the graph with vertex ``v`` renamed ``permutation[v]``."""
+        if sorted(permutation) != list(range(self.n)):
+            raise GraphError("permutation must be a bijection on the vertex set")
+        adjacency = [None] * self.n
+        for v, neighbors in enumerate(self._adj):
+            adjacency[permutation[v]] = sorted(permutation[w] for w in neighbors)
+        return Graph(adjacency)
+
+    def degree_sequence(self):
+        """Degrees of all vertices, as a list indexed by vertex id."""
+        return [len(neighbors) for neighbors in self._adj]
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other):
+        return isinstance(other, Graph) and self._adj == other._adj
+
+    def __hash__(self):
+        return hash(self._adj)
+
+    def __repr__(self):
+        return f"Graph(n={self.n}, m={self.m})"
+
+    def _check_vertex(self, v):
+        if not (isinstance(v, int) and 0 <= v < len(self._adj)):
+            raise VertexError(v, len(self._adj))

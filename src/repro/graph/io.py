@@ -1,0 +1,185 @@
+"""Read/write graphs in common text formats.
+
+Supports the formats the paper's datasets ship in (SNAP/KONECT edge lists),
+plus METIS and unweighted DIMACS, so a user can point the library at the
+original downloads when hardware allows.
+"""
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import WeightedDigraph
+from repro.graph.graph import Graph
+
+
+def read_edge_list(path, comments=("#", "%"), directed=False, default_weight=1):
+    """Read a whitespace-separated edge list.
+
+    Vertex ids may be arbitrary non-negative integers; they are compacted to
+    ``0..n-1`` preserving numeric order. Lines starting with any prefix in
+    ``comments`` are skipped (SNAP uses ``#``, KONECT uses ``%``). A third
+    column, when present and ``directed``, is the edge weight.
+
+    Returns ``(graph, id_map)`` where ``id_map`` maps original -> dense ids.
+    """
+    raw_edges = []
+    ids = set()
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or any(line.startswith(c) for c in comments):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_no}: expected at least two columns")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(f"{path}:{line_no}: non-integer endpoint") from exc
+            weight = default_weight
+            if directed and len(parts) >= 3:
+                try:
+                    weight = float(parts[2])
+                except ValueError as exc:
+                    raise GraphError(f"{path}:{line_no}: non-numeric weight") from exc
+                if weight == int(weight):
+                    weight = int(weight)
+            ids.add(u)
+            ids.add(v)
+            raw_edges.append((u, v, weight))
+    id_map = {old: new for new, old in enumerate(sorted(ids))}
+    if directed:
+        edges = [(id_map[u], id_map[v], w) for u, v, w in raw_edges if u != v]
+        return WeightedDigraph.from_edges(len(id_map), edges), id_map
+    edges = [(id_map[u], id_map[v]) for u, v, _ in raw_edges if u != v]
+    return Graph.from_edges(len(id_map), edges), id_map
+
+
+def write_edge_list(graph, path, header=True):
+    """Write an undirected graph as a SNAP-style edge list."""
+    with open(path, "w") as handle:
+        if header:
+            handle.write(f"# undirected graph: {graph.n} vertices, {graph.m} edges\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def read_weighted_edge_list(path, comments=("#", "%"), default_weight=1):
+    """Read a 3-column edge list as an undirected weighted graph.
+
+    Like :func:`read_edge_list` but keeps the third column as the edge
+    weight (``default_weight`` when absent). Returns
+    ``(weighted_graph, id_map)``.
+    """
+    from repro.weighted.graph import WeightedGraph
+
+    raw_edges = []
+    ids = set()
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or any(line.startswith(c) for c in comments):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphError(f"{path}:{line_no}: expected at least two columns")
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError as exc:
+                raise GraphError(f"{path}:{line_no}: non-integer endpoint") from exc
+            weight = default_weight
+            if len(parts) >= 3:
+                try:
+                    weight = float(parts[2])
+                except ValueError as exc:
+                    raise GraphError(f"{path}:{line_no}: non-numeric weight") from exc
+                if weight == int(weight):
+                    weight = int(weight)
+            ids.add(u)
+            ids.add(v)
+            raw_edges.append((u, v, weight))
+    id_map = {old: new for new, old in enumerate(sorted(ids))}
+    edges = [(id_map[u], id_map[v], w) for u, v, w in raw_edges if u != v]
+    return WeightedGraph.from_edges(len(id_map), edges), id_map
+
+
+def write_weighted_edge_list(graph, path, header=True):
+    """Write a weighted undirected graph as a 3-column edge list."""
+    with open(path, "w") as handle:
+        if header:
+            handle.write(f"# weighted graph: {graph.n} vertices, {graph.m} edges\n")
+        for u, v, w in graph.edges():
+            handle.write(f"{u} {v} {w}\n")
+
+
+def read_metis(path):
+    """Read a graph in METIS format (1-indexed adjacency lines).
+
+    Blank adjacency lines are legitimate — they are isolated vertices —
+    so only comment lines are skipped.
+    """
+    with open(path) as handle:
+        lines = [ln.strip() for ln in handle if not ln.startswith("%")]
+    while lines and not lines[0]:
+        lines.pop(0)
+    if not lines:
+        raise GraphError(f"{path}: empty METIS file")
+    head = lines[0].split()
+    if len(head) < 2:
+        raise GraphError(f"{path}: malformed METIS header")
+    n, m = int(head[0]), int(head[1])
+    adjacency_lines = lines[1 : 1 + n]
+    trailing = lines[1 + n :]
+    if len(adjacency_lines) != n or any(trailing):
+        raise GraphError(f"{path}: expected {n} adjacency lines, got {len(lines) - 1}")
+    edges = []
+    for u, line in enumerate(adjacency_lines):
+        for token in line.split():
+            v = int(token) - 1
+            if not (0 <= v < n):
+                raise GraphError(f"{path}: neighbor {token} out of range")
+            if u != v:
+                edges.append((u, v))
+    graph = Graph.from_edges(n, edges)
+    if graph.m != m:
+        raise GraphError(f"{path}: header claims {m} edges, file has {graph.m}")
+    return graph
+
+
+def write_metis(graph, path):
+    """Write a graph in METIS format."""
+    with open(path, "w") as handle:
+        handle.write(f"{graph.n} {graph.m}\n")
+        for v in graph.vertices():
+            handle.write(" ".join(str(w + 1) for w in graph.neighbors(v)) + "\n")
+
+
+def read_dimacs(path):
+    """Read an unweighted graph in DIMACS ``p edge`` format."""
+    n = None
+    edges = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            parts = line.split()
+            if parts[0] == "p":
+                if len(parts) < 4:
+                    raise GraphError(f"{path}:{line_no}: malformed problem line")
+                n = int(parts[2])
+            elif parts[0] in ("e", "a"):
+                if n is None:
+                    raise GraphError(f"{path}:{line_no}: edge before problem line")
+                u, v = int(parts[1]) - 1, int(parts[2]) - 1
+                if u != v:
+                    edges.append((u, v))
+    if n is None:
+        raise GraphError(f"{path}: missing problem line")
+    return Graph.from_edges(n, edges)
+
+
+def write_dimacs(graph, path):
+    """Write an unweighted graph in DIMACS ``p edge`` format."""
+    with open(path, "w") as handle:
+        handle.write(f"p edge {graph.n} {graph.m}\n")
+        for u, v in graph.edges():
+            handle.write(f"e {u + 1} {v + 1}\n")

@@ -1,0 +1,89 @@
+"""Descriptive graph statistics for dataset reports.
+
+Used by the CLI's ``info`` command and the harness to characterise the
+synthetic analogs the way the paper's Table 3 characterises its graphs
+(plus the structural signals the reductions care about: 1-shell mass,
+twin mass, degeneracy).
+"""
+
+from repro.graph.components import connected_components
+from repro.graph.cores import core_numbers
+from repro.graph.traversal import approximate_diameter
+from repro.utils.rng import ensure_rng
+
+
+def density(graph):
+    """``2m / (n(n-1))``; 0 for graphs with fewer than two vertices."""
+    if graph.n < 2:
+        return 0.0
+    return 2.0 * graph.m / (graph.n * (graph.n - 1))
+
+
+def average_degree(graph):
+    """``2m / n``; 0 for the empty graph."""
+    if graph.n == 0:
+        return 0.0
+    return 2.0 * graph.m / graph.n
+
+
+def degree_histogram(graph):
+    """``counts[d]`` = number of vertices with degree ``d``."""
+    counts = {}
+    for v in graph.vertices():
+        d = graph.degree(v)
+        counts[d] = counts.get(d, 0) + 1
+    if not counts:
+        return []
+    out = [0] * (max(counts) + 1)
+    for d, c in counts.items():
+        out[d] = c
+    return out
+
+
+def clustering_coefficient(graph, v):
+    """Local clustering of ``v``: closed wedges over wedges."""
+    neighbors = graph.neighbors(v)
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    neighbor_set = set(neighbors)
+    for u in neighbors:
+        for w in graph.neighbors(u):
+            if w > u and w in neighbor_set:
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph, samples=None, seed=0):
+    """Mean local clustering; optionally over a vertex sample."""
+    if graph.n == 0:
+        return 0.0
+    if samples is None or samples >= graph.n:
+        vertices = list(graph.vertices())
+    else:
+        rng = ensure_rng(seed)
+        vertices = [rng.randrange(graph.n) for _ in range(samples)]
+    total = sum(clustering_coefficient(graph, v) for v in vertices)
+    return total / len(vertices)
+
+
+def graph_summary(graph, diameter_sweeps=4):
+    """One-stop dataset characterisation (the report row for a graph)."""
+    cores = core_numbers(graph)
+    components = connected_components(graph)
+    shell = sum(1 for c in cores if c == 1)
+    return {
+        "n": graph.n,
+        "m": graph.m,
+        "density": density(graph),
+        "avg_degree": average_degree(graph),
+        "max_degree": max(graph.degree_sequence(), default=0),
+        "degeneracy": max(cores, default=0),
+        "one_shell": shell,
+        "one_shell_fraction": shell / graph.n if graph.n else 0.0,
+        "components": len(components),
+        "largest_component": max((len(c) for c in components), default=0),
+        "approx_diameter": approximate_diameter(graph, sweeps=diameter_sweeps),
+        "avg_clustering": average_clustering(graph, samples=min(graph.n, 400)),
+    }

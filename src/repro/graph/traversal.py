@@ -1,0 +1,185 @@
+"""Graph traversals: BFS distances/counts, BFS trees, Dijkstra counting.
+
+These are the reference algorithms the hub labelings are validated against,
+and the online baselines of the paper's evaluation (the "BFS Time" column
+of Table 3).
+"""
+
+import heapq
+from collections import deque
+
+INF = float("inf")
+
+
+def bfs_distances(graph, source):
+    """Distances (edge counts) from ``source``; ``inf`` for unreachable."""
+    dist = [INF] * graph.n
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        for w in graph.neighbors(v):
+            if dist[w] is INF:
+                dist[w] = dv + 1
+                queue.append(w)
+    return dist
+
+
+def bfs_count_from(graph, source):
+    """Return ``(dist, count)`` arrays from ``source``.
+
+    ``count[v]`` is ``spc(source, v)`` — the number of shortest paths —
+    computed by the standard BFS counting recurrence (Brandes' Σ).
+    """
+    dist = [INF] * graph.n
+    count = [0] * graph.n
+    dist[source] = 0
+    count[source] = 1
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        cv = count[v]
+        for w in graph.neighbors(v):
+            dw = dist[w]
+            if dw is INF:
+                dist[w] = dv + 1
+                count[w] = cv
+                queue.append(w)
+            elif dw == dv + 1:
+                count[w] += cv
+    return dist, count
+
+
+def spc_bfs(graph, s, t):
+    """Online shortest-path count ``spc(s, t)`` by a single BFS from ``s``.
+
+    Returns ``(distance, count)``; ``(inf, 0)`` when disconnected. This is
+    the online baseline of Table 3 and the test oracle everywhere.
+    """
+    if s == t:
+        return 0, 1
+    dist = [INF] * graph.n
+    count = [0] * graph.n
+    dist[s] = 0
+    count[s] = 1
+    queue = deque([s])
+    target_dist = INF
+    while queue:
+        v = queue.popleft()
+        dv = dist[v]
+        if dv >= target_dist:
+            # Everything at the target's level is settled; counts into t
+            # are final because all predecessors were dequeued earlier.
+            break
+        cv = count[v]
+        for w in graph.neighbors(v):
+            dw = dist[w]
+            if dw is INF:
+                dist[w] = dv + 1
+                count[w] = cv
+                if w == t:
+                    target_dist = dv + 1
+                queue.append(w)
+            elif dw == dv + 1:
+                count[w] += cv
+    return (dist[t], count[t]) if count[t] else (INF, 0)
+
+
+def bfs_tree(graph, source, blocked=None):
+    """BFS tree from ``source`` avoiding ``blocked`` vertices.
+
+    Returns ``(parent, order)``: ``parent[v]`` is the tree parent
+    (``source`` maps to itself; untouched vertices map to ``None``), and
+    ``order`` lists visited vertices in dequeue order. Used by the
+    significant-path ordering (§3.4).
+    """
+    blocked = blocked or ()
+    parent = [None] * graph.n
+    parent[source] = source
+    order = [source]
+    queue = deque([source])
+    block = set(blocked)
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            if parent[w] is None and w not in block:
+                parent[w] = v
+                order.append(w)
+                queue.append(w)
+    return parent, order
+
+
+def eccentricity(graph, source):
+    """Largest finite BFS distance from ``source`` (0 for isolated vertices)."""
+    dist = bfs_distances(graph, source)
+    finite = [d for d in dist if d is not INF]
+    return max(finite) if finite else 0
+
+
+def approximate_diameter(graph, sweeps=4, seed=0):
+    """Lower-bound the diameter by repeated double sweeps.
+
+    Classic 2-sweep heuristic: BFS from a vertex, then from the farthest
+    vertex found; the largest eccentricity observed is returned. Exact on
+    trees, a good lower bound elsewhere — enough for the highway-dimension
+    ordering's ``log D`` scale count (§5.3).
+    """
+    from repro.utils.rng import ensure_rng
+
+    if graph.n == 0:
+        return 0
+    rng = ensure_rng(seed)
+    best = 0
+    start = 0
+    for _ in range(max(1, sweeps)):
+        dist = bfs_distances(graph, start)
+        far, far_dist = start, 0
+        for v, d in enumerate(dist):
+            if d is not INF and d > far_dist:
+                far, far_dist = v, d
+        best = max(best, far_dist)
+        start = far if far_dist else rng.randrange(graph.n)
+    return best
+
+
+def dijkstra_count_from(digraph, source, forward=True):
+    """Weighted shortest distances and path counts from ``source``.
+
+    ``forward=True`` follows out-edges (paths *from* the source);
+    ``forward=False`` follows in-edges (paths *to* the source). Returns
+    ``(dist, count)``. Strictly positive weights are assumed, which makes
+    the count of a vertex final when it is popped.
+    """
+    dist = [INF] * digraph.n
+    count = [0] * digraph.n
+    dist[source] = 0
+    count[source] = 1
+    heap = [(0, source)]
+    settled = [False] * digraph.n
+    neighbors = digraph.out_neighbors if forward else digraph.in_neighbors
+    while heap:
+        dv, v = heapq.heappop(heap)
+        if settled[v]:
+            continue
+        settled[v] = True
+        cv = count[v]
+        for w, weight in neighbors(v):
+            alt = dv + weight
+            dw = dist[w]
+            if alt < dw:
+                dist[w] = alt
+                count[w] = cv
+                heapq.heappush(heap, (alt, w))
+            elif alt == dw:
+                count[w] += cv
+    return dist, count
+
+
+def spc_dijkstra(digraph, s, t):
+    """Weighted online count: ``(distance, count)`` for paths ``s -> t``."""
+    if s == t:
+        return 0, 1
+    dist, count = dijkstra_count_from(digraph, s, forward=True)
+    return (dist[t], count[t]) if count[t] else (INF, 0)

@@ -1,0 +1,27 @@
+"""Binary serialization of labelings and indexes."""
+
+from repro.io.serialize import (
+    labels_from_bytes,
+    labels_to_bytes,
+    load_directed_labels,
+    load_index,
+    load_labels,
+    pack_entry,
+    save_directed_labels,
+    save_index,
+    save_labels,
+    unpack_entry,
+)
+
+__all__ = [
+    "pack_entry",
+    "unpack_entry",
+    "labels_to_bytes",
+    "labels_from_bytes",
+    "save_labels",
+    "load_labels",
+    "save_index",
+    "load_index",
+    "save_directed_labels",
+    "load_directed_labels",
+]

@@ -1,0 +1,177 @@
+"""Binary label serialization using the paper's packed entry encodings (§6).
+
+A label entry ``(w, sd(v,w), σ_{v,w})`` packs into one 64-bit word —
+23 bits of hub id, 10 bits of distance, 31 bits of count — with counts
+*saturated* at ``2^31 - 1`` exactly as the paper does ("in the rare case
+that σ is greater than 2^31 − 1, it is treated as 2^31 − 1"). The wide
+Exp-6 variant uses 32 + 32 + 128 bits. ``strict=True`` turns saturation
+into :class:`~repro.exceptions.CountOverflowError` for callers that must
+not lose precision.
+
+File layout (little-endian):
+
+    magic ``b"SPCL"`` | version u32 | n u64 | hub_bits u8 | dist_bits u8 |
+    count_bits u16 | order (n × u64) | per-vertex: canonical-entry count
+    u32, non-canonical count u32, then the packed entries.
+"""
+
+import struct
+
+from repro.core.labels import LabelSet
+from repro.exceptions import CountOverflowError, SerializationError
+
+MAGIC = b"SPCL"
+VERSION = 2
+
+#: The paper's default packing: 23 + 10 + 31 = 64 bits per entry.
+DEFAULT_BITS = (23, 10, 31)
+#: The Exp-6 Delaunay packing: 32 + 32 + 128 = 192 bits per entry.
+WIDE_BITS = (32, 32, 128)
+
+
+def _entry_bytes(bits):
+    total = sum(bits)
+    if total % 8:
+        raise SerializationError(f"entry width {total} is not a whole number of bytes")
+    return total // 8
+
+
+def pack_entry(hub, dist, count, bits=DEFAULT_BITS, strict=False):
+    """Pack one entry into an int of ``sum(bits)`` bits (hub|dist|count)."""
+    hub_bits, dist_bits, count_bits = bits
+    if not 0 <= hub < (1 << hub_bits):
+        raise SerializationError(f"hub {hub} does not fit in {hub_bits} bits")
+    if not 0 <= dist < (1 << dist_bits):
+        raise SerializationError(f"distance {dist} does not fit in {dist_bits} bits")
+    cap = (1 << count_bits) - 1
+    if count < 0:
+        raise SerializationError(f"negative count {count}")
+    if count > cap:
+        if strict:
+            raise CountOverflowError(count, count_bits)
+        count = cap  # the paper's saturation rule
+    return (hub << (dist_bits + count_bits)) | (dist << count_bits) | count
+
+
+def unpack_entry(word, bits=DEFAULT_BITS):
+    """Inverse of :func:`pack_entry`: returns ``(hub, dist, count)``."""
+    hub_bits, dist_bits, count_bits = bits
+    count = word & ((1 << count_bits) - 1)
+    dist = (word >> count_bits) & ((1 << dist_bits) - 1)
+    hub = word >> (dist_bits + count_bits)
+    if hub >= (1 << hub_bits):
+        raise SerializationError("word wider than the declared encoding")
+    return hub, dist, count
+
+
+def labels_to_bytes(labels, bits=DEFAULT_BITS, strict=False):
+    """Encode a finalized :class:`LabelSet` as a standalone byte blob."""
+    if labels.order is None:
+        raise SerializationError("labels must have an order; call set_order() first")
+    entry_bytes = _entry_bytes(bits)
+    parts = [
+        MAGIC,
+        struct.pack("<IQBBH", VERSION, labels.n, bits[0], bits[1], bits[2]),
+        struct.pack(f"<{labels.n}Q", *labels.order),
+    ]
+    for v in range(labels.n):
+        canonical = labels.canonical(v)
+        noncanonical = labels.noncanonical(v)
+        parts.append(struct.pack("<II", len(canonical), len(noncanonical)))
+        for row in (canonical, noncanonical):
+            for _, hub, dist, count in row:
+                word = pack_entry(hub, dist, count, bits, strict)
+                parts.append(word.to_bytes(entry_bytes, "little"))
+    return b"".join(parts)
+
+
+def labels_from_bytes(blob, context="<bytes>"):
+    """Inverse of :func:`labels_to_bytes`; returns ``(labels, bytes_used)``."""
+    if blob[:4] != MAGIC:
+        raise SerializationError(f"{context}: not a label blob (bad magic)")
+    version, n, hub_bits, dist_bits, count_bits = struct.unpack_from("<IQBBH", blob, 4)
+    if version != VERSION:
+        raise SerializationError(f"{context}: unsupported version {version}")
+    bits = (hub_bits, dist_bits, count_bits)
+    entry_bytes = _entry_bytes(bits)
+    offset = 4 + struct.calcsize("<IQBBH")
+    order = list(struct.unpack_from(f"<{n}Q", blob, offset))
+    offset += 8 * n
+    labels = LabelSet(n)
+    labels.set_order(order)
+    rank_of = labels.rank_of
+    for v in range(n):
+        n_canonical, n_noncanonical = struct.unpack_from("<II", blob, offset)
+        offset += 8
+        for kind in range(2):
+            count_entries = n_canonical if kind == 0 else n_noncanonical
+            append = labels.append_canonical if kind == 0 else labels.append_noncanonical
+            for _ in range(count_entries):
+                word = int.from_bytes(blob[offset : offset + entry_bytes], "little")
+                offset += entry_bytes
+                hub, dist, count = unpack_entry(word, bits)
+                append(v, rank_of[hub], hub, dist, count)
+    labels.finalize()
+    return labels, offset
+
+
+def save_labels(labels, path, bits=DEFAULT_BITS, strict=False):
+    """Write a finalized :class:`LabelSet` to ``path``; returns bytes written."""
+    blob = labels_to_bytes(labels, bits=bits, strict=strict)
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return len(blob)
+
+
+def load_labels(path):
+    """Read a :class:`LabelSet` written by :func:`save_labels`."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    labels, used = labels_from_bytes(blob, context=str(path))
+    if used != len(blob):
+        raise SerializationError(f"{path}: {len(blob) - used} trailing bytes")
+    return labels
+
+
+def save_index(index, path, bits=DEFAULT_BITS, strict=False):
+    """Persist a plain :class:`~repro.core.index.SPCIndex`'s labels."""
+    return save_labels(index.labels, path, bits=bits, strict=strict)
+
+
+def load_index(path):
+    """Load an :class:`~repro.core.index.SPCIndex` saved by :func:`save_index`."""
+    from repro.core.index import SPCIndex
+
+    return SPCIndex(load_labels(path))
+
+
+DIRECTED_MAGIC = b"SPCD"
+
+
+def save_directed_labels(l_in, l_out, path, bits=DEFAULT_BITS, strict=False):
+    """Write a §7 label pair (``L^in``, ``L^out``) to one file."""
+    blob_in = labels_to_bytes(l_in, bits=bits, strict=strict)
+    blob_out = labels_to_bytes(l_out, bits=bits, strict=strict)
+    with open(path, "wb") as handle:
+        handle.write(DIRECTED_MAGIC)
+        handle.write(struct.pack("<QQ", len(blob_in), len(blob_out)))
+        handle.write(blob_in)
+        handle.write(blob_out)
+    return 4 + 16 + len(blob_in) + len(blob_out)
+
+
+def load_directed_labels(path):
+    """Read a label pair written by :func:`save_directed_labels`."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if blob[:4] != DIRECTED_MAGIC:
+        raise SerializationError(f"{path}: not a directed label file (bad magic)")
+    len_in, len_out = struct.unpack_from("<QQ", blob, 4)
+    offset = 4 + 16
+    if len(blob) != offset + len_in + len_out:
+        raise SerializationError(f"{path}: truncated or padded directed label file")
+    l_in, _ = labels_from_bytes(blob[offset : offset + len_in], context=str(path))
+    l_out, _ = labels_from_bytes(
+        blob[offset + len_in :], context=str(path)
+    )
+    return l_in, l_out

@@ -1,0 +1,18 @@
+"""Index-size reductions of §4: 1-shell, neighborhood equivalence, independent set."""
+
+from repro.reductions.equivalence import EquivalenceReduction
+from repro.reductions.independent_set import (
+    select_independent_set,
+    ISQueryEngine,
+)
+from repro.reductions.pipeline import ReducedSPCIndex, reduction_report
+from repro.reductions.shell import ShellReduction
+
+__all__ = [
+    "ShellReduction",
+    "EquivalenceReduction",
+    "select_independent_set",
+    "ISQueryEngine",
+    "ReducedSPCIndex",
+    "reduction_report",
+]

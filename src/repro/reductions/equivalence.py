@@ -1,0 +1,134 @@
+"""Reduction by neighborhood equivalence (§4.2).
+
+``u ≡ v`` iff ``nbr(u)\\{v} == nbr(v)\\{u}``. Every non-singleton class is
+either an independent set (identical open neighborhoods) or induces a
+clique (identical closed neighborhoods) — and no vertex can sit in both
+kinds at once, so two hashing passes find the full partition in linear
+time.
+
+Only class representatives are kept (graph ``G_e``); the lost counting
+information is restored by λ path weights: a shortest path in ``G_e``
+stands for ``∏ |eqc(v_i)|`` original paths over its internal vertices.
+HP-SPC propagates the weights via the ``multiplicity`` hook, and queries
+multiply hub terms by ``|eqc(h)|`` for non-endpoint hubs (Lemma 4.4).
+Same-class queries are answered in O(1) by Lemma 4.3.
+"""
+
+INF = float("inf")
+
+
+class EquivalenceReduction:
+    """The equivalence partition plus the reduced graph ``G_e``.
+
+    ``eqr``/``eqc_size``/``is_clique_class`` are keyed by the *input*
+    graph's ids; ``old_to_new`` maps representative ids to dense ``G_e``
+    ids and :attr:`multiplicity` carries ``|eqc(·)|`` per ``G_e`` vertex.
+    """
+
+    def __init__(self, graph, eqr, class_size, clique_class, graph_reduced, old_to_new):
+        self._graph = graph
+        self._eqr = eqr
+        self._class_size = class_size
+        self._clique_class = clique_class
+        self.graph_reduced = graph_reduced
+        self.old_to_new = old_to_new
+        self.new_to_old = [None] * graph_reduced.n
+        for old, new in old_to_new.items():
+            self.new_to_old[new] = old
+        self.multiplicity = [0] * graph_reduced.n
+        for old, new in old_to_new.items():
+            self.multiplicity[new] = class_size[old]
+
+    @classmethod
+    def compute(cls, graph):
+        """Partition by ≡ with two hashing passes and build ``G_e``.
+
+        Pass 1 groups identical *open* neighborhoods (non-adjacent classes,
+        necessarily independent sets); pass 2 groups identical *closed*
+        neighborhoods (adjacent classes, necessarily cliques). The two
+        kinds cannot overlap on non-singleton classes, so the union of both
+        passes' size-≥2 groups plus leftover singletons is the partition.
+        """
+        n = graph.n
+        open_groups = {}
+        for v in range(n):
+            open_groups.setdefault(graph.neighbors(v), []).append(v)
+        assigned = [False] * n
+        eqr = list(range(n))
+        class_size = [1] * n
+        clique_class = [False] * n
+        for members in open_groups.values():
+            if len(members) < 2:
+                continue
+            rep = members[0]  # members are in increasing id order
+            for v in members:
+                assigned[v] = True
+                eqr[v] = rep
+                class_size[v] = len(members)
+        closed_groups = {}
+        for v in range(n):
+            if assigned[v]:
+                continue
+            key = tuple(sorted(graph.neighbors(v) + (v,)))
+            closed_groups.setdefault(key, []).append(v)
+        for members in closed_groups.values():
+            if len(members) < 2:
+                continue
+            rep = members[0]
+            for v in members:
+                eqr[v] = rep
+                class_size[v] = len(members)
+                clique_class[v] = True
+        keep = [v for v in range(n) if eqr[v] == v]
+        reduced, old_to_new = graph.induced_subgraph(keep)
+        return cls(graph, eqr, class_size, clique_class, reduced, old_to_new)
+
+    # -- partition accessors -----------------------------------------------------
+
+    def eqr(self, v):
+        """Representative of ``eqc(v)`` (input-graph ids)."""
+        return self._eqr[v]
+
+    def eqc_size(self, v):
+        """``|eqc(v)|``."""
+        return self._class_size[v]
+
+    def is_clique_class(self, v):
+        """Whether ``eqc(v)`` induces a clique (False: independent set)."""
+        return self._clique_class[v]
+
+    def removed_vertices(self):
+        return [v for v in range(self._graph.n) if self._eqr[v] != v]
+
+    @property
+    def removed_count(self):
+        return self._graph.n - self.graph_reduced.n
+
+    # -- query pieces --------------------------------------------------------------
+
+    def project(self, v):
+        """Map an input vertex to its ``G_e`` id."""
+        return self.old_to_new[self._eqr[v]]
+
+    def same_class_answer(self, s, t):
+        """Lemma 4.3's O(1) answer for ``s != t`` with ``eqr(s) == eqr(t)``.
+
+        Returns ``(distance, count)``: adjacent twins are at distance 1
+        with a unique path; independent twins sit at distance 2 with one
+        path per shared neighbor (``deg(s)``), or are disconnected when
+        their common neighborhood is empty.
+        """
+        if s == t or self._eqr[s] != self._eqr[t]:
+            raise ValueError("same_class_answer requires distinct same-class vertices")
+        if self._clique_class[s]:
+            return 1, 1
+        degree = self._graph.degree(s)
+        if degree == 0:
+            return INF, 0
+        return 2, degree
+
+    def __repr__(self):
+        return (
+            f"EquivalenceReduction(n={self._graph.n} -> {self.graph_reduced.n}, "
+            f"removed={self.removed_count})"
+        )

@@ -1,0 +1,215 @@
+"""Reduction by independent set (§4.3).
+
+``I = {v | every neighbor of v outranks v}`` is an independent set whose
+members are hubs of nothing but themselves, so their labels can be dropped
+and queries answered through their neighbors: ``spc(s, t) = spc(R_s, R_t)``
+with ``R_v = nbr(v)`` for ``v ∈ I`` and ``{v}`` otherwise.
+
+Composition with the equivalence reduction (the paper's HP-SPC* runs on
+``G_e``) needs care the paper leaves implicit. With per-vertex
+multiplicities ``mult(·)``, the λ-weighted count decomposes as
+
+    spc_λ(s, t) = Σ_h  σ̂_{s,h} · σ̂_{t,h} · M(h)      over common hubs h
+    σ̂_{v,h}    = Σ_{u ∈ R_v at minimal dist}  σ_{u,h} · K(u, h)
+
+where ``K(u, h) = mult(u)`` unless ``u == h`` (a neighbor that *is* the
+hub is accounted once, through ``M``), and ``M(h) = mult(h)`` unless ``h``
+is a query endpoint that kept its label. Every hub pair whose distance sum
+matches the minimum corresponds to a genuine shortest path: a walk of
+length ``sd(s, t)`` cannot repeat a vertex, so the aggregation introduces
+no phantom paths. Both §4.3 query schemes are implemented:
+
+* *direct* — hash-join the (virtual) labels of ``R_s`` and ``R_t``;
+* *filtered* — find ``sd`` and the on-path neighbors ``R_s(t), R_t(s)``
+  from the small canonical labels first, then join full labels only for
+  those neighbors.
+"""
+
+from repro.core.query import count_query
+
+INF = float("inf")
+
+
+def select_independent_set(graph, rank_of):
+    """The §4.3 independent set for a rank assignment (vertex -> rank).
+
+    ``v ∈ I`` iff every neighbor has a *smaller* rank index (was pushed
+    earlier, i.e. outranks ``v``). Isolated vertices qualify vacuously.
+    """
+    in_set = [False] * graph.n
+    for v in graph.vertices():
+        rv = rank_of[v]
+        if all(rank_of[u] < rv for u in graph.neighbors(v)):
+            in_set[v] = True
+    return in_set
+
+
+class ISQueryEngine:
+    """Answers λ-weighted count queries when some labels were dropped.
+
+    Operates on the (possibly equivalence-reduced) core graph; endpoints
+    are core-graph vertex ids. ``multiplicity`` may be ``None`` for the
+    plain (non-equivalence) pipeline.
+    """
+
+    def __init__(self, labels, graph, in_independent_set, multiplicity=None):
+        self._labels = labels
+        self._graph = graph
+        self._in_is = in_independent_set
+        self._mult = multiplicity
+
+    @property
+    def independent_set(self):
+        return self._in_is
+
+    def query(self, s, t, scheme="filtered"):
+        """``(distance, λ-count)`` between core vertices ``s`` and ``t``."""
+        if s == t:
+            return 0, 1
+        s_dropped = self._in_is[s]
+        t_dropped = self._in_is[t]
+        if not s_dropped and not t_dropped:
+            return count_query(self._labels, s, t, self._mult)
+        if scheme == "direct":
+            return self._direct(s, t, s_dropped, t_dropped)
+        if scheme == "filtered":
+            return self._filtered(s, t, s_dropped, t_dropped)
+        raise ValueError(f"unknown query scheme {scheme!r}; use 'direct' or 'filtered'")
+
+    # -- shared pieces -----------------------------------------------------------
+
+    def _side(self, v, dropped):
+        """The label-bearing stand-ins for ``v``: ``[(u, offset)] ...``."""
+        if dropped:
+            return [(u, 1) for u in self._graph.neighbors(v)]
+        return [(v, 0)]
+
+    def _k_factor(self, u, hub, dropped_side):
+        """K(u, hub): multiplicity of a neighbor that becomes internal."""
+        if self._mult is None or not dropped_side or u == hub:
+            return 1
+        return self._mult[u]
+
+    def _m_factor(self, hub, s, t, s_dropped, t_dropped):
+        """M(hub): multiplicity of the meeting hub, minus endpoint cases."""
+        if self._mult is None:
+            return 1
+        if (hub == s and not s_dropped) or (hub == t and not t_dropped):
+            return 1
+        return self._mult[hub]
+
+    def _aggregate(self, side, dropped_side, label_of):
+        """Hash-join side labels into ``hub -> (min_dist, summed_count)``."""
+        agg = {}
+        for u, offset in side:
+            for _, hub, dist, cnt in label_of(u):
+                total = dist + offset
+                term = cnt * self._k_factor(u, hub, dropped_side)
+                found = agg.get(hub)
+                if found is None or total < found[0]:
+                    agg[hub] = (total, term)
+                elif total == found[0]:
+                    agg[hub] = (total, found[1] + term)
+        return agg
+
+    # -- direct scheme --------------------------------------------------------------
+
+    def _direct(self, s, t, s_dropped, t_dropped):
+        labels = self._labels
+        side_s = self._side(s, s_dropped)
+        side_t = self._side(t, t_dropped)
+        agg_s = self._aggregate(side_s, s_dropped, labels.merged)
+        delta = INF
+        sigma = 0
+        for u, offset in side_t:
+            k_side = t_dropped
+            for _, hub, dist, cnt in labels.merged(u):
+                found = agg_s.get(hub)
+                if found is None:
+                    continue
+                total = found[0] + dist + offset
+                if total > delta:
+                    continue
+                term = (
+                    found[1]
+                    * cnt
+                    * self._k_factor(u, hub, k_side)
+                    * self._m_factor(hub, s, t, s_dropped, t_dropped)
+                )
+                if total < delta:
+                    delta = total
+                    sigma = term
+                else:
+                    sigma += term
+        if sigma == 0:
+            return INF, 0
+        return delta, sigma
+
+    # -- filtered scheme -----------------------------------------------------------
+
+    def _filtered(self, s, t, s_dropped, t_dropped):
+        labels = self._labels
+        side_s = self._side(s, s_dropped)
+        side_t = self._side(t, t_dropped)
+        # Phase 1: distances only, over the small canonical labels.
+        dist_s = self._canonical_distance_map(side_s)
+        delta = INF
+        keep_t = []
+        for u, offset in side_t:
+            best = INF
+            for _, hub, dist, _ in labels.canonical(u):
+                found = dist_s.get(hub)
+                if found is not None and found + dist < best:
+                    best = found + dist
+            total = best + offset
+            if total < delta:
+                delta = total
+                keep_t = [(u, offset)]
+            elif total == delta and total != INF:
+                keep_t.append((u, offset))
+        if delta == INF:
+            return INF, 0
+        if len(side_s) == 1:
+            # A kept endpoint is trivially on-path; skip the reverse pass.
+            keep_s = side_s
+        else:
+            dist_t = self._canonical_distance_map(side_t)
+            keep_s = []
+            for u, offset in side_s:
+                best = INF
+                for _, hub, dist, _ in labels.canonical(u):
+                    found = dist_t.get(hub)
+                    if found is not None and found + dist < best:
+                        best = found + dist
+                if best + offset == delta:
+                    keep_s.append((u, offset))
+        # Phase 2: the direct join, restricted to on-path neighbors, with
+        # the full (canonical + non-canonical) labels.
+        agg_s = self._aggregate(keep_s, s_dropped, labels.merged)
+        sigma = 0
+        for u, offset in keep_t:
+            for _, hub, dist, cnt in labels.merged(u):
+                found = agg_s.get(hub)
+                if found is None:
+                    continue
+                if found[0] + dist + offset != delta:
+                    continue
+                sigma += (
+                    found[1]
+                    * cnt
+                    * self._k_factor(u, hub, t_dropped)
+                    * self._m_factor(hub, s, t, s_dropped, t_dropped)
+                )
+        if sigma == 0:
+            return INF, 0
+        return delta, sigma
+
+    def _canonical_distance_map(self, side):
+        """``hub -> min over side of (sd(u, hub) + offset)`` from L^c."""
+        out = {}
+        for u, offset in side:
+            for _, hub, dist, _ in self._labels.canonical(u):
+                total = dist + offset
+                if total < out.get(hub, INF):
+                    out[hub] = total
+        return out

@@ -1,0 +1,226 @@
+"""The composed reduced indexes: HP-SPC+ and HP-SPC* (§4, §6).
+
+Reductions compose left to right: the 1-shell cut produces ``G_s``, the
+equivalence quotient produces ``G_e`` (with multiplicities), HP-SPC runs
+on the final core graph, and the independent-set reduction drops the
+labels of sink-ranked vertices. Queries unwind the same stack:
+
+1. ``shr(s) == shr(t)``       -> unique tree path (Lemma 4.2);
+2. ``eqr(s') == eqr(t')``     -> O(1) twin answer (Lemma 4.3);
+3. otherwise                  -> label join on the core graph, through the
+   :class:`~repro.reductions.independent_set.ISQueryEngine` when labels
+   were dropped, with λ multiplicities when classes were merged.
+
+The paper's named variants:
+
+* ``HP-SPC``  — no reductions (:class:`repro.core.index.SPCIndex`);
+* ``HP-SPC+`` — ``("shell", "equivalence")``;
+* ``HP-SPC*`` — ``("shell", "equivalence", "independent-set")``.
+"""
+
+import time
+
+from repro.core.hp_spc import BuildStats, build_labels
+from repro.core.ordering import DegreeOrdering, StaticOrdering, resolve_ordering
+from repro.reductions.equivalence import EquivalenceReduction
+from repro.reductions.independent_set import ISQueryEngine, select_independent_set
+from repro.reductions.shell import ShellReduction
+
+INF = float("inf")
+
+VALID_REDUCTIONS = ("shell", "equivalence", "independent-set")
+
+
+class ReducedSPCIndex:
+    """HP-SPC with any combination of the §4 reductions applied.
+
+    Query API matches :class:`~repro.core.index.SPCIndex`: ``count``,
+    ``distance``, ``count_with_distance`` — all in *original* vertex ids.
+    """
+
+    def __init__(self, graph, shell, equivalence, labels, engine, scheme, build_stats=None, build_seconds=None):
+        self._graph = graph
+        self._shell = shell
+        self._equiv = equivalence
+        self._labels = labels
+        self._engine = engine
+        self._scheme = scheme
+        self._build_stats = build_stats
+        self._build_seconds = build_seconds
+
+    @classmethod
+    def build(
+        cls,
+        graph,
+        ordering="degree",
+        reductions=("shell", "equivalence", "independent-set"),
+        scheme="filtered",
+        collect_stats=False,
+    ):
+        """Reduce, label, and wrap. See the module docstring for semantics."""
+        reductions = tuple(reductions)
+        for name in reductions:
+            if name not in VALID_REDUCTIONS:
+                raise ValueError(f"unknown reduction {name!r}; expected {VALID_REDUCTIONS}")
+        if scheme not in ("filtered", "direct"):
+            raise ValueError(f"unknown query scheme {scheme!r}")
+        started = time.perf_counter()
+        shell = ShellReduction.compute(graph) if "shell" in reductions else None
+        core = shell.graph_reduced if shell else graph
+        equiv = EquivalenceReduction.compute(core) if "equivalence" in reductions else None
+        if equiv is not None:
+            core = equiv.graph_reduced
+        multiplicity = equiv.multiplicity if equiv else None
+
+        stats = BuildStats() if collect_stats else None
+        use_is = "independent-set" in reductions
+        strategy = resolve_ordering(ordering)
+        if use_is and isinstance(strategy, (DegreeOrdering, StaticOrdering)):
+            # Static order: I is known before construction, so skip the
+            # labels *and* the pruning joins of I vertices (§4.3 case (1)).
+            if isinstance(strategy, DegreeOrdering):
+                order = DegreeOrdering.static_order(core)
+            else:
+                order = list(strategy._order)
+            rank_of = [0] * core.n
+            for rank, v in enumerate(order):
+                rank_of[v] = rank
+            in_is = select_independent_set(core, rank_of)
+            labels = build_labels(
+                core, ordering=order, multiplicity=multiplicity, skip=in_is, stats=stats
+            )
+        elif use_is:
+            # Online order (significant-path): labels are built first and
+            # dropped once membership in I is known (§4.3 case (2)).
+            labels = build_labels(core, ordering=strategy, multiplicity=multiplicity, stats=stats)
+            in_is = select_independent_set(core, labels.rank_of)
+            for v in core.vertices():
+                if in_is[v]:
+                    labels.drop_label(v)
+        else:
+            labels = build_labels(core, ordering=strategy, multiplicity=multiplicity, stats=stats)
+            in_is = [False] * core.n
+        engine = ISQueryEngine(labels, core, in_is, multiplicity)
+        elapsed = time.perf_counter() - started
+        return cls(graph, shell, equiv, labels, engine, scheme,
+                   build_stats=stats, build_seconds=elapsed)
+
+    # -- queries ---------------------------------------------------------------
+
+    def count_with_distance(self, s, t):
+        """``(sd(s,t), spc(s,t))`` in original vertex ids."""
+        if s == t:
+            return 0, 1
+        offset = 0
+        if self._shell is not None:
+            if self._shell.same_representative(s, t):
+                return self._shell.tree_distance(s, t), 1
+            offset = self._shell.depth(s) + self._shell.depth(t)
+            s = self._shell.project(s)
+            t = self._shell.project(t)
+        if self._equiv is not None:
+            rs = self._equiv.eqr(s)
+            rt = self._equiv.eqr(t)
+            if rs == rt:
+                dist, cnt = self._equiv.same_class_answer(s, t)
+                return (dist + offset if cnt else INF), cnt
+            s = self._equiv.old_to_new[rs]
+            t = self._equiv.old_to_new[rt]
+        dist, cnt = self._engine.query(s, t, self._scheme)
+        if cnt == 0:
+            return INF, 0
+        return dist + offset, cnt
+
+    def count(self, s, t):
+        """``spc(s, t)``."""
+        return self.count_with_distance(s, t)[1]
+
+    def distance(self, s, t):
+        """``sd(s, t)``; ``inf`` when disconnected."""
+        return self.count_with_distance(s, t)[0]
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def labels(self):
+        """The core-graph :class:`~repro.core.labels.LabelSet`."""
+        return self._labels
+
+    @property
+    def shell(self):
+        return self._shell
+
+    @property
+    def equivalence(self):
+        return self._equiv
+
+    @property
+    def engine(self):
+        return self._engine
+
+    @property
+    def scheme(self):
+        return self._scheme
+
+    @property
+    def build_stats(self):
+        return self._build_stats
+
+    @property
+    def build_seconds(self):
+        return self._build_seconds
+
+    def with_scheme(self, scheme):
+        """The same index answering with the other §4.3 query scheme."""
+        if scheme not in ("filtered", "direct"):
+            raise ValueError(f"unknown query scheme {scheme!r}")
+        return ReducedSPCIndex(
+            self._graph, self._shell, self._equiv, self._labels, self._engine,
+            scheme, self._build_stats, self._build_seconds,
+        )
+
+    def total_entries(self):
+        return self._labels.total_entries()
+
+    def size_bytes(self, entry_bits=64):
+        return self._labels.packed_size_bytes(entry_bits)
+
+    def core_graph_size(self):
+        """``(n, m)`` of the graph the labels were actually built on."""
+        graph = self._engine._graph
+        return graph.n, graph.m
+
+    def __repr__(self):
+        parts = []
+        if self._shell is not None:
+            parts.append("shell")
+        if self._equiv is not None:
+            parts.append("equivalence")
+        if any(self._engine.independent_set):
+            parts.append("independent-set")
+        return (
+            f"ReducedSPCIndex(n={self._graph.n}, reductions={'+'.join(parts) or 'none'}, "
+            f"entries={self._labels.total_entries()})"
+        )
+
+
+def reduction_report(graph):
+    """Fractions of vertices removed by shell / equiv / shell+equiv (Exp-4).
+
+    Returns a dict with absolute counts and fractions for the three
+    configurations of Figure 8.
+    """
+    n = graph.n or 1
+    shell = ShellReduction.compute(graph)
+    equiv_only = EquivalenceReduction.compute(graph)
+    equiv_after_shell = EquivalenceReduction.compute(shell.graph_reduced)
+    both_removed = shell.removed_count + equiv_after_shell.removed_count
+    return {
+        "n": graph.n,
+        "shell_removed": shell.removed_count,
+        "equiv_removed": equiv_only.removed_count,
+        "both_removed": both_removed,
+        "shell_fraction": shell.removed_count / n,
+        "equiv_fraction": equiv_only.removed_count / n,
+        "both_fraction": both_removed / n,
+    }

@@ -1,0 +1,122 @@
+"""Reduction by 1-shell (§4.1).
+
+Every connected component of the 1-shell (vertices in the 1-core but not
+the 2-core) is a tree attached to the rest of the graph by at most one
+edge. Cutting those trees preserves all shortest paths within the core
+(Lemma 4.2): the representative ``shr(v)`` of a shell vertex is the access
+vertex ``a(cc)`` its tree hangs from, and
+
+* ``shr(s) == shr(t)``  ⟹  ``spc(s, t) = 1`` (tree paths are unique);
+* otherwise ``spc_G(s, t) = spc_{G_s}(shr(s), shr(t))`` and
+  ``sd_G(s, t) = depth(s) + depth(t) + sd_{G_s}(shr(s), shr(t))``.
+"""
+
+from collections import deque
+
+from repro.graph.cores import one_shell_components
+
+INF = float("inf")
+
+
+class ShellReduction:
+    """The computed 1-shell structure plus the reduced graph ``G_s``.
+
+    Attributes of interest: :attr:`graph_reduced` (``G_s`` with dense
+    ids), :meth:`shr`, :meth:`depth`, and the id maps ``old_to_new`` /
+    ``new_to_old`` between the original graph and ``G_s``.
+    """
+
+    def __init__(self, graph, shr, depth, parent, graph_reduced, old_to_new):
+        self._graph = graph
+        self._shr = shr
+        self._depth = depth
+        self._parent = parent
+        self.graph_reduced = graph_reduced
+        self.old_to_new = old_to_new
+        self.new_to_old = [None] * graph_reduced.n
+        for old, new in old_to_new.items():
+            self.new_to_old[new] = old
+
+    @classmethod
+    def compute(cls, graph):
+        """Identify the 1-shell, root each tree at its access vertex, cut."""
+        n = graph.n
+        shr = list(range(n))
+        depth = [0] * n
+        parent = list(range(n))
+        for component, access in one_shell_components(graph):
+            members = set(component)
+            queue = deque([access])
+            # BFS from the access vertex, restricted to the tree: assigns
+            # shr / depth / parent for every shell vertex of the component.
+            seen_local = {access}
+            while queue:
+                u = queue.popleft()
+                for w in graph.neighbors(u):
+                    if w in members and w not in seen_local:
+                        seen_local.add(w)
+                        parent[w] = u
+                        depth[w] = depth[u] + 1
+                        shr[w] = access
+                        queue.append(w)
+        keep = [v for v in range(n) if shr[v] == v]
+        reduced, old_to_new = graph.induced_subgraph(keep)
+        return cls(graph, shr, depth, parent, reduced, old_to_new)
+
+    # -- structure accessors ---------------------------------------------------
+
+    def shr(self, v):
+        """The 1-shell-based representative of ``v`` (original ids)."""
+        return self._shr[v]
+
+    def depth(self, v):
+        """Tree distance from ``v`` to ``shr(v)`` (0 outside the shell)."""
+        return self._depth[v]
+
+    def removed_vertices(self):
+        """Original ids of the vertices cut away with the shell."""
+        return [v for v in range(self._graph.n) if self._shr[v] != v]
+
+    @property
+    def removed_count(self):
+        return self._graph.n - self.graph_reduced.n
+
+    # -- query pieces ------------------------------------------------------------
+
+    def same_representative(self, s, t):
+        return self._shr[s] == self._shr[t]
+
+    def tree_distance(self, s, t):
+        """Distance between ``s`` and ``t`` when ``shr(s) == shr(t)``.
+
+        Both parent chains end at the shared access vertex, so the classic
+        walk-up-to-LCA works across sibling trees too.
+        """
+        if self._shr[s] != self._shr[t]:
+            raise ValueError("tree_distance requires shr(s) == shr(t)")
+        a, b = s, t
+        da, db = self._depth[a], self._depth[b]
+        steps = 0
+        while da > db:
+            a = self._parent[a]
+            da -= 1
+            steps += 1
+        while db > da:
+            b = self._parent[b]
+            db -= 1
+            steps += 1
+        while a != b:
+            a = self._parent[a]
+            b = self._parent[b]
+            steps += 2
+        return steps
+
+    def project(self, v):
+        """Map an original vertex to its ``G_s`` id (``shr`` then densify)."""
+        return self.old_to_new[self._shr[v]]
+
+    def __repr__(self):
+        return (
+            f"ShellReduction(n={self._graph.n} -> {self.graph_reduced.n}, "
+            f"removed={self.removed_count})"
+        )

@@ -1,0 +1,35 @@
+"""§5 theory: orders that exploit planarity, treewidth and highway dimension."""
+
+from repro.theory.bounds import boundedness, check_bounded
+from repro.theory.highway import greedy_spc_cover, highway_order
+from repro.theory.planar_order import planar_separator_order
+from repro.theory.separators import (
+    SeparatorNode,
+    bfs_level_separator,
+    build_separator_tree,
+    geometric_separator,
+    preorder_vertices,
+)
+from repro.theory.treewidth import (
+    centroid_order,
+    min_degree_decomposition,
+    treewidth_order,
+    verify_tree_decomposition,
+)
+
+__all__ = [
+    "SeparatorNode",
+    "bfs_level_separator",
+    "geometric_separator",
+    "build_separator_tree",
+    "preorder_vertices",
+    "planar_separator_order",
+    "min_degree_decomposition",
+    "centroid_order",
+    "treewidth_order",
+    "verify_tree_decomposition",
+    "greedy_spc_cover",
+    "highway_order",
+    "boundedness",
+    "check_bounded",
+]

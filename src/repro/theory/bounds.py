@@ -1,0 +1,58 @@
+"""(α, β)-boundedness checks for the §5 theorems.
+
+A labeling is (α, β) bounded when its total size is O(α) and its largest
+label is O(β). Theorems 5.1-5.3 predict, for suitable orders:
+
+* planar graphs            — (n^1.5, √n)
+* treewidth-ω graphs       — (ω n log n, ω log n)
+* highway-dimension-h      — (n h log D, h log D)
+
+These helpers measure a labeling against a bound with an explicit
+constant factor, so tests and the theory benchmark can assert the
+predicted scaling on concrete inputs.
+"""
+
+import math
+
+
+def boundedness(labels):
+    """Measured ``(total, maximum)`` label sizes of a labeling."""
+    sizes = labels.size_histogram()
+    return sum(sizes), max(sizes, default=0)
+
+
+def check_bounded(labels, alpha, beta, factor=4.0):
+    """Whether the labeling is within ``factor`` of an (α, β) bound.
+
+    Returns a report dict with both measured and allowed values; the
+    ``ok`` flag is what tests assert.
+    """
+    total, biggest = boundedness(labels)
+    allowed_total = factor * alpha
+    allowed_max = factor * beta
+    return {
+        "total": total,
+        "max": biggest,
+        "alpha": alpha,
+        "beta": beta,
+        "allowed_total": allowed_total,
+        "allowed_max": allowed_max,
+        "ok": total <= allowed_total and biggest <= allowed_max,
+    }
+
+
+def planar_bound(n):
+    """Theorem 5.1's (α, β) for an n-vertex planar graph."""
+    return n**1.5, math.sqrt(n)
+
+
+def treewidth_bound(n, width):
+    """Theorem 5.2's (α, β) for treewidth ``width``."""
+    log_n = max(1.0, math.log2(max(2, n)))
+    return (width + 1) * n * log_n, (width + 1) * log_n
+
+
+def highway_bound(n, h, diameter):
+    """Theorem 5.3's (α, β) for highway dimension ``h`` and diameter D."""
+    log_d = max(1.0, math.log2(max(2, diameter)))
+    return n * h * log_d, h * log_d

@@ -1,0 +1,117 @@
+"""Highway-dimension orders via greedy (r, k)-shortest-path covers (§5.3).
+
+An (r, k)-SPC hits every shortest path of length in (r, 2r] while meeting
+any ball of radius 2r in at most k vertices; the highway dimension h is
+the smallest k making one exist for every r. Computing optimal SPCs is
+intractable, so — like Abraham et al. [3] in practice — we build greedy
+hitting sets over (a sample of) the shortest paths at each scale
+r = 2^i, then rank vertices by the highest scale that selected them
+(Theorem 5.3's layering L_i).
+"""
+
+import math
+from collections import deque
+
+from repro.graph.traversal import approximate_diameter
+from repro.utils.rng import ensure_rng
+
+INF = float("inf")
+
+
+def sample_scale_paths(graph, r, samples, rng):
+    """Sample shortest paths with length in ``(r, 2r]``.
+
+    BFS from random roots; for each root, one path per reached vertex at
+    an in-range distance (capped to keep sampling linear). Paths are
+    vertex tuples.
+    """
+    n = graph.n
+    paths = []
+    attempts = 0
+    while len(paths) < samples and attempts < samples * 3:
+        attempts += 1
+        root = rng.randrange(n)
+        parent = [-1] * n
+        dist = [INF] * n
+        dist[root] = 0
+        parent[root] = root
+        queue = deque([root])
+        in_range = []
+        while queue:
+            v = queue.popleft()
+            if dist[v] >= 2 * r:
+                continue
+            for w in graph.neighbors(v):
+                if dist[w] is INF:
+                    dist[w] = dist[v] + 1
+                    parent[w] = v
+                    if r < dist[w] <= 2 * r:
+                        in_range.append(w)
+                    queue.append(w)
+        rng.shuffle(in_range)
+        for target in in_range[: max(1, samples // 8)]:
+            path = [target]
+            while path[-1] != root:
+                path.append(parent[path[-1]])
+            paths.append(tuple(path))
+            if len(paths) >= samples:
+                break
+    return paths
+
+
+def greedy_spc_cover(paths):
+    """Greedy hitting set: repeatedly take the vertex on most uncovered paths."""
+    uncovered = {index: set(path) for index, path in enumerate(paths)}
+    hits = {}
+    for index, members in uncovered.items():
+        for v in members:
+            hits.setdefault(v, set()).add(index)
+    cover = []
+    while uncovered:
+        best = max(hits, key=lambda v: (len(hits[v]), -v))
+        covered_now = list(hits[best])
+        cover.append(best)
+        for index in covered_now:
+            for v in uncovered.pop(index):
+                bucket = hits.get(v)
+                if bucket is not None:
+                    bucket.discard(index)
+                    if not bucket:
+                        del hits[v]
+    return cover
+
+
+def highway_order(graph, samples_per_scale=200, seed=0, return_layers=False):
+    """The §5.3 order: high scales outrank low scales.
+
+    ``C_i`` is a greedy cover of sampled paths at scale ``2^i``;
+    ``L_i = C_i \\ ∪_{j>i} C_j``; vertices in higher layers come first,
+    ties within a layer broken by descending degree. Leftover vertices
+    (the paper's ``L_{-2} = V``) fill the tail.
+    """
+    rng = ensure_rng(seed)
+    n = graph.n
+    if n == 0:
+        return ([], []) if return_layers else []
+    diameter = max(1, approximate_diameter(graph))
+    top = max(0, int(math.ceil(math.log2(diameter))))
+    covers = {}
+    for i in range(top, -1, -1):
+        r = 2**i
+        paths = sample_scale_paths(graph, r, samples_per_scale, rng)
+        covers[i] = greedy_spc_cover(paths) if paths else []
+    assigned = {}
+    for i in range(top, -1, -1):  # higher scales claim vertices first
+        for v in covers[i]:
+            if v not in assigned:
+                assigned[v] = i
+    layers = [[] for _ in range(top + 2)]  # +1 slot for the leftover layer
+    for v in range(n):
+        scale = assigned.get(v, -1)
+        layers[top - scale].append(v)
+    order = []
+    for layer in layers:
+        order.extend(sorted(layer, key=lambda v: (-graph.degree(v), v)))
+    if return_layers:
+        return order, layers
+    return order

@@ -1,0 +1,23 @@
+"""HP-SPC_P: the separator-tree vertex order for planar graphs (§5.1).
+
+Theorem 5.1: feeding HP-SPC the preorder of a recursive balanced-separator
+tree yields a labeling that is (n^1.5, √n)-bounded on planar graphs —
+for a vertex in node t, only vertices of t and its ancestors can be hubs.
+"""
+
+from repro.theory.separators import build_separator_tree, preorder_vertices
+
+
+def planar_separator_order(graph, points=None, leaf_size=8, return_tree=False):
+    """The §5.1 order: preorder over the recursive separator tree.
+
+    ``points`` enables the geometric separator (use for Delaunay/grid
+    inputs); otherwise BFS-level separators are used. With
+    ``return_tree=True`` returns ``(order, tree)`` so PL-SPC and the
+    boundedness checks can share the exact same decomposition.
+    """
+    tree = build_separator_tree(graph, points=points, leaf_size=leaf_size)
+    order = preorder_vertices(tree)
+    if sorted(order) != list(range(graph.n)):
+        raise AssertionError("separator tree lost or duplicated vertices")
+    return (order, tree) if return_tree else order

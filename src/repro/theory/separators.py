@@ -1,0 +1,182 @@
+"""Balanced vertex separators and recursive separator trees (§5.1).
+
+The paper implements the planar separator theorem following [35, 41]; we
+provide two practical separator finders with the same contract — return a
+vertex set whose removal splits the graph into balanced halves:
+
+* :func:`bfs_level_separator` — pick a small BFS level (works on any
+  graph; on planar graphs levels are O(√n)-ish in practice);
+* :func:`geometric_separator` — for point-embedded graphs (Delaunay,
+  grids): cut at the median coordinate, alternating axes, and take the
+  boundary vertices of the smaller side. On random Delaunay instances the
+  boundary of a halfplane is O(√n).
+
+:func:`build_separator_tree` recurses either finder into the tree 𝒯 whose
+preorder is the HP-SPC_P / PL-SPC vertex order.
+"""
+
+from collections import deque
+
+from repro.exceptions import GraphError
+
+
+class SeparatorNode:
+    """A node of the separator tree: a separator and its sub-trees.
+
+    ``vertices`` are *original* graph ids. Leaves hold whole small regions
+    with no children.
+    """
+
+    __slots__ = ("vertices", "children")
+
+    def __init__(self, vertices, children=()):
+        self.vertices = list(vertices)
+        self.children = list(children)
+
+    def depth(self):
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def node_count(self):
+        return 1 + sum(child.node_count() for child in self.children)
+
+    def __repr__(self):
+        return f"SeparatorNode(|S|={len(self.vertices)}, children={len(self.children)})"
+
+
+def bfs_level_separator(graph, vertex_ids=None):
+    """Split by a small, balanced BFS level.
+
+    Returns ``(separator, part_a, part_b)`` in the graph's own ids. The
+    level is chosen to minimise its size among levels keeping both sides
+    at most ~2/3 of the (largest-component) vertices; falls back to the
+    most balanced level when none qualifies. Disconnected inputs put the
+    other components into the larger side.
+    """
+    n = graph.n
+    if n == 0:
+        return [], [], []
+    # Double sweep for an approximately peripheral root: deep BFS trees
+    # give many small levels to choose from.
+    root = max(graph.vertices(), key=graph.degree)
+    for _ in range(2):
+        dist = _bfs(graph, root)
+        far = max((v for v in graph.vertices() if dist[v] >= 0), key=lambda v: dist[v])
+        root = far
+    dist = _bfs(graph, root)
+    reachable = [v for v in graph.vertices() if dist[v] >= 0]
+    max_level = max(dist[v] for v in reachable)
+    levels = [[] for _ in range(max_level + 1)]
+    for v in reachable:
+        levels[dist[v]].append(v)
+    total = len(reachable)
+    best = None
+    best_key = None
+    below = 0
+    for level_index in range(max_level + 1):
+        level = levels[level_index]
+        above = total - below - len(level)
+        balanced = max(below, above) <= (2 * total) / 3.0
+        key = (0 if balanced else 1, len(level) if balanced else max(below, above))
+        if best_key is None or key < best_key:
+            best_key = key
+            best = level_index
+        below += len(level)
+    separator = list(levels[best])
+    part_a = [v for idx in range(best) for v in levels[idx]]
+    part_b = [v for idx in range(best + 1, max_level + 1) for v in levels[idx]]
+    part_b.extend(v for v in graph.vertices() if dist[v] < 0)  # other components
+    if not separator:  # single-level / degenerate cases
+        separator = part_a or part_b
+        part_a = []
+    return separator, part_a, part_b
+
+
+def geometric_separator(graph, points, axis=0):
+    """Split at the median coordinate; separator = boundary of side A.
+
+    ``points[v] = (x, y)``. Vertices at or below the median on ``axis``
+    form side A; the subset of A adjacent to B is the separator. Returns
+    ``(separator, part_a, part_b)``.
+    """
+    n = graph.n
+    if len(points) != n:
+        raise GraphError("one coordinate pair per vertex required")
+    if n == 0:
+        return [], [], []
+    order = sorted(graph.vertices(), key=lambda v: (points[v][axis], v))
+    half = n // 2
+    side_a = set(order[:half]) if half else {order[0]}
+    separator = []
+    part_a = []
+    for v in side_a:
+        if any(w not in side_a for w in graph.neighbors(v)):
+            separator.append(v)
+        else:
+            part_a.append(v)
+    part_b = [v for v in graph.vertices() if v not in side_a]
+    return sorted(separator), sorted(part_a), part_b
+
+
+def build_separator_tree(graph, points=None, leaf_size=8, _ids=None, _axis=0):
+    """Recursively separate ``graph`` into a :class:`SeparatorNode` tree.
+
+    Uses the geometric separator when ``points`` are given (alternating
+    the axis each level, a k-d-tree-style recursion), otherwise BFS
+    levels. Regions of at most ``leaf_size`` vertices become leaves.
+    """
+    ids = list(graph.vertices()) if _ids is None else _ids
+    if graph.n <= leaf_size:
+        return SeparatorNode(ids)
+    if points is not None:
+        separator, part_a, part_b = geometric_separator(graph, points, axis=_axis)
+    else:
+        separator, part_a, part_b = bfs_level_separator(graph)
+    if not part_a and not part_b:
+        return SeparatorNode(ids)
+    children = []
+    for part in (part_a, part_b):
+        if not part:
+            continue
+        subgraph, old_to_new = graph.induced_subgraph(part)
+        child_ids = [None] * subgraph.n
+        child_points = [None] * subgraph.n if points is not None else None
+        for old, new in old_to_new.items():
+            child_ids[new] = ids[old]
+            if points is not None:
+                child_points[new] = points[old]
+        children.append(
+            build_separator_tree(
+                subgraph,
+                points=child_points,
+                leaf_size=leaf_size,
+                _ids=child_ids,
+                _axis=1 - _axis,
+            )
+        )
+    return SeparatorNode([ids[v] for v in separator], children)
+
+
+def preorder_vertices(node):
+    """Preorder traversal of a separator tree — the §5.1 vertex order."""
+    order = []
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        order.extend(current.vertices)
+        stack.extend(reversed(current.children))
+    return order
+
+
+def _bfs(graph, root):
+    dist = [-1] * graph.n
+    dist[root] = 0
+    queue = deque([root])
+    while queue:
+        v = queue.popleft()
+        for w in graph.neighbors(v):
+            if dist[w] < 0:
+                dist[w] = dist[v] + 1
+                queue.append(w)
+    return dist

@@ -1,0 +1,190 @@
+"""Tree decompositions and the §5.2 treewidth order.
+
+Theorem 5.2: given a width-ω tree decomposition, rank vertices by the
+depth of the *centroid decomposition* node that owns them (each vertex is
+owned by its highest node after ancestor de-duplication); HP-SPC then
+produces an (ω n log n, ω log n)-bounded labeling.
+
+Exact treewidth is NP-hard; we build decompositions with the classic
+min-degree elimination heuristic, which is exact on trees and chordal
+graphs and near-optimal on the sparse graphs used here.
+"""
+
+import heapq
+
+from repro.exceptions import GraphError
+
+
+def min_degree_decomposition(graph):
+    """Tree decomposition via min-degree elimination.
+
+    Returns ``(bags, tree_edges, elimination_order, width)``: ``bags[i]``
+    is a sorted vertex list (the bag created when eliminating
+    ``elimination_order[i]``); ``tree_edges`` connect bag indexes;
+    ``width`` is ``max |bag| - 1``.
+    """
+    n = graph.n
+    if n == 0:
+        return [], [], [], 0
+    # Working adjacency as sets; fill edges are added during elimination.
+    work = [set(graph.neighbors(v)) for v in range(n)]
+    eliminated = [False] * n
+    heap = [(len(work[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    bags = []
+    bag_of = [None] * n  # vertex -> index of the bag created at its elimination
+    elimination_order = []
+    tree_edges = []
+    while heap:
+        degree, v = heapq.heappop(heap)
+        if eliminated[v] or degree != len(work[v]):
+            continue  # stale heap entry
+        eliminated[v] = True
+        elimination_order.append(v)
+        neighbors = sorted(work[v])
+        bag_index = len(bags)
+        bags.append([v] + neighbors)
+        bag_of[v] = bag_index
+        # Connect v's bag to the bag of the next-eliminated bag member.
+        for u in neighbors:
+            work[u].discard(v)
+        for i, a in enumerate(neighbors):
+            for b in neighbors[i + 1 :]:
+                if b not in work[a]:
+                    work[a].add(b)
+                    work[b].add(a)
+        for u in neighbors:
+            heapq.heappush(heap, (len(work[u]), u))
+    # Tree edges: bag of v attaches to the bag of the earliest-eliminated
+    # vertex among v's bag-mates eliminated after v.
+    position = [0] * n
+    for index, v in enumerate(elimination_order):
+        position[v] = index
+    for bag_index, bag in enumerate(bags):
+        v = bag[0]
+        later = [u for u in bag[1:] if position[u] > position[v]]
+        if later:
+            attach = min(later, key=lambda u: position[u])
+            tree_edges.append((bag_index, bag_of[attach]))
+    width = max((len(bag) - 1 for bag in bags), default=0)
+    return bags, tree_edges, elimination_order, width
+
+
+def verify_tree_decomposition(graph, bags, tree_edges):
+    """Check the three tree-decomposition axioms (§5.2); raise on failure."""
+    n = graph.n
+    covered = set()
+    for bag in bags:
+        covered.update(bag)
+    if covered != set(range(n)):
+        raise GraphError("decomposition does not cover every vertex")
+    bag_sets = [set(bag) for bag in bags]
+    for u, v in graph.edges():
+        if not any(u in bag and v in bag for bag in bag_sets):
+            raise GraphError(f"edge ({u}, {v}) is in no bag")
+    # Connectivity of each vertex's bag set within the tree.
+    adjacency = [[] for _ in bags]
+    for a, b in tree_edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    for v in range(n):
+        nodes = [i for i, bag in enumerate(bag_sets) if v in bag]
+        if not nodes:
+            raise GraphError(f"vertex {v} missing from every bag")
+        seen = {nodes[0]}
+        stack = [nodes[0]]
+        member = set(nodes)
+        while stack:
+            node = stack.pop()
+            for other in adjacency[node]:
+                if other in member and other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+        if seen != member:
+            raise GraphError(f"bags containing vertex {v} are not connected")
+    return True
+
+
+def _centroid_levels(node_count, adjacency):
+    """Centroid decomposition levels of a tree (or forest) on bag nodes."""
+    level = [-1] * node_count
+    removed = [False] * node_count
+
+    def component_sizes(start):
+        """DFS order (node, parent) plus subtree sizes rooted at ``start``."""
+        order = []
+        stack = [(start, -1)]
+        while stack:
+            node, parent = stack.pop()
+            order.append((node, parent))
+            for other in adjacency[node]:
+                if other != parent and not removed[other]:
+                    stack.append((other, node))
+        size = {node: 1 for node, _ in order}
+        for node, parent in reversed(order):
+            if parent != -1:
+                size[parent] += size[node]
+        return order, size
+
+    def find_centroid(start, size, total):
+        node, parent = start, -1
+        while True:
+            heavy = None
+            for other in adjacency[node]:
+                if other != parent and not removed[other] and size[other] > total // 2:
+                    heavy = other
+                    break
+            if heavy is None:
+                # No child side is heavy; the parent side is light by the
+                # walk invariant (we only ever step into a heavy child).
+                return node
+            parent, node = node, heavy
+
+    pending = []
+    for root in range(node_count):
+        if level[root] < 0:
+            pending.append((root, 0))
+            while pending:
+                start, depth = pending.pop()
+                if removed[start]:
+                    continue
+                _, size = component_sizes(start)
+                centroid = find_centroid(start, size, size[start])
+                level[centroid] = depth
+                removed[centroid] = True
+                for other in adjacency[centroid]:
+                    if not removed[other]:
+                        pending.append((other, depth + 1))
+    return level
+
+
+def centroid_order(graph, decomposition=None):
+    """The §5.2 vertex order from a (heuristic) tree decomposition.
+
+    Each vertex is owned by its minimum-centroid-level bag; vertices are
+    ranked by owner level (ancestors first), ties by bag then id. Returns
+    ``(order, width)`` so callers can report the realised width.
+    """
+    if decomposition is None:
+        decomposition = min_degree_decomposition(graph)
+    bags, tree_edges, _, width = decomposition
+    if not bags:
+        return [], 0
+    adjacency = [[] for _ in bags]
+    for a, b in tree_edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    levels = _centroid_levels(len(bags), adjacency)
+    owner_level = [None] * graph.n
+    for bag_index, bag in enumerate(bags):
+        bag_level = levels[bag_index]
+        for v in bag:
+            if owner_level[v] is None or bag_level < owner_level[v]:
+                owner_level[v] = bag_level
+    order = sorted(graph.vertices(), key=lambda v: (owner_level[v], v))
+    return order, width
+
+
+def treewidth_order(graph):
+    """Convenience wrapper: just the §5.2 order (drops the width)."""
+    return centroid_order(graph)[0]

@@ -1,0 +1,14 @@
+"""Small shared helpers: timing, RNG plumbing, statistics, validation."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.stats import cumulative_distribution, percentile, percentiles
+from repro.utils.timer import Timer, timed
+
+__all__ = [
+    "Timer",
+    "timed",
+    "ensure_rng",
+    "percentile",
+    "percentiles",
+    "cumulative_distribution",
+]

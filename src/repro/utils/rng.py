@@ -1,0 +1,43 @@
+"""Random-number-generator plumbing.
+
+All stochastic entry points in the library accept ``seed`` (an int, a
+:class:`random.Random`, or ``None``) and normalise it through
+:func:`ensure_rng`, so experiments are reproducible end to end.
+"""
+
+import random
+
+
+def ensure_rng(seed=None):
+    """Return a :class:`random.Random` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh nondeterministic generator), an ``int``
+    (deterministic generator), or an existing :class:`random.Random`
+    (returned as is so generator state can be threaded through pipelines).
+    """
+    if seed is None:
+        return random.Random()
+    if isinstance(seed, random.Random):
+        return seed
+    if isinstance(seed, int):
+        return random.Random(seed)
+    raise TypeError(f"seed must be None, int or random.Random, got {type(seed).__name__}")
+
+
+def random_pairs(n, count, rng=None, distinct=False):
+    """Yield ``count`` random vertex pairs drawn from ``range(n)``.
+
+    With ``distinct=True`` the two endpoints of each pair differ (requires
+    ``n >= 2``).
+    """
+    rng = ensure_rng(rng)
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if distinct and n < 2:
+        raise ValueError("distinct pairs require n >= 2")
+    for _ in range(count):
+        s = rng.randrange(n)
+        t = rng.randrange(n)
+        while distinct and t == s:
+            t = rng.randrange(n)
+        yield s, t

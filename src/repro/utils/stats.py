@@ -1,0 +1,92 @@
+"""Statistics helpers for the experiment harness (Table 4, Figure 10)."""
+
+import math
+
+
+def percentile(values, q):
+    """Return the ``q``-th percentile (0..100) using linear interpolation.
+
+    Matches numpy's default ``linear`` interpolation so measured Table 4
+    rows are comparable with the paper's percentiles.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of empty data")
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+def percentiles(values, qs):
+    """Return a list of percentiles; sorts the data only once."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentiles of empty data")
+    out = []
+    for q in qs:
+        if not 0 <= q <= 100:
+            raise ValueError("q must be within [0, 100]")
+        rank = (q / 100.0) * (len(data) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            out.append(data[lo])
+        else:
+            frac = rank - lo
+            out.append(data[lo] * (1.0 - frac) + data[hi] * frac)
+    return out
+
+
+def cumulative_distribution(values):
+    """Return ``(sorted_values, fractions)`` for an empirical CDF.
+
+    ``fractions[i]`` is the fraction of observations ``<= sorted_values[i]``.
+    Used to regenerate Figure 10 (cumulative distribution of |L(v)|).
+    """
+    data = sorted(values)
+    if not data:
+        return [], []
+    n = len(data)
+    xs = []
+    fs = []
+    for i, x in enumerate(data, start=1):
+        if xs and xs[-1] == x:
+            fs[-1] = i / n
+        else:
+            xs.append(x)
+            fs.append(i / n)
+    return xs, fs
+
+
+def mean(values):
+    """Arithmetic mean; raises on empty input instead of returning NaN."""
+    total = 0.0
+    count = 0
+    for v in values:
+        total += v
+        count += 1
+    if count == 0:
+        raise ValueError("mean of empty data")
+    return total / count
+
+
+def geometric_mean(values):
+    """Geometric mean of positive values (used for ratio summaries)."""
+    log_total = 0.0
+    count = 0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric mean requires positive values")
+        log_total += math.log(v)
+        count += 1
+    if count == 0:
+        raise ValueError("geometric mean of empty data")
+    return math.exp(log_total / count)

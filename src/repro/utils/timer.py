@@ -1,0 +1,68 @@
+"""Wall-clock timing helpers used by the benchmark harness."""
+
+import time
+from contextlib import contextmanager
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self._started_at = None
+
+    def start(self):
+        if self._started_at is not None:
+            raise RuntimeError("timer already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self):
+        if self._started_at is None:
+            raise RuntimeError("timer not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    def reset(self):
+        self.elapsed = 0.0
+        self._started_at = None
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    @property
+    def running(self):
+        return self._started_at is not None
+
+    @property
+    def milliseconds(self):
+        return self.elapsed * 1e3
+
+    @property
+    def microseconds(self):
+        return self.elapsed * 1e6
+
+
+@contextmanager
+def timed(sink, key):
+    """Time a block and record the elapsed seconds into ``sink[key]``.
+
+    ``sink`` is any mutable mapping; repeated use accumulates.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[key] = sink.get(key, 0.0) + (time.perf_counter() - start)

@@ -1,0 +1,15 @@
+"""Weighted undirected graphs: one-label-set Dijkstra hub pushing.
+
+§7 handles weighted *directed* graphs with two labels per vertex; the
+undirected weighted case (road networks, §5.3's motivation) only needs
+one — paths are symmetric, so a single Dijkstra per hub suffices. This
+package provides the graph type, the construction, and the reduction
+pipeline mirrored from §4 (with the weighted caveats documented in
+:mod:`repro.weighted.index`).
+"""
+
+from repro.weighted.graph import WeightedGraph
+from repro.weighted.index import WeightedSPCIndex
+from repro.weighted.labeling import build_weighted_labels
+
+__all__ = ["WeightedGraph", "WeightedSPCIndex", "build_weighted_labels"]

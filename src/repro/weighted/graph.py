@@ -1,0 +1,179 @@
+"""Undirected simple graph with positive edge weights."""
+
+from repro.exceptions import GraphError, VertexError
+
+
+class WeightedGraph:
+    """An immutable weighted undirected graph on vertices ``0..n-1``.
+
+    Adjacency rows hold ``(neighbor, weight)`` pairs sorted by neighbor.
+    Weights must be strictly positive (Dijkstra semantics, as in §7).
+    """
+
+    __slots__ = ("_adj", "_m")
+
+    def __init__(self, adjacency):
+        self._adj = tuple(tuple(row) for row in adjacency)
+        self._m = sum(len(row) for row in self._adj) // 2
+
+    @classmethod
+    def from_edges(cls, n, edges, dedup=True):
+        """Build from ``(u, v, weight)`` triples.
+
+        Duplicates keep the minimum weight under ``dedup`` (the only
+        value shortest-path algorithms can observe), else raise.
+        """
+        if n < 0:
+            raise GraphError(f"vertex count must be non-negative, got {n}")
+        weight_of = [dict() for _ in range(n)]
+        for u, v, w in edges:
+            if not (isinstance(u, int) and isinstance(v, int)):
+                raise GraphError(f"edge endpoints must be ints, got ({u!r}, {v!r})")
+            if not (0 <= u < n):
+                raise VertexError(u, n)
+            if not (0 <= v < n):
+                raise VertexError(v, n)
+            if u == v:
+                raise GraphError(f"self-loop at vertex {u}")
+            if w <= 0:
+                raise GraphError(f"edge ({u}, {v}) has non-positive weight {w}")
+            if v in weight_of[u]:
+                if not dedup:
+                    raise GraphError(f"duplicate edge ({u}, {v})")
+                best = min(weight_of[u][v], w)
+                weight_of[u][v] = best
+                weight_of[v][u] = best
+            else:
+                weight_of[u][v] = w
+                weight_of[v][u] = w
+        return cls(sorted(row.items()) for row in weight_of)
+
+    @classmethod
+    def from_unweighted(cls, graph, weight=1):
+        """Lift an unweighted :class:`~repro.graph.graph.Graph`."""
+        return cls.from_edges(graph.n, ((u, v, weight) for u, v in graph.edges()))
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def n(self):
+        return len(self._adj)
+
+    @property
+    def m(self):
+        return self._m
+
+    def neighbors(self, v):
+        """Sorted tuple of ``(neighbor, weight)`` pairs."""
+        self._check_vertex(v)
+        return self._adj[v]
+
+    def neighbor_ids(self, v):
+        """Just the neighbor ids of ``v``."""
+        self._check_vertex(v)
+        return tuple(x for x, _ in self._adj[v])
+
+    def degree(self, v):
+        self._check_vertex(v)
+        return len(self._adj[v])
+
+    def vertices(self):
+        return range(len(self._adj))
+
+    def edges(self):
+        """Yield each edge once as ``(u, v, weight)`` with ``u < v``."""
+        for u, row in enumerate(self._adj):
+            for v, w in row:
+                if u < v:
+                    yield u, v, w
+
+    def weight(self, u, v):
+        """Weight of edge ``{u, v}``; ``None`` when absent."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        for x, w in self._adj[u]:
+            if x == v:
+                return w
+            if x > v:
+                return None
+        return None
+
+    def unweighted(self):
+        """Forget the weights (a plain :class:`~repro.graph.graph.Graph`)."""
+        from repro.graph.graph import Graph
+
+        return Graph.from_edges(self.n, ((u, v) for u, v, _ in self.edges()))
+
+    def to_digraph(self):
+        """The symmetric :class:`~repro.graph.digraph.WeightedDigraph`."""
+        from repro.graph.digraph import WeightedDigraph
+
+        edges = []
+        for u, v, w in self.edges():
+            edges.append((u, v, w))
+            edges.append((v, u, w))
+        return WeightedDigraph.from_edges(self.n, edges)
+
+    def induced_subgraph(self, keep):
+        """Induced subgraph plus the old -> new dense id mapping."""
+        keep_sorted = sorted(set(keep))
+        for v in keep_sorted:
+            self._check_vertex(v)
+        old_to_new = {old: new for new, old in enumerate(keep_sorted)}
+        edges = []
+        for old in keep_sorted:
+            for x, w in self._adj[old]:
+                if x in old_to_new and old < x:
+                    edges.append((old_to_new[old], old_to_new[x], w))
+        return WeightedGraph.from_edges(len(keep_sorted), edges), old_to_new
+
+    def __eq__(self, other):
+        return isinstance(other, WeightedGraph) and self._adj == other._adj
+
+    def __hash__(self):
+        return hash(self._adj)
+
+    def __repr__(self):
+        return f"WeightedGraph(n={self.n}, m={self.m})"
+
+    def _check_vertex(self, v):
+        if not (isinstance(v, int) and 0 <= v < len(self._adj)):
+            raise VertexError(v, len(self._adj))
+
+
+def dijkstra_count_weighted(graph, source):
+    """``(dist, count)`` arrays from ``source`` on a :class:`WeightedGraph`."""
+    import heapq
+
+    INF = float("inf")
+    dist = [INF] * graph.n
+    count = [0] * graph.n
+    dist[source] = 0
+    count[source] = 1
+    settled = [False] * graph.n
+    heap = [(0, source)]
+    while heap:
+        dv, v = heapq.heappop(heap)
+        if settled[v]:
+            continue
+        settled[v] = True
+        cv = count[v]
+        for w, weight in graph.neighbors(v):
+            alt = dv + weight
+            dw = dist[w]
+            if alt < dw:
+                dist[w] = alt
+                count[w] = cv
+                heapq.heappush(heap, (alt, w))
+            elif alt == dw and not settled[w]:
+                count[w] += cv
+    return dist, count
+
+
+def spc_weighted(graph, s, t):
+    """Online ``(distance, count)`` between ``s`` and ``t``."""
+    if s == t:
+        return 0, 1
+    dist, count = dijkstra_count_weighted(graph, s)
+    INF = float("inf")
+    return (dist[t], count[t]) if count[t] else (INF, 0)

@@ -1,0 +1,251 @@
+"""Facade index for weighted undirected graphs.
+
+Composition mirrors :mod:`repro.reductions.pipeline` with weighted
+bookkeeping. Two weighted caveats, both shared with the directed index:
+
+* Lemma 4.3's O(1) twin answers do not transfer (two twins can be joined
+  by arbitrary-shaped cheapest paths), so same-class pairs fall back to
+  one online Dijkstra on the pre-quotient graph;
+* the significant-path ordering is BFS-tree based, so only static orders
+  (degree or explicit) are supported.
+"""
+
+import time
+
+from repro.core.query import merge_join_rows
+from repro.exceptions import OrderingError
+from repro.weighted.graph import spc_weighted
+from repro.weighted.labeling import build_weighted_labels, degree_order_weighted
+from repro.weighted.reductions import (
+    WeightedEquivalenceReduction,
+    WeightedShellReduction,
+)
+
+INF = float("inf")
+
+VALID_REDUCTIONS = ("shell", "equivalence", "independent-set")
+
+
+class WeightedSPCIndex:
+    """Counting index over a :class:`~repro.weighted.graph.WeightedGraph`."""
+
+    def __init__(self, graph, shell, equiv, core, labels, in_is, scheme, order,
+                 build_seconds=None):
+        self._graph = graph
+        self._shell = shell
+        self._equiv = equiv
+        self._core = core
+        self._labels = labels
+        self._in_is = in_is
+        self._scheme = scheme
+        self._order = order
+        self._mult = equiv.multiplicity if equiv else None
+        self._build_seconds = build_seconds
+
+    @classmethod
+    def build(cls, graph, ordering="degree", reductions=(), scheme="filtered"):
+        reductions = tuple(reductions)
+        for name in reductions:
+            if name not in VALID_REDUCTIONS:
+                raise ValueError(f"unknown reduction {name!r}; expected {VALID_REDUCTIONS}")
+        if scheme not in ("filtered", "direct"):
+            raise ValueError(f"unknown query scheme {scheme!r}")
+        started = time.perf_counter()
+        shell = WeightedShellReduction.compute(graph) if "shell" in reductions else None
+        core = shell.graph_reduced if shell else graph
+        equiv = (
+            WeightedEquivalenceReduction.compute(core)
+            if "equivalence" in reductions
+            else None
+        )
+        if equiv is not None:
+            core = equiv.graph_reduced
+        multiplicity = equiv.multiplicity if equiv else None
+
+        if ordering == "degree":
+            order = degree_order_weighted(core)
+        else:
+            order = list(ordering)
+            if sorted(order) != list(range(core.n)):
+                raise OrderingError("ordering must be a permutation of the core vertex set")
+        in_is = [False] * core.n
+        if "independent-set" in reductions:
+            rank_of = [0] * core.n
+            for rank, v in enumerate(order):
+                rank_of[v] = rank
+            for v in core.vertices():
+                rv = rank_of[v]
+                if all(rank_of[x] < rv for x, _ in core.neighbors(v)):
+                    in_is[v] = True
+        labels = build_weighted_labels(
+            core, ordering=order, multiplicity=multiplicity, skip=in_is
+        )
+        elapsed = time.perf_counter() - started
+        return cls(graph, shell, equiv, core, labels, in_is, scheme, order,
+                   build_seconds=elapsed)
+
+    # -- queries -------------------------------------------------------------------
+
+    def count_with_distance(self, s, t):
+        """``(weighted sd(s,t), spc(s,t))`` in original vertex ids."""
+        if s == t:
+            return 0, 1
+        offset = 0
+        pre_quotient = self._shell.graph_reduced if self._shell else self._graph
+        if self._shell is not None:
+            if self._shell.same_representative(s, t):
+                return self._shell.tree_answer(s, t)
+            offset = self._shell.cost_to_representative(s) + self._shell.cost_to_representative(t)
+            s = self._shell.project(s)
+            t = self._shell.project(t)
+        if self._equiv is not None:
+            rs = self._equiv.eqr(s)
+            rt = self._equiv.eqr(t)
+            if rs == rt:
+                # Weighted Lemma 4.3 fallback (see module docstring).
+                dist, cnt = spc_weighted(pre_quotient, s, t)
+                return (dist + offset, cnt) if cnt else (INF, 0)
+            s = self._equiv.old_to_new[rs]
+            t = self._equiv.old_to_new[rt]
+        dist, cnt = self._core_query(s, t)
+        if cnt == 0:
+            return INF, 0
+        return dist + offset, cnt
+
+    def count(self, s, t):
+        return self.count_with_distance(s, t)[1]
+
+    def distance(self, s, t):
+        return self.count_with_distance(s, t)[0]
+
+    # -- core machinery ----------------------------------------------------------------
+
+    def _core_query(self, s, t):
+        s_dropped = self._in_is[s]
+        t_dropped = self._in_is[t]
+        if not s_dropped and not t_dropped:
+            return merge_join_rows(
+                self._labels.merged(s), self._labels.merged(t), s, t, self._mult
+            )
+        return self._aggregate_query(
+            s, t, s_dropped, t_dropped, filtered=self._scheme == "filtered"
+        )
+
+    def _side(self, v, dropped):
+        if dropped:
+            return list(self._core.neighbors(v))
+        return [(v, 0)]
+
+    def _k_factor(self, u, hub, dropped_side):
+        if self._mult is None or not dropped_side or u == hub:
+            return 1
+        return self._mult[u]
+
+    def _m_factor(self, hub, s, t, s_dropped, t_dropped):
+        if self._mult is None:
+            return 1
+        if (hub == s and not s_dropped) or (hub == t and not t_dropped):
+            return 1
+        return self._mult[hub]
+
+    def _aggregate_query(self, s, t, s_dropped, t_dropped, filtered):
+        labels = self._labels
+        side_s = self._side(s, s_dropped)
+        side_t = self._side(t, t_dropped)
+        if filtered:
+            dist_s = self._distance_map(side_s)
+            delta = INF
+            keep_t = []
+            for u, offset in side_t:
+                best = min(
+                    (dist_s.get(hub, INF) + dist for _, hub, dist, _ in labels.canonical(u)),
+                    default=INF,
+                )
+                total = best + offset
+                if total < delta:
+                    delta = total
+                    keep_t = [(u, offset)]
+                elif total == delta and total != INF:
+                    keep_t.append((u, offset))
+            if delta == INF:
+                return INF, 0
+            if len(side_s) == 1:
+                keep_s = side_s
+            else:
+                dist_t = self._distance_map(side_t)
+                keep_s = []
+                for u, offset in side_s:
+                    best = min(
+                        (dist_t.get(hub, INF) + dist
+                         for _, hub, dist, _ in labels.canonical(u)),
+                        default=INF,
+                    )
+                    if best + offset == delta:
+                        keep_s.append((u, offset))
+            side_s, side_t = keep_s, keep_t
+        agg = {}
+        for u, offset in side_s:
+            for _, hub, dist, cnt in labels.merged(u):
+                total = dist + offset
+                term = cnt * self._k_factor(u, hub, s_dropped)
+                found = agg.get(hub)
+                if found is None or total < found[0]:
+                    agg[hub] = (total, term)
+                elif total == found[0]:
+                    agg[hub] = (total, found[1] + term)
+        delta = INF
+        sigma = 0
+        for u, offset in side_t:
+            for _, hub, dist, cnt in labels.merged(u):
+                found = agg.get(hub)
+                if found is None:
+                    continue
+                total = found[0] + dist + offset
+                if total > delta:
+                    continue
+                term = (
+                    found[1]
+                    * cnt
+                    * self._k_factor(u, hub, t_dropped)
+                    * self._m_factor(hub, s, t, s_dropped, t_dropped)
+                )
+                if total < delta:
+                    delta = total
+                    sigma = term
+                else:
+                    sigma += term
+        if sigma == 0:
+            return INF, 0
+        return delta, sigma
+
+    def _distance_map(self, side):
+        out = {}
+        for u, offset in side:
+            for _, hub, dist, _ in self._labels.canonical(u):
+                total = dist + offset
+                if total < out.get(hub, INF):
+                    out[hub] = total
+        return out
+
+    # -- introspection --------------------------------------------------------------------
+
+    @property
+    def labels(self):
+        return self._labels
+
+    @property
+    def order(self):
+        return tuple(self._order)
+
+    @property
+    def build_seconds(self):
+        return self._build_seconds
+
+    def total_entries(self):
+        return self._labels.total_entries()
+
+    def size_bytes(self, entry_bits=64):
+        return self._labels.packed_size_bytes(entry_bits)
+
+    def __repr__(self):
+        return f"WeightedSPCIndex(n={self._graph.n}, entries={self.total_entries()})"

@@ -1,0 +1,197 @@
+"""Weighted undirected versions of the §4 reductions.
+
+Structure mirrors §4; only the distance bookkeeping changes:
+
+* **1-shell** — shell trees are found on the unweighted view; tree-path
+  distances are weighted sums along the unique paths.
+* **Equivalence** — twins must agree on neighbors *and* incident edge
+  weights (the §7 conditions, symmetrised); classes then quotient with
+  multiplicities exactly as in §4.2, because every member reaches each
+  common neighbor at the same cost.
+"""
+
+from collections import deque
+
+from repro.graph.cores import one_shell_components
+
+INF = float("inf")
+
+
+class WeightedShellReduction:
+    """1-shell cutting for weighted undirected graphs."""
+
+    def __init__(self, graph, shr, parent, reduced, old_to_new):
+        self._graph = graph
+        self._shr = shr
+        self._parent = parent
+        self.graph_reduced = reduced
+        self.old_to_new = old_to_new
+        self.new_to_old = [None] * reduced.n
+        for old, new in old_to_new.items():
+            self.new_to_old[new] = old
+
+    @classmethod
+    def compute(cls, graph):
+        unweighted = graph.unweighted()
+        n = graph.n
+        shr = list(range(n))
+        parent = list(range(n))
+        depth = [0] * n
+        for component, access in one_shell_components(unweighted):
+            members = set(component)
+            queue = deque([access])
+            seen_local = {access}
+            while queue:
+                u = queue.popleft()
+                for x in unweighted.neighbors(u):
+                    if x in members and x not in seen_local:
+                        seen_local.add(x)
+                        parent[x] = u
+                        depth[x] = depth[u] + 1
+                        shr[x] = access
+                        queue.append(x)
+        keep = [v for v in range(n) if shr[v] == v]
+        reduced, old_to_new = graph.induced_subgraph(keep)
+        out = cls(graph, shr, parent, reduced, old_to_new)
+        out._depth = depth
+        return out
+
+    def shr(self, v):
+        return self._shr[v]
+
+    @property
+    def removed_count(self):
+        return self._graph.n - self.graph_reduced.n
+
+    def same_representative(self, s, t):
+        return self._shr[s] == self._shr[t]
+
+    def project(self, v):
+        return self.old_to_new[self._shr[v]]
+
+    def cost_to_representative(self, v):
+        """Weighted length of the unique tree path ``v .. shr(v)``."""
+        total = 0
+        node = v
+        while node != self._shr[v]:
+            total += self._graph.weight(node, self._parent[node])
+            node = self._parent[node]
+        return total
+
+    def tree_answer(self, s, t):
+        """``(weighted distance, 1)`` for a same-representative pair."""
+        if self._shr[s] != self._shr[t]:
+            raise ValueError("tree_answer requires shr(s) == shr(t)")
+        a, b = s, t
+        da, db = self._depth[a], self._depth[b]
+        total = 0
+        while da > db:
+            total += self._graph.weight(a, self._parent[a])
+            a = self._parent[a]
+            da -= 1
+        while db > da:
+            total += self._graph.weight(b, self._parent[b])
+            b = self._parent[b]
+            db -= 1
+        while a != b:
+            total += self._graph.weight(a, self._parent[a])
+            total += self._graph.weight(b, self._parent[b])
+            a = self._parent[a]
+            b = self._parent[b]
+        return total, 1
+
+
+def weighted_equivalent(graph, u, v):
+    """Symmetric twin test: equal weighted neighborhoods apart from each other."""
+    if u == v:
+        return True
+    nbr_u = {x: w for x, w in graph.neighbors(u) if x != v}
+    nbr_v = {x: w for x, w in graph.neighbors(v) if x != u}
+    return nbr_u == nbr_v
+
+
+class WeightedEquivalenceReduction:
+    """Weighted twin quotient with per-representative multiplicities."""
+
+    def __init__(self, graph, eqr, class_size, adjacent_class, reduced, old_to_new):
+        self._graph = graph
+        self._eqr = eqr
+        self._class_size = class_size
+        self._adjacent_class = adjacent_class
+        self.graph_reduced = reduced
+        self.old_to_new = old_to_new
+        self.new_to_old = [None] * reduced.n
+        for old, new in old_to_new.items():
+            self.new_to_old[new] = old
+        self.multiplicity = [0] * reduced.n
+        for old, new in old_to_new.items():
+            self.multiplicity[new] = class_size[old]
+
+    @classmethod
+    def compute(cls, graph):
+        n = graph.n
+        eqr = list(range(n))
+        class_size = [1] * n
+        adjacent_class = [False] * n
+        # Pass 1: non-adjacent twins — exact weighted neighbor lists.
+        open_groups = {}
+        for v in range(n):
+            open_groups.setdefault(graph.neighbors(v), []).append(v)
+        assigned = [False] * n
+        for members in open_groups.values():
+            if len(members) < 2:
+                continue
+            rep = members[0]
+            for v in members:
+                assigned[v] = True
+                eqr[v] = rep
+                class_size[v] = len(members)
+        # Pass 2: adjacent twins — bucket on ids-plus-self, verify pairwise.
+        buckets = {}
+        for v in range(n):
+            if assigned[v]:
+                continue
+            ids = {x for x, _ in graph.neighbors(v)}
+            ids.add(v)
+            buckets.setdefault(tuple(sorted(ids)), []).append(v)
+        for members in buckets.values():
+            if len(members) < 2:
+                continue
+            remaining = list(members)
+            while remaining:
+                seed_vertex = remaining[0]
+                cls_members = [seed_vertex]
+                rest = []
+                for other in remaining[1:]:
+                    if graph.weight(seed_vertex, other) is not None and weighted_equivalent(
+                        graph, seed_vertex, other
+                    ):
+                        cls_members.append(other)
+                    else:
+                        rest.append(other)
+                remaining = rest
+                if len(cls_members) >= 2:
+                    rep = min(cls_members)
+                    for v in cls_members:
+                        eqr[v] = rep
+                        class_size[v] = len(cls_members)
+                        adjacent_class[v] = True
+        keep = [v for v in range(n) if eqr[v] == v]
+        reduced, old_to_new = graph.induced_subgraph(keep)
+        return cls(graph, eqr, class_size, adjacent_class, reduced, old_to_new)
+
+    def eqr(self, v):
+        return self._eqr[v]
+
+    def eqc_size(self, v):
+        return self._class_size[v]
+
+    def is_adjacent_class(self, v):
+        return self._adjacent_class[v]
+
+    @property
+    def removed_count(self):
+        return self._graph.n - self.graph_reduced.n
+
+    def project(self, v):
+        return self.old_to_new[self._eqr[v]]

@@ -1,0 +1,196 @@
+"""Tests for betweenness, group betweenness, and relevance ranking (§1)."""
+
+import math
+
+import pytest
+
+from repro.applications.betweenness import brandes_betweenness
+from repro.applications.group_betweenness import (
+    GroupBetweennessEvaluator,
+    group_betweenness_exact,
+    group_betweenness_oracle,
+    pairwise_matrices,
+    spc_through_group,
+)
+from repro.applications.relevance import most_relevant, relevance_ranking
+from repro.baselines.apsp_matrix import CountMatrixOracle
+from repro.core.index import SPCIndex
+from repro.generators.classic import cycle_graph, grid_graph, path_graph, star_graph
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.graph import Graph
+
+
+class TestBrandes:
+    def test_path_center(self):
+        g = path_graph(5)
+        bc = brandes_betweenness(g)
+        # Middle vertex lies on all 6 pairs crossing it: (0,2..4),(1,3..4)...
+        assert bc[2] == 4.0
+        assert bc[0] == 0.0
+
+    def test_star_hub(self):
+        g = star_graph(5)
+        bc = brandes_betweenness(g)
+        assert bc[0] == 6.0  # C(4,2) leaf pairs
+        assert all(b == 0 for b in bc[1:])
+
+    def test_cycle_symmetry(self):
+        g = cycle_graph(6)
+        bc = brandes_betweenness(g)
+        assert max(bc) - min(bc) < 1e-12
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graph.builders import graph_to_networkx
+
+        g = gnp_random_graph(25, 0.15, seed=4)
+        ours = brandes_betweenness(g, normalized=True)
+        theirs = nx.betweenness_centrality(graph_to_networkx(g), normalized=True)
+        for v in range(g.n):
+            assert math.isclose(ours[v], theirs[v], abs_tol=1e-9)
+
+    def test_unnormalized_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graph.builders import graph_to_networkx
+
+        g = gnp_random_graph(20, 0.2, seed=5)
+        ours = brandes_betweenness(g)
+        theirs = nx.betweenness_centrality(graph_to_networkx(g), normalized=False)
+        for v in range(g.n):
+            assert math.isclose(ours[v], theirs[v], abs_tol=1e-9)
+
+
+class TestThroughGroup:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        g = gnp_random_graph(18, 0.2, seed=6)
+        return g, SPCIndex.build(g)
+
+    def test_matches_avoidance_bfs(self, setup):
+        g, index = setup
+        group = [2, 5, 7]
+        pairs = [(s, t) for s in range(g.n) for t in range(s + 1, g.n)]
+        want = group_betweenness_exact(g, group, pairs)
+        got = group_betweenness_oracle(index, group, pairs)
+        assert math.isclose(want, got, rel_tol=1e-9)
+
+    def test_empty_group(self, setup):
+        g, index = setup
+        assert spc_through_group(index, 0, 6, []) == (index.count(0, 6), 0)
+
+    def test_group_on_every_path(self):
+        g = path_graph(5)
+        index = SPCIndex.build(g)
+        total, through = spc_through_group(index, 0, 4, [2])
+        assert (total, through) == (1, 1)
+
+    def test_chained_members_not_double_counted(self):
+        g = path_graph(6)
+        index = SPCIndex.build(g)
+        total, through = spc_through_group(index, 0, 5, [1, 2, 3])
+        assert (total, through) == (1, 1)
+
+    def test_parallel_members(self):
+        # Diamond: two middle vertices, each on one path.
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        index = SPCIndex.build(g)
+        assert spc_through_group(index, 0, 3, [1]) == (2, 1)
+        assert spc_through_group(index, 0, 3, [1, 2]) == (2, 2)
+
+    def test_disconnected_pair(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        index = SPCIndex.build(g)
+        assert spc_through_group(index, 0, 3, [1]) == (0, 0)
+
+    def test_works_with_matrix_oracle(self, setup):
+        g, index = setup
+        oracle = CountMatrixOracle.build(g)
+        group = [1, 4]
+        pairs = [(0, 9), (3, 12), (2, 17)]
+        assert math.isclose(
+            group_betweenness_oracle(index, group, pairs),
+            group_betweenness_oracle(oracle, group, pairs),
+            rel_tol=1e-12,
+        )
+
+
+class TestEvaluator:
+    def test_incremental_scores_monotone_over_fixed_pairs(self):
+        # B̈ is monotone in C only when the pair workload avoids every
+        # member from the start (pairs touching a member are excluded by
+        # definition, so adding one can otherwise shrink the sum).
+        g = gnp_random_graph(16, 0.25, seed=7)
+        index = SPCIndex.build(g)
+        group = [3, 8, 11]
+        pairs = [
+            (s, t)
+            for s in range(g.n)
+            for t in range(s + 1, g.n)
+            if s not in group and t not in group
+        ]
+        evaluator = GroupBetweennessEvaluator(index, pairs)
+        scores = evaluator.evaluate_incrementally(group)
+        assert scores == sorted(scores), "adding members cannot reduce B̈"
+
+    def test_incremental_matches_exact_baseline(self):
+        g = gnp_random_graph(16, 0.25, seed=7)
+        index = SPCIndex.build(g)
+        pairs = [(s, t) for s in range(g.n) for t in range(s + 1, g.n)]
+        evaluator = GroupBetweennessEvaluator(index, pairs)
+        group = [3, 8, 11]
+        for i, score in enumerate(evaluator.evaluate_incrementally(group)):
+            assert math.isclose(
+                score, group_betweenness_exact(g, group[: i + 1], pairs), rel_tol=1e-9
+            )
+
+    def test_pairs_with_group_members_skipped(self):
+        g = path_graph(4)
+        index = SPCIndex.build(g)
+        evaluator = GroupBetweennessEvaluator(index, [(0, 1), (1, 2)])
+        assert evaluator.evaluate([1]) == 0.0
+
+
+class TestPairwiseMatrices:
+    def test_matrices_match_index(self):
+        g = gnp_random_graph(12, 0.3, seed=8)
+        index = SPCIndex.build(g)
+        group = [0, 3, 7]
+        dist, sigma = pairwise_matrices(index, group)
+        for x in group:
+            for y in group:
+                d, c = index.count_with_distance(x, y)
+                assert dist[(x, y)] == d
+                assert sigma[(x, y)] == c
+
+
+class TestRelevance:
+    def test_figure1_scenario(self):
+        # s at 0; t1 reachable by one length-2 path, t2 by three.
+        edges = [(0, 1), (1, 2)]          # s - a - t1
+        edges += [(0, 3), (0, 4), (0, 5), (3, 6), (4, 6), (5, 6)]  # s - {b,c,d} - t2
+        g = Graph.from_edges(7, edges)
+        index = SPCIndex.build(g)
+        ranked = relevance_ranking(index, 0, [2, 6])
+        assert index.distance(0, 2) == index.distance(0, 6) == 2
+        assert ranked[0][0] == 6, "t2 has more shortest paths -> more relevant"
+        assert most_relevant(index, 0, [2, 6]) == 6
+
+    def test_distance_dominates(self):
+        g = path_graph(5)
+        index = SPCIndex.build(g)
+        ranked = relevance_ranking(index, 0, [4, 1])
+        assert [v for v, _, _ in ranked] == [1, 4]
+
+    def test_unreachable_sorts_last(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        index = SPCIndex.build(g)
+        ranked = relevance_ranking(index, 0, [2, 1])
+        assert ranked[0][0] == 1
+        assert ranked[-1][2] == 0
+
+    def test_most_relevant_none_when_unreachable(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        index = SPCIndex.build(g)
+        assert most_relevant(index, 0, [2]) is None

@@ -1,0 +1,83 @@
+"""Tests for the oracle-sampled betweenness estimator."""
+
+import math
+
+import pytest
+
+from repro.applications.betweenness import (
+    brandes_betweenness,
+    pair_dependency,
+    sampled_betweenness,
+)
+from repro.core.index import SPCIndex
+from repro.generators.classic import path_graph, star_graph
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.graph import Graph
+
+
+class TestPairDependency:
+    @pytest.fixture(scope="class")
+    def diamond(self):
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        return SPCIndex.build(g)
+
+    def test_on_path_vertex(self, diamond):
+        assert pair_dependency(diamond, 0, 3, 1) == 0.5
+        assert pair_dependency(diamond, 0, 3, 2) == 0.5
+
+    def test_endpoints_score_zero(self, diamond):
+        assert pair_dependency(diamond, 0, 3, 0) == 0.0
+        assert pair_dependency(diamond, 0, 3, 3) == 0.0
+
+    def test_off_path_vertex(self):
+        g = path_graph(5)
+        index = SPCIndex.build(g)
+        assert pair_dependency(index, 0, 2, 4) == 0.0
+        assert pair_dependency(index, 0, 2, 1) == 1.0
+
+    def test_disconnected_pair(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        index = SPCIndex.build(g)
+        assert pair_dependency(index, 0, 2, 1) == 0.0
+
+    def test_sums_to_brandes_over_all_pairs(self):
+        g = gnp_random_graph(14, 0.3, seed=2)
+        index = SPCIndex.build(g)
+        exact = brandes_betweenness(g)
+        for v in range(g.n):
+            total = sum(
+                pair_dependency(index, s, t, v)
+                for s in range(g.n)
+                for t in range(s + 1, g.n)
+            )
+            assert math.isclose(total, exact[v], abs_tol=1e-9)
+
+
+class TestSampledBetweenness:
+    def test_exhaustive_sampling_on_star(self):
+        # With enough samples on a tiny graph the hub's estimate must be
+        # within noise of the exact value C(4,2) = 6.
+        g = star_graph(5)
+        index = SPCIndex.build(g)
+        estimates = sampled_betweenness(index, g.n, vertices=[0], samples=4000, seed=1)
+        assert abs(estimates[0] - 6.0) < 1.0
+
+    def test_leaves_are_zero(self):
+        g = star_graph(5)
+        index = SPCIndex.build(g)
+        estimates = sampled_betweenness(index, g.n, samples=200, seed=2)
+        assert all(estimates[v] == 0.0 for v in range(1, 5))
+
+    def test_ranking_agrees_with_brandes(self):
+        g = gnp_random_graph(20, 0.2, seed=3)
+        index = SPCIndex.build(g)
+        exact = brandes_betweenness(g)
+        estimates = sampled_betweenness(index, g.n, samples=3000, seed=4)
+        top_exact = max(range(g.n), key=lambda v: exact[v])
+        top_estimate = max(range(g.n), key=lambda v: estimates[v])
+        assert exact[top_estimate] >= 0.5 * exact[top_exact]
+
+    def test_tiny_graph(self):
+        g = path_graph(1)
+        index = SPCIndex.build(g)
+        assert sampled_betweenness(index, 1, samples=10) == {0: 0.0}

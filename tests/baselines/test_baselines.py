@@ -1,0 +1,114 @@
+"""Tests for the online baselines: BFS oracle, bidirectional BFS, matrices."""
+
+import pytest
+
+from tests.conftest import assert_oracle_exact
+
+from repro.baselines.apsp_matrix import CountMatrixOracle
+from repro.baselines.bfs_counting import BFSCountingOracle, spc_all_pairs
+from repro.baselines.bidirectional import bidirectional_spc
+from repro.generators.classic import cycle_graph, grid_graph, path_graph, star_graph
+from repro.generators.random_graphs import barabasi_albert_graph, gnp_random_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_bfs
+
+INF = float("inf")
+
+
+class TestBFSCountingOracle:
+    def test_exact(self):
+        g = gnp_random_graph(20, 0.2, seed=1)
+        assert_oracle_exact(BFSCountingOracle(g), g)
+
+    def test_build_classmethod(self):
+        g = path_graph(4)
+        oracle = BFSCountingOracle.build(g, ordering="ignored")
+        assert oracle.count(0, 3) == 1
+
+    def test_individual_accessors(self):
+        g = cycle_graph(6)
+        oracle = BFSCountingOracle(g)
+        assert oracle.count(0, 3) == 2
+        assert oracle.distance(0, 3) == 3
+
+
+class TestAllPairs:
+    def test_matches_per_pair_bfs(self):
+        g = gnp_random_graph(15, 0.25, seed=2)
+        dist, count = spc_all_pairs(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                want_d, want_c = spc_bfs(g, s, t)
+                assert dist[s][t] == want_d
+                got_c = count[s][t] if count[s][t] else 0
+                if s == t:
+                    assert count[s][t] == 1
+                else:
+                    assert got_c == want_c
+
+    def test_symmetry(self):
+        g = gnp_random_graph(12, 0.3, seed=3)
+        dist, count = spc_all_pairs(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert dist[s][t] == dist[t][s]
+                assert count[s][t] == count[t][s]
+
+
+class TestBidirectional:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_on_random(self, seed):
+        g = gnp_random_graph(25, 0.12, seed=seed)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert bidirectional_spc(g, s, t) == spc_bfs(g, s, t), (s, t)
+
+    def test_self(self):
+        g = path_graph(3)
+        assert bidirectional_spc(g, 1, 1) == (0, 1)
+
+    def test_adjacent(self):
+        g = path_graph(3)
+        assert bidirectional_spc(g, 0, 1) == (1, 1)
+
+    def test_disconnected(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        assert bidirectional_spc(g, 0, 4) == (INF, 0)
+        assert bidirectional_spc(g, 0, 2) == (INF, 0)
+
+    def test_odd_and_even_meets(self):
+        g = path_graph(9)
+        assert bidirectional_spc(g, 0, 7) == (7, 1)
+        assert bidirectional_spc(g, 0, 8) == (8, 1)
+
+    def test_grid_counts(self):
+        g = grid_graph(5, 5)
+        assert bidirectional_spc(g, 0, 24) == (8, 70)
+
+    def test_star_hub_balancing(self):
+        g = star_graph(30)
+        assert bidirectional_spc(g, 1, 2) == (2, 1)
+
+    def test_scale_free(self):
+        g = barabasi_albert_graph(60, 2, seed=4)
+        for s in range(0, 60, 7):
+            for t in range(60):
+                assert bidirectional_spc(g, s, t) == spc_bfs(g, s, t)
+
+
+class TestCountMatrixOracle:
+    def test_exact(self):
+        g = gnp_random_graph(15, 0.2, seed=5)
+        assert_oracle_exact(CountMatrixOracle.build(g), g)
+
+    def test_size_accounting(self):
+        g = path_graph(10)
+        oracle = CountMatrixOracle.build(g)
+        assert oracle.size_bytes() == 10 * 10 * 12
+        assert oracle.size_bytes(bytes_per_cell=4) == 400
+
+    def test_self_pair(self):
+        g = path_graph(3)
+        oracle = CountMatrixOracle.build(g)
+        assert oracle.count(1, 1) == 1
+        assert oracle.count_with_distance(2, 2) == (0, 1)

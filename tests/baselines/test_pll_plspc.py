@@ -1,0 +1,117 @@
+"""Tests for PLL (distance baseline) and PL-SPC (planar counting oracle)."""
+
+import pytest
+
+from tests.conftest import assert_oracle_exact
+
+from repro.baselines.pl_spc import PLSPCIndex
+from repro.baselines.pll import PrunedLandmarkLabeling
+from repro.core.hp_spc import build_labels
+from repro.core.index import SPCIndex
+from repro.exceptions import OrderingError
+from repro.generators.classic import cycle_graph, grid_graph, path_graph
+from repro.generators.planar import triangular_lattice
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.traversal import bfs_distances
+from repro.theory.planar_order import planar_separator_order
+
+INF = float("inf")
+
+
+class TestPLL:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_distances_exact(self, seed):
+        g = gnp_random_graph(25, 0.15, seed=seed)
+        pll = PrunedLandmarkLabeling.build(g)
+        for s in range(g.n):
+            dist = bfs_distances(g, s)
+            for t in range(g.n):
+                assert pll.distance(s, t) == dist[t]
+
+    def test_disconnected(self):
+        from repro.graph.graph import Graph
+
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        pll = PrunedLandmarkLabeling.build(g)
+        assert pll.distance(0, 2) == INF
+
+    def test_hub_sets_match_canonical_hp_spc(self):
+        g = gnp_random_graph(30, 0.12, seed=7)
+        pll = PrunedLandmarkLabeling.build(g, ordering="degree")
+        labels = build_labels(g, ordering="degree")
+        for v in range(g.n):
+            assert pll.hubs(v) == {h for _, h, _, _ in labels.canonical(v)}
+
+    def test_smaller_than_counting_labels(self):
+        g = grid_graph(5, 5)
+        pll = PrunedLandmarkLabeling.build(g)
+        labels = build_labels(g, ordering="degree")
+        assert pll.total_entries() <= labels.total_entries()
+
+    def test_rejects_dynamic_order(self):
+        g = path_graph(4)
+        with pytest.raises(OrderingError, match="static"):
+            PrunedLandmarkLabeling.build(g, ordering="significant-path")
+
+    def test_explicit_order(self):
+        g = cycle_graph(5)
+        pll = PrunedLandmarkLabeling.build(g, ordering=[4, 3, 2, 1, 0])
+        assert pll.order == (4, 3, 2, 1, 0)
+        assert pll.distance(0, 2) == 2
+
+    def test_repr(self):
+        g = path_graph(3)
+        assert "PrunedLandmarkLabeling" in repr(PrunedLandmarkLabeling.build(g))
+
+
+class TestPLSPC:
+    @pytest.fixture(scope="class")
+    def lattice(self):
+        return triangular_lattice(6, 7)
+
+    def test_exact_on_lattice(self, lattice):
+        g, points = lattice
+        index = PLSPCIndex.build(g, points=points)
+        assert_oracle_exact(index, g)
+
+    def test_exact_without_points(self):
+        g = grid_graph(5, 6)
+        index = PLSPCIndex.build(g)
+        assert_oracle_exact(index, g)
+
+    def test_hubs_superset_of_hp_spc_p(self, lattice):
+        # §5.1: HP-SPC_P's hubs are a subset of PL-SPC's under the same
+        # separator-tree order.
+        g, points = lattice
+        order = planar_separator_order(g, points=points)
+        pl = PLSPCIndex.build(g, order=order)
+        hp = SPCIndex.build(g, ordering=list(order))
+        assert pl.total_entries() >= hp.total_entries()
+        for v in range(g.n):
+            assert hp.labels.hubs(v) <= pl.labels.hubs(v)
+
+    def test_faster_style_construction_no_pruning_joins(self, lattice):
+        # PL-SPC never consults labels during construction: its per-push
+        # visit count equals the region size, hence the entry total equals
+        # the sum of visits. (Structural invariant, not a timing test.)
+        g, points = lattice
+        order = planar_separator_order(g, points=points)
+        pl = PLSPCIndex.build(g, order=order)
+        assert pl.total_entries() >= g.n  # every vertex has a self entry
+
+    def test_size_uses_wide_packing(self, lattice):
+        g, points = lattice
+        pl = PLSPCIndex.build(g, points=points)
+        assert pl.size_bytes() == pl.total_entries() * 24
+
+    def test_build_seconds_recorded(self, lattice):
+        g, points = lattice
+        pl = PLSPCIndex.build(g, points=points)
+        assert pl.build_seconds > 0
+
+    def test_stale_entries_never_pollute_queries(self):
+        # Dense-ish planar instance where many shortest paths cross
+        # separators: exactness is the whole point.
+        g, points = triangular_lattice(5, 9)
+        index = PLSPCIndex.build(g, points=points, leaf_size=4)
+        assert_oracle_exact(index, g)

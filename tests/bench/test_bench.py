@@ -1,0 +1,144 @@
+"""Tests for the benchmark harness and experiment drivers (smoke-scale)."""
+
+import pytest
+
+from repro.bench.harness import format_table, markdown_table, time_queries
+from repro.bench.workloads import group_workload, query_workload
+from repro.core.index import SPCIndex
+from repro.generators.classic import cycle_graph
+
+
+class TestHarness:
+    def test_time_queries(self):
+        index = SPCIndex.build(cycle_graph(12))
+        avg, total = time_queries(index, [(0, 3), (1, 7)], repeat=3)
+        assert avg > 0
+        assert total == 6
+
+    def test_time_queries_rejects_empty(self):
+        index = SPCIndex.build(cycle_graph(4))
+        with pytest.raises(ValueError):
+            time_queries(index, [])
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]
+        text = format_table(rows, [("a", "A", None), ("b", "B", ".2f")], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "B" in lines[1]
+        assert "0.25" in text
+
+    def test_markdown_table(self):
+        rows = [{"a": 1}]
+        text = markdown_table(rows, [("a", "A", None)], title="X")
+        assert text.startswith("### X")
+        assert "| 1 |" in text
+
+    def test_query_workload(self):
+        pairs = query_workload(10, queries=50, seed=1)
+        assert len(pairs) == 50
+        assert all(0 <= s < 10 and 0 <= t < 10 for s, t in pairs)
+
+    def test_query_workload_distinct(self):
+        pairs = query_workload(5, queries=30, seed=2, distinct=True)
+        assert all(s != t for s, t in pairs)
+
+    def test_query_workload_deterministic(self):
+        assert query_workload(10, 20, seed=3) == query_workload(10, 20, seed=3)
+
+    def test_group_workload(self):
+        groups = group_workload(20, groups=5, group_size=3, seed=4, exclude=(0, 1))
+        assert len(groups) == 5
+        assert all(len(set(g)) == 3 for g in groups)
+        assert all(0 not in g and 1 not in g for g in groups)
+
+    def test_group_workload_validates(self):
+        with pytest.raises(ValueError):
+            group_workload(3, groups=1, group_size=5)
+
+
+class TestExperimentDrivers:
+    """Smoke tests: every driver runs at tiny scale and returns sane rows."""
+
+    SCALE = 0.06
+
+    def test_table3(self):
+        from repro.bench.experiments import exp_table3
+
+        rows = exp_table3(scale=self.SCALE, queries=10)
+        assert len(rows) == 10
+        assert all(row["bfs_ms"] > 0 for row in rows)
+        assert rows[0]["paper_n"] == 63731
+
+    def test_exp1(self):
+        from repro.bench.experiments import exp1_ordering
+
+        rows = exp1_ordering(scale=self.SCALE, queries=20, notations=["FB", "GO"])
+        assert len(rows) == 2
+        assert all(row["index_s_D"] > 0 and row["index_s_S"] > 0 for row in rows)
+
+    def test_exp2(self):
+        from repro.bench.experiments import exp2_performance
+
+        rows = exp2_performance(scale=self.SCALE, queries=20, notations=["FB"])
+        variants = {row["variant"] for row in rows}
+        assert variants == {"HP-SPC_S", "HP-SPC+_S", "HP-SPC*_S", "HP-SPC*_D"}
+
+    def test_exp3(self):
+        from repro.bench.experiments import exp3_query_schemes
+
+        rows = exp3_query_schemes(scale=self.SCALE, queries=20, notations=["YT"])
+        assert rows[0]["filtered_us"] > 0
+        assert rows[0]["direct_us"] > 0
+
+    def test_exp4(self):
+        from repro.bench.experiments import exp4_reductions
+
+        rows = exp4_reductions(scale=self.SCALE, notations=["YT", "PE"])
+        yt = next(r for r in rows if r["dataset"] == "YT")
+        pe = next(r for r in rows if r["dataset"] == "PE")
+        assert yt["both_fraction"] > pe["both_fraction"]
+
+    def test_exp5(self):
+        from repro.bench.experiments import exp5_labels
+
+        results = exp5_labels(scale=self.SCALE, queries=60, notations=["FB"])
+        assert set(results) == {"figure9", "table4", "figure10", "histograms"}
+        assert "FB" in results["histograms"]
+        row = results["table4"][0]
+        assert row["p40"] >= 1.0
+        assert row["max"] >= row["p90"] >= row["p40"]
+        fig9 = results["figure9"][0]
+        assert fig9["canonical"] > 0 and fig9["noncanonical"] >= 0
+
+    def test_exp6(self):
+        from repro.bench.experiments import exp6_planar
+
+        rows = exp6_planar(n=60, queries=20)
+        variants = [row["variant"] for row in rows]
+        assert variants == ["PL-SPC", "HP-SPC_P", "HP-SPC_D", "HP-SPC_S"]
+        pl = rows[0]
+        hp_p = rows[1]
+        assert pl["entries"] >= hp_p["entries"], "PL-SPC labels are supersets"
+
+    def test_theory_bounds(self):
+        from repro.bench.experiments import exp_theory_bounds
+
+        rows = exp_theory_bounds()
+        assert len(rows) == 3
+        planar = rows[0]
+        assert planar["max"] <= 4 * planar["beta"]
+
+    def test_directed(self):
+        from repro.bench.experiments import exp_directed
+
+        rows = exp_directed(n=40, queries=20)
+        assert rows[-1]["variant"] == "Dijkstra (online)"
+        assert rows[0]["query_us"] < rows[-1]["query_us"]
+
+    def test_applications(self):
+        from repro.bench.experiments import exp_applications
+
+        rows = exp_applications(scale=0.08, groups=3, group_size=3, pair_count=40)
+        assert len(rows) == 2
+        assert rows[0]["score_sum"] == pytest.approx(rows[1]["score_sum"])

@@ -1,0 +1,60 @@
+"""Tests for the ASCII figure renderings."""
+
+from repro.bench.plots import bar_chart, cdf_chart
+
+
+class TestBarChart:
+    ROWS = [
+        {"g": "FB", "a": 10.0, "b": 20.0},
+        {"g": "IN", "a": 5.0, "b": 0.0},
+    ]
+
+    def test_contains_labels_and_values(self):
+        text = bar_chart(self.ROWS, "g", [("a", "alpha"), ("b", "beta")], title="T")
+        assert text.startswith("T")
+        assert "FB" in text and "IN" in text
+        assert "alpha" in text and "beta" in text
+        assert "20.0" in text
+
+    def test_longest_bar_is_max(self):
+        text = bar_chart(self.ROWS, "g", [("a", "alpha"), ("b", "beta")])
+        lines = [ln for ln in text.splitlines() if "█" in ln or "▌" in ln]
+        widths = {ln.split()[1]: ln.count("█") for ln in lines if len(ln.split()) > 1}
+        # The b=20 bar must be the widest.
+        beta_fb = next(ln for ln in lines if "beta" in ln and "20.0" in ln)
+        assert beta_fb.count("█") == max(ln.count("█") for ln in lines)
+
+    def test_zero_value_has_no_bar(self):
+        text = bar_chart(self.ROWS, "g", [("b", "beta")])
+        zero_line = next(ln for ln in text.splitlines() if ln.endswith(" 0.0"))
+        assert "█" not in zero_line
+
+    def test_log_scale(self):
+        rows = [{"g": "x", "a": 1.0}, {"g": "y", "a": 1000.0}]
+        linear = bar_chart(rows, "g", [("a", "s")], log_scale=False)
+        log = bar_chart(rows, "g", [("a", "s")], log_scale=True)
+        small_linear = linear.splitlines()[0].count("█")
+        small_log = log.splitlines()[0].count("█") + log.splitlines()[0].count("▌")
+        assert small_log <= small_linear + 1  # log squashes ratios, both tiny
+        big_log = log.splitlines()[1].count("█")
+        assert big_log > small_log
+
+    def test_single_series_no_blank_separators(self):
+        text = bar_chart(self.ROWS, "g", [("a", "s")])
+        assert "" not in text.splitlines()
+
+
+class TestCDFChart:
+    def test_monotone_to_full(self):
+        text = cdf_chart([1, 2, 2, 4, 9], title="C")
+        lines = text.splitlines()[1:]
+        fractions = [float(ln.split()[-1].rstrip("%")) for ln in lines]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 100.0
+
+    def test_empty_data(self):
+        assert "(no data)" in cdf_chart([])
+
+    def test_single_value(self):
+        text = cdf_chart([5, 5, 5])
+        assert "100.0%" in text

@@ -1,0 +1,86 @@
+"""Shared fixtures: the paper's worked-example graphs and small helpers.
+
+Vertex naming: the paper's ``v1..v13`` map to ids ``0..12`` (``v_k`` is
+id ``k-1``) in every fixture and every test that references the paper.
+"""
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_bfs
+
+INF = float("inf")
+
+
+def _edges_1_indexed(pairs):
+    return [(u - 1, v - 1) for u, v in pairs]
+
+
+#: Figure 2a — the running-example graph G (13 vertices).
+#: Core (= Figure 4b after shell cut): v1..v8; shell: v9..v13 with
+#: a({v10,v11,v12}) = a({v13}) = v7 and a({v9}) = v4 (Example 4.1).
+PAPER_G_EDGES = _edges_1_indexed(
+    [
+        (1, 2), (1, 5), (7, 2), (7, 5),          # v1 / v7 are equivalent twins
+        (2, 3), (2, 6), (3, 5),
+        (3, 4), (3, 8), (4, 6), (8, 6), (4, 8),  # v4 / v8 are adjacent twins
+        (7, 10), (7, 13), (10, 11), (11, 12),    # shell trees at v7
+        (4, 9),                                   # shell tree at v4
+    ]
+)
+
+#: Figure 2b — G', the equivalence-reduced core (6 vertices v1..v6).
+PAPER_GPRIME_EDGES = _edges_1_indexed(
+    [(1, 2), (1, 5), (2, 3), (2, 6), (3, 5), (3, 4), (4, 6)]
+)
+
+#: §3's total order for G': v2 ⪯ v3 ⪯ v5 ⪯ v6 ⪯ v1 ⪯ v4 (0-indexed ids).
+PAPER_GPRIME_ORDER = [1, 2, 4, 5, 0, 3]
+
+#: Table 2's labeling for G' under that order: vertex -> {hub: (dist, count)}.
+PAPER_TABLE2_LABELS = {
+    0: {1: (1, 1), 2: (2, 1), 4: (1, 1), 0: (0, 1)},
+    1: {1: (0, 1)},
+    2: {1: (1, 1), 2: (0, 1)},
+    3: {1: (2, 2), 2: (1, 1), 5: (1, 1), 3: (0, 1)},
+    4: {1: (2, 2), 2: (1, 1), 4: (0, 1)},
+    5: {1: (1, 1), 2: (2, 1), 5: (0, 1)},
+}
+
+
+@pytest.fixture
+def paper_g():
+    """Figure 2a's graph G (ids 0..12 for v1..v13)."""
+    return Graph.from_edges(13, PAPER_G_EDGES)
+
+
+@pytest.fixture
+def paper_gprime():
+    """Figure 2b's graph G' (ids 0..5 for v1..v6)."""
+    return Graph.from_edges(6, PAPER_GPRIME_EDGES)
+
+
+@pytest.fixture
+def paper_gprime_order():
+    """§3's total order over G' (rank -> vertex id)."""
+    return list(PAPER_GPRIME_ORDER)
+
+
+def brute_force_all_pairs(graph):
+    """Ground-truth ``{(s, t): (dist, count)}`` over all ordered pairs."""
+    return {
+        (s, t): spc_bfs(graph, s, t)
+        for s in range(graph.n)
+        for t in range(graph.n)
+    }
+
+
+def assert_oracle_exact(oracle, graph, pairs=None):
+    """Assert an oracle's count_with_distance matches BFS on all pairs."""
+    items = pairs or [
+        (s, t) for s in range(graph.n) for t in range(graph.n)
+    ]
+    for s, t in items:
+        want = spc_bfs(graph, s, t)
+        got = oracle.count_with_distance(s, t)
+        assert got == want, f"({s},{t}): oracle {got} != bfs {want}"

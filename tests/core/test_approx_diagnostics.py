@@ -1,0 +1,195 @@
+"""Tests for budgeted approximation, diagnostics and set queries."""
+
+import pytest
+
+from repro.core.approx import BudgetedApproximator, accuracy_curve
+from repro.core.diagnostics import (
+    label_statistics,
+    query_statistics,
+    validate_against_bfs,
+    validate_structure,
+)
+from repro.core.hp_spc import build_labels
+from repro.core.query import count_query, count_set_query
+from repro.exceptions import LabelingError
+from repro.generators.classic import cycle_graph, grid_graph, path_graph
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_bfs
+
+INF = float("inf")
+
+
+class TestBudgetedApproximator:
+    @pytest.fixture(scope="class")
+    def labels(self):
+        return build_labels(grid_graph(5, 5), ordering="degree")
+
+    def test_budget_zero_is_canonical_only(self, labels):
+        from repro.core.query import count_canonical_only
+
+        approx = BudgetedApproximator(labels, 0)
+        for s in range(10):
+            for t in range(10):
+                assert approx.count_with_distance(s, t) == count_canonical_only(
+                    labels, s, t
+                )
+
+    def test_budget_none_is_exact(self, labels):
+        approx = BudgetedApproximator(labels, None)
+        for s in range(labels.n):
+            for t in range(labels.n):
+                assert approx.count_with_distance(s, t) == count_query(labels, s, t)
+
+    def test_monotone_in_budget(self, labels):
+        approximators = [BudgetedApproximator(labels, b) for b in (0, 1, 2, 4, None)]
+        for s in range(0, labels.n, 3):
+            for t in range(labels.n):
+                estimates = [a.count(s, t) for a in approximators]
+                assert estimates == sorted(estimates), (s, t)
+
+    def test_never_overcounts(self, labels):
+        approx = BudgetedApproximator(labels, 2)
+        for s in range(labels.n):
+            for t in range(labels.n):
+                assert approx.count(s, t) <= count_query(labels, s, t)[1]
+
+    def test_distance_always_exact(self, labels):
+        approx = BudgetedApproximator(labels, 0)
+        for s in range(labels.n):
+            for t in range(labels.n):
+                assert approx.distance(s, t) == count_query(labels, s, t)[0]
+
+    def test_retained_entries_grow_with_budget(self, labels):
+        sizes = [BudgetedApproximator(labels, b).retained_entries() for b in (0, 1, 3)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == labels.canonical_size()
+
+    def test_negative_budget_rejected(self, labels):
+        with pytest.raises(ValueError):
+            BudgetedApproximator(labels, -1)
+
+    def test_accuracy_curve_improves(self):
+        g = gnp_random_graph(40, 0.15, seed=3)
+        labels = build_labels(g, ordering="degree")
+        pairs = [(s, t) for s in range(0, 40, 5) for t in range(40)]
+        rows = accuracy_curve(labels, pairs, budgets=[0, 2, 8, None])
+        fractions = [row["exact_fraction"] for row in rows]
+        assert fractions == sorted(fractions)
+        assert rows[-1]["exact_fraction"] == 1.0
+        assert rows[-1]["mean_ratio"] == pytest.approx(1.0)
+
+
+class TestDiagnostics:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return gnp_random_graph(25, 0.2, seed=5)
+
+    @pytest.fixture(scope="class")
+    def labels(self, graph):
+        return build_labels(graph, ordering="degree")
+
+    def test_validate_against_bfs_ok(self, labels, graph):
+        assert validate_against_bfs(labels, graph, samples=100) == 100
+
+    def test_validate_against_bfs_detects_corruption(self, graph):
+        labels = build_labels(graph, ordering="degree")
+        # Inflate every count: any sampled connected pair now mismatches.
+        for v in range(graph.n):
+            row = labels.merged(v)
+            for i, (rank, hub, d, c) in enumerate(row):
+                row[i] = (rank, hub, d, c + 1)
+        with pytest.raises(LabelingError, match="BFS"):
+            validate_against_bfs(labels, graph, samples=300)
+
+    def test_validate_structure_ok(self, labels, graph):
+        assert validate_structure(labels, graph)
+
+    def test_validate_structure_detects_wrong_distance(self, graph):
+        labels = build_labels(graph, ordering="degree")
+        v = next(v for v in range(graph.n) if len(labels.canonical(v)) > 1)
+        rank, hub, d, c = labels._canonical[v][0]
+        labels._canonical[v][0] = (rank, hub, d + 1, c)
+        labels.finalize()
+        with pytest.raises(LabelingError, match="distance"):
+            validate_structure(labels, graph)
+
+    def test_validate_structure_detects_missing_self(self, graph):
+        labels = build_labels(graph, ordering="degree")
+        labels._canonical[3] = [e for e in labels._canonical[3] if e[1] != 3]
+        labels.finalize()
+        with pytest.raises(LabelingError, match="self"):
+            validate_structure(labels, graph)
+
+    def test_label_statistics(self, labels):
+        stats = label_statistics(labels)
+        assert stats["n"] == 25
+        assert stats["total_entries"] == labels.total_entries()
+        assert stats["max_label"] >= stats["median_label"] >= stats["min_label"]
+        assert stats["bytes_64bit"] == labels.total_entries() * 8
+
+    def test_query_statistics(self, labels):
+        stats = query_statistics(labels, [(0, 1), (2, 3), (4, 4)])
+        assert stats["queries"] == 3
+        assert stats["avg_scanned_entries"] > 0
+
+
+class TestSetQueries:
+    @pytest.fixture(scope="class")
+    def labels_and_graph(self):
+        g = gnp_random_graph(20, 0.2, seed=9)
+        return build_labels(g, ordering="degree"), g
+
+    def test_singletons_match_pair_query(self, labels_and_graph):
+        labels, g = labels_and_graph
+        for s in range(g.n):
+            for t in range(g.n):
+                want = count_query(labels, s, t) if s != t else (0, 1)
+                got = count_set_query(labels, [s], [t])
+                if s == t:
+                    assert got == (0, 1)
+                else:
+                    assert got == want
+
+    def test_matches_brute_force(self, labels_and_graph):
+        labels, g = labels_and_graph
+        sources = [0, 3, 7]
+        targets = [11, 15]
+        best = INF
+        for s in sources:
+            for t in targets:
+                d, _ = spc_bfs(g, s, t)
+                best = min(best, d)
+        total = 0
+        for s in sources:
+            for t in targets:
+                d, c = spc_bfs(g, s, t)
+                if d == best:
+                    total += c
+        assert count_set_query(labels, sources, targets) == (best, total)
+
+    def test_overlapping_sets(self, labels_and_graph):
+        labels, _ = labels_and_graph
+        assert count_set_query(labels, [2, 5], [5, 9]) == (0, 1)
+        assert count_set_query(labels, [2, 5], [2, 5]) == (0, 2)
+
+    def test_disconnected_sets(self):
+        g = Graph.from_edges(6, [(0, 1), (2, 3)])
+        labels = build_labels(g)
+        assert count_set_query(labels, [0, 1], [4, 5]) == (INF, 0)
+
+    def test_neighbors_to_neighbors_is_is_reduction_identity(self):
+        # §4.3: spc(s, t) == spc(nbr(s), nbr(t)) with a +2 distance shift
+        # for non-adjacent, non-equal s, t.
+        g = cycle_graph(9)
+        labels = build_labels(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                d, c = count_query(labels, s, t)
+                if s == t or d <= 2:
+                    continue
+                set_d, set_c = count_set_query(
+                    labels, list(g.neighbors(s)), list(g.neighbors(t))
+                )
+                assert set_d == d - 2
+                assert set_c == c

@@ -1,0 +1,66 @@
+"""Tests for the betweenness-based vertex ordering."""
+
+import pytest
+
+from tests.conftest import assert_oracle_exact
+
+from repro.core.hp_spc import build_labels
+from repro.core.index import SPCIndex
+from repro.core.ordering import BetweennessOrdering, resolve_ordering
+from repro.generators.classic import barbell_graph, path_graph, star_graph
+from repro.generators.random_graphs import gnp_random_graph
+
+
+class TestBetweennessOrdering:
+    def test_resolved_by_name(self):
+        assert isinstance(resolve_ordering("betweenness"), BetweennessOrdering)
+
+    def test_star_hub_first(self):
+        order = BetweennessOrdering().static_order(star_graph(8))
+        assert order[0] == 0
+
+    def test_path_center_first(self):
+        order = BetweennessOrdering().static_order(path_graph(9))
+        assert order[0] == 4
+
+    def test_bridge_vertices_outrank_clique_members(self):
+        g = barbell_graph(5, 3)
+        order = BetweennessOrdering().static_order(g)
+        bridge = {5, 6, 7}  # the path vertices between the cliques
+        assert set(order[:3]) & bridge, "a bridge vertex should rank near the top"
+
+    def test_full_permutation(self):
+        g = gnp_random_graph(30, 0.15, seed=3)
+        order = BetweennessOrdering().static_order(g)
+        assert sorted(order) == list(range(30))
+
+    def test_sampling_is_deterministic_per_seed(self):
+        g = gnp_random_graph(120, 0.05, seed=4)
+        a = BetweennessOrdering(samples=16, seed=9).static_order(g)
+        b = BetweennessOrdering(samples=16, seed=9).static_order(g)
+        assert a == b
+
+    def test_index_exact_under_betweenness_order(self):
+        g = gnp_random_graph(25, 0.18, seed=5)
+        index = SPCIndex.build(g, ordering="betweenness")
+        assert_oracle_exact(index, g)
+
+    def test_beats_random_order_on_labels(self):
+        import random
+
+        g = gnp_random_graph(60, 0.1, seed=6)
+        random_order = list(g.vertices())
+        random.Random(1).shuffle(random_order)
+        random_size = build_labels(g, ordering=random_order).total_entries()
+        betweenness_size = build_labels(g, ordering="betweenness").total_entries()
+        assert betweenness_size < random_size
+
+    def test_works_in_reduction_pipeline(self):
+        from repro.reductions.pipeline import ReducedSPCIndex
+
+        g = gnp_random_graph(20, 0.2, seed=7)
+        index = ReducedSPCIndex.build(
+            g, ordering="betweenness",
+            reductions=("shell", "equivalence", "independent-set"),
+        )
+        assert_oracle_exact(index, g)

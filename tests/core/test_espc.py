@@ -1,0 +1,132 @@
+"""Tests for explicit ESPC materialisation and verification (§3.1)."""
+
+import pytest
+
+from repro.core.espc import (
+    all_shortest_paths,
+    build_espc,
+    cover,
+    is_minimal_espc,
+    is_trough_path,
+    labels_from_espc,
+    verify_espc,
+    vertices_on_shortest_paths,
+)
+from repro.core.hp_spc import build_labels
+from repro.exceptions import LabelingError, OrderingError
+from repro.generators.classic import cycle_graph, grid_graph, path_graph
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.graph import Graph
+
+
+class TestPathEnumeration:
+    def test_self_path(self):
+        g = path_graph(3)
+        assert all_shortest_paths(g, 1, 1) == [(1,)]
+
+    def test_single_path(self):
+        g = path_graph(4)
+        assert all_shortest_paths(g, 0, 3) == [(0, 1, 2, 3)]
+
+    def test_disconnected(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert all_shortest_paths(g, 0, 2) == []
+
+    def test_cycle_antipode(self):
+        g = cycle_graph(6)
+        paths = set(all_shortest_paths(g, 0, 3))
+        assert paths == {(0, 1, 2, 3), (0, 5, 4, 3)}
+
+    def test_grid_counts(self):
+        g = grid_graph(3, 3)
+        assert len(all_shortest_paths(g, 0, 8)) == 6  # C(4,2)
+
+    def test_paths_start_and_end_correctly(self):
+        g = gnp_random_graph(12, 0.3, seed=1)
+        for path in all_shortest_paths(g, 0, 5):
+            assert path[0] == 0
+            assert path[-1] == 5
+
+    def test_q_set(self):
+        g = cycle_graph(6)
+        assert vertices_on_shortest_paths(g, 0, 3) == {0, 1, 2, 3, 4, 5}
+
+
+class TestTroughPaths:
+    def test_single_vertex_is_trough(self):
+        assert is_trough_path((0,), [0])
+
+    def test_endpoint_must_top_rank(self):
+        rank = [2, 0, 1]  # vertex 1 has highest rank
+        assert is_trough_path((1, 0, 2), rank)
+        assert not is_trough_path((0, 1, 2), rank)
+
+
+class TestESPCConstruction:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_trough_construction_is_espc(self, seed):
+        import random
+
+        g = gnp_random_graph(10, 0.3, seed=seed)
+        order = list(range(g.n))
+        random.Random(seed).shuffle(order)
+        cover_map, _ = build_espc(g, order)
+        assert verify_espc(g, cover_map)
+
+    def test_rejects_bad_order(self):
+        g = path_graph(3)
+        with pytest.raises(OrderingError):
+            build_espc(g, [0, 0, 1])
+
+    def test_minimality(self):
+        g = cycle_graph(5)
+        cover_map, _ = build_espc(g, list(range(5)))
+        assert is_minimal_espc(g, cover_map)
+
+    def test_verify_catches_missing_entry(self):
+        g = cycle_graph(5)
+        cover_map, _ = build_espc(g, list(range(5)))
+        # Remove a non-self entry: some pair loses coverage.
+        victim = next(v for v in range(5) if len(cover_map[v]) > 1)
+        hub = next(w for w in cover_map[victim] if w != victim)
+        del cover_map[victim][hub]
+        with pytest.raises(LabelingError):
+            verify_espc(g, cover_map)
+
+    def test_verify_catches_double_cover(self):
+        g = cycle_graph(5)
+        cover_map, _ = build_espc(g, list(range(5)))
+        # Duplicate a path inside an entry: multiset now over-covers.
+        victim = next(v for v in range(5) if any(w != v for w in cover_map[v]))
+        hub = next(w for w in cover_map[victim] if w != victim)
+        cover_map[victim][hub] = cover_map[victim][hub] * 2
+        with pytest.raises(LabelingError):
+            verify_espc(g, cover_map)
+
+    def test_labels_from_espc_match_engine(self):
+        g = gnp_random_graph(12, 0.25, seed=9)
+        order = sorted(g.vertices(), key=lambda v: (-g.degree(v), v))
+        cover_map, _ = build_espc(g, order)
+        induced = labels_from_espc(cover_map)
+        engine = build_labels(g, ordering=order)
+        for v in range(g.n):
+            got = {h: (d, c) for _, h, d, c in engine.merged(v)}
+            assert got == induced[v]
+
+
+class TestCoverOperator:
+    def test_concatenation_includes_middle_once(self):
+        entries_u = {2: ((0, 1, 2),)}
+        entries_v = {2: ((3, 2),)}
+        multiset = cover(entries_u, entries_v, 3)
+        assert dict(multiset) == {(0, 1, 2, 3): 1}
+
+    def test_distance_mismatch_ignored(self):
+        entries_u = {2: ((0, 1, 2),)}
+        entries_v = {2: ((3, 4, 5, 2),)}
+        assert not cover(entries_u, entries_v, 3)
+
+    def test_missing_hub_ignored(self):
+        entries_u = {2: ((0, 2),)}
+        entries_v = {9: ((3, 9),)}
+        assert not cover(entries_u, entries_v, 2)

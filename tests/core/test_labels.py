@@ -1,0 +1,96 @@
+"""Unit tests for the LabelSet container."""
+
+import pytest
+
+from repro.core.labels import LabelEntry, LabelSet
+from repro.exceptions import LabelingError
+
+
+@pytest.fixture
+def small_labels():
+    labels = LabelSet(3)
+    labels.set_order([2, 0, 1])  # ranks: v2=0, v0=1, v1=2
+    labels.append_canonical(0, 0, 2, 1, 1)
+    labels.append_canonical(0, 1, 0, 0, 1)
+    labels.append_noncanonical(0, 2, 1, 1, 2)
+    labels.append_canonical(1, 0, 2, 2, 3)
+    labels.append_canonical(1, 2, 1, 0, 1)
+    labels.append_canonical(2, 0, 2, 0, 1)
+    labels.finalize()
+    return labels
+
+
+class TestLifecycle:
+    def test_merged_requires_finalize(self):
+        labels = LabelSet(2)
+        with pytest.raises(LabelingError, match="finalize"):
+            labels.merged(0)
+
+    def test_set_order_validates_permutation(self):
+        labels = LabelSet(3)
+        with pytest.raises(LabelingError, match="permutation"):
+            labels.set_order([0, 0, 1])
+
+    def test_order_and_rank_inverse(self, small_labels):
+        assert small_labels.order == (2, 0, 1)
+        assert small_labels.rank_of == (1, 2, 0)
+
+    def test_merge_keeps_rank_order(self, small_labels):
+        ranks = [entry[0] for entry in small_labels.merged(0)]
+        assert ranks == sorted(ranks) == [0, 1, 2]
+
+    def test_merge_handles_empty_sides(self, small_labels):
+        assert len(small_labels.merged(2)) == 1
+
+    def test_validate_sorted(self, small_labels):
+        assert small_labels.validate_sorted()
+
+    def test_validate_sorted_detects_disorder(self):
+        labels = LabelSet(1)
+        labels.append_canonical(0, 5, 0, 1, 1)
+        labels.append_canonical(0, 3, 0, 2, 1)
+        with pytest.raises(LabelingError, match="rank-sorted"):
+            labels.validate_sorted()
+
+
+class TestAccessors:
+    def test_entries_namedtuples(self, small_labels):
+        entries = small_labels.entries(0)
+        assert entries[0] == LabelEntry(hub=2, dist=1, count=1)
+
+    def test_canonical_and_noncanonical_split(self, small_labels):
+        assert len(small_labels.canonical_entries(0)) == 2
+        assert len(small_labels.noncanonical_entries(0)) == 1
+
+    def test_hubs(self, small_labels):
+        assert small_labels.hubs(0) == {0, 1, 2}
+        assert small_labels.hubs(2) == {2}
+
+    def test_label_size(self, small_labels):
+        assert small_labels.label_size(0) == 3
+        assert small_labels.label_size(2) == 1
+
+    def test_size_totals(self, small_labels):
+        assert small_labels.canonical_size() == 5
+        assert small_labels.noncanonical_size() == 1
+        assert small_labels.total_entries() == 6
+
+    def test_size_histogram(self, small_labels):
+        assert small_labels.size_histogram() == [3, 2, 1]
+
+    def test_packed_size_bytes(self, small_labels):
+        assert small_labels.packed_size_bytes(64) == 48
+        assert small_labels.packed_size_bytes(192) == 144
+
+    def test_packed_size_rejects_partial_bytes(self, small_labels):
+        with pytest.raises(ValueError, match="multiple of 8"):
+            small_labels.packed_size_bytes(65)
+
+    def test_drop_label(self, small_labels):
+        small_labels.drop_label(0)
+        assert small_labels.label_size(0) == 0
+        assert small_labels.merged(0) == []
+
+    def test_repr(self, small_labels):
+        assert "entries=6" in repr(small_labels)
+        assert "finalized" in repr(small_labels)

@@ -1,0 +1,200 @@
+"""Every worked example of the paper, encoded as executable assertions.
+
+Vertex ``v_k`` of the paper is id ``k - 1`` here (see tests/conftest.py).
+"""
+
+import pytest
+
+from tests.conftest import PAPER_GPRIME_ORDER, PAPER_TABLE2_LABELS
+
+from repro.core.espc import (
+    all_shortest_paths,
+    build_espc,
+    cover,
+    is_trough_path,
+    trough_shortest_paths,
+    verify_espc,
+)
+from repro.core.hp_spc import build_labels
+from repro.core.query import count_query, distance_query
+from repro.graph.traversal import spc_bfs
+from repro.reductions.equivalence import EquivalenceReduction
+from repro.reductions.shell import ShellReduction
+
+
+class TestExample21:
+    """Example 2.1 — basic notation on graph G (Figure 2a)."""
+
+    def test_neighbors_of_v7(self, paper_g):
+        assert set(paper_g.neighbors(6)) == {1, 4, 9, 12}
+        assert paper_g.degree(6) == 4
+
+    def test_shortest_paths_v3_v6(self, paper_g):
+        paths = set(all_shortest_paths(paper_g, 2, 5))
+        assert paths == {(2, 3, 5), (2, 7, 5), (2, 1, 5)}
+        assert spc_bfs(paper_g, 2, 5) == (2, 3)
+
+    def test_q_v3_v6(self, paper_g):
+        from repro.core.espc import vertices_on_shortest_paths
+
+        assert vertices_on_shortest_paths(paper_g, 2, 5) == {1, 2, 3, 5, 7}
+
+
+class TestCanonicalHubExample:
+    """§2's canonical-labeling example: v2 ∈ L(v4) since it tops Q_{v4,v2}."""
+
+    def test_q_v4_v2(self, paper_g):
+        from repro.core.espc import vertices_on_shortest_paths
+
+        assert vertices_on_shortest_paths(paper_g, 3, 1) == {1, 2, 3, 5}
+
+    def test_identity_order_gives_v2_as_canonical_hub_of_v4(self, paper_g):
+        labels = build_labels(paper_g, ordering=list(range(13)))
+        canonical_hubs = {h for _, h, _, _ in labels.canonical(3)}
+        assert 1 in canonical_hubs
+
+
+class TestExample31And32:
+    """Examples 3.1 / 3.2 — covers on G' (Figure 2b)."""
+
+    def test_duplicate_covering_of_naive_scheme(self, paper_gprime):
+        # Example 3.1: with full path sets at hubs v1 and v2, the path
+        # (v5, v1, v2, v6) is covered twice.
+        t_v5 = {0: tuple(all_shortest_paths(paper_gprime, 4, 0)),
+                1: tuple(all_shortest_paths(paper_gprime, 4, 1))}
+        t_v6 = {0: tuple(all_shortest_paths(paper_gprime, 5, 0)),
+                1: tuple(all_shortest_paths(paper_gprime, 5, 1))}
+        multiset = cover(t_v5, t_v6, 3)
+        assert multiset[(4, 0, 1, 5)] == 2
+        assert sum(multiset.values()) == 3
+
+    def test_table2_espc_covers_exactly(self, paper_gprime, paper_gprime_order):
+        cover_map, _ = build_espc(paper_gprime, paper_gprime_order)
+        assert verify_espc(paper_gprime, cover_map)
+
+    def test_espc_entry_counts_match_table2(self, paper_gprime, paper_gprime_order):
+        cover_map, _ = build_espc(paper_gprime, paper_gprime_order)
+        for v, expected in PAPER_TABLE2_LABELS.items():
+            got = {w: (len(paths[0]) - 1, len(paths)) for w, paths in cover_map[v].items()}
+            assert got == expected, f"T(v{v + 1})"
+
+
+class TestTroughPaths:
+    """§3.1's trough-path examples on G' under the §3 order."""
+
+    @pytest.fixture
+    def rank_of(self, paper_gprime_order):
+        rank = [0] * 6
+        for r, v in enumerate(paper_gprime_order):
+            rank[v] = r
+        return rank
+
+    def test_v1_v2_v6_is_not_trough(self, rank_of):
+        assert not is_trough_path((0, 1, 5), rank_of)
+
+    def test_v6_v4_v3_is_trough(self, rank_of):
+        assert is_trough_path((5, 3, 2), rank_of)
+
+    def test_example_34_t_v6_entry_for_v3(self, paper_gprime, rank_of):
+        # Only (v6, v4, v3) of the two shortest v6-v3 paths is trough.
+        paths = trough_shortest_paths(paper_gprime, 5, 2, rank_of)
+        assert paths == [(5, 3, 2)]
+
+
+class TestTable2AndExample33:
+    """HP-SPC must reproduce Table 2's labeling and Example 3.3's query."""
+
+    def test_labels_match_table2(self, paper_gprime, paper_gprime_order):
+        labels = build_labels(paper_gprime, ordering=paper_gprime_order)
+        for v, expected in PAPER_TABLE2_LABELS.items():
+            got = {h: (d, c) for _, h, d, c in labels.merged(v)}
+            assert got == expected, f"L(v{v + 1})"
+
+    def test_example_33_query(self, paper_gprime, paper_gprime_order):
+        labels = build_labels(paper_gprime, ordering=paper_gprime_order)
+        assert distance_query(labels, 4, 5) == 3
+        assert count_query(labels, 4, 5) == (3, 3)
+
+    def test_noncanonical_entries(self, paper_gprime, paper_gprime_order):
+        # T(v1)'s v3 entry holds one of two shortest paths -> non-canonical;
+        # same for T(v6)'s v3 entry.
+        labels = build_labels(paper_gprime, ordering=paper_gprime_order)
+        assert {h for _, h, _, _ in labels.noncanonical(0)} == {2}
+        assert {h for _, h, _, _ in labels.noncanonical(5)} == {2}
+
+
+class TestExample36:
+    """Example 3.6 — pushing v2, v3, v7, v8 on G (Figure 3)."""
+
+    @pytest.fixture
+    def labels(self, paper_g):
+        order = [1, 2, 6, 7] + [v for v in range(13) if v not in (1, 2, 6, 7)]
+        return build_labels(paper_g, ordering=order)
+
+    def test_all_vertices_have_v2_as_hub(self, labels):
+        for v in range(13):
+            assert 1 in labels.hubs(v), f"v{v + 1} lacks hub v2"
+
+    def test_v3_is_hub_of_all_but_v2(self, labels):
+        for v in range(13):
+            if v == 1:
+                assert 2 not in labels.hubs(v)
+            else:
+                assert 2 in labels.hubs(v), f"v{v + 1} lacks hub v3"
+
+    def test_v7_reaches_only_left_part(self, labels):
+        with_v7 = {v for v in range(13) if 6 in labels.hubs(v)}
+        assert with_v7 == {0, 4, 6, 9, 10, 11, 12}
+
+    def test_v8_reaches_only_right_part(self, labels):
+        with_v8 = {v for v in range(13) if 7 in labels.hubs(v)}
+        assert with_v8 == {3, 5, 7, 8}
+
+
+class TestSection4Examples:
+    """Figure 4 / §4.2's reduction walk-through."""
+
+    def test_shell_representatives(self, paper_g):
+        shell = ShellReduction.compute(paper_g)
+        # shr(v_i) = v_i for i <= 8; shr(v10..v13) = v7; shr(v9) = v4.
+        for v in range(8):
+            assert shell.shr(v) == v
+        for v in (9, 10, 11, 12):
+            assert shell.shr(v) == 6
+        assert shell.shr(8) == 3
+
+    def test_shell_reduced_graph_is_core(self, paper_g):
+        shell = ShellReduction.compute(paper_g)
+        assert shell.graph_reduced.n == 8
+        assert shell.removed_count == 5
+
+    def test_equivalence_classes_on_core(self, paper_g):
+        shell = ShellReduction.compute(paper_g)
+        equiv = EquivalenceReduction.compute(shell.graph_reduced)
+        core = shell.graph_reduced
+        to_core = shell.old_to_new
+        # {v1, v7} independent; {v4, v8} clique; rest singletons.
+        assert equiv.eqr(to_core[0]) == equiv.eqr(to_core[6])
+        assert not equiv.is_clique_class(to_core[0])
+        assert equiv.eqr(to_core[3]) == equiv.eqr(to_core[7])
+        assert equiv.is_clique_class(to_core[3])
+        assert equiv.graph_reduced.n == 6
+        for v in (1, 2, 4, 5):
+            assert equiv.eqc_size(to_core[v]) == 1
+
+    def test_reduced_core_is_gprime(self, paper_g, paper_gprime):
+        # Cutting the shell then quotienting by ≡ must yield exactly G'
+        # (Figure 2b), up to the order-preserving dense relabeling.
+        shell = ShellReduction.compute(paper_g)
+        equiv = EquivalenceReduction.compute(shell.graph_reduced)
+        assert equiv.graph_reduced == paper_gprime
+
+    def test_lambda_weights_example(self, paper_g, paper_gprime):
+        # §4.2: three shortest v2-v5 paths in G_s; two survive in G_e but
+        # λ((v2, v1, v5)) = 2 restores the count.
+        shell = ShellReduction.compute(paper_g)
+        core = shell.graph_reduced
+        assert spc_bfs(core, shell.old_to_new[1], shell.old_to_new[4])[1] == 3
+        equiv = EquivalenceReduction.compute(core)
+        assert spc_bfs(paper_gprime, 1, 4)[1] == 2
+        assert equiv.multiplicity[0] == 2  # |eqc(v1)| = 2

@@ -1,0 +1,134 @@
+"""Tests for query evaluation (Algorithm 2 and friends)."""
+
+import pytest
+
+from repro.core.hp_spc import build_labels
+from repro.core.query import (
+    common_hubs,
+    count,
+    count_canonical_only,
+    count_query,
+    distance_query,
+    merge_join_rows,
+)
+from repro.generators.classic import cycle_graph, grid_graph, path_graph
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.graph import Graph
+
+INF = float("inf")
+
+
+class TestCountQuery:
+    @pytest.fixture
+    def labels(self):
+        return build_labels(cycle_graph(8))
+
+    def test_identical_endpoints(self, labels):
+        assert count_query(labels, 3, 3) == (0, 1)
+
+    def test_adjacent(self, labels):
+        assert count_query(labels, 0, 1) == (1, 1)
+
+    def test_antipodal_two_paths(self, labels):
+        assert count_query(labels, 0, 4) == (4, 2)
+
+    def test_count_helper(self, labels):
+        assert count(labels, 0, 4) == 2
+
+    def test_disconnected(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        labels = build_labels(g)
+        assert count_query(labels, 0, 2) == (INF, 0)
+        assert distance_query(labels, 0, 2) == INF
+
+    def test_symmetry(self):
+        g = gnp_random_graph(15, 0.25, seed=1)
+        labels = build_labels(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert count_query(labels, s, t) == count_query(labels, t, s)
+
+
+class TestDistanceQuery:
+    def test_matches_bfs(self):
+        from repro.graph.traversal import bfs_distances
+
+        g = gnp_random_graph(20, 0.15, seed=2)
+        labels = build_labels(g)
+        for s in range(g.n):
+            dist = bfs_distances(g, s)
+            for t in range(g.n):
+                assert distance_query(labels, s, t) == dist[t]
+
+
+class TestCanonicalOnly:
+    def test_distance_exact_count_never_over(self):
+        g = gnp_random_graph(25, 0.15, seed=3)
+        labels = build_labels(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                exact_dist, exact_count = count_query(labels, s, t)
+                approx_dist, approx_count = count_canonical_only(labels, s, t)
+                assert approx_dist == exact_dist
+                assert approx_count <= exact_count
+                if exact_count:
+                    assert approx_count >= 1  # cover constraint
+
+    def test_unique_path_graphs_are_exact(self):
+        labels = build_labels(path_graph(8))
+        for s in range(8):
+            for t in range(8):
+                assert count_canonical_only(labels, s, t) == count_query(labels, s, t)
+
+    def test_underestimates_on_grid(self):
+        g = grid_graph(4, 4)
+        labels = build_labels(g)
+        _, exact = count_query(labels, 0, 15)
+        _, approx = count_canonical_only(labels, 0, 15)
+        assert approx < exact
+
+
+class TestMultiplicityWeightedQuery:
+    def test_hub_factor_applied(self):
+        # Path 0-1-2 with mult(1) = 3 should report 3 weighted paths 0->2.
+        g = path_graph(3)
+        labels = build_labels(g, ordering=[1, 0, 2], multiplicity=[1, 3, 1])
+        assert count_query(labels, 0, 2, multiplicity=[1, 3, 1]) == (2, 3)
+
+    def test_endpoint_hubs_not_multiplied(self):
+        g = path_graph(3)
+        mult = [5, 1, 1]
+        labels = build_labels(g, ordering=[0, 1, 2], multiplicity=mult)
+        # Hub 0 is the endpoint of the query (0, 1): no mult factor.
+        assert count_query(labels, 0, 1, multiplicity=mult) == (1, 1)
+
+
+class TestCommonHubs:
+    def test_common_hubs_on_shortest_paths(self):
+        g = cycle_graph(6)
+        labels = build_labels(g, ordering=list(range(6)))
+        hubs = common_hubs(labels, 2, 4)
+        # sd(2,4)=2 through 3; hub must lie on a shortest path.
+        from repro.core.espc import vertices_on_shortest_paths
+
+        assert set(hubs) <= vertices_on_shortest_paths(g, 2, 4)
+        assert hubs
+
+    def test_self_query(self):
+        labels = build_labels(path_graph(3))
+        assert common_hubs(labels, 1, 1) == [1]
+
+
+class TestMergeJoinRows:
+    def test_empty_rows(self):
+        assert merge_join_rows([], [], 0, 1) == (INF, 0)
+
+    def test_direct_rows(self):
+        row_s = [(0, 9, 2, 3)]
+        row_t = [(0, 9, 1, 5)]
+        assert merge_join_rows(row_s, row_t, 7, 8) == (3, 15)
+
+    def test_min_distance_wins(self):
+        row_s = [(0, 9, 5, 1), (1, 8, 1, 2)]
+        row_t = [(0, 9, 5, 1), (1, 8, 1, 3)]
+        assert merge_join_rows(row_s, row_t, 7, 6) == (2, 6)

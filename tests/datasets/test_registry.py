@@ -1,0 +1,73 @@
+"""Tests for the dataset registry (Table 3 analogs)."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_notations,
+    load_dataset,
+    load_delaunay,
+    paper_stats,
+)
+from repro.graph.cores import one_shell_vertices
+from repro.reductions.equivalence import EquivalenceReduction
+
+
+class TestRegistry:
+    def test_ten_datasets_in_paper_order(self):
+        notations = dataset_notations()
+        assert len(notations) == 10
+        assert notations[0] == "FB"
+        assert notations[-1] == "IN"
+        assert set(notations) == set(DATASETS)
+
+    def test_unknown_notation(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load_dataset("XX")
+
+    def test_deterministic_by_default(self):
+        a = load_dataset("FB", scale=0.3)
+        b = load_dataset("FB", scale=0.3)
+        assert a == b
+
+    def test_scale_changes_size(self):
+        small = load_dataset("YT", scale=0.2)
+        large = load_dataset("YT", scale=0.5)
+        assert small.n < large.n
+
+    def test_paper_stats(self):
+        n, m, bfs = paper_stats("IN")
+        assert (n, m) == (7414866, 150984819)
+        assert bfs == pytest.approx(1010.68)
+
+    @pytest.mark.parametrize("notation", dataset_notations())
+    def test_every_dataset_loads(self, notation):
+        g = load_dataset(notation, scale=0.2)
+        assert g.n >= 16
+        assert g.m > 0
+
+    def test_shell_profile_yt(self):
+        # YT's analog must be fringe-heavy (paper: shell removes > 50%).
+        g = load_dataset("YT", scale=0.5)
+        assert len(one_shell_vertices(g)) / g.n > 0.3
+
+    def test_twin_profile_web(self):
+        # Web analogs must carry many equivalence twins (§4.2's target).
+        g = load_dataset("GO", scale=0.5)
+        equiv = EquivalenceReduction.compute(g)
+        assert equiv.removed_count / g.n > 0.1
+
+    def test_pe_reduces_least(self):
+        from repro.reductions.pipeline import reduction_report
+
+        fractions = {
+            notation: reduction_report(load_dataset(notation, scale=0.3))["both_fraction"]
+            for notation in ("PE", "YT", "GO")
+        }
+        assert fractions["PE"] < fractions["YT"]
+        assert fractions["PE"] < fractions["GO"]
+
+    def test_delaunay_instance(self):
+        g, points = load_delaunay(n=80)
+        assert g.n == 80
+        assert len(points) == 80

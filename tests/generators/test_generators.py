@@ -1,0 +1,254 @@
+"""Tests for graph generators and structural augmentation."""
+
+import pytest
+
+from repro.generators.augment import add_twins, attach_fringe
+from repro.generators.classic import (
+    barbell_graph,
+    binary_tree,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+from repro.generators.planar import delaunay_graph, grid_with_coordinates, triangular_lattice
+from repro.generators.random_graphs import (
+    barabasi_albert_graph,
+    configuration_like_graph,
+    gnm_random_graph,
+    gnp_random_graph,
+    random_geometric_graph,
+    watts_strogatz_graph,
+)
+from repro.generators.social import affiliation_graph, caveman_graph, interaction_graph
+from repro.generators.web import copying_model_graph
+from repro.graph.components import is_connected
+from repro.graph.cores import one_shell_vertices
+
+
+class TestClassic:
+    def test_path(self):
+        g = path_graph(5)
+        assert (g.n, g.m) == (5, 4)
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert (g.n, g.m) == (5, 5)
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete(self):
+        g = complete_graph(5)
+        assert g.m == 10
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(2, 3)
+        assert g.m == 6
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4
+
+    def test_grid_validates(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 4)
+
+    def test_random_tree(self):
+        g = random_tree(20, seed=1)
+        assert g.m == 19
+        assert is_connected(g)
+
+    def test_binary_tree(self):
+        g = binary_tree(3)
+        assert g.n == 15
+        assert g.m == 14
+
+    def test_barbell(self):
+        g = barbell_graph(4, 2)
+        assert g.n == 10
+        assert is_connected(g)
+
+    def test_determinism(self):
+        assert random_tree(15, seed=9) == random_tree(15, seed=9)
+
+
+class TestRandomModels:
+    def test_gnp_edge_count_plausible(self):
+        g = gnp_random_graph(200, 0.05, seed=1)
+        expected = 0.05 * 200 * 199 / 2
+        assert 0.6 * expected < g.m < 1.4 * expected
+
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(10, 0.0, seed=1).m == 0
+        assert gnp_random_graph(6, 1.0, seed=1).m == 15
+
+    def test_gnp_validates_probability(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(5, 1.5)
+
+    def test_gnm_exact_edges(self):
+        g = gnm_random_graph(30, 50, seed=2)
+        assert g.m == 50
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(4, 10)
+
+    def test_barabasi_albert_structure(self):
+        g = barabasi_albert_graph(100, 3, seed=3)
+        assert g.n == 100
+        assert is_connected(g)
+        degrees = sorted(g.degree_sequence(), reverse=True)
+        assert degrees[0] > 3 * degrees[50], "degree distribution should be skewed"
+
+    def test_barabasi_albert_validates(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 5)
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz_graph(40, 4, 0.1, seed=4)
+        assert g.n == 40
+        assert abs(g.m - 80) <= 8
+
+    def test_watts_strogatz_validates(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 3, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(4, 6, 0.1)
+
+    def test_geometric_edges_match_radius(self):
+        g, points = random_geometric_graph(80, 0.2, seed=5, return_points=True)
+        for u, v in g.edges():
+            dx = points[u][0] - points[v][0]
+            dy = points[u][1] - points[v][1]
+            assert dx * dx + dy * dy <= 0.2**2 + 1e-12
+
+    def test_configuration_like(self):
+        g = configuration_like_graph([3] * 20, seed=6)
+        assert g.n == 20
+        assert max(g.degree_sequence()) <= 3
+
+
+class TestDomainModels:
+    def test_copying_model_has_equivalent_pages(self):
+        from repro.reductions.equivalence import EquivalenceReduction
+
+        g = copying_model_graph(300, out_degree=4, beta=0.1, seed=7)
+        equiv = EquivalenceReduction.compute(g)
+        assert equiv.removed_count > 0, "copying should create twins"
+
+    def test_copying_model_validates(self):
+        with pytest.raises(ValueError):
+            copying_model_graph(10, out_degree=0)
+        with pytest.raises(ValueError):
+            copying_model_graph(10, beta=2.0)
+
+    def test_affiliation_graph(self):
+        g = affiliation_graph(100, groups=40, seed=8)
+        assert g.n == 100
+
+    def test_affiliation_validates(self):
+        with pytest.raises(ValueError):
+            affiliation_graph(10, groups=0)
+
+    def test_caveman(self):
+        g = caveman_graph(4, 5)
+        assert g.n == 20
+        assert is_connected(g)
+
+    def test_caveman_validates(self):
+        with pytest.raises(ValueError):
+            caveman_graph(0, 3)
+
+    def test_interaction_graph(self):
+        g = interaction_graph(200, hubs=15, seed=9)
+        assert g.n == 200
+        hub_degrees = [g.degree(v) for v in range(15)]
+        other_degrees = [g.degree(v) for v in range(15, 200)]
+        assert max(hub_degrees) > max(other_degrees)
+
+
+class TestPlanar:
+    def test_delaunay_is_planar_sized(self):
+        g = delaunay_graph(100, seed=10)
+        assert g.n == 100
+        assert g.m <= 3 * 100 - 6
+        assert is_connected(g)
+
+    def test_delaunay_returns_points(self):
+        g, points = delaunay_graph(50, seed=11, return_points=True)
+        assert len(points) == 50
+
+    def test_delaunay_validates(self):
+        with pytest.raises(ValueError):
+            delaunay_graph(2)
+
+    def test_grid_with_coordinates(self):
+        g, points = grid_with_coordinates(3, 4)
+        assert g.n == len(points) == 12
+
+    def test_triangular_lattice(self):
+        g, points = triangular_lattice(3, 3)
+        assert g.n == 9
+        assert g.m == 12 + 4  # grid edges + diagonals
+
+
+class TestAugmentation:
+    def test_attach_fringe_adds_shell(self):
+        base = cycle_graph(10)
+        g = attach_fringe(base, 0.5, seed=12)
+        assert g.n >= 14
+        assert len(one_shell_vertices(g)) == g.n - 10
+
+    def test_attach_fringe_eligible_respected(self):
+        base = cycle_graph(10)
+        g = attach_fringe(base, 0.3, seed=13, eligible=[0, 1])
+        for v in range(10, g.n):
+            pass  # fringe ids
+        # Every fringe tree root attaches to vertex 0 or 1.
+        for v in range(10, g.n):
+            core_neighbors = [w for w in g.neighbors(v) if w < 10]
+            assert all(w in (0, 1) for w in core_neighbors)
+
+    def test_attach_fringe_zero(self):
+        base = cycle_graph(5)
+        assert attach_fringe(base, 0.0, seed=1) == base
+
+    def test_attach_fringe_validates(self):
+        with pytest.raises(ValueError):
+            attach_fringe(cycle_graph(4), -0.1)
+
+    def test_add_twins_creates_classes(self):
+        from repro.reductions.equivalence import EquivalenceReduction
+
+        base = gnp_random_graph(20, 0.3, seed=14)
+        g, involved = add_twins(base, 0.5, seed=15, return_involved=True)
+        equiv = EquivalenceReduction.compute(g)
+        assert equiv.removed_count >= len(involved) - len(
+            {v for v in involved if v < base.n}
+        ) - 1
+
+    def test_add_twins_counts_preserved_in_quotient(self):
+        from repro.graph.traversal import spc_bfs
+        from repro.reductions.equivalence import EquivalenceReduction
+
+        base = gnp_random_graph(10, 0.35, seed=16)
+        g = add_twins(base, 0.4, seed=17)
+        equiv = EquivalenceReduction.compute(g)
+        # The quotient of the blow-up has at most base.n vertices.
+        assert equiv.graph_reduced.n <= base.n
+
+    def test_add_twins_validates(self):
+        with pytest.raises(ValueError):
+            add_twins(cycle_graph(4), -1)

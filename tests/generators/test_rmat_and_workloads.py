@@ -1,0 +1,78 @@
+"""Tests for the R-MAT generator and stratified query workloads."""
+
+import pytest
+
+from repro.bench.workloads import stratified_query_workload
+from repro.generators.classic import cycle_graph, path_graph
+from repro.generators.rmat import rmat_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_bfs
+
+
+class TestRMAT:
+    def test_vertex_count_is_power_of_two(self):
+        g = rmat_graph(6, seed=1)
+        assert g.n == 64
+
+    def test_edge_budget_respected(self):
+        g = rmat_graph(7, edge_factor=8, seed=2)
+        assert 0 < g.m <= 8 * 128
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(9, edge_factor=8, seed=3)
+        degrees = sorted(g.degree_sequence(), reverse=True)
+        # Quadrant a=0.57 concentrates edges on low-id vertices.
+        assert degrees[0] >= 4 * max(1, degrees[len(degrees) // 2])
+
+    def test_uniform_probabilities_are_flat(self):
+        g = rmat_graph(8, edge_factor=6, a=0.25, b=0.25, c=0.25, seed=4)
+        degrees = sorted(g.degree_sequence(), reverse=True)
+        assert degrees[0] <= 6 * max(1, degrees[len(degrees) // 2])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0)
+        with pytest.raises(ValueError):
+            rmat_graph(4, a=0.8, b=0.2, c=0.2)
+
+    def test_deterministic(self):
+        assert rmat_graph(6, seed=7) == rmat_graph(6, seed=7)
+
+    def test_indexes_exactly(self):
+        from repro.core.hp_spc import build_labels
+        from repro.core.query import count_query
+
+        g = rmat_graph(5, edge_factor=4, seed=8)
+        labels = build_labels(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert count_query(labels, s, t) == spc_bfs(g, s, t)
+
+
+class TestStratifiedWorkload:
+    def test_buckets_keyed_by_true_distance(self):
+        g = cycle_graph(12)
+        buckets = stratified_query_workload(g, per_bucket=20, seed=1)
+        for d, pairs in buckets.items():
+            for s, t in pairs:
+                assert spc_bfs(g, s, t)[0] == d
+
+    def test_bucket_cap(self):
+        g = cycle_graph(30)
+        buckets = stratified_query_workload(g, per_bucket=5, seed=2)
+        assert all(len(pairs) <= 5 for pairs in buckets.values())
+
+    def test_path_covers_all_distances(self):
+        g = path_graph(9)
+        buckets = stratified_query_workload(g, per_bucket=50, seed=3)
+        assert set(buckets) == set(range(1, 9))
+
+    def test_empty_graph(self):
+        assert stratified_query_workload(Graph.from_edges(0, []), per_bucket=5) == {}
+
+    def test_sampled_sources_on_large_graph(self):
+        from repro.generators.random_graphs import gnp_random_graph
+
+        g = gnp_random_graph(300, 0.02, seed=4)
+        buckets = stratified_query_workload(g, per_bucket=10, seed=5, max_sources=8)
+        assert buckets

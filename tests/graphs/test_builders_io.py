@@ -1,0 +1,165 @@
+"""Tests for graph builders and text I/O round trips."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.generators.classic import cycle_graph, path_graph
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.builders import (
+    digraph_from_graph,
+    disjoint_union,
+    graph_from_adjacency_dict,
+    graph_from_networkx,
+    graph_to_networkx,
+    undirect,
+    with_pendant_trees,
+)
+from repro.graph.digraph import WeightedDigraph
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    read_dimacs,
+    read_edge_list,
+    read_metis,
+    write_dimacs,
+    write_edge_list,
+    write_metis,
+)
+
+
+class TestBuilders:
+    def test_adjacency_dict_roundtrip(self):
+        g = graph_from_adjacency_dict({0: [1, 2], 1: [2]})
+        assert g.m == 3
+        assert set(g.neighbors(2)) == {0, 1}
+
+    def test_adjacency_dict_requires_dense_ids(self):
+        with pytest.raises(GraphError, match="dense"):
+            graph_from_adjacency_dict({0: [5]})
+
+    def test_networkx_roundtrip(self):
+        g = gnp_random_graph(20, 0.2, seed=1)
+        nx_graph = graph_to_networkx(g)
+        back, mapping = graph_from_networkx(nx_graph)
+        assert back.n == g.n
+        assert back.m == g.m
+
+    def test_disjoint_union(self):
+        g = disjoint_union(cycle_graph(3), path_graph(2))
+        assert g.n == 5
+        assert g.m == 4
+        assert g.has_edge(3, 4)
+
+    def test_with_pendant_trees(self):
+        base = cycle_graph(4)
+        g = with_pendant_trees(base, [(0, [-1, 0, 0]), (2, [-1])])
+        assert g.n == 8
+        assert g.degree(4) == 3  # tree root: attach + two children
+        assert g.has_edge(2, 7)
+
+    def test_with_pendant_trees_validates_attach(self):
+        with pytest.raises(GraphError, match="attach"):
+            with_pendant_trees(cycle_graph(3), [(9, [-1])])
+
+    def test_with_pendant_trees_validates_parent(self):
+        with pytest.raises(GraphError, match="parent"):
+            with_pendant_trees(cycle_graph(3), [(0, [3])])
+
+    def test_undirect_digraph(self):
+        d = WeightedDigraph.from_edges(3, [(0, 1, 2), (1, 0, 7), (1, 2, 1)])
+        g = undirect(d)
+        assert g.m == 2
+
+    def test_digraph_from_graph(self):
+        g = path_graph(3)
+        d = digraph_from_graph(g, weight=2)
+        assert d.weight(0, 1) == 2
+        assert d.weight(1, 0) == 2
+
+
+class TestTextIO:
+    def test_edge_list_roundtrip(self, tmp_path):
+        from repro.graph.components import largest_component
+
+        g, _ = largest_component(gnp_random_graph(30, 0.15, seed=2))
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        back, id_map = read_edge_list(path)
+        assert back.n == g.n
+        assert back.m == g.m
+        assert set(back.edges()) == set(g.edges())
+
+    def test_edge_list_drops_isolated_vertices(self, tmp_path):
+        # Edge lists cannot represent isolated vertices; documented loss.
+        g = Graph.from_edges(3, [(0, 1)])
+        path = tmp_path / "iso.txt"
+        write_edge_list(g, path)
+        back, _ = read_edge_list(path)
+        assert back.n == 2
+
+    def test_metis_keeps_isolated_vertices(self, tmp_path):
+        g = Graph.from_edges(3, [(0, 1)])
+        path = tmp_path / "iso.metis"
+        write_metis(g, path)
+        assert read_metis(path) == g
+
+    def test_edge_list_compacts_sparse_ids(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        path.write_text("# comment\n10 20\n20 30\n")
+        g, id_map = read_edge_list(path)
+        assert g.n == 3
+        assert id_map == {10: 0, 20: 1, 30: 2}
+
+    def test_edge_list_konect_comments(self, tmp_path):
+        path = tmp_path / "konect.txt"
+        path.write_text("% meta\n0 1\n")
+        g, _ = read_edge_list(path)
+        assert g.m == 1
+
+    def test_edge_list_bad_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(GraphError, match="two columns"):
+            read_edge_list(path)
+
+    def test_edge_list_non_integer(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError, match="non-integer"):
+            read_edge_list(path)
+
+    def test_directed_weighted_edge_list(self, tmp_path):
+        path = tmp_path / "weighted.txt"
+        path.write_text("0 1 2.5\n1 2 3\n")
+        d, _ = read_edge_list(path, directed=True)
+        assert d.weight(0, 1) == 2.5
+        assert d.weight(1, 2) == 3
+
+    def test_metis_roundtrip(self, tmp_path):
+        g = gnp_random_graph(25, 0.2, seed=3)
+        path = tmp_path / "graph.metis"
+        write_metis(g, path)
+        assert read_metis(path) == g
+
+    def test_metis_header_mismatch(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphError, match="header claims"):
+            read_metis(path)
+
+    def test_metis_wrong_line_count(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("3 1\n2\n1\n")
+        with pytest.raises(GraphError, match="adjacency lines"):
+            read_metis(path)
+
+    def test_dimacs_roundtrip(self, tmp_path):
+        g = gnp_random_graph(25, 0.2, seed=4)
+        path = tmp_path / "graph.dimacs"
+        write_dimacs(g, path)
+        assert read_dimacs(path) == g
+
+    def test_dimacs_requires_problem_line(self, tmp_path):
+        path = tmp_path / "bad.dimacs"
+        path.write_text("e 1 2\n")
+        with pytest.raises(GraphError, match="problem line"):
+            read_dimacs(path)

@@ -1,0 +1,115 @@
+"""Tests for k-core decomposition, 1-shell extraction and components."""
+
+import pytest
+
+from repro.generators.classic import complete_graph, cycle_graph, path_graph, random_tree
+from repro.graph.builders import disjoint_union
+from repro.graph.components import (
+    component_ids,
+    connected_components,
+    is_connected,
+    largest_component,
+)
+from repro.graph.cores import (
+    core_numbers,
+    degeneracy,
+    k_core_vertices,
+    one_shell_components,
+    one_shell_vertices,
+)
+from repro.graph.graph import Graph
+
+
+class TestComponents:
+    def test_connected_cycle(self):
+        g = cycle_graph(5)
+        assert is_connected(g)
+        assert connected_components(g) == [[0, 1, 2, 3, 4]]
+
+    def test_two_components(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        comps = connected_components(g)
+        assert sorted(map(tuple, comps)) == [(0, 1), (2, 3), (4,)]
+        assert not is_connected(g)
+
+    def test_component_ids(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        ids = component_ids(g)
+        assert ids[0] == ids[1]
+        assert ids[2] == ids[3]
+        assert ids[0] != ids[2]
+
+    def test_empty_graph_is_connected(self):
+        assert is_connected(Graph.from_edges(0, []))
+
+    def test_largest_component(self):
+        g = disjoint_union(cycle_graph(5), path_graph(3))
+        big, mapping = largest_component(g)
+        assert big.n == 5
+        assert big.m == 5
+        assert set(mapping) == {0, 1, 2, 3, 4}
+
+
+class TestCoreNumbers:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert core_numbers(g) == [4] * 5
+
+    def test_tree_core_is_one(self):
+        g = random_tree(20, seed=1)
+        assert core_numbers(g) == [1] * 20
+
+    def test_isolated_vertex_core_zero(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert core_numbers(g) == [1, 1, 0]
+
+    def test_cycle_with_pendant(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        core = core_numbers(g)
+        assert core[:3] == [2, 2, 2]
+        assert core[3:] == [1, 1]
+
+    def test_paper_example_cores(self, paper_g):
+        core = core_numbers(paper_g)
+        assert all(core[v] >= 2 for v in range(8)), "v1..v8 form the 2-core"
+        assert all(core[v] == 1 for v in range(8, 13)), "v9..v13 are the 1-shell"
+
+    def test_k_core_vertices(self, paper_g):
+        assert k_core_vertices(paper_g, 2) == list(range(8))
+        assert k_core_vertices(paper_g, 1) == list(range(13))
+
+    def test_degeneracy(self):
+        assert degeneracy(complete_graph(4)) == 3
+        assert degeneracy(random_tree(10, seed=0)) == 1
+        assert degeneracy(Graph.from_edges(2, [])) == 0
+
+
+class TestOneShell:
+    def test_paper_example_components(self, paper_g):
+        # Example 4.1: components {v10,v11,v12}, {v9}, {v13} with accesses
+        # a = v7, v4, v7 respectively (0-indexed: 6, 3, 6).
+        comps = {tuple(c): a for c, a in one_shell_components(paper_g)}
+        assert comps == {(9, 10, 11): 6, (8,): 3, (12,): 6}
+
+    def test_shell_components_are_trees(self, paper_g):
+        for component, _ in one_shell_components(paper_g):
+            sub, _ = paper_g.induced_subgraph(component)
+            assert sub.m == sub.n - 1 or sub.n == 1
+
+    def test_isolated_tree_component(self):
+        # A path detached from everything is its own shell component.
+        g = disjoint_union(complete_graph(4), path_graph(3))
+        comps = one_shell_components(g)
+        assert len(comps) == 1
+        component, access = comps[0]
+        assert component == [4, 5, 6]
+        assert access in component
+
+    def test_pure_cycle_has_no_shell(self):
+        assert one_shell_vertices(cycle_graph(6)) == []
+
+    def test_whole_tree_is_shell(self):
+        g = random_tree(12, seed=3)
+        assert one_shell_vertices(g) == list(range(12))
+        comps = one_shell_components(g)
+        assert len(comps) == 1

@@ -1,0 +1,92 @@
+"""Unit tests for the weighted digraph substrate."""
+
+import pytest
+
+from repro.exceptions import GraphError, VertexError
+from repro.graph.digraph import WeightedDigraph
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = WeightedDigraph.from_edges(3, [(0, 1, 2), (1, 2, 5)])
+        assert g.n == 3
+        assert g.m == 2
+        assert g.out_neighbors(0) == ((1, 2),)
+        assert g.in_neighbors(2) == ((1, 5),)
+
+    def test_both_directions_are_distinct(self):
+        g = WeightedDigraph.from_edges(2, [(0, 1, 1), (1, 0, 3)])
+        assert g.m == 2
+        assert g.weight(0, 1) == 1
+        assert g.weight(1, 0) == 3
+
+    def test_duplicate_keeps_minimum_weight(self):
+        g = WeightedDigraph.from_edges(2, [(0, 1, 5), (0, 1, 2)])
+        assert g.weight(0, 1) == 2
+
+    def test_duplicate_rejected_in_strict_mode(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            WeightedDigraph.from_edges(2, [(0, 1, 1), (0, 1, 2)], dedup=False)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            WeightedDigraph.from_edges(2, [(0, 0, 1)])
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(GraphError, match="non-positive"):
+            WeightedDigraph.from_edges(2, [(0, 1, 0)])
+        with pytest.raises(GraphError, match="non-positive"):
+            WeightedDigraph.from_edges(2, [(0, 1, -2)])
+
+    def test_out_of_range_vertex(self):
+        with pytest.raises(VertexError):
+            WeightedDigraph.from_edges(2, [(0, 5, 1)])
+
+    def test_from_undirected(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        d = WeightedDigraph.from_undirected(g, weight=4)
+        assert d.m == 4
+        assert d.weight(0, 1) == 4
+        assert d.weight(1, 0) == 4
+
+
+class TestAccessors:
+    @pytest.fixture
+    def path(self):
+        return WeightedDigraph.from_edges(3, [(0, 1, 1), (1, 2, 2)])
+
+    def test_degrees(self, path):
+        assert path.out_degree(0) == 1
+        assert path.in_degree(0) == 0
+        assert path.in_degree(2) == 1
+
+    def test_weight_missing_edge(self, path):
+        assert path.weight(0, 2) is None
+        assert path.weight(2, 1) is None
+
+    def test_edges(self, path):
+        assert sorted(path.edges()) == [(0, 1, 1), (1, 2, 2)]
+
+    def test_reverse(self, path):
+        rev = path.reverse()
+        assert rev.weight(1, 0) == 1
+        assert rev.weight(2, 1) == 2
+        assert rev.weight(0, 1) is None
+
+    def test_reverse_twice_is_identity(self, path):
+        assert path.reverse().reverse() == path
+
+    def test_induced_subgraph(self, path):
+        sub, mapping = path.induced_subgraph([1, 2])
+        assert sub.n == 2
+        assert sub.weight(mapping[1], mapping[2]) == 2
+
+    def test_vertex_validation(self, path):
+        with pytest.raises(VertexError):
+            path.out_neighbors(9)
+        with pytest.raises(VertexError):
+            path.in_neighbors(-1)
+
+    def test_repr(self, path):
+        assert repr(path) == "WeightedDigraph(n=3, m=2)"

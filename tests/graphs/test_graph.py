@@ -1,0 +1,145 @@
+"""Unit tests for the undirected graph substrate."""
+
+import pytest
+
+from repro.exceptions import GraphError, VertexError
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph.from_edges(0, [])
+        assert g.n == 0
+        assert g.m == 0
+        assert list(g.edges()) == []
+
+    def test_vertices_without_edges(self):
+        g = Graph.from_edges(4, [])
+        assert g.n == 4
+        assert g.m == 0
+        assert all(g.degree(v) == 0 for v in g.vertices())
+
+    def test_simple_triangle(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert g.m == 3
+        assert set(g.neighbors(0)) == {1, 2}
+
+    def test_duplicate_edges_merged_by_default(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+
+    def test_duplicate_edges_rejected_in_strict_mode(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            Graph.from_edges(3, [(0, 1), (0, 1)], dedup=False)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            Graph.from_edges(3, [(1, 1)])
+
+    def test_self_loop_dropped_when_allowed(self):
+        g = Graph.from_edges(3, [(1, 1), (0, 1)], allow_self_loops=True)
+        assert g.m == 1
+
+    def test_out_of_range_vertex(self):
+        with pytest.raises(VertexError):
+            Graph.from_edges(3, [(0, 3)])
+
+    def test_negative_vertex(self):
+        with pytest.raises(VertexError):
+            Graph.from_edges(3, [(-1, 0)])
+
+    def test_non_integer_endpoint(self):
+        with pytest.raises(GraphError, match="ints"):
+            Graph.from_edges(3, [("a", 1)])
+
+    def test_negative_vertex_count(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            Graph.from_edges(-1, [])
+
+    def test_neighbors_are_sorted(self):
+        g = Graph.from_edges(5, [(0, 4), (0, 2), (0, 1), (0, 3)])
+        assert g.neighbors(0) == (1, 2, 3, 4)
+
+
+class TestAccessors:
+    @pytest.fixture
+    def square(self):
+        return Graph.from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+
+    def test_degree(self, square):
+        assert [square.degree(v) for v in square.vertices()] == [2, 2, 2, 2]
+
+    def test_degree_sequence(self, square):
+        assert square.degree_sequence() == [2, 2, 2, 2]
+
+    def test_edges_yielded_once(self, square):
+        edges = list(square.edges())
+        assert len(edges) == 4
+        assert all(u < v for u, v in edges)
+
+    def test_has_edge(self, square):
+        assert square.has_edge(0, 1)
+        assert square.has_edge(1, 0)
+        assert not square.has_edge(0, 2)
+
+    def test_has_edge_validates_vertices(self, square):
+        with pytest.raises(VertexError):
+            square.has_edge(0, 9)
+
+    def test_neighbors_validates_vertex(self, square):
+        with pytest.raises(VertexError):
+            square.neighbors(4)
+
+    def test_repr(self, square):
+        assert repr(square) == "Graph(n=4, m=4)"
+
+    def test_equality_and_hash(self, square):
+        other = Graph.from_edges(4, [(3, 0), (2, 3), (1, 2), (0, 1)])
+        assert square == other
+        assert hash(square) == hash(other)
+
+    def test_inequality(self, square):
+        assert square != Graph.from_edges(4, [(0, 1)])
+        assert square != "not a graph"
+
+
+class TestInducedSubgraph:
+    def test_keeps_relative_order(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        sub, mapping = g.induced_subgraph([0, 2, 3])
+        assert sub.n == 3
+        assert mapping == {0: 0, 2: 1, 3: 2}
+        assert list(sub.edges()) == [(1, 2)]
+
+    def test_duplicate_keep_entries_collapse(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        sub, mapping = g.induced_subgraph([1, 1, 0])
+        assert sub.n == 2
+        assert list(sub.edges()) == [(0, 1)]
+
+    def test_empty_selection(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        sub, mapping = g.induced_subgraph([])
+        assert sub.n == 0
+        assert mapping == {}
+
+    def test_invalid_vertex_rejected(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(VertexError):
+            g.induced_subgraph([5])
+
+
+class TestRelabeled:
+    def test_permutation(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        h = g.relabeled([2, 0, 1])  # 0->2, 1->0, 2->1
+        assert set(h.edges()) == {(0, 2), (0, 1)}
+
+    def test_identity(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert g.relabeled([0, 1, 2]) == g
+
+    def test_rejects_non_permutation(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(GraphError, match="bijection"):
+            g.relabeled([0, 0, 1])

@@ -1,0 +1,97 @@
+"""Tests for descriptive graph metrics."""
+
+import math
+
+import pytest
+
+from repro.generators.classic import complete_graph, cycle_graph, path_graph, star_graph
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.graph import Graph
+from repro.graph.metrics import (
+    average_clustering,
+    average_degree,
+    clustering_coefficient,
+    degree_histogram,
+    density,
+    graph_summary,
+)
+
+
+class TestBasics:
+    def test_density_complete(self):
+        assert density(complete_graph(5)) == 1.0
+
+    def test_density_empty(self):
+        assert density(Graph.from_edges(1, [])) == 0.0
+        assert density(Graph.from_edges(5, [])) == 0.0
+
+    def test_average_degree(self):
+        assert average_degree(cycle_graph(7)) == 2.0
+        assert average_degree(Graph.from_edges(0, [])) == 0.0
+
+    def test_degree_histogram(self):
+        hist = degree_histogram(star_graph(5))
+        assert hist[1] == 4
+        assert hist[4] == 1
+
+    def test_degree_histogram_empty(self):
+        assert degree_histogram(Graph.from_edges(0, [])) == []
+
+
+class TestClustering:
+    def test_triangle(self):
+        g = complete_graph(3)
+        assert clustering_coefficient(g, 0) == 1.0
+
+    def test_path_has_no_triangles(self):
+        g = path_graph(4)
+        assert clustering_coefficient(g, 1) == 0.0
+
+    def test_leaf_is_zero(self):
+        assert clustering_coefficient(star_graph(4), 1) == 0.0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graph.builders import graph_to_networkx
+
+        g = gnp_random_graph(30, 0.2, seed=3)
+        theirs = nx.clustering(graph_to_networkx(g))
+        for v in range(g.n):
+            assert math.isclose(clustering_coefficient(g, v), theirs[v], abs_tol=1e-12)
+
+    def test_average_clustering_full_matches_networkx(self):
+        import networkx as nx
+
+        from repro.graph.builders import graph_to_networkx
+
+        g = gnp_random_graph(25, 0.25, seed=4)
+        ours = average_clustering(g)
+        theirs = nx.average_clustering(graph_to_networkx(g))
+        assert math.isclose(ours, theirs, abs_tol=1e-12)
+
+    def test_sampled_clustering_close(self):
+        g = gnp_random_graph(100, 0.1, seed=5)
+        full = average_clustering(g)
+        sampled = average_clustering(g, samples=60, seed=6)
+        assert abs(full - sampled) < 0.15
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        g = cycle_graph(10)
+        summary = graph_summary(g)
+        assert summary["n"] == 10
+        assert summary["m"] == 10
+        assert summary["degeneracy"] == 2
+        assert summary["one_shell"] == 0
+        assert summary["components"] == 1
+        assert summary["approx_diameter"] == 5
+
+    def test_summary_shell_fraction(self):
+        from repro.graph.builders import with_pendant_trees
+
+        g = with_pendant_trees(cycle_graph(6), [(0, [-1, 0, 1])])
+        summary = graph_summary(g)
+        assert summary["one_shell"] == 3
+        assert summary["one_shell_fraction"] == pytest.approx(3 / 9)

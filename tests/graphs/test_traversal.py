@@ -1,0 +1,149 @@
+"""Tests for BFS/Dijkstra traversals and counting."""
+
+import pytest
+
+from repro.generators.classic import complete_bipartite_graph, cycle_graph, grid_graph, path_graph
+from repro.graph.digraph import WeightedDigraph
+from repro.graph.graph import Graph
+from repro.graph.traversal import (
+    approximate_diameter,
+    bfs_count_from,
+    bfs_distances,
+    bfs_tree,
+    dijkstra_count_from,
+    eccentricity,
+    spc_bfs,
+    spc_dijkstra,
+)
+
+INF = float("inf")
+
+
+class TestBFSDistances:
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == [0, 1, 2, 3, 4]
+
+    def test_disconnected(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        dist = bfs_distances(g, 0)
+        assert dist[1] == 1
+        assert dist[2] == INF
+        assert dist[3] == INF
+
+    def test_cycle_symmetry(self):
+        g = cycle_graph(6)
+        dist = bfs_distances(g, 0)
+        assert dist == [0, 1, 2, 3, 2, 1]
+
+
+class TestBFSCounting:
+    def test_single_path(self):
+        g = path_graph(4)
+        dist, count = bfs_count_from(g, 0)
+        assert count == [1, 1, 1, 1]
+
+    def test_even_cycle_two_paths_to_antipode(self):
+        g = cycle_graph(6)
+        _, count = bfs_count_from(g, 0)
+        assert count[3] == 2  # both ways around
+        assert count[1] == count[5] == 1
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        _, count = bfs_count_from(g, 0)
+        # 0 -> other left vertices: one path per right vertex.
+        assert count[1] == 4
+        assert count[3] == 1  # adjacent
+
+    def test_grid_binomials(self):
+        # Paths in a grid from corner to (r, c) count C(r+c, r).
+        g = grid_graph(4, 4)
+        _, count = bfs_count_from(g, 0)
+        assert count[5] == 2    # (1,1)
+        assert count[15] == 20  # (3,3): C(6,3)
+
+    def test_spc_bfs_pairs(self):
+        g = cycle_graph(8)
+        assert spc_bfs(g, 0, 4) == (4, 2)
+        assert spc_bfs(g, 0, 0) == (0, 1)
+
+    def test_spc_bfs_disconnected(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert spc_bfs(g, 0, 2) == (INF, 0)
+
+    def test_spc_bfs_early_termination_correct(self):
+        # The early break must not cut off count accumulation at the
+        # target's level: a diamond where both middle vertices feed t.
+        g = Graph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        assert spc_bfs(g, 0, 3) == (2, 2)
+
+
+class TestBFSTree:
+    def test_parents_and_order(self):
+        g = path_graph(4)
+        parent, order = bfs_tree(g, 0)
+        assert parent == [0, 0, 1, 2]
+        assert order == [0, 1, 2, 3]
+
+    def test_blocked_vertices_not_visited(self):
+        g = path_graph(4)
+        parent, order = bfs_tree(g, 0, blocked=[2])
+        assert parent[2] is None
+        assert parent[3] is None
+        assert order == [0, 1]
+
+
+class TestEccentricityAndDiameter:
+    def test_eccentricity_path(self):
+        g = path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+
+    def test_eccentricity_isolated(self):
+        g = Graph.from_edges(2, [])
+        assert eccentricity(g, 0) == 0
+
+    def test_approximate_diameter_exact_on_path(self):
+        g = path_graph(17)
+        assert approximate_diameter(g) == 16
+
+    def test_approximate_diameter_lower_bounds_cycle(self):
+        g = cycle_graph(10)
+        assert approximate_diameter(g) == 5
+
+    def test_approximate_diameter_empty(self):
+        assert approximate_diameter(Graph.from_edges(0, [])) == 0
+
+
+class TestDijkstraCounting:
+    @pytest.fixture
+    def weighted_diamond(self):
+        # Two parallel s->t routes of equal weight 4, one heavier.
+        return WeightedDigraph.from_edges(
+            4, [(0, 1, 1), (1, 3, 3), (0, 2, 2), (2, 3, 2), (0, 3, 9)]
+        )
+
+    def test_counts_equal_weight_paths(self, weighted_diamond):
+        dist, count = dijkstra_count_from(weighted_diamond, 0)
+        assert dist[3] == 4
+        assert count[3] == 2
+
+    def test_backward_direction(self, weighted_diamond):
+        dist, count = dijkstra_count_from(weighted_diamond, 3, forward=False)
+        assert dist[0] == 4
+        assert count[0] == 2
+
+    def test_spc_dijkstra(self, weighted_diamond):
+        assert spc_dijkstra(weighted_diamond, 0, 3) == (4, 2)
+        assert spc_dijkstra(weighted_diamond, 3, 0) == (INF, 0)
+        assert spc_dijkstra(weighted_diamond, 1, 1) == (0, 1)
+
+    def test_matches_bfs_on_unit_weights(self):
+        g = grid_graph(3, 4)
+        d = WeightedDigraph.from_undirected(g)
+        for s in range(g.n):
+            b_dist, b_count = bfs_count_from(g, s)
+            w_dist, w_count = dijkstra_count_from(d, s)
+            assert b_dist == w_dist
+            assert b_count == w_count

@@ -1,0 +1,132 @@
+"""End-to-end integration tests across the whole stack."""
+
+import math
+
+import pytest
+
+from tests.conftest import assert_oracle_exact
+
+from repro import build_index
+from repro.baselines.bfs_counting import BFSCountingOracle
+from repro.core.index import SPCIndex
+from repro.datasets.registry import dataset_notations, load_dataset, load_delaunay
+from repro.graph.traversal import spc_bfs
+from repro.reductions.pipeline import ReducedSPCIndex
+
+INF = float("inf")
+
+
+class TestDatasetIndexing:
+    """Every dataset analog indexes and answers exactly (sampled pairs)."""
+
+    @pytest.mark.parametrize("notation", dataset_notations())
+    def test_hp_spc_star_exact_on_analog(self, notation):
+        graph = load_dataset(notation, scale=0.15)
+        index = build_index(
+            graph,
+            ordering="significant-path",
+            reductions=("shell", "equivalence", "independent-set"),
+        )
+        from repro.utils.rng import random_pairs
+
+        pairs = list(random_pairs(graph.n, 150, rng=42))
+        assert_oracle_exact(index, graph, pairs)
+
+    def test_delaunay_pipeline(self):
+        graph, points = load_delaunay(n=90, seed=3)
+        from repro.baselines.pl_spc import PLSPCIndex
+        from repro.theory.planar_order import planar_separator_order
+
+        order = planar_separator_order(graph, points=points)
+        hp = SPCIndex.build(graph, ordering=list(order))
+        pl = PLSPCIndex.build(graph, order=order)
+        for s in range(0, graph.n, 9):
+            for t in range(graph.n):
+                want = spc_bfs(graph, s, t)
+                assert hp.count_with_distance(s, t) == want
+                assert pl.count_with_distance(s, t) == want
+
+
+class TestOracleInterchangeability:
+    """All oracle implementations share a query surface and agree."""
+
+    def test_four_oracles_agree(self):
+        from repro.baselines.apsp_matrix import CountMatrixOracle
+
+        graph = load_dataset("FB", scale=0.1)
+        oracles = [
+            BFSCountingOracle(graph),
+            CountMatrixOracle.build(graph),
+            SPCIndex.build(graph, ordering="degree"),
+            ReducedSPCIndex.build(graph, reductions=("shell", "equivalence")),
+        ]
+        from repro.utils.rng import random_pairs
+
+        for s, t in random_pairs(graph.n, 100, rng=7):
+            results = {oracle.count_with_distance(s, t) for oracle in oracles}
+            assert len(results) == 1, (s, t, results)
+
+
+class TestWorkflowScenarios:
+    def test_build_save_load_query(self, tmp_path):
+        from repro.io.serialize import load_index, save_index
+
+        graph = load_dataset("GW", scale=0.15)
+        index = SPCIndex.build(graph, ordering="significant-path")
+        save_index(index, tmp_path / "gw.idx")
+        loaded = load_index(tmp_path / "gw.idx")
+        from repro.utils.rng import random_pairs
+
+        for s, t in random_pairs(graph.n, 80, rng=3):
+            assert loaded.count_with_distance(s, t) == index.count_with_distance(s, t)
+
+    def test_group_betweenness_pipeline(self):
+        from repro.applications.group_betweenness import (
+            GroupBetweennessEvaluator,
+            group_betweenness_exact,
+        )
+        from repro.bench.workloads import group_workload, query_workload
+
+        graph = load_dataset("WI", scale=0.12)
+        index = build_index(graph, reductions=("shell", "equivalence"))
+        pairs = query_workload(graph.n, 60, seed=5)
+        evaluator = GroupBetweennessEvaluator(index, pairs)
+        for group in group_workload(graph.n, groups=4, group_size=3, seed=6):
+            assert math.isclose(
+                evaluator.evaluate(group),
+                group_betweenness_exact(graph, group, pairs),
+                rel_tol=1e-9,
+            )
+
+    def test_relevance_over_reduced_index(self):
+        from repro.applications.relevance import relevance_ranking
+
+        graph = load_dataset("FB", scale=0.12)
+        index = build_index(graph, reductions=("shell", "equivalence", "independent-set"))
+        baseline = BFSCountingOracle(graph)
+        candidates = list(range(0, graph.n, 5))
+        ours = relevance_ranking(index, 0, candidates)
+        theirs = relevance_ranking(baseline, 0, candidates)
+        assert ours == theirs
+
+    def test_directed_workflow(self):
+        from repro.directed.index import DirectedSPCIndex
+        from repro.graph.digraph import WeightedDigraph
+        from repro.graph.traversal import spc_dijkstra
+        import random
+
+        rng = random.Random(11)
+        graph = load_dataset("GO", scale=0.08)
+        edges = []
+        for u, v in graph.edges():
+            edges.append((u, v, rng.choice((1, 2))))
+            if rng.random() < 0.6:
+                edges.append((v, u, rng.choice((1, 2))))
+        digraph = WeightedDigraph.from_edges(graph.n, edges)
+        index = DirectedSPCIndex.build(
+            digraph, reductions=("shell", "equivalence", "independent-set")
+        )
+        from repro.utils.rng import random_pairs
+
+        for s, t in random_pairs(digraph.n, 120, rng=13):
+            assert index.count_with_distance(s, t) == spc_dijkstra(digraph, s, t)

@@ -1,0 +1,33 @@
+"""Every example script must run clean — they are part of the API surface."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script} printed nothing"
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_has_module_docstring(script):
+    text = (EXAMPLES_DIR / script).read_text()
+    assert text.lstrip().startswith(('"""', "#!")), script
+    assert "Run:" in text, f"{script} should document how to run it"

@@ -1,0 +1,104 @@
+"""Cross-validation against networkx as an independent oracle.
+
+Everywhere else the ground truth is this library's own BFS counting;
+these tests break the self-reference by checking the whole stack against
+a third-party implementation.
+"""
+
+import math
+
+import pytest
+
+import networkx as nx
+
+from repro.core.espc import all_shortest_paths
+from repro.core.index import SPCIndex
+from repro.generators.random_graphs import barabasi_albert_graph, gnp_random_graph
+from repro.graph.builders import graph_to_networkx
+
+INF = float("inf")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = gnp_random_graph(30, 0.12, seed=17)
+    return graph, graph_to_networkx(graph), SPCIndex.build(graph)
+
+
+class TestAgainstNetworkx:
+    def test_distances(self, instance):
+        graph, nx_graph, index = instance
+        lengths = dict(nx.all_pairs_shortest_path_length(nx_graph))
+        for s in range(graph.n):
+            for t in range(graph.n):
+                want = lengths.get(s, {}).get(t, INF)
+                assert index.distance(s, t) == want
+
+    def test_counts_match_enumerated_paths(self, instance):
+        graph, nx_graph, index = instance
+        for s in range(graph.n):
+            for t in range(graph.n):
+                if s == t:
+                    continue
+                try:
+                    want = len(list(nx.all_shortest_paths(nx_graph, s, t)))
+                except nx.NetworkXNoPath:
+                    want = 0
+                assert index.count(s, t) == want, (s, t)
+
+    def test_path_enumeration_matches(self, instance):
+        graph, nx_graph, _ = instance
+        for s in range(0, graph.n, 5):
+            for t in range(graph.n):
+                ours = {p for p in all_shortest_paths(graph, s, t)}
+                try:
+                    theirs = {tuple(p) for p in nx.all_shortest_paths(nx_graph, s, t)}
+                except nx.NetworkXNoPath:
+                    theirs = set()
+                if s == t:
+                    theirs = {(s,)}
+                assert ours == theirs, (s, t)
+
+    def test_scale_free_counts(self):
+        graph = barabasi_albert_graph(40, 2, seed=19)
+        nx_graph = graph_to_networkx(graph)
+        index = SPCIndex.build(graph, ordering="significant-path")
+        for s in range(0, 40, 7):
+            for t in range(40):
+                if s == t:
+                    continue
+                try:
+                    want = len(list(nx.all_shortest_paths(nx_graph, s, t)))
+                except nx.NetworkXNoPath:
+                    want = 0
+                assert index.count(s, t) == want
+
+    def test_directed_against_networkx(self):
+        import random
+
+        from repro.directed.index import DirectedSPCIndex
+        from repro.graph.builders import digraph_to_networkx
+        from repro.graph.digraph import WeightedDigraph
+
+        rng = random.Random(23)
+        edges = [
+            (u, v, rng.choice((1, 2)))
+            for u in range(15)
+            for v in range(15)
+            if u != v and rng.random() < 0.2
+        ]
+        digraph = WeightedDigraph.from_edges(15, edges)
+        nx_graph = digraph_to_networkx(digraph)
+        index = DirectedSPCIndex.build(digraph)
+        for s in range(15):
+            for t in range(15):
+                if s == t:
+                    continue
+                try:
+                    want_dist = nx.shortest_path_length(nx_graph, s, t, weight="weight")
+                    want_count = len(
+                        list(nx.all_shortest_paths(nx_graph, s, t, weight="weight"))
+                    )
+                except nx.NetworkXNoPath:
+                    want_dist, want_count = INF, 0
+                assert index.count_with_distance(s, t) == (want_dist, want_count)

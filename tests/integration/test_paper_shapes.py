@@ -1,0 +1,110 @@
+"""Programmatic checks of the paper's experiment *shapes* (§6).
+
+The benchmarks measure; these tests assert. Each encodes a qualitative
+finding of the evaluation section so that `pytest tests/` alone confirms
+the reproduction tracks the paper, at a modest dataset scale.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    HP_SPC_PLUS,
+    HP_SPC_STAR,
+    exp4_reductions,
+    exp5_labels,
+    exp6_planar,
+)
+from repro.core.index import SPCIndex
+from repro.datasets.registry import dataset_notations, load_dataset
+from repro.reductions.pipeline import ReducedSPCIndex
+
+SCALE = 0.3
+
+
+@pytest.fixture(scope="module")
+def exp4(request):
+    return {row["dataset"]: row for row in exp4_reductions(scale=SCALE)}
+
+
+class TestFigure6Shapes:
+    """Exp-2: the reductions must shrink the index, monotonically."""
+
+    @pytest.mark.parametrize("notation", ["FB", "GO", "YT", "IN"])
+    def test_size_ordering(self, notation):
+        graph = load_dataset(notation, scale=SCALE)
+        plain = SPCIndex.build(graph, ordering="significant-path").total_entries()
+        plus = ReducedSPCIndex.build(
+            graph, ordering="significant-path", reductions=HP_SPC_PLUS
+        ).total_entries()
+        star = ReducedSPCIndex.build(
+            graph, ordering="significant-path", reductions=HP_SPC_STAR
+        ).total_entries()
+        assert star <= plus <= plain
+        # The paper's '+' reduction saves at least 13% everywhere; the
+        # analogs are built to carry comparable reducible mass.
+        assert plus <= 0.95 * plain
+
+
+class TestFigure8Shapes:
+    """Exp-4: reduction power profile across the datasets."""
+
+    def test_combination_best_everywhere(self, exp4):
+        for notation, row in exp4.items():
+            assert row["both_fraction"] >= row["shell_fraction"] - 1e-9, notation
+
+    def test_shell_dominates_fringe_heavy(self, exp4):
+        assert exp4["YT"]["shell_fraction"] > 0.3
+        assert exp4["FL"]["shell_fraction"] > 0.3
+
+    def test_equivalence_strong_on_web(self, exp4):
+        for notation in ("GO", "BE", "IN"):
+            assert exp4[notation]["equiv_fraction"] > 0.1, notation
+
+    def test_pe_is_the_straggler(self, exp4):
+        pe = exp4["PE"]["both_fraction"]
+        others = [row["both_fraction"] for n, row in exp4.items() if n != "PE"]
+        assert pe <= min(others) + 0.05
+
+    def test_most_graphs_reduce_substantially(self, exp4):
+        reduced = [n for n, row in exp4.items() if row["both_fraction"] >= 0.10]
+        assert len(reduced) >= 8  # "at least 20% for all graphs but one" in spirit
+
+
+class TestExp5Shapes:
+    """Exp-5: canonical-only approximation quality (Table 4) and label mass."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return exp5_labels(scale=SCALE, queries=400, notations=["FB", "GO", "PE"])
+
+    def test_table4_percentile_shape(self, results):
+        for row in results["table4"]:
+            assert row["p40"] <= 1.3, row["dataset"]
+            assert row["p40"] <= row["p90"] <= row["max"]
+            assert row["max"] >= 1.0
+
+    def test_noncanonical_mass_exists(self, results):
+        for row in results["figure9"]:
+            assert row["noncanonical"] > 0, "counting needs L^nc everywhere"
+
+    def test_label_sizes_concentrated(self, results):
+        for row in results["figure10"]:
+            assert row["p75"] <= 8 * max(1, row["p25"]), row["dataset"]
+
+
+class TestTable5Shapes:
+    """Exp-6: the PL-SPC vs HP-SPC profile on the Delaunay instance."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row["variant"]: row for row in exp6_planar(n=150, queries=150)}
+
+    def test_pl_spc_is_largest(self, rows):
+        assert rows["PL-SPC"]["entries"] >= rows["HP-SPC_P"]["entries"]
+
+    def test_hp_spc_p_pays_for_pruning_at_build(self, rows):
+        assert rows["HP-SPC_P"]["index_s"] >= rows["PL-SPC"]["index_s"]
+
+    def test_practical_variants_smallest(self, rows):
+        smallest = min(row["entries"] for row in rows.values())
+        assert rows["HP-SPC_D"]["entries"] == smallest

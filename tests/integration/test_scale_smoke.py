@@ -1,0 +1,47 @@
+"""Moderate-scale smoke: thousands of vertices, sampled validation.
+
+Exhaustive checks live on tiny graphs; this file confirms nothing
+degrades at the scale the benchmarks actually run (structure audits plus
+BFS spot checks on a few thousand vertices).
+"""
+
+import pytest
+
+from repro.core.diagnostics import validate_oracle, validate_structure
+from repro.core.index import SPCIndex
+from repro.generators.random_graphs import barabasi_albert_graph
+from repro.generators.web import copying_model_graph
+from repro.reductions.pipeline import ReducedSPCIndex
+
+
+@pytest.fixture(scope="module")
+def big_social():
+    return barabasi_albert_graph(1500, 4, seed=31)
+
+
+class TestScaleSmoke:
+    def test_plain_index_structure_and_queries(self, big_social):
+        index = SPCIndex.build(big_social, ordering="degree")
+        validate_structure(index.labels, big_social)
+        assert validate_oracle(index, big_social, samples=150, seed=1) == 150
+
+    def test_reduced_index_queries(self, big_social):
+        index = ReducedSPCIndex.build(
+            big_social,
+            ordering="significant-path",
+            reductions=("shell", "equivalence", "independent-set"),
+        )
+        assert validate_oracle(index, big_social, samples=150, seed=2) == 150
+
+    def test_web_analog(self):
+        graph = copying_model_graph(1200, out_degree=5, beta=0.2, seed=33)
+        index = ReducedSPCIndex.build(
+            graph, ordering="degree", reductions=("shell", "equivalence")
+        )
+        assert validate_oracle(index, graph, samples=150, seed=3) == 150
+
+    def test_label_sizes_stay_sane(self, big_social):
+        index = SPCIndex.build(big_social, ordering="degree")
+        sizes = index.labels.size_histogram()
+        # Sub-quadratic scaling: average label far below n.
+        assert sum(sizes) / len(sizes) < big_social.n / 10

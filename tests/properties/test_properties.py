@@ -1,0 +1,306 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Random graphs, random orders, random reduction stacks — every labeling
+must agree with BFS counting on every pair, and the structural claims of
+§3-§5 must hold on arbitrary inputs, not just the fixtures.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bidirectional import bidirectional_spc
+from repro.core.espc import build_espc, verify_espc
+from repro.core.hp_spc import build_labels
+from repro.core.query import count_canonical_only, count_query, distance_query
+from repro.directed.index import DirectedSPCIndex
+from repro.graph.digraph import WeightedDigraph
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_bfs, spc_dijkstra
+from repro.reductions.pipeline import ReducedSPCIndex
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_n=14, edge_bias=0.25):
+    """Random simple graphs, dense enough to have interesting path counts."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()) and draw(st.floats(0, 1)) < edge_bias * 2:
+                edges.append((u, v))
+    return Graph.from_edges(n, edges)
+
+
+@st.composite
+def graphs_with_orders(draw, max_n=12):
+    graph = draw(graphs(max_n=max_n))
+    order = list(range(graph.n))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    random.Random(seed).shuffle(order)
+    return graph, order
+
+
+@st.composite
+def digraphs(draw, max_n=10):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    edges = []
+    for u in range(n):
+        for v in range(n):
+            if u != v and draw(st.floats(0, 1)) < 0.2:
+                edges.append((u, v, draw(st.integers(min_value=1, max_value=3))))
+    return WeightedDigraph.from_edges(n, edges)
+
+
+@given(graphs_with_orders())
+@settings(**SETTINGS)
+def test_hp_spc_exact_under_any_order(graph_order):
+    graph, order = graph_order
+    labels = build_labels(graph, ordering=order)
+    for s in range(graph.n):
+        for t in range(graph.n):
+            assert count_query(labels, s, t) == spc_bfs(graph, s, t)
+
+
+@given(graphs_with_orders(max_n=9))
+@settings(**SETTINGS)
+def test_trough_construction_is_always_an_espc(graph_order):
+    graph, order = graph_order
+    cover_map, _ = build_espc(graph, order)
+    assert verify_espc(graph, cover_map)
+
+
+@given(graphs_with_orders())
+@settings(**SETTINGS)
+def test_canonical_only_is_exact_distance_lower_count(graph_order):
+    graph, order = graph_order
+    labels = build_labels(graph, ordering=order)
+    for s in range(graph.n):
+        for t in range(graph.n):
+            dist, count = count_query(labels, s, t)
+            approx_dist, approx_count = count_canonical_only(labels, s, t)
+            assert approx_dist == dist
+            assert approx_count <= count
+            if count:
+                assert approx_count >= 1
+
+
+@given(graphs_with_orders())
+@settings(**SETTINGS)
+def test_distance_query_matches_bfs(graph_order):
+    from repro.graph.traversal import bfs_distances
+
+    graph, order = graph_order
+    labels = build_labels(graph, ordering=order)
+    for s in range(graph.n):
+        dist = bfs_distances(graph, s)
+        for t in range(graph.n):
+            assert distance_query(labels, s, t) == dist[t]
+
+
+@given(graphs(), st.sampled_from([
+    ("shell",), ("equivalence",), ("independent-set",),
+    ("shell", "equivalence"), ("shell", "equivalence", "independent-set"),
+]), st.sampled_from(["direct", "filtered"]))
+@settings(**SETTINGS)
+def test_reduction_pipeline_exact(graph, reductions, scheme):
+    index = ReducedSPCIndex.build(graph, reductions=reductions, scheme=scheme)
+    for s in range(graph.n):
+        for t in range(graph.n):
+            assert index.count_with_distance(s, t) == spc_bfs(graph, s, t)
+
+
+@given(graphs(max_n=16))
+@settings(**SETTINGS)
+def test_bidirectional_matches_bfs(graph):
+    for s in range(graph.n):
+        for t in range(graph.n):
+            assert bidirectional_spc(graph, s, t) == spc_bfs(graph, s, t)
+
+
+@given(graphs_with_orders())
+@settings(**SETTINGS)
+def test_label_entries_are_true_distances_and_hub_ranks(graph_order):
+    from repro.graph.traversal import bfs_distances
+
+    graph, order = graph_order
+    labels = build_labels(graph, ordering=order)
+    for v in range(graph.n):
+        dist = bfs_distances(graph, v)
+        for rank, hub, d, c in labels.merged(v):
+            assert d == dist[hub]
+            assert c >= 1
+            assert labels.rank_of[hub] == rank
+            assert rank <= labels.rank_of[v]
+
+
+@given(graphs_with_orders())
+@settings(**SETTINGS)
+def test_minimality_every_entry_is_needed(graph_order):
+    """Removing any label entry breaks some query (§3.1 minimality).
+
+    Checked at the labeling level: for each entry ``(w, d, c)`` of
+    ``L(v)``, zeroing it must change the result of at least one pair
+    query involving ``v``.
+    """
+    from repro.core.query import merge_join_rows
+
+    graph, order = graph_order
+    labels = build_labels(graph, ordering=order)
+    truth = {
+        (s, t): spc_bfs(graph, s, t)
+        for s in range(graph.n)
+        for t in range(graph.n)
+    }
+    for v in range(graph.n):
+        row = labels.merged(v)
+        for index_in_row in range(len(row)):
+            removed = row.pop(index_in_row)
+            # Raw joins (no s == t shortcut): the self entry is load-bearing
+            # for cover(T(v), T(v)) too.
+            broke_something = any(
+                merge_join_rows(row, labels.merged(t), v, t) != truth[(v, t)]
+                for t in range(graph.n)
+            )
+            row.insert(index_in_row, removed)
+            assert broke_something, f"entry {removed} of L({v}) is redundant"
+
+
+@given(digraphs())
+@settings(**SETTINGS)
+def test_directed_index_exact(digraph):
+    index = DirectedSPCIndex.build(digraph)
+    for s in range(digraph.n):
+        for t in range(digraph.n):
+            assert index.count_with_distance(s, t) == spc_dijkstra(digraph, s, t)
+
+
+@given(digraphs(max_n=9), st.sampled_from([
+    ("shell",), ("equivalence",), ("shell", "equivalence", "independent-set"),
+]))
+@settings(**SETTINGS)
+def test_directed_reductions_exact(digraph, reductions):
+    index = DirectedSPCIndex.build(digraph, reductions=reductions)
+    for s in range(digraph.n):
+        for t in range(digraph.n):
+            assert index.count_with_distance(s, t) == spc_dijkstra(digraph, s, t)
+
+
+@given(graph=graphs(max_n=12))
+@settings(**SETTINGS)
+def test_serialization_roundtrip_preserves_queries(graph, tmp_path_factory):
+    from repro.core.index import SPCIndex
+    from repro.io.serialize import load_index, save_index
+
+    index = SPCIndex.build(graph)
+    path = tmp_path_factory.mktemp("labels") / "index.bin"
+    save_index(index, path)
+    loaded = load_index(path)
+    for s in range(graph.n):
+        for t in range(graph.n):
+            assert loaded.count_with_distance(s, t) == index.count_with_distance(s, t)
+
+
+@given(graphs(max_n=10), st.integers(min_value=0, max_value=2**16))
+@settings(**SETTINGS)
+def test_dynamic_insertions_exact(graph, seed):
+    from repro.dynamic.incremental import DynamicSPCIndex
+
+    rng = random.Random(seed)
+    index = DynamicSPCIndex(graph, auto_rebuild=None)
+    missing = [
+        (u, v)
+        for u in range(graph.n)
+        for v in range(u + 1, graph.n)
+        if not graph.has_edge(u, v)
+    ]
+    rng.shuffle(missing)
+    for u, v in missing[:4]:
+        index.insert_edge(u, v)
+    updated = index.current_graph()
+    for s in range(graph.n):
+        for t in range(graph.n):
+            assert index.count_with_distance(s, t) == spc_bfs(updated, s, t)
+
+
+@given(graphs(max_n=12))
+@settings(**SETTINGS)
+def test_set_queries_match_brute_force(graph):
+    import itertools
+
+    from repro.core.query import count_set_query
+
+    labels = build_labels(graph)
+    vertices = list(range(graph.n))
+    sources = vertices[: max(1, graph.n // 3)]
+    targets = vertices[max(0, graph.n - max(1, graph.n // 3)):]
+    best = INF_SET = float("inf")
+    total = 0
+    for s, t in itertools.product(sources, targets):
+        d, c = spc_bfs(graph, s, t)
+        if d < best:
+            best, total = d, c
+        elif d == best:
+            total += c
+    want = (best, total) if total else (float("inf"), 0)
+    assert count_set_query(labels, sources, targets) == want
+
+
+@given(graphs(max_n=12), st.integers(min_value=0, max_value=100))
+@settings(**SETTINGS)
+def test_shell_lemma_42(graph, seed):
+    from repro.generators.augment import attach_fringe
+    from repro.reductions.shell import ShellReduction
+
+    grown = attach_fringe(graph, 0.5, seed=seed)
+    shell = ShellReduction.compute(grown)
+    for s in range(grown.n):
+        for t in range(grown.n):
+            want_d, want_c = spc_bfs(grown, s, t)
+            if shell.same_representative(s, t):
+                assert want_c == 1
+                assert shell.tree_distance(s, t) == want_d
+            else:
+                got = spc_bfs(
+                    shell.graph_reduced, shell.project(s), shell.project(t)
+                )[1]
+                assert got == want_c
+
+
+@given(graphs(max_n=12), st.integers(min_value=0, max_value=2**16))
+@settings(**SETTINGS)
+def test_weighted_pipeline_exact(graph, seed):
+    from repro.weighted.graph import WeightedGraph, spc_weighted
+    from repro.weighted.index import WeightedSPCIndex
+
+    rng = random.Random(seed)
+    weighted = WeightedGraph.from_edges(
+        graph.n, ((u, v, rng.choice((1, 2, 3))) for u, v in graph.edges())
+    )
+    index = WeightedSPCIndex.build(
+        weighted, reductions=("shell", "equivalence", "independent-set")
+    )
+    for s in range(weighted.n):
+        for t in range(weighted.n):
+            assert index.count_with_distance(s, t) == spc_weighted(weighted, s, t)
+
+
+@given(graphs(max_n=12), st.integers(min_value=0, max_value=100))
+@settings(**SETTINGS)
+def test_equivalence_lemma_43(graph, seed):
+    from repro.generators.augment import add_twins
+    from repro.reductions.equivalence import EquivalenceReduction
+
+    grown = add_twins(graph, 0.5, seed=seed)
+    equiv = EquivalenceReduction.compute(grown)
+    for s in range(grown.n):
+        for t in range(grown.n):
+            if s != t and equiv.eqr(s) == equiv.eqr(t):
+                assert equiv.same_class_answer(s, t) == spc_bfs(grown, s, t)

@@ -1,0 +1,134 @@
+"""Tests for the neighborhood-equivalence reduction (§4.2)."""
+
+import pytest
+
+from repro.generators.classic import complete_bipartite_graph, complete_graph, cycle_graph, star_graph
+from repro.generators.augment import add_twins
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_bfs
+from repro.reductions.equivalence import EquivalenceReduction
+
+INF = float("inf")
+
+
+class TestPartition:
+    def test_star_leaves_are_one_class(self):
+        g = star_graph(6)
+        equiv = EquivalenceReduction.compute(g)
+        rep = equiv.eqr(1)
+        assert all(equiv.eqr(v) == rep for v in range(1, 6))
+        assert equiv.eqc_size(1) == 5
+        assert not equiv.is_clique_class(1)
+
+    def test_complete_graph_is_one_clique_class(self):
+        g = complete_graph(5)
+        equiv = EquivalenceReduction.compute(g)
+        assert all(equiv.eqr(v) == 0 for v in range(5))
+        assert equiv.is_clique_class(0)
+        assert equiv.graph_reduced.n == 1
+
+    def test_complete_bipartite_two_classes(self):
+        g = complete_bipartite_graph(3, 4)
+        equiv = EquivalenceReduction.compute(g)
+        assert equiv.eqc_size(0) == 3
+        assert equiv.eqc_size(3) == 4
+        assert equiv.graph_reduced.n == 2
+        assert equiv.graph_reduced.m == 1
+
+    def test_cycle_has_no_twins(self):
+        equiv = EquivalenceReduction.compute(cycle_graph(6))
+        assert equiv.removed_count == 0
+
+    def test_square_is_two_independent_pairs(self):
+        # C4: opposite corners share both neighbors.
+        equiv = EquivalenceReduction.compute(cycle_graph(4))
+        assert equiv.eqr(0) == equiv.eqr(2)
+        assert equiv.eqr(1) == equiv.eqr(3)
+        assert not equiv.is_clique_class(0)
+
+    def test_isolated_vertices_form_one_class(self):
+        g = Graph.from_edges(5, [(0, 1), (0, 2), (1, 2)])
+        equiv = EquivalenceReduction.compute(g)
+        assert equiv.eqr(3) == equiv.eqr(4) == 3
+
+    def test_representative_is_min_id(self):
+        g = star_graph(4)
+        equiv = EquivalenceReduction.compute(g)
+        assert equiv.eqr(3) == 1
+
+    def test_multiplicity_per_reduced_vertex(self):
+        g = complete_bipartite_graph(2, 3)
+        equiv = EquivalenceReduction.compute(g)
+        mult = sorted(equiv.multiplicity)
+        assert mult == [2, 3]
+
+    def test_paper_classes(self, paper_gprime):
+        # G' itself has no non-singleton classes (it IS the quotient).
+        equiv = EquivalenceReduction.compute(paper_gprime)
+        assert equiv.removed_count == 0
+
+
+class TestLemma43:
+    def test_clique_twins(self):
+        g = complete_graph(4)
+        equiv = EquivalenceReduction.compute(g)
+        assert equiv.same_class_answer(0, 3) == (1, 1)
+
+    def test_independent_twins(self):
+        g = star_graph(5)
+        equiv = EquivalenceReduction.compute(g)
+        assert equiv.same_class_answer(1, 4) == (2, 1)
+        # spc = deg(s): leaves have degree 1.
+
+    def test_independent_twins_with_degree(self):
+        g = complete_bipartite_graph(3, 4)
+        equiv = EquivalenceReduction.compute(g)
+        assert equiv.same_class_answer(0, 1) == (2, 4)
+        assert equiv.same_class_answer(3, 4) == (2, 3)
+
+    def test_isolated_twins_disconnected(self):
+        g = Graph.from_edges(4, [(0, 1)])
+        equiv = EquivalenceReduction.compute(g)
+        assert equiv.same_class_answer(2, 3) == (INF, 0)
+
+    def test_rejects_cross_class(self):
+        g = complete_bipartite_graph(2, 2)
+        equiv = EquivalenceReduction.compute(g)
+        with pytest.raises(ValueError):
+            equiv.same_class_answer(0, 2)
+
+    def test_lemma_matches_bfs(self):
+        base = gnp_random_graph(10, 0.35, seed=4)
+        g = add_twins(base, 0.5, seed=5)
+        equiv = EquivalenceReduction.compute(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                if s != t and equiv.eqr(s) == equiv.eqr(t):
+                    dist, cnt = equiv.same_class_answer(s, t)
+                    assert (dist, cnt) == spc_bfs(g, s, t), (s, t)
+
+    def test_cross_class_representative_mapping(self):
+        base = gnp_random_graph(10, 0.35, seed=6)
+        g = add_twins(base, 0.4, seed=7)
+        equiv = EquivalenceReduction.compute(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                if equiv.eqr(s) != equiv.eqr(t):
+                    want = spc_bfs(g, s, t)[1]
+                    got = spc_bfs(g, equiv.eqr(s), equiv.eqr(t))[1]
+                    assert got == want, (s, t)
+
+
+class TestBlownUpTwins:
+    @pytest.mark.parametrize("adjacent", [0.0, 1.0, 0.5])
+    def test_augmented_graph_classes_survive(self, adjacent):
+        base = gnp_random_graph(12, 0.3, seed=8)
+        g, involved = add_twins(
+            base, 0.5, seed=9, adjacent_probability=adjacent, return_involved=True
+        )
+        equiv = EquivalenceReduction.compute(g)
+        # Every implanted twin must land in a non-singleton class.
+        copies = [v for v in involved if v >= base.n]
+        for v in copies:
+            assert equiv.eqc_size(v) >= 2, v

@@ -1,0 +1,119 @@
+"""Tests for the independent-set reduction and its query schemes (§4.3)."""
+
+import pytest
+
+from repro.core.hp_spc import build_labels
+from repro.core.ordering import DegreeOrdering
+from repro.generators.classic import cycle_graph, path_graph, star_graph
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_bfs
+from repro.reductions.independent_set import ISQueryEngine, select_independent_set
+
+INF = float("inf")
+
+
+def _rank_of(order, n):
+    rank = [0] * n
+    for r, v in enumerate(order):
+        rank[v] = r
+    return rank
+
+
+class TestSelection:
+    def test_star_selects_leaves(self):
+        g = star_graph(5)
+        order = DegreeOrdering.static_order(g)
+        in_set = select_independent_set(g, _rank_of(order, g.n))
+        assert in_set == [False, True, True, True, True]
+
+    def test_selected_set_is_independent(self):
+        g = gnp_random_graph(30, 0.2, seed=1)
+        order = DegreeOrdering.static_order(g)
+        in_set = select_independent_set(g, _rank_of(order, g.n))
+        members = [v for v in range(g.n) if in_set[v]]
+        for u in members:
+            for v in members:
+                assert u == v or not g.has_edge(u, v)
+
+    def test_isolated_vertices_qualify(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        in_set = select_independent_set(g, [0, 1, 2])
+        assert in_set[2]
+
+    def test_members_are_never_hubs_of_others(self):
+        g = gnp_random_graph(25, 0.2, seed=2)
+        order = DegreeOrdering.static_order(g)
+        in_set = select_independent_set(g, _rank_of(order, g.n))
+        labels = build_labels(g, ordering=order)
+        members = {v for v in range(g.n) if in_set[v]}
+        for v in range(g.n):
+            for hub in labels.hubs(v):
+                if hub in members:
+                    assert hub == v
+
+
+class TestQueryEngine:
+    @pytest.fixture(params=["direct", "filtered"])
+    def scheme(self, request):
+        return request.param
+
+    def _engine(self, graph, drop=True):
+        order = DegreeOrdering.static_order(graph)
+        rank = _rank_of(order, graph.n)
+        in_set = select_independent_set(graph, rank) if drop else [False] * graph.n
+        labels = build_labels(graph, ordering=order, skip=in_set)
+        return ISQueryEngine(labels, graph, in_set)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_on_random_graphs(self, scheme, seed):
+        g = gnp_random_graph(20, 0.2, seed=seed)
+        engine = self._engine(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert engine.query(s, t, scheme) == spc_bfs(g, s, t), (s, t)
+
+    def test_both_endpoints_dropped(self, scheme):
+        g = star_graph(6)  # every leaf dropped
+        engine = self._engine(g)
+        assert engine.query(1, 2, scheme) == (2, 1)
+        assert engine.query(1, 1, scheme) == (0, 1)
+
+    def test_one_endpoint_dropped(self, scheme):
+        g = path_graph(5)
+        engine = self._engine(g)
+        for s in range(5):
+            for t in range(5):
+                assert engine.query(s, t, scheme) == spc_bfs(g, s, t)
+
+    def test_disconnected(self, scheme):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        engine = self._engine(g)
+        assert engine.query(0, 4, scheme) == (INF, 0)
+        assert engine.query(4, 4, scheme) == (0, 1)
+
+    def test_adjacent_pair_one_dropped(self, scheme):
+        g = star_graph(4)
+        engine = self._engine(g)
+        assert engine.query(1, 0, scheme) == (1, 1)
+        assert engine.query(0, 1, scheme) == (1, 1)
+
+    def test_unknown_scheme_rejected(self):
+        g = path_graph(3)
+        engine = self._engine(g)
+        with pytest.raises(ValueError, match="scheme"):
+            engine.query(0, 2, "magic")
+
+    def test_schemes_agree(self):
+        g = gnp_random_graph(25, 0.15, seed=9)
+        engine = self._engine(g)
+        for s in range(g.n):
+            for t in range(g.n):
+                assert engine.query(s, t, "direct") == engine.query(s, t, "filtered")
+
+    def test_cycle_antipodal_through_dropped(self):
+        g = cycle_graph(8)
+        engine = self._engine(g)
+        for s in range(8):
+            for t in range(8):
+                assert engine.query(s, t, "filtered") == spc_bfs(g, s, t)

@@ -1,0 +1,152 @@
+"""Integration tests for the reduction pipeline (HP-SPC+ / HP-SPC*)."""
+
+import pytest
+
+from tests.conftest import assert_oracle_exact
+
+from repro.generators.augment import add_twins, attach_fringe
+from repro.generators.classic import grid_graph, random_tree, star_graph
+from repro.generators.random_graphs import barabasi_albert_graph, gnp_random_graph
+from repro.generators.web import copying_model_graph
+from repro.graph.builders import with_pendant_trees
+from repro.graph.graph import Graph
+from repro.reductions.pipeline import ReducedSPCIndex, reduction_report
+
+ALL = ("shell", "equivalence", "independent-set")
+PLUS = ("shell", "equivalence")
+
+
+def stacked_graph(seed):
+    """Random core + twins + fringe: exercises every reduction at once."""
+    base = gnp_random_graph(14, 0.3, seed=seed)
+    g = add_twins(base, 0.4, seed=seed + 1)
+    return attach_fringe(g, 0.4, seed=seed + 2)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("reductions", [
+        ("shell",), ("equivalence",), ("independent-set",),
+        PLUS, ("shell", "independent-set"), ("equivalence", "independent-set"), ALL,
+    ])
+    @pytest.mark.parametrize("ordering", ["degree", "significant-path"])
+    def test_all_configs_exact(self, reductions, ordering):
+        g = stacked_graph(31)
+        index = ReducedSPCIndex.build(g, ordering=ordering, reductions=reductions)
+        assert_oracle_exact(index, g)
+
+    @pytest.mark.parametrize("scheme", ["direct", "filtered"])
+    def test_schemes_exact(self, scheme):
+        g = stacked_graph(47)
+        index = ReducedSPCIndex.build(g, reductions=ALL, scheme=scheme)
+        assert_oracle_exact(index, g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_stacked(self, seed):
+        g = stacked_graph(seed)
+        index = ReducedSPCIndex.build(g, ordering="significant-path", reductions=ALL)
+        assert_oracle_exact(index, g)
+
+    def test_scale_free(self):
+        g = barabasi_albert_graph(40, 2, seed=5)
+        index = ReducedSPCIndex.build(g, reductions=ALL)
+        assert_oracle_exact(index, g)
+
+    def test_web_graph(self):
+        g = copying_model_graph(40, 3, seed=6)
+        index = ReducedSPCIndex.build(g, reductions=PLUS)
+        assert_oracle_exact(index, g)
+
+    def test_pure_tree(self):
+        g = random_tree(20, seed=8)
+        index = ReducedSPCIndex.build(g, reductions=ALL)
+        assert_oracle_exact(index, g)
+        # Everything collapses into the shell: the core is one vertex.
+        assert index.core_graph_size()[0] == 1
+
+    def test_grid(self):
+        g = grid_graph(4, 4)
+        index = ReducedSPCIndex.build(g, reductions=ALL)
+        assert_oracle_exact(index, g)
+
+    def test_disconnected_with_isolates(self):
+        g = Graph.from_edges(7, [(0, 1), (1, 2), (2, 0), (3, 4)])
+        index = ReducedSPCIndex.build(g, reductions=ALL)
+        assert_oracle_exact(index, g)
+
+
+class TestBehaviour:
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(ValueError, match="unknown reduction"):
+            ReducedSPCIndex.build(star_graph(4), reductions=("magic",))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="scheme"):
+            ReducedSPCIndex.build(star_graph(4), scheme="magic")
+
+    def test_with_scheme_switches(self):
+        g = stacked_graph(3)
+        index = ReducedSPCIndex.build(g, reductions=ALL, scheme="filtered")
+        other = index.with_scheme("direct")
+        assert other.scheme == "direct"
+        assert other.labels is index.labels  # shared, no rebuild
+        assert_oracle_exact(other, g)
+
+    def test_reductions_shrink_labels(self):
+        g = stacked_graph(13)
+        plain = ReducedSPCIndex.build(g, reductions=())
+        plus = ReducedSPCIndex.build(g, reductions=PLUS)
+        star = ReducedSPCIndex.build(g, reductions=ALL)
+        assert plus.total_entries() < plain.total_entries()
+        assert star.total_entries() < plus.total_entries()
+
+    def test_is_dropped_labels_under_degree_order(self):
+        g = stacked_graph(17)
+        index = ReducedSPCIndex.build(g, ordering="degree", reductions=ALL)
+        engine = index.engine
+        dropped = [v for v, flag in enumerate(engine.independent_set) if flag]
+        assert dropped, "expected a non-empty I"
+        for v in dropped:
+            assert index.labels.label_size(v) == 0
+
+    def test_is_dropped_labels_under_sigpath_order(self):
+        g = stacked_graph(19)
+        index = ReducedSPCIndex.build(g, ordering="significant-path", reductions=ALL)
+        dropped = [v for v, flag in enumerate(index.engine.independent_set) if flag]
+        assert dropped
+        for v in dropped:
+            assert index.labels.label_size(v) == 0
+        assert_oracle_exact(index, g)
+
+    def test_build_stats(self):
+        g = stacked_graph(23)
+        index = ReducedSPCIndex.build(g, reductions=PLUS, collect_stats=True)
+        assert index.build_stats.pushes == index.core_graph_size()[0]
+        assert index.build_seconds > 0
+
+    def test_repr_mentions_reductions(self):
+        g = stacked_graph(29)
+        index = ReducedSPCIndex.build(g, reductions=ALL)
+        assert "shell" in repr(index)
+        assert "equivalence" in repr(index)
+
+
+class TestReductionReport:
+    def test_report_fields(self):
+        g = stacked_graph(37)
+        report = reduction_report(g)
+        assert report["n"] == g.n
+        assert 0 < report["shell_fraction"] < 1
+        assert 0 < report["equiv_fraction"] < 1
+        assert report["both_fraction"] >= max(
+            report["shell_fraction"] * 0, report["equiv_fraction"] * 0
+        )
+
+    def test_combination_at_least_shell(self):
+        g = stacked_graph(41)
+        report = reduction_report(g)
+        assert report["both_removed"] >= report["shell_removed"]
+
+    def test_clean_graph_reports_zero(self):
+        report = reduction_report(grid_graph(4, 4))
+        assert report["shell_removed"] == 0
+        assert report["equiv_removed"] == 0

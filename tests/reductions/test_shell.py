@@ -1,0 +1,109 @@
+"""Tests for the 1-shell reduction (§4.1, Lemma 4.2)."""
+
+import pytest
+
+from repro.generators.classic import complete_graph, cycle_graph, path_graph, random_tree
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.builders import disjoint_union, with_pendant_trees
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_bfs
+from repro.reductions.shell import ShellReduction
+
+INF = float("inf")
+
+
+class TestStructure:
+    def test_cycle_has_nothing_to_cut(self):
+        shell = ShellReduction.compute(cycle_graph(6))
+        assert shell.removed_count == 0
+        assert shell.graph_reduced.n == 6
+
+    def test_whole_tree_collapses_to_one_vertex(self):
+        g = random_tree(15, seed=2)
+        shell = ShellReduction.compute(g)
+        assert shell.graph_reduced.n == 1
+        root = shell.shr(0)
+        assert all(shell.shr(v) == root for v in range(15))
+
+    def test_pendant_trees_cut(self):
+        base = cycle_graph(5)
+        g = with_pendant_trees(base, [(0, [-1, 0, 0]), (3, [-1, 0])])
+        shell = ShellReduction.compute(g)
+        assert shell.graph_reduced.n == 5
+        assert shell.removed_count == 5
+        assert all(shell.shr(v) == 0 for v in (5, 6, 7))
+        assert all(shell.shr(v) == 3 for v in (8, 9))
+
+    def test_depths(self):
+        base = cycle_graph(4)
+        g = with_pendant_trees(base, [(1, [-1, 0, 1])])  # chain 4-5-6 off v1
+        shell = ShellReduction.compute(g)
+        assert shell.depth(4) == 1
+        assert shell.depth(5) == 2
+        assert shell.depth(6) == 3
+        assert shell.depth(1) == 0
+
+    def test_isolated_vertices_survive(self):
+        g = Graph.from_edges(5, [(0, 1), (1, 2), (2, 0)])
+        shell = ShellReduction.compute(g)
+        # Vertices 3 and 4 have degree 0: not in the 1-core, kept.
+        assert shell.shr(3) == 3
+        assert shell.shr(4) == 4
+        assert shell.graph_reduced.n == 5
+
+    def test_removed_vertices_listing(self, paper_g):
+        shell = ShellReduction.compute(paper_g)
+        assert shell.removed_vertices() == [8, 9, 10, 11, 12]
+
+    def test_repr(self, paper_g):
+        assert "removed=5" in repr(ShellReduction.compute(paper_g))
+
+
+class TestTreeDistance:
+    @pytest.fixture
+    def shell(self, paper_g):
+        return ShellReduction.compute(paper_g)
+
+    def test_within_one_tree(self, shell, paper_g):
+        # v10-v11-v12 chain off v7 (ids 9, 10, 11 off 6).
+        assert shell.tree_distance(9, 11) == spc_bfs(paper_g, 9, 11)[0]
+        assert shell.tree_distance(11, 9) == 2
+
+    def test_across_sibling_trees(self, shell, paper_g):
+        # v13 (id 12) and v11 (id 10) hang off the same access v7.
+        assert shell.same_representative(12, 10)
+        assert shell.tree_distance(12, 10) == spc_bfs(paper_g, 12, 10)[0]
+
+    def test_vertex_to_access(self, shell, paper_g):
+        assert shell.tree_distance(11, 6) == spc_bfs(paper_g, 11, 6)[0]
+
+    def test_rejects_cross_representative(self, shell):
+        with pytest.raises(ValueError, match="shr"):
+            shell.tree_distance(8, 12)
+
+
+class TestLemma42:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_counts_preserved(self, seed):
+        base = gnp_random_graph(12, 0.3, seed=seed)
+        g = with_pendant_trees(base, [(0, [-1, 0]), (5, [-1, -1, 1]), (2, [-1])])
+        shell = ShellReduction.compute(g)
+        reduced = shell.graph_reduced
+        for s in range(g.n):
+            for t in range(g.n):
+                want = spc_bfs(g, s, t)[1]
+                if shell.same_representative(s, t):
+                    got = 1
+                else:
+                    got = spc_bfs(reduced, shell.project(s), shell.project(t))[1]
+                assert got == want, (s, t)
+
+    def test_disconnected_components(self):
+        g = disjoint_union(complete_graph(4), path_graph(3))
+        shell = ShellReduction.compute(g)
+        # The path is its own shell component: same representative => 1.
+        assert shell.same_representative(4, 6)
+        assert shell.tree_distance(4, 6) == 2
+        # Across components: representatives differ, query goes to G_s.
+        assert not shell.same_representative(0, 5)
+        assert spc_bfs(shell.graph_reduced, shell.project(0), shell.project(5)) == (INF, 0)

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.components import largest_component
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph, _ = largest_component(gnp_random_graph(40, 0.12, seed=21))
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return str(path), graph
+
+
+class TestInfo:
+    def test_info(self, graph_file, capsys):
+        path, graph = graph_file
+        assert main(["info", path]) == 0
+        out = capsys.readouterr().out
+        assert f"vertices             : {graph.n}" in out
+        assert f"m                    : {graph.m}" in out
+        assert "approx_diameter" in out
+        assert "avg_clustering" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/graph.txt"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestBuildQueryRoundtrip:
+    def test_build_then_query(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        index_path = str(tmp_path / "g.idx")
+        assert main(["build", path, index_path]) == 0
+        capsys.readouterr()
+        assert main(["query", index_path, "0", "5"]) == 0
+        out = capsys.readouterr().out
+        from repro.graph.traversal import spc_bfs
+
+        dist, count = spc_bfs(graph, 0, 5)
+        assert str(count) in out
+
+    def test_build_significant_path(self, graph_file, tmp_path):
+        path, _ = graph_file
+        index_path = str(tmp_path / "g.idx")
+        assert main(["build", path, index_path, "--ordering", "significant-path"]) == 0
+
+    def test_query_random(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        index_path = str(tmp_path / "g.idx")
+        main(["build", path, index_path])
+        capsys.readouterr()
+        assert main(["query", index_path, "--random", "5"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 6  # header + 5 rows
+
+    def test_query_without_args_fails(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        index_path = str(tmp_path / "g.idx")
+        main(["build", path, index_path])
+        assert main(["query", index_path]) == 2
+
+
+class TestStatsVerifyBench:
+    @pytest.fixture
+    def built(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        index_path = str(tmp_path / "g.idx")
+        main(["build", path, index_path])
+        capsys.readouterr()
+        return path, index_path
+
+    def test_stats(self, built, capsys):
+        _, index_path = built
+        assert main(["stats", index_path]) == 0
+        out = capsys.readouterr().out
+        assert "total_entries" in out
+        assert "nc_over_c" in out
+
+    def test_verify_ok(self, built, capsys):
+        graph_path, index_path = built
+        assert main(["verify", index_path, graph_path, "--samples", "100"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_verify_wrong_graph(self, built, tmp_path, capsys):
+        _, index_path = built
+        other, _ = largest_component(gnp_random_graph(30, 0.2, seed=5))
+        other_path = tmp_path / "other.txt"
+        write_edge_list(other, other_path)
+        assert main(["verify", index_path, str(other_path)]) == 1
+
+    def test_bench(self, built, capsys):
+        _, index_path = built
+        assert main(["bench", index_path, "--queries", "50"]) == 0
+        assert "us/query" in capsys.readouterr().out
+
+    def test_corrupt_index_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.idx"
+        bad.write_bytes(b"garbage!")
+        assert main(["stats", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestWeightedBuild:
+    def test_build_weighted_and_query(self, tmp_path, capsys):
+        from repro.graph.io import write_weighted_edge_list
+        from repro.io.serialize import load_labels
+        from repro.weighted.graph import WeightedGraph, spc_weighted
+
+        g = WeightedGraph.from_edges(
+            5, [(0, 1, 2), (1, 2, 3), (2, 3, 1), (3, 4, 2), (0, 4, 9)]
+        )
+        graph_path = tmp_path / "w.txt"
+        write_weighted_edge_list(g, graph_path)
+        index_path = str(tmp_path / "w.idx")
+        assert main(["build", str(graph_path), index_path, "--weighted"]) == 0
+        capsys.readouterr()
+        labels = load_labels(index_path)
+        from repro.core.query import count_query
+
+        for s in range(5):
+            for t in range(5):
+                assert count_query(labels, s, t) == spc_weighted(g, s, t)
+
+    def test_weighted_roundtrip_io(self, tmp_path):
+        from repro.graph.io import read_weighted_edge_list, write_weighted_edge_list
+        from repro.weighted.graph import WeightedGraph
+
+        g = WeightedGraph.from_edges(4, [(0, 1, 2.5), (1, 2, 3), (2, 3, 1)])
+        path = tmp_path / "w.txt"
+        write_weighted_edge_list(g, path)
+        back, id_map = read_weighted_edge_list(path)
+        assert back.weight(0, 1) == 2.5
+        assert back.weight(1, 2) == 3
+        assert back.m == 3

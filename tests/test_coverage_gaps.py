@@ -1,0 +1,92 @@
+"""Tests for public surfaces not exercised elsewhere."""
+
+import pytest
+
+from repro.generators.classic import cycle_graph
+
+
+class TestValidateOracle:
+    def test_accepts_every_oracle_kind(self):
+        from repro.core.diagnostics import validate_oracle
+        from repro.core.index import SPCIndex
+        from repro.dynamic.incremental import DynamicSPCIndex
+        from repro.generators.random_graphs import gnp_random_graph
+        from repro.reductions.pipeline import ReducedSPCIndex
+
+        graph = gnp_random_graph(20, 0.2, seed=1)
+        for oracle in (
+            SPCIndex.build(graph),
+            ReducedSPCIndex.build(graph, reductions=("shell", "equivalence")),
+            DynamicSPCIndex(graph, auto_rebuild=None),
+        ):
+            assert validate_oracle(oracle, graph, samples=80) == 80
+
+    def test_flags_wrong_oracle(self):
+        from repro.core.diagnostics import validate_oracle
+        from repro.core.index import SPCIndex
+        from repro.exceptions import LabelingError
+        from repro.generators.classic import path_graph
+
+        index = SPCIndex.build(path_graph(5))
+        other = cycle_graph(5)
+        with pytest.raises(LabelingError):
+            validate_oracle(index, other, samples=100)
+
+
+class TestBuildParser:
+    def test_parser_lists_all_commands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("info", "build", "query", "stats", "verify", "bench"):
+            assert command in text
+
+    def test_parser_rejects_unknown_command(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestNetworkxBridges:
+    def test_digraph_to_networkx(self):
+        import networkx as nx
+
+        from repro.graph.builders import digraph_to_networkx
+        from repro.graph.digraph import WeightedDigraph
+
+        d = WeightedDigraph.from_edges(3, [(0, 1, 2), (1, 2, 5)])
+        nxg = digraph_to_networkx(d)
+        assert isinstance(nxg, nx.DiGraph)
+        assert nxg[0][1]["weight"] == 2
+        assert nxg.number_of_edges() == 2
+
+
+class TestWeightedDegreeOrder:
+    def test_degree_order_weighted(self):
+        from repro.weighted.graph import WeightedGraph
+        from repro.weighted.labeling import degree_order_weighted
+
+        g = WeightedGraph.from_edges(4, [(0, 1, 9), (0, 2, 1), (0, 3, 1), (1, 2, 1)])
+        order = degree_order_weighted(g)
+        assert order[0] == 0  # degree 3; weights carry no rank signal
+        assert sorted(order) == [0, 1, 2, 3]
+
+
+class TestAblationsDriver:
+    def test_exp_ablations_shapes(self):
+        from repro.bench.experiments import exp_ablations
+
+        results = exp_ablations(scale=0.12, queries=40)
+        assert {row["config"] for row in results["pruning"]} == {
+            "with pruning joins", "without (PL-SPC style)",
+        }
+        pruned, unpruned = results["pruning"]
+        assert pruned["entries"] <= unpruned["entries"]
+        orderings = {row["config"]: row["entries"] for row in results["ordering"]}
+        assert orderings["degree"] <= orderings["random"]
+        assert len(results["reduction_order"]) == 2
+        budgets = [row["exact_pct"] for row in results["budget"]]
+        assert budgets == sorted(budgets)
+        assert budgets[-1] == 100.0

@@ -1,0 +1,159 @@
+"""Tests for the incremental (edge-insertion) index."""
+
+import random
+
+import pytest
+
+from repro.dynamic.incremental import DynamicSPCIndex
+from repro.exceptions import GraphError, VertexError
+from repro.generators.classic import cycle_graph, path_graph
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.graph import Graph
+from repro.graph.traversal import spc_bfs
+
+INF = float("inf")
+
+
+def assert_matches_updated_graph(index):
+    graph = index.current_graph()
+    for s in range(graph.n):
+        for t in range(graph.n):
+            want = spc_bfs(graph, s, t)
+            got = index.count_with_distance(s, t)
+            assert got == want, f"({s},{t}): {got} != {want}"
+
+
+class TestInsertions:
+    def test_shortcut_changes_distance(self):
+        index = DynamicSPCIndex(path_graph(6), auto_rebuild=None)
+        assert index.count_with_distance(0, 5) == (5, 1)
+        index.insert_edge(0, 5)
+        assert index.count_with_distance(0, 5) == (1, 1)
+        assert index.count_with_distance(1, 4) == (3, 2)  # around both ways? no: 1-0-5-4 and 1-2-3-4
+
+    def test_parallel_path_changes_count_only(self):
+        # A new edge creating an equal-length alternative must raise the
+        # count while keeping the distance.
+        g = Graph.from_edges(4, [(0, 1), (1, 3), (0, 2)])
+        index = DynamicSPCIndex(g, auto_rebuild=None)
+        assert index.count_with_distance(0, 3) == (2, 1)
+        index.insert_edge(2, 3)
+        assert index.count_with_distance(0, 3) == (2, 2)
+
+    def test_connecting_components(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        index = DynamicSPCIndex(g, auto_rebuild=None)
+        assert index.count_with_distance(0, 5) == (INF, 0)
+        index.insert_edge(2, 3)
+        assert index.count_with_distance(0, 5) == (5, 1)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_insertions_stay_exact(self, seed):
+        rng = random.Random(seed)
+        g = gnp_random_graph(16, 0.18, seed=seed)
+        index = DynamicSPCIndex(g, auto_rebuild=None)
+        inserted = 0
+        while inserted < 5:
+            u, v = rng.randrange(g.n), rng.randrange(g.n)
+            if u == v or index.current_graph().has_edge(u, v):
+                continue
+            index.insert_edge(u, v)
+            inserted += 1
+            assert_matches_updated_graph(index)
+
+    def test_multiple_edges_interact(self):
+        # Paths that use two inserted edges back to back.
+        g = path_graph(8)
+        index = DynamicSPCIndex(g, auto_rebuild=None)
+        index.insert_edge(0, 3)
+        index.insert_edge(3, 6)
+        assert index.count_with_distance(0, 6) == (2, 1)
+        assert index.count_with_distance(0, 7) == (3, 1)
+        assert_matches_updated_graph(index)
+
+    def test_self_queries_unchanged(self):
+        index = DynamicSPCIndex(cycle_graph(5), auto_rebuild=None)
+        index.insert_edge(0, 2)
+        assert index.count_with_distance(3, 3) == (0, 1)
+
+
+class TestValidation:
+    def test_existing_edge_rejected(self):
+        index = DynamicSPCIndex(cycle_graph(4))
+        with pytest.raises(GraphError, match="already present"):
+            index.insert_edge(0, 1)
+
+    def test_duplicate_pending_rejected(self):
+        index = DynamicSPCIndex(cycle_graph(5), auto_rebuild=None)
+        index.insert_edge(0, 2)
+        with pytest.raises(GraphError, match="already present"):
+            index.insert_edge(2, 0)
+
+    def test_self_loop_rejected(self):
+        index = DynamicSPCIndex(cycle_graph(4))
+        with pytest.raises(GraphError, match="self-loop"):
+            index.insert_edge(1, 1)
+
+    def test_bad_vertex_rejected(self):
+        index = DynamicSPCIndex(cycle_graph(4))
+        with pytest.raises(VertexError):
+            index.insert_edge(0, 9)
+
+    def test_deletion_unsupported(self):
+        index = DynamicSPCIndex(cycle_graph(4))
+        with pytest.raises(NotImplementedError, match="deletion"):
+            index.delete_edge(0, 1)
+
+    def test_bad_auto_rebuild(self):
+        with pytest.raises(ValueError):
+            DynamicSPCIndex(cycle_graph(4), auto_rebuild=0)
+
+
+class TestRebuild:
+    def test_manual_rebuild_folds_patch(self):
+        index = DynamicSPCIndex(path_graph(5), auto_rebuild=None)
+        index.insert_edge(0, 4)
+        assert len(index.pending_edges) == 1
+        index.rebuild()
+        assert index.pending_edges == ()
+        assert index.count_with_distance(0, 4) == (1, 1)
+        assert_matches_updated_graph(index)
+
+    def test_auto_rebuild_triggers(self):
+        g = gnp_random_graph(14, 0.1, seed=9)
+        index = DynamicSPCIndex(g, auto_rebuild=2)
+        missing = [
+            (u, v)
+            for u in range(g.n)
+            for v in range(u + 1, g.n)
+            if not g.has_edge(u, v)
+        ]
+        index.insert_edge(*missing[0])
+        assert len(index.pending_edges) == 1
+        index.insert_edge(*missing[1])
+        assert index.pending_edges == ()  # threshold reached -> rebuilt
+        assert_matches_updated_graph(index)
+
+    def test_queries_identical_before_and_after_rebuild(self):
+        g = gnp_random_graph(15, 0.15, seed=11)
+        index = DynamicSPCIndex(g, auto_rebuild=None)
+        missing = [
+            (u, v)
+            for u in range(g.n)
+            for v in range(u + 1, g.n)
+            if not g.has_edge(u, v)
+        ]
+        for u, v in missing[:4]:
+            index.insert_edge(u, v)
+        before = {
+            (s, t): index.count_with_distance(s, t)
+            for s in range(g.n)
+            for t in range(g.n)
+        }
+        index.rebuild()
+        for pair, want in before.items():
+            assert index.count_with_distance(*pair) == want
+
+    def test_repr(self):
+        index = DynamicSPCIndex(cycle_graph(4), auto_rebuild=None)
+        assert "pending=0" in repr(index)

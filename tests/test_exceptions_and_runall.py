@@ -1,0 +1,82 @@
+"""Tests for the exception hierarchy and the run_all report writer."""
+
+import pytest
+
+from repro.exceptions import (
+    CountOverflowError,
+    GraphError,
+    LabelingError,
+    OrderingError,
+    ReproError,
+    SerializationError,
+    VertexError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            GraphError,
+            VertexError,
+            OrderingError,
+            LabelingError,
+            SerializationError,
+            CountOverflowError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_vertex_error_payload(self):
+        exc = VertexError(7, 5)
+        assert exc.vertex == 7
+        assert exc.n == 5
+        assert "7" in str(exc) and "5" in str(exc)
+
+    def test_count_overflow_payload(self):
+        exc = CountOverflowError(2**40, 31)
+        assert exc.count == 2**40
+        assert exc.bits == 31
+        assert isinstance(exc, SerializationError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise VertexError(1, 1)
+
+
+class TestRunAll:
+    def test_writes_report(self, tmp_path, capsys):
+        from repro.bench.run_all import main
+
+        output = tmp_path / "report.md"
+        code = main(
+            [
+                "--scale", "0.06",
+                "--queries", "20",
+                "--output", str(output),
+                "--skip",
+                "exp1", "exp2", "exp3", "exp5", "exp6",
+                "theory", "directed", "applications", "ablations",
+            ]
+        )
+        assert code == 0
+        text = output.read_text()
+        assert "Table 3" in text
+        assert "Figure 8" in text
+        assert "paper vs measured" in text
+        # The rendered chart block is present.
+        assert "```" in text
+
+    def test_skip_everything_still_writes(self, tmp_path):
+        from repro.bench.run_all import main
+
+        output = tmp_path / "empty.md"
+        code = main(
+            [
+                "--scale", "0.06",
+                "--output", str(output),
+                "--skip",
+                "table3", "exp1", "exp2", "exp3", "exp4", "exp5", "exp6",
+                "theory", "directed", "applications", "ablations",
+            ]
+        )
+        assert code == 0
+        assert "EXPERIMENTS" in output.read_text()

@@ -1,0 +1,46 @@
+"""Tests for repository tooling (the API doc generator)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestGenApiDocs:
+    def test_generates_reference(self, tmp_path):
+        output = tmp_path / "API.md"
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "gen_api_docs.py"),
+             "--output", str(output)],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+        )
+        assert result.returncode == 0, result.stderr
+        text = output.read_text()
+        assert "# API reference" in text
+        # Every subpackage shows up.
+        for module in (
+            "repro.core.hp_spc",
+            "repro.reductions.pipeline",
+            "repro.directed.index",
+            "repro.weighted.index",
+            "repro.dynamic.incremental",
+            "repro.theory.treewidth",
+        ):
+            assert f"### `{module}`" in text, module
+        # Key public symbols documented with signatures.
+        assert "build_labels(graph" in text
+        assert "class `ReducedSPCIndex" in text
+        assert "count_with_distance" in text
+
+    def test_stdout_mode(self):
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "gen_api_docs.py"), "--stdout"],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+        )
+        assert result.returncode == 0
+        assert "# API reference" in result.stdout

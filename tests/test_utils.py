@@ -1,0 +1,140 @@
+"""Tests for the utils package (timers, rng, stats)."""
+
+import math
+import random
+import time
+
+import pytest
+
+from repro.utils.rng import ensure_rng, random_pairs
+from repro.utils.stats import (
+    cumulative_distribution,
+    geometric_mean,
+    mean,
+    percentile,
+    percentiles,
+)
+from repro.utils.timer import Timer, timed
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.001)
+        first = t.elapsed
+        with t:
+            time.sleep(0.001)
+        assert t.elapsed > first
+
+    def test_unit_properties(self):
+        t = Timer()
+        t.elapsed = 0.5
+        assert t.milliseconds == 500.0
+        assert t.microseconds == 500000.0
+
+    def test_double_start_rejected(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+        assert not t.running
+
+    def test_timed_contextmanager(self):
+        sink = {}
+        with timed(sink, "step"):
+            time.sleep(0.001)
+        assert sink["step"] > 0
+        with timed(sink, "step"):
+            pass
+        assert sink["step"] > 0  # accumulated
+
+
+class TestRNG:
+    def test_ensure_rng_from_int(self):
+        a = ensure_rng(7)
+        b = ensure_rng(7)
+        assert a.random() == b.random()
+
+    def test_ensure_rng_passthrough(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_ensure_rng_none(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_ensure_rng_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_random_pairs(self):
+        pairs = list(random_pairs(10, 30, rng=3))
+        assert len(pairs) == 30
+        assert all(0 <= s < 10 and 0 <= t < 10 for s, t in pairs)
+
+    def test_random_pairs_distinct(self):
+        pairs = list(random_pairs(2, 20, rng=4, distinct=True))
+        assert all(s != t for s, t in pairs)
+
+    def test_random_pairs_validation(self):
+        with pytest.raises(ValueError):
+            list(random_pairs(0, 1))
+        with pytest.raises(ValueError):
+            list(random_pairs(1, 1, distinct=True))
+
+
+class TestStats:
+    def test_percentile_linear_interpolation(self):
+        data = [1, 2, 3, 4]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 4
+        assert percentile(data, 50) == 2.5
+
+    def test_percentile_matches_numpy(self):
+        import numpy as np
+
+        rng = random.Random(5)
+        data = [rng.random() for _ in range(101)]
+        for q in (10, 25, 40, 77, 90):
+            assert percentile(data, q) == pytest.approx(float(np.percentile(data, q)))
+
+    def test_percentile_validates(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_percentiles_batch(self):
+        data = list(range(11))
+        assert percentiles(data, [0, 50, 100]) == [0, 5, 10]
+
+    def test_cumulative_distribution(self):
+        xs, fs = cumulative_distribution([3, 1, 3, 2])
+        assert xs == [1, 2, 3]
+        assert fs == [0.25, 0.5, 1.0]
+
+    def test_cumulative_distribution_empty(self):
+        assert cumulative_distribution([]) == ([], [])
+
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geometric_mean([0, 1])
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,232 @@
+"""Tests for the weighted undirected pipeline."""
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError, OrderingError, VertexError
+from repro.generators.classic import cycle_graph, grid_graph, path_graph
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.builders import with_pendant_trees
+from repro.weighted.graph import WeightedGraph, dijkstra_count_weighted, spc_weighted
+from repro.weighted.index import WeightedSPCIndex
+from repro.weighted.labeling import build_weighted_labels
+from repro.weighted.reductions import (
+    WeightedEquivalenceReduction,
+    WeightedShellReduction,
+    weighted_equivalent,
+)
+
+INF = float("inf")
+
+
+def random_weighted(n, p, seed, weights=(1, 2, 3), pendants=True):
+    rng = random.Random(seed)
+    base = gnp_random_graph(n, p, seed=seed)
+    if pendants and base.n > 3:
+        base = with_pendant_trees(base, [(0, [-1, 0]), (2, [-1])])
+    return WeightedGraph.from_edges(
+        base.n, ((u, v, rng.choice(weights)) for u, v in base.edges())
+    )
+
+
+def assert_weighted_exact(index, graph):
+    for s in range(graph.n):
+        for t in range(graph.n):
+            want = spc_weighted(graph, s, t)
+            got = index.count_with_distance(s, t)
+            assert got == want, f"({s},{t}): {got} != {want}"
+
+
+class TestWeightedGraph:
+    def test_construction_and_accessors(self):
+        g = WeightedGraph.from_edges(3, [(0, 1, 2), (1, 2, 5)])
+        assert g.n == 3
+        assert g.m == 2
+        assert g.weight(0, 1) == 2
+        assert g.weight(1, 0) == 2
+        assert g.weight(0, 2) is None
+        assert g.neighbor_ids(1) == (0, 2)
+
+    def test_duplicate_keeps_minimum(self):
+        g = WeightedGraph.from_edges(2, [(0, 1, 5), (1, 0, 2)])
+        assert g.weight(0, 1) == 2
+
+    def test_duplicate_strict(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            WeightedGraph.from_edges(2, [(0, 1, 1), (0, 1, 1)], dedup=False)
+
+    def test_validation(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            WeightedGraph.from_edges(2, [(0, 0, 1)])
+        with pytest.raises(GraphError, match="non-positive"):
+            WeightedGraph.from_edges(2, [(0, 1, 0)])
+        with pytest.raises(VertexError):
+            WeightedGraph.from_edges(2, [(0, 5, 1)])
+
+    def test_from_unweighted_matches_bfs(self):
+        base = grid_graph(3, 4)
+        g = WeightedGraph.from_unweighted(base)
+        from repro.graph.traversal import bfs_count_from
+
+        for s in range(base.n):
+            b_dist, b_count = bfs_count_from(base, s)
+            w_dist, w_count = dijkstra_count_weighted(g, s)
+            assert b_dist == w_dist
+            assert b_count == w_count
+
+    def test_unweighted_view(self):
+        g = WeightedGraph.from_edges(3, [(0, 1, 2), (1, 2, 7)])
+        assert g.unweighted().m == 2
+
+    def test_to_digraph(self):
+        g = WeightedGraph.from_edges(3, [(0, 1, 2)])
+        d = g.to_digraph()
+        assert d.weight(0, 1) == 2
+        assert d.weight(1, 0) == 2
+
+    def test_induced_subgraph(self):
+        g = WeightedGraph.from_edges(4, [(0, 1, 2), (1, 2, 3), (2, 3, 4)])
+        sub, mapping = g.induced_subgraph([1, 2, 3])
+        assert sub.weight(mapping[1], mapping[2]) == 3
+
+    def test_equality(self):
+        a = WeightedGraph.from_edges(2, [(0, 1, 3)])
+        b = WeightedGraph.from_edges(2, [(1, 0, 3)])
+        assert a == b
+
+    def test_spc_weighted_diamond(self):
+        g = WeightedGraph.from_edges(
+            4, [(0, 1, 1), (1, 3, 3), (0, 2, 2), (2, 3, 2), (0, 3, 9)]
+        )
+        assert spc_weighted(g, 0, 3) == (4, 2)
+
+
+class TestWeightedLabeling:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_on_random(self, seed):
+        g = random_weighted(15, 0.25, seed=seed, pendants=False)
+        labels = build_weighted_labels(g)
+        from repro.core.query import count_query
+
+        for s in range(g.n):
+            for t in range(g.n):
+                assert count_query(labels, s, t) == spc_weighted(g, s, t)
+
+    def test_unit_weights_match_unweighted_engine(self):
+        base = gnp_random_graph(18, 0.2, seed=5)
+        g = WeightedGraph.from_unweighted(base)
+        from repro.core.hp_spc import build_labels
+        from repro.core.ordering import DegreeOrdering
+
+        order = DegreeOrdering.static_order(base)
+        weighted = build_weighted_labels(g, ordering=order)
+        unweighted = build_labels(base, ordering=order)
+        for v in range(base.n):
+            assert weighted.merged(v) == unweighted.merged(v)
+
+    def test_bad_order(self):
+        g = random_weighted(6, 0.4, seed=1, pendants=False)
+        with pytest.raises(OrderingError):
+            build_weighted_labels(g, ordering=[0, 0, 1, 2, 3, 4])
+
+    def test_unpruned_is_superset(self):
+        g = random_weighted(12, 0.3, seed=2, pendants=False)
+        pruned = build_weighted_labels(g)
+        unpruned = build_weighted_labels(g, prune=False)
+        assert unpruned.total_entries() >= pruned.total_entries()
+
+
+class TestWeightedReductions:
+    def test_shell_tree_answer(self):
+        g = WeightedGraph.from_edges(
+            6, [(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 5), (3, 4, 2), (3, 5, 7)]
+        )
+        shell = WeightedShellReduction.compute(g)
+        assert shell.same_representative(4, 5)
+        assert shell.tree_answer(4, 5) == (9, 1)
+        assert shell.tree_answer(4, 0) == (7, 1)
+        assert shell.cost_to_representative(4) == 7
+
+    def test_equivalent_predicate(self):
+        g = WeightedGraph.from_edges(4, [(2, 0, 3), (2, 1, 3), (3, 0, 1), (3, 1, 1)])
+        assert weighted_equivalent(g, 0, 1)
+        assert not weighted_equivalent(g, 0, 2)
+
+    def test_weight_mismatch_breaks_twins(self):
+        g = WeightedGraph.from_edges(4, [(2, 0, 3), (2, 1, 4), (3, 0, 1), (3, 1, 1)])
+        assert not weighted_equivalent(g, 0, 1)
+        equiv = WeightedEquivalenceReduction.compute(g)
+        assert equiv.removed_count == 0
+
+    def test_adjacent_twins(self):
+        g = WeightedGraph.from_edges(
+            4, [(2, 0, 3), (2, 1, 3), (0, 3, 1), (1, 3, 1), (0, 1, 9)]
+        )
+        equiv = WeightedEquivalenceReduction.compute(g)
+        assert equiv.eqr(1) == 0
+        assert equiv.is_adjacent_class(0)
+        assert equiv.multiplicity[equiv.old_to_new[0]] == 2
+
+
+class TestWeightedIndex:
+    CONFIGS = [
+        ((), "filtered"),
+        (("shell",), "filtered"),
+        (("equivalence",), "filtered"),
+        (("independent-set",), "filtered"),
+        (("independent-set",), "direct"),
+        (("shell", "equivalence", "independent-set"), "filtered"),
+        (("shell", "equivalence", "independent-set"), "direct"),
+    ]
+
+    @pytest.mark.parametrize("reductions,scheme", CONFIGS)
+    def test_all_configs_exact(self, reductions, scheme):
+        g = random_weighted(15, 0.22, seed=42)
+        index = WeightedSPCIndex.build(g, reductions=reductions, scheme=scheme)
+        assert_weighted_exact(index, g)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_full_pipeline(self, seed):
+        g = random_weighted(14, 0.25, seed=90 + seed)
+        index = WeightedSPCIndex.build(
+            g, reductions=("shell", "equivalence", "independent-set")
+        )
+        assert_weighted_exact(index, g)
+
+    def test_weighted_cycle(self):
+        base = cycle_graph(8)
+        g = WeightedGraph.from_edges(8, ((u, v, 2) for u, v in base.edges()))
+        index = WeightedSPCIndex.build(g)
+        assert index.count_with_distance(0, 4) == (8, 2)
+
+    def test_path_with_shortcut(self):
+        g = WeightedGraph.from_edges(
+            4, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 3)]
+        )
+        index = WeightedSPCIndex.build(g)
+        assert index.count_with_distance(0, 3) == (3, 2)
+
+    def test_validation(self):
+        g = random_weighted(6, 0.4, seed=3, pendants=False)
+        with pytest.raises(ValueError, match="unknown reduction"):
+            WeightedSPCIndex.build(g, reductions=("magic",))
+        with pytest.raises(ValueError, match="scheme"):
+            WeightedSPCIndex.build(g, scheme="magic")
+
+    def test_introspection(self):
+        g = random_weighted(10, 0.3, seed=4, pendants=False)
+        index = WeightedSPCIndex.build(g)
+        assert index.total_entries() > 0
+        assert index.size_bytes() == index.total_entries() * 8
+        assert sorted(index.order) == list(range(g.n))
+        assert "WeightedSPCIndex" in repr(index)
+
+    def test_smaller_than_directed_lift(self):
+        g = random_weighted(14, 0.25, seed=6, pendants=False)
+        from repro.directed.index import DirectedSPCIndex
+
+        undirected = WeightedSPCIndex.build(g)
+        lifted = DirectedSPCIndex.build(g.to_digraph())
+        assert undirected.total_entries() < lifted.total_entries()
+        assert_weighted_exact(undirected, g)

@@ -1,0 +1,137 @@
+"""Tests for the planar order (§5.1), highway order (§5.3), and bounds."""
+
+import math
+
+import pytest
+
+from tests.conftest import assert_oracle_exact
+
+from repro.core.hp_spc import build_labels
+from repro.core.index import SPCIndex
+from repro.generators.classic import cycle_graph, grid_graph, path_graph
+from repro.generators.planar import triangular_lattice
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.traversal import approximate_diameter
+from repro.theory.bounds import (
+    boundedness,
+    check_bounded,
+    highway_bound,
+    planar_bound,
+    treewidth_bound,
+)
+from repro.theory.highway import greedy_spc_cover, highway_order, sample_scale_paths
+from repro.theory.planar_order import planar_separator_order
+from repro.utils.rng import ensure_rng
+
+
+class TestPlanarOrder:
+    def test_order_is_permutation(self):
+        g, points = triangular_lattice(6, 7)
+        order = planar_separator_order(g, points=points)
+        assert sorted(order) == list(range(g.n))
+
+    def test_return_tree(self):
+        g, points = triangular_lattice(5, 5)
+        order, tree = planar_separator_order(g, points=points, return_tree=True)
+        assert tree.node_count() >= 1
+
+    def test_labels_exact(self):
+        g, points = triangular_lattice(6, 6)
+        index = SPCIndex.build(g, ordering=planar_separator_order(g, points=points))
+        assert_oracle_exact(index, g)
+
+    def test_theorem_51_bound(self):
+        # (n^1.5, sqrt(n)) within a small constant on a planar lattice.
+        g, points = triangular_lattice(12, 12)
+        order = planar_separator_order(g, points=points)
+        labels = build_labels(g, ordering=order)
+        total, biggest = boundedness(labels)
+        alpha, beta = planar_bound(g.n)
+        assert biggest <= 4 * beta, (biggest, beta)
+        assert total <= 4 * alpha
+
+    def test_works_without_points(self):
+        g = grid_graph(6, 6)
+        order = planar_separator_order(g)
+        assert sorted(order) == list(range(g.n))
+
+
+class TestHighwayMachinery:
+    def test_sampled_paths_in_range(self):
+        g = grid_graph(8, 8)
+        rng = ensure_rng(0)
+        paths = sample_scale_paths(g, 2, 40, rng)
+        for path in paths:
+            assert 2 < len(path) - 1 <= 4
+
+    def test_greedy_cover_hits_everything(self):
+        paths = [(0, 1, 2), (2, 3, 4), (4, 5, 6)]
+        cover = greedy_spc_cover(paths)
+        for path in paths:
+            assert set(path) & set(cover)
+
+    def test_greedy_cover_prefers_frequent_vertices(self):
+        paths = [(0, 9, 1), (2, 9, 3), (4, 9, 5)]
+        cover = greedy_spc_cover(paths)
+        assert cover == [9]
+
+    def test_highway_order_is_permutation(self):
+        g = gnp_random_graph(40, 0.1, seed=1)
+        order = highway_order(g, seed=2)
+        assert sorted(order) == list(range(g.n))
+
+    def test_highway_order_layers(self):
+        g = grid_graph(6, 6)
+        order, layers = highway_order(g, seed=0, return_layers=True)
+        assert sum(len(layer) for layer in layers) == g.n
+
+    def test_labels_exact_under_highway_order(self):
+        g = grid_graph(5, 5)
+        index = SPCIndex.build(g, ordering=highway_order(g, seed=3))
+        assert_oracle_exact(index, g)
+
+    def test_label_bound_tracks_log_diameter(self):
+        # On a path (highway dimension 1-ish) labels should be ~log D.
+        g = path_graph(128)
+        order = highway_order(g, samples_per_scale=400, seed=4)
+        labels = build_labels(g, ordering=order)
+        _, biggest = boundedness(labels)
+        diameter = approximate_diameter(g)
+        assert biggest <= 6 * math.log2(diameter)
+
+    def test_empty_graph(self):
+        from repro.graph.graph import Graph
+
+        assert highway_order(Graph.from_edges(0, [])) == []
+
+
+class TestBoundHelpers:
+    def test_boundedness(self):
+        g = cycle_graph(8)
+        labels = build_labels(g)
+        total, biggest = boundedness(labels)
+        assert total == labels.total_entries()
+        assert biggest == max(labels.size_histogram())
+
+    def test_check_bounded_ok(self):
+        g = cycle_graph(8)
+        labels = build_labels(g)
+        report = check_bounded(labels, alpha=100, beta=10, factor=2.0)
+        assert report["ok"]
+
+    def test_check_bounded_failure(self):
+        g = grid_graph(5, 5)
+        labels = build_labels(g)
+        report = check_bounded(labels, alpha=1, beta=1, factor=1.0)
+        assert not report["ok"]
+
+    def test_bound_formulas(self):
+        alpha, beta = planar_bound(100)
+        assert alpha == 1000.0
+        assert beta == 10.0
+        alpha, beta = treewidth_bound(64, 3)
+        assert alpha == 4 * 64 * 6
+        assert beta == 24
+        alpha, beta = highway_bound(64, 2, 16)
+        assert alpha == 64 * 2 * 4
+        assert beta == 8

@@ -1,0 +1,133 @@
+"""Tests for separators and separator trees (§5.1 machinery)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.generators.classic import cycle_graph, grid_graph, path_graph
+from repro.generators.planar import grid_with_coordinates, triangular_lattice
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.graph import Graph
+from repro.theory.separators import (
+    bfs_level_separator,
+    build_separator_tree,
+    geometric_separator,
+    preorder_vertices,
+)
+
+
+def assert_is_separator(graph, separator, part_a, part_b):
+    """No edge may cross between the two parts."""
+    assert sorted(separator + part_a + part_b) == list(range(graph.n))
+    in_a = set(part_a)
+    in_b = set(part_b)
+    for u, v in graph.edges():
+        assert not (u in in_a and v in in_b)
+        assert not (u in in_b and v in in_a)
+
+
+class TestBFSLevelSeparator:
+    def test_path(self):
+        g = path_graph(9)
+        separator, part_a, part_b = bfs_level_separator(g)
+        assert_is_separator(g, separator, part_a, part_b)
+        assert len(separator) == 1
+
+    def test_grid_balance(self):
+        g = grid_graph(8, 8)
+        separator, part_a, part_b = bfs_level_separator(g)
+        assert_is_separator(g, separator, part_a, part_b)
+        assert max(len(part_a), len(part_b)) <= 2 * g.n / 3 + len(separator)
+
+    def test_grid_separator_is_small(self):
+        g = grid_graph(10, 10)
+        separator, _, _ = bfs_level_separator(g)
+        assert len(separator) <= 20  # O(sqrt n) with slack
+
+    def test_disconnected(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        separator, part_a, part_b = bfs_level_separator(g)
+        assert_is_separator(g, separator, part_a, part_b)
+
+    def test_empty(self):
+        assert bfs_level_separator(Graph.from_edges(0, [])) == ([], [], [])
+
+    def test_random(self):
+        g = gnp_random_graph(40, 0.1, seed=3)
+        separator, part_a, part_b = bfs_level_separator(g)
+        assert_is_separator(g, separator, part_a, part_b)
+
+
+class TestGeometricSeparator:
+    def test_lattice(self):
+        g, points = triangular_lattice(6, 6)
+        separator, part_a, part_b = geometric_separator(g, points)
+        assert_is_separator(g, separator, part_a, part_b)
+        assert len(separator) <= 12
+
+    def test_axis_alternation(self):
+        g, points = grid_with_coordinates(6, 6)
+        sep_x, _, _ = geometric_separator(g, points, axis=0)
+        sep_y, _, _ = geometric_separator(g, points, axis=1)
+        # X-cut boundary is a column, Y-cut boundary is a row.
+        assert len(sep_x) == 6
+        assert len(sep_y) == 6
+
+    def test_requires_matching_points(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError, match="coordinate"):
+            geometric_separator(g, [(0, 0)])
+
+
+class TestSeparatorTree:
+    def test_covers_all_vertices_once(self):
+        g, points = triangular_lattice(7, 7)
+        tree = build_separator_tree(g, points=points)
+        order = preorder_vertices(tree)
+        assert sorted(order) == list(range(g.n))
+
+    def test_without_points(self):
+        g = grid_graph(7, 7)
+        tree = build_separator_tree(g)
+        assert sorted(preorder_vertices(tree)) == list(range(g.n))
+
+    def test_leaf_size_respected(self):
+        g, points = triangular_lattice(8, 8)
+        tree = build_separator_tree(g, points=points, leaf_size=4)
+
+        def check(node):
+            if not node.children:
+                assert len(node.vertices) <= max(4, 1)
+            for child in node.children:
+                check(child)
+
+        check(tree)
+
+    def test_depth_logarithmic(self):
+        g, points = triangular_lattice(10, 10)
+        tree = build_separator_tree(g, points=points, leaf_size=4)
+        assert tree.depth() <= 12
+
+    def test_node_count(self):
+        g = cycle_graph(20)
+        tree = build_separator_tree(g, leaf_size=4)
+        assert tree.node_count() >= 3
+
+    def test_repr(self):
+        g = cycle_graph(12)
+        tree = build_separator_tree(g, leaf_size=4)
+        assert "SeparatorNode" in repr(tree)
+
+    def test_ancestor_separation_property(self):
+        # For any two vertices in different child subtrees of a node, every
+        # path between them passes through some ancestor separator.
+        g, points = triangular_lattice(6, 6)
+        tree = build_separator_tree(g, points=points, leaf_size=4)
+        if len(tree.children) >= 2:
+            left = set(preorder_vertices(tree.children[0]))
+            right = set(preorder_vertices(tree.children[1]))
+            blocked = set(tree.vertices)
+            from repro.graph.traversal import bfs_tree
+
+            for start in list(left)[:3]:
+                parent, order = bfs_tree(g, start, blocked=blocked)
+                assert not (set(order) & right)

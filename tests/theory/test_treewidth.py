@@ -1,0 +1,134 @@
+"""Tests for tree decompositions and the §5.2 centroid order."""
+
+import math
+
+import pytest
+
+from tests.conftest import assert_oracle_exact
+
+from repro.core.hp_spc import build_labels
+from repro.core.index import SPCIndex
+from repro.exceptions import GraphError
+from repro.generators.classic import (
+    binary_tree,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_tree,
+)
+from repro.generators.random_graphs import gnp_random_graph
+from repro.graph.graph import Graph
+from repro.theory.bounds import boundedness, treewidth_bound
+from repro.theory.treewidth import (
+    centroid_order,
+    min_degree_decomposition,
+    treewidth_order,
+    verify_tree_decomposition,
+)
+
+
+class TestMinDegreeDecomposition:
+    @pytest.mark.parametrize("graph_builder", [
+        lambda: path_graph(10),
+        lambda: cycle_graph(9),
+        lambda: grid_graph(4, 5),
+        lambda: random_tree(20, seed=1),
+        lambda: gnp_random_graph(18, 0.25, seed=2),
+        lambda: complete_graph(6),
+    ])
+    def test_valid_decomposition(self, graph_builder):
+        g = graph_builder()
+        bags, edges, order, width = min_degree_decomposition(g)
+        assert verify_tree_decomposition(g, bags, edges)
+        assert sorted(order) == list(range(g.n))
+
+    def test_tree_width_one(self):
+        g = random_tree(30, seed=3)
+        _, _, _, width = min_degree_decomposition(g)
+        assert width == 1
+
+    def test_cycle_width_two(self):
+        _, _, _, width = min_degree_decomposition(cycle_graph(12))
+        assert width == 2
+
+    def test_complete_graph_width(self):
+        _, _, _, width = min_degree_decomposition(complete_graph(5))
+        assert width == 4
+
+    def test_empty_graph(self):
+        assert min_degree_decomposition(Graph.from_edges(0, [])) == ([], [], [], 0)
+
+    def test_grid_width_reasonable(self):
+        # Treewidth of a 4xC grid is 4; min-degree may use a bit more.
+        _, _, _, width = min_degree_decomposition(grid_graph(4, 8))
+        assert 4 <= width <= 6
+
+    def test_disconnected(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        bags, edges, _, width = min_degree_decomposition(g)
+        assert verify_tree_decomposition(g, bags, edges)
+        assert width == 1
+
+
+class TestVerifier:
+    def test_detects_missing_vertex(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError, match="cover"):
+            verify_tree_decomposition(g, [[0, 1]], [])
+
+    def test_detects_missing_edge(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError, match="no bag"):
+            verify_tree_decomposition(g, [[0, 1], [2]], [(0, 1)])
+
+    def test_detects_disconnected_occurrences(self):
+        g = path_graph(4)
+        bags = [[0, 1], [1, 2], [2, 3], [1, 3]]
+        # Vertex 1 appears in bags 0, 1, 3 but bag 3 is attached via bag 2
+        # which lacks vertex... construct explicit violation:
+        edges = [(0, 1), (1, 2), (2, 3)]
+        bags_bad = [[0, 1], [2, 3], [1, 2], [1, 3]]
+        with pytest.raises(GraphError):
+            verify_tree_decomposition(g, bags_bad, [(0, 1), (2, 3)])
+
+
+class TestCentroidOrder:
+    def test_order_is_permutation(self):
+        g = gnp_random_graph(25, 0.2, seed=4)
+        order, width = centroid_order(g)
+        assert sorted(order) == list(range(g.n))
+
+    def test_labels_exact_under_order(self):
+        g = gnp_random_graph(20, 0.2, seed=5)
+        index = SPCIndex.build(g, ordering=treewidth_order(g))
+        assert_oracle_exact(index, g)
+
+    def test_theorem_52_bound_on_trees(self):
+        # ω = 1: labels within a constant of (n log n, log n).
+        g = random_tree(128, seed=6)
+        order, width = centroid_order(g)
+        assert width == 1
+        labels = build_labels(g, ordering=order)
+        total, biggest = boundedness(labels)
+        alpha, beta = treewidth_bound(g.n, width)
+        assert biggest <= 3 * beta
+        assert total <= 3 * alpha
+
+    def test_theorem_52_bound_on_binary_tree(self):
+        g = binary_tree(6)  # 127 vertices
+        order, width = centroid_order(g)
+        labels = build_labels(g, ordering=order)
+        _, biggest = boundedness(labels)
+        assert biggest <= 3 * (width + 1) * math.log2(g.n)
+
+    def test_bound_on_cycle(self):
+        g = cycle_graph(64)
+        order, width = centroid_order(g)
+        labels = build_labels(g, ordering=order)
+        total, biggest = boundedness(labels)
+        alpha, beta = treewidth_bound(g.n, width)
+        assert biggest <= 4 * beta
+
+    def test_empty_graph(self):
+        assert centroid_order(Graph.from_edges(0, [])) == ([], 0)
