@@ -19,8 +19,8 @@ from repro.core.index import SPCIndex
 from repro.datasets.registry import dataset_notations, load_dataset, load_delaunay, paper_stats
 from repro.reductions.pipeline import ReducedSPCIndex, reduction_report
 from repro.theory.planar_order import planar_separator_order
-from repro.utils.stats import percentile
 from repro.utils.rng import ensure_rng
+from repro.utils.stats import percentile
 
 INF = float("inf")
 

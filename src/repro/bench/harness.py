@@ -22,6 +22,46 @@ def time_queries(oracle, pairs, repeat=1):
     return elapsed / total, total
 
 
+def time_batched_queries(flat, pairs, repeat=1):
+    """Average seconds per query through the flat batched engine.
+
+    Answers the whole workload with one
+    :func:`repro.core.batch_query.count_many_arrays` call per repeat.
+    Returns ``(avg_seconds, total_queries)`` like :func:`time_queries`.
+    """
+    import numpy as np
+
+    from repro.core.batch_query import count_many_arrays
+
+    pairs = list(pairs)
+    if not pairs:
+        raise ValueError("empty query workload")
+    sources = np.fromiter((s for s, _ in pairs), dtype=np.int64, count=len(pairs))
+    targets = np.fromiter((t for _, t in pairs), dtype=np.int64, count=len(pairs))
+    started = time.perf_counter()
+    for _ in range(repeat):
+        count_many_arrays(flat, sources, targets)
+    elapsed = time.perf_counter() - started
+    total = repeat * len(pairs)
+    return elapsed / total, total
+
+
+def compare_engines(index, pairs, repeat=1):
+    """Time the python and flat engines on one workload.
+
+    Returns a dict with per-query seconds for both engines and the
+    flat-over-python ``speedup`` (>1 means the flat engine is faster).
+    """
+    python_avg, total = time_queries(index, pairs, repeat=repeat)
+    flat_avg, _ = time_batched_queries(index.to_flat(), pairs, repeat=repeat)
+    return {
+        "queries": total,
+        "python_us_per_query": python_avg * 1e6,
+        "flat_us_per_query": flat_avg * 1e6,
+        "speedup": (python_avg / flat_avg) if flat_avg > 0 else float("inf"),
+    }
+
+
 def format_table(rows, columns, title=None):
     """Render dict rows as an aligned text table (harness stdout format).
 

@@ -4,11 +4,12 @@ Usage (also available as ``python -m repro``):
 
     repro-spc info   graph.txt
     repro-spc build  graph.txt index.bin --ordering significant-path
+    repro-spc build  graph.txt index.bin --workers 4
     repro-spc query  index.bin 12 9075
-    repro-spc query  index.bin --random 5 --graph graph.txt
+    repro-spc query  index.bin --random 5 --graph graph.txt --engine flat
     repro-spc stats  index.bin
     repro-spc verify index.bin graph.txt --samples 500
-    repro-spc bench  index.bin --queries 2000
+    repro-spc bench  index.bin --queries 2000 --engine both
 
 Graphs are whitespace edge lists (SNAP/KONECT style; ``#``/``%``
 comments). ``build`` writes the paper's packed 64-bit binary format, so
@@ -50,8 +51,6 @@ def _cmd_info(args):
 
 
 def _cmd_build(args):
-    import time
-
     from repro.io.serialize import WIDE_BITS, save_labels
 
     if args.weighted:
@@ -68,9 +67,10 @@ def _cmd_build(args):
         entries = labels.total_entries()
     else:
         graph, _ = read_edge_list(args.graph)
+        parallel_note = f", workers: {args.workers}" if args.workers > 1 else ""
         print(f"building HP-SPC over {graph.n} vertices / {graph.m} edges "
-              f"(ordering: {args.ordering})...")
-        index = SPCIndex.build(graph, ordering=args.ordering)
+              f"(ordering: {args.ordering}{parallel_note})...")
+        index = SPCIndex.build(graph, ordering=args.ordering, workers=args.workers)
         written = save_index(index, args.index, strict=args.strict)
         elapsed = index.build_seconds
         entries = index.total_entries()
@@ -93,9 +93,12 @@ def _cmd_query(args):
     else:
         print("query needs either S and T or --random N", file=sys.stderr)
         return 2
+    if args.engine == "flat":
+        answers = index.count_many(pairs)
+    else:
+        answers = [index.count_with_distance(s, t) for s, t in pairs]
     print("     s       t    dist  #shortest-paths")
-    for s, t in pairs:
-        dist, count = index.count_with_distance(s, t)
+    for (s, t), (dist, count) in zip(pairs, answers):
         dist_text = str(dist) if count else "inf"
         print(f"{s:6d}  {t:6d}  {dist_text:>6}  {count}")
     return 0
@@ -126,15 +129,23 @@ def _cmd_verify(args):
 
 
 def _cmd_bench(args):
+    from repro.bench.harness import time_batched_queries, time_queries
+
     index = load_index(args.index)
     n = index.labels.n
     pairs = list(random_pairs(n, args.queries, rng=args.seed))
-    started = time.perf_counter()
-    for s, t in pairs:
-        index.count_with_distance(s, t)
-    elapsed = time.perf_counter() - started
-    print(f"{len(pairs)} queries in {elapsed:.3f}s "
-          f"({elapsed / len(pairs) * 1e6:.1f} us/query)")
+    engines = ("python", "flat") if args.engine == "both" else (args.engine,)
+    for engine in engines:
+        if engine == "flat":
+            started = time.perf_counter()
+            flat = index.to_flat()
+            freeze = time.perf_counter() - started
+            avg, total = time_batched_queries(flat, pairs)
+            print(f"flat   engine: {total} queries, {avg * 1e6:.2f} us/query "
+                  f"(freeze {freeze * 1e3:.1f} ms)")
+        else:
+            avg, total = time_queries(index, pairs)
+            print(f"python engine: {total} queries, {avg * 1e6:.2f} us/query")
     return 0
 
 
@@ -158,6 +169,8 @@ def build_parser():
                    help="fail on 31-bit count overflow instead of saturating")
     p.add_argument("--weighted", action="store_true",
                    help="treat the third edge-list column as edge weights")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="parallel construction processes (static orderings only)")
     p.set_defaults(func=_cmd_build)
 
     p = sub.add_parser("query", help="answer count queries from an index")
@@ -168,6 +181,8 @@ def build_parser():
                    help="answer N random pairs instead")
     p.add_argument("--graph", default=None, help="graph file (for --random ids)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", default="python", choices=["python", "flat"],
+                   help="tuple-based merge joins or the vectorized flat engine")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("stats", help="print label statistics of an index")
@@ -185,6 +200,8 @@ def build_parser():
     p.add_argument("index")
     p.add_argument("--queries", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", default="python", choices=["python", "flat", "both"],
+                   help="which query engine(s) to time")
     p.set_defaults(func=_cmd_bench)
 
     return parser

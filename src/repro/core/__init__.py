@@ -1,12 +1,19 @@
 """The paper's primary contribution: HP-SPC hub labeling for counting."""
 
 from repro.core.approx import BudgetedApproximator, accuracy_curve
+from repro.core.batch_query import (
+    count_many,
+    count_many_arrays,
+    count_set_to_set,
+    single_source,
+)
 from repro.core.diagnostics import (
     label_statistics,
     validate_against_bfs,
     validate_oracle,
     validate_structure,
 )
+from repro.core.flat_labels import FlatLabels, flatten_labels
 from repro.core.hp_spc import BuildStats, build_labels
 from repro.core.index import SPCIndex
 from repro.core.labels import LabelEntry, LabelSet
@@ -36,6 +43,12 @@ __all__ = [
     "validate_structure",
     "label_statistics",
     "count_set_query",
+    "count_many",
+    "count_many_arrays",
+    "count_set_to_set",
+    "single_source",
+    "FlatLabels",
+    "flatten_labels",
     "LabelSet",
     "LabelEntry",
     "BuildStats",

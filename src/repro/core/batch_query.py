@@ -1,0 +1,180 @@
+"""Batched query evaluation over :class:`~repro.core.flat_labels.FlatLabels`.
+
+Where :mod:`repro.core.query` walks two Python lists per query, everything
+here is array-at-a-time. Pair batches are grouped by source: the source
+label is *scattered* into dense rank-indexed arrays once per distinct
+source, and each target row then joins with a handful of vectorized
+gathers — no per-entry Python, and repeated sources (single-source-heavy
+workloads) pay the scatter only once. Single-source and set-to-set queries
+scatter one side's hubs the same way and sweep label columns in bulk.
+
+Semantics match :mod:`repro.core.query` exactly for the plain (unreduced)
+index: disconnected pairs answer ``(inf, 0)``, ``s == t`` answers
+``(0, 1)``, and counts are exact as long as they fit int64 (the flat store
+refuses wider counts at freeze time). The λ-weighted ``multiplicity``
+evaluation of the reductions stays on the tuple-based path.
+"""
+
+import numpy as np
+
+INF = float("inf")
+INT = np.int64
+
+
+def _gather_rows(flat, vertices):
+    """Concatenate the label rows of ``vertices``.
+
+    Returns ``(entry_idx, seg_ptr)`` where ``entry_idx`` indexes the flat
+    columns and ``seg_ptr[i]:seg_ptr[i+1]`` delimits the row of
+    ``vertices[i]`` inside ``entry_idx``.
+    """
+    starts = flat.indptr[vertices]
+    lens = flat.indptr[vertices + 1] - starts
+    seg_ptr = np.zeros(len(vertices) + 1, dtype=INT)
+    np.cumsum(lens, out=seg_ptr[1:])
+    total = int(seg_ptr[-1])
+    entry_idx = np.repeat(starts - seg_ptr[:-1], lens) + np.arange(total, dtype=INT)
+    return entry_idx, seg_ptr
+
+
+def count_many_arrays(flat, sources, targets):
+    """``(dist, count)`` numpy columns for a batch of pairs.
+
+    ``dist`` is float64 (``inf`` marks disconnected pairs), ``count`` is
+    int64. Pairs are processed grouped by source: each distinct source's
+    label is scattered into rank-indexed ``(dist, count)`` arrays, and every
+    target row of that group joins via dense gathers — the per-query cost is
+    a few small-array numpy ops instead of a per-entry Python merge join.
+    """
+    sources = np.asarray(sources, dtype=INT)
+    targets = np.asarray(targets, dtype=INT)
+    if sources.shape != targets.shape or sources.ndim != 1:
+        raise ValueError("sources and targets must be 1-d arrays of equal length")
+    pairs = len(sources)
+    out_dist = np.full(pairs, INF)
+    out_count = np.zeros(pairs, dtype=INT)
+    if pairs == 0:
+        return out_dist, out_count
+
+    rows = flat.rows()
+    hub_dist = np.full(flat.n, INF)
+    hub_count = np.zeros(flat.n, dtype=INT)
+    grouped = np.argsort(sources, kind="stable").tolist()
+    source_list = sources.tolist()
+    target_list = targets.tolist()
+    current = -1
+    scattered = None
+    for i in grouped:
+        s = source_list[i]
+        if s != current:
+            if scattered is not None:
+                hub_dist[scattered] = INF
+                hub_count[scattered] = 0
+            rank_s, dist_s, count_s = rows[s]
+            hub_dist[rank_s] = dist_s
+            hub_count[rank_s] = count_s
+            scattered = rank_s
+            current = s
+        rank_t, dist_t, count_t = rows[target_list[i]]
+        totals = hub_dist[rank_t] + dist_t
+        if totals.size:
+            best = totals.min()
+            if best < INF:
+                at_best = totals == best
+                out_dist[i] = best
+                out_count[i] = np.sum(hub_count[rank_t[at_best]] * count_t[at_best])
+
+    # Algorithm 2's special case: the empty path, not a hub meeting.
+    diagonal = sources == targets
+    out_dist[diagonal] = 0.0
+    out_count[diagonal] = 1
+    return out_dist, out_count
+
+
+def count_many(flat, pairs):
+    """Batched ``count_query``: list of ``(sd(s,t), spc(s,t))`` tuples.
+
+    Python-native results — ``(inf, 0)`` for disconnected pairs, integer
+    distances otherwise — so elements compare equal to
+    :func:`repro.core.query.count_query` output.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return []
+    sources = np.fromiter((s for s, _ in pairs), dtype=INT, count=len(pairs))
+    targets = np.fromiter((t for _, t in pairs), dtype=INT, count=len(pairs))
+    dist, count = count_many_arrays(flat, sources, targets)
+    return [
+        (int(d), int(c)) if c else (INF, 0)
+        for d, c in zip(dist.tolist(), count.tolist())
+    ]
+
+
+def single_source(flat, s):
+    """``(dist, count)`` arrays from ``s`` over every vertex.
+
+    The flat twin of :meth:`repro.core.inverted.InvertedLabelIndex
+    .single_source`: scatter ``L(s)`` into rank-indexed arrays, then one
+    vectorized pass over *all* label entries plus two segmented reductions
+    produce every target at once.
+    """
+    rank_s, _, dist_s, count_s = flat.row(s)
+    hub_dist = np.full(flat.n, INF)
+    hub_count = np.zeros(flat.n, dtype=INT)
+    hub_dist[rank_s] = dist_s
+    hub_count[rank_s] = count_s
+
+    totals = hub_dist[flat.rank] + flat.dist
+    mins = np.full(flat.n, INF)
+    counts = np.zeros(flat.n, dtype=INT)
+    if totals.size:
+        seg_starts = flat.indptr[:-1]
+        seg_lens = np.diff(flat.indptr)
+        nonempty = seg_lens > 0
+        clipped = np.minimum(seg_starts, totals.size - 1)
+        raw_min = np.minimum.reduceat(totals, clipped)
+        mins[nonempty] = raw_min[nonempty]
+        at_min = totals == np.repeat(mins, seg_lens)
+        prods = np.where(at_min, hub_count[flat.rank] * flat.count, 0)
+        raw_sum = np.add.reduceat(prods, clipped)
+        counts[nonempty] = raw_sum[nonempty]
+    unreachable = ~np.isfinite(mins)
+    counts[unreachable] = 0
+    mins[unreachable] = INF
+    # The diagonal: the empty path, not a hub meeting.
+    mins[s] = 0.0
+    counts[s] = 1
+    return mins, counts
+
+
+def count_set_to_set(flat, sources, targets):
+    """Set-to-set counting ``(sd(S, T), spc(S, T))`` on the flat store.
+
+    Mirrors :func:`repro.core.query.count_set_query`: aggregate the source
+    side per hub (minimum distance, counts summed at the minimum) with
+    scatter ops, then sweep the target rows once.
+    """
+    sources = np.asarray(list(sources), dtype=INT)
+    targets = np.asarray(list(targets), dtype=INT)
+    if sources.size == 0 or targets.size == 0:
+        return INF, 0
+
+    idx_s, _ = _gather_rows(flat, sources)
+    hub_best = np.full(flat.n, INF)
+    np.minimum.at(hub_best, flat.rank[idx_s], flat.dist[idx_s])
+    hub_count = np.zeros(flat.n, dtype=INT)
+    at_best = flat.dist[idx_s] == hub_best[flat.rank[idx_s]]
+    np.add.at(hub_count, flat.rank[idx_s[at_best]], flat.count[idx_s[at_best]])
+
+    idx_t, _ = _gather_rows(flat, targets)
+    ranks_t = flat.rank[idx_t]
+    totals = hub_best[ranks_t] + flat.dist[idx_t]
+    reachable = np.isfinite(totals)
+    if not bool(reachable.any()):
+        return INF, 0
+    delta = totals[reachable].min()
+    at_delta = totals == delta
+    sigma = int(np.sum(hub_count[ranks_t[at_delta]] * flat.count[idx_t[at_delta]]))
+    if sigma == 0:
+        return INF, 0
+    return int(delta), sigma

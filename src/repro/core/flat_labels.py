@@ -1,0 +1,187 @@
+"""Flat (struct-of-arrays) label store for the vectorized query engine.
+
+:class:`FlatLabels` freezes a finalized :class:`~repro.core.labels.LabelSet`
+into contiguous numpy columns in CSR layout: ``indptr[v]:indptr[v+1]``
+delimits the merged label ``L(v) = L^c(v) ∪ L^nc(v)``, and within each row
+the ``rank`` column is strictly increasing (a hub appears at most once per
+vertex), so batched queries in :mod:`repro.core.batch_query` can intersect
+rows with ``np.searchsorted`` instead of per-entry Python merge joins.
+
+The canonical / non-canonical split survives the freeze as a boolean
+column, so the round trip ``LabelSet -> FlatLabels -> LabelSet`` is exact
+and the frozen form serializes through the same packed 64-bit entry
+encoding as :mod:`repro.io.serialize` (see :meth:`FlatLabels.packed_words`).
+"""
+
+import numpy as np
+
+from repro.exceptions import LabelingError
+from repro.io.serialize import DEFAULT_BITS, pack_entries
+
+INT = np.int64
+
+
+class FlatLabels:
+    """Read-only CSR view of a finalized labeling.
+
+    Columns (all length ``total_entries``):
+
+    * ``rank``  — hub rank (strictly increasing within each row)
+    * ``hub``   — hub vertex id
+    * ``dist``  — ``sd(v, hub)``
+    * ``count`` — ``σ_{v,hub}`` (int64; callers needing wider counts must
+      stay on the tuple-based :class:`~repro.core.labels.LabelSet` path)
+    * ``canonical`` — True for ``L^c`` entries, False for ``L^nc``
+    """
+
+    __slots__ = ("n", "indptr", "rank", "hub", "dist", "count", "canonical", "order",
+                 "_rows")
+
+    def __init__(self, n, indptr, rank, hub, dist, count, canonical, order):
+        self.n = n
+        self.indptr = indptr
+        self.rank = rank
+        self.hub = hub
+        self.dist = dist
+        self.count = count
+        self.canonical = canonical
+        self.order = order
+        self._rows = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_label_set(cls, labels):
+        """Freeze a finalized :class:`LabelSet` (order set, lists merged)."""
+        if labels.order is None:
+            raise LabelingError("labels must have an order; call set_order() first")
+        n = labels.n
+        indptr = np.zeros(n + 1, dtype=INT)
+        rows = []
+        for v in range(n):
+            row = [(r, h, d, c, True) for r, h, d, c in labels.canonical(v)]
+            row += [(r, h, d, c, False) for r, h, d, c in labels.noncanonical(v)]
+            row.sort(key=lambda entry: entry[0])
+            rows.append(row)
+            indptr[v + 1] = indptr[v] + len(row)
+        total = int(indptr[-1])
+        rank = np.empty(total, dtype=INT)
+        hub = np.empty(total, dtype=INT)
+        dist = np.empty(total, dtype=INT)
+        count = np.empty(total, dtype=INT)
+        canonical = np.empty(total, dtype=np.bool_)
+        pos = 0
+        for row in rows:
+            for r, h, d, c, is_canonical in row:
+                if c < 0 or c > np.iinfo(INT).max:
+                    raise LabelingError(f"count {c} does not fit the flat int64 column")
+                rank[pos] = r
+                hub[pos] = h
+                dist[pos] = d
+                count[pos] = c
+                canonical[pos] = is_canonical
+                pos += 1
+        order = np.asarray(labels.order, dtype=INT)
+        return cls(n, indptr, rank, hub, dist, count, canonical, order)
+
+    def to_label_set(self):
+        """Thaw back into a finalized :class:`LabelSet` (exact inverse)."""
+        from repro.core.labels import LabelSet
+
+        labels = LabelSet(self.n)
+        labels.set_order([int(v) for v in self.order])
+        for v in range(self.n):
+            lo, hi = int(self.indptr[v]), int(self.indptr[v + 1])
+            for i in range(lo, hi):
+                args = (v, int(self.rank[i]), int(self.hub[i]),
+                        int(self.dist[i]), int(self.count[i]))
+                if self.canonical[i]:
+                    labels.append_canonical(*args)
+                else:
+                    labels.append_noncanonical(*args)
+        labels.finalize()
+        return labels
+
+    # -- row access ----------------------------------------------------------
+
+    def row(self, v):
+        """``(rank, hub, dist, count)`` column views of ``L(v)``."""
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return self.rank[lo:hi], self.hub[lo:hi], self.dist[lo:hi], self.count[lo:hi]
+
+    def rows(self):
+        """Per-vertex ``(rank, dist, count)`` views, cached for the hot path.
+
+        Slicing ``indptr`` per query costs more than the queries themselves
+        on small labels; the batch engine grabs this list once instead.
+        """
+        if self._rows is None:
+            indptr = self.indptr.tolist()
+            self._rows = [
+                (self.rank[lo:hi], self.dist[lo:hi], self.count[lo:hi])
+                for lo, hi in zip(indptr, indptr[1:])
+            ]
+        return self._rows
+
+    def label_size(self, v):
+        """|L(v)|: number of entries of ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def total_entries(self):
+        """Σ_v |L(v)|: the labeling size in the paper's sense."""
+        return int(self.indptr[-1])
+
+    def nbytes(self):
+        """In-memory footprint of the numpy columns."""
+        return sum(
+            column.nbytes
+            for column in (self.indptr, self.rank, self.hub, self.dist,
+                           self.count, self.canonical, self.order)
+        )
+
+    # -- packed encoding -----------------------------------------------------
+
+    def packed_words(self, bits=DEFAULT_BITS, strict=False):
+        """All entries under the paper's packed 64-bit encoding (§6).
+
+        One ``uint64`` word per entry, row-major in CSR order — the same
+        hub|dist|count field layout (and count saturation rule) as
+        :func:`repro.io.serialize.pack_entry`.
+        """
+        return pack_entries(self.hub, self.dist, self.count, bits=bits, strict=strict)
+
+    def packed_size_bytes(self, entry_bits=64):
+        """Index size in bytes under the packed encoding (parity with LabelSet)."""
+        if entry_bits % 8:
+            raise ValueError("entry_bits must be a multiple of 8")
+        return self.total_entries() * (entry_bits // 8)
+
+    def validate_sorted(self):
+        """Check every row's rank column is strictly increasing."""
+        for v in range(self.n):
+            lo, hi = int(self.indptr[v]), int(self.indptr[v + 1])
+            row = self.rank[lo:hi]
+            if row.size > 1 and not bool(np.all(row[1:] > row[:-1])):
+                raise LabelingError(f"flat label of vertex {v} is not rank-sorted")
+        return True
+
+    def equals(self, other):
+        """Exact column-wise equality (used by the round-trip tests)."""
+        return (
+            self.n == other.n
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.rank, other.rank)
+            and np.array_equal(self.hub, other.hub)
+            and np.array_equal(self.dist, other.dist)
+            and np.array_equal(self.count, other.count)
+            and np.array_equal(self.canonical, other.canonical)
+            and np.array_equal(self.order, other.order)
+        )
+
+    def __repr__(self):
+        return f"FlatLabels(n={self.n}, entries={self.total_entries()})"
+
+
+def flatten_labels(labels):
+    """Convenience alias: freeze ``labels`` into a :class:`FlatLabels`."""
+    return FlatLabels.from_label_set(labels)

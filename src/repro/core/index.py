@@ -33,15 +33,29 @@ class SPCIndex:
         self._labels = labels
         self._build_stats = build_stats
         self._build_seconds = build_seconds
+        self._flat = None
 
     @classmethod
-    def build(cls, graph, ordering="degree", collect_stats=False):
-        """Run HP-SPC on ``graph`` under ``ordering`` and wrap the labels."""
+    def build(cls, graph, ordering="degree", collect_stats=False, workers=1):
+        """Run HP-SPC on ``graph`` under ``ordering`` and wrap the labels.
+
+        ``workers > 1`` partitions the hub pushes across that many
+        processes (:mod:`repro.parallel`); the labels are identical to the
+        sequential build, but the ordering must be static (not
+        significant-path).
+        """
         import time
 
         stats = BuildStats() if collect_stats else None
         started = time.perf_counter()
-        labels = build_labels(graph, ordering=ordering, stats=stats)
+        if workers is None or workers > 1:
+            from repro.parallel import build_labels_parallel
+
+            labels = build_labels_parallel(
+                graph, workers=workers, ordering=ordering, stats=stats
+            )
+        else:
+            labels = build_labels(graph, ordering=ordering, stats=stats)
         elapsed = time.perf_counter() - started
         return cls(labels, build_stats=stats, build_seconds=elapsed)
 
@@ -62,6 +76,36 @@ class SPCIndex:
     def count_approximate(self, s, t):
         """The Exp-5 canonical-only estimate (may undercount, never over)."""
         return count_canonical_only(self._labels, s, t)[1]
+
+    # -- batched (flat-engine) queries ---------------------------------------
+
+    def to_flat(self):
+        """Freeze the labels into a :class:`~repro.core.flat_labels.FlatLabels`.
+
+        The flat view is built once and cached; it shares no state with the
+        tuple-based labels, so both engines stay usable side by side.
+        """
+        if self._flat is None:
+            from repro.core.flat_labels import FlatLabels
+
+            self._flat = FlatLabels.from_label_set(self._labels)
+        return self._flat
+
+    def count_many(self, pairs):
+        """Batched ``(sd, spc)`` tuples over the vectorized flat engine.
+
+        Matches :meth:`count_with_distance` element-for-element but costs a
+        fixed number of numpy passes for the whole batch.
+        """
+        from repro.core.batch_query import count_many
+
+        return count_many(self.to_flat(), pairs)
+
+    def single_source(self, s):
+        """``(dist, count)`` numpy arrays from ``s`` over every vertex."""
+        from repro.core.batch_query import single_source
+
+        return single_source(self.to_flat(), s)
 
     # -- introspection ---------------------------------------------------------
 

@@ -1,5 +1,6 @@
 """Graph generators: classic shapes, random models, web/social analogs, planar."""
 
+from repro.generators.augment import add_twins, attach_fringe
 from repro.generators.classic import (
     complete_graph,
     cycle_graph,
@@ -8,9 +9,7 @@ from repro.generators.classic import (
     random_tree,
     star_graph,
 )
-from repro.generators.augment import add_twins, attach_fringe
 from repro.generators.planar import delaunay_graph, grid_with_coordinates
-from repro.generators.rmat import rmat_graph
 from repro.generators.random_graphs import (
     barabasi_albert_graph,
     gnm_random_graph,
@@ -18,6 +17,7 @@ from repro.generators.random_graphs import (
     random_geometric_graph,
     watts_strogatz_graph,
 )
+from repro.generators.rmat import rmat_graph
 from repro.generators.social import affiliation_graph, caveman_graph
 from repro.generators.web import copying_model_graph
 

@@ -64,6 +64,60 @@ def unpack_entry(word, bits=DEFAULT_BITS):
     return hub, dist, count
 
 
+def pack_entries(hubs, dists, counts, bits=DEFAULT_BITS, strict=False):
+    """Vectorized :func:`pack_entry` over numpy columns.
+
+    Returns one ``uint64`` word per entry (``sum(bits)`` must be <= 64;
+    the wide Exp-6 encoding needs the scalar path). Counts saturate at
+    ``2^count_bits - 1`` exactly like the scalar packer; ``strict=True``
+    raises :class:`CountOverflowError` instead.
+    """
+    import numpy as np
+
+    hub_bits, dist_bits, count_bits = bits
+    if hub_bits + dist_bits + count_bits > 64:
+        raise SerializationError("pack_entries only supports encodings up to 64 bits")
+    for name, column in (("hub", hubs), ("distance", dists), ("count", counts)):
+        signed = np.asarray(column)
+        if signed.size and signed.dtype.kind == "i" and int(signed.min()) < 0:
+            raise SerializationError(f"negative {name} in packed column")
+    hubs = np.asarray(hubs, dtype=np.uint64)
+    dists = np.asarray(dists, dtype=np.uint64)
+    counts = np.asarray(counts, dtype=np.uint64)
+    if hubs.size and int(hubs.max(initial=0)) >= (1 << hub_bits):
+        raise SerializationError(f"hub does not fit in {hub_bits} bits")
+    if dists.size and int(dists.max(initial=0)) >= (1 << dist_bits):
+        raise SerializationError(f"distance does not fit in {dist_bits} bits")
+    cap = np.uint64((1 << count_bits) - 1)
+    if counts.size and counts.max(initial=np.uint64(0)) > cap:
+        if strict:
+            raise CountOverflowError(int(counts.max()), count_bits)
+        counts = np.minimum(counts, cap)  # the paper's saturation rule
+    shift_hub = np.uint64(dist_bits + count_bits)
+    shift_dist = np.uint64(count_bits)
+    return (hubs << shift_hub) | (dists << shift_dist) | counts
+
+
+def unpack_entries(words, bits=DEFAULT_BITS):
+    """Vectorized :func:`unpack_entry`: ``(hubs, dists, counts)`` int64 columns."""
+    import numpy as np
+
+    hub_bits, dist_bits, count_bits = bits
+    if hub_bits + dist_bits + count_bits > 64:
+        raise SerializationError("unpack_entries only supports encodings up to 64 bits")
+    words = np.asarray(words, dtype=np.uint64)
+    counts = words & np.uint64((1 << count_bits) - 1)
+    dists = (words >> np.uint64(count_bits)) & np.uint64((1 << dist_bits) - 1)
+    hubs = words >> np.uint64(dist_bits + count_bits)
+    if hubs.size and int(hubs.max(initial=0)) >= (1 << hub_bits):
+        raise SerializationError("word wider than the declared encoding")
+    return (
+        hubs.astype(np.int64),
+        dists.astype(np.int64),
+        counts.astype(np.int64),
+    )
+
+
 def labels_to_bytes(labels, bits=DEFAULT_BITS, strict=False):
     """Encode a finalized :class:`LabelSet` as a standalone byte blob."""
     if labels.order is None:

@@ -1,0 +1,10 @@
+"""Parallel HP-SPC construction (PSPC-style root partitioning).
+
+``build_labels_parallel`` splits the hub pushes across worker processes
+and deterministically merges the per-worker fragments, producing a
+:class:`~repro.core.labels.LabelSet` identical to the sequential builder's.
+"""
+
+from repro.parallel.builder import build_labels_parallel, resolve_static_order
+
+__all__ = ["build_labels_parallel", "resolve_static_order"]

@@ -1,0 +1,239 @@
+"""Multiprocess HP-SPC: partition root pushes across workers, merge in rank order.
+
+The hub-pushing loop of §3.2 looks sequential — the pruning join at each
+popped vertex reads canonical labels built by *earlier* pushes — but the
+expensive part of a push (the rank-restricted BFS that finds trough
+distances and counts in ``G_w``) depends only on the graph and the vertex
+order, not on the labels. That is the observation behind parallel PLL-style
+builders (PSPC): farm the BFS work out, keep the label-dependent decisions
+centralized.
+
+Two phases:
+
+1. **Candidate generation (parallel).** Roots are dealt round-robin to
+   ``workers`` blocks by rank. Each worker walks its roots in rank order and
+   runs the restricted BFS of Algorithm 1, pruning against *block-local*
+   candidate labels only. Local pruning is sound: every local label entry is
+   a real path length through a higher-ranked hub, so a local prune implies
+   the sequential join (whose canonical labels form an exact distance cover
+   over already-pushed hubs) also prunes. It under-prunes — candidates are a
+   superset of the true labels — but for every vertex the sequential builder
+   keeps, no trough shortest path crosses a pruned vertex, so the candidate
+   ``(dist, count)`` equals the sequential BFS value exactly.
+
+2. **Classification (sequential merge).** Replay roots in rank order against
+   the true canonical labels, applying the line-8 join to each candidate:
+   drop (``best < d``), non-canonical (``best == d``), canonical
+   (``best > d``). Appends happen in the same (rank, BFS-pop) order as the
+   sequential builder, so the result is entry-for-entry identical.
+
+Adaptive orderings (significant-path) need the push tree of the previous
+push to choose the next root, which serializes the schedule — they stay on
+:func:`repro.core.hp_spc.build_labels`.
+"""
+
+import multiprocessing
+from collections import deque
+
+from repro.core.labels import LabelSet
+from repro.core.ordering import resolve_ordering
+from repro.exceptions import OrderingError
+
+INF = float("inf")
+
+# Worker-global state, set once per process by the pool initializer so the
+# adjacency is not re-pickled per task (and is shared for free under fork).
+_WORKER = {}
+
+
+def resolve_static_order(graph, ordering="degree"):
+    """Materialize a full static order (rank -> vertex) for ``ordering``.
+
+    Drives the strategy without push trees, so any tree-free strategy
+    (degree, betweenness, explicit lists) works; adaptive strategies raise
+    :class:`OrderingError`.
+    """
+    strategy = resolve_ordering(ordering)
+    if strategy.wants_tree:
+        raise OrderingError(
+            "parallel construction needs a static ordering; "
+            "adaptive (tree-driven) strategies must use the sequential builder"
+        )
+    n = graph.n
+    pushed = [False] * n
+    order = []
+    w = strategy.first_vertex(graph) if n else None
+    while w is not None:
+        if pushed[w]:
+            raise OrderingError(f"ordering strategy returned vertex {w} twice")
+        order.append(w)
+        pushed[w] = True
+        w = strategy.next_vertex(graph, pushed, None)
+    if len(order) != n:
+        missing = [v for v in range(n) if not pushed[v]]
+        raise OrderingError(f"ordering did not cover all vertices; missing {missing[:5]}")
+    return order
+
+
+def _init_worker(adjacency, rank_of):
+    _WORKER["adj"] = adjacency
+    _WORKER["rank_of"] = rank_of
+
+
+def _push_block(block):
+    """Phase 1: candidates for one block of roots, in increasing rank order.
+
+    ``block`` is a list of ``(rank, root)``. Returns a list of
+    ``(rank, root, candidates, visits)`` where ``candidates`` holds
+    ``(v, dist, count)`` in BFS pop order — the exact trough values the
+    sequential builder would compute, for a superset of its kept vertices.
+    """
+    adj = _WORKER["adj"]
+    rank_of = _WORKER["rank_of"]
+    n = len(rank_of)
+    local = [[] for _ in range(n)]  # block-local (hub, dist) labels for pruning
+    hub_dist = [INF] * n
+    dist = [INF] * n
+    count = [0] * n
+    out = []
+    for rank, w in block:
+        touched = []
+        for hub, hub_distance in local[w]:
+            hub_dist[hub] = hub_distance
+            touched.append(hub)
+        local[w].append((w, 0))
+        dist[w] = 0
+        count[w] = 1
+        queue = deque([w])
+        visited = [w]
+        candidates = []
+        visits = 0
+        while queue:
+            v = queue.popleft()
+            dv = dist[v]
+            visits += 1
+            if v != w:
+                best = min(
+                    (hub_dist[hub] + hub_distance for hub, hub_distance in local[v]),
+                    default=INF,
+                )
+                if best < dv:
+                    continue  # sound: a real shorter path through H_w exists
+                candidates.append((v, dv, count[v]))
+                local[v].append((w, dv))
+            forwarded = count[v]
+            next_dist = dv + 1
+            for v2 in adj[v]:
+                if rank_of[v2] <= rank:
+                    continue  # restrict to G_w: only lower-ranked vertices
+                d2 = dist[v2]
+                if d2 is INF:
+                    dist[v2] = next_dist
+                    count[v2] = forwarded
+                    queue.append(v2)
+                    visited.append(v2)
+                elif d2 == next_dist:
+                    count[v2] += forwarded
+        for v in visited:
+            dist[v] = INF
+            count[v] = 0
+        for hub in touched:
+            hub_dist[hub] = INF
+        out.append((rank, w, candidates, visits))
+    return out
+
+
+def _merge_candidates(n, order, candidates_by_rank, stats=None):
+    """Phase 2: replay the pruning joins in rank order (sequential, cheap)."""
+    labels = LabelSet(n)
+    canonical = labels._canonical  # hot-path alias; LabelSet owns the lists
+    noncanonical = labels._noncanonical
+    hub_dist = [INF] * n
+    for rank, w in enumerate(order):
+        if stats is not None:
+            stats.pushes += 1
+        touched = []
+        for _, hub, hub_distance, _ in canonical[w]:
+            hub_dist[hub] = hub_distance
+            touched.append(hub)
+        canonical[w].append((rank, w, 0, 1))
+        if stats is not None:
+            stats.label_entries += 1
+        for v, d, c in candidates_by_rank[rank]:
+            row = canonical[v]
+            best = min(
+                (hub_dist[hub] + hub_distance for _, hub, hub_distance, _ in row),
+                default=INF,
+            )
+            if stats is not None:
+                stats.join_terms += len(row)
+            if best < d:
+                if stats is not None:
+                    stats.prunes += 1
+                continue
+            if best == d:
+                noncanonical[v].append((rank, w, d, c))
+            else:
+                canonical[v].append((rank, w, d, c))
+            if stats is not None:
+                stats.label_entries += 1
+        for hub in touched:
+            hub_dist[hub] = INF
+    labels.set_order(order)
+    labels.finalize()
+    return labels
+
+
+def build_labels_parallel(graph, workers=None, ordering="degree", stats=None):
+    """Run HP-SPC with ``workers`` processes; result is bit-identical to
+    :func:`repro.core.hp_spc.build_labels` under the same (static) ordering.
+
+    ``stats`` (a :class:`~repro.core.hp_spc.BuildStats`) is filled with the
+    merge-phase counters plus the workers' BFS pop totals; ``visits`` and
+    ``label_entries`` count phase-1 work, which is a superset of the
+    sequential builder's (local pruning is weaker than global pruning).
+
+    ``workers=None`` uses ``os.cpu_count()``; with one worker (or a tiny
+    graph) this simply calls the sequential builder.
+    """
+    from repro.core.hp_spc import build_labels
+
+    n = graph.n
+    if workers is None:
+        workers = multiprocessing.cpu_count()
+    workers = max(1, min(int(workers), max(1, n)))
+    order = resolve_static_order(graph, ordering)
+    if workers == 1 or n < 4:
+        return build_labels(graph, ordering=list(order), stats=stats)
+
+    rank_of = [0] * n
+    for rank, v in enumerate(order):
+        rank_of[v] = rank
+    # Round-robin by rank: every worker gets a share of the high-ranked
+    # (expensive, strongly-pruning) roots, which balances load and seeds
+    # each block's local pruning with the most useful hubs.
+    blocks = [
+        [(rank, w) for rank, w in enumerate(order) if rank % workers == k]
+        for k in range(workers)
+    ]
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    with context.Pool(
+        processes=workers,
+        initializer=_init_worker,
+        initargs=(graph.adjacency, rank_of),
+    ) as pool:
+        results = pool.map(_push_block, blocks)
+
+    candidates_by_rank = [None] * n
+    visits = 0
+    for block_result in results:
+        for rank, _, candidates, block_visits in block_result:
+            candidates_by_rank[rank] = candidates
+            visits += block_visits
+    labels = _merge_candidates(n, order, candidates_by_rank, stats=stats)
+    if stats is not None:
+        stats.visits += visits
+    return labels

@@ -15,7 +15,7 @@ from repro.applications.group_betweenness import (
 from repro.applications.relevance import most_relevant, relevance_ranking
 from repro.baselines.apsp_matrix import CountMatrixOracle
 from repro.core.index import SPCIndex
-from repro.generators.classic import cycle_graph, grid_graph, path_graph, star_graph
+from repro.generators.classic import cycle_graph, path_graph, star_graph
 from repro.generators.random_graphs import gnp_random_graph
 from repro.graph.graph import Graph
 

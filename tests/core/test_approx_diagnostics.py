@@ -12,7 +12,7 @@ from repro.core.diagnostics import (
 from repro.core.hp_spc import build_labels
 from repro.core.query import count_query, count_set_query
 from repro.exceptions import LabelingError
-from repro.generators.classic import cycle_graph, grid_graph, path_graph
+from repro.generators.classic import cycle_graph, grid_graph
 from repro.generators.random_graphs import gnp_random_graph
 from repro.graph.graph import Graph
 from repro.graph.traversal import spc_bfs

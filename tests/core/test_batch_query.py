@@ -1,0 +1,157 @@
+"""Batched flat-engine queries agree with the tuple-based reference engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch_query import (
+    count_many,
+    count_many_arrays,
+    count_set_to_set,
+    single_source,
+)
+from repro.core.flat_labels import FlatLabels
+from repro.core.hp_spc import build_labels
+from repro.core.index import SPCIndex
+from repro.core.query import count_query, count_set_query
+from repro.generators.classic import (
+    barbell_graph,
+    cycle_graph,
+    grid_graph,
+    random_tree,
+    star_graph,
+)
+from repro.generators.random_graphs import (
+    barabasi_albert_graph,
+    gnp_random_graph,
+    watts_strogatz_graph,
+)
+from repro.generators.social import caveman_graph
+from repro.graph.graph import Graph
+
+#: One graph per generator family, including a disconnected G(n, p) draw
+#: and an edgeless graph (every non-diagonal pair disconnected).
+FAMILIES = [
+    ("cycle", lambda: cycle_graph(9)),
+    ("grid", lambda: grid_graph(4, 6)),
+    ("star", lambda: star_graph(8)),
+    ("tree", lambda: random_tree(24, seed=11)),
+    ("barbell", lambda: barbell_graph(4, 2)),
+    ("gnp-disconnected", lambda: gnp_random_graph(36, 0.05, seed=3)),
+    ("barabasi-albert", lambda: barabasi_albert_graph(48, 2, seed=5)),
+    ("watts-strogatz", lambda: watts_strogatz_graph(30, 4, 0.2, seed=9)),
+    ("caveman", lambda: caveman_graph(4, 5)),
+    ("edgeless", lambda: Graph.from_edges(7, [])),
+]
+
+
+def _all_pairs(n):
+    return [(s, t) for s in range(n) for t in range(n)]
+
+
+@pytest.mark.parametrize("name,make", FAMILIES, ids=[name for name, _ in FAMILIES])
+class TestAgainstReferenceEngine:
+    def test_count_many_matches_count_query(self, name, make):
+        graph = make()
+        labels = build_labels(graph)
+        flat = FlatLabels.from_label_set(labels)
+        pairs = _all_pairs(graph.n)
+        answers = count_many(flat, pairs)
+        for (s, t), got in zip(pairs, answers):
+            assert got == count_query(labels, s, t), (name, s, t)
+
+    def test_single_source_matches_count_query(self, name, make):
+        graph = make()
+        labels = build_labels(graph)
+        flat = FlatLabels.from_label_set(labels)
+        for s in range(0, graph.n, max(1, graph.n // 6)):
+            dist, count = single_source(flat, s)
+            for t in range(graph.n):
+                want_dist, want_count = count_query(labels, s, t)
+                assert count[t] == want_count, (name, s, t)
+                assert dist[t] == want_dist, (name, s, t)
+
+    def test_set_to_set_matches_reference(self, name, make):
+        graph = make()
+        labels = build_labels(graph)
+        flat = FlatLabels.from_label_set(labels)
+        import random
+
+        rng = random.Random(17)
+        for _ in range(8):
+            size = min(3, graph.n)
+            sources = rng.sample(range(graph.n), size)
+            targets = rng.sample(range(graph.n), size)
+            assert count_set_to_set(flat, sources, targets) == count_set_query(
+                labels, sources, targets
+            ), (name, sources, targets)
+
+
+class TestSemantics:
+    def test_diagonal_is_empty_path(self):
+        flat = FlatLabels.from_label_set(build_labels(cycle_graph(6)))
+        assert count_many(flat, [(4, 4)]) == [(0, 1)]
+
+    def test_disconnected_pair_is_inf_zero(self):
+        graph = Graph.from_edges(4, [(0, 1), (2, 3)])
+        flat = FlatLabels.from_label_set(build_labels(graph))
+        assert count_many(flat, [(0, 2)]) == [(float("inf"), 0)]
+
+    def test_empty_batch(self):
+        flat = FlatLabels.from_label_set(build_labels(cycle_graph(4)))
+        assert count_many(flat, []) == []
+        dist, count = count_many_arrays(flat, [], [])
+        assert dist.size == 0 and count.size == 0
+
+    def test_arrays_output_types(self):
+        flat = FlatLabels.from_label_set(build_labels(cycle_graph(6)))
+        dist, count = count_many_arrays(flat, [0, 1], [3, 1])
+        assert dist.dtype == np.float64
+        assert count.dtype == np.int64
+
+    def test_shape_mismatch_raises(self):
+        flat = FlatLabels.from_label_set(build_labels(cycle_graph(4)))
+        with pytest.raises(ValueError):
+            count_many_arrays(flat, [0, 1], [2])
+
+    def test_repeated_sources_share_scatter(self):
+        """Same-source bursts (the grouping fast path) stay exact."""
+        graph = grid_graph(4, 4)
+        labels = build_labels(graph)
+        flat = FlatLabels.from_label_set(labels)
+        pairs = [(2, t) for t in range(graph.n)] + [(5, t) for t in range(graph.n)]
+        answers = count_many(flat, pairs)
+        for (s, t), got in zip(pairs, answers):
+            assert got == count_query(labels, s, t)
+
+    def test_set_queries_empty_sides(self):
+        flat = FlatLabels.from_label_set(build_labels(cycle_graph(5)))
+        assert count_set_to_set(flat, [], [1]) == (float("inf"), 0)
+        assert count_set_to_set(flat, [1], []) == (float("inf"), 0)
+
+    def test_set_query_overlapping_sets(self):
+        graph = cycle_graph(8)
+        labels = build_labels(graph)
+        flat = FlatLabels.from_label_set(labels)
+        assert count_set_to_set(flat, [1, 2], [2, 5]) == count_set_query(
+            labels, [1, 2], [2, 5]
+        )
+
+
+class TestIndexFacade:
+    def test_index_count_many(self):
+        graph = grid_graph(3, 5)
+        index = SPCIndex.build(graph)
+        pairs = [(0, 14), (3, 3), (7, 2)]
+        expected = [index.count_with_distance(s, t) for s, t in pairs]
+        assert index.count_many(pairs) == expected
+
+    def test_index_single_source(self):
+        graph = cycle_graph(10)
+        index = SPCIndex.build(graph)
+        dist, count = index.single_source(3)
+        for t in range(graph.n):
+            assert (dist[t], count[t]) == index.count_with_distance(3, t)
+
+    def test_to_flat_cached(self):
+        index = SPCIndex.build(cycle_graph(5))
+        assert index.to_flat() is index.to_flat()

@@ -1,6 +1,5 @@
 """Tests for the betweenness-based vertex ordering."""
 
-import pytest
 
 from tests.conftest import assert_oracle_exact
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from tests.conftest import assert_oracle_exact, brute_force_all_pairs
+from tests.conftest import brute_force_all_pairs
 
 from repro.baselines.pll import PrunedLandmarkLabeling
 from repro.core.hp_spc import BuildStats, build_labels

@@ -5,7 +5,7 @@ Vertex ``v_k`` of the paper is id ``k - 1`` here (see tests/conftest.py).
 
 import pytest
 
-from tests.conftest import PAPER_GPRIME_ORDER, PAPER_TABLE2_LABELS
+from tests.conftest import PAPER_TABLE2_LABELS
 
 from repro.core.espc import (
     all_shortest_paths,

@@ -12,7 +12,6 @@ from repro.directed.reductions import (
     directed_equivalent,
 )
 from repro.exceptions import OrderingError
-from repro.generators.classic import cycle_graph, path_graph
 from repro.generators.random_graphs import gnp_random_graph
 from repro.graph.builders import with_pendant_trees
 from repro.graph.digraph import WeightedDigraph

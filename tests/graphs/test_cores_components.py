@@ -1,6 +1,5 @@
 """Tests for k-core decomposition, 1-shell extraction and components."""
 
-import pytest
 
 from repro.generators.classic import complete_graph, cycle_graph, path_graph, random_tree
 from repro.graph.builders import disjoint_union

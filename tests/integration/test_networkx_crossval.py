@@ -5,11 +5,8 @@ these tests break the self-reference by checking the whole stack against
 a third-party implementation.
 """
 
-import math
-
-import pytest
-
 import networkx as nx
+import pytest
 
 from repro.core.espc import all_shortest_paths
 from repro.core.index import SPCIndex

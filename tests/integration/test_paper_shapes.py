@@ -15,7 +15,7 @@ from repro.bench.experiments import (
     exp6_planar,
 )
 from repro.core.index import SPCIndex
-from repro.datasets.registry import dataset_notations, load_dataset
+from repro.datasets.registry import load_dataset
 from repro.reductions.pipeline import ReducedSPCIndex
 
 SCALE = 0.3

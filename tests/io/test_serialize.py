@@ -10,7 +10,6 @@ from repro.exceptions import CountOverflowError, SerializationError
 from repro.generators.classic import grid_graph
 from repro.generators.random_graphs import gnp_random_graph
 from repro.io.serialize import (
-    DEFAULT_BITS,
     WIDE_BITS,
     load_index,
     load_labels,

@@ -1,0 +1,87 @@
+"""Parallel HP-SPC construction must be bit-identical to the sequential build."""
+
+import pytest
+
+from repro.core.hp_spc import BuildStats, build_labels
+from repro.core.index import SPCIndex
+from repro.exceptions import OrderingError
+from repro.generators.classic import barbell_graph, cycle_graph, grid_graph, random_tree
+from repro.generators.random_graphs import (
+    barabasi_albert_graph,
+    gnp_random_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.graph import Graph
+from repro.parallel import build_labels_parallel, resolve_static_order
+
+GRAPHS = [
+    ("cycle", lambda: cycle_graph(11)),
+    ("grid", lambda: grid_graph(5, 5)),
+    ("barbell", lambda: barbell_graph(4, 3)),
+    ("tree", lambda: random_tree(40, seed=2)),
+    ("gnp-disconnected", lambda: gnp_random_graph(50, 0.05, seed=3)),
+    ("barabasi-albert", lambda: barabasi_albert_graph(70, 2, seed=5)),
+    ("watts-strogatz", lambda: watts_strogatz_graph(40, 4, 0.2, seed=9)),
+    ("edgeless", lambda: Graph.from_edges(9, [])),
+]
+
+
+def assert_identical(a, b):
+    """Entry-for-entry equality including the canonical/non-canonical split."""
+    assert a.order == b.order
+    for v in range(a.n):
+        assert a.canonical(v) == b.canonical(v), f"canonical label of {v} differs"
+        assert a.noncanonical(v) == b.noncanonical(v), f"non-canonical label of {v} differs"
+
+
+@pytest.mark.parametrize("name,make", GRAPHS, ids=[name for name, _ in GRAPHS])
+@pytest.mark.parametrize("workers", [2, 4])
+def test_parallel_identical_to_sequential(name, make, workers):
+    graph = make()
+    sequential = build_labels(graph)
+    parallel = build_labels_parallel(graph, workers=workers)
+    assert_identical(sequential, parallel)
+
+
+def test_single_worker_falls_back_to_sequential():
+    graph = grid_graph(4, 4)
+    assert_identical(build_labels(graph), build_labels_parallel(graph, workers=1))
+
+
+def test_explicit_static_order():
+    graph = cycle_graph(8)
+    order = list(range(8))
+    assert_identical(
+        build_labels(graph, ordering=order),
+        build_labels_parallel(graph, workers=3, ordering=order),
+    )
+
+
+def test_adaptive_ordering_rejected():
+    with pytest.raises(OrderingError):
+        build_labels_parallel(grid_graph(3, 3), workers=2, ordering="significant-path")
+
+
+def test_resolve_static_order_matches_degree():
+    graph = barabasi_albert_graph(30, 2, seed=1)
+    order = resolve_static_order(graph, "degree")
+    assert sorted(order) == list(range(graph.n))
+    assert tuple(order) == build_labels(graph).order
+
+
+def test_parallel_stats_counts_work():
+    graph = grid_graph(5, 5)
+    stats = BuildStats()
+    labels = build_labels_parallel(graph, workers=2, stats=stats)
+    assert stats.pushes == graph.n
+    assert stats.label_entries >= labels.total_entries()
+    assert stats.visits > 0
+
+
+def test_index_build_workers_knob():
+    graph = watts_strogatz_graph(30, 4, 0.1, seed=4)
+    sequential = SPCIndex.build(graph)
+    parallel = SPCIndex.build(graph, workers=2)
+    assert_identical(sequential.labels, parallel.labels)
+    pairs = [(s, t) for s in range(graph.n) for t in range(0, graph.n, 3)]
+    assert parallel.count_many(pairs) == sequential.count_many(pairs)

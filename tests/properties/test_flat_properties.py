@@ -1,0 +1,120 @@
+"""Property-based tests for the flat/batched engine and parallel builder.
+
+On arbitrary random graphs and orders, the vectorized paths must agree
+with the tuple-based reference engine pair-for-pair, round trips through
+the flat store and the packed byte format must be lossless, and the
+parallel candidate/merge construction must reproduce sequential HP-SPC.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.batch_query import count_many, count_set_to_set, single_source
+from repro.core.flat_labels import FlatLabels
+from repro.core.hp_spc import build_labels
+from repro.core.query import count_query, count_set_query
+from repro.graph.graph import Graph
+from repro.io.serialize import labels_from_bytes, labels_to_bytes
+from repro.parallel import build_labels_parallel
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graphs(draw, max_n=14, edge_bias=0.25):
+    """Random simple graphs (often disconnected) with random vertex orders."""
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()) and draw(st.floats(0, 1)) < edge_bias * 2:
+                edges.append((u, v))
+    return Graph.from_edges(n, edges)
+
+
+@st.composite
+def graphs_with_orders(draw, max_n=12):
+    graph = draw(graphs(max_n=max_n))
+    order = list(range(graph.n))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    random.Random(seed).shuffle(order)
+    return graph, order
+
+
+@given(graphs())
+@settings(**SETTINGS)
+def test_count_many_agrees_with_count_query_pairwise(graph):
+    labels = build_labels(graph)
+    flat = FlatLabels.from_label_set(labels)
+    pairs = [(s, t) for s in range(graph.n) for t in range(graph.n)]
+    for (s, t), got in zip(pairs, count_many(flat, pairs)):
+        assert got == count_query(labels, s, t)
+
+
+@given(graphs_with_orders())
+@settings(**SETTINGS)
+def test_count_many_agrees_under_random_orders(graph_and_order):
+    graph, order = graph_and_order
+    labels = build_labels(graph, ordering=order)
+    flat = FlatLabels.from_label_set(labels)
+    pairs = [(s, t) for s in range(graph.n) for t in range(graph.n)]
+    for (s, t), got in zip(pairs, count_many(flat, pairs)):
+        assert got == count_query(labels, s, t)
+
+
+@given(graphs())
+@settings(**SETTINGS)
+def test_single_source_agrees_with_count_query(graph):
+    labels = build_labels(graph)
+    flat = FlatLabels.from_label_set(labels)
+    for s in range(graph.n):
+        dist, count = single_source(flat, s)
+        for t in range(graph.n):
+            assert (dist[t], count[t]) == count_query(labels, s, t)
+
+
+@given(graphs(), st.integers(min_value=0, max_value=2**16))
+@settings(**SETTINGS)
+def test_set_to_set_agrees_with_reference(graph, seed):
+    labels = build_labels(graph)
+    flat = FlatLabels.from_label_set(labels)
+    rng = random.Random(seed)
+    size = max(1, graph.n // 3)
+    sources = rng.sample(range(graph.n), min(size, graph.n))
+    targets = rng.sample(range(graph.n), min(size, graph.n))
+    assert count_set_to_set(flat, sources, targets) == count_set_query(
+        labels, sources, targets
+    )
+
+
+@given(graphs_with_orders())
+@settings(**SETTINGS)
+def test_flat_round_trip_through_serialized_form(graph_and_order):
+    graph, order = graph_and_order
+    labels = build_labels(graph, ordering=order)
+    flat = FlatLabels.from_label_set(labels)
+    thawed = flat.to_label_set()
+    assert thawed.order == labels.order
+    for v in range(graph.n):
+        assert thawed.canonical(v) == labels.canonical(v)
+        assert thawed.noncanonical(v) == labels.noncanonical(v)
+    reloaded, _ = labels_from_bytes(labels_to_bytes(thawed))
+    assert FlatLabels.from_label_set(reloaded).equals(flat)
+
+
+@given(graphs_with_orders(), st.integers(min_value=2, max_value=4))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_parallel_build_identical_on_random_graphs(graph_and_order, workers):
+    graph, order = graph_and_order
+    sequential = build_labels(graph, ordering=order)
+    parallel = build_labels_parallel(graph, workers=workers, ordering=order)
+    assert sequential.order == parallel.order
+    for v in range(graph.n):
+        assert sequential.canonical(v) == parallel.canonical(v)
+        assert sequential.noncanonical(v) == parallel.noncanonical(v)

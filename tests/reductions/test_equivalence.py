@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.generators.classic import complete_bipartite_graph, complete_graph, cycle_graph, star_graph
 from repro.generators.augment import add_twins
+from repro.generators.classic import complete_bipartite_graph, complete_graph, cycle_graph, star_graph
 from repro.generators.random_graphs import gnp_random_graph
 from repro.graph.graph import Graph
 from repro.graph.traversal import spc_bfs

@@ -8,7 +8,6 @@ from repro.generators.augment import add_twins, attach_fringe
 from repro.generators.classic import grid_graph, random_tree, star_graph
 from repro.generators.random_graphs import barabasi_albert_graph, gnp_random_graph
 from repro.generators.web import copying_model_graph
-from repro.graph.builders import with_pendant_trees
 from repro.graph.graph import Graph
 from repro.reductions.pipeline import ReducedSPCIndex, reduction_report
 

@@ -1,6 +1,5 @@
 """Tests for the utils package (timers, rng, stats)."""
 
-import math
 import random
 import time
 

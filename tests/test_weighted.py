@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.exceptions import GraphError, OrderingError, VertexError
-from repro.generators.classic import cycle_graph, grid_graph, path_graph
+from repro.generators.classic import cycle_graph, grid_graph
 from repro.generators.random_graphs import gnp_random_graph
 from repro.graph.builders import with_pendant_trees
 from repro.weighted.graph import WeightedGraph, dijkstra_count_weighted, spc_weighted

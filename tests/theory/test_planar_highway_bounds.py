@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from tests.conftest import assert_oracle_exact
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""CI benchmark smoke: flat batched engine must not be slower than python.
+
+Builds an HP-SPC index over a generated Barabási–Albert graph, times the
+same random-pair workload through both query engines, writes the numbers
+to ``BENCH_ci_smoke.json`` and exits non-zero when the flat engine's
+batched throughput falls below ``--min-speedup`` times the python
+engine's (default 1.0: flat must not lose).
+
+Run from the repository root:
+
+    PYTHONPATH=src python tools/ci_bench_smoke.py --vertices 4000
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=10000,
+                        help="graph size (default 10000)")
+    parser.add_argument("--attach", type=int, default=3,
+                        help="Barabási–Albert attachment degree (default 3)")
+    parser.add_argument("--queries", type=int, default=20000,
+                        help="random query pairs (default 20000)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="construction processes (default 1)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="fail below this flat/python speedup (default 1.0)")
+    parser.add_argument("--output", default="BENCH_ci_smoke.json")
+    args = parser.parse_args(argv)
+
+    from repro.bench.harness import compare_engines
+    from repro.core.index import SPCIndex
+    from repro.generators.random_graphs import barabasi_albert_graph
+    from repro.utils.rng import random_pairs
+
+    graph = barabasi_albert_graph(args.vertices, args.attach, seed=args.seed)
+    print(f"graph: barabasi_albert(n={graph.n}, m={graph.m})")
+    started = time.perf_counter()
+    index = SPCIndex.build(graph, workers=args.workers)
+    build_seconds = time.perf_counter() - started
+    print(f"build: {build_seconds:.1f}s, {index.total_entries()} entries "
+          f"({args.workers} worker(s))")
+
+    started = time.perf_counter()
+    index.to_flat()  # freeze outside the timed comparison
+    freeze_seconds = time.perf_counter() - started
+    pairs = list(random_pairs(graph.n, args.queries, rng=args.seed))
+    result = compare_engines(index, pairs)
+    print(f"python engine: {result['python_us_per_query']:.2f} us/query")
+    print(f"flat engine  : {result['flat_us_per_query']:.2f} us/query "
+          f"(freeze {freeze_seconds:.2f}s)")
+    print(f"speedup      : {result['speedup']:.2f}x (floor {args.min_speedup:.2f}x)")
+
+    report = {
+        "graph": {"family": "barabasi_albert", "n": graph.n, "m": graph.m,
+                  "attach": args.attach, "seed": args.seed},
+        "build_seconds": round(build_seconds, 3),
+        "build_workers": args.workers,
+        "label_entries": index.total_entries(),
+        "freeze_seconds": round(freeze_seconds, 3),
+        "queries": result["queries"],
+        "python_us_per_query": round(result["python_us_per_query"], 3),
+        "flat_us_per_query": round(result["flat_us_per_query"], 3),
+        "speedup": round(result["speedup"], 3),
+        "min_speedup": args.min_speedup,
+        "python_version": platform.python_version(),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if result["speedup"] < args.min_speedup:
+        print(f"FAIL: flat engine speedup {result['speedup']:.2f}x "
+              f"< floor {args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

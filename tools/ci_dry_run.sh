@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Local replica of .github/workflows/ci.yml for environments without `act`.
+#
+# Runs the same three jobs against the current checkout:
+#   lint        ruff check . (falls back to tools/mini_lint.py when ruff is
+#               not installed) + the CHANGES.md non-empty gate
+#   tests       the tier-1 pytest suite with PYTHONPATH=src (current python
+#               only; CI runs the 3.10/3.11/3.12 matrix)
+#   bench-smoke tools/ci_bench_smoke.py at CI scale, writing BENCH_ci_smoke.json
+#
+# Usage: bash tools/ci_dry_run.sh [--skip-bench]
+
+set -u
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+failures=0
+step() {
+    echo
+    echo "=== $1 ==="
+}
+
+step "lint"
+if command -v ruff >/dev/null 2>&1; then
+    ruff check . || failures=$((failures + 1))
+elif python -c "import ruff" >/dev/null 2>&1; then
+    python -m ruff check . || failures=$((failures + 1))
+else
+    echo "ruff not installed; using tools/mini_lint.py fallback"
+    python tools/mini_lint.py || failures=$((failures + 1))
+fi
+
+step "changelog updated"
+if [ -s CHANGES.md ]; then
+    echo "CHANGES.md: non-empty, ok"
+else
+    echo "CHANGES.md is empty - every PR must append a changelog entry" >&2
+    failures=$((failures + 1))
+fi
+
+step "tests (python $(python -c 'import platform; print(platform.python_version())'))"
+python -m pytest -x -q || failures=$((failures + 1))
+
+if [ "${1:-}" != "--skip-bench" ]; then
+    step "bench-smoke"
+    # Scratch output: keep the committed 10k-vertex BENCH_ci_smoke.json intact.
+    python tools/ci_bench_smoke.py --vertices 4000 --queries 10000 \
+        --output "${TMPDIR:-/tmp}/BENCH_ci_smoke.local.json" \
+        || failures=$((failures + 1))
+fi
+
+echo
+if [ "$failures" -ne 0 ]; then
+    echo "ci dry run: $failures job(s) FAILED"
+    exit 1
+fi
+echo "ci dry run: all jobs green"

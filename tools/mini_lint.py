@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Dependency-free fallback linter for environments without ruff.
+
+Checks a conservative subset of the repo's ruff rules (see
+``[tool.ruff.lint]`` in pyproject.toml) so `tools/ci_dry_run.sh` can
+still gate obvious problems when ruff is not installed:
+
+* F401 — module-level imports never used (``__all__`` counts as a use)
+* E711/E712 — comparisons to ``None`` / ``True`` / ``False`` with ``==``
+* E722 — bare ``except:``
+* E731 — lambda assigned to a name
+* E9   — syntax errors
+* I001 (approximate) — within the leading import block: stdlib before
+  third-party before first-party (``repro``), straight imports before
+  ``from`` imports per section, each alphabetized
+
+It intentionally under-reports relative to ruff; anything it flags is a
+real violation, so it is safe to fail the dry run on findings.
+"""
+
+import ast
+import sys
+from pathlib import Path
+
+FIRST_PARTY = {"repro"}
+STDLIB = set(getattr(sys, "stdlib_module_names", ()))
+
+
+def _module_section(module):
+    root = module.split(".")[0]
+    if root in FIRST_PARTY:
+        return 2
+    if root in STDLIB:
+        return 0
+    return 1
+
+
+def _iter_names(node):
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.asname or alias.name.split(".")[0]
+    elif isinstance(node, ast.ImportFrom):
+        for alias in node.names:
+            if alias.name != "*":
+                yield alias.asname or alias.name
+
+
+def _used_names(tree):
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            inner = node
+            while isinstance(inner, ast.Attribute):
+                inner = inner.value
+            if isinstance(inner, ast.Name):
+                used.add(inner.id)
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+            )
+            and isinstance(node.value, (ast.List, ast.Tuple))
+        ):
+            for element in node.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    used.add(element.value)
+    return used
+
+
+def _check_unused_imports(path, tree, problems):
+    used = _used_names(tree)
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+                continue
+            for name in _iter_names(node):
+                if name not in used:
+                    problems.append(
+                        f"{path}:{node.lineno}: F401 imported but unused: {name}"
+                    )
+
+
+def _check_comparisons(path, tree, problems):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if isinstance(comparator, ast.Constant) and comparator.value is None:
+                    problems.append(f"{path}:{node.lineno}: E711 comparison to None")
+                elif isinstance(comparator, ast.Constant) and isinstance(
+                    comparator.value, bool
+                ):
+                    problems.append(f"{path}:{node.lineno}: E712 comparison to bool")
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            problems.append(f"{path}:{node.lineno}: E722 bare except")
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            problems.append(f"{path}:{node.lineno}: E731 lambda assignment")
+
+
+def _check_import_order(path, tree, problems):
+    block = []
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            if isinstance(node, ast.ImportFrom) and node.level:
+                return  # relative imports: out of scope for the fallback
+            block.append(node)
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant):
+            continue  # docstring
+        else:
+            break
+    keys = []
+    for node in block:
+        if isinstance(node, ast.Import):
+            module = node.names[0].name
+            straight = 0
+        else:
+            module = node.module or ""
+            straight = 1
+        keys.append((_module_section(module), straight, module))
+    for previous, current, node in zip(keys, keys[1:], block[1:]):
+        if current < previous:
+            problems.append(
+                f"{path}:{node.lineno}: I001 import block out of order"
+            )
+            break
+
+
+def lint_file(path):
+    problems = []
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: E999 syntax error: {exc.msg}"]
+    _check_unused_imports(path, tree, problems)
+    _check_comparisons(path, tree, problems)
+    _check_import_order(path, tree, problems)
+    return problems
+
+
+def main(argv=None):
+    roots = [Path(p) for p in (argv or sys.argv[1:])] or [
+        Path("src"), Path("tests"), Path("tools"), Path("examples"),
+    ]
+    problems = []
+    for root in roots:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for path in files:
+            problems.extend(lint_file(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("mini-lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
