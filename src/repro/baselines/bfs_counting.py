@@ -2,7 +2,10 @@
 
 No index: every query runs a counting BFS from the source. Also provides
 the all-pairs ground truth the test suite validates every labeling
-against.
+against. Both the oracle and the all-pairs sweep can run on the scalar
+deque BFS (``engine="python"``, arbitrary-precision counts) or on the
+vectorized CSR kernels of :mod:`repro.kernels.bfs` (``engine="csr"``,
+int64 counts, one full level-synchronous sweep per source).
 """
 
 from repro.graph.traversal import bfs_count_from, spc_bfs
@@ -10,42 +13,76 @@ from repro.graph.traversal import bfs_count_from, spc_bfs
 INF = float("inf")
 
 
+def _spc_csr(graph, s, t):
+    """``(distance, count)`` via one vectorized full sweep from ``s``."""
+    from repro.kernels.bfs import bfs_count_csr
+
+    if s == t:
+        return 0, 1
+    dist, count = bfs_count_csr(graph, s)
+    if count[t]:
+        return int(dist[t]), int(count[t])
+    return INF, 0
+
+
 class BFSCountingOracle:
     """Adapter giving online BFS the same query surface as the indexes.
 
     ``count`` / ``distance`` / ``count_with_distance`` each run one BFS;
     there is no construction cost (the paper's "BFS Time" column measures
-    exactly this per-query work).
+    exactly this per-query work). The scalar engine stops early at the
+    target's level; the csr engine always sweeps the whole component but
+    expands each level in a handful of numpy passes.
     """
 
-    def __init__(self, graph):
+    def __init__(self, graph, engine="python"):
+        if engine not in ("python", "csr"):
+            raise ValueError(f"unknown BFS engine {engine!r}; "
+                             "expected 'python' or 'csr'")
         self._graph = graph
+        self._engine = engine
 
     @classmethod
-    def build(cls, graph, **_ignored):
-        return cls(graph)
+    def build(cls, graph, engine="python", **_ignored):
+        return cls(graph, engine=engine)
 
     def count(self, s, t):
-        return spc_bfs(self._graph, s, t)[1]
+        return self.count_with_distance(s, t)[1]
 
     def distance(self, s, t):
-        return spc_bfs(self._graph, s, t)[0]
+        return self.count_with_distance(s, t)[0]
 
     def count_with_distance(self, s, t):
+        if self._engine == "csr":
+            return _spc_csr(self._graph, s, t)
         return spc_bfs(self._graph, s, t)
 
     def __repr__(self):
-        return f"BFSCountingOracle(n={self._graph.n})"
+        return f"BFSCountingOracle(n={self._graph.n}, engine={self._engine!r})"
 
 
-def spc_all_pairs(graph):
+def spc_all_pairs(graph, engine="python"):
     """All-pairs ``(dist, count)`` matrices by n counting BFS runs.
 
     Returns ``(dist, count)`` as lists of per-source lists. The canonical
     ground truth for property tests; O(n·m) time, O(n²) space.
+    ``engine="csr"`` runs each source through
+    :func:`repro.kernels.bfs.bfs_count_csr` and converts back to the
+    scalar convention (``inf`` distance, count 0 for unreachable pairs).
     """
     dist_rows = []
     count_rows = []
+    if engine == "csr":
+        from repro.kernels.bfs import bfs_count_csr
+
+        for source in graph.vertices():
+            dist, count = bfs_count_csr(graph, source)
+            dist_rows.append([d if d >= 0 else INF for d in dist.tolist()])
+            count_rows.append(count.tolist())
+        return dist_rows, count_rows
+    if engine != "python":
+        raise ValueError(f"unknown BFS engine {engine!r}; "
+                         "expected 'python' or 'csr'")
     for source in graph.vertices():
         dist, count = bfs_count_from(graph, source)
         dist_rows.append(dist)

@@ -1,6 +1,23 @@
 """Experiment harness: workloads, drivers for every table/figure, reporting."""
 
-from repro.bench.harness import format_table, time_queries
+from repro.bench.harness import (
+    QueryTiming,
+    compare_builders,
+    compare_engines,
+    format_table,
+    time_batched_queries,
+    time_construction,
+    time_queries,
+)
 from repro.bench.workloads import query_workload
 
-__all__ = ["format_table", "time_queries", "query_workload"]
+__all__ = [
+    "QueryTiming",
+    "compare_builders",
+    "compare_engines",
+    "format_table",
+    "time_batched_queries",
+    "time_construction",
+    "time_queries",
+    "query_workload",
+]

@@ -69,8 +69,9 @@ def _cmd_build(args):
         graph, _ = read_edge_list(args.graph)
         parallel_note = f", workers: {args.workers}" if args.workers > 1 else ""
         print(f"building HP-SPC over {graph.n} vertices / {graph.m} edges "
-              f"(ordering: {args.ordering}{parallel_note})...")
-        index = SPCIndex.build(graph, ordering=args.ordering, workers=args.workers)
+              f"(ordering: {args.ordering}, engine: {args.engine}{parallel_note})...")
+        index = SPCIndex.build(graph, ordering=args.ordering, workers=args.workers,
+                               engine=args.engine)
         written = save_index(index, args.index, strict=args.strict)
         elapsed = index.build_seconds
         entries = index.total_entries()
@@ -140,12 +141,16 @@ def _cmd_bench(args):
             started = time.perf_counter()
             flat = index.to_flat()
             freeze = time.perf_counter() - started
-            avg, total = time_batched_queries(flat, pairs)
-            print(f"flat   engine: {total} queries, {avg * 1e6:.2f} us/query "
+            timing = time_batched_queries(flat, pairs, repeat=args.repeat)
+            print(f"flat   engine: {timing.queries} queries, "
+                  f"{timing.seconds_per_query * 1e6:.2f} us/query "
                   f"(freeze {freeze * 1e3:.1f} ms)")
         else:
-            avg, total = time_queries(index, pairs)
-            print(f"python engine: {total} queries, {avg * 1e6:.2f} us/query")
+            timing = time_queries(index, pairs, repeat=args.repeat)
+            print(f"python engine: {timing.queries} queries, "
+                  f"{timing.seconds_per_query * 1e6:.2f} us/query "
+                  f"(p50 {timing.p50_seconds * 1e6:.2f}, "
+                  f"p95 {timing.p95_seconds * 1e6:.2f})")
     return 0
 
 
@@ -171,6 +176,9 @@ def build_parser():
                    help="treat the third edge-list column as edge weights")
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="parallel construction processes (static orderings only)")
+    p.add_argument("--engine", default="python", choices=["python", "csr"],
+                   help="construction engine: scalar python or vectorized csr "
+                        "kernels (static orderings, int64 counts)")
     p.set_defaults(func=_cmd_build)
 
     p = sub.add_parser("query", help="answer count queries from an index")
@@ -199,6 +207,8 @@ def build_parser():
     p = sub.add_parser("bench", help="time random queries against an index")
     p.add_argument("index")
     p.add_argument("--queries", type=int, default=1000)
+    p.add_argument("--repeat", type=int, default=1,
+                   help="time the workload this many times, report the best run")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--engine", default="python", choices=["python", "flat", "both"],
                    help="which query engine(s) to time")

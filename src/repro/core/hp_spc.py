@@ -60,6 +60,7 @@ def build_labels(
     skip=None,
     prune=True,
     stats=None,
+    engine="python",
 ):
     """Run HP-SPC and return a finalized :class:`LabelSet`.
 
@@ -80,7 +81,28 @@ def build_labels(
         ``False`` disables the line-8 join, yielding PL-SPC-style labels.
     stats:
         Optional :class:`BuildStats` to fill with construction counters.
+    engine:
+        ``"python"`` (this module's deque BFS, arbitrary-precision counts,
+        any ordering) or ``"csr"`` (the vectorized kernels of
+        :mod:`repro.kernels.hub_push`: static orderings only, int64 counts,
+        typically ~10x faster). Both engines produce entry-for-entry
+        identical labels and identical ``stats`` counters.
     """
+    if engine == "csr":
+        from repro.kernels.hub_push import build_flat_labels_csr
+
+        flat = build_flat_labels_csr(
+            graph,
+            ordering=ordering,
+            multiplicity=multiplicity,
+            skip=skip,
+            prune=prune,
+            stats=stats,
+        )
+        return flat.to_label_set()
+    if engine != "python":
+        raise ValueError(f"unknown construction engine {engine!r}; "
+                         "expected 'python' or 'csr'")
     n = graph.n
     adj = graph.adjacency
     strategy = resolve_ordering(ordering)

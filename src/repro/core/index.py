@@ -36,46 +36,61 @@ class SPCIndex:
         self._flat = None
 
     @classmethod
-    def build(cls, graph, ordering="degree", collect_stats=False, workers=1):
+    def build(cls, graph, ordering="degree", collect_stats=False, workers=1,
+              engine="python"):
         """Run HP-SPC on ``graph`` under ``ordering`` and wrap the labels.
 
         ``workers > 1`` partitions the hub pushes across that many
-        processes (:mod:`repro.parallel`); the labels are identical to the
-        sequential build, but the ordering must be static (not
-        significant-path).
+        processes (:mod:`repro.parallel`); ``engine="csr"`` builds with the
+        vectorized kernels of :mod:`repro.kernels.hub_push` (static
+        orderings, int64 counts) and keeps the frozen
+        :class:`~repro.core.flat_labels.FlatLabels` as the primary store —
+        the tuple-based :class:`LabelSet` is thawed lazily on first use of
+        a python-engine query. Every combination produces bit-identical
+        labels under the same static ordering.
         """
         import time
 
         stats = BuildStats() if collect_stats else None
         started = time.perf_counter()
+        flat = None
         if workers is None or workers > 1:
             from repro.parallel import build_labels_parallel
 
             labels = build_labels_parallel(
-                graph, workers=workers, ordering=ordering, stats=stats
+                graph, workers=workers, ordering=ordering, stats=stats,
+                engine=engine,
             )
+        elif engine == "csr":
+            from repro.kernels.hub_push import build_flat_labels_csr
+
+            flat = build_flat_labels_csr(graph, ordering=ordering, stats=stats)
+            labels = None
         else:
-            labels = build_labels(graph, ordering=ordering, stats=stats)
+            labels = build_labels(graph, ordering=ordering, stats=stats,
+                                  engine=engine)
         elapsed = time.perf_counter() - started
-        return cls(labels, build_stats=stats, build_seconds=elapsed)
+        index = cls(labels, build_stats=stats, build_seconds=elapsed)
+        index._flat = flat
+        return index
 
     # -- queries -------------------------------------------------------------
 
     def count(self, s, t):
         """``spc(s, t)``: the number of shortest paths (0 if disconnected)."""
-        return count_query(self._labels, s, t)[1]
+        return count_query(self.labels, s, t)[1]
 
     def distance(self, s, t):
         """``sd(s, t)``; ``inf`` when disconnected."""
-        return distance_query(self._labels, s, t)
+        return distance_query(self.labels, s, t)
 
     def count_with_distance(self, s, t):
         """``(sd(s,t), spc(s,t))`` in one label scan."""
-        return count_query(self._labels, s, t)
+        return count_query(self.labels, s, t)
 
     def count_approximate(self, s, t):
         """The Exp-5 canonical-only estimate (may undercount, never over)."""
-        return count_canonical_only(self._labels, s, t)[1]
+        return count_canonical_only(self.labels, s, t)[1]
 
     # -- batched (flat-engine) queries ---------------------------------------
 
@@ -88,7 +103,7 @@ class SPCIndex:
         if self._flat is None:
             from repro.core.flat_labels import FlatLabels
 
-            self._flat = FlatLabels.from_label_set(self._labels)
+            self._flat = FlatLabels.from_label_set(self.labels)
         return self._flat
 
     def count_many(self, pairs):
@@ -111,12 +126,20 @@ class SPCIndex:
 
     @property
     def labels(self):
-        """The underlying :class:`~repro.core.labels.LabelSet`."""
+        """The underlying :class:`~repro.core.labels.LabelSet`.
+
+        CSR-engine builds store only the frozen flat form; the tuple-based
+        labels are thawed (exactly) here on first access.
+        """
+        if self._labels is None:
+            self._labels = self._flat.to_label_set()
         return self._labels
 
     @property
     def order(self):
         """The vertex order the index was built under (rank -> vertex)."""
+        if self._labels is None:
+            return tuple(self._flat.order.tolist())
         return self._labels.order
 
     @property
@@ -130,11 +153,16 @@ class SPCIndex:
         return self._build_seconds
 
     def total_entries(self):
+        if self._labels is None:
+            return self._flat.total_entries()
         return self._labels.total_entries()
 
     def size_bytes(self, entry_bits=64):
         """Paper-equivalent index size under the packed entry encoding."""
+        if self._labels is None:
+            return self._flat.packed_size_bytes(entry_bits)
         return self._labels.packed_size_bytes(entry_bits)
 
     def __repr__(self):
-        return f"SPCIndex(n={self._labels.n}, entries={self._labels.total_entries()})"
+        store = self._labels if self._labels is not None else self._flat
+        return f"SPCIndex(n={store.n}, entries={store.total_entries()})"

@@ -276,3 +276,34 @@ def resolve_ordering(spec):
     if isinstance(spec, (list, tuple)):
         return StaticOrdering(spec)
     raise OrderingError(f"cannot interpret ordering spec of type {type(spec).__name__}")
+
+
+def resolve_static_order(graph, ordering="degree"):
+    """Materialize a full static order (rank -> vertex) for ``ordering``.
+
+    Drives the strategy without push trees, so any tree-free strategy
+    (degree, betweenness, explicit lists) works; adaptive strategies raise
+    :class:`OrderingError`. This is the entry point shared by the parallel
+    builder and the vectorized CSR construction kernels, both of which need
+    the whole order up front.
+    """
+    strategy = resolve_ordering(ordering)
+    if strategy.wants_tree:
+        raise OrderingError(
+            "this builder needs a static ordering; "
+            "adaptive (tree-driven) strategies must use the sequential python builder"
+        )
+    n = graph.n
+    pushed = [False] * n
+    order = []
+    w = strategy.first_vertex(graph) if n else None
+    while w is not None:
+        if pushed[w]:
+            raise OrderingError(f"ordering strategy returned vertex {w} twice")
+        order.append(w)
+        pushed[w] = True
+        w = strategy.next_vertex(graph, pushed, None)
+    if len(order) != n:
+        missing = [v for v in range(n) if not pushed[v]]
+        raise OrderingError(f"ordering did not cover all vertices; missing {missing[:5]}")
+    return order

@@ -3,8 +3,11 @@
 This is the substrate every algorithm in the paper runs on (§2): vertices
 are dense integers ``0..n-1``; the adjacency of each vertex is a sorted
 tuple, so the structure is immutable after construction and neighbor scans
-are cache-friendly Python loops.
+are cache-friendly Python loops. :meth:`Graph.csr` additionally exposes a
+cached numpy CSR view for the vectorized kernels in :mod:`repro.kernels`.
 """
+
+from bisect import bisect_left
 
 from repro.exceptions import GraphError, VertexError
 
@@ -17,11 +20,12 @@ class Graph:
     reductions, which already produce clean adjacencies).
     """
 
-    __slots__ = ("_adj", "_m")
+    __slots__ = ("_adj", "_m", "_csr")
 
     def __init__(self, adjacency):
         self._adj = tuple(tuple(neighbors) for neighbors in adjacency)
         self._m = sum(len(neighbors) for neighbors in self._adj) // 2
+        self._csr = None
 
     @classmethod
     def from_edges(cls, n, edges, allow_self_loops=False, dedup=True):
@@ -88,23 +92,44 @@ class Graph:
                     yield u, v
 
     def has_edge(self, u, v):
-        """Whether ``(u, v)`` is an edge; binary search over sorted adjacency."""
+        """Whether ``(u, v)`` is an edge; O(log deg) bisect over sorted adjacency."""
         self._check_vertex(u)
         self._check_vertex(v)
         row = self._adj[u]
-        lo, hi = 0, len(row)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if row[mid] < v:
-                lo = mid + 1
-            else:
-                hi = mid
-        return lo < len(row) and row[lo] == v
+        i = bisect_left(row, v)
+        return i < len(row) and row[i] == v
 
     @property
     def adjacency(self):
         """The raw tuple-of-tuples adjacency (read-only by construction)."""
         return self._adj
+
+    def csr(self):
+        """Cached CSR view ``(indptr, indices)`` as int64 numpy arrays.
+
+        ``indices[indptr[v]:indptr[v + 1]]`` are the (sorted) neighbors of
+        ``v``. Built once on first use and shared by every vectorized kernel
+        (:mod:`repro.kernels`); both arrays are marked read-only so the view
+        cannot drift from the tuple adjacency.
+        """
+        if self._csr is None:
+            import numpy as np
+
+            n = len(self._adj)
+            degrees = np.fromiter(
+                (len(neighbors) for neighbors in self._adj), np.int64, count=n
+            )
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(degrees, out=indptr[1:])
+            indices = np.fromiter(
+                (w for neighbors in self._adj for w in neighbors),
+                np.int64,
+                count=int(indptr[-1]),
+            )
+            indptr.setflags(write=False)
+            indices.setflags(write=False)
+            self._csr = (indptr, indices)
+        return self._csr
 
     # -- derived views -----------------------------------------------------
 

@@ -1,0 +1,31 @@
+"""Array-native construction kernels over the :meth:`Graph.csr` view.
+
+Level-synchronous numpy BFS sweeps (:mod:`repro.kernels.bfs`) and the
+vectorized rank-restricted hub-push construction
+(:mod:`repro.kernels.hub_push`) that builds
+:class:`~repro.core.flat_labels.FlatLabels` directly. Selected via
+``engine="csr"`` on :func:`repro.core.hp_spc.build_labels`,
+:meth:`repro.core.index.SPCIndex.build` and the CLI.
+"""
+
+from repro.kernels.bfs import (
+    bfs_count_csr,
+    bfs_distances_csr,
+    count_guard_threshold,
+    expand_ranges,
+)
+from repro.kernels.hub_push import (
+    build_flat_labels_csr,
+    merge_candidates_csr,
+    push_block_csr,
+)
+
+__all__ = [
+    "bfs_count_csr",
+    "bfs_distances_csr",
+    "build_flat_labels_csr",
+    "count_guard_threshold",
+    "expand_ranges",
+    "merge_candidates_csr",
+    "push_block_csr",
+]

@@ -1,0 +1,458 @@
+"""Vectorized HP-SPC construction (Algorithm 1) over CSR arrays.
+
+:func:`build_flat_labels_csr` runs the hub-pushing loop of §3.2 with numpy
+level-synchronous sweeps instead of the pure-Python deque BFS in
+:mod:`repro.core.hp_spc`, and appends straight into growing columnar
+buffers that finalize into a :class:`~repro.core.flat_labels.FlatLabels`
+CSR — no intermediate Python :class:`~repro.core.labels.LabelSet`. The
+labels are entry-for-entry identical to the Python engine under the same
+(static) ordering; the test suite enforces this bit-identity.
+
+Everything runs in *rank space*: vertices are relabeled by their position
+in the vertex order, so the rank restriction of ``G_w`` (line 4) is a
+single ``neighbors > rank`` mask on gathered CSR rows. The per-level sweep
+is:
+
+1. **Expand** the frontier with :func:`~repro.kernels.bfs.expand_ranges`
+   gathers, mask off higher-ranked (already pushed) and settled targets.
+2. **Accumulate** shortest-path counts into the new level with exact
+   int64 scatter-adds (Brandes' Σ, same recurrence as the scalar BFS).
+3. **Join** (line 8): the already-frozen canonical columns live in a
+   padded per-vertex ``(rank, dist)`` store (:class:`_CanonicalRows`);
+   ``rank_dist`` is scattered once per push from the root's canonical row,
+   and one batched 2D gather + row-min computes
+   ``best = min_h(sd(w, h) + sd(v, h))`` for the whole level at once.
+4. **Classify** against the trough distance: ``best < d`` prunes (no
+   forwarding), ``best == d`` emits non-canonical, ``best > d`` emits
+   canonical and extends the join store.
+
+The same sweep primitives serve the multiprocessing builder: workers run
+:func:`push_block_csr` (phase-1 candidate generation with block-local
+pruning) and the coordinator replays :func:`merge_candidates_csr`
+(phase-2 classification), mirroring :mod:`repro.parallel.builder`.
+
+Counts are int64 with the rigorous overflow guard of
+:func:`repro.kernels.bfs.count_guard_threshold`; graphs whose counts
+exceed it must use the arbitrary-precision Python engine.
+"""
+
+import numpy as np
+
+from repro.core.flat_labels import FlatLabels
+from repro.core.ordering import resolve_static_order
+from repro.exceptions import LabelingError
+from repro.kernels.bfs import count_guard_threshold, expand_ranges
+
+INT = np.int64
+
+#: "no path through H_w" sentinel for the pruning join; larger than any
+#: real distance sum (distances are < 2^31) yet safely additive in int64.
+INF_SENT = np.int64(1) << 40
+
+#: exact float64 integer arithmetic holds below 2^53; per-target sums of
+#: ``max_degree`` addends stay exact when every addend is below this.
+_FLOAT_EXACT = np.int64(1) << 53
+
+
+class _CanonicalRows:
+    """Append-only per-vertex ``(rank, dist)`` rows in a padded 2D buffer.
+
+    The pruning join needs two access patterns the growing labels must
+    serve at once: a batched "gather all rows of this frontier" (one 2D
+    fancy-index per level) and a cheap single-row read for the root's
+    scatter. A padded ``(n, capacity)`` pair of arrays gives both with
+    zero Python-per-entry cost; capacity doubles on demand, so total
+    reallocation stays linear in the final size. Empty slots hold the
+    sentinel rank ``n`` whose ``rank_dist`` entry is permanently infinite.
+    """
+
+    __slots__ = ("n", "sentinel", "capacity", "rank", "dist", "length")
+
+    def __init__(self, n, capacity=8):
+        self.n = n
+        self.sentinel = n
+        self.capacity = capacity
+        self.rank = np.full((n, capacity), n, dtype=INT)
+        self.dist = np.zeros((n, capacity), dtype=INT)
+        self.length = np.zeros(n, dtype=INT)
+
+    def _grow(self, need):
+        capacity = self.capacity
+        while capacity < need:
+            capacity *= 2
+        rank = np.full((self.n, capacity), self.sentinel, dtype=INT)
+        rank[:, : self.capacity] = self.rank
+        dist = np.zeros((self.n, capacity), dtype=INT)
+        dist[:, : self.capacity] = self.dist
+        self.rank, self.dist, self.capacity = rank, dist, capacity
+
+    def append(self, verts, rank, dists):
+        """Append one ``(rank, dist)`` entry per vertex (verts are unique)."""
+        lengths = self.length[verts]
+        need = int(lengths.max()) + 1
+        if need > self.capacity:
+            self._grow(need)
+        self.rank[verts, lengths] = rank
+        self.dist[verts, lengths] = dists
+        self.length[verts] = lengths + 1
+
+    def row(self, v):
+        """The ``(ranks, dists)`` views of vertex ``v``'s entries."""
+        length = int(self.length[v])
+        return self.rank[v, :length], self.dist[v, :length]
+
+    def gather_best(self, verts, rank_dist):
+        """Batched pruning join: ``(best, lengths)`` for each vertex.
+
+        ``best[i] = min over entries (h, d) of verts[i] of rank_dist[h] + d``
+        (``INF_SENT`` when no finite term exists). One 2D gather over the
+        padded rows, sliced to the batch's longest row.
+        """
+        lengths = self.length[verts]
+        width = int(lengths.max()) if verts.size else 0
+        if width == 0:
+            return np.full(verts.size, INF_SENT, dtype=INT), lengths
+        sub_rank = self.rank[verts, :width]
+        sub_dist = self.dist[verts, :width]
+        best = (rank_dist[sub_rank] + sub_dist).min(axis=1)
+        return best, lengths
+
+
+def _rank_space_csr(graph, order_np, rank_of):
+    """Relabel the cached CSR by rank so vertex ``i`` is the rank-``i`` hub."""
+    indptr, indices = graph.csr()
+    n = order_np.size
+    degrees = indptr[1:] - indptr[:-1]
+    rdeg = degrees[order_np]
+    rindptr = np.zeros(n + 1, dtype=INT)
+    np.cumsum(rdeg, out=rindptr[1:])
+    gather = expand_ranges(indptr[order_np], rdeg)
+    rindices = rank_of[indices[gather]] if gather.size else np.empty(0, dtype=INT)
+    return rindptr, rindices
+
+
+def _scatter_add_counts(count, targets, values, n, exact_threshold):
+    """Exact int64 ``count[targets] += values`` with duplicate targets.
+
+    Dense levels route through ``np.bincount`` (float64 accumulation is
+    integer-exact while every addend — and hence every per-target sum of at
+    most ``max_degree`` addends — stays below 2^53); sparse levels and
+    large counts fall back to exact ``np.add.at``.
+    """
+    if targets.size > (n >> 3) and int(values.max()) <= exact_threshold:
+        accumulated = np.bincount(targets, weights=values, minlength=n)
+        count += accumulated.astype(INT)
+    else:
+        np.add.at(count, targets, values)
+
+
+def _finalize_flat(n, order_np, chunks):
+    """Stack the per-push emission chunks into a rank-sorted FlatLabels.
+
+    ``chunks`` holds ``(rank, verts, dists, counts, canonical)`` with verts
+    in rank space. Entries are grouped by push, so one stable argsort on
+    the original vertex id produces CSR rows whose rank column is strictly
+    increasing — exactly the layout ``FlatLabels.from_label_set`` builds.
+    """
+    order_out = order_np.copy()
+    if not chunks:
+        empty = np.empty(0, dtype=INT)
+        return FlatLabels(
+            n, np.zeros(n + 1, dtype=INT), empty, empty.copy(), empty.copy(),
+            empty.copy(), np.empty(0, dtype=np.bool_), order_out,
+        )
+    sizes = np.fromiter((chunk[1].size for chunk in chunks), INT, count=len(chunks))
+    ranks = np.repeat(
+        np.fromiter((chunk[0] for chunk in chunks), INT, count=len(chunks)), sizes
+    )
+    verts = np.concatenate([chunk[1] for chunk in chunks])
+    dists = np.concatenate([chunk[2] for chunk in chunks])
+    counts = np.concatenate([chunk[3] for chunk in chunks])
+    flags = np.repeat(
+        np.fromiter((chunk[4] for chunk in chunks), np.bool_, count=len(chunks)), sizes
+    )
+    vert_orig = order_np[verts]
+    hubs = order_np[ranks]
+    perm = np.argsort(vert_orig, kind="stable")
+    indptr = np.zeros(n + 1, dtype=INT)
+    np.cumsum(np.bincount(vert_orig, minlength=n), out=indptr[1:])
+    return FlatLabels(
+        n, indptr, ranks[perm], hubs[perm], dists[perm], counts[perm],
+        flags[perm], order_out,
+    )
+
+
+def build_flat_labels_csr(
+    graph,
+    ordering="degree",
+    multiplicity=None,
+    skip=None,
+    prune=True,
+    stats=None,
+):
+    """Run HP-SPC with numpy kernels; returns a finalized :class:`FlatLabels`.
+
+    Accepts the same knobs as :func:`repro.core.hp_spc.build_labels`
+    (``multiplicity`` for the §4.2 equivalence reduction, ``skip`` for the
+    §4.3 independent-set reduction, ``prune=False`` for PL-SPC-style
+    labels, ``stats`` for construction counters) and produces bit-identical
+    labels — same entries, same canonical/non-canonical split, same
+    ``BuildStats`` counters. The ordering must be static (adaptive
+    strategies raise :class:`~repro.exceptions.OrderingError`); counts are
+    int64 and guarded against overflow (:class:`LabelingError` advises the
+    Python engine when tripped).
+    """
+    n = graph.n
+    order = resolve_static_order(graph, ordering)
+    order_np = np.asarray(order, dtype=INT) if n else np.empty(0, dtype=INT)
+
+    rmult = None
+    max_mult = 1
+    if multiplicity is not None:
+        mult = np.asarray(list(multiplicity), dtype=INT)
+        if mult.shape != (n,):
+            raise ValueError("multiplicity must have one entry per vertex")
+        rmult = mult[order_np]
+        max_mult = int(rmult.max()) if n else 1
+    rskip = None
+    if skip is not None:
+        skip_arr = np.asarray(list(skip), dtype=np.bool_)
+        if skip_arr.shape != (n,):
+            raise ValueError("skip must have one entry per vertex")
+        if skip_arr.any():
+            rskip = skip_arr[order_np]
+
+    rank_of = np.empty(n, dtype=INT)
+    rank_of[order_np] = np.arange(n, dtype=INT)
+    rindptr, rindices = _rank_space_csr(graph, order_np, rank_of)
+    max_degree = int((rindptr[1:] - rindptr[:-1]).max()) if n else 0
+    threshold = count_guard_threshold(max_degree, max_mult)
+    if threshold < 1:
+        raise LabelingError(
+            "multiplicity too large for the int64 kernel guard; use the python engine"
+        )
+    exact_threshold = int(_FLOAT_EXACT) // (max_degree + 1)
+
+    dist = np.full(n, -1, dtype=INT)
+    count = np.zeros(n, dtype=INT)
+    rows = _CanonicalRows(n) if prune else None
+    rank_dist = np.full(n + 2, INF_SENT, dtype=INT) if prune else None
+    chunks = []  # (rank, verts, dists, counts, canonical) in rank space
+    one = np.ones(1, dtype=INT)
+
+    for r in range(n):
+        if prune:
+            root_ranks, root_dists = rows.row(r)
+            if root_ranks.size:
+                rank_dist[root_ranks] = root_dists
+        if stats is not None:
+            stats.pushes += 1
+            stats.visits += 1
+        dist[r] = 0
+        count[r] = 1
+        root = np.array([r], dtype=INT)
+        if rskip is None or not rskip[r]:
+            # The root self-entry; like the scalar builder, it does not
+            # count toward stats.label_entries.
+            chunks.append((r, root, np.zeros(1, dtype=INT), one, True))
+        visited = [root]
+        frontier = root
+        depth = 0
+        while frontier.size:
+            starts = rindptr[frontier]
+            degrees = rindptr[frontier + 1] - starts
+            neighbors = rindices[expand_ranges(starts, degrees)]
+            fcount = count[frontier]
+            if rmult is not None and depth > 0:
+                # forwarded = count(v) * mult(v) for v != w (Lemma 4.4); the
+                # guard threshold already folds max_mult in, so no wrap here.
+                fcount = fcount * rmult[frontier]
+            forwarded = np.repeat(fcount, degrees)
+            keep = neighbors > r  # the rank restriction: stay inside G_w
+            neighbors = neighbors[keep]
+            forwarded = forwarded[keep]
+            open_mask = dist[neighbors] < 0
+            neighbors = neighbors[open_mask]
+            if neighbors.size == 0:
+                break
+            _scatter_add_counts(count, neighbors, forwarded[open_mask], n,
+                                exact_threshold)
+            new = np.unique(neighbors)
+            depth += 1
+            dist[new] = depth
+            visited.append(new)
+            if stats is not None:
+                stats.visits += new.size
+            if int(count[new].max()) > threshold:
+                raise LabelingError(
+                    "shortest-path count exceeds the int64 kernel guard; "
+                    "use the python engine for this graph"
+                )
+            if rskip is not None:
+                skip_mask = rskip[new]
+                skipped = new[skip_mask]
+                candidates = new[~skip_mask]
+            else:
+                skipped = None
+                candidates = new
+            if prune and candidates.size:
+                best, lengths = rows.gather_best(candidates, rank_dist)
+                if stats is not None:
+                    stats.join_terms += int(lengths.sum())
+                pruned = best < depth
+                emit_can = candidates[best > depth]
+                emit_non = candidates[best == depth]
+                survivors = candidates[~pruned]
+                if stats is not None:
+                    stats.prunes += int(pruned.sum())
+            else:
+                emit_can = candidates
+                emit_non = candidates[:0]
+                survivors = candidates
+            if emit_can.size:
+                chunks.append((r, emit_can, np.full(emit_can.size, depth, dtype=INT),
+                               count[emit_can], True))
+                if prune:
+                    rows.append(emit_can, r, depth)
+            if emit_non.size:
+                chunks.append((r, emit_non, np.full(emit_non.size, depth, dtype=INT),
+                               count[emit_non], False))
+            if stats is not None:
+                stats.label_entries += emit_can.size + emit_non.size
+            frontier = survivors if skipped is None else np.concatenate(
+                (skipped, survivors)
+            )
+        for touched in visited:
+            dist[touched] = -1
+            count[touched] = 0
+        if prune and root_ranks.size:
+            rank_dist[root_ranks] = INF_SENT
+
+    return _finalize_flat(n, order_np, chunks)
+
+
+def push_block_csr(rindptr, rindices, block_ranks):
+    """Phase-1 candidate generation for one worker block (rank space).
+
+    The vectorized counterpart of the deque loop in
+    :mod:`repro.parallel.builder`: for each root rank in ``block_ranks``
+    (increasing), run the rank-restricted sweep pruning against
+    *block-local* candidate labels only, and collect every surviving
+    ``(vertex, dist, count)``. Returns a list of
+    ``(rank, verts, dists, counts, visits)`` with arrays in rank space.
+    """
+    n = rindptr.size - 1
+    rows = _CanonicalRows(n)
+    rank_dist = np.full(n + 2, INF_SENT, dtype=INT)
+    dist = np.full(n, -1, dtype=INT)
+    count = np.zeros(n, dtype=INT)
+    max_degree = int((rindptr[1:] - rindptr[:-1]).max()) if n else 0
+    threshold = count_guard_threshold(max_degree)
+    exact_threshold = int(_FLOAT_EXACT) // (max_degree + 1)
+    out = []
+    empty = np.empty(0, dtype=INT)
+
+    for r in block_ranks:
+        root_ranks, root_dists = rows.row(r)
+        if root_ranks.size:
+            rank_dist[root_ranks] = root_dists
+        dist[r] = 0
+        count[r] = 1
+        root = np.array([r], dtype=INT)
+        visited = [root]
+        frontier = root
+        cand_verts, cand_dists, cand_counts = [], [], []
+        visits = 1
+        depth = 0
+        while frontier.size:
+            starts = rindptr[frontier]
+            degrees = rindptr[frontier + 1] - starts
+            neighbors = rindices[expand_ranges(starts, degrees)]
+            forwarded = np.repeat(count[frontier], degrees)
+            keep = neighbors > r
+            neighbors = neighbors[keep]
+            forwarded = forwarded[keep]
+            open_mask = dist[neighbors] < 0
+            neighbors = neighbors[open_mask]
+            if neighbors.size == 0:
+                break
+            _scatter_add_counts(count, neighbors, forwarded[open_mask], n,
+                                exact_threshold)
+            new = np.unique(neighbors)
+            depth += 1
+            dist[new] = depth
+            visited.append(new)
+            visits += new.size
+            if int(count[new].max()) > threshold:
+                raise LabelingError(
+                    "shortest-path count exceeds the int64 kernel guard; "
+                    "use the python engine for this graph"
+                )
+            best, _ = rows.gather_best(new, rank_dist)
+            kept = new[best >= depth]  # a block-local prune is always sound
+            if kept.size:
+                cand_verts.append(kept)
+                cand_dists.append(np.full(kept.size, depth, dtype=INT))
+                cand_counts.append(count[kept])
+                rows.append(kept, r, depth)  # every candidate joins later pruning
+            frontier = kept
+        for touched in visited:
+            dist[touched] = -1
+            count[touched] = 0
+        if root_ranks.size:
+            rank_dist[root_ranks] = INF_SENT
+        out.append((
+            r,
+            np.concatenate(cand_verts) if cand_verts else empty,
+            np.concatenate(cand_dists) if cand_dists else empty,
+            np.concatenate(cand_counts) if cand_counts else empty,
+            visits,
+        ))
+    return out
+
+
+def merge_candidates_csr(n, order_np, candidates_by_rank, stats=None):
+    """Phase-2: replay the pruning joins in rank order, vectorized per push.
+
+    ``candidates_by_rank[r]`` is ``(verts, dists, counts)`` in rank space
+    (any order within a push — the stable finalize sorts rows by vertex).
+    One batched join classifies a whole push's candidates at once; appends
+    happen in the same rank order as the scalar merge, so the result is
+    entry-for-entry identical. Returns a :class:`FlatLabels`.
+    """
+    rows = _CanonicalRows(n)
+    rank_dist = np.full(n + 2, INF_SENT, dtype=INT)
+    chunks = []
+    zero = np.zeros(1, dtype=INT)
+    one = np.ones(1, dtype=INT)
+    for r in range(n):
+        if stats is not None:
+            stats.pushes += 1
+        root_ranks, root_dists = rows.row(r)
+        if root_ranks.size:
+            rank_dist[root_ranks] = root_dists
+        chunks.append((r, np.array([r], dtype=INT), zero, one, True))
+        if stats is not None:
+            stats.label_entries += 1  # the scalar merge counts the self-entry
+        verts, dists, counts = candidates_by_rank[r]
+        if verts.size:
+            best, lengths = rows.gather_best(verts, rank_dist)
+            if stats is not None:
+                stats.join_terms += int(lengths.sum())
+            canonical_mask = best > dists
+            noncanonical_mask = best == dists
+            emit_can = verts[canonical_mask]
+            emit_non = verts[noncanonical_mask]
+            if stats is not None:
+                stats.prunes += int((best < dists).sum())
+                stats.label_entries += emit_can.size + emit_non.size
+            if emit_can.size:
+                can_dists = dists[canonical_mask]
+                chunks.append((r, emit_can, can_dists, counts[canonical_mask], True))
+                rows.append(emit_can, r, can_dists)
+            if emit_non.size:
+                chunks.append((r, emit_non, dists[noncanonical_mask],
+                               counts[noncanonical_mask], False))
+        if root_ranks.size:
+            rank_dist[root_ranks] = INF_SENT
+    return _finalize_flat(n, order_np, chunks)

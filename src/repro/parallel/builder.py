@@ -36,8 +36,7 @@ import multiprocessing
 from collections import deque
 
 from repro.core.labels import LabelSet
-from repro.core.ordering import resolve_ordering
-from repro.exceptions import OrderingError
+from repro.core.ordering import resolve_static_order  # noqa: F401  (re-export)
 
 INF = float("inf")
 
@@ -46,38 +45,21 @@ INF = float("inf")
 _WORKER = {}
 
 
-def resolve_static_order(graph, ordering="degree"):
-    """Materialize a full static order (rank -> vertex) for ``ordering``.
-
-    Drives the strategy without push trees, so any tree-free strategy
-    (degree, betweenness, explicit lists) works; adaptive strategies raise
-    :class:`OrderingError`.
-    """
-    strategy = resolve_ordering(ordering)
-    if strategy.wants_tree:
-        raise OrderingError(
-            "parallel construction needs a static ordering; "
-            "adaptive (tree-driven) strategies must use the sequential builder"
-        )
-    n = graph.n
-    pushed = [False] * n
-    order = []
-    w = strategy.first_vertex(graph) if n else None
-    while w is not None:
-        if pushed[w]:
-            raise OrderingError(f"ordering strategy returned vertex {w} twice")
-        order.append(w)
-        pushed[w] = True
-        w = strategy.next_vertex(graph, pushed, None)
-    if len(order) != n:
-        missing = [v for v in range(n) if not pushed[v]]
-        raise OrderingError(f"ordering did not cover all vertices; missing {missing[:5]}")
-    return order
-
-
 def _init_worker(adjacency, rank_of):
     _WORKER["adj"] = adjacency
     _WORKER["rank_of"] = rank_of
+
+
+def _init_worker_csr(rindptr, rindices):
+    _WORKER["rindptr"] = rindptr
+    _WORKER["rindices"] = rindices
+
+
+def _push_block_csr(block_ranks):
+    """Phase 1 on the numpy kernels: candidates for one block, rank space."""
+    from repro.kernels.hub_push import push_block_csr
+
+    return push_block_csr(_WORKER["rindptr"], _WORKER["rindices"], block_ranks)
 
 
 def _push_block(block):
@@ -184,9 +166,16 @@ def _merge_candidates(n, order, candidates_by_rank, stats=None):
     return labels
 
 
-def build_labels_parallel(graph, workers=None, ordering="degree", stats=None):
+def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
+                          engine="csr"):
     """Run HP-SPC with ``workers`` processes; result is bit-identical to
     :func:`repro.core.hp_spc.build_labels` under the same (static) ordering.
+
+    ``engine`` picks the per-worker BFS implementation: ``"csr"`` (default)
+    runs the vectorized :func:`repro.kernels.hub_push.push_block_csr` sweep
+    over the shared rank-space CSR and classifies with the batched
+    :func:`repro.kernels.hub_push.merge_candidates_csr` replay; ``"python"``
+    keeps the original deque workers (arbitrary-precision counts).
 
     ``stats`` (a :class:`~repro.core.hp_spc.BuildStats`) is filled with the
     merge-phase counters plus the workers' BFS pop totals; ``visits`` and
@@ -198,13 +187,49 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None):
     """
     from repro.core.hp_spc import build_labels
 
+    if engine not in ("python", "csr"):
+        raise ValueError(f"unknown construction engine {engine!r}; "
+                         "expected 'python' or 'csr'")
     n = graph.n
     if workers is None:
         workers = multiprocessing.cpu_count()
     workers = max(1, min(int(workers), max(1, n)))
     order = resolve_static_order(graph, ordering)
     if workers == 1 or n < 4:
-        return build_labels(graph, ordering=list(order), stats=stats)
+        return build_labels(graph, ordering=list(order), stats=stats,
+                            engine=engine)
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+
+    if engine == "csr":
+        import numpy as np
+
+        from repro.kernels.hub_push import _rank_space_csr, merge_candidates_csr
+
+        order_np = np.asarray(order, dtype=np.int64)
+        rank_of_np = np.empty(n, dtype=np.int64)
+        rank_of_np[order_np] = np.arange(n, dtype=np.int64)
+        rindptr, rindices = _rank_space_csr(graph, order_np, rank_of_np)
+        blocks = [list(range(k, n, workers)) for k in range(workers)]
+        with context.Pool(
+            processes=workers,
+            initializer=_init_worker_csr,
+            initargs=(rindptr, rindices),
+        ) as pool:
+            results = pool.map(_push_block_csr, blocks)
+        candidates_by_rank = [None] * n
+        visits = 0
+        for block_result in results:
+            for rank, verts, dists, counts, block_visits in block_result:
+                candidates_by_rank[rank] = (verts, dists, counts)
+                visits += block_visits
+        flat = merge_candidates_csr(n, order_np, candidates_by_rank, stats=stats)
+        if stats is not None:
+            stats.visits += visits
+        return flat.to_label_set()
 
     rank_of = [0] * n
     for rank, v in enumerate(order):
@@ -216,10 +241,6 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None):
         [(rank, w) for rank, w in enumerate(order) if rank % workers == k]
         for k in range(workers)
     ]
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
     with context.Pool(
         processes=workers,
         initializer=_init_worker,

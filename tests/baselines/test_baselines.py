@@ -31,6 +31,23 @@ class TestBFSCountingOracle:
         assert oracle.count(0, 3) == 2
         assert oracle.distance(0, 3) == 3
 
+    def test_csr_engine_exact(self):
+        g = gnp_random_graph(20, 0.2, seed=1)
+        assert_oracle_exact(BFSCountingOracle(g, engine="csr"), g)
+
+    def test_csr_engine_agrees_with_python(self):
+        g = barabasi_albert_graph(40, 2, seed=9)
+        python_oracle = BFSCountingOracle(g)
+        csr_oracle = BFSCountingOracle(g, engine="csr")
+        for s in range(0, g.n, 3):
+            for t in range(0, g.n, 3):
+                assert csr_oracle.count_with_distance(s, t) \
+                    == python_oracle.count_with_distance(s, t)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            BFSCountingOracle(path_graph(3), engine="simd")
+
 
 class TestAllPairs:
     def test_matches_per_pair_bfs(self):
@@ -53,6 +70,15 @@ class TestAllPairs:
             for t in range(g.n):
                 assert dist[s][t] == dist[t][s]
                 assert count[s][t] == count[t][s]
+
+    def test_csr_engine_matches_python(self):
+        # Disconnected graph: the -1 -> inf conversion must round-trip too.
+        g = gnp_random_graph(25, 0.08, seed=4)
+        assert spc_all_pairs(g, engine="csr") == spc_all_pairs(g)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            spc_all_pairs(path_graph(3), engine="simd")
 
 
 class TestBidirectional:

@@ -2,10 +2,20 @@
 
 import pytest
 
-from repro.bench.harness import format_table, markdown_table, time_queries
+from repro.bench.harness import (
+    QueryTiming,
+    compare_builders,
+    compare_engines,
+    format_table,
+    markdown_table,
+    time_batched_queries,
+    time_construction,
+    time_queries,
+)
 from repro.bench.workloads import group_workload, query_workload
 from repro.core.index import SPCIndex
 from repro.generators.classic import cycle_graph
+from repro.generators.random_graphs import watts_strogatz_graph
 
 
 class TestHarness:
@@ -15,10 +25,56 @@ class TestHarness:
         assert avg > 0
         assert total == 6
 
+    def test_time_queries_percentiles(self):
+        index = SPCIndex.build(cycle_graph(12))
+        timing = time_queries(index, [(0, 3), (1, 7), (2, 9)], repeat=4)
+        assert isinstance(timing, QueryTiming)
+        assert timing.repeats == 4
+        assert 0 < timing.p50_seconds <= timing.p95_seconds
+        assert timing.best_run_seconds > 0
+        assert set(timing.as_dict()) == set(QueryTiming.__slots__)
+
+    def test_time_batched_queries_legacy_unpack(self):
+        index = SPCIndex.build(cycle_graph(12))
+        timing = time_batched_queries(index.to_flat(), [(0, 3), (1, 7)], repeat=3)
+        avg, total = timing
+        assert avg == timing.seconds_per_query > 0
+        assert total == 6
+
     def test_time_queries_rejects_empty(self):
         index = SPCIndex.build(cycle_graph(4))
         with pytest.raises(ValueError):
             time_queries(index, [])
+
+    def test_compare_engines_reports_percentiles(self):
+        index = SPCIndex.build(cycle_graph(16))
+        result = compare_engines(index, [(0, 5), (2, 9)], repeat=2)
+        assert result["queries"] == 4
+        assert result["python_p95_us"] >= 0
+        assert result["flat_p95_us"] >= 0
+        assert result["speedup"] > 0
+
+    def test_time_construction_records_stats(self):
+        graph = watts_strogatz_graph(30, 4, 0.1, seed=3)
+        result = time_construction(graph, engine="csr", repeat=2)
+        assert result["engine"] == "csr"
+        assert result["repeats"] == 2
+        assert result["seconds"] > 0
+        assert result["entries"] > 0
+        assert result["build_stats"]["pushes"] == graph.n
+
+    def test_compare_builders_identical(self):
+        graph = watts_strogatz_graph(30, 4, 0.1, seed=3)
+        result = compare_builders(graph)
+        assert set(result["engines"]) == {"python", "csr"}
+        assert result["identical"] is True
+        assert result["speedup"] > 0
+        python_entries = result["engines"]["python"]["entries"]
+        assert python_entries == result["engines"]["csr"]["entries"]
+
+    def test_compare_builders_validates_engines(self):
+        with pytest.raises(ValueError):
+            compare_builders(cycle_graph(6), engines=())
 
     def test_format_table(self):
         rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}]

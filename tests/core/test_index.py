@@ -54,6 +54,40 @@ class TestSPCIndex:
         assert index.distance(0, 2) == 2
 
 
+class TestCSREngine:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return gnp_random_graph(30, 0.12, seed=13)
+
+    def test_exact(self, graph):
+        assert_oracle_exact(SPCIndex.build(graph, engine="csr"), graph)
+
+    def test_identical_to_python_engine(self, graph):
+        python_index = SPCIndex.build(graph)
+        csr_index = SPCIndex.build(graph, engine="csr")
+        assert csr_index.order == python_index.order
+        assert csr_index.to_flat().equals(python_index.to_flat())
+
+    def test_flat_is_primary_and_thaw_is_lazy(self, graph):
+        index = SPCIndex.build(graph, engine="csr")
+        assert index._labels is None  # no LabelSet until a scalar query needs it
+        assert index.total_entries() > 0  # introspection stays on the flat store
+        assert index.order is not None
+        assert index._labels is None
+        d, c = index.count_with_distance(0, 1)  # scalar query thaws
+        assert index._labels is not None
+        assert (d, c) == index.count_many([(0, 1)])[0]
+
+    def test_build_stats_collected(self, graph):
+        index = SPCIndex.build(graph, engine="csr", collect_stats=True)
+        reference = SPCIndex.build(graph, collect_stats=True)
+        assert index.build_stats.as_dict() == reference.build_stats.as_dict()
+
+    def test_unknown_engine_rejected(self, graph):
+        with pytest.raises(ValueError):
+            SPCIndex.build(graph, engine="simd")
+
+
 class TestBuildIndexFacade:
     def test_no_reductions_returns_plain(self):
         from repro import build_index

@@ -1,0 +1,86 @@
+"""The cached CSR view and the bisect-based edge membership test."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError, VertexError
+from repro.generators.random_graphs import barabasi_albert_graph, gnp_random_graph
+from repro.graph.graph import Graph
+
+
+class TestCSRView:
+    def test_matches_adjacency(self):
+        graph = gnp_random_graph(40, 0.1, seed=6)
+        indptr, indices = graph.csr()
+        assert indptr.dtype == np.int64 and indices.dtype == np.int64
+        assert indptr.shape == (graph.n + 1,)
+        assert int(indptr[-1]) == 2 * graph.m
+        for v in graph.vertices():
+            row = indices[indptr[v]:indptr[v + 1]].tolist()
+            assert tuple(row) == graph.neighbors(v)
+
+    def test_rows_are_sorted(self):
+        graph = barabasi_albert_graph(50, 3, seed=1)
+        indptr, indices = graph.csr()
+        for v in graph.vertices():
+            row = indices[indptr[v]:indptr[v + 1]]
+            assert np.all(row[1:] > row[:-1])
+
+    def test_cached_and_shared(self):
+        graph = gnp_random_graph(20, 0.2, seed=2)
+        first = graph.csr()
+        second = graph.csr()
+        assert first[0] is second[0] and first[1] is second[1]
+
+    def test_read_only(self):
+        graph = gnp_random_graph(15, 0.2, seed=3)
+        indptr, indices = graph.csr()
+        with pytest.raises(ValueError):
+            indptr[0] = 99
+        with pytest.raises(ValueError):
+            indices[0] = 99
+
+    def test_edgeless_and_empty(self):
+        indptr, indices = Graph.from_edges(5, []).csr()
+        assert indptr.tolist() == [0] * 6
+        assert indices.size == 0
+        indptr, indices = Graph.from_edges(0, []).csr()
+        assert indptr.tolist() == [0]
+
+
+class TestHasEdge:
+    def test_agrees_with_adjacency(self):
+        graph = gnp_random_graph(30, 0.15, seed=4)
+        present = set(graph.edges())
+        for u in graph.vertices():
+            for v in graph.vertices():
+                expected = (min(u, v), max(u, v)) in present and u != v
+                assert graph.has_edge(u, v) is expected
+
+    def test_validates_vertices(self):
+        graph = Graph.from_edges(3, [(0, 1)])
+        with pytest.raises(VertexError):
+            graph.has_edge(0, 3)
+        with pytest.raises(VertexError):
+            graph.has_edge(-1, 0)
+
+
+class TestFromEdgesDedup:
+    """Regression: has_edge's bisect relies on sorted, duplicate-free rows."""
+
+    def test_duplicates_merged(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 0), (0, 1), (2, 3)])
+        assert graph.m == 2
+        assert graph.neighbors(0) == (1,)
+        assert graph.neighbors(1) == (0,)
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+    def test_duplicates_rejected_when_strict(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(3, [(0, 1), (1, 0)], dedup=False)
+
+    def test_rows_stay_sorted_under_unsorted_input(self):
+        graph = Graph.from_edges(6, [(5, 0), (3, 0), (0, 1), (4, 0), (0, 2)])
+        assert graph.neighbors(0) == (1, 2, 3, 4, 5)
+        assert all(graph.has_edge(0, v) for v in (1, 2, 3, 4, 5))
+        assert not graph.has_edge(1, 2)

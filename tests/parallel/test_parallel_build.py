@@ -36,11 +36,26 @@ def assert_identical(a, b):
 
 @pytest.mark.parametrize("name,make", GRAPHS, ids=[name for name, _ in GRAPHS])
 @pytest.mark.parametrize("workers", [2, 4])
-def test_parallel_identical_to_sequential(name, make, workers):
+@pytest.mark.parametrize("engine", ["python", "csr"])
+def test_parallel_identical_to_sequential(name, make, workers, engine):
     graph = make()
     sequential = build_labels(graph)
-    parallel = build_labels_parallel(graph, workers=workers)
+    parallel = build_labels_parallel(graph, workers=workers, engine=engine)
     assert_identical(sequential, parallel)
+
+
+def test_parallel_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        build_labels_parallel(grid_graph(3, 3), workers=2, engine="simd")
+
+
+def test_parallel_engines_agree_on_stats():
+    graph = barabasi_albert_graph(60, 2, seed=6)
+    python_stats, csr_stats = BuildStats(), BuildStats()
+    a = build_labels_parallel(graph, workers=3, stats=python_stats, engine="python")
+    b = build_labels_parallel(graph, workers=3, stats=csr_stats, engine="csr")
+    assert_identical(a, b)
+    assert python_stats.as_dict() == csr_stats.as_dict()
 
 
 def test_single_worker_falls_back_to_sequential():

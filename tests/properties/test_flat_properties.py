@@ -118,3 +118,20 @@ def test_parallel_build_identical_on_random_graphs(graph_and_order, workers):
     for v in range(graph.n):
         assert sequential.canonical(v) == parallel.canonical(v)
         assert sequential.noncanonical(v) == parallel.noncanonical(v)
+
+
+@given(graphs_with_orders())
+@settings(**SETTINGS)
+def test_csr_engine_bit_identical_on_random_graphs(graph_and_order):
+    graph, order = graph_and_order
+    python_labels = build_labels(graph, ordering=order)
+    csr_labels = build_labels(graph, ordering=order, engine="csr")
+    assert python_labels.order == csr_labels.order
+    for v in range(graph.n):
+        assert python_labels.canonical(v) == csr_labels.canonical(v)
+        assert python_labels.noncanonical(v) == csr_labels.noncanonical(v)
+    # The kernel's native flat output round-trips exactly too.
+    from repro.kernels.hub_push import build_flat_labels_csr
+
+    flat = build_flat_labels_csr(graph, ordering=order)
+    assert flat.equals(FlatLabels.from_label_set(python_labels))

@@ -49,6 +49,23 @@ class TestBuildQueryRoundtrip:
         index_path = str(tmp_path / "g.idx")
         assert main(["build", path, index_path, "--ordering", "significant-path"]) == 0
 
+    def test_build_csr_engine_identical_index(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        python_path = str(tmp_path / "python.idx")
+        csr_path = str(tmp_path / "csr.idx")
+        assert main(["build", path, python_path]) == 0
+        assert main(["build", path, csr_path, "--engine", "csr"]) == 0
+        assert "engine: csr" in capsys.readouterr().out
+        with open(python_path, "rb") as a, open(csr_path, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_build_csr_rejects_adaptive_ordering(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        index_path = str(tmp_path / "g.idx")
+        assert main(["build", path, index_path, "--engine", "csr",
+                     "--ordering", "significant-path"]) == 1
+        assert "error" in capsys.readouterr().err
+
     def test_query_random(self, graph_file, tmp_path, capsys):
         path, _ = graph_file
         index_path = str(tmp_path / "g.idx")
@@ -85,6 +102,13 @@ class TestStatsVerifyBench:
         graph_path, index_path = built
         assert main(["verify", index_path, graph_path, "--samples", "100"]) == 0
         assert "ok" in capsys.readouterr().out
+
+    def test_bench_repeat_reports_percentiles(self, built, capsys):
+        _, index_path = built
+        assert main(["bench", index_path, "--queries", "30", "--repeat", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "p95" in out
+        assert "90 queries" in out
 
     def test_verify_wrong_graph(self, built, tmp_path, capsys):
         _, index_path = built

@@ -1,5 +1,7 @@
-"""Tests for repository tooling (the API doc generator)."""
+"""Tests for repository tooling (doc generator, CI smoke gates)."""
 
+import json
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -44,3 +46,39 @@ class TestGenApiDocs:
         )
         assert result.returncode == 0
         assert "# API reference" in result.stdout
+
+
+class TestConstructionSmoke:
+    def test_writes_report_and_gates_on_identity(self, tmp_path):
+        output = tmp_path / "BENCH_construction.json"
+        env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "ci_construction_smoke.py"),
+             "--vertices", "400", "--min-speedup", "0",
+             "--output", str(output)],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads(output.read_text())
+        assert report["identical"] is True
+        assert report["python_build_stats"] == report["csr_build_stats"]
+        assert report["python_build_stats"]["pushes"] == 400
+        assert report["csr_seconds"] > 0 and report["python_seconds"] > 0
+
+    def test_fails_below_speedup_floor(self, tmp_path):
+        output = tmp_path / "BENCH_construction.json"
+        env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "ci_construction_smoke.py"),
+             "--vertices", "200", "--min-speedup", "1e9",
+             "--output", str(output)],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+            env=env,
+        )
+        assert result.returncode == 1
+        assert "FAIL" in result.stderr

@@ -43,7 +43,7 @@ def main(argv=None):
     graph = barabasi_albert_graph(args.vertices, args.attach, seed=args.seed)
     print(f"graph: barabasi_albert(n={graph.n}, m={graph.m})")
     started = time.perf_counter()
-    index = SPCIndex.build(graph, workers=args.workers)
+    index = SPCIndex.build(graph, workers=args.workers, collect_stats=True)
     build_seconds = time.perf_counter() - started
     print(f"build: {build_seconds:.1f}s, {index.total_entries()} entries "
           f"({args.workers} worker(s))")
@@ -63,6 +63,7 @@ def main(argv=None):
                   "attach": args.attach, "seed": args.seed},
         "build_seconds": round(build_seconds, 3),
         "build_workers": args.workers,
+        "build_stats": index.build_stats.as_dict(),
         "label_entries": index.total_entries(),
         "freeze_seconds": round(freeze_seconds, 3),
         "queries": result["queries"],

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""CI construction smoke: the csr engine must beat python and agree bit-for-bit.
+
+Builds the same generated Barabási–Albert graph with both construction
+engines (:func:`repro.bench.harness.compare_builders`), checks the two
+labelings are entry-for-entry identical, writes the timings plus both
+engines' :class:`~repro.core.hp_spc.BuildStats` counters to
+``BENCH_construction.json``, and exits non-zero when the csr engine is
+not at least ``--min-speedup`` times faster than python (default 1.0:
+csr must not lose) or when the labelings differ.
+
+Run from the repository root:
+
+    PYTHONPATH=src python tools/ci_construction_smoke.py --vertices 4000
+"""
+
+import argparse
+import json
+import platform
+import sys
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=10000,
+                        help="graph size (default 10000)")
+    parser.add_argument("--attach", type=int, default=3,
+                        help="Barabási–Albert attachment degree (default 3)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--ordering", default="degree")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="builds per engine; the best is reported (default 1)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="fail below this python/csr speedup (default 1.0)")
+    parser.add_argument("--output", default="BENCH_construction.json")
+    args = parser.parse_args(argv)
+
+    from repro.bench.harness import compare_builders
+    from repro.generators.random_graphs import barabasi_albert_graph
+
+    graph = barabasi_albert_graph(args.vertices, args.attach, seed=args.seed)
+    print(f"graph: barabasi_albert(n={graph.n}, m={graph.m})")
+
+    comparison = compare_builders(graph, engines=("python", "csr"),
+                                  ordering=args.ordering, repeat=args.repeat)
+    python_result = comparison["engines"]["python"]
+    csr_result = comparison["engines"]["csr"]
+    print(f"python engine: {python_result['seconds']:.2f}s, "
+          f"{python_result['entries']} entries")
+    print(f"csr engine   : {csr_result['seconds']:.2f}s, "
+          f"{csr_result['entries']} entries")
+    print(f"speedup      : {comparison['speedup']:.2f}x "
+          f"(floor {args.min_speedup:.2f}x)")
+    print(f"identical    : {comparison['identical']}")
+
+    report = {
+        "graph": {"family": "barabasi_albert", "n": graph.n, "m": graph.m,
+                  "attach": args.attach, "seed": args.seed},
+        "ordering": args.ordering,
+        "repeat": args.repeat,
+        "python_seconds": round(python_result["seconds"], 3),
+        "csr_seconds": round(csr_result["seconds"], 3),
+        "speedup": round(comparison["speedup"], 3),
+        "identical": comparison["identical"],
+        "label_entries": csr_result["entries"],
+        "python_build_stats": python_result["build_stats"],
+        "csr_build_stats": csr_result["build_stats"],
+        "min_speedup": args.min_speedup,
+        "python_version": platform.python_version(),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    failed = False
+    if not comparison["identical"]:
+        print("FAIL: csr labeling is not entry-for-entry identical to python",
+              file=sys.stderr)
+        failed = True
+    if python_result["build_stats"] != csr_result["build_stats"]:
+        print("FAIL: construction counters differ between engines",
+              file=sys.stderr)
+        failed = True
+    if comparison["speedup"] < args.min_speedup:
+        print(f"FAIL: csr engine speedup {comparison['speedup']:.2f}x "
+              f"< floor {args.min_speedup:.2f}x", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

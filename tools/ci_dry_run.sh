@@ -6,7 +6,8 @@
 #               not installed) + the CHANGES.md non-empty gate
 #   tests       the tier-1 pytest suite with PYTHONPATH=src (current python
 #               only; CI runs the 3.10/3.11/3.12 matrix)
-#   bench-smoke tools/ci_bench_smoke.py at CI scale, writing BENCH_ci_smoke.json
+#   bench-smoke tools/ci_bench_smoke.py + tools/ci_construction_smoke.py at
+#               CI scale, writing BENCH_ci_smoke.json / BENCH_construction.json
 #
 # Usage: bash tools/ci_dry_run.sh [--skip-bench]
 
@@ -43,9 +44,12 @@ python -m pytest -x -q || failures=$((failures + 1))
 
 if [ "${1:-}" != "--skip-bench" ]; then
     step "bench-smoke"
-    # Scratch output: keep the committed 10k-vertex BENCH_ci_smoke.json intact.
+    # Scratch outputs: keep the committed 10k-vertex BENCH_*.json intact.
     python tools/ci_bench_smoke.py --vertices 4000 --queries 10000 \
         --output "${TMPDIR:-/tmp}/BENCH_ci_smoke.local.json" \
+        || failures=$((failures + 1))
+    python tools/ci_construction_smoke.py --vertices 4000 \
+        --output "${TMPDIR:-/tmp}/BENCH_construction.local.json" \
         || failures=$((failures + 1))
 fi
 
