@@ -9,11 +9,14 @@ Public API
 * :mod:`repro.graph` — graph substrate; :mod:`repro.generators` — inputs.
 * :mod:`repro.directed` — the weighted/directed extension (§7).
 * :mod:`repro.applications` — betweenness-style consumers (§1).
+* :class:`repro.resilience.ResilientSPCIndex` — fault-tolerant facade:
+  checksummed/fingerprinted index loads with graceful BFS fallback.
 """
 
 from repro.core.index import SPCIndex
 from repro.graph.digraph import WeightedDigraph
 from repro.graph.graph import Graph
+from repro.resilience import ResilientSPCIndex
 
 __version__ = "1.0.0"
 
@@ -64,4 +67,12 @@ def build_index(graph, ordering="degree", reductions=(), scheme="filtered", vari
     return ReducedSPCIndex.build(graph, ordering=ordering, reductions=reductions, scheme=scheme)
 
 
-__all__ = ["Graph", "WeightedDigraph", "SPCIndex", "build_index", "VARIANTS", "__version__"]
+__all__ = [
+    "Graph",
+    "WeightedDigraph",
+    "SPCIndex",
+    "ResilientSPCIndex",
+    "build_index",
+    "VARIANTS",
+    "__version__",
+]

@@ -51,30 +51,63 @@ def _cmd_info(args):
 
 
 def _cmd_build(args):
+    import contextlib
+    import os
+
     from repro.io.serialize import WIDE_BITS, save_labels
 
-    if args.weighted:
-        from repro.graph.io import read_weighted_edge_list
-        from repro.weighted.labeling import build_weighted_labels
+    if args.resume and args.weighted:
+        print("--resume is not supported for weighted builds", file=sys.stderr)
+        return 2
+    if args.resume and args.workers > 1:
+        print("--resume needs a sequential build (--workers 1); the parallel "
+              "builder retries failed tasks on its own", file=sys.stderr)
+        return 2
 
-        graph, _ = read_weighted_edge_list(args.graph)
-        print(f"building weighted HP-SPC over {graph.n} vertices / {graph.m} edges...")
-        started = time.perf_counter()
-        labels = build_weighted_labels(graph, ordering="degree")
-        elapsed = time.perf_counter() - started
-        # Weighted distances can exceed the 10-bit field: use the wide packing.
-        written = save_labels(labels, args.index, bits=WIDE_BITS, strict=args.strict)
-        entries = labels.total_entries()
-    else:
-        graph, _ = read_edge_list(args.graph)
-        parallel_note = f", workers: {args.workers}" if args.workers > 1 else ""
-        print(f"building HP-SPC over {graph.n} vertices / {graph.m} edges "
-              f"(ordering: {args.ordering}, engine: {args.engine}{parallel_note})...")
-        index = SPCIndex.build(graph, ordering=args.ordering, workers=args.workers,
-                               engine=args.engine)
-        written = save_index(index, args.index, strict=args.strict)
-        elapsed = index.build_seconds
-        entries = index.total_entries()
+    # On failure, never leave a partial/stale artifact behind — but only
+    # remove what *this* run created; a pre-existing index stays untouched
+    # (saves are atomic, so it is still the old consistent bytes).
+    preexisting = os.path.exists(args.index)
+    try:
+        if args.weighted:
+            from repro.graph.io import read_weighted_edge_list
+            from repro.weighted.labeling import build_weighted_labels
+
+            graph, _ = read_weighted_edge_list(args.graph)
+            print(f"building weighted HP-SPC over {graph.n} vertices / {graph.m} edges...")
+            started = time.perf_counter()
+            labels = build_weighted_labels(graph, ordering="degree")
+            elapsed = time.perf_counter() - started
+            # Weighted distances can exceed the 10-bit field: use the wide packing.
+            written = save_labels(labels, args.index, bits=WIDE_BITS, strict=args.strict)
+            entries = labels.total_entries()
+        else:
+            graph, _ = read_edge_list(args.graph)
+            checkpoint = None
+            if args.resume:
+                from repro.io.checkpoint import BuildCheckpoint
+
+                checkpoint = BuildCheckpoint(args.index + ".ckpt",
+                                             every=args.checkpoint_every)
+                if os.path.exists(checkpoint.path):
+                    print(f"resuming from checkpoint {checkpoint.path}")
+            parallel_note = f", workers: {args.workers}" if args.workers > 1 else ""
+            print(f"building HP-SPC over {graph.n} vertices / {graph.m} edges "
+                  f"(ordering: {args.ordering}, engine: {args.engine}{parallel_note})...")
+            index = SPCIndex.build(graph, ordering=args.ordering, workers=args.workers,
+                                   engine=args.engine, checkpoint=checkpoint)
+            written = save_index(index, args.index, strict=args.strict, graph=graph)
+            elapsed = index.build_seconds
+            entries = index.total_entries()
+    except BaseException:
+        # Covers ReproError, OSError, and hard interrupts (Ctrl-C) alike; a
+        # checkpoint file, if any, survives for a later --resume.
+        if not preexisting and os.path.exists(args.index):
+            with contextlib.suppress(OSError):
+                os.remove(args.index)
+            print(f"build failed: removed partial output {args.index}",
+                  file=sys.stderr)
+        raise
     print(f"built in {elapsed:.2f}s; {entries} entries; "
           f"wrote {written} bytes to {args.index}")
     return 0
@@ -179,6 +212,11 @@ def build_parser():
     p.add_argument("--engine", default="python", choices=["python", "csr"],
                    help="construction engine: scalar python or vectorized csr "
                         "kernels (static orderings, int64 counts)")
+    p.add_argument("--resume", action="store_true",
+                   help="checkpoint progress to INDEX.ckpt and resume from it "
+                        "if a previous build was interrupted (sequential only)")
+    p.add_argument("--checkpoint-every", type=int, default=200, metavar="K",
+                   help="with --resume: save a checkpoint every K hub pushes")
     p.set_defaults(func=_cmd_build)
 
     p = sub.add_parser("query", help="answer count queries from an index")

@@ -17,8 +17,26 @@ evaluation of the reductions stays on the tuple-based path.
 
 import numpy as np
 
+from repro.exceptions import VertexError
+
 INF = float("inf")
 INT = np.int64
+
+
+def _validate_ids(flat, vertices):
+    """Raise :class:`VertexError` naming the first id outside ``[0, n)``.
+
+    Batched queries index rank-space arrays directly; an out-of-range id
+    would otherwise surface as an opaque numpy ``IndexError`` (or, worse,
+    a negative id would silently wrap around and answer for the wrong
+    vertex).
+    """
+    if vertices.size == 0:
+        return
+    bad = (vertices < 0) | (vertices >= flat.n)
+    if bool(bad.any()):
+        offender = int(vertices[bad][0])
+        raise VertexError(offender, flat.n)
 
 
 def _gather_rows(flat, vertices):
@@ -50,6 +68,8 @@ def count_many_arrays(flat, sources, targets):
     targets = np.asarray(targets, dtype=INT)
     if sources.shape != targets.shape or sources.ndim != 1:
         raise ValueError("sources and targets must be 1-d arrays of equal length")
+    _validate_ids(flat, sources)
+    _validate_ids(flat, targets)
     pairs = len(sources)
     out_dist = np.full(pairs, INF)
     out_count = np.zeros(pairs, dtype=INT)
@@ -118,6 +138,7 @@ def single_source(flat, s):
     vectorized pass over *all* label entries plus two segmented reductions
     produce every target at once.
     """
+    _validate_ids(flat, np.asarray([s], dtype=INT))
     rank_s, _, dist_s, count_s = flat.row(s)
     hub_dist = np.full(flat.n, INF)
     hub_count = np.zeros(flat.n, dtype=INT)
@@ -156,6 +177,8 @@ def count_set_to_set(flat, sources, targets):
     """
     sources = np.asarray(list(sources), dtype=INT)
     targets = np.asarray(list(targets), dtype=INT)
+    _validate_ids(flat, sources)
+    _validate_ids(flat, targets)
     if sources.size == 0 or targets.size == 0:
         return INF, 0
 

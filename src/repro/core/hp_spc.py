@@ -34,9 +34,21 @@ INF = float("inf")
 
 
 class BuildStats:
-    """Construction counters used by the experiment harness."""
+    """Construction counters used by the experiment harness.
 
-    __slots__ = ("pushes", "visits", "prunes", "join_terms", "label_entries")
+    Beyond the paper's work counters, fault-tolerant builds record their
+    lifecycle here: ``checkpoint_saves`` / ``resumed_pushes`` for the
+    rank-watermark checkpoint layer, and ``worker_retries`` /
+    ``worker_timeouts`` / ``worker_failures`` / ``sequential_fallbacks``
+    for the supervised parallel builder.
+    """
+
+    __slots__ = (
+        "pushes", "visits", "prunes", "join_terms", "label_entries",
+        "checkpoint_saves", "resumed_pushes",
+        "worker_retries", "worker_timeouts", "worker_failures",
+        "sequential_fallbacks",
+    )
 
     def __init__(self):
         self.pushes = 0
@@ -44,6 +56,12 @@ class BuildStats:
         self.prunes = 0
         self.join_terms = 0
         self.label_entries = 0
+        self.checkpoint_saves = 0
+        self.resumed_pushes = 0
+        self.worker_retries = 0
+        self.worker_timeouts = 0
+        self.worker_failures = 0
+        self.sequential_fallbacks = 0
 
     def as_dict(self):
         return {name: getattr(self, name) for name in self.__slots__}
@@ -61,6 +79,7 @@ def build_labels(
     prune=True,
     stats=None,
     engine="python",
+    checkpoint=None,
 ):
     """Run HP-SPC and return a finalized :class:`LabelSet`.
 
@@ -87,6 +106,13 @@ def build_labels(
         :mod:`repro.kernels.hub_push`: static orderings only, int64 counts,
         typically ~10x faster). Both engines produce entry-for-entry
         identical labels and identical ``stats`` counters.
+    checkpoint:
+        Optional :class:`~repro.io.checkpoint.BuildCheckpoint`. Every
+        ``checkpoint.every`` completed pushes the partial labeling is
+        atomically persisted; if the checkpoint file already holds a prefix
+        of this build (same graph fingerprint, same order), construction
+        resumes past it and the result is entry-for-entry identical to an
+        uninterrupted build. Requires a static ordering.
     """
     if engine == "csr":
         from repro.kernels.hub_push import build_flat_labels_csr
@@ -98,6 +124,7 @@ def build_labels(
             skip=skip,
             prune=prune,
             stats=stats,
+            checkpoint=checkpoint,
         )
         return flat.to_label_set()
     if engine != "python":
@@ -106,9 +133,28 @@ def build_labels(
     n = graph.n
     adj = graph.adjacency
     strategy = resolve_ordering(ordering)
+    start_rank = 0
+    checkpoint_order = None
+    checkpoint_fp = None
+    if checkpoint is not None:
+        from repro.core.ordering import resolve_static_order
+        from repro.io.serialize import graph_fingerprint
+
+        checkpoint_order = list(resolve_static_order(graph, ordering))
+        checkpoint_fp = graph_fingerprint(graph)
+        strategy = resolve_ordering(checkpoint_order)
+        resume_state = checkpoint.load(graph=graph, order=checkpoint_order)
+        if resume_state is not None:
+            start_rank = resume_state.watermark
     labels = LabelSet(n)
     canonical = labels._canonical  # hot-path alias; LabelSet owns the lists
     noncanonical = labels._noncanonical
+    if start_rank:
+        for v in range(n):
+            canonical[v].extend(resume_state.canonical[v])
+            noncanonical[v].extend(resume_state.noncanonical[v])
+        if stats is not None:
+            stats.resumed_pushes += start_rank
 
     mult = list(multiplicity) if multiplicity is not None else None
     if mult is not None and len(mult) != n:
@@ -131,6 +177,10 @@ def build_labels(
         rank = len(order)
         order.append(w)
         pushed[w] = True
+        if rank < start_rank:
+            # Resumed build: this push's effects are already in the labels.
+            w = strategy.next_vertex(graph, pushed, None)
+            continue
         if stats is not None:
             stats.pushes += 1
 
@@ -199,6 +249,12 @@ def build_labels(
         for hub in touched_hubs:
             hub_dist[hub] = INF
 
+        if checkpoint is not None and checkpoint.should_save(rank + 1, n):
+            checkpoint.save(checkpoint_order, rank + 1, canonical, noncanonical,
+                            fingerprint=checkpoint_fp)
+            if stats is not None:
+                stats.checkpoint_saves += 1
+
         tree = PushTree(w, visited, parent) if want_tree else None
         w = strategy.next_vertex(graph, pushed, tree)
 
@@ -208,4 +264,6 @@ def build_labels(
 
     labels.set_order(order)
     labels.finalize()
+    if checkpoint is not None:
+        checkpoint.discard()
     return labels

@@ -37,7 +37,7 @@ class SPCIndex:
 
     @classmethod
     def build(cls, graph, ordering="degree", collect_stats=False, workers=1,
-              engine="python"):
+              engine="python", checkpoint=None):
         """Run HP-SPC on ``graph`` under ``ordering`` and wrap the labels.
 
         ``workers > 1`` partitions the hub pushes across that many
@@ -48,6 +48,11 @@ class SPCIndex:
         the tuple-based :class:`LabelSet` is thawed lazily on first use of
         a python-engine query. Every combination produces bit-identical
         labels under the same static ordering.
+
+        ``checkpoint`` (a :class:`~repro.io.checkpoint.BuildCheckpoint`)
+        periodically persists rank-watermark progress and resumes an
+        interrupted build from it; sequential engines only — the parallel
+        builder has its own retry/fallback supervision.
         """
         import time
 
@@ -55,6 +60,11 @@ class SPCIndex:
         started = time.perf_counter()
         flat = None
         if workers is None or workers > 1:
+            if checkpoint is not None:
+                raise ValueError(
+                    "checkpoint resume is only supported for sequential builds "
+                    "(workers=1); the parallel builder supervises its own tasks"
+                )
             from repro.parallel import build_labels_parallel
 
             labels = build_labels_parallel(
@@ -64,11 +74,12 @@ class SPCIndex:
         elif engine == "csr":
             from repro.kernels.hub_push import build_flat_labels_csr
 
-            flat = build_flat_labels_csr(graph, ordering=ordering, stats=stats)
+            flat = build_flat_labels_csr(graph, ordering=ordering, stats=stats,
+                                         checkpoint=checkpoint)
             labels = None
         else:
             labels = build_labels(graph, ordering=ordering, stats=stats,
-                                  engine=engine)
+                                  engine=engine, checkpoint=checkpoint)
         elapsed = time.perf_counter() - started
         index = cls(labels, build_stats=stats, build_seconds=elapsed)
         index._flat = flat

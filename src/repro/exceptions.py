@@ -45,3 +45,29 @@ class CountOverflowError(SerializationError):
         super().__init__(f"count {count} does not fit in {bits} bits")
         self.count = count
         self.bits = bits
+
+
+class CheckpointError(SerializationError):
+    """A construction checkpoint is missing, corrupt, or inconsistent with
+    the build it is being resumed into (wrong graph, wrong order)."""
+
+
+class StaleIndexError(SerializationError):
+    """A persisted index does not match the graph it is being served for.
+
+    Raised when the stored graph fingerprint (n, m, degree hash) disagrees
+    with the live graph — the index is from an older or different graph.
+    """
+
+    def __init__(self, expected, found, context="index"):
+        super().__init__(
+            f"{context}: graph fingerprint mismatch "
+            f"(index built for {found}, graph is {expected})"
+        )
+        self.expected = expected
+        self.found = found
+
+
+class ParallelBuildError(ReproError):
+    """Parallel construction could not complete even after worker retries
+    (and sequential fallback was disabled)."""

@@ -1,12 +1,17 @@
-"""Binary serialization of labelings and indexes."""
+"""Binary serialization of labelings and indexes, plus build checkpoints."""
 
 from repro.io.serialize import (
+    atomic_write_bytes,
+    graph_fingerprint,
     labels_from_bytes,
+    labels_from_bytes_with_meta,
     labels_to_bytes,
     load_directed_labels,
     load_index,
     load_labels,
+    load_labels_with_meta,
     pack_entry,
+    read_label_meta,
     save_directed_labels,
     save_index,
     save_labels,
@@ -18,10 +23,15 @@ __all__ = [
     "unpack_entry",
     "labels_to_bytes",
     "labels_from_bytes",
+    "labels_from_bytes_with_meta",
     "save_labels",
     "load_labels",
+    "load_labels_with_meta",
     "save_index",
     "load_index",
     "save_directed_labels",
     "load_directed_labels",
+    "graph_fingerprint",
+    "read_label_meta",
+    "atomic_write_bytes",
 ]

@@ -1,0 +1,243 @@
+"""Rank-watermark checkpoints for resumable HP-SPC construction.
+
+The hub-pushing loop (§3.2) is a clean prefix computation: after the
+first ``k`` pushes, *all* of their effects live in the label lists — the
+per-push scratch state is reset between roots. A checkpoint is therefore
+just ``(order, watermark, labels-so-far)``: resuming seeds the label
+lists and continues pushing at rank ``watermark``, and the finished
+labeling is entry-for-entry identical to an uninterrupted build.
+
+Checkpoints are engine-neutral (vertex-space entries with
+arbitrary-precision counts), so a build checkpointed under the Python
+engine can resume under the CSR kernels and vice versa.
+
+File layout (little-endian)::
+
+    magic b"SPCK" | version u32 | payload_len u64 | payload_crc u32 | payload
+
+    payload := n u64 | watermark u64 | fp_n u64 | fp_m u64 | fp_deg u64 |
+               order (n × u64) |
+               per vertex: n_canonical u32, n_noncanonical u32,
+                           entries (rank u64, dist u64,
+                                    count := u8 length + that many bytes)
+
+Writes are atomic (:func:`repro.io.serialize.atomic_write_bytes`) and the
+payload is CRC32-guarded, so a crash *during* a checkpoint save leaves
+the previous checkpoint intact and a corrupted file raises
+:class:`~repro.exceptions.CheckpointError` instead of resuming garbage.
+"""
+
+import contextlib
+import os
+import struct
+
+from repro.exceptions import CheckpointError, SerializationError
+from repro.io.serialize import (
+    NO_FINGERPRINT,
+    _crc,
+    _Reader,
+    _read_bytes,
+    atomic_write_bytes,
+    graph_fingerprint,
+)
+
+MAGIC = b"SPCK"
+VERSION = 1
+
+
+class CheckpointState:
+    """Decoded checkpoint: the prefix of a build up to ``watermark`` pushes.
+
+    ``canonical`` / ``noncanonical`` are per-vertex lists of
+    ``(rank, hub, dist, count)`` tuples, exactly the construction-time
+    representation of :class:`~repro.core.labels.LabelSet`.
+    """
+
+    __slots__ = ("order", "watermark", "canonical", "noncanonical", "fingerprint")
+
+    def __init__(self, order, watermark, canonical, noncanonical, fingerprint):
+        self.order = order
+        self.watermark = watermark
+        self.canonical = canonical
+        self.noncanonical = noncanonical
+        self.fingerprint = fingerprint
+
+    def __repr__(self):
+        n = len(self.order)
+        return f"CheckpointState(n={n}, watermark={self.watermark})"
+
+
+def _encode_count(count):
+    if count < 0:
+        raise CheckpointError(f"negative count {count} in checkpoint entry")
+    raw = count.to_bytes((count.bit_length() + 7) // 8 or 1, "little")
+    if len(raw) > 255:
+        raise CheckpointError("count too wide for the checkpoint varint (>255 bytes)")
+    return bytes((len(raw),)) + raw
+
+
+def encode_checkpoint(order, watermark, canonical, noncanonical, fingerprint=None):
+    """Serialize a build prefix into a standalone SPCK blob."""
+    n = len(order)
+    if not 0 <= watermark <= n:
+        raise CheckpointError(f"watermark {watermark} outside [0, {n}]")
+    if fingerprint is None:
+        fp_n, fp_m, fp_deg = n, NO_FINGERPRINT, 0
+    else:
+        fp_n, fp_m, fp_deg = fingerprint
+    parts = [
+        struct.pack("<QQQQQ", n, watermark, fp_n, fp_m, fp_deg),
+        struct.pack(f"<{n}Q", *order),
+    ]
+    for v in range(n):
+        can = canonical[v]
+        non = noncanonical[v]
+        parts.append(struct.pack("<II", len(can), len(non)))
+        for row in (can, non):
+            for rank, _hub, dist, count in row:
+                parts.append(struct.pack("<QQ", rank, dist))
+                parts.append(_encode_count(count))
+    payload = b"".join(parts)
+    return b"".join((
+        MAGIC,
+        struct.pack("<I", VERSION),
+        struct.pack("<Q", len(payload)),
+        struct.pack("<I", _crc(payload)),
+        payload,
+    ))
+
+
+def decode_checkpoint(blob, context="<bytes>"):
+    """Parse and integrity-check an SPCK blob into a :class:`CheckpointState`."""
+    try:
+        reader = _Reader(blob, context)
+        if reader.take(4, "magic") != MAGIC:
+            raise CheckpointError(f"{context}: not a checkpoint file (bad magic)")
+        (version,) = reader.unpack("<I", "checkpoint version")
+        if version != VERSION:
+            raise CheckpointError(
+                f"{context}: unsupported checkpoint version {version}"
+            )
+        (payload_len,) = reader.unpack("<Q", "payload length")
+        (stored_crc,) = reader.unpack("<I", "payload checksum")
+        payload = reader.take(payload_len, "checkpoint payload")
+        if reader.remaining():
+            raise CheckpointError(
+                f"{context}: {reader.remaining()} trailing bytes after the "
+                "checkpoint payload"
+            )
+        actual = _crc(payload)
+        if stored_crc != actual:
+            raise CheckpointError(
+                f"{context}: checkpoint payload failed its checksum "
+                f"(stored {stored_crc:#010x}, computed {actual:#010x})"
+            )
+        body = _Reader(payload, context)
+        n, watermark, fp_n, fp_m, fp_deg = body.unpack("<QQQQQ", "checkpoint header")
+        if watermark > n:
+            raise CheckpointError(
+                f"{context}: watermark {watermark} exceeds vertex count {n}"
+            )
+        fingerprint = None if fp_m == NO_FINGERPRINT else (fp_n, fp_m, fp_deg)
+        order = list(body.unpack(f"<{n}Q", "vertex order"))
+        if sorted(order) != list(range(n)):
+            raise CheckpointError(
+                f"{context}: stored order is not a permutation of [0, {n})"
+            )
+        canonical = [[] for _ in range(n)]
+        noncanonical = [[] for _ in range(n)]
+        for v in range(n):
+            n_can, n_non = body.unpack("<II", f"entry counters of vertex {v}")
+            for target, count_entries in ((canonical[v], n_can),
+                                          (noncanonical[v], n_non)):
+                for i in range(count_entries):
+                    rank, dist = body.unpack("<QQ", f"entry {i} of vertex {v}")
+                    if rank >= watermark:
+                        raise CheckpointError(
+                            f"{context}: vertex {v} has an entry at rank {rank} "
+                            f"beyond the watermark {watermark}"
+                        )
+                    (width,) = body.unpack("<B", f"count width of vertex {v}")
+                    raw = body.take(width, f"count of entry {i} of vertex {v}")
+                    target.append((rank, order[rank], dist,
+                                   int.from_bytes(raw, "little")))
+        if body.remaining():
+            raise CheckpointError(
+                f"{context}: {body.remaining()} bytes beyond the declared "
+                "checkpoint entries"
+            )
+    except SerializationError as exc:
+        if isinstance(exc, CheckpointError):
+            raise
+        raise CheckpointError(str(exc)) from exc
+    return CheckpointState(order, watermark, canonical, noncanonical, fingerprint)
+
+
+class BuildCheckpoint:
+    """Periodic rank-watermark checkpointing for a single build.
+
+    Pass one to :func:`repro.core.hp_spc.build_labels` or
+    :func:`repro.kernels.hub_push.build_flat_labels_csr` (``checkpoint=``):
+    every ``every`` completed pushes the partial labeling is atomically
+    written to ``path``, and a later build with the same graph/ordering
+    resumes from the highest saved watermark. On successful completion the
+    file is removed unless ``keep=True``.
+
+    ``every=0`` disables periodic saves (the file is still consulted for
+    resume), which a caller can use to resume without re-checkpointing.
+    """
+
+    def __init__(self, path, every=200, keep=False):
+        self.path = os.fspath(path)
+        self.every = int(every)
+        self.keep = keep
+        self.saves = 0
+
+    def exists(self):
+        return os.path.exists(self.path)
+
+    def should_save(self, watermark, n):
+        """True when ``watermark`` completed pushes warrant a periodic save."""
+        if self.every <= 0:
+            return False
+        return watermark < n and watermark % self.every == 0
+
+    def save(self, order, watermark, canonical, noncanonical, fingerprint=None):
+        """Atomically persist the build prefix up to ``watermark`` pushes."""
+        blob = encode_checkpoint(order, watermark, canonical, noncanonical,
+                                 fingerprint)
+        atomic_write_bytes(self.path, blob)
+        self.saves += 1
+
+    def load(self, graph=None, order=None):
+        """Return the saved :class:`CheckpointState`, or None when absent.
+
+        Validates integrity, and — when given — that the checkpoint matches
+        the live ``graph`` (fingerprint) and the build's ``order``;
+        mismatches raise :class:`CheckpointError` rather than silently
+        resuming a build of a different problem.
+        """
+        try:
+            blob = _read_bytes(self.path)
+        except FileNotFoundError:
+            return None
+        state = decode_checkpoint(blob, context=self.path)
+        if graph is not None and state.fingerprint is not None:
+            live = graph_fingerprint(graph)
+            if live != state.fingerprint:
+                raise CheckpointError(
+                    f"{self.path}: checkpoint was taken for a different graph "
+                    f"(checkpoint fingerprint {state.fingerprint}, live {live})"
+                )
+        if order is not None and list(order) != state.order:
+            raise CheckpointError(
+                f"{self.path}: checkpoint was taken under a different vertex order"
+            )
+        return state
+
+    def discard(self):
+        """Remove the checkpoint file (no-op when ``keep`` or absent)."""
+        if self.keep:
+            return
+        with contextlib.suppress(FileNotFoundError):
+            os.remove(self.path)

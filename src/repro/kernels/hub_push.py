@@ -182,6 +182,71 @@ def _finalize_flat(n, order_np, chunks):
     )
 
 
+def _chunks_to_label_lists(n, order_np, chunks):
+    """Convert rank-space emission chunks to per-vertex (vertex-space)
+    ``(rank, hub, dist, count)`` lists — the checkpoint representation.
+
+    Chunks are in push order, so per-vertex appends land rank-sorted.
+    """
+    canonical = [[] for _ in range(n)]
+    noncanonical = [[] for _ in range(n)]
+    order = order_np.tolist()
+    for rank, verts, dists, counts, flag in chunks:
+        hub = order[rank]
+        target = canonical if flag else noncanonical
+        for vert, dist, count in zip(verts.tolist(), dists.tolist(),
+                                     counts.tolist()):
+            target[order[vert]].append((rank, hub, dist, count))
+    return canonical, noncanonical
+
+
+def _state_to_chunks(state, rank_of, rows):
+    """Rebuild the emission chunks (and, when pruning, the canonical join
+    store) from a checkpoint prefix; inverse of :func:`_chunks_to_label_lists`.
+
+    Entries regroup by ``(rank, canonical-flag)``; within a vertex each rank
+    appears once, so any chunk order that is rank-ascending reproduces the
+    strictly-increasing rank columns ``_finalize_flat`` builds.
+    """
+    from repro.exceptions import CheckpointError
+
+    int64_max = np.iinfo(INT).max
+    groups = {}
+    for flag, per_vertex in ((True, state.canonical), (False, state.noncanonical)):
+        for v, row in enumerate(per_vertex):
+            rv = int(rank_of[v])
+            for rank, _hub, dist, count in row:
+                if count > int64_max:
+                    raise CheckpointError(
+                        "checkpointed count exceeds int64; resume this build "
+                        "with the python engine"
+                    )
+                verts, dists, counts = groups.setdefault((rank, flag),
+                                                         ([], [], []))
+                verts.append(rv)
+                dists.append(dist)
+                counts.append(count)
+    chunks = []
+    for rank, flag in sorted(groups, key=lambda key: (key[0], not key[1])):
+        verts, dists, counts = groups[(rank, flag)]
+        chunks.append((
+            rank,
+            np.asarray(verts, dtype=INT),
+            np.asarray(dists, dtype=INT),
+            np.asarray(counts, dtype=INT),
+            flag,
+        ))
+    if rows is not None:
+        for rank, verts, dists, counts, flag in chunks:
+            if not flag:
+                continue
+            # The join store never holds a root's self-entry (vert == rank).
+            keep = verts != rank
+            if keep.any():
+                rows.append(verts[keep], rank, dists[keep])
+    return chunks
+
+
 def build_flat_labels_csr(
     graph,
     ordering="degree",
@@ -189,6 +254,7 @@ def build_flat_labels_csr(
     skip=None,
     prune=True,
     stats=None,
+    checkpoint=None,
 ):
     """Run HP-SPC with numpy kernels; returns a finalized :class:`FlatLabels`.
 
@@ -201,6 +267,11 @@ def build_flat_labels_csr(
     strategies raise :class:`~repro.exceptions.OrderingError`); counts are
     int64 and guarded against overflow (:class:`LabelingError` advises the
     Python engine when tripped).
+
+    ``checkpoint`` (a :class:`~repro.io.checkpoint.BuildCheckpoint`)
+    enables periodic rank-watermark persistence and resume, exactly as in
+    :func:`repro.core.hp_spc.build_labels` — checkpoints are
+    engine-neutral, so either engine can resume the other's.
     """
     n = graph.n
     order = resolve_static_order(graph, ordering)
@@ -240,7 +311,20 @@ def build_flat_labels_csr(
     chunks = []  # (rank, verts, dists, counts, canonical) in rank space
     one = np.ones(1, dtype=INT)
 
-    for r in range(n):
+    start_rank = 0
+    checkpoint_fp = None
+    if checkpoint is not None:
+        from repro.io.serialize import graph_fingerprint
+
+        checkpoint_fp = graph_fingerprint(graph)
+        state = checkpoint.load(graph=graph, order=list(order))
+        if state is not None:
+            start_rank = state.watermark
+            chunks = _state_to_chunks(state, rank_of, rows)
+            if stats is not None:
+                stats.resumed_pushes += start_rank
+
+    for r in range(start_rank, n):
         if prune:
             root_ranks, root_dists = rows.row(r)
             if root_ranks.size:
@@ -327,7 +411,17 @@ def build_flat_labels_csr(
             count[touched] = 0
         if prune and root_ranks.size:
             rank_dist[root_ranks] = INF_SENT
+        if checkpoint is not None and checkpoint.should_save(r + 1, n):
+            canonical_lists, noncanonical_lists = _chunks_to_label_lists(
+                n, order_np, chunks
+            )
+            checkpoint.save(list(order), r + 1, canonical_lists,
+                            noncanonical_lists, fingerprint=checkpoint_fp)
+            if stats is not None:
+                stats.checkpoint_saves += 1
 
+    if checkpoint is not None:
+        checkpoint.discard()
     return _finalize_flat(n, order_np, chunks)
 
 

@@ -30,13 +30,22 @@ Two phases:
 Adaptive orderings (significant-path) need the push tree of the previous
 push to choose the next root, which serializes the schedule — they stay on
 :func:`repro.core.hp_spc.build_labels`.
+
+Workers are *supervised*: each block is submitted as its own task with an
+optional per-task timeout, failed or timed-out blocks are retried (with
+linear backoff) on a fresh pool up to ``max_retries`` times, and when a
+block still cannot complete the builder falls back to the sequential
+engine — same bit-identical labels, just slower — recording every retry,
+timeout and fallback in :class:`~repro.core.hp_spc.BuildStats`.
 """
 
 import multiprocessing
+import time
 from collections import deque
 
 from repro.core.labels import LabelSet
 from repro.core.ordering import resolve_static_order  # noqa: F401  (re-export)
+from repro.exceptions import ParallelBuildError
 
 INF = float("inf")
 
@@ -45,31 +54,93 @@ INF = float("inf")
 _WORKER = {}
 
 
-def _init_worker(adjacency, rank_of):
+def _init_worker(adjacency, rank_of, fault=None):
     _WORKER["adj"] = adjacency
     _WORKER["rank_of"] = rank_of
+    _WORKER["fault"] = fault
 
 
-def _init_worker_csr(rindptr, rindices):
+def _init_worker_csr(rindptr, rindices, fault=None):
     _WORKER["rindptr"] = rindptr
     _WORKER["rindices"] = rindices
+    _WORKER["fault"] = fault
 
 
-def _push_block_csr(block_ranks):
+def _trigger_fault(block_index):
+    """Chaos-testing hook: fire the injected worker fault, if any."""
+    fault = _WORKER.get("fault")
+    if fault is not None:
+        fault.trigger(block_index)
+
+
+def _push_block_csr(task):
     """Phase 1 on the numpy kernels: candidates for one block, rank space."""
     from repro.kernels.hub_push import push_block_csr
 
+    block_index, block_ranks = task
+    _trigger_fault(block_index)
     return push_block_csr(_WORKER["rindptr"], _WORKER["rindices"], block_ranks)
 
 
-def _push_block(block):
+def _run_supervised(context, initializer, initargs, func, payloads, workers,
+                    task_timeout, max_retries, retry_backoff, stats):
+    """Run ``func`` over indexed ``payloads`` with timeout + bounded retries.
+
+    Each payload is submitted as ``func((index, payload))``. A task that
+    raises is retried on a fresh pool; a task that exceeds ``task_timeout``
+    seconds is counted as timed out and retried likewise (the old pool —
+    including any wedged or silently-dead worker — is terminated by the
+    pool's context manager). After ``max_retries`` failed rounds a
+    :class:`ParallelBuildError` is raised; the caller decides whether to
+    fall back to the sequential engine.
+    """
+    results = [None] * len(payloads)
+    pending = list(range(len(payloads)))
+    attempt = 0
+    while pending:
+        failed = []
+        with context.Pool(processes=workers, initializer=initializer,
+                          initargs=initargs) as pool:
+            handles = [(i, pool.apply_async(func, ((i, payloads[i]),)))
+                       for i in pending]
+            for i, handle in handles:
+                try:
+                    results[i] = handle.get(task_timeout)
+                except multiprocessing.TimeoutError:
+                    failed.append(i)
+                    if stats is not None:
+                        stats.worker_timeouts += 1
+                except Exception:
+                    failed.append(i)
+                    if stats is not None:
+                        stats.worker_failures += 1
+        if not failed:
+            break
+        attempt += 1
+        if attempt > max_retries:
+            raise ParallelBuildError(
+                f"{len(failed)} worker block(s) kept failing after "
+                f"{max_retries} retries"
+            )
+        if stats is not None:
+            stats.worker_retries += len(failed)
+        if retry_backoff:
+            time.sleep(retry_backoff * attempt)
+        pending = failed
+    return results
+
+
+def _push_block(task):
     """Phase 1: candidates for one block of roots, in increasing rank order.
 
-    ``block`` is a list of ``(rank, root)``. Returns a list of
-    ``(rank, root, candidates, visits)`` where ``candidates`` holds
-    ``(v, dist, count)`` in BFS pop order — the exact trough values the
-    sequential builder would compute, for a superset of its kept vertices.
+    ``task`` is ``(block_index, block)`` where ``block`` is a list of
+    ``(rank, root)``. Returns a list of ``(rank, root, candidates, visits)``
+    where ``candidates`` holds ``(v, dist, count)`` in BFS pop order — the
+    exact trough values the sequential builder would compute, for a
+    superset of its kept vertices.
     """
+    block_index, block = task
+    _trigger_fault(block_index)
     adj = _WORKER["adj"]
     rank_of = _WORKER["rank_of"]
     n = len(rank_of)
@@ -167,7 +238,9 @@ def _merge_candidates(n, order, candidates_by_rank, stats=None):
 
 
 def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
-                          engine="csr"):
+                          engine="csr", task_timeout=None, max_retries=2,
+                          retry_backoff=0.1, fallback="sequential",
+                          _fault=None):
     """Run HP-SPC with ``workers`` processes; result is bit-identical to
     :func:`repro.core.hp_spc.build_labels` under the same (static) ordering.
 
@@ -184,12 +257,26 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
 
     ``workers=None`` uses ``os.cpu_count()``; with one worker (or a tiny
     graph) this simply calls the sequential builder.
+
+    Fault tolerance: each block is a supervised task. Blocks whose worker
+    raises are retried up to ``max_retries`` times with ``retry_backoff``
+    seconds of linear backoff; ``task_timeout`` (seconds) additionally
+    bounds each block so a worker that *dies silently* (OOM-kill, SIGKILL)
+    or wedges is detected and retried rather than hanging the build. When a
+    block keeps failing, ``fallback="sequential"`` (default) reruns the
+    whole build on the in-process sequential engine — same labels,
+    recorded in ``stats.sequential_fallbacks`` — while ``fallback=None``
+    raises :class:`~repro.exceptions.ParallelBuildError`. ``_fault`` is the
+    chaos-test hook (:mod:`repro.testing.faults`), injected into workers.
     """
     from repro.core.hp_spc import build_labels
 
     if engine not in ("python", "csr"):
         raise ValueError(f"unknown construction engine {engine!r}; "
                          "expected 'python' or 'csr'")
+    if fallback not in (None, "sequential"):
+        raise ValueError(f"unknown fallback {fallback!r}; "
+                         "expected 'sequential' or None")
     n = graph.n
     if workers is None:
         workers = multiprocessing.cpu_count()
@@ -204,6 +291,14 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
     except ValueError:  # pragma: no cover - non-POSIX platforms
         context = multiprocessing.get_context()
 
+    def _sequential_fallback(error):
+        if fallback is None:
+            raise error
+        if stats is not None:
+            stats.sequential_fallbacks += 1
+        return build_labels(graph, ordering=list(order), stats=stats,
+                            engine=engine)
+
     if engine == "csr":
         import numpy as np
 
@@ -214,12 +309,14 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
         rank_of_np[order_np] = np.arange(n, dtype=np.int64)
         rindptr, rindices = _rank_space_csr(graph, order_np, rank_of_np)
         blocks = [list(range(k, n, workers)) for k in range(workers)]
-        with context.Pool(
-            processes=workers,
-            initializer=_init_worker_csr,
-            initargs=(rindptr, rindices),
-        ) as pool:
-            results = pool.map(_push_block_csr, blocks)
+        try:
+            results = _run_supervised(
+                context, _init_worker_csr, (rindptr, rindices, _fault),
+                _push_block_csr, blocks, workers,
+                task_timeout, max_retries, retry_backoff, stats,
+            )
+        except ParallelBuildError as error:
+            return _sequential_fallback(error)
         candidates_by_rank = [None] * n
         visits = 0
         for block_result in results:
@@ -241,12 +338,14 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
         [(rank, w) for rank, w in enumerate(order) if rank % workers == k]
         for k in range(workers)
     ]
-    with context.Pool(
-        processes=workers,
-        initializer=_init_worker,
-        initargs=(graph.adjacency, rank_of),
-    ) as pool:
-        results = pool.map(_push_block, blocks)
+    try:
+        results = _run_supervised(
+            context, _init_worker, (graph.adjacency, rank_of, _fault),
+            _push_block, blocks, workers,
+            task_timeout, max_retries, retry_backoff, stats,
+        )
+    except ParallelBuildError as error:
+        return _sequential_fallback(error)
 
     candidates_by_rank = [None] * n
     visits = 0

@@ -1,0 +1,208 @@
+"""Graceful query-time degradation: serve from the index when healthy,
+fall back to online BFS when not.
+
+A production counting service must answer even when its index file is
+missing, truncated, bit-flipped, or built for yesterday's graph. A
+:class:`ResilientSPCIndex` wraps that policy:
+
+* **load + verify** — the index file is read through the checksummed v3
+  loader and its stored graph fingerprint (n, m, degree hash) is checked
+  against the live graph; any failure is recorded and demotes the serving
+  path instead of crashing.
+* **serve** — healthy indexes answer through :class:`~repro.core.index
+  .SPCIndex` (including the vectorized flat engine for batches); degraded
+  state answers through the exact online
+  :class:`~repro.baselines.bfs_counting.BFSCountingOracle` — slower but
+  always correct, never a wrong count.
+* **observe** — ``counters`` tallies index hits, fallback hits, load and
+  verification failures, so operators can alarm on degradation;
+  ``last_error`` keeps the typed reason.
+
+Invalid vertex ids raise :class:`~repro.exceptions.VertexError` on both
+paths — degradation never converts a caller bug into a silent answer.
+"""
+
+from repro.baselines.bfs_counting import BFSCountingOracle
+from repro.core.index import SPCIndex
+from repro.exceptions import (
+    LabelingError,
+    ReproError,
+    SerializationError,
+    StaleIndexError,
+    VertexError,
+)
+from repro.io.serialize import graph_fingerprint, load_labels_with_meta
+
+
+class ResilientSPCIndex:
+    """Shortest-path-counting facade that degrades instead of failing.
+
+    Parameters
+    ----------
+    graph:
+        The live :class:`~repro.graph.graph.Graph` queries refer to.
+    index_path:
+        Optional path to a persisted index (:func:`repro.io.serialize
+        .save_index`). Missing/corrupt/stale files put the facade in
+        degraded (BFS) mode rather than raising.
+    index:
+        Alternatively, an in-memory :class:`SPCIndex` to adopt (still
+        verified against the graph's vertex count).
+    bfs_engine:
+        Engine for the fallback oracle (``"python"`` or ``"csr"``).
+    io_retries:
+        Transient-``OSError`` re-reads attempted by the loader.
+    require_fingerprint:
+        When True, refuse to serve from index files that carry no graph
+        fingerprint (legacy v2 saves) instead of trusting a vertex-count
+        check.
+    """
+
+    def __init__(self, graph, index_path=None, index=None, bfs_engine="python",
+                 io_retries=1, require_fingerprint=False):
+        self._graph = graph
+        self._path = index_path
+        self._io_retries = io_retries
+        self._require_fingerprint = require_fingerprint
+        self._oracle = BFSCountingOracle(graph, engine=bfs_engine)
+        self._index = None
+        self._last_error = None
+        self.counters = {
+            "index_queries": 0,
+            "fallback_queries": 0,
+            "load_failures": 0,
+            "verify_failures": 0,
+            "query_failures": 0,
+        }
+        if index is not None:
+            if index.labels.n != graph.n:
+                self.counters["verify_failures"] += 1
+                self._last_error = StaleIndexError(
+                    graph_fingerprint(graph), (index.labels.n, None, None),
+                    context="in-memory index",
+                )
+            else:
+                self._index = index
+        elif index_path is not None:
+            self.reload()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reload(self):
+        """(Re)load and verify the index file; True when now serving from it.
+
+        Every failure mode is recorded (``load_failures`` for I/O and
+        format corruption, ``verify_failures`` for fingerprint mismatches)
+        and leaves the facade in degraded mode with ``last_error`` set.
+        """
+        self._index = None
+        self._last_error = None
+        try:
+            labels, meta = load_labels_with_meta(
+                self._path, retries=self._io_retries
+            )
+        except (OSError, ReproError) as exc:
+            self.counters["load_failures"] += 1
+            self._last_error = exc
+            return False
+        live = graph_fingerprint(self._graph)
+        if meta.fingerprint is not None:
+            if meta.fingerprint != live:
+                self.counters["verify_failures"] += 1
+                self._last_error = StaleIndexError(
+                    live, meta.fingerprint, context=str(self._path)
+                )
+                return False
+        elif self._require_fingerprint:
+            self.counters["verify_failures"] += 1
+            self._last_error = SerializationError(
+                f"{self._path}: index carries no graph fingerprint "
+                "(require_fingerprint=True)"
+            )
+            return False
+        elif labels.n != self._graph.n:
+            self.counters["verify_failures"] += 1
+            self._last_error = StaleIndexError(
+                live, (labels.n, None, None), context=str(self._path)
+            )
+            return False
+        self._index = SPCIndex(labels)
+        return True
+
+    @property
+    def status(self):
+        """``"index"`` when serving from labels, ``"degraded"`` on BFS."""
+        return "index" if self._index is not None else "degraded"
+
+    @property
+    def last_error(self):
+        """The typed error that caused the last load/verify failure, if any."""
+        return self._last_error
+
+    def explain(self):
+        """Operator snapshot: serving path, counters, and last error."""
+        return {
+            "status": self.status,
+            "index_path": None if self._path is None else str(self._path),
+            "counters": dict(self.counters),
+            "last_error": None if self._last_error is None
+            else f"{type(self._last_error).__name__}: {self._last_error}",
+        }
+
+    # -- queries -------------------------------------------------------------
+
+    def _check_vertex(self, v):
+        if not isinstance(v, int) or not 0 <= v < self._graph.n:
+            raise VertexError(v, self._graph.n)
+
+    def count_with_distance(self, s, t):
+        """``(sd(s,t), spc(s,t))`` — from the index, or BFS when degraded."""
+        self._check_vertex(s)
+        self._check_vertex(t)
+        if self._index is not None:
+            try:
+                answer = self._index.count_with_distance(s, t)
+            except (SerializationError, LabelingError) as exc:
+                # The loaded index misbehaved at query time: demote it and
+                # keep serving — the BFS answer below is exact.
+                self.counters["query_failures"] += 1
+                self._last_error = exc
+                self._index = None
+            else:
+                self.counters["index_queries"] += 1
+                return answer
+        self.counters["fallback_queries"] += 1
+        return self._oracle.count_with_distance(s, t)
+
+    def count(self, s, t):
+        """``spc(s, t)``: the number of shortest paths (0 if disconnected)."""
+        return self.count_with_distance(s, t)[1]
+
+    def distance(self, s, t):
+        """``sd(s, t)``; ``inf`` when disconnected."""
+        return self.count_with_distance(s, t)[0]
+
+    def count_many(self, pairs):
+        """Batched ``(sd, spc)`` tuples; vectorized when the index is healthy."""
+        pairs = list(pairs)
+        for s, t in pairs:
+            self._check_vertex(s)
+            self._check_vertex(t)
+        if self._index is not None:
+            try:
+                answers = self._index.count_many(pairs)
+            except (SerializationError, LabelingError) as exc:
+                self.counters["query_failures"] += 1
+                self._last_error = exc
+                self._index = None
+            else:
+                self.counters["index_queries"] += len(pairs)
+                return answers
+        self.counters["fallback_queries"] += len(pairs)
+        return [self._oracle.count_with_distance(s, t) for s, t in pairs]
+
+    def __repr__(self):
+        return (
+            f"ResilientSPCIndex(n={self._graph.n}, status={self.status!r}, "
+            f"fallback_queries={self.counters['fallback_queries']})"
+        )

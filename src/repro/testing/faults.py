@@ -1,0 +1,172 @@
+"""Deterministic fault injection for the chaos test-suite.
+
+Every fault here models a concrete production failure and is fully
+deterministic, so the chaos tests can assert the *exact* recovery path:
+
+* :func:`truncate_file` / :func:`flip_bit` / :func:`corrupt_bytes` —
+  on-disk damage (partial write, storage bit-rot). The checksummed v3
+  loader must answer with a typed
+  :class:`~repro.exceptions.SerializationError`.
+* :class:`TransientIOErrors` — a flaky filesystem: the first ``failures``
+  reads raise ``OSError``, then reads succeed. Loaders with ``retries``
+  must recover; :class:`~repro.resilience.ResilientSPCIndex` must degrade.
+* :class:`WorkerFault` — a crashing / hanging pool worker for
+  :func:`~repro.parallel.builder.build_labels_parallel`'s ``_fault`` hook.
+  Firing is counted in marker files so a retried block behaves on its next
+  attempt — exactly the transient-failure shape supervision must absorb.
+* :class:`CrashingCheckpoint` — SIGKILL between checkpoints: the save
+  succeeds, then :class:`SimulatedKill` (a ``BaseException``, so no
+  library ``except ReproError`` can swallow it) tears the build down.
+"""
+
+import os
+import time
+
+from repro.io import serialize as _serialize
+from repro.io.checkpoint import BuildCheckpoint
+
+
+class SimulatedKill(BaseException):
+    """Simulates the process dying mid-build (SIGKILL / power loss).
+
+    Deliberately *not* a :class:`~repro.exceptions.ReproError` — not even
+    an ``Exception`` — so no error handling inside the library can catch
+    it; only the test harness does.
+    """
+
+
+def truncate_file(path, drop_bytes):
+    """Cut the last ``drop_bytes`` bytes off ``path`` (a torn write)."""
+    blob = _read(path)
+    if drop_bytes <= 0 or drop_bytes > len(blob):
+        raise ValueError(f"cannot drop {drop_bytes} of {len(blob)} bytes")
+    _write(path, blob[: len(blob) - drop_bytes])
+
+
+def flip_bit(path, byte_offset, bit=0):
+    """Flip one bit of ``path`` in place (storage bit-rot)."""
+    blob = bytearray(_read(path))
+    blob[byte_offset] ^= 1 << bit
+    _write(path, bytes(blob))
+
+
+def corrupt_bytes(path, offset, replacement):
+    """Overwrite ``path`` at ``offset`` with ``replacement`` bytes."""
+    blob = bytearray(_read(path))
+    blob[offset : offset + len(replacement)] = replacement
+    _write(path, bytes(blob))
+
+
+def _read(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _write(path, blob):
+    # Plain write on purpose: faults *simulate* the non-atomic damage the
+    # library's own atomic writer prevents.
+    with open(path, "wb") as handle:
+        handle.write(blob)
+
+
+class TransientIOErrors:
+    """Context manager making the next ``failures`` label-file reads raise.
+
+    Wraps :func:`repro.io.serialize._read_bytes`, the single choke point
+    every loader goes through, so both direct ``load_labels`` calls and
+    :class:`~repro.resilience.ResilientSPCIndex` reloads feel the fault.
+    """
+
+    def __init__(self, failures=1, error_factory=None):
+        self.failures = failures
+        self.raised = 0
+        self._error_factory = error_factory or (
+            lambda path: OSError(5, "injected transient I/O error", str(path))
+        )
+        self._original = None
+
+    def __enter__(self):
+        self._original = _serialize._read_bytes
+
+        def flaky_read(path):
+            if self.raised < self.failures:
+                self.raised += 1
+                raise self._error_factory(path)
+            return self._original(path)
+
+        _serialize._read_bytes = flaky_read
+        return self
+
+    def __exit__(self, *exc_info):
+        _serialize._read_bytes = self._original
+        return False
+
+
+class WorkerFault:
+    """Picklable worker fault for ``build_labels_parallel(_fault=...)``.
+
+    ``kind``:
+
+    * ``"exception"`` — the worker raises (an ordinary task failure);
+    * ``"exit"`` — the worker dies with ``os._exit`` (a hard crash: the
+      pool never hears back, so only a ``task_timeout`` catches it);
+    * ``"hang"`` — the worker sleeps ``hang_seconds`` (a wedged task).
+
+    Each block in ``blocks`` fires ``times`` times, counted via exclusive
+    marker-file creation in ``marker_dir`` — atomic across processes, so
+    retried blocks deterministically misbehave exactly ``times`` times and
+    then succeed.
+    """
+
+    def __init__(self, kind, blocks, marker_dir, times=1, hang_seconds=30.0):
+        if kind not in ("exception", "exit", "hang"):
+            raise ValueError(f"unknown worker fault kind {kind!r}")
+        self.kind = kind
+        self.blocks = tuple(blocks)
+        self.marker_dir = os.fspath(marker_dir)
+        self.times = times
+        self.hang_seconds = hang_seconds
+
+    def trigger(self, block_index):
+        """Called by the pool worker at the start of a block task."""
+        if block_index not in self.blocks:
+            return
+        for attempt in range(self.times):
+            marker = os.path.join(
+                self.marker_dir, f"fault-{self.kind}-{block_index}-{attempt}"
+            )
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                continue  # this firing already happened on an earlier attempt
+            if self.kind == "exception":
+                raise RuntimeError(
+                    f"injected worker fault on block {block_index} "
+                    f"(firing {attempt + 1}/{self.times})"
+                )
+            if self.kind == "exit":
+                os._exit(17)
+            time.sleep(self.hang_seconds)
+            return
+
+
+class CrashingCheckpoint(BuildCheckpoint):
+    """A checkpoint that kills the build after ``crash_after`` saves.
+
+    The save itself completes (atomically) before :class:`SimulatedKill`
+    fires, modelling a process killed *between* checkpoints; a subsequent
+    build with a plain :class:`BuildCheckpoint` at the same path must
+    resume and produce labels entry-for-entry identical to an
+    uninterrupted build.
+    """
+
+    def __init__(self, path, every=200, crash_after=1, keep=False):
+        super().__init__(path, every=every, keep=keep)
+        self.crash_after = crash_after
+
+    def save(self, order, watermark, canonical, noncanonical, fingerprint=None):
+        super().save(order, watermark, canonical, noncanonical, fingerprint)
+        if self.saves >= self.crash_after:
+            raise SimulatedKill(
+                f"simulated kill after checkpoint save at watermark {watermark}"
+            )

@@ -155,3 +155,48 @@ class TestIndexFacade:
     def test_to_flat_cached(self):
         index = SPCIndex.build(cycle_graph(5))
         assert index.to_flat() is index.to_flat()
+
+
+class TestVertexValidation:
+    """Out-of-range ids raise a typed VertexError naming the offender,
+    instead of numpy IndexError or a silent negative-index wraparound."""
+
+    @pytest.fixture()
+    def flat(self):
+        return SPCIndex.build(grid_graph(4, 5)).to_flat()
+
+    def test_count_many_rejects_out_of_range(self, flat):
+        from repro.exceptions import VertexError
+
+        with pytest.raises(VertexError, match=r"vertex 20 is not in range \[0, 20\)"):
+            count_many(flat, [(0, 1), (20, 2)])
+
+    def test_count_many_rejects_negative(self, flat):
+        from repro.exceptions import VertexError
+
+        with pytest.raises(VertexError, match="vertex -1"):
+            count_many_arrays(flat, np.array([0, -1]), np.array([1, 2]))
+
+    def test_first_offender_is_named(self, flat):
+        from repro.exceptions import VertexError
+
+        with pytest.raises(VertexError) as exc:
+            count_many(flat, [(0, 1), (77, 2), (99, 3)])
+        assert exc.value.vertex == 77
+
+    def test_single_source_rejects_out_of_range(self, flat):
+        from repro.exceptions import VertexError
+
+        with pytest.raises(VertexError):
+            single_source(flat, flat.n)
+
+    def test_set_to_set_rejects_out_of_range(self, flat):
+        from repro.exceptions import VertexError
+
+        for sources, targets in ([[0, 25], [1]], [[0], [25, 1]]):
+            with pytest.raises(VertexError):
+                count_set_to_set(flat, sources, targets)
+
+    def test_valid_boundary_ids_accepted(self, flat):
+        last = flat.n - 1
+        assert count_many(flat, [(0, last), (last, last)])[1] == (0, 1)

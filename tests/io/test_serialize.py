@@ -144,6 +144,12 @@ class TestIndexFiles:
         index = SPCIndex.build(g)
         path = tmp_path / "index.bin"
         written = save_index(index, path)
-        # File = header + order + per-vertex counters + packed entries.
-        overhead = 4 + 16 + 8 * g.n + 8 * g.n
+        # File = magic+version + checksummed v3 header + order section +
+        # per-vertex counters + packed entries + two section CRCs.
+        from repro.io.serialize import _HEADER_SIZE
+
+        header = 4 + 4 + _HEADER_SIZE + 4
+        order_section = 8 * g.n + 4
+        entries_overhead = 8 * g.n + 4
+        overhead = header + order_section + entries_overhead
         assert written == overhead + index.size_bytes()

@@ -1,0 +1,97 @@
+"""Worker supervision: crashing, failing, and hanging pool workers must
+be retried, and a persistently failing pool must fall back to the
+sequential engine — with identical labels either way."""
+
+import pytest
+
+from repro.core.hp_spc import BuildStats, build_labels
+from repro.exceptions import ParallelBuildError
+from repro.generators.random_graphs import gnp_random_graph
+from repro.parallel import build_labels_parallel
+from repro.testing.faults import WorkerFault
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_random_graph(40, 0.1, seed=7)
+
+
+@pytest.fixture(scope="module")
+def reference(graph):
+    return build_labels(graph)
+
+
+def assert_identical(a, b):
+    assert a.order == b.order
+    for v in range(a.n):
+        assert a.canonical(v) == b.canonical(v)
+        assert a.noncanonical(v) == b.noncanonical(v)
+
+
+@pytest.mark.parametrize("engine", ["python", "csr"])
+def test_transient_worker_exception_is_retried(graph, reference, engine, tmp_path):
+    stats = BuildStats()
+    fault = WorkerFault("exception", blocks=(0,), marker_dir=tmp_path, times=1)
+    labels = build_labels_parallel(
+        graph, workers=2, engine=engine, stats=stats, retry_backoff=0, _fault=fault
+    )
+    assert_identical(labels, reference)
+    assert stats.worker_failures == 1
+    assert stats.worker_retries == 1
+    assert stats.sequential_fallbacks == 0
+
+
+def test_persistent_failure_falls_back_to_sequential(graph, reference, tmp_path):
+    stats = BuildStats()
+    fault = WorkerFault("exception", blocks=(0,), marker_dir=tmp_path, times=50)
+    labels = build_labels_parallel(
+        graph, workers=2, stats=stats, max_retries=1, retry_backoff=0, _fault=fault
+    )
+    assert_identical(labels, reference)
+    assert stats.sequential_fallbacks == 1
+    assert stats.worker_retries >= 1
+
+
+def test_persistent_failure_raises_when_fallback_disabled(graph, tmp_path):
+    fault = WorkerFault("exception", blocks=(0,), marker_dir=tmp_path, times=50)
+    with pytest.raises(ParallelBuildError):
+        build_labels_parallel(
+            graph, workers=2, max_retries=1, retry_backoff=0, fallback=None,
+            _fault=fault,
+        )
+
+
+def test_hard_crashed_worker_is_caught_by_timeout(graph, reference, tmp_path):
+    """os._exit in a worker never returns a result; only the task timeout
+    notices. The retried block must still produce identical labels."""
+    stats = BuildStats()
+    fault = WorkerFault("exit", blocks=(1,), marker_dir=tmp_path, times=1)
+    labels = build_labels_parallel(
+        graph, workers=2, stats=stats, task_timeout=10, retry_backoff=0,
+        _fault=fault,
+    )
+    assert_identical(labels, reference)
+    assert stats.worker_timeouts >= 1
+
+
+def test_hanging_worker_is_caught_by_timeout(graph, reference, tmp_path):
+    stats = BuildStats()
+    fault = WorkerFault(
+        "hang", blocks=(0,), marker_dir=tmp_path, times=1, hang_seconds=60.0
+    )
+    labels = build_labels_parallel(
+        graph, workers=2, stats=stats, task_timeout=1.5, retry_backoff=0,
+        _fault=fault,
+    )
+    assert_identical(labels, reference)
+    assert stats.worker_timeouts >= 1
+
+
+def test_supervision_stats_clean_on_healthy_run(graph, reference):
+    stats = BuildStats()
+    labels = build_labels_parallel(graph, workers=2, stats=stats)
+    assert_identical(labels, reference)
+    assert stats.worker_retries == 0
+    assert stats.worker_timeouts == 0
+    assert stats.worker_failures == 0
+    assert stats.sequential_fallbacks == 0

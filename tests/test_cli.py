@@ -161,3 +161,69 @@ class TestWeightedBuild:
         assert back.weight(0, 1) == 2.5
         assert back.weight(1, 2) == 3
         assert back.m == 3
+
+
+class TestBuildRobustness:
+    def test_resume_flag_checkpoints_and_cleans_up(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        index_path = str(tmp_path / "g.idx")
+        assert main(["build", path, index_path, "--resume",
+                     "--checkpoint-every", "10"]) == 0
+        import os
+
+        assert os.path.exists(index_path)
+        assert not os.path.exists(index_path + ".ckpt")  # discarded on success
+
+    def test_resume_actually_resumes(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        index_path = str(tmp_path / "g.idx")
+        # Leave a genuine mid-build checkpoint behind, as a crash would.
+        from repro.core.hp_spc import build_labels
+        from repro.testing.faults import CrashingCheckpoint, SimulatedKill
+
+        with pytest.raises(SimulatedKill):
+            build_labels(graph, checkpoint=CrashingCheckpoint(
+                index_path + ".ckpt", every=10))
+        assert main(["build", path, index_path, "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resuming from checkpoint" in out
+        from repro.io.serialize import load_labels
+
+        reference = build_labels(graph)
+        loaded = load_labels(index_path)
+        assert loaded.order == reference.order
+        for v in range(graph.n):
+            assert loaded.canonical(v) == reference.canonical(v)
+
+    def test_resume_rejects_parallel(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        rc = main(["build", path, str(tmp_path / "g.idx"), "--resume",
+                   "--workers", "2"])
+        assert rc == 2
+        assert "sequential" in capsys.readouterr().err
+
+    def test_failed_build_removes_partial_output(self, tmp_path, capsys):
+        bad_graph = tmp_path / "bad.txt"
+        bad_graph.write_text("0 not_a_vertex\n")
+        index_path = tmp_path / "g.idx"
+        assert main(["build", str(bad_graph), str(index_path)]) == 1
+        assert not index_path.exists()
+        assert "error" in capsys.readouterr().err
+
+    def test_failed_build_keeps_preexisting_index(self, graph_file, tmp_path, capsys):
+        path, _ = graph_file
+        index_path = tmp_path / "g.idx"
+        assert main(["build", path, str(index_path)]) == 0
+        before = index_path.read_bytes()
+        bad_graph = tmp_path / "bad.txt"
+        bad_graph.write_text("0 not_a_vertex\n")
+        assert main(["build", str(bad_graph), str(index_path)]) == 1
+        assert index_path.read_bytes() == before  # old index untouched
+
+    def test_build_embeds_fingerprint(self, graph_file, tmp_path):
+        path, graph = graph_file
+        index_path = str(tmp_path / "g.idx")
+        assert main(["build", path, index_path]) == 0
+        from repro.io.serialize import graph_fingerprint, read_label_meta
+
+        assert read_label_meta(index_path).fingerprint == graph_fingerprint(graph)

@@ -6,6 +6,8 @@
 #               not installed) + the CHANGES.md non-empty gate
 #   tests       the tier-1 pytest suite with PYTHONPATH=src (current python
 #               only; CI runs the 3.10/3.11/3.12 matrix)
+#   chaos-smoke tools/ci_chaos_smoke.py fault-injection gate (corrupt files,
+#               killed builds, crashing workers)
 #   bench-smoke tools/ci_bench_smoke.py + tools/ci_construction_smoke.py at
 #               CI scale, writing BENCH_ci_smoke.json / BENCH_construction.json
 #
@@ -41,6 +43,9 @@ fi
 
 step "tests (python $(python -c 'import platform; print(platform.python_version())'))"
 python -m pytest -x -q || failures=$((failures + 1))
+
+step "chaos-smoke"
+python tools/ci_chaos_smoke.py || failures=$((failures + 1))
 
 if [ "${1:-}" != "--skip-bench" ]; then
     step "bench-smoke"
