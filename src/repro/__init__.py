@@ -11,12 +11,16 @@ Public API
 * :mod:`repro.applications` — betweenness-style consumers (§1).
 * :class:`repro.resilience.ResilientSPCIndex` — fault-tolerant facade:
   checksummed/fingerprinted index loads with graceful BFS fallback.
+* :class:`repro.serving.SPCService` — the serving layer: per-request
+  deadlines, admission control with load shedding, a circuit breaker
+  around the degraded path, and hot index reload.
 """
 
 from repro.core.index import SPCIndex
 from repro.graph.digraph import WeightedDigraph
 from repro.graph.graph import Graph
 from repro.resilience import ResilientSPCIndex
+from repro.serving import SPCService
 
 __version__ = "1.0.0"
 
@@ -72,6 +76,7 @@ __all__ = [
     "WeightedDigraph",
     "SPCIndex",
     "ResilientSPCIndex",
+    "SPCService",
     "build_index",
     "VARIANTS",
     "__version__",

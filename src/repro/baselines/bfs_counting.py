@@ -13,13 +13,13 @@ from repro.graph.traversal import bfs_count_from, spc_bfs
 INF = float("inf")
 
 
-def _spc_csr(graph, s, t):
+def _spc_csr(graph, s, t, deadline=None):
     """``(distance, count)`` via one vectorized full sweep from ``s``."""
     from repro.kernels.bfs import bfs_count_csr
 
     if s == t:
         return 0, 1
-    dist, count = bfs_count_csr(graph, s)
+    dist, count = bfs_count_csr(graph, s, deadline=deadline)
     if count[t]:
         return int(dist[t]), int(count[t])
     return INF, 0
@@ -46,16 +46,46 @@ class BFSCountingOracle:
     def build(cls, graph, engine="python", **_ignored):
         return cls(graph, engine=engine)
 
-    def count(self, s, t):
-        return self.count_with_distance(s, t)[1]
+    def count(self, s, t, deadline=None):
+        return self.count_with_distance(s, t, deadline=deadline)[1]
 
-    def distance(self, s, t):
-        return self.count_with_distance(s, t)[0]
+    def distance(self, s, t, deadline=None):
+        return self.count_with_distance(s, t, deadline=deadline)[0]
 
-    def count_with_distance(self, s, t):
+    def count_with_distance(self, s, t, deadline=None):
+        """One online BFS; ``deadline`` (duck-typed ``check()``) makes the
+        sweep cooperative — it raises
+        :class:`~repro.exceptions.DeadlineExceeded` at the next level/chunk
+        checkpoint once the budget is spent, never a partial answer."""
         if self._engine == "csr":
-            return _spc_csr(self._graph, s, t)
-        return spc_bfs(self._graph, s, t)
+            return _spc_csr(self._graph, s, t, deadline=deadline)
+        return spc_bfs(self._graph, s, t, deadline=deadline)
+
+    def single_source(self, s, deadline=None):
+        """``(dist, count)`` numpy arrays from ``s`` over every vertex.
+
+        Matches :meth:`repro.core.index.SPCIndex.single_source`'s
+        conventions — float64 distances with ``inf`` for unreachable
+        vertices, int64 counts, ``(0, 1)`` on the diagonal — so the
+        resilient fallback path is a drop-in for the flat engine. Counts
+        too wide for int64 (python engine only) fall back to an object
+        array rather than losing exactness.
+        """
+        import numpy as np
+
+        if self._engine == "csr":
+            from repro.kernels.bfs import bfs_count_csr
+
+            dist, count = bfs_count_csr(self._graph, s, deadline=deadline)
+            out_dist = dist.astype(np.float64)
+            out_dist[dist < 0] = INF
+            return out_dist, count.copy()
+        dist, count = bfs_count_from(self._graph, s, deadline=deadline)
+        try:
+            counts = np.array(count, dtype=np.int64)
+        except OverflowError:
+            counts = np.array(count, dtype=object)
+        return np.array(dist, dtype=np.float64), counts
 
     def __repr__(self):
         return f"BFSCountingOracle(n={self._graph.n}, engine={self._engine!r})"

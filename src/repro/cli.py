@@ -10,12 +10,18 @@ Usage (also available as ``python -m repro``):
     repro-spc stats  index.bin
     repro-spc verify index.bin graph.txt --samples 500
     repro-spc bench  index.bin --queries 2000 --engine both
+    repro-spc serve-smoke index.bin graph.txt --random 500 --deadline-ms 20
 
 Graphs are whitespace edge lists (SNAP/KONECT style; ``#``/``%``
 comments). ``build`` writes the paper's packed 64-bit binary format, so
 indexes built here load anywhere the library runs. The CLI wraps the
 plain HP-SPC index; the reduced variants are library-level APIs (their
 query path needs reduction state that the binary format does not carry).
+
+Failures exit with *distinct* codes so scripts can branch on the cause:
+``1`` unexpected library/I/O error, ``2`` usage, ``3`` graph parse error,
+``4`` index serialization/corruption, ``5`` invalid vertex id, ``6``
+serving flow-control (deadline/overload/circuit).
 """
 
 import argparse
@@ -28,10 +34,23 @@ from repro.core.diagnostics import (
     validate_structure,
 )
 from repro.core.index import SPCIndex
-from repro.exceptions import ReproError
+from repro.exceptions import (
+    GraphParseError,
+    ReproError,
+    SerializationError,
+    ServingError,
+    VertexError,
+)
 from repro.graph.io import read_edge_list
 from repro.io.serialize import load_index, save_index
 from repro.utils.rng import random_pairs
+
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_PARSE = 3
+EXIT_SERIALIZATION = 4
+EXIT_VERTEX = 5
+EXIT_SERVING = 6
 
 
 def _cmd_info(args):
@@ -187,6 +206,99 @@ def _cmd_bench(args):
     return 0
 
 
+def _cmd_serve_smoke(args):
+    """Drive a request burst through :class:`SPCService` and report stats.
+
+    Requests come from ``--script`` (lines ``S T``; directives
+    ``!corrupt``, ``!restore``, ``!reload``, ``!sleep MS`` drive the
+    chaos) or from ``--random N``. Exits 0 when every request ended in a
+    terminal status and none hit an unexpected library error.
+    """
+    from repro.serving import ERROR, SPCService, TERMINAL_STATUSES
+
+    graph, _ = read_edge_list(args.graph)
+    deadline = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    service = SPCService(
+        graph, index_path=args.index, capacity=args.capacity,
+        queue_limit=args.queue, default_deadline=deadline,
+        failure_threshold=args.breaker_threshold,
+        reset_timeout=args.breaker_reset_ms / 1000.0,
+        reload_check_every=1, bfs_engine=args.bfs_engine,
+    )
+
+    flapper = None
+    results = []
+
+    def run_request(s, t):
+        result = service.submit(s, t)
+        if result.status not in TERMINAL_STATUSES:
+            raise AssertionError(f"non-terminal status {result.status!r}")
+        results.append(result)
+
+    if args.script:
+        from repro.testing.faults import FlappingFile
+
+        with open(args.script) as handle:
+            for line_no, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                if line.startswith("!"):
+                    directive = line[1:].split()
+                    if directive[0] == "corrupt":
+                        if flapper is None:
+                            flapper = FlappingFile(args.index)
+                        flapper.corrupt(*directive[1:2])
+                    elif directive[0] == "restore":
+                        if flapper is None:
+                            print(f"{args.script}:{line_no}: !restore before "
+                                  "!corrupt", file=sys.stderr)
+                            return EXIT_USAGE
+                        flapper.restore()
+                    elif directive[0] == "reload":
+                        service.check_reload()
+                    elif directive[0] == "sleep":
+                        time.sleep(float(directive[1]) / 1000.0)
+                    else:
+                        print(f"{args.script}:{line_no}: unknown directive "
+                              f"{line!r}", file=sys.stderr)
+                        return EXIT_USAGE
+                    continue
+                parts = line.split()
+                if len(parts) < 2:
+                    print(f"{args.script}:{line_no}: expected 'S T'",
+                          file=sys.stderr)
+                    return EXIT_USAGE
+                run_request(int(parts[0]), int(parts[1]))
+    else:
+        pairs = list(random_pairs(graph.n, args.random, rng=args.seed))
+        if args.threads > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=args.threads) as pool:
+                list(pool.map(lambda p: run_request(*p), pairs))
+        else:
+            for s, t in pairs:
+                run_request(s, t)
+
+    stats = service.stats()
+    health = service.health()
+    print(f"requests      : {len(results)}")
+    for status in ("index", "degraded", "shed", "circuit_open", "deadline",
+                   "invalid", "error"):
+        print(f"{status:14s}: {stats['counters'][status]}")
+    print(f"generation    : {stats['generation']}")
+    print(f"reloads       : {stats['counters']['reloads']}")
+    print(f"serving status: {health['status']}")
+    if "breaker" in health:
+        print(f"breaker state : {health['breaker']['state']}")
+    if results:
+        latencies = sorted(r.elapsed for r in results)
+        p95 = latencies[min(len(latencies) - 1, int(0.95 * len(latencies)))]
+        print(f"p95 latency   : {p95 * 1e3:.2f} ms")
+    return 0 if stats["counters"][ERROR] == 0 else EXIT_ERROR
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro-spc",
@@ -252,6 +364,32 @@ def build_parser():
                    help="which query engine(s) to time")
     p.set_defaults(func=_cmd_bench)
 
+    p = sub.add_parser("serve-smoke",
+                       help="drive a request burst through SPCService")
+    p.add_argument("index")
+    p.add_argument("graph")
+    p.add_argument("--random", type=int, default=200, metavar="N",
+                   help="number of random request pairs (default 200)")
+    p.add_argument("--script", default=None,
+                   help="request script: 'S T' lines plus !corrupt/!restore/"
+                        "!reload/!sleep MS directives")
+    p.add_argument("--deadline-ms", type=float, default=50.0,
+                   help="per-request deadline budget (0 = unlimited)")
+    p.add_argument("--capacity", type=int, default=8,
+                   help="max concurrently executing requests")
+    p.add_argument("--queue", type=int, default=16,
+                   help="admission queue slots before shedding")
+    p.add_argument("--threads", type=int, default=1,
+                   help="driver threads for --random mode")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive fallback failures before the circuit opens")
+    p.add_argument("--breaker-reset-ms", type=float, default=500.0,
+                   help="open-state cooldown before a half-open probe")
+    p.add_argument("--bfs-engine", default="python", choices=["python", "csr"],
+                   help="fallback BFS engine")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve_smoke)
+
     return parser
 
 
@@ -260,12 +398,24 @@ def main(argv=None):
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except GraphParseError as exc:
+        print(f"graph parse error: {exc}", file=sys.stderr)
+        return EXIT_PARSE
+    except VertexError as exc:
+        print(f"invalid vertex: {exc}", file=sys.stderr)
+        return EXIT_VERTEX
+    except SerializationError as exc:
+        print(f"index error: {exc}", file=sys.stderr)
+        return EXIT_SERIALIZATION
+    except ServingError as exc:
+        print(f"serving error: {exc}", file=sys.stderr)
+        return EXIT_SERVING
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

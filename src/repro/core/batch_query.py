@@ -55,7 +55,7 @@ def _gather_rows(flat, vertices):
     return entry_idx, seg_ptr
 
 
-def count_many_arrays(flat, sources, targets):
+def count_many_arrays(flat, sources, targets, deadline=None):
     """``(dist, count)`` numpy columns for a batch of pairs.
 
     ``dist`` is float64 (``inf`` marks disconnected pairs), ``count`` is
@@ -63,6 +63,11 @@ def count_many_arrays(flat, sources, targets):
     label is scattered into rank-indexed ``(dist, count)`` arrays, and every
     target row of that group joins via dense gathers — the per-query cost is
     a few small-array numpy ops instead of a per-entry Python merge join.
+
+    ``deadline`` (duck-typed ``check()``) is consulted every few dozen
+    pairs, between label-scan chunks, so a huge batch under a per-request
+    budget raises :class:`~repro.exceptions.DeadlineExceeded` promptly
+    rather than running to completion.
     """
     sources = np.asarray(sources, dtype=INT)
     targets = np.asarray(targets, dtype=INT)
@@ -84,7 +89,9 @@ def count_many_arrays(flat, sources, targets):
     target_list = targets.tolist()
     current = -1
     scattered = None
-    for i in grouped:
+    for done, i in enumerate(grouped):
+        if deadline is not None and not done & 0x3F:
+            deadline.check()
         s = source_list[i]
         if s != current:
             if scattered is not None:
@@ -111,19 +118,20 @@ def count_many_arrays(flat, sources, targets):
     return out_dist, out_count
 
 
-def count_many(flat, pairs):
+def count_many(flat, pairs, deadline=None):
     """Batched ``count_query``: list of ``(sd(s,t), spc(s,t))`` tuples.
 
     Python-native results — ``(inf, 0)`` for disconnected pairs, integer
     distances otherwise — so elements compare equal to
-    :func:`repro.core.query.count_query` output.
+    :func:`repro.core.query.count_query` output. ``deadline`` is threaded
+    through to :func:`count_many_arrays`.
     """
     pairs = list(pairs)
     if not pairs:
         return []
     sources = np.fromiter((s for s, _ in pairs), dtype=INT, count=len(pairs))
     targets = np.fromiter((t for _, t in pairs), dtype=INT, count=len(pairs))
-    dist, count = count_many_arrays(flat, sources, targets)
+    dist, count = count_many_arrays(flat, sources, targets, deadline=deadline)
     return [
         (int(d), int(c)) if c else (INF, 0)
         for d, c in zip(dist.tolist(), count.tolist())

@@ -34,6 +34,7 @@ class SPCIndex:
         self._build_stats = build_stats
         self._build_seconds = build_seconds
         self._flat = None
+        self._stale_reason = None
 
     @classmethod
     def build(cls, graph, ordering="degree", collect_stats=False, workers=1,
@@ -117,21 +118,47 @@ class SPCIndex:
             self._flat = FlatLabels.from_label_set(self.labels)
         return self._flat
 
-    def count_many(self, pairs):
+    def count_many(self, pairs, deadline=None):
         """Batched ``(sd, spc)`` tuples over the vectorized flat engine.
 
         Matches :meth:`count_with_distance` element-for-element but costs a
-        fixed number of numpy passes for the whole batch.
+        fixed number of numpy passes for the whole batch. ``deadline``
+        (e.g. a :class:`repro.serving.Deadline`) makes the scan
+        cooperative for bounded-latency callers.
         """
         from repro.core.batch_query import count_many
 
-        return count_many(self.to_flat(), pairs)
+        return count_many(self.to_flat(), pairs, deadline=deadline)
 
     def single_source(self, s):
         """``(dist, count)`` numpy arrays from ``s`` over every vertex."""
         from repro.core.batch_query import single_source
 
         return single_source(self.to_flat(), s)
+
+    # -- staleness ------------------------------------------------------------
+
+    @property
+    def stale(self):
+        """True once the index no longer matches its graph (see :meth:`mark_stale`)."""
+        return self._stale_reason is not None
+
+    @property
+    def stale_reason(self):
+        """Why the index was marked stale, or ``None`` while fresh."""
+        return self._stale_reason
+
+    def mark_stale(self, reason="graph changed since this index was built"):
+        """Flag the labels as no longer matching the live graph.
+
+        Set by :class:`repro.dynamic.incremental.DynamicSPCIndex` on edge
+        insertions; serving layers (:class:`repro.resilience
+        .ResilientSPCIndex`, :class:`repro.serving.SPCService`) check the
+        flag and degrade or rebuild instead of silently serving wrong
+        counts. Queries *through* the marking owner stay exact — the flag
+        protects everyone else holding a reference to the raw index.
+        """
+        self._stale_reason = reason
 
     # -- introspection ---------------------------------------------------------
 

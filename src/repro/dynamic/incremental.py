@@ -69,6 +69,14 @@ class DynamicSPCIndex:
             raise GraphError(f"edge {key} already present")
         self._patch.append(key)
         self._patch_set.add(key)
+        # Queries *through this facade* stay exact (the patched fixpoint
+        # accounts for the new edge), but the raw static labels no longer
+        # match the logical graph: flag them so any serving layer holding
+        # a reference (ResilientSPCIndex, SPCService) degrades or rebuilds
+        # instead of silently answering for the pre-insertion graph.
+        self._index.mark_stale(
+            f"edge {key} inserted after build ({len(self._patch)} pending)"
+        )
         if self._auto_rebuild is not None and len(self._patch) >= self._auto_rebuild:
             self.rebuild()
 
@@ -163,6 +171,11 @@ class DynamicSPCIndex:
 
     @property
     def base_index(self):
+        """The static index (marked ``stale`` while insertions are pending).
+
+        Serving layers that adopt this index check the flag at query time
+        and degrade/rebuild rather than serve pre-insertion counts.
+        """
         return self._index
 
     def current_graph(self):

@@ -22,6 +22,21 @@ class VertexError(GraphError):
         self.n = n
 
 
+class GraphParseError(GraphError):
+    """A graph file could not be parsed (malformed token, truncated header).
+
+    Always names the file and, when the failure is tied to one, the
+    1-based line number — so operators can fix the input instead of
+    staring at a bare ``ValueError`` from ``int()``.
+    """
+
+    def __init__(self, path, message, line=None):
+        location = f"{path}:{line}" if line is not None else str(path)
+        super().__init__(f"{location}: {message}")
+        self.path = str(path)
+        self.line = line
+
+
 class OrderingError(ReproError):
     """A vertex ordering is not a permutation of the graph's vertices."""
 
@@ -71,3 +86,61 @@ class StaleIndexError(SerializationError):
 class ParallelBuildError(ReproError):
     """Parallel construction could not complete even after worker retries
     (and sequential fallback was disabled)."""
+
+
+class ServingError(ReproError):
+    """Base class for query-serving failures (:mod:`repro.serving`).
+
+    These are *flow-control* errors — the service protecting itself under
+    load or failure — never wrong answers: a query either completes
+    exactly or raises one of these.
+    """
+
+
+class DeadlineExceeded(ServingError):
+    """A query ran out of its per-request deadline budget.
+
+    Raised cooperatively at scan/level checkpoints, so a slow degraded
+    path costs at most one checkpoint interval past the budget.
+    """
+
+    def __init__(self, budget, elapsed):
+        super().__init__(
+            f"deadline of {budget * 1e3:.1f} ms exceeded "
+            f"after {elapsed * 1e3:.1f} ms"
+        )
+        self.budget = budget
+        self.elapsed = elapsed
+
+
+class ServiceOverloaded(ServingError):
+    """The admission queue is full; the request was shed, not queued.
+
+    ``retry_after`` is the service's hint (seconds) for when capacity is
+    likely to be available again.
+    """
+
+    def __init__(self, in_flight, queued, retry_after):
+        super().__init__(
+            f"service overloaded ({in_flight} in flight, {queued} queued); "
+            f"retry after {retry_after * 1e3:.0f} ms"
+        )
+        self.in_flight = in_flight
+        self.queued = queued
+        self.retry_after = retry_after
+
+
+class CircuitOpenError(ServingError):
+    """The degraded-path circuit breaker is open: fail fast, do not BFS.
+
+    ``retry_after`` is the time (seconds) until the breaker will admit a
+    half-open probe.
+    """
+
+    def __init__(self, retry_after, failures):
+        super().__init__(
+            f"circuit open after {failures} consecutive degraded-path "
+            f"failures; next probe in {retry_after * 1e3:.0f} ms"
+        )
+        self.retry_after = retry_after
+        self.failures = failures

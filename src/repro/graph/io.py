@@ -3,11 +3,85 @@
 Supports the formats the paper's datasets ship in (SNAP/KONECT edge lists),
 plus METIS and unweighted DIMACS, so a user can point the library at the
 original downloads when hardware allows.
+
+Every malformed input — non-integer tokens, negative or out-of-range
+vertex ids, truncated headers, undecodable bytes, empty files — raises a
+typed :class:`~repro.exceptions.GraphParseError` carrying the file path
+and (when one applies) the 1-based line number. Parsers never leak a bare
+``ValueError``/``IndexError`` from ``int()`` or token indexing: a graph
+file fed by an operator is untrusted input.
 """
 
-from repro.exceptions import GraphError
+from repro.exceptions import GraphParseError
 from repro.graph.digraph import WeightedDigraph
 from repro.graph.graph import Graph
+
+
+def _parse_int(token, path, line_no, what):
+    """``int(token)`` with a typed, located error on garbage."""
+    try:
+        return int(token)
+    except ValueError:
+        raise GraphParseError(path, f"non-integer {what} {token!r}",
+                              line=line_no) from None
+
+
+def _read_lines(path):
+    """Yield ``(line_no, line)``; undecodable bytes become a typed error."""
+    with open(path, errors="strict") as handle:
+        line_no = 0
+        while True:
+            try:
+                line = handle.readline()
+            except UnicodeDecodeError as exc:
+                raise GraphParseError(
+                    path, f"not a text file ({exc.reason} at byte "
+                    f"{exc.start})", line=line_no + 1,
+                ) from None
+            if not line:
+                return
+            line_no += 1
+            yield line_no, line
+
+
+def _parse_endpoint_lines(path, comments, want_weight, default_weight):
+    """Shared edge-list scanner: ``(raw_edges, ids, saw_content)``."""
+    raw_edges = []
+    ids = set()
+    saw_content = False
+    for line_no, line in _read_lines(path):
+        line = line.strip()
+        if not line:
+            continue
+        if any(line.startswith(c) for c in comments):
+            saw_content = True
+            continue
+        saw_content = True
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphParseError(path, "expected at least two columns",
+                                  line=line_no)
+        u = _parse_int(parts[0], path, line_no, "endpoint")
+        v = _parse_int(parts[1], path, line_no, "endpoint")
+        if u < 0 or v < 0:
+            raise GraphParseError(
+                path, f"negative vertex id {min(u, v)}", line=line_no
+            )
+        weight = default_weight
+        if want_weight and len(parts) >= 3:
+            try:
+                weight = float(parts[2])
+            except ValueError:
+                raise GraphParseError(path, f"non-numeric weight {parts[2]!r}",
+                                      line=line_no) from None
+            if weight == int(weight):
+                weight = int(weight)
+        ids.add(u)
+        ids.add(v)
+        raw_edges.append((u, v, weight))
+    if not saw_content:
+        raise GraphParseError(path, "empty graph file")
+    return raw_edges, ids
 
 
 def read_edge_list(path, comments=("#", "%"), directed=False, default_weight=1):
@@ -19,32 +93,11 @@ def read_edge_list(path, comments=("#", "%"), directed=False, default_weight=1):
     column, when present and ``directed``, is the edge weight.
 
     Returns ``(graph, id_map)`` where ``id_map`` maps original -> dense ids.
+    A file with comments but no edges is a legitimate empty graph; a file
+    with no content at all raises :class:`GraphParseError`.
     """
-    raw_edges = []
-    ids = set()
-    with open(path) as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or any(line.startswith(c) for c in comments):
-                continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise GraphError(f"{path}:{line_no}: expected at least two columns")
-            try:
-                u, v = int(parts[0]), int(parts[1])
-            except ValueError as exc:
-                raise GraphError(f"{path}:{line_no}: non-integer endpoint") from exc
-            weight = default_weight
-            if directed and len(parts) >= 3:
-                try:
-                    weight = float(parts[2])
-                except ValueError as exc:
-                    raise GraphError(f"{path}:{line_no}: non-numeric weight") from exc
-                if weight == int(weight):
-                    weight = int(weight)
-            ids.add(u)
-            ids.add(v)
-            raw_edges.append((u, v, weight))
+    raw_edges, ids = _parse_endpoint_lines(path, comments, directed,
+                                           default_weight)
     id_map = {old: new for new, old in enumerate(sorted(ids))}
     if directed:
         edges = [(id_map[u], id_map[v], w) for u, v, w in raw_edges if u != v]
@@ -71,31 +124,7 @@ def read_weighted_edge_list(path, comments=("#", "%"), default_weight=1):
     """
     from repro.weighted.graph import WeightedGraph
 
-    raw_edges = []
-    ids = set()
-    with open(path) as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or any(line.startswith(c) for c in comments):
-                continue
-            parts = line.split()
-            if len(parts) < 2:
-                raise GraphError(f"{path}:{line_no}: expected at least two columns")
-            try:
-                u, v = int(parts[0]), int(parts[1])
-            except ValueError as exc:
-                raise GraphError(f"{path}:{line_no}: non-integer endpoint") from exc
-            weight = default_weight
-            if len(parts) >= 3:
-                try:
-                    weight = float(parts[2])
-                except ValueError as exc:
-                    raise GraphError(f"{path}:{line_no}: non-numeric weight") from exc
-                if weight == int(weight):
-                    weight = int(weight)
-            ids.add(u)
-            ids.add(v)
-            raw_edges.append((u, v, weight))
+    raw_edges, ids = _parse_endpoint_lines(path, comments, True, default_weight)
     id_map = {old: new for new, old in enumerate(sorted(ids))}
     edges = [(id_map[u], id_map[v], w) for u, v, w in raw_edges if u != v]
     return WeightedGraph.from_edges(len(id_map), edges), id_map
@@ -116,31 +145,42 @@ def read_metis(path):
     Blank adjacency lines are legitimate — they are isolated vertices —
     so only comment lines are skipped.
     """
-    with open(path) as handle:
-        lines = [ln.strip() for ln in handle if not ln.startswith("%")]
-    while lines and not lines[0]:
+    lines = []
+    for line_no, line in _read_lines(path):
+        if not line.startswith("%"):
+            lines.append((line_no, line.strip()))
+    while lines and not lines[0][1]:
         lines.pop(0)
     if not lines:
-        raise GraphError(f"{path}: empty METIS file")
-    head = lines[0].split()
+        raise GraphParseError(path, "empty METIS file")
+    head_no, head_line = lines[0]
+    head = head_line.split()
     if len(head) < 2:
-        raise GraphError(f"{path}: malformed METIS header")
-    n, m = int(head[0]), int(head[1])
+        raise GraphParseError(path, "truncated METIS header (need 'n m')",
+                              line=head_no)
+    n = _parse_int(head[0], path, head_no, "vertex count")
+    m = _parse_int(head[1], path, head_no, "edge count")
+    if n < 0 or m < 0:
+        raise GraphParseError(path, f"negative METIS header field ({n} {m})",
+                              line=head_no)
     adjacency_lines = lines[1 : 1 + n]
     trailing = lines[1 + n :]
-    if len(adjacency_lines) != n or any(trailing):
-        raise GraphError(f"{path}: expected {n} adjacency lines, got {len(lines) - 1}")
+    if len(adjacency_lines) != n or any(text for _, text in trailing):
+        raise GraphParseError(
+            path, f"expected {n} adjacency lines, got {len(lines) - 1}"
+        )
     edges = []
-    for u, line in enumerate(adjacency_lines):
+    for u, (line_no, line) in enumerate(adjacency_lines):
         for token in line.split():
-            v = int(token) - 1
+            v = _parse_int(token, path, line_no, "neighbor") - 1
             if not (0 <= v < n):
-                raise GraphError(f"{path}: neighbor {token} out of range")
+                raise GraphParseError(path, f"neighbor {token} out of range "
+                                      f"[1, {n}]", line=line_no)
             if u != v:
                 edges.append((u, v))
     graph = Graph.from_edges(n, edges)
     if graph.m != m:
-        raise GraphError(f"{path}: header claims {m} edges, file has {graph.m}")
+        raise GraphParseError(path, f"header claims {m} edges, file has {graph.m}")
     return graph
 
 
@@ -156,24 +196,36 @@ def read_dimacs(path):
     """Read an unweighted graph in DIMACS ``p edge`` format."""
     n = None
     edges = []
-    with open(path) as handle:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or line.startswith("c"):
-                continue
-            parts = line.split()
-            if parts[0] == "p":
-                if len(parts) < 4:
-                    raise GraphError(f"{path}:{line_no}: malformed problem line")
-                n = int(parts[2])
-            elif parts[0] in ("e", "a"):
-                if n is None:
-                    raise GraphError(f"{path}:{line_no}: edge before problem line")
-                u, v = int(parts[1]) - 1, int(parts[2]) - 1
-                if u != v:
-                    edges.append((u, v))
+    for line_no, line in _read_lines(path):
+        line = line.strip()
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "p":
+            if len(parts) < 4:
+                raise GraphParseError(path, "truncated problem line "
+                                      "(need 'p edge N M')", line=line_no)
+            n = _parse_int(parts[2], path, line_no, "vertex count")
+            if n < 0:
+                raise GraphParseError(path, f"negative vertex count {n}",
+                                      line=line_no)
+        elif parts[0] in ("e", "a"):
+            if n is None:
+                raise GraphParseError(path, "edge before problem line",
+                                      line=line_no)
+            if len(parts) < 3:
+                raise GraphParseError(path, "truncated edge line "
+                                      "(need 'e U V')", line=line_no)
+            u = _parse_int(parts[1], path, line_no, "endpoint") - 1
+            v = _parse_int(parts[2], path, line_no, "endpoint") - 1
+            for w in (u, v):
+                if not (0 <= w < n):
+                    raise GraphParseError(path, f"endpoint {w + 1} out of "
+                                          f"range [1, {n}]", line=line_no)
+            if u != v:
+                edges.append((u, v))
     if n is None:
-        raise GraphError(f"{path}: missing problem line")
+        raise GraphParseError(path, "missing problem line")
     return Graph.from_edges(n, edges)
 
 

@@ -26,19 +26,28 @@ def bfs_distances(graph, source):
     return dist
 
 
-def bfs_count_from(graph, source):
+def bfs_count_from(graph, source, deadline=None):
     """Return ``(dist, count)`` arrays from ``source``.
 
     ``count[v]`` is ``spc(source, v)`` — the number of shortest paths —
     computed by the standard BFS counting recurrence (Brandes' Σ).
+    ``deadline`` (duck-typed ``check()``) is consulted every few hundred
+    dequeues, like :func:`spc_bfs`.
     """
+    if deadline is not None:
+        deadline.check()
     dist = [INF] * graph.n
     count = [0] * graph.n
     dist[source] = 0
     count[source] = 1
     queue = deque([source])
+    processed = 0
     while queue:
         v = queue.popleft()
+        if deadline is not None:
+            processed += 1
+            if not processed & 0xFF:
+                deadline.check()
         dv = dist[v]
         cv = count[v]
         for w in graph.neighbors(v):
@@ -52,22 +61,33 @@ def bfs_count_from(graph, source):
     return dist, count
 
 
-def spc_bfs(graph, s, t):
+def spc_bfs(graph, s, t, deadline=None):
     """Online shortest-path count ``spc(s, t)`` by a single BFS from ``s``.
 
     Returns ``(distance, count)``; ``(inf, 0)`` when disconnected. This is
     the online baseline of Table 3 and the test oracle everywhere.
+    ``deadline`` (any object with a ``check()`` method, e.g.
+    :class:`repro.serving.deadline.Deadline`) is consulted every few
+    hundred dequeues so a bounded-latency caller never waits for a full
+    sweep of a huge component.
     """
     if s == t:
         return 0, 1
+    if deadline is not None:
+        deadline.check()  # an already-blown budget must not start a sweep
     dist = [INF] * graph.n
     count = [0] * graph.n
     dist[s] = 0
     count[s] = 1
     queue = deque([s])
     target_dist = INF
+    processed = 0
     while queue:
         v = queue.popleft()
+        if deadline is not None:
+            processed += 1
+            if not processed & 0xFF:
+                deadline.check()
         dv = dist[v]
         if dv >= target_dist:
             # Everything at the target's level is settled; counts into t

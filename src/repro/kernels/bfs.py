@@ -74,11 +74,13 @@ def bfs_distances_csr(graph, source):
     return dist
 
 
-def bfs_count_csr(graph, source):
+def bfs_count_csr(graph, source, deadline=None):
     """``(dist, count)`` int64 arrays from ``source`` (Brandes' Σ recurrence).
 
     Vectorized counterpart of :func:`repro.graph.traversal.bfs_count_from`;
     distances use ``-1`` for unreachable vertices (count 0 there).
+    ``deadline`` (duck-typed ``check()``) is consulted once per BFS level —
+    the natural cooperative checkpoint of a level-synchronous sweep.
     """
     indptr, indices = graph.csr()
     n = graph.n
@@ -91,6 +93,8 @@ def bfs_count_csr(graph, source):
     frontier = np.array([source], dtype=np.int64)
     level = 0
     while frontier.size:
+        if deadline is not None:
+            deadline.check()
         starts = indptr[frontier]
         degrees = indptr[frontier + 1] - starts
         neighbors = indices[expand_ranges(starts, degrees)]

@@ -14,17 +14,30 @@ missing, truncated, bit-flipped, or built for yesterday's graph. A
   state answers through the exact online
   :class:`~repro.baselines.bfs_counting.BFSCountingOracle` — slower but
   always correct, never a wrong count.
-* **observe** — ``counters`` tallies index hits, fallback hits, load and
-  verification failures, so operators can alarm on degradation;
-  ``last_error`` keeps the typed reason.
+* **observe** — ``counters`` tallies index hits, fallback hits, load,
+  verification and staleness failures, so operators can alarm on
+  degradation; ``last_error`` keeps the typed reason; ``generation``
+  counts successful (re)loads so hot swaps are visible downstream.
+* **defend** — every query accepts a ``deadline`` (:class:`repro.serving
+  .Deadline`) that the BFS fallback honours between levels, and an
+  optional :class:`~repro.serving.breaker.CircuitBreaker` gates the
+  fallback path: when the degraded path keeps timing out, queries fail
+  fast with :class:`~repro.exceptions.CircuitOpenError` instead of each
+  burning a full deadline.
 
-Invalid vertex ids raise :class:`~repro.exceptions.VertexError` on both
-paths — degradation never converts a caller bug into a silent answer.
+All state transitions (index swap, demotion, counters) happen under one
+lock, and queries snapshot the index reference once — concurrent readers
+never see a torn swap. Invalid vertex ids raise
+:class:`~repro.exceptions.VertexError` on both paths — degradation never
+converts a caller bug into a silent answer.
 """
+
+import threading
 
 from repro.baselines.bfs_counting import BFSCountingOracle
 from repro.core.index import SPCIndex
 from repro.exceptions import (
+    DeadlineExceeded,
     LabelingError,
     ReproError,
     SerializationError,
@@ -47,7 +60,7 @@ class ResilientSPCIndex:
         degraded (BFS) mode rather than raising.
     index:
         Alternatively, an in-memory :class:`SPCIndex` to adopt (still
-        verified against the graph's vertex count).
+        verified against the graph's vertex count and its ``stale`` flag).
     bfs_engine:
         Engine for the fallback oracle (``"python"`` or ``"csr"``).
     io_retries:
@@ -56,23 +69,31 @@ class ResilientSPCIndex:
         When True, refuse to serve from index files that carry no graph
         fingerprint (legacy v2 saves) instead of trusting a vertex-count
         check.
+    breaker:
+        Optional :class:`~repro.serving.breaker.CircuitBreaker` guarding
+        the BFS fallback path. When open, degraded queries raise
+        :class:`~repro.exceptions.CircuitOpenError` immediately.
     """
 
     def __init__(self, graph, index_path=None, index=None, bfs_engine="python",
-                 io_retries=1, require_fingerprint=False):
+                 io_retries=1, require_fingerprint=False, breaker=None):
         self._graph = graph
         self._path = index_path
         self._io_retries = io_retries
         self._require_fingerprint = require_fingerprint
         self._oracle = BFSCountingOracle(graph, engine=bfs_engine)
+        self._breaker = breaker
         self._index = None
         self._last_error = None
+        self._lock = threading.Lock()
+        self.generation = 0
         self.counters = {
             "index_queries": 0,
             "fallback_queries": 0,
             "load_failures": 0,
             "verify_failures": 0,
             "query_failures": 0,
+            "stale_detections": 0,
         }
         if index is not None:
             if index.labels.n != graph.n:
@@ -83,6 +104,7 @@ class ResilientSPCIndex:
                 )
             else:
                 self._index = index
+                self.generation = 1
         elif index_path is not None:
             self.reload()
 
@@ -94,39 +116,50 @@ class ResilientSPCIndex:
         Every failure mode is recorded (``load_failures`` for I/O and
         format corruption, ``verify_failures`` for fingerprint mismatches)
         and leaves the facade in degraded mode with ``last_error`` set.
+        A success atomically swaps the served index and bumps
+        ``generation``; readers mid-query keep the snapshot they started
+        with, so a swap never tears an in-flight answer.
         """
-        self._index = None
-        self._last_error = None
         try:
             labels, meta = load_labels_with_meta(
                 self._path, retries=self._io_retries
             )
         except (OSError, ReproError) as exc:
-            self.counters["load_failures"] += 1
-            self._last_error = exc
+            with self._lock:
+                self._index = None
+                self.counters["load_failures"] += 1
+                self._last_error = exc
             return False
         live = graph_fingerprint(self._graph)
+        error = None
         if meta.fingerprint is not None:
             if meta.fingerprint != live:
-                self.counters["verify_failures"] += 1
-                self._last_error = StaleIndexError(
+                error = StaleIndexError(
                     live, meta.fingerprint, context=str(self._path)
                 )
-                return False
         elif self._require_fingerprint:
-            self.counters["verify_failures"] += 1
-            self._last_error = SerializationError(
+            error = SerializationError(
                 f"{self._path}: index carries no graph fingerprint "
                 "(require_fingerprint=True)"
             )
-            return False
         elif labels.n != self._graph.n:
-            self.counters["verify_failures"] += 1
-            self._last_error = StaleIndexError(
+            error = StaleIndexError(
                 live, (labels.n, None, None), context=str(self._path)
             )
-            return False
-        self._index = SPCIndex(labels)
+        with self._lock:
+            if error is not None:
+                self._index = None
+                self.counters["verify_failures"] += 1
+                self._last_error = error
+                return False
+            self._index = SPCIndex(labels)
+            self._last_error = None
+            self.generation += 1
+        if self._breaker is not None:
+            # A freshly verified index invalidates the degraded-path failure
+            # streak: close the breaker so recovery is immediate rather than
+            # waiting out a reset timeout that no longer reflects reality.
+            self._breaker.reset()
         return True
 
     @property
@@ -139,15 +172,25 @@ class ResilientSPCIndex:
         """The typed error that caused the last load/verify failure, if any."""
         return self._last_error
 
+    @property
+    def breaker(self):
+        """The fallback-path circuit breaker, when one was attached."""
+        return self._breaker
+
     def explain(self):
         """Operator snapshot: serving path, counters, and last error."""
-        return {
-            "status": self.status,
-            "index_path": None if self._path is None else str(self._path),
-            "counters": dict(self.counters),
-            "last_error": None if self._last_error is None
-            else f"{type(self._last_error).__name__}: {self._last_error}",
-        }
+        with self._lock:
+            snapshot = {
+                "status": "index" if self._index is not None else "degraded",
+                "index_path": None if self._path is None else str(self._path),
+                "generation": self.generation,
+                "counters": dict(self.counters),
+                "last_error": None if self._last_error is None
+                else f"{type(self._last_error).__name__}: {self._last_error}",
+            }
+        if self._breaker is not None:
+            snapshot["breaker"] = self._breaker.snapshot()
+        return snapshot
 
     # -- queries -------------------------------------------------------------
 
@@ -155,51 +198,135 @@ class ResilientSPCIndex:
         if not isinstance(v, int) or not 0 <= v < self._graph.n:
             raise VertexError(v, self._graph.n)
 
-    def count_with_distance(self, s, t):
+    def _snapshot_index(self):
+        """One consistent read of the served index, demoting stale labels.
+
+        The staleness flag (:meth:`SPCIndex.mark_stale`, set e.g. by
+        :class:`repro.dynamic.incremental.DynamicSPCIndex` after edge
+        insertions) is honoured *at query time*: an index that went stale
+        mid-serving is demoted here rather than silently answering for
+        yesterday's graph.
+        """
+        with self._lock:
+            index = self._index
+            if index is not None and index.stale:
+                self.counters["stale_detections"] += 1
+                self._last_error = StaleIndexError(
+                    graph_fingerprint(self._graph), index.stale_reason,
+                    context="stale in-memory index",
+                )
+                self._index = None
+                return None
+            return index
+
+    def _demote(self, index, exc):
+        """The loaded index misbehaved at query time: record and demote."""
+        with self._lock:
+            self.counters["query_failures"] += 1
+            self._last_error = exc
+            if self._index is index:
+                self._index = None
+
+    def _count_fallback(self, index_hits):
+        with self._lock:
+            self.counters["fallback_queries"] += index_hits
+
+    def _fallback_call(self, work, queries, deadline):
+        """Run degraded-path ``work()`` behind the breaker and deadline."""
+        if deadline is not None:
+            deadline.check()
+        if self._breaker is not None:
+            self._breaker.before_call()  # raises CircuitOpenError when open
+        try:
+            answer = work()
+        except DeadlineExceeded:
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            raise
+        except (SerializationError, LabelingError):
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            raise
+        if self._breaker is not None:
+            self._breaker.record_success()
+        self._count_fallback(queries)
+        return answer
+
+    def count_with_distance(self, s, t, deadline=None):
         """``(sd(s,t), spc(s,t))`` — from the index, or BFS when degraded."""
         self._check_vertex(s)
         self._check_vertex(t)
-        if self._index is not None:
+        index = self._snapshot_index()
+        if index is not None:
             try:
-                answer = self._index.count_with_distance(s, t)
+                answer = index.count_with_distance(s, t)
             except (SerializationError, LabelingError) as exc:
                 # The loaded index misbehaved at query time: demote it and
                 # keep serving — the BFS answer below is exact.
-                self.counters["query_failures"] += 1
-                self._last_error = exc
-                self._index = None
+                self._demote(index, exc)
             else:
-                self.counters["index_queries"] += 1
+                with self._lock:
+                    self.counters["index_queries"] += 1
                 return answer
-        self.counters["fallback_queries"] += 1
-        return self._oracle.count_with_distance(s, t)
+        return self._fallback_call(
+            lambda: self._oracle.count_with_distance(s, t, deadline=deadline),
+            1, deadline,
+        )
 
-    def count(self, s, t):
+    def count(self, s, t, deadline=None):
         """``spc(s, t)``: the number of shortest paths (0 if disconnected)."""
-        return self.count_with_distance(s, t)[1]
+        return self.count_with_distance(s, t, deadline=deadline)[1]
 
-    def distance(self, s, t):
+    def distance(self, s, t, deadline=None):
         """``sd(s, t)``; ``inf`` when disconnected."""
-        return self.count_with_distance(s, t)[0]
+        return self.count_with_distance(s, t, deadline=deadline)[0]
 
-    def count_many(self, pairs):
+    def count_many(self, pairs, deadline=None):
         """Batched ``(sd, spc)`` tuples; vectorized when the index is healthy."""
         pairs = list(pairs)
         for s, t in pairs:
             self._check_vertex(s)
             self._check_vertex(t)
-        if self._index is not None:
+        index = self._snapshot_index()
+        if index is not None:
             try:
-                answers = self._index.count_many(pairs)
+                answers = index.count_many(pairs, deadline=deadline)
+            except DeadlineExceeded:
+                raise
             except (SerializationError, LabelingError) as exc:
-                self.counters["query_failures"] += 1
-                self._last_error = exc
-                self._index = None
+                self._demote(index, exc)
             else:
-                self.counters["index_queries"] += len(pairs)
+                with self._lock:
+                    self.counters["index_queries"] += len(pairs)
                 return answers
-        self.counters["fallback_queries"] += len(pairs)
-        return [self._oracle.count_with_distance(s, t) for s, t in pairs]
+
+        def sweep():
+            oracle = self._oracle.count_with_distance
+            return [oracle(s, t, deadline=deadline) for s, t in pairs]
+
+        return self._fallback_call(sweep, len(pairs), deadline)
+
+    def single_source(self, s, deadline=None):
+        """``(dist, count)`` numpy arrays from ``s`` over every vertex.
+
+        Served by the vectorized flat engine when healthy, by one online
+        counting BFS when degraded — identical conventions either way
+        (float64 ``inf`` distances, int64 counts, ``(0, 1)`` diagonal).
+        """
+        self._check_vertex(s)
+        index = self._snapshot_index()
+        if index is not None:
+            try:
+                answer = index.single_source(s)
+            except (SerializationError, LabelingError) as exc:
+                self._demote(index, exc)
+            else:
+                with self._lock:
+                    self.counters["index_queries"] += 1
+                return answer
+        return self._fallback_call(
+            lambda: self._oracle.single_source(s, deadline=deadline), 1, deadline,
+        )
 
     def __repr__(self):
         return (

@@ -1,0 +1,382 @@
+"""`SPCService` — the resilient index behind production traffic controls.
+
+:class:`~repro.resilience.ResilientSPCIndex` guarantees *correct* answers
+under index failure; this layer guarantees *bounded* answers under load.
+Every request passes through four defences:
+
+1. **Admission control** — at most ``capacity`` requests execute
+   concurrently; up to ``queue_limit`` more wait (within their deadline).
+   Beyond that the request is **shed** with a typed
+   :class:`~repro.exceptions.ServiceOverloaded` carrying a retry-after
+   hint derived from observed service latency — melting down is the one
+   thing a loaded service must never do.
+2. **Deadline budget** — ``timeout`` (or ``default_deadline``) becomes a
+   :class:`~repro.serving.deadline.Deadline` threaded all the way into the
+   label-scan chunks and BFS levels, so even the degraded path returns
+   (with :class:`~repro.exceptions.DeadlineExceeded`) within one
+   checkpoint interval of the budget.
+3. **Circuit breaker** — consecutive degraded-path failures trip a
+   :class:`~repro.serving.breaker.CircuitBreaker`; while open, degraded
+   queries fail fast with :class:`~repro.exceptions.CircuitOpenError`
+   instead of each burning a full deadline (the corrupt-index +
+   slow-fallback meltdown).
+4. **Hot reload** — an :class:`~repro.serving.reload.IndexWatcher` polls
+   the on-disk SPCL file between requests; a rebuilt file is re-verified
+   and swapped in atomically, bumping the observable ``generation``
+   without dropping in-flight requests.
+
+:meth:`SPCService.submit` never raises for per-request failures: it maps
+every outcome onto a :class:`QueryResult` with a terminal ``status`` —
+``"index"``, ``"degraded"``, ``"shed"``, ``"circuit_open"``,
+``"deadline"``, ``"invalid"`` or ``"error"`` — which is what the chaos
+gate asserts over a 1000-query burst. :meth:`SPCService.query` is the
+raising variant for callers that prefer exceptions. ``health()`` and
+``stats()`` expose generation counters, breaker state, admission depth
+and per-outcome tallies for operators.
+"""
+
+import threading
+import time
+
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    ReproError,
+    ServiceOverloaded,
+    VertexError,
+)
+from repro.resilience import ResilientSPCIndex
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.deadline import Deadline
+from repro.serving.reload import IndexWatcher
+
+#: Terminal statuses a request can end in (the chaos-gate contract).
+SERVED_INDEX = "index"
+SERVED_DEGRADED = "degraded"
+SHED = "shed"
+CIRCUIT_OPEN = "circuit_open"
+DEADLINE = "deadline"
+INVALID = "invalid"
+ERROR = "error"
+
+TERMINAL_STATUSES = frozenset(
+    (SERVED_INDEX, SERVED_DEGRADED, SHED, CIRCUIT_OPEN, DEADLINE, INVALID, ERROR)
+)
+
+
+class QueryResult:
+    """One request's terminal outcome: status, answer or typed error."""
+
+    __slots__ = ("status", "answer", "error", "elapsed", "generation")
+
+    def __init__(self, status, answer=None, error=None, elapsed=0.0, generation=0):
+        self.status = status
+        self.answer = answer
+        self.error = error
+        self.elapsed = elapsed
+        self.generation = generation
+
+    @property
+    def ok(self):
+        """True when an exact answer was produced (index or degraded)."""
+        return self.status in (SERVED_INDEX, SERVED_DEGRADED)
+
+    def __repr__(self):
+        return (
+            f"QueryResult(status={self.status!r}, answer={self.answer!r}, "
+            f"elapsed={self.elapsed * 1e3:.2f}ms, gen={self.generation})"
+        )
+
+
+class SPCService:
+    """Deadline-bounded, load-shedding, hot-reloading counting service.
+
+    Parameters
+    ----------
+    graph:
+        The live graph queries refer to.
+    index_path / index:
+        Where the served index comes from (see
+        :class:`~repro.resilience.ResilientSPCIndex`).
+    capacity:
+        Maximum concurrently executing requests.
+    queue_limit:
+        Maximum requests allowed to wait for a slot; more are shed.
+    default_deadline:
+        Per-request budget in seconds when the caller gives none
+        (``None`` = unlimited).
+    breaker:
+        A :class:`CircuitBreaker` for the degraded path, or ``None`` to
+        build one from ``failure_threshold`` / ``reset_timeout``.
+    reload_check_every:
+        Poll the index file for changes every N admissions (0 disables
+        polling; ``check_reload()`` stays available).
+    bfs_engine / io_retries / require_fingerprint:
+        Forwarded to the underlying resilient index.
+    clock:
+        Monotonic clock, injectable for deterministic tests.
+    """
+
+    def __init__(self, graph, index_path=None, index=None, *,
+                 capacity=8, queue_limit=16, default_deadline=None,
+                 breaker=None, failure_threshold=5, reset_timeout=1.0,
+                 reload_check_every=16, bfs_engine="python", io_retries=1,
+                 require_fingerprint=False, clock=time.monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be positive or None")
+        self._clock = clock
+        self.capacity = capacity
+        self.queue_limit = queue_limit
+        self.default_deadline = default_deadline
+        if breaker is None:
+            breaker = CircuitBreaker(failure_threshold=failure_threshold,
+                                     reset_timeout=reset_timeout, clock=clock)
+        self._resilient = ResilientSPCIndex(
+            graph, index_path=index_path, index=index, bfs_engine=bfs_engine,
+            io_retries=io_retries, require_fingerprint=require_fingerprint,
+            breaker=breaker,
+        )
+        self._watcher = None if index_path is None else IndexWatcher(index_path)
+        self._reload_check_every = reload_check_every
+        self._reload_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._in_flight = 0
+        self._queued = 0
+        self._admissions = 0
+        self._ema_latency = 0.001  # optimistic 1 ms seed for retry hints
+        self._stats_lock = threading.Lock()
+        self.counters = {
+            "requests": 0,
+            SERVED_INDEX: 0,
+            SERVED_DEGRADED: 0,
+            SHED: 0,
+            CIRCUIT_OPEN: 0,
+            DEADLINE: 0,
+            INVALID: 0,
+            ERROR: 0,
+            "reloads": 0,
+            "reload_failures": 0,
+        }
+
+    # -- admission control ----------------------------------------------------
+
+    def _retry_after(self):
+        """Seconds until a slot is plausibly free: latency x backlog depth."""
+        backlog = self._in_flight + self._queued + 1 - self.capacity
+        return max(0.001, self._ema_latency * max(1, backlog))
+
+    def _admit(self, deadline):
+        """Take an execution slot or raise :class:`ServiceOverloaded`.
+
+        A request waits in the bounded queue only while its deadline
+        allows; a full queue (or an exhausted budget while queued) sheds
+        the request immediately — queueing past the deadline would only
+        burn capacity on answers nobody is waiting for.
+        """
+        with self._cond:
+            self._admissions += 1
+            poll = (self._reload_check_every
+                    and self._admissions % self._reload_check_every == 0)
+            if self._in_flight < self.capacity:
+                self._in_flight += 1
+            else:
+                if self._queued >= self.queue_limit:
+                    raise ServiceOverloaded(self._in_flight, self._queued,
+                                            self._retry_after())
+                self._queued += 1
+                try:
+                    while self._in_flight >= self.capacity:
+                        remaining = (None if deadline is None
+                                     else deadline.remaining())
+                        if remaining is not None and remaining <= 0:
+                            raise ServiceOverloaded(
+                                self._in_flight, self._queued,
+                                self._retry_after(),
+                            )
+                        if not self._cond.wait(timeout=remaining):
+                            raise ServiceOverloaded(
+                                self._in_flight, self._queued,
+                                self._retry_after(),
+                            )
+                finally:
+                    self._queued -= 1
+                self._in_flight += 1
+        if poll:
+            self.check_reload()
+
+    def _release(self, elapsed):
+        with self._cond:
+            self._in_flight -= 1
+            self._cond.notify()
+        with self._stats_lock:
+            # EMA over completed requests drives the retry-after hint.
+            self._ema_latency += 0.2 * (elapsed - self._ema_latency)
+
+    # -- hot reload -----------------------------------------------------------
+
+    def check_reload(self):
+        """Poll the index file; swap in a changed one. True when swapped.
+
+        Safe to call from any thread (and from :class:`~repro.serving
+        .reload.ReloadThread`); the swap itself is atomic inside
+        :meth:`ResilientSPCIndex.reload`, so in-flight requests finish on
+        the snapshot they started with.
+        """
+        if self._watcher is None:
+            return False
+        with self._reload_lock:
+            if not self._watcher.poll():
+                return False
+            ok = self._resilient.reload()
+            self._watcher.mark()
+        with self._stats_lock:
+            self.counters["reloads" if ok else "reload_failures"] += 1
+        return ok
+
+    # -- request execution ----------------------------------------------------
+
+    def _bump(self, status):
+        with self._stats_lock:
+            self.counters[status] += 1
+
+    def _execute(self, work, deadline):
+        """Admission + deadline + execution; returns ``(answer, status)``."""
+        self._bump("requests")
+        self._admit(deadline)
+        started = self._clock()
+        try:
+            if deadline is not None:
+                deadline.check()
+            answer = work(deadline)
+            status = (SERVED_INDEX if self._resilient.status == "index"
+                      else SERVED_DEGRADED)
+            self._bump(status)
+            return answer, status
+        finally:
+            self._release(self._clock() - started)
+
+    def _deadline(self, timeout):
+        budget = self.default_deadline if timeout is None else timeout
+        return Deadline.of(budget, clock=self._clock)
+
+    def query(self, s, t, timeout=None):
+        """``(sd(s,t), spc(s,t))`` under the service's defences.
+
+        Raises the typed serving errors (:class:`ServiceOverloaded`,
+        :class:`DeadlineExceeded`, :class:`CircuitOpenError`) and
+        :class:`VertexError`; never returns a wrong count.
+        """
+        deadline = self._deadline(timeout)
+        answer, _ = self._execute(
+            lambda d: self._resilient.count_with_distance(s, t, deadline=d),
+            deadline,
+        )
+        return answer
+
+    def query_many(self, pairs, timeout=None):
+        """Batched ``(sd, spc)`` tuples under one shared deadline budget."""
+        pairs = list(pairs)
+        deadline = self._deadline(timeout)
+        answer, _ = self._execute(
+            lambda d: self._resilient.count_many(pairs, deadline=d), deadline,
+        )
+        return answer
+
+    def single_source(self, s, timeout=None):
+        """``(dist, count)`` arrays from ``s`` under the service's defences."""
+        deadline = self._deadline(timeout)
+        answer, _ = self._execute(
+            lambda d: self._resilient.single_source(s, deadline=d), deadline,
+        )
+        return answer
+
+    def submit(self, s, t, timeout=None):
+        """Non-raising :meth:`query`: always a terminal :class:`QueryResult`.
+
+        Per-request failures (shed, open circuit, blown deadline, invalid
+        vertex, typed library errors) become statuses; only genuine bugs
+        (non-:class:`ReproError` exceptions) propagate.
+        """
+        started = self._clock()
+        deadline = self._deadline(timeout)
+        try:
+            answer = self.query(s, t, timeout=deadline)
+        except ServiceOverloaded as exc:
+            self._bump(SHED)
+            result = QueryResult(SHED, error=exc)
+        except CircuitOpenError as exc:
+            self._bump(CIRCUIT_OPEN)
+            result = QueryResult(CIRCUIT_OPEN, error=exc)
+        except DeadlineExceeded as exc:
+            self._bump(DEADLINE)
+            result = QueryResult(DEADLINE, error=exc)
+        except VertexError as exc:
+            self._bump(INVALID)
+            result = QueryResult(INVALID, error=exc)
+        except ReproError as exc:
+            self._bump(ERROR)
+            result = QueryResult(ERROR, error=exc)
+        else:
+            status = (SERVED_INDEX if self._resilient.status == "index"
+                      else SERVED_DEGRADED)
+            result = QueryResult(status, answer=answer)
+        result.elapsed = self._clock() - started
+        result.generation = self._resilient.generation
+        return result
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def generation(self):
+        """Monotonic count of successful index (re)loads."""
+        return self._resilient.generation
+
+    @property
+    def breaker(self):
+        return self._resilient.breaker
+
+    @property
+    def resilient_index(self):
+        """The wrapped :class:`ResilientSPCIndex` (operator access)."""
+        return self._resilient
+
+    def stats(self):
+        """Flat counter snapshot for dashboards and the smoke gates."""
+        with self._stats_lock:
+            counters = dict(self.counters)
+            ema = self._ema_latency
+        with self._cond:
+            in_flight, queued = self._in_flight, self._queued
+        return {
+            "counters": counters,
+            "generation": self._resilient.generation,
+            "ema_latency": ema,
+            "admission": {
+                "in_flight": in_flight,
+                "queued": queued,
+                "capacity": self.capacity,
+                "queue_limit": self.queue_limit,
+            },
+        }
+
+    def health(self):
+        """Liveness/readiness snapshot: serving path, breaker, admission."""
+        snapshot = self.stats()
+        index = self._resilient.explain()
+        breaker = self._resilient.breaker
+        snapshot["index"] = index
+        snapshot["status"] = index["status"]
+        if breaker is not None:
+            snapshot["breaker"] = breaker.snapshot()
+        return snapshot
+
+    def __repr__(self):
+        return (
+            f"SPCService(status={self._resilient.status!r}, "
+            f"generation={self._resilient.generation}, "
+            f"capacity={self.capacity})"
+        )

@@ -17,11 +17,19 @@ deterministic, so the chaos tests can assert the *exact* recovery path:
 * :class:`CrashingCheckpoint` — SIGKILL between checkpoints: the save
   succeeds, then :class:`SimulatedKill` (a ``BaseException``, so no
   library ``except ReproError`` can swallow it) tears the build down.
+* :class:`SlowFallback` — a pathologically slow degraded path: every
+  BFS-fallback query stalls for a fixed delay before running, so
+  deadline enforcement and the serving circuit breaker can be exercised
+  deterministically.
+* :class:`FlappingFile` — an index file that alternates between corrupt
+  and pristine states under test control, driving the hot-reload watcher
+  and degradation/recovery transitions.
 """
 
 import os
 import time
 
+from repro.baselines import bfs_counting as _bfs_counting
 from repro.io import serialize as _serialize
 from repro.io.checkpoint import BuildCheckpoint
 
@@ -148,6 +156,73 @@ class WorkerFault:
                 os._exit(17)
             time.sleep(self.hang_seconds)
             return
+
+
+class SlowFallback:
+    """Context manager stalling every BFS-fallback query by ``seconds``.
+
+    Patches :meth:`BFSCountingOracle.count_with_distance`, the single
+    entry point of the degraded query path, to sleep before delegating.
+    With a per-request deadline shorter than the stall, the delegated
+    sweep's *first* cooperative checkpoint raises
+    :class:`~repro.exceptions.DeadlineExceeded` — exactly the
+    slow-degraded-path shape the serving circuit breaker must absorb.
+    Calls are counted in ``calls`` for assertions.
+    """
+
+    def __init__(self, seconds=0.02):
+        self.seconds = seconds
+        self.calls = 0
+        self._original = None
+
+    def __enter__(self):
+        self._original = _bfs_counting.BFSCountingOracle.count_with_distance
+        original = self._original
+        injector = self
+
+        def slow(oracle, s, t, deadline=None):
+            injector.calls += 1
+            time.sleep(injector.seconds)
+            return original(oracle, s, t, deadline=deadline)
+
+        _bfs_counting.BFSCountingOracle.count_with_distance = slow
+        return self
+
+    def __exit__(self, *exc_info):
+        _bfs_counting.BFSCountingOracle.count_with_distance = self._original
+        return False
+
+
+class FlappingFile:
+    """An index file flapping between corrupt and pristine under test control.
+
+    Captures the pristine bytes at construction; :meth:`corrupt` damages
+    the file in place (``"flip"`` one bit, ``"truncate"`` the tail, or
+    ``"garbage"`` the whole file) and :meth:`restore` puts the original
+    bytes back. Every transition rewrites the file, so mtime-based
+    watchers (:class:`repro.serving.reload.IndexWatcher`) observe each
+    flap. ``flaps`` counts transitions for assertions.
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._pristine = _read(self.path)
+        self.flaps = 0
+
+    def corrupt(self, mode="flip", offset=100, bit=3, drop_bytes=25):
+        if mode == "flip":
+            flip_bit(self.path, offset, bit)
+        elif mode == "truncate":
+            truncate_file(self.path, drop_bytes)
+        elif mode == "garbage":
+            _write(self.path, b"not an index" * 4)
+        else:
+            raise ValueError(f"unknown corruption mode {mode!r}")
+        self.flaps += 1
+
+    def restore(self):
+        _write(self.path, self._pristine)
+        self.flaps += 1
 
 
 class CrashingCheckpoint(BuildCheckpoint):

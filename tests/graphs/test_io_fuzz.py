@@ -1,0 +1,119 @@
+"""Fuzzing the graph parsers: garbage in, GraphParseError out.
+
+A graph file fed by an operator is untrusted input. Whatever bytes land
+in the file, every reader must either parse it or raise the typed
+:class:`~repro.exceptions.GraphParseError` — never a bare ``ValueError``,
+``IndexError`` or ``UnicodeDecodeError`` leaking from ``int()`` / token
+indexing / decoding. Errors must carry the file path and, when one
+applies, the 1-based line number.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphParseError
+from repro.graph.io import (
+    read_dimacs,
+    read_edge_list,
+    read_metis,
+    read_weighted_edge_list,
+)
+
+SETTINGS = dict(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+READERS = [read_edge_list, read_weighted_edge_list, read_metis, read_dimacs]
+
+
+def run_reader(reader, path):
+    """Parse ``path``; anything other than success must be the typed error."""
+    try:
+        reader(path)
+    except GraphParseError as exc:
+        assert exc.path == str(path)
+        assert str(path) in str(exc)
+        if exc.line is not None:
+            assert exc.line >= 1
+            assert f":{exc.line}:" in str(exc)
+
+
+@pytest.mark.parametrize("reader", READERS)
+@settings(**SETTINGS)
+@given(blob=st.binary(max_size=400))
+def test_random_bytes_never_leak_untyped_errors(reader, blob, tmp_path_factory):
+    path = tmp_path_factory.mktemp("fuzz") / "garbage.graph"
+    path.write_bytes(blob)
+    run_reader(reader, path)
+
+
+# Lines of tokens that *look* like graph formats — headers, endpoints,
+# comments, junk — far more likely to reach the deep parsing branches than
+# raw binary. Integer tokens stay small so a header-shaped accident never
+# claims a billion vertices (that would test the allocator, not the parser).
+token = st.one_of(
+    st.integers(min_value=-5, max_value=50).map(str),
+    st.sampled_from(["p", "e", "a", "c", "edge", "#", "%", "x", "1.5",
+                     "+", "-", "", "0x1f", "1e9"]),
+)
+near_miss_text = st.lists(
+    st.lists(token, min_size=0, max_size=5).map(" ".join),
+    min_size=0, max_size=30,
+).map("\n".join)
+
+
+@pytest.mark.parametrize("reader", READERS)
+@settings(**SETTINGS)
+@given(text=near_miss_text)
+def test_near_miss_text_never_leaks_untyped_errors(reader, text,
+                                                   tmp_path_factory):
+    path = tmp_path_factory.mktemp("fuzz") / "nearmiss.graph"
+    path.write_text(text)
+    run_reader(reader, path)
+
+
+@settings(**SETTINGS)
+@given(
+    lines=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30),
+                  st.integers(min_value=0, max_value=30)),
+        min_size=1, max_size=40,
+    )
+)
+def test_valid_edge_lists_round_trip(lines, tmp_path_factory):
+    """The fuzz target stays an actual parser: valid input still parses."""
+    path = tmp_path_factory.mktemp("fuzz") / "valid.graph"
+    path.write_text("\n".join(f"{u} {v}" for u, v in lines) + "\n")
+    graph, id_map = read_edge_list(path)
+    distinct = {u for u, v in lines} | {v for _, v in lines}
+    assert graph.n == len(distinct)
+    assert set(id_map) == distinct
+
+
+CRAFTED = [
+    b"",                                  # empty file
+    b"\x00\x01\x02",                      # undecodable binary
+    b"1 2\n3 x\n",                        # non-integer endpoint
+    b"1\n",                               # missing column
+    b"-1 2\n",                            # negative id
+    b"# only comments\n",                 # comments but no edges (edge list ok)
+    b"9" * 200,                           # one huge token
+    b"p edge\n",                          # truncated DIMACS problem line
+    b"e 1 2\n",                           # DIMACS edge before problem line
+    b"p edge 3 1\ne 1 9\n",               # DIMACS endpoint out of range
+    b"5\n",                               # truncated METIS header
+    b"3 2\n2\n1 3\n",                     # METIS: too few adjacency lines
+    b"2 1\n2 99\n1\n",                    # METIS neighbor out of range
+    b"1 2 weight\n",                      # non-numeric weight column
+]
+
+
+@pytest.mark.parametrize("reader", READERS)
+@pytest.mark.parametrize("blob", CRAFTED)
+def test_crafted_corpus(reader, blob, tmp_path):
+    path = tmp_path / "crafted.graph"
+    path.write_bytes(blob)
+    run_reader(reader, path)

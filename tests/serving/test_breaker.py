@@ -1,0 +1,136 @@
+"""Circuit breaker state machine: trip, short-circuit, probe, recover."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import CircuitOpenError
+from repro.serving import CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def trip(breaker, failures):
+    for _ in range(failures):
+        breaker.before_call()
+        breaker.record_failure()
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        assert breaker.state == "closed"
+        breaker.before_call()
+
+    def test_opens_after_consecutive_failures(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=1.0,
+                                 clock=clock)
+        trip(breaker, 3)
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.before_call()
+        assert excinfo.value.retry_after == pytest.approx(1.0)
+        assert breaker.counters["opened"] == 1
+        assert breaker.counters["short_circuited"] == 1
+
+    def test_success_resets_failure_streak(self, clock):
+        breaker = CircuitBreaker(failure_threshold=3, clock=clock)
+        trip(breaker, 2)
+        breaker.before_call()
+        breaker.record_success()
+        trip(breaker, 2)
+        assert breaker.state == "closed"  # streak broken: 2 + 2, never 3
+
+    def test_half_open_probe_success_closes(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=1.0,
+                                 clock=clock)
+        trip(breaker, 2)
+        clock.advance(1.5)
+        assert breaker.state == "half_open"
+        breaker.before_call()  # the probe is admitted
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.counters["half_opened"] == 1
+        assert breaker.counters["closed"] == 1
+        breaker.before_call()  # closed again: no short-circuit
+
+    def test_half_open_probe_failure_reopens(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=1.0,
+                                 clock=clock)
+        trip(breaker, 2)
+        clock.advance(1.5)
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.counters["opened"] == 2
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+
+    def test_half_open_limits_concurrent_probes(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 half_open_probes=1, clock=clock)
+        trip(breaker, 1)
+        clock.advance(1.0)
+        breaker.before_call()  # first probe admitted
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()  # second concurrent probe rejected
+        assert breaker.counters["probe_rejected"] == 1
+
+    def test_reset_forces_closed(self, clock):
+        breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+        trip(breaker, 1)
+        assert breaker.state == "open"
+        breaker.reset()
+        assert breaker.state == "closed"
+        breaker.before_call()
+
+    def test_snapshot_shape(self, clock):
+        breaker = CircuitBreaker(failure_threshold=2, clock=clock)
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 0
+        assert set(snap["counters"]) == {
+            "successes", "failures", "short_circuited", "opened",
+            "half_opened", "closed", "probe_rejected",
+        }
+
+    def test_parameter_validation(self, clock):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestThreadSafety:
+    def test_concurrent_failures_trip_exactly_once(self, clock):
+        breaker = CircuitBreaker(failure_threshold=8, clock=clock)
+        barrier = threading.Barrier(8)
+
+        def fail():
+            barrier.wait()
+            breaker.record_failure()
+
+        threads = [threading.Thread(target=fail) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert breaker.state == "open"
+        assert breaker.counters["opened"] == 1
+        assert breaker.counters["failures"] == 8

@@ -1,0 +1,130 @@
+"""The chaos acceptance gate: corrupt index + slow fallback under a burst.
+
+Scenario (the meltdown the serving layer exists for): the on-disk index
+is corrupted while the degraded BFS path is pathologically slow. A
+1000-query concurrent burst must resolve every single request to a
+terminal status — served, degraded, shed, circuit-open or
+deadline-failed — with no hangs and no unhandled exceptions, and the
+circuit breaker must trip so most of the burst fails *fast* instead of
+each request burning a full deadline. After the file is restored, one
+hot reload closes the breaker and a follow-up burst is served from
+labels again, every answer bit-identical to the exact BFS oracle.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.index import SPCIndex
+from repro.generators.random_graphs import barabasi_albert_graph
+from repro.graph.traversal import spc_bfs
+from repro.io.serialize import save_index
+from repro.serving import (
+    CIRCUIT_OPEN,
+    DEADLINE,
+    SERVED_INDEX,
+    TERMINAL_STATUSES,
+    SPCService,
+)
+from repro.testing.faults import FlappingFile, SlowFallback
+
+BURST = 1000
+THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(80, 2, seed=7)
+
+
+@pytest.fixture(scope="module")
+def truth(graph):
+    pairs = [((i * 13) % graph.n, (i * 29 + 5) % graph.n) for i in range(50)]
+    return {(s, t): spc_bfs(graph, s, t) for s, t in pairs}
+
+
+def fire_burst(service, truth, count, timeout):
+    """``count`` submits from ``THREADS`` threads; returns all results."""
+    pairs = list(truth)
+    queries = [pairs[i % len(pairs)] for i in range(count)]
+    results = []
+    results_lock = threading.Lock()
+    cursor = iter(range(count))
+    cursor_lock = threading.Lock()
+
+    def worker():
+        while True:
+            with cursor_lock:
+                i = next(cursor, None)
+            if i is None:
+                return
+            s, t = queries[i]
+            result = service.submit(s, t, timeout=timeout)
+            with results_lock:
+                results.append(((s, t), result))
+
+    threads = [threading.Thread(target=worker) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+        assert not thread.is_alive(), "burst worker hung"
+    assert len(results) == count
+    return results
+
+
+def assert_served_exact(results, truth):
+    for (s, t), result in results:
+        if result.ok:
+            assert result.answer == truth[(s, t)], (
+                f"wrong count for ({s}, {t}): {result.answer}"
+            )
+
+
+def test_corrupt_index_slow_fallback_burst(tmp_path, graph, truth):
+    index_path = tmp_path / "labels.spcl"
+    save_index(SPCIndex.build(graph), index_path, graph=graph)
+    service = SPCService(
+        graph, index_path=index_path, capacity=4, queue_limit=8,
+        failure_threshold=5, reset_timeout=60.0,  # only a reload may close it
+        reload_check_every=1,
+    )
+
+    # Phase 1 — healthy warm-up: everything from labels, bit-exact.
+    warmup = fire_burst(service, truth, 100, timeout=5.0)
+    assert all(r.status == SERVED_INDEX for _, r in warmup)
+    assert_served_exact(warmup, truth)
+
+    # Phase 2 — corrupt the file while the fallback crawls: the burst
+    # must fully resolve, trip the breaker, and fail mostly fast.
+    flapper = FlappingFile(index_path)
+    flapper.corrupt(mode="garbage")
+    with SlowFallback(seconds=0.05) as slow:
+        chaos = fire_burst(service, truth, BURST, timeout=0.02)
+    tally = {}
+    for _, result in chaos:
+        assert result.status in TERMINAL_STATUSES
+        tally[result.status] = tally.get(result.status, 0) + 1
+    assert_served_exact(chaos, truth)
+    assert service.counters["reload_failures"] >= 1
+    assert tally.get(DEADLINE, 0) >= 5  # enough timeouts to trip it
+    assert tally.get(CIRCUIT_OPEN, 0) > 0
+    assert service.breaker.counters["opened"] >= 1
+    assert service.breaker.state in ("open", "half_open")
+    # The breaker is the only reason this holds: short-circuiting spares
+    # most of the burst the 50 ms stall, so slow BFS calls stay rare.
+    assert slow.calls < BURST // 2
+
+    # Phase 3 — restore the file: one reload swaps the index back in and
+    # closes the breaker without waiting out the 60 s reset timeout.
+    flapper.restore()
+    primer = service.submit(0, 1, timeout=5.0)
+    assert primer.status == SERVED_INDEX
+    assert service.breaker.state == "closed"
+    assert service.generation == 2
+
+    recovery = fire_burst(service, truth, BURST, timeout=5.0)
+    assert_served_exact(recovery, truth)
+    from_labels = sum(r.status == SERVED_INDEX for _, r in recovery)
+    assert from_labels >= BURST * 99 // 100
+    assert service.breaker.state == "closed"

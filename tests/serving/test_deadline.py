@@ -1,0 +1,100 @@
+"""Deadline budgets: clock math, cooperative checkpoints, typed errors."""
+
+import pytest
+
+from repro.exceptions import DeadlineExceeded, ServingError
+from repro.serving import Deadline
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_fresh_budget_passes_check(self):
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        deadline.check()
+        assert not deadline.expired
+        assert deadline.remaining() == pytest.approx(0.5)
+
+    def test_expired_budget_raises_typed(self):
+        clock = FakeClock()
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(0.6)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check()
+        assert isinstance(excinfo.value, ServingError)
+        assert excinfo.value.budget == 0.5
+        assert excinfo.value.elapsed >= 0.5
+        assert deadline.remaining() == 0.0
+
+    def test_unlimited_never_expires(self):
+        clock = FakeClock()
+        deadline = Deadline(None, clock=clock)
+        clock.advance(1e9)
+        deadline.check()
+        assert not deadline.expired
+        assert deadline.remaining() == float("inf")
+
+    def test_of_normalises(self):
+        assert Deadline.of(None) is None
+        deadline = Deadline(1.0)
+        assert Deadline.of(deadline) is deadline
+        fresh = Deadline.of(0.25)
+        assert isinstance(fresh, Deadline)
+        assert fresh.budget == 0.25
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+
+class TestCooperativeCheckpoints:
+    def test_bfs_oracle_raises_on_expired_budget(self):
+        from repro.baselines.bfs_counting import BFSCountingOracle
+        from repro.generators.random_graphs import barabasi_albert_graph
+
+        graph = barabasi_albert_graph(50, 2, seed=1)
+        clock = FakeClock()
+        for engine in ("python", "csr"):
+            oracle = BFSCountingOracle(graph, engine=engine)
+            deadline = Deadline(0.01, clock=clock)
+            clock.advance(0.02)
+            with pytest.raises(DeadlineExceeded):
+                oracle.count_with_distance(0, 40, deadline=deadline)
+
+    def test_batch_engine_raises_on_expired_budget(self):
+        from repro.core.index import SPCIndex
+        from repro.generators.random_graphs import barabasi_albert_graph
+
+        graph = barabasi_albert_graph(50, 2, seed=1)
+        index = SPCIndex.build(graph)
+        clock = FakeClock()
+        deadline = Deadline(0.01, clock=clock)
+        clock.advance(0.02)
+        pairs = [(s, t) for s in range(10) for t in range(10)]
+        with pytest.raises(DeadlineExceeded):
+            index.count_many(pairs, deadline=deadline)
+
+    def test_fresh_budget_leaves_answers_exact(self):
+        from repro.baselines.bfs_counting import BFSCountingOracle
+        from repro.generators.random_graphs import barabasi_albert_graph
+        from repro.graph.traversal import spc_bfs
+
+        graph = barabasi_albert_graph(40, 2, seed=2)
+        oracle = BFSCountingOracle(graph)
+        deadline = Deadline(60.0)
+        for s, t in [(0, 30), (5, 5), (1, 39)]:
+            assert oracle.count_with_distance(s, t, deadline=deadline) \
+                == spc_bfs(graph, s, t)

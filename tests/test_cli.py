@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import (
+    EXIT_ERROR,
+    EXIT_PARSE,
+    EXIT_SERIALIZATION,
+    EXIT_USAGE,
+    EXIT_VERTEX,
+    main,
+)
 from repro.generators.random_graphs import gnp_random_graph
 from repro.graph.components import largest_component
 from repro.graph.io import write_edge_list
@@ -125,7 +132,7 @@ class TestStatsVerifyBench:
     def test_corrupt_index_reports_error(self, tmp_path, capsys):
         bad = tmp_path / "bad.idx"
         bad.write_bytes(b"garbage!")
-        assert main(["stats", str(bad)]) == 1
+        assert main(["stats", str(bad)]) == EXIT_SERIALIZATION
         assert "error" in capsys.readouterr().err
 
 
@@ -206,7 +213,7 @@ class TestBuildRobustness:
         bad_graph = tmp_path / "bad.txt"
         bad_graph.write_text("0 not_a_vertex\n")
         index_path = tmp_path / "g.idx"
-        assert main(["build", str(bad_graph), str(index_path)]) == 1
+        assert main(["build", str(bad_graph), str(index_path)]) == EXIT_PARSE
         assert not index_path.exists()
         assert "error" in capsys.readouterr().err
 
@@ -217,7 +224,7 @@ class TestBuildRobustness:
         before = index_path.read_bytes()
         bad_graph = tmp_path / "bad.txt"
         bad_graph.write_text("0 not_a_vertex\n")
-        assert main(["build", str(bad_graph), str(index_path)]) == 1
+        assert main(["build", str(bad_graph), str(index_path)]) == EXIT_PARSE
         assert index_path.read_bytes() == before  # old index untouched
 
     def test_build_embeds_fingerprint(self, graph_file, tmp_path):
@@ -227,3 +234,128 @@ class TestBuildRobustness:
         from repro.io.serialize import graph_fingerprint, read_label_meta
 
         assert read_label_meta(index_path).fingerprint == graph_fingerprint(graph)
+
+
+class TestExitCodes:
+    """Each failure class gets its own exit code, so scripts can branch."""
+
+    @pytest.fixture
+    def built(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        index_path = str(tmp_path / "g.idx")
+        main(["build", path, index_path])
+        capsys.readouterr()
+        return path, index_path, graph
+
+    def test_parse_error_is_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("1 2\n3 four\n")
+        assert main(["info", str(bad)]) == EXIT_PARSE
+        err = capsys.readouterr().err
+        assert "graph parse error" in err
+        assert ":2:" in err  # the offending line number
+
+    def test_binary_graph_is_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(bytes(range(256)))
+        assert main(["info", str(bad)]) == EXIT_PARSE
+        assert "graph parse error" in capsys.readouterr().err
+
+    def test_serialization_error_is_4(self, built, tmp_path, capsys):
+        _, index_path, _ = built
+        from repro.testing.faults import flip_bit
+
+        flip_bit(index_path, 100, bit=3)
+        assert main(["stats", index_path]) == EXIT_SERIALIZATION
+        assert "index error" in capsys.readouterr().err
+
+    def test_invalid_vertex_is_5(self, built, capsys):
+        _, index_path, graph = built
+        rc = main(["query", index_path, "0", str(graph.n + 7),
+                   "--engine", "flat"])
+        assert rc == EXIT_VERTEX
+        assert "invalid vertex" in capsys.readouterr().err
+
+    def test_usage_error_is_2(self, built, capsys):
+        _, index_path, _ = built
+        assert main(["query", index_path]) == EXIT_USAGE
+
+    def test_generic_error_is_1(self, capsys):
+        assert main(["stats", "/nonexistent/g.idx"]) == EXIT_ERROR
+
+
+class TestServeSmoke:
+    @pytest.fixture
+    def built(self, graph_file, tmp_path, capsys):
+        path, graph = graph_file
+        index_path = str(tmp_path / "g.idx")
+        main(["build", path, index_path])
+        capsys.readouterr()
+        return path, index_path, graph
+
+    def test_random_burst_serves_from_labels(self, built, capsys):
+        graph_path, index_path, _ = built
+        rc = main(["serve-smoke", index_path, graph_path, "--random", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "requests      : 40" in out
+        assert "serving status: index" in out
+        assert "breaker state : closed" in out
+        assert "p95 latency" in out
+
+    def test_threaded_burst(self, built, capsys):
+        graph_path, index_path, _ = built
+        rc = main(["serve-smoke", index_path, graph_path, "--random", "64",
+                   "--threads", "4"])
+        assert rc == 0
+        assert "requests      : 64" in capsys.readouterr().out
+
+    def test_script_with_corrupt_restore_cycle(self, built, tmp_path, capsys):
+        graph_path, index_path, _ = built
+        script = tmp_path / "requests.txt"
+        script.write_text(
+            "# healthy, then corrupt, then restored\n"
+            "0 5\n"
+            "!corrupt garbage\n"
+            "1 6\n"
+            "!restore\n"
+            "!reload\n"
+            "2 7\n"
+        )
+        rc = main(["serve-smoke", index_path, graph_path,
+                   "--script", str(script)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "requests      : 3" in out
+        assert "degraded      : 1" in out
+        assert "serving status: index" in out
+        assert "reloads       : " in out
+
+    def test_script_rejects_unknown_directive(self, built, tmp_path, capsys):
+        graph_path, index_path, _ = built
+        script = tmp_path / "requests.txt"
+        script.write_text("!explode\n")
+        rc = main(["serve-smoke", index_path, graph_path,
+                   "--script", str(script)])
+        assert rc == EXIT_USAGE
+        assert "unknown directive" in capsys.readouterr().err
+
+    def test_script_rejects_restore_before_corrupt(self, built, tmp_path,
+                                                   capsys):
+        graph_path, index_path, _ = built
+        script = tmp_path / "requests.txt"
+        script.write_text("!restore\n")
+        rc = main(["serve-smoke", index_path, graph_path,
+                   "--script", str(script)])
+        assert rc == EXIT_USAGE
+        assert "!restore before !corrupt" in capsys.readouterr().err
+
+    def test_invalid_vertex_is_a_counted_status(self, built, tmp_path, capsys):
+        graph_path, index_path, graph = built
+        script = tmp_path / "requests.txt"
+        script.write_text(f"0 5\n0 {graph.n + 9}\n")
+        rc = main(["serve-smoke", index_path, graph_path,
+                   "--script", str(script)])
+        assert rc == 0  # invalid requests are statuses, not crashes
+        out = capsys.readouterr().out
+        assert "invalid       : 1" in out

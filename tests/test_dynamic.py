@@ -157,3 +157,67 @@ class TestRebuild:
     def test_repr(self):
         index = DynamicSPCIndex(cycle_graph(4), auto_rebuild=None)
         assert "pending=0" in repr(index)
+
+
+class TestStalenessGuard:
+    """Insertions flag the static labels stale, so serving layers notice."""
+
+    def test_insert_marks_base_index_stale(self):
+        g = cycle_graph(6)
+        index = DynamicSPCIndex(g, auto_rebuild=None)
+        assert not index.base_index.stale
+        index.insert_edge(0, 2)
+        assert index.base_index.stale
+        assert "(0, 2)" in index.base_index.stale_reason
+        assert "1 pending" in index.base_index.stale_reason
+
+    def test_rebuild_clears_staleness(self):
+        g = cycle_graph(6)
+        index = DynamicSPCIndex(g, auto_rebuild=None)
+        index.insert_edge(0, 2)
+        index.rebuild()
+        assert not index.base_index.stale
+
+    def test_auto_rebuild_clears_staleness(self):
+        g = cycle_graph(8)
+        index = DynamicSPCIndex(g, auto_rebuild=1)
+        index.insert_edge(0, 2)  # hits the threshold -> rebuilt in place
+        assert index.pending_edges == ()
+        assert not index.base_index.stale
+
+    def test_resilient_layer_demotes_stale_index(self):
+        """The before/after regression: a serving layer holding the base
+        index must stop answering from it once an insertion lands —
+        otherwise it would report yesterday's counts for (0, 3)."""
+        from repro.resilience import ResilientSPCIndex
+
+        g = cycle_graph(8)  # sd(0, 3) = 3 via one side of the cycle
+        dynamic = DynamicSPCIndex(g, auto_rebuild=None)
+        serving = ResilientSPCIndex(g, index=dynamic.base_index)
+        assert serving.count_with_distance(0, 3) == (3, 1)
+        assert serving.status == "index"
+
+        dynamic.insert_edge(0, 4)  # sd(0, 3) is now 2: 0-4-3
+        # The resilient facade must *not* keep serving the stale labels;
+        # refreshed onto the updated graph it degrades to exact BFS.
+        refreshed = ResilientSPCIndex(dynamic.current_graph(),
+                                      index=dynamic.base_index)
+        assert refreshed.status == "index"  # adopted optimistically...
+        assert refreshed.count_with_distance(0, 3) == (2, 1)  # ...but exact
+        assert refreshed.status == "degraded"  # demoted at query time
+        assert refreshed.counters["stale_detections"] == 1
+        assert refreshed.counters["fallback_queries"] == 1
+        assert "StaleIndexError" in refreshed.explain()["last_error"]
+
+    def test_service_layer_degrades_on_stale_index(self):
+        from repro.serving import SERVED_DEGRADED, SPCService
+
+        g = cycle_graph(8)
+        dynamic = DynamicSPCIndex(g, auto_rebuild=None)
+        dynamic.insert_edge(0, 4)
+        service = SPCService(dynamic.current_graph(),
+                             index=dynamic.base_index)
+        result = service.submit(0, 3)
+        assert result.status == SERVED_DEGRADED
+        assert result.answer == (2, 1)
+        assert service.health()["status"] == "degraded"

@@ -8,6 +8,9 @@
 #               only; CI runs the 3.10/3.11/3.12 matrix)
 #   chaos-smoke tools/ci_chaos_smoke.py fault-injection gate (corrupt files,
 #               killed builds, crashing workers)
+#   serving-smoke tools/ci_serving_smoke.py SPCService gate (deadlines,
+#               shedding, circuit breaker, hot reload), writing
+#               BENCH_serving.json
 #   bench-smoke tools/ci_bench_smoke.py + tools/ci_construction_smoke.py at
 #               CI scale, writing BENCH_ci_smoke.json / BENCH_construction.json
 #
@@ -46,6 +49,11 @@ python -m pytest -x -q || failures=$((failures + 1))
 
 step "chaos-smoke"
 python tools/ci_chaos_smoke.py || failures=$((failures + 1))
+
+step "serving-smoke"
+python tools/ci_serving_smoke.py \
+    --output "${TMPDIR:-/tmp}/BENCH_serving.local.json" \
+    || failures=$((failures + 1))
 
 if [ "${1:-}" != "--skip-bench" ]; then
     step "bench-smoke"

@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""CI serving smoke: the service must stay bounded and exact under chaos.
+
+Builds a small index, then drives four phases of traffic through
+:class:`repro.serving.SPCService`:
+
+1. **healthy burst** — every answer served from labels, bit-identical to
+   the exact BFS oracle, p95 latency within the request deadline;
+2. **corrupt + slow fallback** — the index file is garbaged while the
+   degraded BFS path stalls past the deadline: every request still ends
+   in a terminal status, enough timeouts accumulate to trip the circuit
+   breaker, and most of the burst is short-circuited instead of each
+   request burning a full deadline;
+3. **overload** — a capacity-1/queue-0 service under concurrent drivers
+   must shed with typed retry-after hints, never melt down;
+4. **restore + reload** — putting the pristine file back swaps the index
+   in one hot reload, closes the breaker, and serves >= 99% of a
+   follow-up burst from labels again.
+
+Writes the observed numbers to ``BENCH_serving.json`` and exits non-zero
+on the first violated invariant. Run from the repo root:
+
+    PYTHONPATH=src python tools/ci_serving_smoke.py
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+
+
+def check(condition, message):
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {message}")
+
+
+def percentile(samples, q):
+    ranked = sorted(samples)
+    return ranked[min(len(ranked) - 1, int(q * len(ranked)))]
+
+
+def drive(service, pairs, threads, timeout):
+    """Submit every pair from ``threads`` workers; returns the results."""
+    results = []
+    lock = threading.Lock()
+    queue = list(enumerate(pairs))
+
+    def worker():
+        while True:
+            with lock:
+                if not queue:
+                    return
+                _, (s, t) = queue.pop()
+            result = service.submit(s, t, timeout=timeout)
+            with lock:
+                results.append(((s, t), result))
+
+    workers = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join(timeout=300.0)
+        if thread.is_alive():
+            print("FAIL: driver thread hung", file=sys.stderr)
+            sys.exit(1)
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=80,
+                        help="graph size (default 80)")
+    parser.add_argument("--burst", type=int, default=400,
+                        help="requests per chaos/recovery burst (default 400)")
+    parser.add_argument("--threads", type=int, default=8,
+                        help="concurrent driver threads (default 8)")
+    parser.add_argument("--deadline-ms", type=float, default=20.0,
+                        help="per-request budget in the chaos phase")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--output", default="BENCH_serving.json")
+    args = parser.parse_args(argv)
+
+    from repro.core.index import SPCIndex
+    from repro.generators.random_graphs import barabasi_albert_graph
+    from repro.graph.traversal import spc_bfs
+    from repro.io.serialize import save_index
+    from repro.serving import (
+        CIRCUIT_OPEN,
+        DEADLINE,
+        SERVED_INDEX,
+        SHED,
+        TERMINAL_STATUSES,
+        SPCService,
+    )
+    from repro.testing.faults import FlappingFile, SlowFallback
+
+    graph = barabasi_albert_graph(args.vertices, 2, seed=args.seed)
+    print(f"graph: barabasi_albert(n={graph.n}, m={graph.m})")
+    pairs = [((i * 13) % graph.n, (i * 29 + 5) % graph.n)
+             for i in range(args.burst)]
+    truth = {(s, t): spc_bfs(graph, s, t) for s, t in set(pairs)}
+    deadline = args.deadline_ms / 1000.0
+
+    def exact(results):
+        return all(result.answer == truth[pair]
+                   for pair, result in results if result.ok)
+
+    report = {"config": vars(args), "python": platform.python_version()}
+
+    with tempfile.TemporaryDirectory() as scratch:
+        index_path = os.path.join(scratch, "index.bin")
+        save_index(SPCIndex.build(graph), index_path, graph=graph)
+        service = SPCService(
+            graph, index_path=index_path, capacity=4, queue_limit=8,
+            failure_threshold=5, reset_timeout=60.0, reload_check_every=1,
+        )
+
+        # Phase 1 — healthy burst.
+        started = time.perf_counter()
+        healthy = drive(service, pairs, args.threads, timeout=deadline)
+        healthy_seconds = time.perf_counter() - started
+        served = sum(r.status == SERVED_INDEX for _, r in healthy)
+        p95 = percentile([r.elapsed for _, r in healthy], 0.95)
+        check(served == len(pairs), f"healthy burst: {served}/{len(pairs)} "
+              "requests served from labels")
+        check(exact(healthy), "healthy burst: every answer matches the oracle")
+        check(p95 <= deadline, f"healthy burst: p95 {p95 * 1e3:.2f} ms within "
+              f"the {args.deadline_ms:.0f} ms deadline")
+        report["healthy"] = {"requests": len(pairs), "served": served,
+                             "p95_ms": p95 * 1e3,
+                             "seconds": healthy_seconds}
+
+        # Phase 2 — corrupt the file while the fallback crawls.
+        flapper = FlappingFile(index_path)
+        flapper.corrupt(mode="garbage")
+        with SlowFallback(seconds=2.5 * deadline) as slow:
+            chaos = drive(service, pairs, args.threads, timeout=deadline)
+        tally = {}
+        for _, result in chaos:
+            tally[result.status] = tally.get(result.status, 0) + 1
+        stray = set(tally) - set(TERMINAL_STATUSES)
+        check(not stray and sum(tally.values()) == len(pairs),
+              f"chaos burst: all {len(pairs)} requests ended in a terminal "
+              f"status ({tally})")
+        breaker = service.breaker.snapshot()
+        check(exact(chaos), "chaos burst: every served answer stays exact")
+        check(tally.get(DEADLINE, 0) >= 5,
+              f"chaos burst: {tally.get(DEADLINE, 0)} deadline failures "
+              "(enough to trip the breaker)")
+        check(breaker["counters"]["opened"] >= 1,
+              "chaos burst: the circuit breaker opened")
+        check(breaker["counters"]["short_circuited"] > 0
+              and tally.get(CIRCUIT_OPEN, 0) > 0,
+              f"chaos burst: {tally.get(CIRCUIT_OPEN, 0)} requests "
+              "short-circuited instead of burning deadlines")
+        check(slow.calls < len(pairs) // 2,
+              f"chaos burst: only {slow.calls}/{len(pairs)} requests paid "
+              "the slow fallback")
+        report["chaos"] = {"tally": tally, "slow_calls": slow.calls,
+                           "breaker": breaker}
+
+        # Phase 3 — overload a deliberately tiny service: shed, don't melt.
+        tiny = SPCService(graph, index_path=None, capacity=1, queue_limit=0)
+        with SlowFallback(seconds=0.02):
+            overload = drive(tiny, pairs[:100], args.threads, timeout=5.0)
+        shed = [r for _, r in overload if r.status == SHED]
+        check(len(shed) > 0, f"overload: {len(shed)}/100 requests shed")
+        check(all(r.error.retry_after > 0 for r in shed),
+              "overload: every shed response carries a retry-after hint")
+        check(exact(overload), "overload: admitted answers stay exact")
+        report["overload"] = {"requests": 100, "shed": len(shed)}
+
+        # Phase 4 — restore the file: one reload, breaker closed, recovery.
+        flapper.restore()
+        primer = service.submit(0, 1, timeout=5.0)
+        check(primer.status == SERVED_INDEX,
+              "recovery: first request after restore served from labels")
+        check(service.breaker.state == "closed",
+              "recovery: the reload closed the breaker")
+        check(service.generation == 2,
+              f"recovery: generation bumped to {service.generation}")
+        recovery = drive(service, pairs, args.threads, timeout=5.0)
+        from_labels = sum(r.status == SERVED_INDEX for _, r in recovery)
+        p95 = percentile([r.elapsed for _, r in recovery], 0.95)
+        check(from_labels >= len(pairs) * 99 // 100,
+              f"recovery burst: {from_labels}/{len(pairs)} served from labels "
+              "(>= 99%)")
+        check(exact(recovery), "recovery burst: answers match the oracle")
+        report["recovery"] = {"requests": len(pairs),
+                              "served_index": from_labels,
+                              "p95_ms": p95 * 1e3}
+        report["service"] = service.stats()
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    print("serving smoke: all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
