@@ -2,6 +2,7 @@
 
 from repro.bench.harness import (
     QueryTiming,
+    attach_metrics,
     compare_builders,
     compare_engines,
     format_table,
@@ -13,6 +14,7 @@ from repro.bench.workloads import query_workload
 
 __all__ = [
     "QueryTiming",
+    "attach_metrics",
     "compare_builders",
     "compare_engines",
     "format_table",

@@ -227,6 +227,24 @@ def compare_builders(graph, engines=("python", "csr"), ordering="degree",
     }
 
 
+def attach_metrics(payload, registry=None):
+    """Embed a metric snapshot into a ``BENCH_*.json`` payload dict.
+
+    When the (given or process-global) registry is enabled, sets
+    ``payload["metrics"]`` to :func:`repro.observability.metrics.snapshot`
+    so recorded bench runs carry the same counters and histograms an
+    operator would scrape live. A disabled registry leaves the payload
+    untouched — bench scripts can call this unconditionally. Returns the
+    payload for chaining.
+    """
+    from repro.observability.metrics import get_registry, snapshot
+
+    registry = registry if registry is not None else get_registry()
+    if registry.enabled:
+        payload["metrics"] = snapshot(registry)
+    return payload
+
+
 def format_table(rows, columns, title=None):
     """Render dict rows as an aligned text table (harness stdout format).
 

@@ -11,6 +11,8 @@ Usage (also available as ``python -m repro``):
     repro-spc verify index.bin graph.txt --samples 500
     repro-spc bench  index.bin --queries 2000 --engine both
     repro-spc serve-smoke index.bin graph.txt --random 500 --deadline-ms 20
+    repro-spc build  graph.txt index.bin --engine csr --trace build-trace.json
+    repro-spc metrics --vertices 500 --format prom
 
 Graphs are whitespace edge lists (SNAP/KONECT style; ``#``/``%``
 comments). ``build`` writes the paper's packed 64-bit binary format, so
@@ -25,6 +27,7 @@ serving flow-control (deadline/overload/circuit).
 """
 
 import argparse
+import contextlib
 import sys
 import time
 
@@ -53,6 +56,34 @@ EXIT_VERTEX = 5
 EXIT_SERVING = 6
 
 
+@contextlib.contextmanager
+def _maybe_trace(trace_path):
+    """Install a fresh tracer for the body; dump JSON + text tree on exit.
+
+    With ``trace_path`` falsy this is a no-op, keeping the disabled
+    process-default tracer (zero overhead). On success the nested span
+    tree is written to ``trace_path`` as JSON and printed as a
+    flamegraph-style text tree; on failure no trace file is left behind.
+    """
+    if not trace_path:
+        yield None
+        return
+    import json
+
+    from repro.observability.tracing import Tracer, scoped_tracer
+
+    tracer = Tracer()
+    with scoped_tracer(tracer):
+        yield tracer
+    with open(trace_path, "w") as handle:
+        json.dump(tracer.to_json(), handle, indent=2)
+        handle.write("\n")
+    print(f"trace: {tracer.span_count()} span(s) written to {trace_path}")
+    tree = tracer.format_tree()
+    if tree:
+        print(tree)
+
+
 def _cmd_info(args):
     from repro.graph.metrics import graph_summary
 
@@ -70,7 +101,6 @@ def _cmd_info(args):
 
 
 def _cmd_build(args):
-    import contextlib
     import os
 
     from repro.io.serialize import WIDE_BITS, save_labels
@@ -83,52 +113,53 @@ def _cmd_build(args):
               "builder retries failed tasks on its own", file=sys.stderr)
         return 2
 
-    # On failure, never leave a partial/stale artifact behind — but only
-    # remove what *this* run created; a pre-existing index stays untouched
-    # (saves are atomic, so it is still the old consistent bytes).
-    preexisting = os.path.exists(args.index)
-    try:
-        if args.weighted:
-            from repro.graph.io import read_weighted_edge_list
-            from repro.weighted.labeling import build_weighted_labels
+    with _maybe_trace(args.trace):
+        # On failure, never leave a partial/stale artifact behind — but only
+        # remove what *this* run created; a pre-existing index stays untouched
+        # (saves are atomic, so it is still the old consistent bytes).
+        preexisting = os.path.exists(args.index)
+        try:
+            if args.weighted:
+                from repro.graph.io import read_weighted_edge_list
+                from repro.weighted.labeling import build_weighted_labels
 
-            graph, _ = read_weighted_edge_list(args.graph)
-            print(f"building weighted HP-SPC over {graph.n} vertices / {graph.m} edges...")
-            started = time.perf_counter()
-            labels = build_weighted_labels(graph, ordering="degree")
-            elapsed = time.perf_counter() - started
-            # Weighted distances can exceed the 10-bit field: use the wide packing.
-            written = save_labels(labels, args.index, bits=WIDE_BITS, strict=args.strict)
-            entries = labels.total_entries()
-        else:
-            graph, _ = read_edge_list(args.graph)
-            checkpoint = None
-            if args.resume:
-                from repro.io.checkpoint import BuildCheckpoint
+                graph, _ = read_weighted_edge_list(args.graph)
+                print(f"building weighted HP-SPC over {graph.n} vertices / {graph.m} edges...")
+                started = time.perf_counter()
+                labels = build_weighted_labels(graph, ordering="degree")
+                elapsed = time.perf_counter() - started
+                # Weighted distances can exceed the 10-bit field: use the wide packing.
+                written = save_labels(labels, args.index, bits=WIDE_BITS, strict=args.strict)
+                entries = labels.total_entries()
+            else:
+                graph, _ = read_edge_list(args.graph)
+                checkpoint = None
+                if args.resume:
+                    from repro.io.checkpoint import BuildCheckpoint
 
-                checkpoint = BuildCheckpoint(args.index + ".ckpt",
-                                             every=args.checkpoint_every)
-                if os.path.exists(checkpoint.path):
-                    print(f"resuming from checkpoint {checkpoint.path}")
-            parallel_note = f", workers: {args.workers}" if args.workers > 1 else ""
-            print(f"building HP-SPC over {graph.n} vertices / {graph.m} edges "
-                  f"(ordering: {args.ordering}, engine: {args.engine}{parallel_note})...")
-            index = SPCIndex.build(graph, ordering=args.ordering, workers=args.workers,
-                                   engine=args.engine, checkpoint=checkpoint)
-            written = save_index(index, args.index, strict=args.strict, graph=graph)
-            elapsed = index.build_seconds
-            entries = index.total_entries()
-    except BaseException:
-        # Covers ReproError, OSError, and hard interrupts (Ctrl-C) alike; a
-        # checkpoint file, if any, survives for a later --resume.
-        if not preexisting and os.path.exists(args.index):
-            with contextlib.suppress(OSError):
-                os.remove(args.index)
-            print(f"build failed: removed partial output {args.index}",
-                  file=sys.stderr)
-        raise
-    print(f"built in {elapsed:.2f}s; {entries} entries; "
-          f"wrote {written} bytes to {args.index}")
+                    checkpoint = BuildCheckpoint(args.index + ".ckpt",
+                                                 every=args.checkpoint_every)
+                    if os.path.exists(checkpoint.path):
+                        print(f"resuming from checkpoint {checkpoint.path}")
+                parallel_note = f", workers: {args.workers}" if args.workers > 1 else ""
+                print(f"building HP-SPC over {graph.n} vertices / {graph.m} edges "
+                      f"(ordering: {args.ordering}, engine: {args.engine}{parallel_note})...")
+                index = SPCIndex.build(graph, ordering=args.ordering, workers=args.workers,
+                                       engine=args.engine, checkpoint=checkpoint)
+                written = save_index(index, args.index, strict=args.strict, graph=graph)
+                elapsed = index.build_seconds
+                entries = index.total_entries()
+        except BaseException:
+            # Covers ReproError, OSError, and hard interrupts (Ctrl-C) alike; a
+            # checkpoint file, if any, survives for a later --resume.
+            if not preexisting and os.path.exists(args.index):
+                with contextlib.suppress(OSError):
+                    os.remove(args.index)
+                print(f"build failed: removed partial output {args.index}",
+                      file=sys.stderr)
+            raise
+        print(f"built in {elapsed:.2f}s; {entries} entries; "
+              f"wrote {written} bytes to {args.index}")
     return 0
 
 
@@ -214,6 +245,12 @@ def _cmd_serve_smoke(args):
     chaos) or from ``--random N``. Exits 0 when every request ended in a
     terminal status and none hit an unexpected library error.
     """
+    with _maybe_trace(args.trace):
+        return _run_serve_smoke(args)
+
+
+def _run_serve_smoke(args):
+    """The ``serve-smoke`` body, run under an optional ``--trace`` tracer."""
     from repro.serving import ERROR, SPCService, TERMINAL_STATUSES
 
     graph, _ = read_edge_list(args.graph)
@@ -299,6 +336,58 @@ def _cmd_serve_smoke(args):
     return 0 if stats["counters"][ERROR] == 0 else EXIT_ERROR
 
 
+def _cmd_metrics(args):
+    """Exercise build/query/serving on a small graph; dump the registry.
+
+    The library's process-default registry is disabled (zero overhead), so
+    a plain dump would be empty. This command installs a fresh enabled
+    registry, runs a representative workload — index construction, flat
+    batch queries, a burst of :class:`SPCService` requests — over
+    ``--graph`` (or a generated scale-free graph), then prints every
+    collected metric in the Prometheus text format and/or as JSON.
+    """
+    import json
+    import os
+    import tempfile
+
+    from repro.observability.catalog import apply_help
+    from repro.observability.metrics import (
+        MetricsRegistry,
+        render_prometheus,
+        scoped_registry,
+        snapshot,
+    )
+
+    if args.graph:
+        graph, _ = read_edge_list(args.graph)
+    else:
+        from repro.generators.random_graphs import barabasi_albert_graph
+
+        graph = barabasi_albert_graph(args.vertices, 3, seed=args.seed)
+
+    registry = MetricsRegistry()
+    with scoped_registry(registry):
+        index = SPCIndex.build(graph, ordering="degree", engine=args.engine)
+        pairs = list(random_pairs(graph.n, args.queries, rng=args.seed))
+        index.count_many(pairs)
+
+        from repro.serving import SPCService
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "index.bin")
+            save_index(index, path, graph=graph)
+            service = SPCService(graph, index_path=path, capacity=4)
+            for s, t in pairs[:32]:
+                service.submit(s, t)
+
+    apply_help(registry)
+    if args.format in ("prom", "both"):
+        print(render_prometheus(registry), end="")
+    if args.format in ("json", "both"):
+        print(json.dumps(snapshot(registry), indent=2))
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro-spc",
@@ -329,6 +418,9 @@ def build_parser():
                         "if a previous build was interrupted (sequential only)")
     p.add_argument("--checkpoint-every", type=int, default=200, metavar="K",
                    help="with --resume: save a checkpoint every K hub pushes")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="record tracing spans during the build; write them as "
+                        "JSON to FILE and print the nested span tree")
     p.set_defaults(func=_cmd_build)
 
     p = sub.add_parser("query", help="answer count queries from an index")
@@ -388,7 +480,27 @@ def build_parser():
     p.add_argument("--bfs-engine", default="python", choices=["python", "csr"],
                    help="fallback BFS engine")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="record tracing spans for the burst; write them as "
+                        "JSON to FILE and print the nested span tree")
     p.set_defaults(func=_cmd_serve_smoke)
+
+    p = sub.add_parser("metrics",
+                       help="run a small instrumented workload and dump "
+                            "build/query/serving metrics")
+    p.add_argument("--graph", default=None,
+                   help="edge-list graph to exercise (default: generated "
+                        "scale-free graph)")
+    p.add_argument("--vertices", type=int, default=300, metavar="N",
+                   help="size of the generated graph when no --graph is given")
+    p.add_argument("--queries", type=int, default=200, metavar="N",
+                   help="random query pairs to run through the flat engine")
+    p.add_argument("--engine", default="csr", choices=["python", "csr"],
+                   help="construction engine to exercise")
+    p.add_argument("--format", default="both", choices=["prom", "json", "both"],
+                   help="output format: Prometheus text, JSON snapshot, or both")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_metrics)
 
     return parser
 

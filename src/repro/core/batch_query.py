@@ -15,9 +15,12 @@ refuses wider counts at freeze time). The λ-weighted ``multiplicity``
 evaluation of the reductions stays on the tuple-based path.
 """
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.exceptions import VertexError
+from repro.observability.metrics import get_registry
 
 INF = float("inf")
 INT = np.int64
@@ -69,6 +72,11 @@ def count_many_arrays(flat, sources, targets, deadline=None):
     budget raises :class:`~repro.exceptions.DeadlineExceeded` promptly
     rather than running to completion.
     """
+    registry = get_registry()
+    metered = registry.enabled
+    if metered:
+        batch_start = perf_counter()
+        scan_chunks = 0
     sources = np.asarray(sources, dtype=INT)
     targets = np.asarray(targets, dtype=INT)
     if sources.shape != targets.shape or sources.ndim != 1:
@@ -102,6 +110,8 @@ def count_many_arrays(flat, sources, targets, deadline=None):
             hub_count[rank_s] = count_s
             scattered = rank_s
             current = s
+            if metered:
+                scan_chunks += 1
         rank_t, dist_t, count_t = rows[target_list[i]]
         totals = hub_dist[rank_t] + dist_t
         if totals.size:
@@ -115,6 +125,13 @@ def count_many_arrays(flat, sources, targets, deadline=None):
     diagonal = sources == targets
     out_dist[diagonal] = 0.0
     out_count[diagonal] = 1
+    if metered:
+        registry.counter("spc_queries_total", engine="flat",
+                         kind="pair").inc(pairs)
+        registry.counter("spc_query_scan_chunks_total").inc(scan_chunks)
+        registry.histogram("spc_batch_query_seconds").observe(
+            perf_counter() - batch_start
+        )
     return out_dist, out_count
 
 
@@ -146,6 +163,10 @@ def single_source(flat, s):
     vectorized pass over *all* label entries plus two segmented reductions
     produce every target at once.
     """
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("spc_queries_total", engine="flat",
+                         kind="single_source").inc()
     _validate_ids(flat, np.asarray([s], dtype=INT))
     rank_s, _, dist_s, count_s = flat.row(s)
     hub_dist = np.full(flat.n, INF)
@@ -183,6 +204,10 @@ def count_set_to_set(flat, sources, targets):
     side per hub (minimum distance, counts summed at the minimum) with
     scatter ops, then sweep the target rows once.
     """
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("spc_queries_total", engine="flat",
+                         kind="set_to_set").inc()
     sources = np.asarray(list(sources), dtype=INT)
     targets = np.asarray(list(targets), dtype=INT)
     _validate_ids(flat, sources)

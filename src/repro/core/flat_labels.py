@@ -13,6 +13,8 @@ and the frozen form serializes through the same packed 64-bit entry
 encoding as :mod:`repro.io.serialize` (see :meth:`FlatLabels.packed_words`).
 """
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.exceptions import LabelingError
@@ -53,8 +55,12 @@ class FlatLabels:
     @classmethod
     def from_label_set(cls, labels):
         """Freeze a finalized :class:`LabelSet` (order set, lists merged)."""
+        from repro.observability.metrics import get_registry
+
         if labels.order is None:
             raise LabelingError("labels must have an order; call set_order() first")
+        registry = get_registry()
+        freeze_start = perf_counter() if registry.enabled else None
         n = labels.n
         indptr = np.zeros(n + 1, dtype=INT)
         rows = []
@@ -82,7 +88,12 @@ class FlatLabels:
                 canonical[pos] = is_canonical
                 pos += 1
         order = np.asarray(labels.order, dtype=INT)
-        return cls(n, indptr, rank, hub, dist, count, canonical, order)
+        flat = cls(n, indptr, rank, hub, dist, count, canonical, order)
+        if freeze_start is not None:
+            registry.histogram("spc_flat_freeze_seconds").observe(
+                perf_counter() - freeze_start
+            )
+        return flat
 
     def to_label_set(self):
         """Thaw back into a finalized :class:`LabelSet` (exact inverse).

@@ -26,9 +26,12 @@ The same engine also serves:
 """
 
 from collections import deque
+from time import perf_counter
 
 from repro.core.labels import LabelSet
 from repro.core.ordering import PushTree, resolve_ordering
+from repro.observability.metrics import DEFAULT_SIZE_BUCKETS, get_registry
+from repro.observability.tracing import get_tracer
 
 INF = float("inf")
 
@@ -170,100 +173,159 @@ def build_labels(
     order = []
     want_tree = strategy.wants_tree
 
-    w = strategy.first_vertex(graph) if n else None
-    while w is not None:
-        if pushed[w]:
-            raise ValueError(f"ordering strategy returned vertex {w} twice")
-        rank = len(order)
-        order.append(w)
-        pushed[w] = True
-        if rank < start_rank:
-            # Resumed build: this push's effects are already in the labels.
-            w = strategy.next_vertex(graph, pushed, None)
-            continue
-        if stats is not None:
-            stats.pushes += 1
+    registry = get_registry()
+    tracer = get_tracer()
+    metered = registry.enabled
+    traced = tracer.enabled
+    if metered:
+        build_start = perf_counter()
+        push_hist = registry.histogram("spc_build_push_seconds",
+                                       engine="python")
+        growth_hist = registry.histogram(
+            "spc_build_entries_per_push", buckets=DEFAULT_SIZE_BUCKETS,
+            engine="python",
+        )
+    build_span = tracer.begin("build.python", n=n) if traced else None
 
-        # Scatter L^c(w) for O(|L^c(v)|) joins at each popped v.
-        touched_hubs = []
-        if prune:
-            for _, hub, hub_distance, _ in canonical[w]:
-                hub_dist[hub] = hub_distance
-                touched_hubs.append(hub)
-
-        dist[w] = 0
-        count[w] = 1
-        if not skip_flags[w]:
-            canonical[w].append((rank, w, 0, 1))
-        queue = deque([w])
-        visited = [w]
-        parent = {w: w} if want_tree else None
-
-        while queue:
-            v = queue.popleft()
-            dv = dist[v]
+    try:
+        w = strategy.first_vertex(graph) if n else None
+        while w is not None:
+            if pushed[w]:
+                raise ValueError(f"ordering strategy returned vertex {w} twice")
+            rank = len(order)
+            order.append(w)
+            pushed[w] = True
+            if rank < start_rank:
+                # Resumed build: this push's effects are already in the labels.
+                w = strategy.next_vertex(graph, pushed, None)
+                continue
+            if metered:
+                push_start = perf_counter()
+                push_entries = 0
+            push_span = (tracer.begin("hp_spc.push", rank=rank)
+                         if traced else None)
             if stats is not None:
-                stats.visits += 1
-            if v != w and not skip_flags[v]:
-                if prune:
-                    row = canonical[v]
-                    # C-level min over a generator beats a manual loop
-                    # by ~2x; this join is the construction hot spot.
-                    best = min(
-                        (hub_dist[hub] + hub_distance for _, hub, hub_distance, _ in row),
-                        default=INF,
-                    )
-                    if stats is not None:
-                        stats.join_terms += len(row)
-                    if best < dv:
+                stats.pushes += 1
+
+            # Scatter L^c(w) for O(|L^c(v)|) joins at each popped v.
+            touched_hubs = []
+            if prune:
+                for _, hub, hub_distance, _ in canonical[w]:
+                    hub_dist[hub] = hub_distance
+                    touched_hubs.append(hub)
+
+            dist[w] = 0
+            count[w] = 1
+            if not skip_flags[w]:
+                canonical[w].append((rank, w, 0, 1))
+            queue = deque([w])
+            visited = [w]
+            parent = {w: w} if want_tree else None
+
+            while queue:
+                v = queue.popleft()
+                dv = dist[v]
+                if stats is not None:
+                    stats.visits += 1
+                if v != w and not skip_flags[v]:
+                    if prune:
+                        row = canonical[v]
+                        # C-level min over a generator beats a manual loop
+                        # by ~2x; this join is the construction hot spot.
+                        best = min(
+                            (hub_dist[hub] + hub_distance
+                             for _, hub, hub_distance, _ in row),
+                            default=INF,
+                        )
                         if stats is not None:
-                            stats.prunes += 1
-                        continue
-                    if best == dv:
-                        noncanonical[v].append((rank, w, dv, count[v]))
+                            stats.join_terms += len(row)
+                        if best < dv:
+                            if stats is not None:
+                                stats.prunes += 1
+                            continue
+                        if best == dv:
+                            noncanonical[v].append((rank, w, dv, count[v]))
+                        else:
+                            canonical[v].append((rank, w, dv, count[v]))
                     else:
                         canonical[v].append((rank, w, dv, count[v]))
-                else:
-                    canonical[v].append((rank, w, dv, count[v]))
+                    if stats is not None:
+                        stats.label_entries += 1
+                    if metered:
+                        push_entries += 1
+                forwarded = (count[v] if (mult is None or v == w)
+                             else count[v] * mult[v])
+                next_dist = dv + 1
+                for v2 in adj[v]:
+                    d2 = dist[v2]
+                    if d2 is INF:
+                        if not pushed[v2]:
+                            dist[v2] = next_dist
+                            count[v2] = forwarded
+                            queue.append(v2)
+                            visited.append(v2)
+                            if want_tree:
+                                parent[v2] = v
+                    elif d2 == next_dist:
+                        count[v2] += forwarded
+
+            # Reset the scratch arrays touched by this push.
+            for v in visited:
+                dist[v] = INF
+                count[v] = 0
+            for hub in touched_hubs:
+                hub_dist[hub] = INF
+
+            if metered:
+                push_hist.observe(perf_counter() - push_start)
+                growth_hist.observe(push_entries)
+            if traced:
+                tracer.end(push_span)
+
+            if checkpoint is not None and checkpoint.should_save(rank + 1, n):
+                checkpoint.save(checkpoint_order, rank + 1, canonical,
+                                noncanonical, fingerprint=checkpoint_fp)
                 if stats is not None:
-                    stats.label_entries += 1
-            forwarded = count[v] if (mult is None or v == w) else count[v] * mult[v]
-            next_dist = dv + 1
-            for v2 in adj[v]:
-                d2 = dist[v2]
-                if d2 is INF:
-                    if not pushed[v2]:
-                        dist[v2] = next_dist
-                        count[v2] = forwarded
-                        queue.append(v2)
-                        visited.append(v2)
-                        if want_tree:
-                            parent[v2] = v
-                elif d2 == next_dist:
-                    count[v2] += forwarded
+                    stats.checkpoint_saves += 1
+                if metered:
+                    registry.counter("spc_checkpoint_saves_total").inc()
 
-        # Reset the scratch arrays touched by this push.
-        for v in visited:
-            dist[v] = INF
-            count[v] = 0
-        for hub in touched_hubs:
-            hub_dist[hub] = INF
+            tree = PushTree(w, visited, parent) if want_tree else None
+            w = strategy.next_vertex(graph, pushed, tree)
 
-        if checkpoint is not None and checkpoint.should_save(rank + 1, n):
-            checkpoint.save(checkpoint_order, rank + 1, canonical, noncanonical,
-                            fingerprint=checkpoint_fp)
-            if stats is not None:
-                stats.checkpoint_saves += 1
+        if len(order) != n:
+            missing = [v for v in range(n) if not pushed[v]]
+            raise ValueError(
+                f"ordering did not cover all vertices; missing {missing[:5]}..."
+            )
 
-        tree = PushTree(w, visited, parent) if want_tree else None
-        w = strategy.next_vertex(graph, pushed, tree)
-
-    if len(order) != n:
-        missing = [v for v in range(n) if not pushed[v]]
-        raise ValueError(f"ordering did not cover all vertices; missing {missing[:5]}...")
-
-    labels.set_order(order)
-    labels.finalize()
-    if checkpoint is not None:
-        checkpoint.discard()
+        labels.set_order(order)
+        labels.finalize()
+        if checkpoint is not None:
+            checkpoint.discard()
+    finally:
+        if traced:
+            tracer.end(build_span)
+    if metered:
+        total_entries = sum(
+            len(canonical[v]) + len(noncanonical[v]) for v in range(n)
+        )
+        registry.counter("spc_build_pushes_total", engine="python").inc(
+            n - start_rank
+        )
+        registry.counter("spc_build_label_entries_total",
+                         engine="python").inc(total_entries)
+        if start_rank:
+            registry.counter(
+                "spc_build_resumed_pushes_total", engine="python"
+            ).inc(start_rank)
+        registry.gauge("spc_label_total_entries", engine="python").set(
+            total_entries
+        )
+        registry.gauge("spc_label_avg_size", engine="python").set(
+            total_entries / n if n else 0.0
+        )
+        registry.histogram("spc_build_seconds", engine="python").observe(
+            perf_counter() - build_start
+        )
     return labels

@@ -12,7 +12,7 @@ and (when one applies) the 1-based line number. Parsers never leak a bare
 file fed by an operator is untrusted input.
 """
 
-from repro.exceptions import GraphParseError
+from repro.exceptions import GraphError, GraphParseError
 from repro.graph.digraph import WeightedDigraph
 from repro.graph.graph import Graph
 
@@ -101,7 +101,12 @@ def read_edge_list(path, comments=("#", "%"), directed=False, default_weight=1):
     id_map = {old: new for new, old in enumerate(sorted(ids))}
     if directed:
         edges = [(id_map[u], id_map[v], w) for u, v, w in raw_edges if u != v]
-        return WeightedDigraph.from_edges(len(id_map), edges), id_map
+        try:
+            return WeightedDigraph.from_edges(len(id_map), edges), id_map
+        except GraphError as exc:
+            # Constructor rejections (e.g. a non-positive weight) are
+            # still *parse* failures from the caller's point of view.
+            raise GraphParseError(path, str(exc)) from exc
     edges = [(id_map[u], id_map[v]) for u, v, _ in raw_edges if u != v]
     return Graph.from_edges(len(id_map), edges), id_map
 
@@ -127,7 +132,11 @@ def read_weighted_edge_list(path, comments=("#", "%"), default_weight=1):
     raw_edges, ids = _parse_endpoint_lines(path, comments, True, default_weight)
     id_map = {old: new for new, old in enumerate(sorted(ids))}
     edges = [(id_map[u], id_map[v], w) for u, v, w in raw_edges if u != v]
-    return WeightedGraph.from_edges(len(id_map), edges), id_map
+    try:
+        return WeightedGraph.from_edges(len(id_map), edges), id_map
+    except GraphError as exc:
+        # See read_edge_list: constructor rejections are parse failures.
+        raise GraphParseError(path, str(exc)) from exc
 
 
 def write_weighted_edge_list(graph, path, header=True):

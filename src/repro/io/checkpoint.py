@@ -30,6 +30,7 @@ the previous checkpoint intact and a corrupted file raises
 import contextlib
 import os
 import struct
+import time
 
 from repro.exceptions import CheckpointError, SerializationError
 from repro.io.serialize import (
@@ -40,6 +41,8 @@ from repro.io.serialize import (
     atomic_write_bytes,
     graph_fingerprint,
 )
+from repro.observability.events import get_event_log
+from repro.observability.metrics import get_registry
 
 MAGIC = b"SPCK"
 VERSION = 1
@@ -204,10 +207,18 @@ class BuildCheckpoint:
 
     def save(self, order, watermark, canonical, noncanonical, fingerprint=None):
         """Atomically persist the build prefix up to ``watermark`` pushes."""
+        registry = get_registry()
+        save_start = time.perf_counter() if registry.enabled else None
         blob = encode_checkpoint(order, watermark, canonical, noncanonical,
                                  fingerprint)
         atomic_write_bytes(self.path, blob)
         self.saves += 1
+        if save_start is not None:
+            registry.histogram("spc_checkpoint_seconds", op="save").observe(
+                time.perf_counter() - save_start
+            )
+        get_event_log().emit("build.checkpoint", watermark=watermark,
+                             path=self.path)
 
     def load(self, graph=None, order=None):
         """Return the saved :class:`CheckpointState`, or None when absent.
@@ -217,11 +228,17 @@ class BuildCheckpoint:
         mismatches raise :class:`CheckpointError` rather than silently
         resuming a build of a different problem.
         """
+        registry = get_registry()
+        load_start = time.perf_counter() if registry.enabled else None
         try:
             blob = _read_bytes(self.path)
         except FileNotFoundError:
             return None
         state = decode_checkpoint(blob, context=self.path)
+        if load_start is not None:
+            registry.histogram("spc_checkpoint_seconds", op="load").observe(
+                time.perf_counter() - load_start
+            )
         if graph is not None and state.fingerprint is not None:
             live = graph_fingerprint(graph)
             if live != state.fingerprint:

@@ -39,6 +39,7 @@ import zlib
 
 from repro.core.labels import LabelSet
 from repro.exceptions import CountOverflowError, SerializationError
+from repro.observability.metrics import get_registry
 
 MAGIC = b"SPCL"
 VERSION = 3
@@ -470,10 +471,18 @@ def save_labels(labels, path, bits=DEFAULT_BITS, strict=False, graph=None,
     Pass ``graph`` (or a precomputed ``fingerprint`` triple) to embed the
     graph fingerprint so loaders can detect stale indexes.
     """
+    registry = get_registry()
+    save_start = time.perf_counter() if registry.enabled else None
     if fingerprint is None and graph is not None:
         fingerprint = graph_fingerprint(graph)
     blob = labels_to_bytes(labels, bits=bits, strict=strict, fingerprint=fingerprint)
-    return atomic_write_bytes(path, blob)
+    written = atomic_write_bytes(path, blob)
+    if save_start is not None:
+        registry.histogram("spc_io_seconds", op="save").observe(
+            time.perf_counter() - save_start
+        )
+        registry.counter("spc_io_bytes_total", op="save").inc(written)
+    return written
 
 
 def load_labels(path, retries=0, retry_wait=0.01):
@@ -488,6 +497,8 @@ def load_labels(path, retries=0, retry_wait=0.01):
 
 def load_labels_with_meta(path, retries=0, retry_wait=0.01):
     """:func:`load_labels` variant also returning the :class:`LabelFileMeta`."""
+    registry = get_registry()
+    load_start = time.perf_counter() if registry.enabled else None
     blob = _read_with_retries(path, retries, retry_wait)
     labels, used, meta = labels_from_bytes_with_meta(blob, context=str(path))
     if used != len(blob):
@@ -495,6 +506,11 @@ def load_labels_with_meta(path, retries=0, retry_wait=0.01):
             f"{path}: {len(blob) - used} trailing bytes after the label data "
             f"(file is {len(blob)} bytes, format ends at byte {used})"
         )
+    if load_start is not None:
+        registry.histogram("spc_io_seconds", op="load").observe(
+            time.perf_counter() - load_start
+        )
+        registry.counter("spc_io_bytes_total", op="load").inc(len(blob))
     return labels, meta
 
 

@@ -36,12 +36,16 @@ Counts are int64 with the rigorous overflow guard of
 exceed it must use the arbitrary-precision Python engine.
 """
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.core.flat_labels import FlatLabels
 from repro.core.ordering import resolve_static_order
 from repro.exceptions import LabelingError
 from repro.kernels.bfs import count_guard_threshold, expand_ranges
+from repro.observability.metrics import DEFAULT_SIZE_BUCKETS, get_registry
+from repro.observability.tracing import get_tracer
 
 INT = np.int64
 
@@ -274,6 +278,17 @@ def build_flat_labels_csr(
     engine-neutral, so either engine can resume the other's.
     """
     n = graph.n
+    registry = get_registry()
+    tracer = get_tracer()
+    metered = registry.enabled
+    traced = tracer.enabled
+    if metered:
+        build_start = perf_counter()
+        push_hist = registry.histogram("spc_build_push_seconds", engine="csr")
+        growth_hist = registry.histogram(
+            "spc_build_entries_per_push", buckets=DEFAULT_SIZE_BUCKETS,
+            engine="csr",
+        )
     order = resolve_static_order(graph, ordering)
     order_np = np.asarray(order, dtype=INT) if n else np.empty(0, dtype=INT)
 
@@ -324,105 +339,149 @@ def build_flat_labels_csr(
             if stats is not None:
                 stats.resumed_pushes += start_rank
 
-    for r in range(start_rank, n):
-        if prune:
-            root_ranks, root_dists = rows.row(r)
-            if root_ranks.size:
-                rank_dist[root_ranks] = root_dists
-        if stats is not None:
-            stats.pushes += 1
-            stats.visits += 1
-        dist[r] = 0
-        count[r] = 1
-        root = np.array([r], dtype=INT)
-        if rskip is None or not rskip[r]:
-            # The root self-entry; like the scalar builder, it does not
-            # count toward stats.label_entries.
-            chunks.append((r, root, np.zeros(1, dtype=INT), one, True))
-        visited = [root]
-        frontier = root
-        depth = 0
-        while frontier.size:
-            starts = rindptr[frontier]
-            degrees = rindptr[frontier + 1] - starts
-            neighbors = rindices[expand_ranges(starts, degrees)]
-            fcount = count[frontier]
-            if rmult is not None and depth > 0:
-                # forwarded = count(v) * mult(v) for v != w (Lemma 4.4); the
-                # guard threshold already folds max_mult in, so no wrap here.
-                fcount = fcount * rmult[frontier]
-            forwarded = np.repeat(fcount, degrees)
-            keep = neighbors > r  # the rank restriction: stay inside G_w
-            neighbors = neighbors[keep]
-            forwarded = forwarded[keep]
-            open_mask = dist[neighbors] < 0
-            neighbors = neighbors[open_mask]
-            if neighbors.size == 0:
-                break
-            _scatter_add_counts(count, neighbors, forwarded[open_mask], n,
-                                exact_threshold)
-            new = np.unique(neighbors)
-            depth += 1
-            dist[new] = depth
-            visited.append(new)
+    build_span = tracer.begin("build.csr", n=n) if traced else None
+    try:
+        for r in range(start_rank, n):
+            if metered:
+                push_start = perf_counter()
+                push_entries = 0
+            push_span = tracer.begin("hp_spc.push", rank=r) if traced else None
+            if prune:
+                root_ranks, root_dists = rows.row(r)
+                if root_ranks.size:
+                    rank_dist[root_ranks] = root_dists
             if stats is not None:
-                stats.visits += new.size
-            if int(count[new].max()) > threshold:
-                raise LabelingError(
-                    "shortest-path count exceeds the int64 kernel guard; "
-                    "use the python engine for this graph"
+                stats.pushes += 1
+                stats.visits += 1
+            dist[r] = 0
+            count[r] = 1
+            root = np.array([r], dtype=INT)
+            if rskip is None or not rskip[r]:
+                # The root self-entry; like the scalar builder, it does not
+                # count toward stats.label_entries.
+                chunks.append((r, root, np.zeros(1, dtype=INT), one, True))
+            visited = [root]
+            frontier = root
+            depth = 0
+            while frontier.size:
+                starts = rindptr[frontier]
+                degrees = rindptr[frontier + 1] - starts
+                neighbors = rindices[expand_ranges(starts, degrees)]
+                fcount = count[frontier]
+                if rmult is not None and depth > 0:
+                    # forwarded = count(v) * mult(v) for v != w (Lemma 4.4);
+                    # the guard threshold already folds max_mult in, so no
+                    # wrap here.
+                    fcount = fcount * rmult[frontier]
+                forwarded = np.repeat(fcount, degrees)
+                keep = neighbors > r  # the rank restriction: stay inside G_w
+                neighbors = neighbors[keep]
+                forwarded = forwarded[keep]
+                open_mask = dist[neighbors] < 0
+                neighbors = neighbors[open_mask]
+                if neighbors.size == 0:
+                    break
+                _scatter_add_counts(count, neighbors, forwarded[open_mask], n,
+                                    exact_threshold)
+                new = np.unique(neighbors)
+                depth += 1
+                dist[new] = depth
+                visited.append(new)
+                if stats is not None:
+                    stats.visits += new.size
+                if int(count[new].max()) > threshold:
+                    raise LabelingError(
+                        "shortest-path count exceeds the int64 kernel guard; "
+                        "use the python engine for this graph"
+                    )
+                if rskip is not None:
+                    skip_mask = rskip[new]
+                    skipped = new[skip_mask]
+                    candidates = new[~skip_mask]
+                else:
+                    skipped = None
+                    candidates = new
+                if prune and candidates.size:
+                    best, lengths = rows.gather_best(candidates, rank_dist)
+                    if stats is not None:
+                        stats.join_terms += int(lengths.sum())
+                    pruned = best < depth
+                    emit_can = candidates[best > depth]
+                    emit_non = candidates[best == depth]
+                    survivors = candidates[~pruned]
+                    if stats is not None:
+                        stats.prunes += int(pruned.sum())
+                else:
+                    emit_can = candidates
+                    emit_non = candidates[:0]
+                    survivors = candidates
+                if emit_can.size:
+                    chunks.append((r, emit_can,
+                                   np.full(emit_can.size, depth, dtype=INT),
+                                   count[emit_can], True))
+                    if prune:
+                        rows.append(emit_can, r, depth)
+                if emit_non.size:
+                    chunks.append((r, emit_non,
+                                   np.full(emit_non.size, depth, dtype=INT),
+                                   count[emit_non], False))
+                if stats is not None:
+                    stats.label_entries += emit_can.size + emit_non.size
+                if metered:
+                    push_entries += emit_can.size + emit_non.size
+                frontier = survivors if skipped is None else np.concatenate(
+                    (skipped, survivors)
                 )
-            if rskip is not None:
-                skip_mask = rskip[new]
-                skipped = new[skip_mask]
-                candidates = new[~skip_mask]
-            else:
-                skipped = None
-                candidates = new
-            if prune and candidates.size:
-                best, lengths = rows.gather_best(candidates, rank_dist)
+            for touched in visited:
+                dist[touched] = -1
+                count[touched] = 0
+            if prune and root_ranks.size:
+                rank_dist[root_ranks] = INF_SENT
+            if metered:
+                push_hist.observe(perf_counter() - push_start)
+                growth_hist.observe(push_entries)
+            if traced:
+                tracer.end(push_span)
+            if checkpoint is not None and checkpoint.should_save(r + 1, n):
+                canonical_lists, noncanonical_lists = _chunks_to_label_lists(
+                    n, order_np, chunks
+                )
+                checkpoint.save(list(order), r + 1, canonical_lists,
+                                noncanonical_lists, fingerprint=checkpoint_fp)
                 if stats is not None:
-                    stats.join_terms += int(lengths.sum())
-                pruned = best < depth
-                emit_can = candidates[best > depth]
-                emit_non = candidates[best == depth]
-                survivors = candidates[~pruned]
-                if stats is not None:
-                    stats.prunes += int(pruned.sum())
-            else:
-                emit_can = candidates
-                emit_non = candidates[:0]
-                survivors = candidates
-            if emit_can.size:
-                chunks.append((r, emit_can, np.full(emit_can.size, depth, dtype=INT),
-                               count[emit_can], True))
-                if prune:
-                    rows.append(emit_can, r, depth)
-            if emit_non.size:
-                chunks.append((r, emit_non, np.full(emit_non.size, depth, dtype=INT),
-                               count[emit_non], False))
-            if stats is not None:
-                stats.label_entries += emit_can.size + emit_non.size
-            frontier = survivors if skipped is None else np.concatenate(
-                (skipped, survivors)
-            )
-        for touched in visited:
-            dist[touched] = -1
-            count[touched] = 0
-        if prune and root_ranks.size:
-            rank_dist[root_ranks] = INF_SENT
-        if checkpoint is not None and checkpoint.should_save(r + 1, n):
-            canonical_lists, noncanonical_lists = _chunks_to_label_lists(
-                n, order_np, chunks
-            )
-            checkpoint.save(list(order), r + 1, canonical_lists,
-                            noncanonical_lists, fingerprint=checkpoint_fp)
-            if stats is not None:
-                stats.checkpoint_saves += 1
+                    stats.checkpoint_saves += 1
+                if metered:
+                    registry.counter("spc_checkpoint_saves_total").inc()
 
-    if checkpoint is not None:
-        checkpoint.discard()
-    return _finalize_flat(n, order_np, chunks)
+        if checkpoint is not None:
+            checkpoint.discard()
+        with tracer.span("build.finalize", engine="csr"):
+            flat = _finalize_flat(n, order_np, chunks)
+    finally:
+        if traced:
+            tracer.end(build_span)
+    if metered:
+        total_entries = int(flat.indptr[n]) if n else 0
+        registry.counter("spc_build_pushes_total", engine="csr").inc(
+            n - start_rank
+        )
+        registry.counter("spc_build_label_entries_total", engine="csr").inc(
+            total_entries
+        )
+        if start_rank:
+            registry.counter(
+                "spc_build_resumed_pushes_total", engine="csr"
+            ).inc(start_rank)
+        registry.gauge("spc_label_total_entries", engine="csr").set(
+            total_entries
+        )
+        registry.gauge("spc_label_avg_size", engine="csr").set(
+            total_entries / n if n else 0.0
+        )
+        registry.histogram("spc_build_seconds", engine="csr").observe(
+            perf_counter() - build_start
+        )
+    return flat
 
 
 def push_block_csr(rindptr, rindices, block_ranks):

@@ -1,0 +1,100 @@
+"""Dependency-free observability: metrics, tracing spans, structured events.
+
+Three independent instruments share one design rule — *zero overhead when
+disabled*. The process-global registry, tracer and event log all start
+disabled: a disabled counter increment is one attribute load and one
+branch, a disabled span is a shared no-op context manager, and the hot
+build/query loops additionally guard their clock reads behind
+``registry.enabled`` / ``tracer.enabled`` so instrumentation costs
+nothing until someone turns it on (``enable_metrics()``, CLI ``metrics``
+subcommand, ``--trace FILE``).
+
+* :mod:`repro.observability.metrics` — counters, gauges, fixed-boundary
+  histograms; Prometheus text exposition and JSON snapshots.
+* :mod:`repro.observability.tracing` — nested wall-time spans with JSON
+  and flamegraph-style text export.
+* :mod:`repro.observability.events` — low-rate structured events with a
+  pluggable sink.
+* :mod:`repro.observability.catalog` — the authoritative list of every
+  metric family; rendered into ``docs/METRICS.md`` and checked by CI.
+"""
+
+from repro.observability.catalog import (
+    METRICS,
+    MetricSpec,
+    apply_help,
+    catalog_table,
+    missing_from_catalog,
+    register_all,
+    spec_for,
+)
+from repro.observability.events import (
+    EventLog,
+    JsonLinesSink,
+    disable_events,
+    enable_events,
+    get_event_log,
+    scoped_event_log,
+    set_event_log,
+)
+from repro.observability.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    render_prometheus,
+    scoped_registry,
+    set_registry,
+    snapshot,
+)
+from repro.observability.tracing import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    scoped_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "render_prometheus",
+    "snapshot",
+    "get_registry",
+    "set_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "scoped_registry",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "scoped_tracer",
+    "EventLog",
+    "JsonLinesSink",
+    "get_event_log",
+    "set_event_log",
+    "enable_events",
+    "disable_events",
+    "scoped_event_log",
+    "MetricSpec",
+    "METRICS",
+    "apply_help",
+    "catalog_table",
+    "register_all",
+    "missing_from_catalog",
+    "spec_for",
+]

@@ -1,0 +1,228 @@
+"""Declarative catalog of every metric the library registers.
+
+The instrumented modules create metrics lazily at their call sites; this
+module is the single authoritative list of what can exist — name, type,
+label names and meaning. Three consumers keep it honest:
+
+* ``tools/gen_api_docs.py`` renders :func:`catalog_table` into
+  ``docs/METRICS.md`` and fails CI when that file is stale;
+* ``tools/ci_observability_smoke.py`` exercises build/query/serving and
+  fails when a registered family is missing from the catalog (or a
+  required catalog entry never materialised);
+* the unit suite cross-checks both directions on a small run.
+
+Keep the list alphabetical by metric name; one :class:`MetricSpec` per
+family (label *values* are free-form, label *names* are part of the
+contract).
+"""
+
+from collections import namedtuple
+
+from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["MetricSpec", "METRICS", "apply_help", "catalog_table",
+           "register_all", "missing_from_catalog", "spec_for"]
+
+#: One metric family: ``kind`` is ``counter``/``gauge``/``histogram``,
+#: ``labels`` the tuple of label *names* every instance carries.
+MetricSpec = namedtuple("MetricSpec", ["name", "kind", "labels", "help"])
+
+METRICS = (
+    MetricSpec(
+        "spc_batch_query_seconds", "histogram", (),
+        "Wall time of one vectorized batch-query call "
+        "(count_many_arrays), whatever its batch size.",
+    ),
+    MetricSpec(
+        "spc_breaker_short_circuits_total", "counter", (),
+        "Fallback attempts rejected fast because the circuit breaker "
+        "was open (or half-open past its probe budget).",
+    ),
+    MetricSpec(
+        "spc_breaker_transitions_total", "counter", ("to",),
+        "Circuit-breaker state transitions, labelled by the state "
+        "entered (open, half_open, closed).",
+    ),
+    MetricSpec(
+        "spc_build_entries_per_push", "histogram", ("engine",),
+        "Label entries emitted by each hub push — the per-push label "
+        "growth distribution (root self-entries excluded, matching "
+        "BuildStats.label_entries).",
+    ),
+    MetricSpec(
+        "spc_build_label_entries_total", "counter", ("engine",),
+        "Label entries emitted by index construction, including "
+        "non-canonical entries.",
+    ),
+    MetricSpec(
+        "spc_build_push_seconds", "histogram", ("engine",),
+        "Wall time of each hub push (the rank-restricted BFS plus its "
+        "pruning joins) — stragglers show up in the top buckets.",
+    ),
+    MetricSpec(
+        "spc_build_pushes_total", "counter", ("engine",),
+        "Hub pushes completed by index construction.",
+    ),
+    MetricSpec(
+        "spc_build_resumed_pushes_total", "counter", ("engine",),
+        "Pushes skipped on a checkpoint resume instead of recomputed.",
+    ),
+    MetricSpec(
+        "spc_build_seconds", "histogram", ("engine",),
+        "Whole-build wall time per construction run.",
+    ),
+    MetricSpec(
+        "spc_build_sequential_fallbacks_total", "counter", (),
+        "Parallel builds that fell back to the sequential engine after "
+        "their worker pool kept failing.",
+    ),
+    MetricSpec(
+        "spc_build_worker_failures_total", "counter", (),
+        "Parallel worker block tasks that raised.",
+    ),
+    MetricSpec(
+        "spc_build_worker_retries_total", "counter", (),
+        "Parallel worker block tasks resubmitted after a failure or "
+        "timeout.",
+    ),
+    MetricSpec(
+        "spc_build_worker_timeouts_total", "counter", (),
+        "Parallel worker block tasks that exceeded their task timeout.",
+    ),
+    MetricSpec(
+        "spc_checkpoint_saves_total", "counter", (),
+        "Build checkpoints persisted (rank-watermark saves).",
+    ),
+    MetricSpec(
+        "spc_checkpoint_seconds", "histogram", ("op",),
+        "Wall time of checkpoint I/O, labelled save or load.",
+    ),
+    MetricSpec(
+        "spc_flat_freeze_seconds", "histogram", (),
+        "Wall time of freezing a LabelSet into FlatLabels CSR columns.",
+    ),
+    MetricSpec(
+        "spc_index_events_total", "counter", ("kind",),
+        "ResilientSPCIndex lifecycle tallies: index_queries, "
+        "fallback_queries, load_failures, verify_failures, "
+        "query_failures, stale_detections.",
+    ),
+    MetricSpec(
+        "spc_index_generation", "gauge", (),
+        "Monotonic count of successful index (re)loads on the serving "
+        "path; bumps make hot swaps visible.",
+    ),
+    MetricSpec(
+        "spc_inflight_requests", "gauge", (),
+        "Requests currently executing inside SPCService.",
+    ),
+    MetricSpec(
+        "spc_io_bytes_total", "counter", ("op",),
+        "Bytes moved by index (de)serialization, labelled save or load.",
+    ),
+    MetricSpec(
+        "spc_io_seconds", "histogram", ("op",),
+        "Wall time of index (de)serialization, labelled save or load.",
+    ),
+    MetricSpec(
+        "spc_label_avg_size", "gauge", ("engine",),
+        "Average |L(v)| of the most recently built labeling — the "
+        "paper's per-vertex label-size statistic as a live metric.",
+    ),
+    MetricSpec(
+        "spc_label_total_entries", "gauge", ("engine",),
+        "Total label entries of the most recently built labeling "
+        "(the labeling size in the paper's sense).",
+    ),
+    MetricSpec(
+        "spc_queries_total", "counter", ("engine", "kind"),
+        "Queries answered, labelled by engine (flat) and kind (pair, "
+        "single_source, set_to_set).",
+    ),
+    MetricSpec(
+        "spc_query_scan_chunks_total", "counter", (),
+        "Label-scan chunks executed by the batched engine (one per "
+        "distinct-source scatter group).",
+    ),
+    MetricSpec(
+        "spc_queued_requests", "gauge", (),
+        "Requests waiting in SPCService's bounded admission queue.",
+    ),
+    MetricSpec(
+        "spc_reloads_total", "counter", ("outcome",),
+        "Hot index reload attempts, labelled success or failure.",
+    ),
+    MetricSpec(
+        "spc_request_outcomes_total", "counter", ("status",),
+        "Terminal request outcomes: index, degraded, shed, circuit_open, "
+        "deadline, invalid, error.",
+    ),
+    MetricSpec(
+        "spc_request_seconds", "histogram", (),
+        "SPCService request execution latency (slot held; admission "
+        "wait excluded).",
+    ),
+    MetricSpec(
+        "spc_requests_total", "counter", (),
+        "Requests submitted to SPCService, whatever their outcome.",
+    ),
+    MetricSpec(
+        "spc_serving_degraded", "gauge", (),
+        "1 while the resilient index answers from the BFS fallback, "
+        "0 while it serves from labels.",
+    ),
+)
+
+_BY_NAME = {spec.name: spec for spec in METRICS}
+
+
+def spec_for(name):
+    """The :class:`MetricSpec` for ``name``, or ``None`` if uncatalogued."""
+    return _BY_NAME.get(name)
+
+
+def register_all(registry=None):
+    """Materialise every catalogued family into ``registry`` (zero-valued).
+
+    Labelled families are instantiated with the placeholder value
+    ``"..."`` per label so the family metadata (kind, help, label names)
+    is live without faking observations. Returns the registry — callers
+    wanting "the full catalog as a live registry" (the doc generator)
+    pass a fresh enabled one.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    for spec in METRICS:
+        labels = {label: "..." for label in spec.labels}
+        getattr(registry, spec.kind)(spec.name, help=spec.help, **labels)
+    return registry
+
+
+def apply_help(registry):
+    """Backfill catalog help text onto ``registry``'s known families.
+
+    Hot-path call sites register metrics without ``help=`` to stay lean;
+    calling this before rendering restores the ``# HELP`` lines for every
+    catalogued family the workload actually touched. Returns the registry.
+    """
+    for spec in METRICS:
+        registry.describe(spec.name, spec.help)
+    return registry
+
+
+def missing_from_catalog(registry):
+    """Names of families registered in ``registry`` but absent here."""
+    return sorted(set(registry.families()) - set(_BY_NAME))
+
+
+def catalog_table():
+    """The catalog as a GitHub-markdown table (rendered into docs)."""
+    lines = [
+        "| Metric | Type | Labels | Meaning |",
+        "|---|---|---|---|",
+    ]
+    for spec in METRICS:
+        labels = ", ".join(f"`{label}`" for label in spec.labels) or "—"
+        lines.append(
+            f"| `{spec.name}` | {spec.kind} | {labels} | {spec.help} |"
+        )
+    return "\n".join(lines)

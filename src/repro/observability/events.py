@@ -1,0 +1,149 @@
+"""Structured event logging with a pluggable sink.
+
+Metrics aggregate; events narrate. An :class:`EventLog` records discrete,
+low-rate happenings — ``index.reload``, ``breaker.open``,
+``build.checkpoint`` — as flat ``{"event": name, "seq": n, **fields}``
+dicts. Every emit goes to the configured *sink* (any callable taking the
+dict); the default sink is an in-memory ring buffer readable via
+:meth:`EventLog.events`, and :class:`JsonLinesSink` writes one JSON
+object per line to a stream for offline ingestion.
+
+Like the metrics registry, the process default is disabled: ``emit`` on
+a disabled log is a single branch. Enable with :func:`enable_events` or
+install a custom log with :func:`set_event_log`. Sinks must never raise
+into the instrumented path — exceptions from a sink are swallowed and
+counted in ``sink_errors``.
+"""
+
+import collections
+import json
+import threading
+
+__all__ = [
+    "EventLog",
+    "JsonLinesSink",
+    "get_event_log",
+    "set_event_log",
+    "enable_events",
+    "disable_events",
+    "scoped_event_log",
+]
+
+
+class JsonLinesSink:
+    """Sink writing one JSON object per line to ``stream``."""
+
+    def __init__(self, stream):
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def __call__(self, event):
+        """Serialize ``event`` (``default=str`` for exotic fields)."""
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+
+
+class EventLog:
+    """Ordered structured-event recorder with a pluggable sink.
+
+    Parameters
+    ----------
+    sink:
+        Callable invoked with each event dict; ``None`` keeps events only
+        in the ring buffer.
+    capacity:
+        Ring-buffer size for :meth:`events` (oldest dropped first).
+    enabled:
+        Disabled logs make ``emit`` a no-op branch.
+    """
+
+    def __init__(self, sink=None, capacity=1024, enabled=True):
+        self.enabled = enabled
+        self.sink = sink
+        self.sink_errors = 0
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._buffer = collections.deque(maxlen=capacity)
+
+    def emit(self, event, **fields):
+        """Record one event; returns the event dict (``None`` if disabled)."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            self._seq += 1
+            record = {"event": event, "seq": self._seq, **fields}
+            self._buffer.append(record)
+        sink = self.sink
+        if sink is not None:
+            try:
+                sink(record)
+            except Exception:  # noqa: BLE001 - a sink must never break the caller
+                with self._lock:
+                    self.sink_errors += 1
+        return record
+
+    def events(self, name=None):
+        """Buffered events (newest last), optionally filtered by name."""
+        with self._lock:
+            records = list(self._buffer)
+        if name is None:
+            return records
+        return [record for record in records if record["event"] == name]
+
+    def clear(self):
+        """Drop the buffer (sequence numbers keep counting)."""
+        with self._lock:
+            self._buffer.clear()
+
+    def __repr__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return f"EventLog({state}, buffered={len(self._buffer)}, seq={self._seq})"
+
+
+# -- process-global log ----------------------------------------------------
+
+_event_log = EventLog(enabled=False)
+_event_lock = threading.Lock()
+
+
+def get_event_log():
+    """The process-global event log (a disabled one by default)."""
+    return _event_log
+
+
+def set_event_log(log):
+    """Install ``log`` as the process global; returns the old one."""
+    global _event_log
+    with _event_lock:
+        previous = _event_log
+        _event_log = log
+    return previous
+
+
+def enable_events(sink=None, capacity=1024):
+    """Install and return a fresh enabled :class:`EventLog`."""
+    log = EventLog(sink=sink, capacity=capacity, enabled=True)
+    set_event_log(log)
+    return log
+
+
+def disable_events():
+    """Restore the disabled default; returns the previous log."""
+    return set_event_log(EventLog(enabled=False))
+
+
+class scoped_event_log:
+    """Context manager installing ``log`` for the ``with`` body."""
+
+    def __init__(self, log):
+        self._log = log
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = set_event_log(self._log)
+        return self._log
+
+    def __exit__(self, exc_type, exc, tb):
+        set_event_log(self._previous)
+        return False

@@ -1,0 +1,306 @@
+"""Lightweight wall-time tracing spans with nesting.
+
+A :class:`Tracer` records a tree of :class:`Span` objects per thread:
+``with tracer.span("hp_spc.push", rank=r):`` opens a child of whatever
+span is active on the calling thread and closes it with its wall-clock
+duration on exit. Hot loops that cannot afford a context manager use the
+explicit pair ``span = tracer.begin(...)`` / ``tracer.end(span)`` behind
+an ``if tracer.enabled`` guard, which makes the disabled cost one branch.
+
+Span names are dotted ``subsystem.operation`` paths (the conventions are
+catalogued in ``docs/OBSERVABILITY.md``): ``build.csr`` > ``hp_spc.push``,
+``io.save``, ``serve.request`` and so on. Exports:
+
+* :meth:`Tracer.to_json` — nested ``{name, start, seconds, attrs,
+  children}`` dicts (one per root), written by the CLI ``--trace FILE``
+  flag;
+* :meth:`Tracer.format_tree` — a flamegraph-style text tree where
+  repeated siblings (10 000 ``hp_spc.push`` spans...) collapse into one
+  aggregate line with call count, total and max duration.
+
+The process default is a disabled tracer (no allocation, no clock
+reads); install one with :func:`enable_tracing` or :func:`set_tracer`.
+A ``max_spans`` cap bounds memory on long runs — spans beyond it are
+counted in ``dropped`` instead of recorded.
+"""
+
+import threading
+import time
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "scoped_tracer",
+]
+
+
+class Span:
+    """One timed operation: name, start, duration, attributes, children."""
+
+    __slots__ = ("name", "attrs", "start", "seconds", "children", "_parent")
+
+    def __init__(self, name, attrs, start, parent=None):
+        self.name = name
+        self.attrs = attrs
+        self.start = start
+        self.seconds = None  # filled by Tracer.end
+        self.children = []
+        self._parent = parent
+
+    def as_dict(self):
+        """JSON-able nested form (the ``--trace FILE`` payload)."""
+        out = {"name": self.name, "start": self.start, "seconds": self.seconds}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.as_dict() for child in self.children]
+        return out
+
+    def __repr__(self):
+        seconds = "open" if self.seconds is None else f"{self.seconds:.6f}s"
+        return f"Span({self.name}, {seconds}, children={len(self.children)})"
+
+
+class _SpanContext:
+    """Context-manager shim closing ``span`` on ``tracer`` at exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer, span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self):
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        self._tracer.end(self._span)
+        return False
+
+
+class _NullContext:
+    """Shared no-op context manager returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Tracer:
+    """Collects a per-thread tree of spans; thread-safe at the root list.
+
+    Each thread keeps its own open-span stack (a root opened on thread A
+    never adopts a child from thread B), while completed root spans land
+    in one shared list for export.
+    """
+
+    def __init__(self, enabled=True, max_spans=200_000, clock=time.perf_counter):
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._clock = clock
+        self._count = 0
+        self._lock = threading.Lock()
+        self._roots = []
+        self._local = threading.local()
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def begin(self, name, **attrs):
+        """Open a span as a child of the thread's current span.
+
+        Returns the open :class:`Span` (pass it to :meth:`end`), or
+        ``None`` when the tracer is disabled or the ``max_spans`` cap is
+        hit — :meth:`end` accepts ``None``, so callers never branch.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            if self._count >= self.max_spans:
+                self.dropped += 1
+                return None
+            self._count += 1
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(name, attrs, self._clock(), parent=parent)
+        stack.append(span)
+        return span
+
+    def end(self, span):
+        """Close ``span``: record its duration and attach it to the tree."""
+        if span is None:
+            return
+        span.seconds = self._clock() - span.start
+        stack = self._stack()
+        # Close any children left open by an exception unwinding past them
+        # (or never ended at all) and attach them to their parent so they
+        # still show up in the exported tree.
+        while stack and stack[-1] is not span:
+            dangling = stack.pop()
+            if dangling.seconds is None:
+                dangling.seconds = self._clock() - dangling.start
+                if dangling._parent is not None:
+                    dangling._parent.children.append(dangling)
+        if stack and stack[-1] is span:
+            stack.pop()
+        if span._parent is not None:
+            span._parent.children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+    def span(self, name, **attrs):
+        """Context-manager form of :meth:`begin`/:meth:`end`."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        return _SpanContext(self, self.begin(name, **attrs))
+
+    def roots(self):
+        """Completed top-level spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def span_count(self):
+        """Number of spans recorded (dropped ones excluded)."""
+        return self._count
+
+    def clear(self):
+        """Forget all recorded spans (the per-thread stacks stay usable)."""
+        with self._lock:
+            self._roots = []
+            self._count = 0
+            self.dropped = 0
+
+    # -- export ------------------------------------------------------------
+
+    def to_json(self):
+        """``{"spans": [...], "dropped": n}`` with nested span dicts."""
+        return {
+            "spans": [root.as_dict() for root in self.roots()],
+            "dropped": self.dropped,
+        }
+
+    def format_tree(self, max_depth=6, min_seconds=0.0):
+        """Flamegraph-style text tree, repeated siblings aggregated.
+
+        Sibling spans sharing a name collapse into one line carrying the
+        call count, total and max duration — a 10 000-push build reads as
+        one ``hp_spc.push`` line, not 10 000. ``min_seconds`` hides
+        aggregates whose total falls below it.
+        """
+        lines = []
+
+        def emit(spans, depth):
+            if depth >= max_depth or not spans:
+                return
+            groups = {}
+            for span in spans:
+                groups.setdefault(span.name, []).append(span)
+            for name, group in groups.items():
+                total = sum(s.seconds or 0.0 for s in group)
+                if total < min_seconds:
+                    continue
+                indent = "  " * depth
+                if len(group) == 1:
+                    attrs = "".join(
+                        f" {k}={v}" for k, v in group[0].attrs.items()
+                    )
+                    lines.append(f"{indent}{name}{attrs}  {total:.6f}s")
+                else:
+                    worst = max(s.seconds or 0.0 for s in group)
+                    lines.append(
+                        f"{indent}{name} x{len(group)}  total={total:.6f}s "
+                        f"max={worst:.6f}s"
+                    )
+                emit([c for s in group for c in s.children], depth + 1)
+
+        emit(self.roots(), 0)
+        if self.dropped:
+            lines.append(f"({self.dropped} span(s) dropped past the "
+                         f"{self.max_spans}-span cap)")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, spans={self._count}, dropped={self.dropped})"
+
+
+class _NullTracer(Tracer):
+    """The process default: records nothing, allocates nothing per call."""
+
+    def __init__(self):
+        super().__init__(enabled=False)
+
+    def begin(self, name, **attrs):
+        """Always ``None`` (disabled)."""
+        return None
+
+    def end(self, span):
+        """No-op (disabled)."""
+
+    def span(self, name, **attrs):
+        """Always the shared no-op context manager (disabled)."""
+        return _NULL_CONTEXT
+
+
+# -- process-global tracer -------------------------------------------------
+
+_tracer = _NullTracer()
+_tracer_lock = threading.Lock()
+
+
+def get_tracer():
+    """The process-global tracer (a disabled one by default)."""
+    return _tracer
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` as the process global; returns the old one."""
+    global _tracer
+    with _tracer_lock:
+        previous = _tracer
+        _tracer = tracer
+    return previous
+
+
+def enable_tracing(max_spans=200_000):
+    """Install and return a fresh enabled :class:`Tracer`."""
+    tracer = Tracer(enabled=True, max_spans=max_spans)
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing():
+    """Restore the disabled default; returns the previous tracer."""
+    return set_tracer(_NullTracer())
+
+
+class scoped_tracer:
+    """Context manager installing ``tracer`` for the ``with`` body."""
+
+    def __init__(self, tracer):
+        self._tracer = tracer
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = set_tracer(self._tracer)
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb):
+        set_tracer(self._previous)
+        return False

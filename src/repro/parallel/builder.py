@@ -46,6 +46,9 @@ from collections import deque
 from repro.core.labels import LabelSet
 from repro.core.ordering import resolve_static_order  # noqa: F401  (re-export)
 from repro.exceptions import ParallelBuildError
+from repro.observability.events import get_event_log
+from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
 
 INF = float("inf")
 
@@ -94,6 +97,8 @@ def _run_supervised(context, initializer, initargs, func, payloads, workers,
     :class:`ParallelBuildError` is raised; the caller decides whether to
     fall back to the sequential engine.
     """
+    registry = get_registry()
+    metered = registry.enabled
     results = [None] * len(payloads)
     pending = list(range(len(payloads)))
     attempt = 0
@@ -110,10 +115,16 @@ def _run_supervised(context, initializer, initargs, func, payloads, workers,
                     failed.append(i)
                     if stats is not None:
                         stats.worker_timeouts += 1
+                    if metered:
+                        registry.counter(
+                            "spc_build_worker_timeouts_total").inc()
                 except Exception:
                     failed.append(i)
                     if stats is not None:
                         stats.worker_failures += 1
+                    if metered:
+                        registry.counter(
+                            "spc_build_worker_failures_total").inc()
         if not failed:
             break
         attempt += 1
@@ -124,6 +135,10 @@ def _run_supervised(context, initializer, initargs, func, payloads, workers,
             )
         if stats is not None:
             stats.worker_retries += len(failed)
+        if metered:
+            registry.counter("spc_build_worker_retries_total").inc(len(failed))
+        get_event_log().emit("build.worker_retry", attempt=attempt,
+                             blocks=len(failed))
         if retry_backoff:
             time.sleep(retry_backoff * attempt)
         pending = failed
@@ -296,6 +311,10 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
             raise error
         if stats is not None:
             stats.sequential_fallbacks += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("spc_build_sequential_fallbacks_total").inc()
+        get_event_log().emit("build.sequential_fallback", error=str(error))
         return build_labels(graph, ordering=list(order), stats=stats,
                             engine=engine)
 
@@ -309,12 +328,15 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
         rank_of_np[order_np] = np.arange(n, dtype=np.int64)
         rindptr, rindices = _rank_space_csr(graph, order_np, rank_of_np)
         blocks = [list(range(k, n, workers)) for k in range(workers)]
+        tracer = get_tracer()
         try:
-            results = _run_supervised(
-                context, _init_worker_csr, (rindptr, rindices, _fault),
-                _push_block_csr, blocks, workers,
-                task_timeout, max_retries, retry_backoff, stats,
-            )
+            with tracer.span("parallel.phase1", engine="csr",
+                             workers=workers):
+                results = _run_supervised(
+                    context, _init_worker_csr, (rindptr, rindices, _fault),
+                    _push_block_csr, blocks, workers,
+                    task_timeout, max_retries, retry_backoff, stats,
+                )
         except ParallelBuildError as error:
             return _sequential_fallback(error)
         candidates_by_rank = [None] * n
@@ -323,7 +345,9 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
             for rank, verts, dists, counts, block_visits in block_result:
                 candidates_by_rank[rank] = (verts, dists, counts)
                 visits += block_visits
-        flat = merge_candidates_csr(n, order_np, candidates_by_rank, stats=stats)
+        with tracer.span("parallel.phase2", engine="csr"):
+            flat = merge_candidates_csr(n, order_np, candidates_by_rank,
+                                        stats=stats)
         if stats is not None:
             stats.visits += visits
         return flat.to_label_set()
@@ -338,12 +362,14 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
         [(rank, w) for rank, w in enumerate(order) if rank % workers == k]
         for k in range(workers)
     ]
+    tracer = get_tracer()
     try:
-        results = _run_supervised(
-            context, _init_worker, (graph.adjacency, rank_of, _fault),
-            _push_block, blocks, workers,
-            task_timeout, max_retries, retry_backoff, stats,
-        )
+        with tracer.span("parallel.phase1", engine="python", workers=workers):
+            results = _run_supervised(
+                context, _init_worker, (graph.adjacency, rank_of, _fault),
+                _push_block, blocks, workers,
+                task_timeout, max_retries, retry_backoff, stats,
+            )
     except ParallelBuildError as error:
         return _sequential_fallback(error)
 
@@ -353,7 +379,8 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
         for rank, _, candidates, block_visits in block_result:
             candidates_by_rank[rank] = candidates
             visits += block_visits
-    labels = _merge_candidates(n, order, candidates_by_rank, stats=stats)
+    with tracer.span("parallel.phase2", engine="python"):
+        labels = _merge_candidates(n, order, candidates_by_rank, stats=stats)
     if stats is not None:
         stats.visits += visits
     return labels

@@ -45,6 +45,8 @@ from repro.exceptions import (
     VertexError,
 )
 from repro.io.serialize import graph_fingerprint, load_labels_with_meta
+from repro.observability.events import get_event_log
+from repro.observability.metrics import get_registry
 
 
 class ResilientSPCIndex:
@@ -97,7 +99,7 @@ class ResilientSPCIndex:
         }
         if index is not None:
             if index.labels.n != graph.n:
-                self.counters["verify_failures"] += 1
+                self._record("verify_failures")
                 self._last_error = StaleIndexError(
                     graph_fingerprint(graph), (index.labels.n, None, None),
                     context="in-memory index",
@@ -105,10 +107,34 @@ class ResilientSPCIndex:
             else:
                 self._index = index
                 self.generation = 1
+            self._publish_state()
         elif index_path is not None:
             self.reload()
+        else:
+            self._publish_state()
 
     # -- lifecycle -----------------------------------------------------------
+
+    def _record(self, kind, delta=1):
+        """Bump a lifecycle counter (dict + registry mirror).
+
+        The dict stays the stable programmatic surface (``explain()``,
+        existing callers); the registry mirror makes the same tallies
+        scrapeable as ``spc_index_events_total{kind=...}``.
+        """
+        self.counters[kind] += delta
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("spc_index_events_total", kind=kind).inc(delta)
+
+    def _publish_state(self):
+        """Reflect serving path and generation into registry gauges."""
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("spc_serving_degraded").set(
+                0 if self._index is not None else 1
+            )
+            registry.gauge("spc_index_generation").set(self.generation)
 
     def reload(self):
         """(Re)load and verify the index file; True when now serving from it.
@@ -127,8 +153,11 @@ class ResilientSPCIndex:
         except (OSError, ReproError) as exc:
             with self._lock:
                 self._index = None
-                self.counters["load_failures"] += 1
+                self._record("load_failures")
                 self._last_error = exc
+                self._publish_state()
+            get_event_log().emit("index.reload", outcome="failure",
+                                 error=str(exc))
             return False
         live = graph_fingerprint(self._graph)
         error = None
@@ -149,12 +178,18 @@ class ResilientSPCIndex:
         with self._lock:
             if error is not None:
                 self._index = None
-                self.counters["verify_failures"] += 1
+                self._record("verify_failures")
                 self._last_error = error
+                self._publish_state()
+                get_event_log().emit("index.reload", outcome="failure",
+                                     error=str(error))
                 return False
             self._index = SPCIndex(labels)
             self._last_error = None
             self.generation += 1
+            self._publish_state()
+            get_event_log().emit("index.reload", outcome="success",
+                                 generation=self.generation)
         if self._breaker is not None:
             # A freshly verified index invalidates the degraded-path failure
             # streak: close the breaker so recovery is immediate rather than
@@ -210,26 +245,30 @@ class ResilientSPCIndex:
         with self._lock:
             index = self._index
             if index is not None and index.stale:
-                self.counters["stale_detections"] += 1
+                self._record("stale_detections")
                 self._last_error = StaleIndexError(
                     graph_fingerprint(self._graph), index.stale_reason,
                     context="stale in-memory index",
                 )
                 self._index = None
+                self._publish_state()
+                get_event_log().emit("index.demoted", reason="stale")
                 return None
             return index
 
     def _demote(self, index, exc):
         """The loaded index misbehaved at query time: record and demote."""
         with self._lock:
-            self.counters["query_failures"] += 1
+            self._record("query_failures")
             self._last_error = exc
             if self._index is index:
                 self._index = None
+                self._publish_state()
+        get_event_log().emit("index.demoted", reason=type(exc).__name__)
 
     def _count_fallback(self, index_hits):
         with self._lock:
-            self.counters["fallback_queries"] += index_hits
+            self._record("fallback_queries", index_hits)
 
     def _fallback_call(self, work, queries, deadline):
         """Run degraded-path ``work()`` behind the breaker and deadline."""
@@ -266,7 +305,7 @@ class ResilientSPCIndex:
                 self._demote(index, exc)
             else:
                 with self._lock:
-                    self.counters["index_queries"] += 1
+                    self._record("index_queries")
                 return answer
         return self._fallback_call(
             lambda: self._oracle.count_with_distance(s, t, deadline=deadline),
@@ -297,7 +336,7 @@ class ResilientSPCIndex:
                 self._demote(index, exc)
             else:
                 with self._lock:
-                    self.counters["index_queries"] += len(pairs)
+                    self._record("index_queries", len(pairs))
                 return answers
 
         def sweep():
@@ -322,7 +361,7 @@ class ResilientSPCIndex:
                 self._demote(index, exc)
             else:
                 with self._lock:
-                    self.counters["index_queries"] += 1
+                    self._record("index_queries")
                 return answer
         return self._fallback_call(
             lambda: self._oracle.single_source(s, deadline=deadline), 1, deadline,

@@ -24,10 +24,20 @@ import threading
 import time
 
 from repro.exceptions import CircuitOpenError
+from repro.observability.events import get_event_log
+from repro.observability.metrics import get_registry
 
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half_open"
+
+
+def _record_transition(to):
+    """Mirror one breaker state change into the registry and event log."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("spc_breaker_transitions_total", to=to).inc()
+    get_event_log().emit("breaker.transition", to=to)
 
 
 class CircuitBreaker:
@@ -87,6 +97,7 @@ class CircuitBreaker:
                 self._state = HALF_OPEN
                 self._probes_in_flight = 0
                 self.counters["half_opened"] += 1
+                _record_transition(HALF_OPEN)
         return self._state
 
     def _retry_after(self):
@@ -113,6 +124,9 @@ class CircuitBreaker:
             if state == HALF_OPEN:
                 self.counters["probe_rejected"] += 1
             self.counters["short_circuited"] += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("spc_breaker_short_circuits_total").inc()
             raise CircuitOpenError(self._retry_after(), self._consecutive_failures)
 
     def record_success(self):
@@ -125,6 +139,7 @@ class CircuitBreaker:
                 self._opened_at = None
                 self._probes_in_flight = 0
                 self.counters["closed"] += 1
+                _record_transition(CLOSED)
 
     def record_failure(self):
         """A protected call failed/timed out: count it, maybe trip open."""
@@ -139,6 +154,7 @@ class CircuitBreaker:
                 self._opened_at = self._clock()
                 self._probes_in_flight = 0
                 self.counters["opened"] += 1
+                _record_transition(OPEN)
 
     def reset(self):
         """Force-close (operator override); counters are preserved."""

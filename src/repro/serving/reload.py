@@ -42,6 +42,7 @@ class IndexWatcher:
 
     @property
     def path(self):
+        """The watched file path."""
         return self._path
 
     def _signature(self):
@@ -92,6 +93,7 @@ class ReloadThread:
         self.errors = []
 
     def start(self):
+        """Launch the daemon poll thread; returns ``self`` for chaining."""
         if self._thread is not None:
             raise RuntimeError("reload thread already started")
         self._thread = threading.Thread(target=self._run, daemon=True,
@@ -109,6 +111,7 @@ class ReloadThread:
                     self.errors.append(exc)
 
     def stop(self):
+        """Signal the poll thread to exit and join it (idempotent)."""
         self._stop.set()
         if self._thread is not None:
             self._thread.join()

@@ -45,6 +45,9 @@ from repro.exceptions import (
     ServiceOverloaded,
     VertexError,
 )
+from repro.observability.events import get_event_log
+from repro.observability.metrics import get_registry
+from repro.observability.tracing import get_tracer
 from repro.resilience import ResilientSPCIndex
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.deadline import Deadline
@@ -205,6 +208,10 @@ class SPCService:
                 finally:
                     self._queued -= 1
                 self._in_flight += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("spc_inflight_requests").set(self._in_flight)
+            registry.gauge("spc_queued_requests").set(self._queued)
         if poll:
             self.check_reload()
 
@@ -215,6 +222,11 @@ class SPCService:
         with self._stats_lock:
             # EMA over completed requests drives the retry-after hint.
             self._ema_latency += 0.2 * (elapsed - self._ema_latency)
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram("spc_request_seconds").observe(elapsed)
+            registry.gauge("spc_inflight_requests").set(self._in_flight)
+            registry.gauge("spc_queued_requests").set(self._queued)
 
     # -- hot reload -----------------------------------------------------------
 
@@ -235,6 +247,14 @@ class SPCService:
             self._watcher.mark()
         with self._stats_lock:
             self.counters["reloads" if ok else "reload_failures"] += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "spc_reloads_total", outcome="success" if ok else "failure"
+            ).inc()
+        get_event_log().emit("service.reload",
+                             outcome="success" if ok else "failure",
+                             generation=self._resilient.generation)
         return ok
 
     # -- request execution ----------------------------------------------------
@@ -242,6 +262,13 @@ class SPCService:
     def _bump(self, status):
         with self._stats_lock:
             self.counters[status] += 1
+        registry = get_registry()
+        if registry.enabled:
+            if status == "requests":
+                registry.counter("spc_requests_total").inc()
+            else:
+                registry.counter("spc_request_outcomes_total",
+                                 status=status).inc()
 
     def _execute(self, work, deadline):
         """Admission + deadline + execution; returns ``(answer, status)``."""
@@ -249,9 +276,10 @@ class SPCService:
         self._admit(deadline)
         started = self._clock()
         try:
-            if deadline is not None:
-                deadline.check()
-            answer = work(deadline)
+            with get_tracer().span("serve.request"):
+                if deadline is not None:
+                    deadline.check()
+                answer = work(deadline)
             status = (SERVED_INDEX if self._resilient.status == "index"
                       else SERVED_DEGRADED)
             self._bump(status)
@@ -337,6 +365,7 @@ class SPCService:
 
     @property
     def breaker(self):
+        """The fallback-path :class:`CircuitBreaker` (operator access)."""
         return self._resilient.breaker
 
     @property

@@ -1,0 +1,87 @@
+"""Unit tests for the event log: ring buffer, sinks, failure isolation."""
+
+import io
+import json
+
+from repro.observability.events import (
+    EventLog,
+    JsonLinesSink,
+    get_event_log,
+    scoped_event_log,
+)
+
+
+class TestEventLog:
+    def test_emit_records_sequenced_events(self):
+        log = EventLog()
+        first = log.emit("build.checkpoint", watermark=100)
+        second = log.emit("index.reload", outcome="success")
+        assert first == {"event": "build.checkpoint", "seq": 1,
+                         "watermark": 100}
+        assert second["seq"] == 2
+        assert [e["event"] for e in log.events()] == ["build.checkpoint",
+                                                      "index.reload"]
+
+    def test_events_filter_by_name(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.emit("a")
+        assert len(log.events("a")) == 2
+        assert len(log.events("b")) == 1
+
+    def test_ring_buffer_keeps_most_recent(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.emit("tick", i=i)
+        kept = log.events()
+        assert len(kept) == 2
+        assert [e["i"] for e in kept] == [3, 4]
+        assert kept[-1]["seq"] == 5  # sequence numbers keep counting
+
+    def test_disabled_log_records_nothing(self):
+        log = EventLog(enabled=False)
+        assert log.emit("ignored") is None
+        assert log.events() == []
+
+    def test_custom_sink_receives_every_event(self):
+        captured = []
+        log = EventLog(sink=captured.append)
+        log.emit("a", x=1)
+        log.emit("b")
+        assert [e["event"] for e in captured] == ["a", "b"]
+
+    def test_sink_errors_are_swallowed_and_counted(self):
+        def exploding_sink(event):
+            raise OSError("disk full")
+
+        log = EventLog(sink=exploding_sink)
+        record = log.emit("survives")
+        assert record["event"] == "survives"
+        assert log.sink_errors == 1
+        assert log.events()  # the ring buffer still kept it
+
+    def test_json_lines_sink_writes_one_line_per_event(self):
+        stream = io.StringIO()
+        log = EventLog(sink=JsonLinesSink(stream))
+        log.emit("a", x=1)
+        log.emit("b")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"event": "a", "seq": 1, "x": 1}
+
+
+class TestProcessGlobal:
+    def test_default_log_is_disabled(self):
+        log = get_event_log()
+        assert log.enabled is False
+        assert log.emit("ignored") is None
+
+    def test_scoped_event_log_restores_previous(self):
+        outer = get_event_log()
+        fresh = EventLog()
+        with scoped_event_log(fresh):
+            assert get_event_log() is fresh
+            get_event_log().emit("inside")
+        assert get_event_log() is outer
+        assert [e["event"] for e in fresh.events()] == ["inside"]

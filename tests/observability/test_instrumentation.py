@@ -1,0 +1,219 @@
+"""Integration tests: instrumentation is complete, honest and harmless.
+
+The load-bearing guarantees: labels are bit-identical with
+instrumentation on and off (both engines), every registered metric
+family is declared in the catalog, and the hot paths actually populate
+the metrics/spans/events they claim to.
+"""
+
+import time
+
+import pytest
+
+from repro.core.hp_spc import build_labels
+from repro.core.index import SPCIndex
+from repro.generators.random_graphs import barabasi_albert_graph
+from repro.graph.components import largest_component
+from repro.kernels.hub_push import build_flat_labels_csr
+from repro.observability.catalog import (
+    METRICS,
+    missing_from_catalog,
+    register_all,
+    spec_for,
+)
+from repro.observability.events import EventLog, scoped_event_log
+from repro.observability.metrics import MetricsRegistry, scoped_registry
+from repro.observability.tracing import Tracer, scoped_tracer
+
+
+@pytest.fixture(scope="module")
+def graph():
+    built, _ = largest_component(barabasi_albert_graph(150, 3, seed=11))
+    return built
+
+
+def instrumented():
+    """Fresh enabled registry + tracer + event log, as one context stack."""
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    log = EventLog()
+    return registry, tracer, log
+
+
+class TestBitIdentity:
+    def test_csr_labels_unchanged_by_instrumentation(self, graph):
+        plain = build_flat_labels_csr(graph)
+        registry, tracer, log = instrumented()
+        with scoped_registry(registry), scoped_tracer(tracer), \
+                scoped_event_log(log):
+            traced = build_flat_labels_csr(graph)
+        assert plain.equals(traced)
+
+    def test_python_labels_unchanged_by_instrumentation(self, graph):
+        from repro.core.flat_labels import FlatLabels
+
+        plain = FlatLabels.from_label_set(build_labels(graph))
+        registry, tracer, log = instrumented()
+        with scoped_registry(registry), scoped_tracer(tracer), \
+                scoped_event_log(log):
+            traced = FlatLabels.from_label_set(build_labels(graph))
+        assert plain.equals(traced)
+
+
+class TestBuildMetrics:
+    @pytest.mark.parametrize("engine", ["python", "csr"])
+    def test_build_populates_counters_and_histograms(self, graph, engine):
+        registry, tracer, _ = instrumented()
+        with scoped_registry(registry), scoped_tracer(tracer):
+            index = SPCIndex.build(graph, engine=engine)
+        n = graph.n
+        assert registry.get("spc_build_pushes_total", engine=engine).value == n
+        assert (registry.get("spc_build_label_entries_total", engine=engine)
+                .value == index.total_entries())
+        assert registry.get("spc_build_seconds", engine=engine).count == 1
+        push_hist = registry.get("spc_build_push_seconds", engine=engine)
+        assert push_hist.count == n
+        growth = registry.get("spc_build_entries_per_push", engine=engine)
+        assert growth.count == n
+        # Per-push growth excludes the n root self-entries (it mirrors
+        # BuildStats.label_entries); the total counter includes them.
+        assert growth.sum == index.total_entries() - n
+        assert (registry.get("spc_label_total_entries", engine=engine).value
+                == index.total_entries())
+        avg = registry.get("spc_label_avg_size", engine=engine).value
+        assert avg == pytest.approx(index.total_entries() / n)
+
+    @pytest.mark.parametrize("engine", ["python", "csr"])
+    def test_build_emits_nested_spans(self, graph, engine):
+        registry, tracer, _ = instrumented()
+        with scoped_registry(registry), scoped_tracer(tracer):
+            SPCIndex.build(graph, engine=engine)
+        roots = [s for s in tracer.roots() if s.name == f"build.{engine}"]
+        assert len(roots) == 1
+        pushes = [c for c in roots[0].children if c.name == "hp_spc.push"]
+        assert len(pushes) == graph.n
+        tree = tracer.format_tree()
+        assert f"build.{engine}" in tree
+        assert f"hp_spc.push x{graph.n}" in tree
+
+
+class TestQueryMetrics:
+    def test_batch_queries_counted(self, graph):
+        index = SPCIndex.build(graph, engine="csr")
+        pairs = [(0, v) for v in range(1, 21)]
+        registry, _, _ = instrumented()
+        with scoped_registry(registry):
+            index.count_many(pairs)
+        counted = registry.get("spc_queries_total", engine="flat", kind="pair")
+        assert counted.value == len(pairs)
+        assert registry.get("spc_batch_query_seconds").count >= 1
+        assert registry.sum_values("spc_query_scan_chunks_total") >= 1
+
+
+class TestServingMetrics:
+    def test_service_requests_reach_registry(self, graph, tmp_path):
+        from repro.io.serialize import save_index
+        from repro.serving import SPCService
+
+        path = tmp_path / "index.bin"
+        save_index(SPCIndex.build(graph), path, graph=graph)
+        registry, _, log = instrumented()
+        with scoped_registry(registry), scoped_event_log(log):
+            service = SPCService(graph, index_path=str(path), capacity=2)
+            for v in range(1, 11):
+                result = service.submit(0, v)
+                assert result.status == "index"
+        assert registry.get("spc_requests_total").value == 10
+        outcomes = registry.get("spc_request_outcomes_total", status="index")
+        assert outcomes.value == 10
+        assert registry.get("spc_request_seconds").count == 10
+        assert registry.get("spc_index_generation").value == 1
+        assert registry.get("spc_serving_degraded").value == 0
+        assert (registry.sum_values("spc_io_bytes_total") > 0)
+
+    def test_degraded_path_and_events(self, graph, tmp_path):
+        registry, _, log = instrumented()
+        with scoped_registry(registry), scoped_event_log(log):
+            from repro.serving import SPCService
+
+            service = SPCService(graph,
+                                 index_path=str(tmp_path / "missing.bin"))
+            result = service.submit(0, 1)
+        assert result.status == "degraded"
+        assert registry.get("spc_serving_degraded").value == 1
+        assert (registry.get("spc_request_outcomes_total", status="degraded")
+                .value == 1)
+
+
+class TestIoMetrics:
+    def test_save_load_and_checkpoint_instrumented(self, graph, tmp_path):
+        from repro.io.checkpoint import BuildCheckpoint
+        from repro.io.serialize import load_index, save_index
+
+        index = SPCIndex.build(graph)
+        registry, _, log = instrumented()
+        with scoped_registry(registry), scoped_event_log(log):
+            save_index(index, tmp_path / "a.bin", graph=graph)
+            load_index(tmp_path / "a.bin")
+            ckpt = BuildCheckpoint(str(tmp_path / "b.ckpt"), every=40)
+            SPCIndex.build(graph, checkpoint=ckpt)
+        save_bytes = registry.get("spc_io_bytes_total", op="save").value
+        load_bytes = registry.get("spc_io_bytes_total", op="load").value
+        assert save_bytes == load_bytes > 0
+        assert registry.get("spc_io_seconds", op="save").count == 1
+        assert registry.get("spc_io_seconds", op="load").count == 1
+        saves = registry.get("spc_checkpoint_saves_total").value
+        assert saves >= 1
+        assert registry.get("spc_checkpoint_seconds", op="save").count == saves
+        assert log.events("build.checkpoint")
+
+
+class TestCatalog:
+    def test_catalog_registers_cleanly_and_is_sorted(self):
+        registry = register_all()
+        assert missing_from_catalog(registry) == []
+        names = [spec.name for spec in METRICS]
+        assert names == sorted(names)
+        assert all(spec.help for spec in METRICS)
+        assert spec_for("spc_build_seconds").kind == "histogram"
+        assert spec_for("nonexistent") is None
+
+    def test_workload_registers_nothing_uncatalogued(self, graph, tmp_path):
+        from repro.io.serialize import save_index
+        from repro.serving import SPCService
+
+        registry, tracer, log = instrumented()
+        with scoped_registry(registry), scoped_tracer(tracer), \
+                scoped_event_log(log):
+            index = SPCIndex.build(graph, engine="csr")
+            index.count_many([(0, 1), (0, 2)])
+            index.single_source(0)
+            path = tmp_path / "index.bin"
+            save_index(index, path, graph=graph)
+            service = SPCService(graph, index_path=str(path))
+            service.submit(0, 1)
+        assert missing_from_catalog(registry) == []
+
+
+class TestOverhead:
+    def test_disabled_instrumentation_is_cheap(self, graph):
+        """Small-scale guard; the strict 5% gate on the 10k bench graph
+        runs in tools/ci_observability_smoke.py."""
+
+        def best_of(runs):
+            best = float("inf")
+            for _ in range(runs):
+                started = time.perf_counter()
+                build_flat_labels_csr(graph)
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        best_of(1)  # warm-up
+        disabled = best_of(3)
+        registry, tracer, _ = instrumented()
+        tracer.enabled = False  # the gate is about the metrics fast path
+        with scoped_registry(registry):
+            enabled = best_of(3)
+        # Generous bound: catches an accidentally quadratic or allocating
+        # fast path without being timing-flaky on tiny graphs.
+        assert enabled <= disabled * 2.0

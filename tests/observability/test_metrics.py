@@ -1,0 +1,171 @@
+"""Unit tests for the metrics registry: bucketing, merge, rendering."""
+
+import json
+import math
+
+import pytest
+
+from repro.observability.metrics import (
+    DEFAULT_SIZE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    render_prometheus,
+    scoped_registry,
+    snapshot,
+)
+
+
+class TestHistogram:
+    def test_bucketing_boundaries_are_inclusive(self):
+        hist = Histogram("h", buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 1.5, 5.0, 7.0, 10.0, 11.0):
+            hist.observe(value)
+        # le=1: {0.5, 1.0}; le=5 adds {1.5, 5.0}; le=10 adds {7.0, 10.0};
+        # +Inf catches 11.0.
+        assert hist.bucket_counts() == [2, 2, 2, 1]
+        assert hist.cumulative_counts() == [2, 4, 6, 7]
+        assert hist.count == 7
+        assert hist.sum == pytest.approx(36.0)
+
+    def test_unsorted_bucket_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_merge_adds_counts_and_sums(self):
+        a = Histogram("h", buckets=(1.0, 10.0))
+        b = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0):
+            a.observe(value)
+        for value in (0.7, 20.0):
+            b.observe(value)
+        a.merge(b)
+        assert a.count == 4
+        assert a.sum == pytest.approx(23.2)
+        assert a.bucket_counts() == [2, 1, 1]
+        # The source histogram is left untouched.
+        assert b.count == 2
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a = Histogram("h", buckets=(1.0, 10.0))
+        b = Histogram("h", buckets=(2.0, 10.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_quantile_interpolates_within_buckets(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(value)
+        assert hist.quantile(0.0) <= 1.0
+        assert 1.0 <= hist.quantile(0.5) <= 2.0
+        assert hist.quantile(1.0) >= 2.0
+
+    def test_size_buckets_cover_push_growth(self):
+        hist = Histogram("h", buckets=DEFAULT_SIZE_BUCKETS)
+        hist.observe(3)
+        hist.observe(700)
+        assert hist.count == 2
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable_per_label_set(self):
+        registry = MetricsRegistry()
+        a = registry.counter("spc_x_total", engine="csr")
+        b = registry.counter("spc_x_total", engine="csr")
+        c = registry.counter("spc_x_total", engine="python")
+        assert a is b
+        assert a is not c
+        a.inc(2)
+        c.inc(3)
+        assert registry.sum_values("spc_x_total") == 5
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("spc_x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("spc_x_total")
+
+    def test_label_name_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("spc_x_total", engine="csr")
+        with pytest.raises(ValueError):
+            registry.counter("spc_x_total", op="save")
+
+    def test_disabled_registry_returns_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("spc_x_total")
+        counter.inc(5)
+        registry.histogram("spc_h").observe(1.0)
+        assert registry.collect() == []
+        assert registry.families() == {}
+
+    def test_describe_backfills_help_once(self):
+        registry = MetricsRegistry()
+        registry.counter("spc_x_total")
+        registry.describe("spc_x_total", "first")
+        registry.describe("spc_x_total", "second")  # already documented
+        assert registry.families()["spc_x_total"][1] == "first"
+        registry.describe("spc_unknown", "ignored")  # unknown family: no-op
+        assert "spc_unknown" not in registry.families()
+
+
+class TestRendering:
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("spc_x_total", help="things done", engine="csr").inc(3)
+        registry.gauge("spc_g").set(1.5)
+        registry.histogram("spc_h", buckets=(1.0, 10.0)).observe(0.5)
+        text = render_prometheus(registry)
+        assert "# HELP spc_x_total things done" in text
+        assert "# TYPE spc_x_total counter" in text
+        assert 'spc_x_total{engine="csr"} 3' in text
+        assert "spc_g 1.5" in text
+        assert 'spc_h_bucket{le="1"} 1' in text
+        assert 'spc_h_bucket{le="+Inf"} 1' in text
+        assert "spc_h_sum 0.5" in text
+        assert "spc_h_count 1" in text
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("spc_x_total", engine="csr").inc()
+        registry.histogram("spc_h", buckets=(1.0,)).observe(0.5)
+        payload = snapshot(registry)
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["spc_x_total"][0]["labels"] == {"engine": "csr"}
+        assert decoded["spc_h"][0]["type"] == "histogram"
+
+
+class TestProcessGlobal:
+    def test_default_registry_is_disabled(self):
+        assert get_registry().enabled is False
+
+    def test_enable_disable_roundtrip(self):
+        try:
+            registry = enable_metrics()
+            assert get_registry() is registry
+            assert registry.enabled
+        finally:
+            disable_metrics()
+        assert get_registry().enabled is False
+
+    def test_scoped_registry_restores_previous(self):
+        outer = get_registry()
+        fresh = MetricsRegistry()
+        with scoped_registry(fresh):
+            assert get_registry() is fresh
+            get_registry().counter("spc_x_total").inc()
+        assert get_registry() is outer
+        assert fresh.sum_values("spc_x_total") == 1
+
+    def test_gauge_value_is_not_cumulative(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("spc_g")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4
+        assert not math.isinf(gauge.value)

@@ -1,0 +1,141 @@
+"""Unit tests for tracing: span nesting, aggregation, the no-op default."""
+
+import pytest
+
+from repro.observability.tracing import (
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    scoped_tracer,
+)
+
+
+def make_clock(step=1.0):
+    """A deterministic clock advancing ``step`` per reading."""
+    state = {"now": 0.0}
+
+    def clock():
+        state["now"] += step
+        return state["now"]
+
+    return clock
+
+
+class TestNesting:
+    def test_context_manager_nesting(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("outer", n=2):
+            with tracer.span("inner", rank=0):
+                pass
+            with tracer.span("inner", rank=1):
+                pass
+        roots = tracer.roots()
+        assert [span.name for span in roots] == ["outer"]
+        outer = roots[0]
+        assert outer.attrs == {"n": 2}
+        assert [child.name for child in outer.children] == ["inner", "inner"]
+        assert [child.attrs["rank"] for child in outer.children] == [0, 1]
+        assert tracer.span_count() == 3
+
+    def test_begin_end_hot_loop_form(self):
+        tracer = Tracer(clock=make_clock())
+        build = tracer.begin("build", n=1)
+        push = tracer.begin("push", rank=0)
+        tracer.end(push)
+        tracer.end(build)
+        (root,) = tracer.roots()
+        assert root.name == "build"
+        assert root.children[0].name == "push"
+        assert root.seconds > root.children[0].seconds > 0
+
+    def test_ending_parent_closes_dangling_children(self):
+        tracer = Tracer(clock=make_clock())
+        outer = tracer.begin("outer")
+        tracer.begin("leaked")  # never explicitly ended
+        tracer.end(outer)
+        (root,) = tracer.roots()
+        assert [child.name for child in root.children] == ["leaked"]
+        assert root.children[0].seconds is not None
+
+    def test_exception_inside_span_still_records(self):
+        tracer = Tracer(clock=make_clock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("risky"):
+                raise RuntimeError("boom")
+        assert [span.name for span in tracer.roots()] == ["risky"]
+
+    def test_durations_are_nonnegative_wall_time(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        assert tracer.roots()[0].seconds >= 0.0
+
+
+class TestAggregation:
+    def test_format_tree_aggregates_repeated_siblings(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("build", n=3):
+            for rank in range(3):
+                with tracer.span("push", rank=rank):
+                    pass
+        tree = tracer.format_tree()
+        assert "build n=3" in tree
+        assert "push x3" in tree
+        assert "total=" in tree and "max=" in tree
+        assert "rank=" not in tree  # aggregated lines drop per-span attrs
+
+    def test_format_tree_min_seconds_filters(self):
+        tracer = Tracer(clock=make_clock(step=0.001))
+        with tracer.span("fast"):
+            pass
+        assert tracer.format_tree(min_seconds=10.0) == ""
+
+    def test_max_spans_cap_counts_drops(self):
+        tracer = Tracer(max_spans=2, clock=make_clock())
+        for _ in range(4):
+            with tracer.span("s"):
+                pass
+        assert tracer.span_count() == 2
+        assert tracer.dropped == 2
+        assert "dropped" in tracer.format_tree()
+
+    def test_to_json_round_trips_structure(self):
+        tracer = Tracer(clock=make_clock())
+        with tracer.span("outer", n=1):
+            with tracer.span("inner"):
+                pass
+        payload = tracer.to_json()
+        assert payload["dropped"] == 0
+        (root,) = payload["spans"]
+        assert root["name"] == "outer"
+        assert root["children"][0]["name"] == "inner"
+
+
+class TestProcessGlobal:
+    def test_default_tracer_is_disabled_noop(self):
+        tracer = get_tracer()
+        assert tracer.enabled is False
+        assert tracer.begin("x") is None
+        tracer.end(None)  # must not raise
+        with tracer.span("x"):
+            pass
+        assert tracer.span_count() == 0
+
+    def test_enable_disable_roundtrip(self):
+        try:
+            tracer = enable_tracing()
+            assert get_tracer() is tracer
+            with tracer.span("alive"):
+                pass
+            assert tracer.span_count() == 1
+        finally:
+            disable_tracing()
+        assert get_tracer().enabled is False
+
+    def test_scoped_tracer_restores_previous(self):
+        outer = get_tracer()
+        fresh = Tracer()
+        with scoped_tracer(fresh):
+            assert get_tracer() is fresh
+        assert get_tracer() is outer

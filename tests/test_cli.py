@@ -359,3 +359,82 @@ class TestServeSmoke:
         assert rc == 0  # invalid requests are statuses, not crashes
         out = capsys.readouterr().out
         assert "invalid       : 1" in out
+
+
+class TestMetricsCommand:
+    def test_synthetic_workload_emits_prom_and_json(self, capsys):
+        assert main(["metrics", "--vertices", "120", "--queries", "40"]) == 0
+        out = capsys.readouterr().out
+        # Prometheus half: typed families with catalog help, covering
+        # build, query and serving.
+        assert "# TYPE spc_build_pushes_total counter" in out
+        assert "# HELP spc_build_seconds" in out
+        assert "spc_queries_total" in out
+        assert "spc_requests_total" in out
+        assert "spc_io_bytes_total" in out
+        # JSON half of --format both.
+        assert '"spc_build_seconds"' in out
+
+    def test_prom_only_on_a_graph_file(self, graph_file, capsys):
+        path, graph = graph_file
+        assert main(["metrics", "--graph", path, "--queries", "20",
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert f'spc_build_pushes_total{{engine="csr"}} {graph.n}' in out
+        assert '"labels"' not in out  # no JSON when prom-only
+
+    def test_json_only(self, capsys):
+        import json as json_module
+
+        assert main(["metrics", "--vertices", "80", "--queries", "10",
+                     "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        payload = json_module.loads(out)
+        assert "spc_build_pushes_total" in payload
+        assert "spc_request_outcomes_total" in payload
+
+
+class TestTraceFlag:
+    def test_build_trace_writes_nested_span_report(self, graph_file,
+                                                   tmp_path, capsys):
+        import json as json_module
+
+        path, graph = graph_file
+        index_path = str(tmp_path / "g.idx")
+        trace_path = tmp_path / "trace.json"
+        assert main(["build", path, index_path, "--engine", "csr",
+                     "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and str(trace_path) in out
+        assert f"hp_spc.push x{graph.n}" in out
+        payload = json_module.loads(trace_path.read_text())
+        (root,) = [s for s in payload["spans"] if s["name"] == "build.csr"]
+        pushes = [c for c in root["children"] if c["name"] == "hp_spc.push"]
+        assert len(pushes) == graph.n
+        assert all(c["seconds"] >= 0 for c in pushes)
+
+    def test_serve_smoke_trace_records_requests(self, graph_file, tmp_path,
+                                                capsys):
+        import json as json_module
+
+        path, _ = graph_file
+        index_path = str(tmp_path / "g.idx")
+        assert main(["build", path, index_path]) == 0
+        trace_path = tmp_path / "serve-trace.json"
+        assert main(["serve-smoke", index_path, path, "--random", "25",
+                     "--trace", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.request x25" in out
+        payload = json_module.loads(trace_path.read_text())
+        requests = [s for s in payload["spans"]
+                    if s["name"] == "serve.request"]
+        assert len(requests) == 25
+
+    def test_trace_left_off_by_default(self, graph_file, tmp_path, capsys):
+        from repro.observability.tracing import get_tracer
+
+        path, _ = graph_file
+        index_path = str(tmp_path / "g.idx")
+        assert main(["build", path, index_path]) == 0
+        assert get_tracer().enabled is False  # no tracer leaks past the run
+        assert "trace:" not in capsys.readouterr().out

@@ -82,3 +82,51 @@ class TestConstructionSmoke:
         )
         assert result.returncode == 1
         assert "FAIL" in result.stderr
+
+
+class TestObservabilitySmoke:
+    def test_coverage_and_bit_identity_gates(self, tmp_path):
+        output = tmp_path / "BENCH_observability.json"
+        env = dict(os.environ, PYTHONPATH=str(ROOT / "src"))
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "ci_observability_smoke.py"),
+             "--vertices", "150", "--queries", "60", "--skip-overhead",
+             "--output", str(output)],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads(output.read_text())
+        assert report["coverage"]["uncatalogued"] == []
+        assert report["bit_identity"]["identical"] is True
+        assert report["overhead"]["skipped"] is True
+        # The embedded snapshot carries the exercised families.
+        metrics = report["metrics"]
+        assert "spc_build_pushes_total" in metrics
+        assert "spc_requests_total" in metrics
+
+    def test_docs_check_passes_on_committed_docs(self):
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "gen_api_docs.py"),
+             "--check"],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_docs_check_fails_when_stale(self, tmp_path):
+        output = tmp_path / "API.md"
+        output.write_text("# stale\n")
+        (tmp_path / "METRICS.md").write_text("# stale\n")
+        result = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "gen_api_docs.py"),
+             "--check", "--output", str(output)],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+        )
+        assert result.returncode == 1
+        assert "STALE" in result.stderr

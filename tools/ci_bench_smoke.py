@@ -35,11 +35,13 @@ def main(argv=None):
     parser.add_argument("--output", default="BENCH_ci_smoke.json")
     args = parser.parse_args(argv)
 
-    from repro.bench.harness import compare_engines
+    from repro.bench.harness import attach_metrics, compare_engines
     from repro.core.index import SPCIndex
     from repro.generators.random_graphs import barabasi_albert_graph
+    from repro.observability.metrics import enable_metrics
     from repro.utils.rng import random_pairs
 
+    enable_metrics()
     graph = barabasi_albert_graph(args.vertices, args.attach, seed=args.seed)
     print(f"graph: barabasi_albert(n={graph.n}, m={graph.m})")
     started = time.perf_counter()
@@ -73,6 +75,7 @@ def main(argv=None):
         "min_speedup": args.min_speedup,
         "python_version": platform.python_version(),
     }
+    attach_metrics(report)
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

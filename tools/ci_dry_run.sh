@@ -11,6 +11,11 @@
 #   serving-smoke tools/ci_serving_smoke.py SPCService gate (deadlines,
 #               shedding, circuit breaker, hot reload), writing
 #               BENCH_serving.json
+#   docs-check  tools/gen_api_docs.py --check (docs/API.md and
+#               docs/METRICS.md must match the live package)
+#   observability-smoke tools/ci_observability_smoke.py (metric coverage,
+#               bit-identity, disabled-instrumentation overhead), writing
+#               BENCH_observability.json
 #   bench-smoke tools/ci_bench_smoke.py + tools/ci_construction_smoke.py at
 #               CI scale, writing BENCH_ci_smoke.json / BENCH_construction.json
 #
@@ -47,6 +52,9 @@ fi
 step "tests (python $(python -c 'import platform; print(platform.python_version())'))"
 python -m pytest -x -q || failures=$((failures + 1))
 
+step "docs-check"
+python tools/gen_api_docs.py --check || failures=$((failures + 1))
+
 step "chaos-smoke"
 python tools/ci_chaos_smoke.py || failures=$((failures + 1))
 
@@ -54,6 +62,19 @@ step "serving-smoke"
 python tools/ci_serving_smoke.py \
     --output "${TMPDIR:-/tmp}/BENCH_serving.local.json" \
     || failures=$((failures + 1))
+
+step "observability-smoke"
+if [ "${1:-}" != "--skip-bench" ]; then
+    python tools/ci_observability_smoke.py \
+        --output "${TMPDIR:-/tmp}/BENCH_observability.local.json" \
+        || failures=$((failures + 1))
+else
+    # The overhead gate builds the 10k bench graph four times; keep the
+    # skip-bench path fast while still exercising coverage + bit-identity.
+    python tools/ci_observability_smoke.py --skip-overhead \
+        --output "${TMPDIR:-/tmp}/BENCH_observability.local.json" \
+        || failures=$((failures + 1))
+fi
 
 if [ "${1:-}" != "--skip-bench" ]; then
     step "bench-smoke"

@@ -13,6 +13,9 @@ still gate obvious problems when ruff is not installed:
 * I001 (approximate) — within the leading import block: stdlib before
   third-party before first-party (``repro``), straight imports before
   ``from`` imports per section, each alphabetized
+* D100-ish — public-API docstrings: inside ``DOCSTRING_REQUIRED``
+  subtrees (the observability/serving/resilience layers), every module
+  and every public class/function/method must open with a docstring
 
 It intentionally under-reports relative to ruff; anything it flags is a
 real violation, so it is safe to fail the dry run on findings.
@@ -24,6 +27,13 @@ from pathlib import Path
 
 FIRST_PARTY = {"repro"}
 STDLIB = set(getattr(sys, "stdlib_module_names", ()))
+
+#: ``src``-relative prefixes whose public API must carry docstrings.
+DOCSTRING_REQUIRED = (
+    "repro/observability",
+    "repro/serving",
+    "repro/resilience.py",
+)
 
 
 def _module_section(module):
@@ -129,6 +139,44 @@ def _check_import_order(path, tree, problems):
             break
 
 
+def _needs_docstrings(path):
+    posix = path.as_posix()
+    return any(f"/{prefix}" in posix or posix.startswith(prefix)
+               for prefix in DOCSTRING_REQUIRED)
+
+
+def _check_docstrings(path, tree, problems):
+    """Public modules/classes/functions in covered subtrees need one-liners.
+
+    Private names (leading underscore), dunders other than the module
+    itself, and nested function bodies are exempt; overridden methods are
+    not — a reader of the API docs sees every public callable.
+    """
+    if not ast.get_docstring(tree):
+        problems.append(f"{path}:1: D100 public module missing docstring")
+
+    def visit(node, owner):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not child.name.startswith("_"):
+                    if not ast.get_docstring(child):
+                        problems.append(
+                            f"{path}:{child.lineno}: D103 public "
+                            f"{'method' if owner else 'function'} "
+                            f"{owner}{child.name} missing docstring"
+                        )
+            elif isinstance(child, ast.ClassDef):
+                if not child.name.startswith("_"):
+                    if not ast.get_docstring(child):
+                        problems.append(
+                            f"{path}:{child.lineno}: D101 public class "
+                            f"{child.name} missing docstring"
+                        )
+                    visit(child, f"{child.name}.")
+
+    visit(tree, "")
+
+
 def lint_file(path):
     problems = []
     source = path.read_text()
@@ -139,6 +187,8 @@ def lint_file(path):
     _check_unused_imports(path, tree, problems)
     _check_comparisons(path, tree, problems)
     _check_import_order(path, tree, problems)
+    if _needs_docstrings(path):
+        _check_docstrings(path, tree, problems)
     return problems
 
 
