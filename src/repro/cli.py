@@ -12,6 +12,8 @@ Usage (also available as ``python -m repro``):
     repro-spc bench  index.bin --queries 2000 --engine both
     repro-spc serve-smoke index.bin graph.txt --random 500 --deadline-ms 20
     repro-spc build  graph.txt index.bin --engine csr --trace build-trace.json
+    repro-spc build  graph.txt index.spcf --engine csr-batch --format flat
+    repro-spc query  index.spcf --random 5 --engine flat --mmap
     repro-spc metrics --vertices 500 --format prom
 
 Graphs are whitespace edge lists (SNAP/KONECT style; ``#``/``%``
@@ -112,6 +114,23 @@ def _cmd_build(args):
         print("--resume needs a sequential build (--workers 1); the parallel "
               "builder retries failed tasks on its own", file=sys.stderr)
         return 2
+    if args.engine == "csr-batch":
+        if args.workers > 1:
+            print("--engine csr-batch is single-process (its parallelism is "
+                  "in-process rank batching); drop --workers", file=sys.stderr)
+            return 2
+        if args.resume:
+            print("--resume is not supported for --engine csr-batch; its "
+                  "builds stream to --spill instead", file=sys.stderr)
+            return 2
+    elif args.batch_size is not None or args.spill is not None:
+        print("--batch-size/--spill require --engine csr-batch",
+              file=sys.stderr)
+        return 2
+    if args.format != "packed" and args.weighted:
+        print("--format flat needs an unweighted build (flat columns store "
+              "integer distances)", file=sys.stderr)
+        return 2
 
     with _maybe_trace(args.trace):
         # On failure, never leave a partial/stale artifact behind — but only
@@ -145,8 +164,18 @@ def _cmd_build(args):
                 print(f"building HP-SPC over {graph.n} vertices / {graph.m} edges "
                       f"(ordering: {args.ordering}, engine: {args.engine}{parallel_note})...")
                 index = SPCIndex.build(graph, ordering=args.ordering, workers=args.workers,
-                                       engine=args.engine, checkpoint=checkpoint)
-                written = save_index(index, args.index, strict=args.strict, graph=graph)
+                                       engine=args.engine, checkpoint=checkpoint,
+                                       batch_size=args.batch_size,
+                                       spill_dir=args.spill)
+                if args.format == "packed":
+                    written = save_index(index, args.index, strict=args.strict,
+                                         graph=graph)
+                else:
+                    from repro.io.flat_store import save_flat_labels
+
+                    encoding = "delta" if args.format == "flat-delta" else "raw"
+                    written = save_flat_labels(index.to_flat(), args.index,
+                                               graph=graph, encoding=encoding)
                 elapsed = index.build_seconds
                 entries = index.total_entries()
         except BaseException:
@@ -164,11 +193,11 @@ def _cmd_build(args):
 
 
 def _cmd_query(args):
-    index = load_index(args.index)
+    index = load_index(args.index, mmap=args.mmap)
     pairs = []
     if args.random:
         if not args.graph:
-            n = index.labels.n
+            n = index.n
         else:
             n = read_edge_list(args.graph)[0].n
         pairs = list(random_pairs(n, args.random, rng=args.seed))
@@ -215,8 +244,8 @@ def _cmd_verify(args):
 def _cmd_bench(args):
     from repro.bench.harness import time_batched_queries, time_queries
 
-    index = load_index(args.index)
-    n = index.labels.n
+    index = load_index(args.index, mmap=args.mmap)
+    n = index.n
     pairs = list(random_pairs(n, args.queries, rng=args.seed))
     engines = ("python", "flat") if args.engine == "both" else (args.engine,)
     for engine in engines:
@@ -410,9 +439,22 @@ def build_parser():
                    help="treat the third edge-list column as edge weights")
     p.add_argument("--workers", type=int, default=1, metavar="N",
                    help="parallel construction processes (static orderings only)")
-    p.add_argument("--engine", default="python", choices=["python", "csr"],
-                   help="construction engine: scalar python or vectorized csr "
-                        "kernels (static orderings, int64 counts)")
+    p.add_argument("--engine", default="python",
+                   choices=["python", "csr", "csr-batch"],
+                   help="construction engine: scalar python, vectorized csr "
+                        "kernels, or the rank-batched large-graph engine "
+                        "(static orderings)")
+    p.add_argument("--batch-size", type=int, default=None, metavar="B",
+                   help="csr-batch: ranks swept per shared frontier pass "
+                        "(default: auto-sized from the scratch budget)")
+    p.add_argument("--spill", default=None, metavar="DIR",
+                   help="csr-batch: stream label emission chunks to DIR "
+                        "instead of holding them in RAM")
+    p.add_argument("--format", default="packed",
+                   choices=["packed", "flat", "flat-delta"],
+                   help="output format: the paper's packed 64-bit entries, or "
+                        "SPCF flat columns (exact counts, mmap-able; "
+                        "flat-delta also delta-compresses the rank column)")
     p.add_argument("--resume", action="store_true",
                    help="checkpoint progress to INDEX.ckpt and resume from it "
                         "if a previous build was interrupted (sequential only)")
@@ -433,6 +475,9 @@ def build_parser():
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--engine", default="python", choices=["python", "flat"],
                    help="tuple-based merge joins or the vectorized flat engine")
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-map SPCF flat indexes instead of loading "
+                        "them into RAM (ignored for packed files)")
     p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("stats", help="print label statistics of an index")
@@ -454,6 +499,9 @@ def build_parser():
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--engine", default="python", choices=["python", "flat", "both"],
                    help="which query engine(s) to time")
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-map SPCF flat indexes instead of loading "
+                        "them into RAM (ignored for packed files)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("serve-smoke",

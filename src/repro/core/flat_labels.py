@@ -29,26 +29,46 @@ class FlatLabels:
     Columns (all length ``total_entries``):
 
     * ``rank``  — hub rank (strictly increasing within each row)
-    * ``hub``   — hub vertex id
+    * ``hub``   — hub vertex id; always equal to ``order[rank]``, so
+      memory-frugal instances pass ``hub=None`` and the column is derived
+      lazily on first access instead of being stored
     * ``dist``  — ``sd(v, hub)``
-    * ``count`` — ``σ_{v,hub}`` (int64; callers needing wider counts must
-      stay on the tuple-based :class:`~repro.core.labels.LabelSet` path)
+    * ``count`` — ``σ_{v,hub}`` (int64, or uint32 after :meth:`compact`;
+      callers needing wider counts must stay on the tuple-based
+      :class:`~repro.core.labels.LabelSet` path)
     * ``canonical`` — True for ``L^c`` entries, False for ``L^nc``
+
+    Columns may be plain int64 arrays (the historical layout), the narrow
+    dtypes produced by :meth:`compact`, or ``np.memmap`` views over an
+    SPCF file (:mod:`repro.io.flat_store`); the query engines are
+    dtype-agnostic.
     """
 
-    __slots__ = ("n", "indptr", "rank", "hub", "dist", "count", "canonical", "order",
-                 "_rows")
+    __slots__ = ("n", "indptr", "rank", "dist", "count", "canonical", "order",
+                 "_hub", "_rows")
 
     def __init__(self, n, indptr, rank, hub, dist, count, canonical, order):
         self.n = n
         self.indptr = indptr
         self.rank = rank
-        self.hub = hub
+        self._hub = hub
         self.dist = dist
         self.count = count
         self.canonical = canonical
         self.order = order
         self._rows = None
+
+    @property
+    def hub(self):
+        """Hub vertex ids, derived as ``order[rank]`` when not stored."""
+        if self._hub is None:
+            if self.rank.size:
+                self._hub = np.asarray(self.order, dtype=INT)[
+                    self.rank.astype(INT, copy=False)
+                ]
+            else:
+                self._hub = np.empty(0, dtype=INT)
+        return self._hub
 
     # -- construction --------------------------------------------------------
 
@@ -154,11 +174,63 @@ class FlatLabels:
         return int(self.indptr[-1])
 
     def nbytes(self):
-        """In-memory footprint of the numpy columns."""
-        return sum(
-            column.nbytes
-            for column in (self.indptr, self.rank, self.hub, self.dist,
-                           self.count, self.canonical, self.order)
+        """In-memory footprint of the numpy columns.
+
+        The lazily-derived ``hub`` column counts only once materialized —
+        frugal instances never pay for it unless a caller asks for hubs.
+        """
+        columns = [self.indptr, self.rank, self.dist, self.count,
+                   self.canonical, self.order]
+        if self._hub is not None:
+            columns.append(self._hub)
+        return sum(column.nbytes for column in columns)
+
+    def count_dtype_escaped(self):
+        """True when the count column needed the int64 overflow escape.
+
+        :meth:`compact` stores counts as uint32; a labeling whose largest
+        σ value does not fit 32 bits escapes to int64 instead (and bumps
+        ``spc_count_overflow_escapes_total`` when metrics are enabled).
+        """
+        return self.count.dtype == INT
+
+    def compact(self):
+        """Return a memory-frugal copy sharing no mutable state.
+
+        * ``rank`` narrows to uint32 (ranks are ``< n < 2^32``),
+        * ``dist`` narrows to uint16 when the diameter allows, else uint32,
+        * ``count`` narrows to uint32 with an explicit escape back to
+          int64 when any σ value is ``>= 2^32``,
+        * the ``hub`` column is dropped entirely (re-derived as
+          ``order[rank]`` on demand).
+
+        ``indptr`` and ``order`` stay int64: they are O(n), index into
+        numpy arrays constantly, and narrowing them saves little.
+        """
+        from repro.observability.metrics import get_registry
+
+        rank = self.rank.astype(np.uint32)
+        max_dist = int(self.dist.max()) if self.dist.size else 0
+        dist = self.dist.astype(
+            np.uint16 if max_dist <= np.iinfo(np.uint16).max else np.uint32
+        )
+        max_count = int(self.count.max()) if self.count.size else 0
+        if max_count <= int(np.iinfo(np.uint32).max):
+            count = self.count.astype(np.uint32)
+        else:
+            count = self.count.astype(INT)
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("spc_count_overflow_escapes_total").inc()
+        return FlatLabels(
+            self.n,
+            np.asarray(self.indptr, dtype=INT),
+            rank,
+            None,
+            dist,
+            count,
+            np.asarray(self.canonical, dtype=np.bool_),
+            np.asarray(self.order, dtype=INT),
         )
 
     # -- packed encoding -----------------------------------------------------
@@ -188,12 +260,17 @@ class FlatLabels:
         return True
 
     def equals(self, other):
-        """Exact column-wise equality (used by the round-trip tests)."""
+        """Exact column-wise equality (used by the round-trip tests).
+
+        Value equality, not dtype equality — a compacted or mmap-backed
+        labeling equals its int64 twin. ``hub`` is not compared: it is
+        always ``order[rank]``, so rank+order equality already pins it
+        without materializing the derived column.
+        """
         return (
             self.n == other.n
             and np.array_equal(self.indptr, other.indptr)
             and np.array_equal(self.rank, other.rank)
-            and np.array_equal(self.hub, other.hub)
             and np.array_equal(self.dist, other.dist)
             and np.array_equal(self.count, other.count)
             and np.array_equal(self.canonical, other.canonical)

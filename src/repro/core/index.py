@@ -38,7 +38,8 @@ class SPCIndex:
 
     @classmethod
     def build(cls, graph, ordering="degree", collect_stats=False, workers=1,
-              engine="python", checkpoint=None):
+              engine="python", checkpoint=None, batch_size=None,
+              spill_dir=None, mmap_dir=None):
         """Run HP-SPC on ``graph`` under ``ordering`` and wrap the labels.
 
         ``workers > 1`` partitions the hub pushes across that many
@@ -47,20 +48,48 @@ class SPCIndex:
         orderings, int64 counts) and keeps the frozen
         :class:`~repro.core.flat_labels.FlatLabels` as the primary store —
         the tuple-based :class:`LabelSet` is thawed lazily on first use of
-        a python-engine query. Every combination produces bit-identical
-        labels under the same static ordering.
+        a python-engine query. ``engine="csr-batch"`` is the rank-batched
+        large-graph engine (:mod:`repro.kernels.batch_push`): single
+        process, freeze-free, memory-frugal columns, with ``batch_size``
+        (ranks per shared sweep, auto-sized by default), ``spill_dir``
+        (stream emission chunks to disk during the build) and ``mmap_dir``
+        (memory-map the final label columns) knobs. Every combination
+        produces bit-identical labels under the same static ordering.
 
         ``checkpoint`` (a :class:`~repro.io.checkpoint.BuildCheckpoint`)
         periodically persists rank-watermark progress and resumes an
-        interrupted build from it; sequential engines only — the parallel
-        builder has its own retry/fallback supervision.
+        interrupted build from it; sequential ``python``/``csr`` engines
+        only — the parallel builder has its own retry/fallback supervision.
         """
         import time
 
         stats = BuildStats() if collect_stats else None
         started = time.perf_counter()
         flat = None
-        if workers is None or workers > 1:
+        if engine != "csr-batch" and (batch_size is not None
+                                      or spill_dir is not None
+                                      or mmap_dir is not None):
+            raise ValueError(
+                "batch_size/spill_dir/mmap_dir require engine='csr-batch'"
+            )
+        if engine == "csr-batch":
+            from repro.kernels.batch_push import build_flat_labels_batched
+
+            if workers is None or workers > 1:
+                raise ValueError(
+                    "engine='csr-batch' is single-process (its parallelism "
+                    "is in-process rank batching); use workers=1"
+                )
+            if checkpoint is not None:
+                from repro.core.hp_spc import _reject_batch_knobs
+
+                _reject_batch_knobs(checkpoint=checkpoint)
+            flat = build_flat_labels_batched(
+                graph, ordering=ordering, stats=stats, batch_size=batch_size,
+                spill_dir=spill_dir, mmap_dir=mmap_dir,
+            )
+            labels = None
+        elif workers is None or workers > 1:
             if checkpoint is not None:
                 raise ValueError(
                     "checkpoint resume is only supported for sequential builds "
@@ -68,10 +97,15 @@ class SPCIndex:
                 )
             from repro.parallel import build_labels_parallel
 
-            labels = build_labels_parallel(
+            result = build_labels_parallel(
                 graph, workers=workers, ordering=ordering, stats=stats,
-                engine=engine,
+                engine=engine, as_flat=(engine == "csr"),
             )
+            if engine == "csr":
+                flat = result  # freeze-free: keep the CSR columns primary
+                labels = None
+            else:
+                labels = result
         elif engine == "csr":
             from repro.kernels.hub_push import build_flat_labels_csr
 
@@ -83,6 +117,19 @@ class SPCIndex:
                                   engine=engine, checkpoint=checkpoint)
         elapsed = time.perf_counter() - started
         index = cls(labels, build_stats=stats, build_seconds=elapsed)
+        index._flat = flat
+        return index
+
+    @classmethod
+    def from_flat(cls, flat, build_stats=None, build_seconds=None):
+        """Wrap an existing :class:`~repro.core.flat_labels.FlatLabels`.
+
+        Entry point for flat labelings loaded from SPCF files
+        (:func:`repro.io.flat_store.load_flat_labels`, possibly
+        memory-mapped): the flat columns stay primary and the tuple-based
+        labels thaw lazily, exactly like a csr-engine build.
+        """
+        index = cls(None, build_stats=build_stats, build_seconds=build_seconds)
         index._flat = flat
         return index
 
@@ -172,6 +219,12 @@ class SPCIndex:
         if self._labels is None:
             self._labels = self._flat.to_label_set()
         return self._labels
+
+    @property
+    def n(self):
+        """Vertex count — answered without thawing a flat-primary index."""
+        store = self._labels if self._labels is not None else self._flat
+        return store.n
 
     @property
     def order(self):

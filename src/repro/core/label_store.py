@@ -1,0 +1,231 @@
+"""Streaming chunk store for freeze-free label construction.
+
+:class:`LabelStore` is the emission sink of the large-graph construction
+path: builders append per-push emission chunks (``(rank, verts, dists,
+counts, canonical)`` in rank space, rank-ascending) and ``finalize``
+assembles the final :class:`~repro.core.flat_labels.FlatLabels` CSR
+columns directly — no intermediate Python ``LabelSet`` and no global
+argsort.
+
+Two properties of the emission stream make a counting sort sufficient:
+chunks arrive in rank-ascending order, and within a chunk every vertex
+appears at most once. An incremental per-vertex entry count therefore
+yields ``indptr`` up front, and a single cursor scatter per chunk places
+every entry at its final position with the rank column of each row
+already strictly increasing — the same layout a stable argsort over the
+concatenated chunks would produce, using O(n) scratch instead of
+O(total entries).
+
+Backends:
+
+* **ram** (default) — chunks buffer in memory as narrow copies.
+* **spill** (``spill_dir=...``) — chunk columns stream to three flat
+  files on disk as they are appended, so peak construction RAM excludes
+  the label payload entirely.
+
+``finalize(mmap_dir=...)`` writes the output columns as ``np.memmap``
+files instead of RAM arrays, so a build's label payload can exceed
+memory end to end.
+"""
+
+import os
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.flat_labels import FlatLabels
+from repro.observability.metrics import get_registry
+
+INT = np.int64
+
+#: spill / compact dtypes: vertex ids and distances are < n < 2^32.
+_VERT_DTYPE = np.uint32
+_DIST_DTYPE = np.uint32
+
+_SPILL_FILES = ("store_verts.u32", "store_dists.u32", "store_counts.i64")
+_COLUMN_FILES = {
+    "rank": "labels_rank.bin",
+    "dist": "labels_dist.bin",
+    "count": "labels_count.bin",
+    "canonical": "labels_canonical.bin",
+}
+
+
+class LabelStore:
+    """Append-only emission log with a counting-sort finalize.
+
+    Parameters
+    ----------
+    n : int
+        Vertex count (chunks are in rank space, ids ``< n``).
+    spill_dir : str or None
+        When set, chunk columns stream to files under this directory
+        instead of accumulating in RAM. The directory must exist; the
+        spill files are removed by :meth:`close`.
+    """
+
+    __slots__ = ("n", "spill_dir", "entries", "bytes_appended",
+                 "_per_vertex", "_meta", "_verts", "_dists", "_counts",
+                 "_handles", "_max_dist", "_max_count", "_closed")
+
+    def __init__(self, n, spill_dir=None):
+        self.n = n
+        self.spill_dir = spill_dir
+        self.entries = 0
+        self.bytes_appended = 0
+        self._per_vertex = np.zeros(n, dtype=INT)
+        self._meta = []  # (rank, size, canonical) per chunk
+        self._verts = []
+        self._dists = []
+        self._counts = []
+        self._handles = None
+        self._max_dist = 0
+        self._max_count = 0
+        self._closed = False
+        if spill_dir is not None:
+            self._handles = tuple(
+                open(os.path.join(spill_dir, name), "w+b")
+                for name in _SPILL_FILES
+            )
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, rank, verts, dists, counts, canonical):
+        """Append one emission chunk (arrays in rank space, verts unique)."""
+        size = verts.size
+        if size == 0:
+            return
+        self._per_vertex[verts] += 1
+        self._meta.append((int(rank), int(size), bool(canonical)))
+        self.entries += size
+        verts32 = verts.astype(_VERT_DTYPE, copy=False)
+        dists32 = dists.astype(_DIST_DTYPE, copy=False)
+        counts64 = counts.astype(INT, copy=False)
+        self._max_dist = max(self._max_dist, int(dists32.max()))
+        self._max_count = max(self._max_count, int(counts64.max()))
+        appended = verts32.nbytes + dists32.nbytes + counts64.nbytes
+        self.bytes_appended += appended
+        if self._handles is None:
+            # astype(copy=False) may alias the caller's scratch; keep copies.
+            self._verts.append(np.array(verts32, copy=True))
+            self._dists.append(np.array(dists32, copy=True))
+            self._counts.append(np.array(counts64, copy=True))
+        else:
+            for handle, column in zip(self._handles,
+                                      (verts32, dists32, counts64)):
+                handle.write(column.tobytes())
+        registry = get_registry()
+        if registry.enabled:
+            backend = "ram" if self._handles is None else "spill"
+            registry.counter("spc_label_store_bytes_total",
+                             backend=backend).inc(appended)
+
+    def _iter_chunks(self):
+        """Replay appended chunks in order: ``(rank, verts, dists, counts, flag)``."""
+        if self._handles is None:
+            for meta, verts, dists, counts in zip(self._meta, self._verts,
+                                                  self._dists, self._counts):
+                yield meta[0], verts, dists, counts, meta[2]
+            return
+        for handle in self._handles:
+            handle.flush()
+            handle.seek(0)
+        vh, dh, ch = self._handles
+        vert_width = np.dtype(_VERT_DTYPE).itemsize
+        dist_width = np.dtype(_DIST_DTYPE).itemsize
+        count_width = np.dtype(INT).itemsize
+        for rank, size, flag in self._meta:
+            verts = np.frombuffer(vh.read(size * vert_width), dtype=_VERT_DTYPE)
+            dists = np.frombuffer(dh.read(size * dist_width), dtype=_DIST_DTYPE)
+            counts = np.frombuffer(ch.read(size * count_width), dtype=INT)
+            yield rank, verts, dists, counts, flag
+
+    # -- finalize ------------------------------------------------------------
+
+    def _alloc(self, name, dtype, total, mmap_dir):
+        if mmap_dir is None or total == 0:  # mmap cannot map empty files
+            return np.empty(total, dtype=dtype)
+        path = os.path.join(mmap_dir, _COLUMN_FILES[name])
+        return np.memmap(path, dtype=dtype, mode="w+", shape=(total,))
+
+    def finalize(self, order_np, mmap_dir=None, compact=True):
+        """Counting-sort the chunks into a :class:`FlatLabels` and clean up.
+
+        ``order_np`` maps ranks back to original vertex ids. With
+        ``compact`` (the default) the columns use the narrow dtypes of
+        :meth:`FlatLabels.compact` — uint32 ranks, uint16/uint32 dists,
+        uint32 counts with the explicit int64 overflow escape; otherwise
+        everything is int64 for parity with the historical layout. With
+        ``mmap_dir`` the four entry columns live in memory-mapped files
+        under that directory instead of RAM.
+        """
+        registry = get_registry()
+        start = perf_counter() if registry.enabled else None
+        n = self.n
+        order_np = np.asarray(order_np, dtype=INT)
+        indptr = np.zeros(n + 1, dtype=INT)
+        per_orig = np.zeros(n, dtype=INT)
+        if n:
+            per_orig[order_np] = self._per_vertex
+        np.cumsum(per_orig, out=indptr[1:])
+        total = int(indptr[-1])
+
+        if compact:
+            rank_dtype = np.uint32
+            dist_dtype = (np.uint16 if self._max_dist <= np.iinfo(np.uint16).max
+                          else np.uint32)
+            if self._max_count <= int(np.iinfo(np.uint32).max):
+                count_dtype = np.uint32
+            else:
+                count_dtype = INT
+                if registry.enabled:
+                    registry.counter("spc_count_overflow_escapes_total").inc()
+        else:
+            rank_dtype = dist_dtype = count_dtype = INT
+        rank_col = self._alloc("rank", rank_dtype, total, mmap_dir)
+        dist_col = self._alloc("dist", dist_dtype, total, mmap_dir)
+        count_col = self._alloc("count", count_dtype, total, mmap_dir)
+        can_col = self._alloc("canonical", np.bool_, total, mmap_dir)
+
+        cursor = indptr[:-1].copy()
+        for rank, verts, dists, counts, flag in self._iter_chunks():
+            orig = order_np[verts]
+            pos = cursor[orig]
+            rank_col[pos] = rank
+            dist_col[pos] = dists
+            count_col[pos] = counts
+            can_col[pos] = flag
+            cursor[orig] = pos + 1
+        self.close()
+        flat = FlatLabels(n, indptr, rank_col, None, dist_col, count_col,
+                          can_col, order_np.copy())
+        if start is not None:
+            registry.histogram("spc_label_store_finalize_seconds").observe(
+                perf_counter() - start
+            )
+        return flat
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self):
+        """Release chunk buffers and delete any spill files (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._verts = self._dists = self._counts = []
+        self._meta = []
+        if self._handles is not None:
+            for handle, name in zip(self._handles, _SPILL_FILES):
+                handle.close()
+                try:
+                    os.unlink(os.path.join(self.spill_dir, name))
+                except OSError:
+                    pass
+            self._handles = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -1,5 +1,11 @@
 """Binary serialization of labelings and indexes, plus build checkpoints."""
 
+from repro.io.flat_store import (
+    load_flat_labels,
+    load_flat_labels_with_meta,
+    read_flat_meta,
+    save_flat_labels,
+)
 from repro.io.serialize import (
     atomic_write_bytes,
     graph_fingerprint,
@@ -31,6 +37,10 @@ __all__ = [
     "load_index",
     "save_directed_labels",
     "load_directed_labels",
+    "save_flat_labels",
+    "load_flat_labels",
+    "load_flat_labels_with_meta",
+    "read_flat_meta",
     "graph_fingerprint",
     "read_label_meta",
     "atomic_write_bytes",

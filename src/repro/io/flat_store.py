@@ -1,0 +1,466 @@
+"""SPCF v4: columnar, checksummed, mmap-able flat label files.
+
+The packed SPCL v3 format (:mod:`repro.io.serialize`) materializes every
+entry as a 64-bit word with saturating counts — fine for 10k-vertex
+indexes, wasteful and lossy at millions of vertices. SPCF stores the
+:class:`~repro.core.flat_labels.FlatLabels` CSR columns directly:
+
+``````
+SPCF | header (56 B) | header CRC32 |
+  order   n x int64          | CRC32 |
+  indptr  (n+1) x int64      | CRC32 |
+  rank    entries x uint32   | CRC32 |   (raw encoding)
+          entries x uint16 deltas | CRC32 | exceptions | CRC32 |  (delta)
+  dist    entries x {uint16|uint32} | CRC32 |
+  count   entries x {uint32|int64}  | CRC32 |
+  canonical entries x uint8  | CRC32 |
+``````
+
+Properties the large-graph path needs:
+
+* **No hub column.** ``hub == order[rank]`` always, so hubs are
+  re-derived lazily after load instead of costing 8 bytes an entry.
+* **Exact counts.** uint32 with the explicit int64 overflow escape —
+  never SPCL's saturation.
+* **mmap-able.** With ``encoding="raw"`` every section is a contiguous
+  typed slab at a known offset, so ``load_flat_labels(path, mmap=True)``
+  memory-maps the columns and a million-vertex index serves queries
+  without residing in RAM.
+* **Delta-compact.** ``encoding="delta"`` stores the rank column as
+  per-row uint16 deltas (rank columns are strictly increasing within a
+  row) with a ``0xFFFF`` escape marker and an exception list for the
+  rare wider gaps; decoding is one patched cumsum. Delta files must be
+  decoded, so they load into RAM.
+* **Crash-safe, corruption-loud.** Streamed atomic writes (temp file +
+  fsync + rename) and per-section CRC32s, same discipline as SPCL v3.
+
+``load_index``/``load_labels`` in :mod:`repro.io.serialize` dispatch on
+the magic, so every existing CLI/serving path opens either format.
+"""
+
+import os
+import struct
+import tempfile
+import time
+import zlib
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.io.serialize import (
+    NO_FINGERPRINT,
+    _Reader,
+    _read_with_retries,
+    graph_fingerprint,
+)
+from repro.observability.metrics import get_registry
+
+INT = np.int64
+
+FLAT_MAGIC = b"SPCF"
+FLAT_VERSION = 4
+
+#: header after the magic: version, encoding, rank/dist/count dtype codes,
+#: reserved u8 + u16, then n, entries, n_exceptions, fingerprint triple.
+_HEADER_FMT = "<6BH6Q"
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+_ENC_RAW = 0
+_ENC_DELTA = 1
+_ENCODINGS = {"raw": _ENC_RAW, "delta": _ENC_DELTA}
+
+#: dtype codes are itemsizes; signedness is fixed per column (int64 only
+#: ever appears as the count escape).
+_DTYPE_BY_CODE = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: INT}
+_CODE_BY_DTYPE = {np.dtype(d): c for c, d in _DTYPE_BY_CODE.items()}
+
+#: uint16 delta escape marker: the true delta lives in the exception list.
+_DELTA_ESCAPE = 0xFFFF
+
+_CHUNK = 16 << 20  # streaming write/verify granularity (bytes)
+
+
+class FlatFileMeta:
+    """Parsed SPCF header: shape, encoding, column dtypes, fingerprint."""
+
+    __slots__ = ("version", "n", "entries", "encoding", "rank_dtype",
+                 "dist_dtype", "count_dtype", "n_exceptions", "fingerprint",
+                 "total_bytes")
+
+    def __init__(self, version, n, entries, encoding, rank_dtype, dist_dtype,
+                 count_dtype, n_exceptions, fingerprint, total_bytes):
+        self.version = version
+        self.n = n
+        self.entries = entries
+        self.encoding = encoding
+        self.rank_dtype = rank_dtype
+        self.dist_dtype = dist_dtype
+        self.count_dtype = count_dtype
+        self.n_exceptions = n_exceptions
+        self.fingerprint = fingerprint
+        self.total_bytes = total_bytes
+
+    def __repr__(self):
+        return (f"FlatFileMeta(version={self.version}, n={self.n}, "
+                f"entries={self.entries}, encoding={self.encoding!r}, "
+                f"fingerprint={self.fingerprint})")
+
+
+def _narrow_dtypes(flat):
+    """The narrowest on-disk dtypes that hold the labeling losslessly."""
+    max_dist = int(flat.dist.max()) if flat.dist.size else 0
+    max_count = int(flat.count.max()) if flat.count.size else 0
+    dist_dtype = np.uint16 if max_dist <= np.iinfo(np.uint16).max else np.uint32
+    count_dtype = (np.uint32 if max_count <= int(np.iinfo(np.uint32).max)
+                   else INT)
+    return dist_dtype, count_dtype
+
+
+def _delta_encode(rank, indptr):
+    """``(uint16 deltas, exception positions u64, exception values u64)``.
+
+    Row starts carry their absolute rank (rows are independent); interior
+    entries carry the gap to the previous entry (strictly positive —
+    rank columns strictly increase within a row). Values ``>= 0xFFFF``
+    are stored as the escape marker with the true value in the exception
+    list.
+    """
+    entries = rank.size
+    delta = rank.astype(INT, copy=True)
+    if entries:
+        delta[1:] -= rank[:-1].astype(INT, copy=False)
+        starts = indptr[:-1]
+        starts = starts[starts < entries]
+        delta[starts] = rank[starts]
+    exc_pos = np.flatnonzero(delta >= _DELTA_ESCAPE).astype(np.uint64)
+    exc_val = delta[exc_pos.astype(INT)].astype(np.uint64)
+    stored = np.minimum(delta, _DELTA_ESCAPE).astype(np.uint16)
+    return stored, exc_pos, exc_val
+
+
+def _delta_decode(stored, exc_pos, exc_val, indptr):
+    """Inverse of :func:`_delta_encode`: the uint32 rank column."""
+    delta = stored.astype(INT)
+    if exc_pos.size:
+        delta[exc_pos.astype(INT)] = exc_val.astype(INT)
+    cumulative = np.cumsum(delta)
+    row_lens = np.diff(indptr)
+    nonempty = row_lens > 0
+    starts = indptr[:-1][nonempty]
+    bases = cumulative[starts] - delta[starts]
+    rank = cumulative - np.repeat(bases, row_lens[nonempty])
+    return rank.astype(np.uint32)
+
+
+class _SectionWriter:
+    """Stream sections to a file handle, appending a CRC32 after each."""
+
+    def __init__(self, handle):
+        self.handle = handle
+        self.total = 0
+
+    def raw(self, payload):
+        self.handle.write(payload)
+        self.total += len(payload)
+
+    def section(self, column):
+        """Write one typed slab + CRC, chunked so mmap columns stream."""
+        crc = 0
+        for lo in range(0, column.size, _CHUNK // column.itemsize or 1):
+            part = np.ascontiguousarray(
+                column[lo:lo + (_CHUNK // column.itemsize or 1)]
+            ).tobytes()
+            crc = zlib.crc32(part, crc)
+            self.handle.write(part)
+            self.total += len(part)
+        self.raw(struct.pack("<I", crc & 0xFFFFFFFF))
+
+
+def save_flat_labels(flat, path, graph=None, fingerprint=None, encoding="raw"):
+    """Atomically write ``flat`` as an SPCF v4 file; returns bytes written.
+
+    ``encoding="raw"`` keeps every column a contiguous typed slab
+    (mmap-able on load); ``"delta"`` delta-encodes the rank column for
+    smaller files. Column dtypes are narrowed to the smallest lossless
+    width on the way out, so saving an int64-column labeling produces
+    the same file as saving its :meth:`FlatLabels.compact` twin. Pass
+    ``graph`` (or a ``fingerprint`` triple) to embed the graph
+    fingerprint for staleness detection.
+    """
+    if encoding not in _ENCODINGS:
+        raise ValueError(f"unknown encoding {encoding!r}; "
+                         "expected 'raw' or 'delta'")
+    registry = get_registry()
+    save_start = time.perf_counter() if registry.enabled else None
+    if fingerprint is None and graph is not None:
+        fingerprint = graph_fingerprint(graph)
+    fp = fingerprint if fingerprint is not None else (NO_FINGERPRINT,) * 3
+    n = flat.n
+    entries = flat.total_entries()
+    indptr = np.ascontiguousarray(flat.indptr, dtype=INT)
+    order = np.ascontiguousarray(flat.order, dtype=INT)
+    dist_dtype, count_dtype = _narrow_dtypes(flat)
+    if count_dtype == INT and registry.enabled:
+        registry.counter("spc_count_overflow_escapes_total").inc()
+
+    if _ENCODINGS[encoding] == _ENC_DELTA:
+        stored_rank, exc_pos, exc_val = _delta_encode(
+            np.asarray(flat.rank), indptr
+        )
+        n_exceptions = int(exc_pos.size)
+    else:
+        stored_rank = np.ascontiguousarray(flat.rank, dtype=np.uint32)
+        exc_pos = exc_val = None
+        n_exceptions = 0
+
+    header = struct.pack(
+        _HEADER_FMT,
+        FLAT_VERSION,
+        _ENCODINGS[encoding],
+        _CODE_BY_DTYPE[stored_rank.dtype],
+        _CODE_BY_DTYPE[np.dtype(dist_dtype)],
+        _CODE_BY_DTYPE[np.dtype(count_dtype)],
+        0,
+        0,
+        n,
+        entries,
+        n_exceptions,
+        fp[0], fp[1], fp[2],
+    )
+
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(prefix=os.path.basename(path) + ".",
+                               suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            writer = _SectionWriter(handle)
+            writer.raw(FLAT_MAGIC)
+            writer.raw(header)
+            writer.raw(struct.pack("<I", zlib.crc32(header) & 0xFFFFFFFF))
+            writer.section(order)
+            writer.section(indptr)
+            writer.section(stored_rank)
+            if exc_pos is not None:
+                exceptions = np.empty(2 * n_exceptions, dtype=np.uint64)
+                exceptions[0::2] = exc_pos
+                exceptions[1::2] = exc_val
+                writer.section(exceptions)
+            writer.section(np.asarray(flat.dist).astype(dist_dtype,
+                                                        copy=False))
+            writer.section(np.asarray(flat.count).astype(count_dtype,
+                                                         copy=False))
+            writer.section(np.asarray(flat.canonical).astype(np.uint8,
+                                                             copy=False))
+            handle.flush()
+            os.fsync(handle.fileno())
+            written = writer.total
+        os.replace(tmp, path)
+    finally:
+        try:
+            os.remove(tmp)
+        except FileNotFoundError:
+            pass
+    if save_start is not None:
+        registry.histogram("spc_io_seconds", op="save").observe(
+            time.perf_counter() - save_start
+        )
+        registry.counter("spc_io_bytes_total", op="save").inc(written)
+    return written
+
+
+def _parse_header(blob, context):
+    reader = _Reader(blob, context)
+    if reader.take(4, "magic") != FLAT_MAGIC:
+        raise SerializationError(f"{context}: not an SPCF flat label file "
+                                 "(bad magic)")
+    header = reader.take(_HEADER_SIZE, "header")
+    (declared_crc,) = reader.unpack("<I", "header checksum")
+    if zlib.crc32(header) & 0xFFFFFFFF != declared_crc:
+        raise SerializationError(f"{context}: header checksum mismatch "
+                                 "(corrupt file)")
+    (version, encoding, rank_code, dist_code, count_code, _r8, _r16,
+     n, entries, n_exceptions, fp_n, fp_m, fp_deg) = struct.unpack(
+        _HEADER_FMT, header
+    )
+    if version != FLAT_VERSION:
+        raise SerializationError(
+            f"{context}: unsupported SPCF version {version} "
+            f"(this reader handles {FLAT_VERSION})"
+        )
+    if encoding not in (_ENC_RAW, _ENC_DELTA):
+        raise SerializationError(f"{context}: unknown encoding {encoding}")
+    for what, code in (("rank", rank_code), ("dist", dist_code),
+                       ("count", count_code)):
+        if code not in _DTYPE_BY_CODE:
+            raise SerializationError(
+                f"{context}: unknown {what} dtype code {code}"
+            )
+    fingerprint = (None if fp_n == NO_FINGERPRINT
+                   else (fp_n, fp_m, fp_deg))
+    encoding_name = "raw" if encoding == _ENC_RAW else "delta"
+    return FlatFileMeta(version, n, entries, encoding_name,
+                        np.dtype(_DTYPE_BY_CODE[rank_code]),
+                        np.dtype(_DTYPE_BY_CODE[dist_code]),
+                        np.dtype(_DTYPE_BY_CODE[count_code]),
+                        n_exceptions, fingerprint, 0)
+
+
+def _section_layout(meta):
+    """``[(name, dtype, count), ...]`` in file order for this header."""
+    n, entries = meta.n, meta.entries
+    layout = [
+        ("order", np.dtype(INT), n),
+        ("indptr", np.dtype(INT), n + 1),
+        ("rank", meta.rank_dtype, entries),
+    ]
+    if meta.encoding == "delta":
+        layout.append(("exceptions", np.dtype(np.uint64),
+                       2 * meta.n_exceptions))
+    layout += [
+        ("dist", meta.dist_dtype, entries),
+        ("count", meta.count_dtype, entries),
+        ("canonical", np.dtype(np.uint8), entries),
+    ]
+    return layout
+
+
+def _verify_sections(path, meta, layout, offsets, context):
+    """Stream the file once, checking every section CRC."""
+    with open(path, "rb") as handle:
+        for (name, dtype, count), offset in zip(layout, offsets):
+            nbytes = dtype.itemsize * count
+            handle.seek(offset)
+            crc = 0
+            remaining = nbytes
+            while remaining:
+                part = handle.read(min(_CHUNK, remaining))
+                if not part:
+                    raise SerializationError(
+                        f"{context}: truncated while verifying {name}"
+                    )
+                crc = zlib.crc32(part, crc)
+                remaining -= len(part)
+            declared = handle.read(4)
+            if len(declared) != 4:
+                raise SerializationError(
+                    f"{context}: truncated {name} checksum"
+                )
+            if crc & 0xFFFFFFFF != struct.unpack("<I", declared)[0]:
+                raise SerializationError(
+                    f"{context}: {name} section checksum mismatch "
+                    "(corrupt file)"
+                )
+
+
+def load_flat_labels_with_meta(path, mmap=False, verify=True, retries=0,
+                               retry_wait=0.01):
+    """:func:`load_flat_labels` variant also returning :class:`FlatFileMeta`."""
+    registry = get_registry()
+    load_start = time.perf_counter() if registry.enabled else None
+    context = str(path)
+    head = _read_with_retries(path, retries, retry_wait) if not mmap else None
+    if head is None:
+        with open(path, "rb") as handle:
+            head = handle.read(4 + _HEADER_SIZE + 4)
+    meta = _parse_header(head, context)
+    layout = _section_layout(meta)
+    offsets = []
+    cursor = 4 + _HEADER_SIZE + 4
+    for _, dtype, count in layout:
+        offsets.append(cursor)
+        cursor += dtype.itemsize * count + 4
+    meta.total_bytes = cursor
+    actual = os.path.getsize(path) if mmap else len(head)
+    if actual != cursor:
+        raise SerializationError(
+            f"{context}: file is {actual} bytes but the header implies "
+            f"{cursor} (truncated or trailing bytes)"
+        )
+    if verify:
+        if mmap:
+            _verify_sections(path, meta, layout, offsets, context)
+        else:
+            reader_offsets = dict(zip((name for name, _, _ in layout),
+                                      zip(layout, offsets)))
+            for name, ((_, dtype, count), offset) in reader_offsets.items():
+                nbytes = dtype.itemsize * count
+                declared = struct.unpack(
+                    "<I", head[offset + nbytes:offset + nbytes + 4]
+                )[0]
+                if zlib.crc32(head[offset:offset + nbytes]) & 0xFFFFFFFF \
+                        != declared:
+                    raise SerializationError(
+                        f"{context}: {name} section checksum mismatch "
+                        "(corrupt file)"
+                    )
+
+    columns = {}
+    for (name, dtype, count), offset in zip(layout, offsets):
+        if mmap:
+            columns[name] = (np.memmap(path, dtype=dtype, mode="r",
+                                       offset=offset, shape=(count,))
+                             if count else np.empty(0, dtype=dtype))
+        else:
+            columns[name] = np.frombuffer(head, dtype=dtype, count=count,
+                                          offset=offset)
+
+    indptr = columns["indptr"]
+    if indptr.size == 0 or indptr[0] != 0 or int(indptr[-1]) != meta.entries \
+            or (indptr.size > 1 and bool(np.any(np.diff(indptr) < 0))):
+        raise SerializationError(
+            f"{context}: indptr column is not a valid CSR row index"
+        )
+    if meta.encoding == "delta":
+        exceptions = columns["exceptions"]
+        rank = _delta_decode(columns["rank"], exceptions[0::2],
+                             exceptions[1::2], np.asarray(indptr, dtype=INT))
+    else:
+        rank = columns["rank"]
+    # deferred: flat_labels imports repro.io.serialize at module load,
+    # so a top-level import here would be circular.
+    from repro.core.flat_labels import FlatLabels
+
+    canonical = columns["canonical"].view(np.bool_)
+    flat = FlatLabels(meta.n, indptr, rank, None, columns["dist"],
+                      columns["count"], canonical, columns["order"])
+    if load_start is not None:
+        registry.histogram("spc_io_seconds", op="load").observe(
+            time.perf_counter() - load_start
+        )
+        registry.counter("spc_io_bytes_total", op="load").inc(meta.total_bytes)
+        if mmap:
+            registry.counter("spc_label_mmap_bytes_total").inc(
+                meta.total_bytes
+            )
+    return flat, meta
+
+
+def load_flat_labels(path, mmap=False, verify=True, retries=0,
+                     retry_wait=0.01):
+    """Read a :class:`FlatLabels` written by :func:`save_flat_labels`.
+
+    ``mmap=True`` memory-maps the columns (raw encoding; delta files
+    decode their rank column into RAM but keep the rest mapped) so
+    opening a multi-GB index is O(1) in resident memory. ``verify=True``
+    (default) checks every section CRC first — one streaming pass;
+    ``verify=False`` trusts the file for fastest possible opens.
+    ``retries`` re-reads after transient ``OSError`` like the SPCL
+    loader; corruption and truncation raise :class:`SerializationError`.
+    """
+    flat, _ = load_flat_labels_with_meta(path, mmap=mmap, verify=verify,
+                                         retries=retries,
+                                         retry_wait=retry_wait)
+    return flat
+
+
+def read_flat_meta(path, retries=0, retry_wait=0.01):
+    """Parse just the SPCF header of ``path`` (no column data is read)."""
+    with open(path, "rb") as handle:
+        head = handle.read(4 + _HEADER_SIZE + 4)
+    meta = _parse_header(head, str(path))
+    layout = _section_layout(meta)
+    meta.total_bytes = 4 + _HEADER_SIZE + 4 + sum(
+        dtype.itemsize * count + 4 for _, dtype, count in layout
+    )
+    return meta

@@ -485,9 +485,26 @@ def save_labels(labels, path, bits=DEFAULT_BITS, strict=False, graph=None,
     return written
 
 
+def _peek_magic(path, retries=0, retry_wait=0.01):
+    """The first four bytes of ``path`` (format dispatch)."""
+    attempt = 0
+    while True:
+        try:
+            with open(path, "rb") as handle:
+                return handle.read(4)
+        except OSError:
+            if attempt >= retries:
+                raise
+            time.sleep(retry_wait * (attempt + 1))
+            attempt += 1
+
+
 def load_labels(path, retries=0, retry_wait=0.01):
     """Read a :class:`LabelSet` written by :func:`save_labels`.
 
+    Dispatches on the file magic, so SPCF flat files
+    (:func:`repro.io.flat_store.save_flat_labels`) load here too — their
+    columns are thawed into an exact tuple-based :class:`LabelSet`.
     ``retries`` re-reads the file after transient ``OSError`` (with linear
     backoff); corruption and truncation raise :class:`SerializationError`.
     """
@@ -496,9 +513,20 @@ def load_labels(path, retries=0, retry_wait=0.01):
 
 
 def load_labels_with_meta(path, retries=0, retry_wait=0.01):
-    """:func:`load_labels` variant also returning the :class:`LabelFileMeta`."""
+    """:func:`load_labels` variant also returning the file metadata.
+
+    Packed SPCL files yield a :class:`LabelFileMeta`; SPCF flat files
+    yield a :class:`repro.io.flat_store.FlatFileMeta` (both carry
+    ``fingerprint``).
+    """
     registry = get_registry()
     load_start = time.perf_counter() if registry.enabled else None
+    if _peek_magic(path, retries, retry_wait) == b"SPCF":
+        from repro.io.flat_store import load_flat_labels_with_meta
+
+        flat, meta = load_flat_labels_with_meta(path, retries=retries,
+                                                retry_wait=retry_wait)
+        return flat.to_label_set(), meta
     blob = _read_with_retries(path, retries, retry_wait)
     labels, used, meta = labels_from_bytes_with_meta(blob, context=str(path))
     if used != len(blob):
@@ -521,10 +549,24 @@ def save_index(index, path, bits=DEFAULT_BITS, strict=False, graph=None,
                        graph=graph, fingerprint=fingerprint)
 
 
-def load_index(path, retries=0, retry_wait=0.01):
-    """Load an :class:`~repro.core.index.SPCIndex` saved by :func:`save_index`."""
+def load_index(path, retries=0, retry_wait=0.01, mmap=False):
+    """Load an :class:`~repro.core.index.SPCIndex` saved by :func:`save_index`.
+
+    Dispatches on the file magic: packed SPCL files thaw into a
+    tuple-based :class:`LabelSet`; SPCF flat files
+    (:func:`repro.io.flat_store.save_flat_labels`) keep their CSR
+    columns primary — with ``mmap=True`` the columns stay memory-mapped,
+    so a multi-GB index opens without loading into RAM. ``mmap`` is
+    ignored for packed files (they are inherently decode-on-load).
+    """
     from repro.core.index import SPCIndex
 
+    if _peek_magic(path, retries, retry_wait) == b"SPCF":
+        from repro.io.flat_store import load_flat_labels
+
+        flat = load_flat_labels(path, mmap=mmap, retries=retries,
+                                retry_wait=retry_wait)
+        return SPCIndex.from_flat(flat)
     return SPCIndex(load_labels(path, retries=retries, retry_wait=retry_wait))
 
 

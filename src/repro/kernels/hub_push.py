@@ -72,21 +72,24 @@ class _CanonicalRows:
 
     __slots__ = ("n", "sentinel", "capacity", "rank", "dist", "length")
 
-    def __init__(self, n, capacity=8):
+    def __init__(self, n, capacity=8, rank_dtype=INT, dist_dtype=INT):
+        # The batched builder passes uint32 dtypes (6x smaller padded
+        # store at million-vertex scale); int64 arithmetic still applies
+        # everywhere because the join adds into int64 rank_dist arrays.
         self.n = n
         self.sentinel = n
         self.capacity = capacity
-        self.rank = np.full((n, capacity), n, dtype=INT)
-        self.dist = np.zeros((n, capacity), dtype=INT)
+        self.rank = np.full((n, capacity), n, dtype=rank_dtype)
+        self.dist = np.zeros((n, capacity), dtype=dist_dtype)
         self.length = np.zeros(n, dtype=INT)
 
     def _grow(self, need):
         capacity = self.capacity
         while capacity < need:
             capacity *= 2
-        rank = np.full((self.n, capacity), self.sentinel, dtype=INT)
+        rank = np.full((self.n, capacity), self.sentinel, dtype=self.rank.dtype)
         rank[:, : self.capacity] = self.rank
-        dist = np.zeros((self.n, capacity), dtype=INT)
+        dist = np.zeros((self.n, capacity), dtype=self.dist.dtype)
         dist[:, : self.capacity] = self.dist
         self.rank, self.dist, self.capacity = rank, dist, capacity
 
@@ -119,6 +122,60 @@ class _CanonicalRows:
         sub_rank = self.rank[verts, :width]
         sub_dist = self.dist[verts, :width]
         best = (rank_dist[sub_rank] + sub_dist).min(axis=1)
+        return best, lengths
+
+    def gather_best_suffix(self, verts, start, rank_dist):
+        """Pruning join restricted to each row's suffix ``[start[i]:]``.
+
+        The batched builder's merge already knows the exact join value
+        over every entry present when the batch began (phase 1 computed
+        it against the complete store below the batch base); only entries
+        appended *during* the batch — at most batch-width per row — can
+        improve it. Joining over just that suffix keeps the merge's join
+        cost proportional to in-batch growth instead of full row lengths.
+        Returns ``(best, extra)`` where ``extra`` is the suffix lengths.
+        """
+        lengths = self.length[verts]
+        extra = lengths - start
+        width = int(extra.max()) if verts.size else 0
+        if width == 0:
+            return np.full(verts.size, INF_SENT, dtype=INT), extra
+        cols = start[:, None] + np.arange(width, dtype=INT)
+        valid = cols < lengths[:, None]
+        cols = np.minimum(cols, self.capacity - 1)
+        rows2d = verts[:, None]
+        sub_rank = self.rank[rows2d, cols]
+        sub_dist = self.dist[rows2d, cols]
+        terms = rank_dist[sub_rank] + sub_dist
+        terms[~valid] = INF_SENT
+        return terms.min(axis=1), extra
+
+    def gather_best_at(self, verts, offsets, arena):
+        """Pruning join against per-vertex slices of a strided arena.
+
+        Like :meth:`gather_best`, but each vertex joins against its own
+        ``rank_dist`` slice ``arena[offsets[i] : offsets[i] + n + 2]`` —
+        the batched builder keeps one such slice per in-flight root, so a
+        whole multi-root frontier joins at once. The gather is *ragged*
+        (flat indices over exactly ``sum(lengths)`` entries, segmented
+        min via ``reduceat``) rather than padded 2D: a multi-root
+        frontier mixes short and long rows, so padding to the longest
+        row would multiply the join work severalfold.
+        """
+        lengths = self.length[verts]
+        best = np.full(verts.size, INF_SENT, dtype=INT)
+        nonzero = lengths > 0
+        if not nonzero.any():
+            return best, lengths
+        vnz = verts[nonzero]
+        lnz = lengths[nonzero]
+        flat = expand_ranges(vnz * self.capacity, lnz)
+        sub_rank = self.rank.ravel()[flat]
+        sub_dist = self.dist.ravel()[flat]
+        terms = arena[np.repeat(offsets[nonzero], lnz) + sub_rank] + sub_dist
+        heads = np.zeros(lnz.size, dtype=INT)
+        np.cumsum(lnz[:-1], out=heads[1:])
+        best[nonzero] = np.minimum.reduceat(terms, heads)
         return best, lengths
 
 

@@ -44,6 +44,20 @@ METRICS = (
         "entered (open, half_open, closed).",
     ),
     MetricSpec(
+        "spc_build_batch_roots", "histogram", (),
+        "Roots swept together by each rank-batched frontier pass — how "
+        "much same-rank parallelism the batched engine actually found.",
+    ),
+    MetricSpec(
+        "spc_build_batch_seconds", "histogram", (),
+        "Wall time of one rank batch in the batched engine (shared "
+        "frontier sweep plus its in-order merges).",
+    ),
+    MetricSpec(
+        "spc_build_batches_total", "counter", (),
+        "Rank batches completed by the batched construction engine.",
+    ),
+    MetricSpec(
         "spc_build_entries_per_push", "histogram", ("engine",),
         "Label entries emitted by each hub push — the per-push label "
         "growth distribution (root self-entries excluded, matching "
@@ -98,6 +112,12 @@ METRICS = (
         "Wall time of checkpoint I/O, labelled save or load.",
     ),
     MetricSpec(
+        "spc_count_overflow_escapes_total", "counter", (),
+        "Label columns widened from uint32 to int64 because a "
+        "shortest-path count exceeded 2^32-1 — exactness kept, "
+        "memory frugality given up.",
+    ),
+    MetricSpec(
         "spc_flat_freeze_seconds", "histogram", (),
         "Wall time of freezing a LabelSet into FlatLabels CSR columns.",
     ),
@@ -128,6 +148,21 @@ METRICS = (
         "spc_label_avg_size", "gauge", ("engine",),
         "Average |L(v)| of the most recently built labeling — the "
         "paper's per-vertex label-size statistic as a live metric.",
+    ),
+    MetricSpec(
+        "spc_label_mmap_bytes_total", "counter", (),
+        "Bytes of SPCF flat label files opened memory-mapped instead of "
+        "loaded into RAM.",
+    ),
+    MetricSpec(
+        "spc_label_store_bytes_total", "counter", ("backend",),
+        "Bytes appended to the streaming label store during batched "
+        "construction, labelled ram or spill.",
+    ),
+    MetricSpec(
+        "spc_label_store_finalize_seconds", "histogram", (),
+        "Wall time of the label store's counting-sort finalize (emission "
+        "chunks into final CSR columns, RAM or memory-mapped).",
     ),
     MetricSpec(
         "spc_label_total_entries", "gauge", ("engine",),

@@ -255,7 +255,7 @@ def _merge_candidates(n, order, candidates_by_rank, stats=None):
 def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
                           engine="csr", task_timeout=None, max_retries=2,
                           retry_backoff=0.1, fallback="sequential",
-                          _fault=None):
+                          as_flat=False, _fault=None):
     """Run HP-SPC with ``workers`` processes; result is bit-identical to
     :func:`repro.core.hp_spc.build_labels` under the same (static) ordering.
 
@@ -273,6 +273,11 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
     ``workers=None`` uses ``os.cpu_count()``; with one worker (or a tiny
     graph) this simply calls the sequential builder.
 
+    ``as_flat=True`` (csr engine only) returns the merged
+    :class:`~repro.core.flat_labels.FlatLabels` directly instead of
+    thawing it into a ``LabelSet`` — the freeze-free path callers like
+    :meth:`SPCIndex.build` use to skip the LabelSet round trip entirely.
+
     Fault tolerance: each block is a supervised task. Blocks whose worker
     raises are retried up to ``max_retries`` times with ``retry_backoff``
     seconds of linear backoff; ``task_timeout`` (seconds) additionally
@@ -289,6 +294,8 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
     if engine not in ("python", "csr"):
         raise ValueError(f"unknown construction engine {engine!r}; "
                          "expected 'python' or 'csr'")
+    if as_flat and engine != "csr":
+        raise ValueError("as_flat=True requires engine='csr'")
     if fallback not in (None, "sequential"):
         raise ValueError(f"unknown fallback {fallback!r}; "
                          "expected 'sequential' or None")
@@ -297,9 +304,18 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
         workers = multiprocessing.cpu_count()
     workers = max(1, min(int(workers), max(1, n)))
     order = resolve_static_order(graph, ordering)
-    if workers == 1 or n < 4:
-        return build_labels(graph, ordering=list(order), stats=stats,
+
+    def _sequential(ordering_list):
+        if as_flat:
+            from repro.kernels.hub_push import build_flat_labels_csr
+
+            return build_flat_labels_csr(graph, ordering=ordering_list,
+                                         stats=stats)
+        return build_labels(graph, ordering=ordering_list, stats=stats,
                             engine=engine)
+
+    if workers == 1 or n < 4:
+        return _sequential(list(order))
 
     try:
         context = multiprocessing.get_context("fork")
@@ -315,8 +331,7 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
         if registry.enabled:
             registry.counter("spc_build_sequential_fallbacks_total").inc()
         get_event_log().emit("build.sequential_fallback", error=str(error))
-        return build_labels(graph, ordering=list(order), stats=stats,
-                            engine=engine)
+        return _sequential(list(order))
 
     if engine == "csr":
         import numpy as np
@@ -350,7 +365,7 @@ def build_labels_parallel(graph, workers=None, ordering="degree", stats=None,
                                         stats=stats)
         if stats is not None:
             stats.visits += visits
-        return flat.to_label_set()
+        return flat if as_flat else flat.to_label_set()
 
     rank_of = [0] * n
     for rank, v in enumerate(order):

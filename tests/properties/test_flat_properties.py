@@ -135,3 +135,46 @@ def test_csr_engine_bit_identical_on_random_graphs(graph_and_order):
 
     flat = build_flat_labels_csr(graph, ordering=order)
     assert flat.equals(FlatLabels.from_label_set(python_labels))
+
+
+@given(graphs_with_orders(), st.integers(min_value=1, max_value=6))
+@settings(**SETTINGS)
+def test_csr_batch_engine_bit_identical_on_random_graphs(graph_and_order,
+                                                         batch_size):
+    """Freeze-free rank-batched construction == frozen sequential csr."""
+    from repro.kernels.batch_push import build_flat_labels_batched
+    from repro.kernels.hub_push import build_flat_labels_csr
+
+    graph, order = graph_and_order
+    reference = build_flat_labels_csr(graph, ordering=order)
+    batched = build_flat_labels_batched(graph, ordering=order,
+                                        batch_size=batch_size)
+    assert batched.equals(reference)
+    # ...and the thawed tuple labels match the python engine exactly.
+    python_labels = build_labels(graph, ordering=order)
+    thawed = batched.to_label_set()
+    for v in range(graph.n):
+        assert thawed.canonical(v) == python_labels.canonical(v)
+        assert thawed.noncanonical(v) == python_labels.noncanonical(v)
+
+
+@given(graphs_with_orders(), st.sampled_from(["raw", "delta"]))
+@settings(**SETTINGS)
+def test_flat_store_round_trip_lossless(graph_and_order, encoding):
+    """SPCF save/load (both encodings) preserves the labeling bit-for-bit."""
+    import os
+    import tempfile
+
+    from repro.io.flat_store import load_flat_labels, save_flat_labels
+    from repro.kernels.hub_push import build_flat_labels_csr
+
+    graph, order = graph_and_order
+    flat = build_flat_labels_csr(graph, ordering=order)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "labels.spcf")
+        save_flat_labels(flat, path, encoding=encoding)
+        assert load_flat_labels(path).equals(flat)
+        if encoding == "raw":
+            mapped = load_flat_labels(path, mmap=True)
+            assert mapped.equals(flat)
+            del mapped

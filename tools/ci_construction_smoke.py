@@ -1,42 +1,64 @@
 #!/usr/bin/env python
-"""CI construction smoke: the csr engine must beat python and agree bit-for-bit.
+"""CI construction gates: engine parity smoke plus large-graph scaling tiers.
 
-Builds the same generated Barabási–Albert graph with both construction
-engines (:func:`repro.bench.harness.compare_builders`), checks the two
-labelings are entry-for-entry identical, writes the timings plus both
-engines' :class:`~repro.core.hp_spc.BuildStats` counters to
-``BENCH_construction.json``, and exits non-zero when the csr engine is
-not at least ``--min-speedup`` times faster than python (default 1.0:
-csr must not lose) or when the labelings differ.
+Three tiers, selected with ``--tier``:
+
+``smoke`` (default, runs on every PR)
+    Builds one generated Barabási–Albert graph with the ``python`` and
+    ``csr`` engines (:func:`repro.bench.harness.compare_builders`),
+    requires entry-for-entry identical labelings, equal construction
+    counters, and at least ``--min-speedup``; then builds the same graph
+    with the rank-batched ``csr-batch`` engine and requires bit-identity
+    with csr. Timings land in ``BENCH_construction.json``.
+
+``scaling`` (runs on every PR, bigger box budget)
+    First replays a small bit-identity oracle (csr vs csr-batch at
+    ``--oracle-vertices``), then builds a ``--vertices`` (default 100k)
+    graph with the csr-batch engine under ``--max-seconds`` /
+    ``--max-rss-mb`` budgets, spot-checks ``--bfs-samples`` single-source
+    sweeps against the vectorized BFS oracle, and reports label
+    bytes/vertex plus peak RSS.
+
+``nightly`` (scheduled job)
+    The scaling tier with million-vertex defaults and looser budgets —
+    the standing record that one box builds and serves n = 10^6.
 
 Run from the repository root:
 
     PYTHONPATH=src python tools/ci_construction_smoke.py --vertices 4000
+    PYTHONPATH=src python tools/ci_construction_smoke.py --tier scaling
+    PYTHONPATH=src python tools/ci_construction_smoke.py --tier nightly
 """
 
 import argparse
 import json
 import platform
 import sys
+import time
+
+#: per-tier defaults: (vertices, max_seconds, max_rss_mb)
+TIER_DEFAULTS = {
+    "smoke": (10_000, None, None),
+    "scaling": (100_000, 1800.0, 8192.0),
+    "nightly": (1_000_000, 14_400.0, 65_536.0),
+}
 
 
-def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--vertices", type=int, default=10000,
-                        help="graph size (default 10000)")
-    parser.add_argument("--attach", type=int, default=3,
-                        help="Barabási–Albert attachment degree (default 3)")
-    parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument("--ordering", default="degree")
-    parser.add_argument("--repeat", type=int, default=1,
-                        help="builds per engine; the best is reported (default 1)")
-    parser.add_argument("--min-speedup", type=float, default=1.0,
-                        help="fail below this python/csr speedup (default 1.0)")
-    parser.add_argument("--output", default="BENCH_construction.json")
-    args = parser.parse_args(argv)
+def _peak_rss_mb():
+    """Max resident set size of this process so far, in MiB (Linux/macOS)."""
+    import resource
 
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KiB on Linux
+        peak //= 1024
+    return peak / 1024.0
+
+
+def run_smoke(args):
     from repro.bench.harness import compare_builders
+    from repro.core.hp_spc import BuildStats
     from repro.generators.random_graphs import barabasi_albert_graph
+    from repro.kernels.batch_push import build_flat_labels_batched
 
     graph = barabasi_albert_graph(args.vertices, args.attach, seed=args.seed)
     print(f"graph: barabasi_albert(n={graph.n}, m={graph.m})")
@@ -53,25 +75,43 @@ def main(argv=None):
           f"(floor {args.min_speedup:.2f}x)")
     print(f"identical    : {comparison['identical']}")
 
+    # The rank-batched engine rides the same graph: bit-identical labels
+    # required (its counter convention differs, so stats are reported,
+    # not compared).
+    batch_stats = BuildStats()
+    started = time.perf_counter()
+    batch_flat = build_flat_labels_batched(graph, ordering=args.ordering,
+                                           stats=batch_stats)
+    batch_seconds = time.perf_counter() - started
+    # compare_builders does not expose the labelings; rebuild csr once.
+    from repro.kernels.hub_push import build_flat_labels_csr
+
+    csr_flat = build_flat_labels_csr(graph, ordering=args.ordering)
+    batch_identical = batch_flat.equals(csr_flat)
+    print(f"csr-batch    : {batch_seconds:.2f}s, "
+          f"{batch_flat.total_entries()} entries, "
+          f"identical: {batch_identical}")
+
     report = {
+        "tier": "smoke",
         "graph": {"family": "barabasi_albert", "n": graph.n, "m": graph.m,
                   "attach": args.attach, "seed": args.seed},
         "ordering": args.ordering,
         "repeat": args.repeat,
         "python_seconds": round(python_result["seconds"], 3),
         "csr_seconds": round(csr_result["seconds"], 3),
+        "csr_batch_seconds": round(batch_seconds, 3),
         "speedup": round(comparison["speedup"], 3),
         "identical": comparison["identical"],
+        "csr_batch_identical": batch_identical,
         "label_entries": csr_result["entries"],
         "python_build_stats": python_result["build_stats"],
         "csr_build_stats": csr_result["build_stats"],
+        "csr_batch_build_stats": batch_stats.as_dict(),
         "min_speedup": args.min_speedup,
         "python_version": platform.python_version(),
     }
-    with open(args.output, "w") as handle:
-        json.dump(report, handle, indent=2)
-        handle.write("\n")
-    print(f"wrote {args.output}")
+    _write_report(report, args.output)
 
     failed = False
     if not comparison["identical"]:
@@ -82,11 +122,199 @@ def main(argv=None):
         print("FAIL: construction counters differ between engines",
               file=sys.stderr)
         failed = True
+    if not batch_identical:
+        print("FAIL: csr-batch labeling is not entry-for-entry identical "
+              "to csr", file=sys.stderr)
+        failed = True
     if comparison["speedup"] < args.min_speedup:
         print(f"FAIL: csr engine speedup {comparison['speedup']:.2f}x "
               f"< floor {args.min_speedup:.2f}x", file=sys.stderr)
         failed = True
     return 1 if failed else 0
+
+
+def run_scaling(args):
+    import os
+    import tempfile
+
+    import numpy as np
+
+    from repro.core.batch_query import single_source
+    from repro.generators.random_graphs import barabasi_albert_graph
+    from repro.kernels.batch_push import (
+        build_flat_labels_batched,
+        default_batch_size,
+    )
+    from repro.kernels.bfs import bfs_count_csr
+    from repro.kernels.hub_push import build_flat_labels_csr
+
+    failed = False
+
+    # Gate 1: small-graph oracle — the batched engine must agree with the
+    # sequential csr engine bit-for-bit before its large build counts.
+    oracle_graph = barabasi_albert_graph(args.oracle_vertices, args.attach,
+                                         seed=args.seed)
+    oracle_ref = build_flat_labels_csr(oracle_graph, ordering=args.ordering)
+    oracle_batch = build_flat_labels_batched(
+        oracle_graph, ordering=args.ordering, batch_size=args.batch_size,
+    )
+    oracle_ok = oracle_batch.equals(oracle_ref)
+    print(f"oracle (n={oracle_graph.n}): bit-identical = {oracle_ok}")
+    if not oracle_ok:
+        print("FAIL: csr-batch differs from csr on the oracle graph",
+              file=sys.stderr)
+        failed = True
+
+    # Gate 2: the large build itself, under time/memory budgets.
+    graph = barabasi_albert_graph(args.vertices, args.attach, seed=args.seed)
+    print(f"graph: barabasi_albert(n={graph.n}, m={graph.m})")
+    batch = args.batch_size or default_batch_size(graph.n)
+    print(f"batch size: {batch}; spill: {bool(args.spill)}; "
+          f"mmap: {bool(args.mmap)}")
+    with tempfile.TemporaryDirectory() as tmp:
+        spill_dir = os.path.join(tmp, "spill") if args.spill else None
+        mmap_dir = os.path.join(tmp, "cols") if args.mmap else None
+        if spill_dir:
+            os.makedirs(spill_dir)
+        if mmap_dir:
+            os.makedirs(mmap_dir)
+        started = time.perf_counter()
+        flat = build_flat_labels_batched(
+            graph, ordering=args.ordering, batch_size=args.batch_size,
+            spill_dir=spill_dir, mmap_dir=mmap_dir,
+        )
+        build_seconds = time.perf_counter() - started
+        peak_rss = _peak_rss_mb()
+        entries = flat.total_entries()
+        bytes_per_vertex = flat.nbytes() / graph.n
+        avg_label = entries / graph.n
+        print(f"build        : {build_seconds:.1f}s "
+              f"(budget {args.max_seconds or 'none'})")
+        print(f"entries      : {entries} (avg |L(v)| = {avg_label:.1f})")
+        print(f"bytes/vertex : {bytes_per_vertex:.1f}")
+        print(f"peak rss     : {peak_rss:.0f} MiB "
+              f"(budget {args.max_rss_mb or 'none'})")
+
+        # Gate 3: sampled single-source sweeps against the BFS oracle —
+        # catches any at-scale wrongness the small oracle can't see.
+        rng = np.random.default_rng(args.seed)
+        sources = rng.integers(0, graph.n, size=args.bfs_samples)
+        check_started = time.perf_counter()
+        bad = 0
+        for source in sources:
+            ref_dist, ref_count = bfs_count_csr(graph, int(source))
+            got_dist, got_count = single_source(flat, int(source))
+            unreachable = ref_dist < 0
+            got_dist = got_dist.copy()
+            got_dist[np.isinf(got_dist)] = -1
+            if not (np.array_equal(got_dist.astype(np.int64), ref_dist)
+                    and np.array_equal(
+                        got_count.astype(np.int64)[~unreachable],
+                        ref_count[~unreachable])):
+                bad += 1
+        check_seconds = time.perf_counter() - check_started
+        print(f"bfs spot-check: {args.bfs_samples} sources, {bad} mismatches "
+              f"({check_seconds:.1f}s)")
+        if bad:
+            print(f"FAIL: {bad} single-source sweeps disagree with BFS",
+                  file=sys.stderr)
+            failed = True
+
+    if args.max_seconds is not None and build_seconds > args.max_seconds:
+        print(f"FAIL: build took {build_seconds:.1f}s "
+              f"> budget {args.max_seconds:.0f}s", file=sys.stderr)
+        failed = True
+    if args.max_rss_mb is not None and peak_rss > args.max_rss_mb:
+        print(f"FAIL: peak RSS {peak_rss:.0f} MiB "
+              f"> budget {args.max_rss_mb:.0f} MiB", file=sys.stderr)
+        failed = True
+
+    report = {
+        "tier": args.tier,
+        "graph": {"family": "barabasi_albert", "n": graph.n, "m": graph.m,
+                  "attach": args.attach, "seed": args.seed},
+        "ordering": args.ordering,
+        "engine": "csr-batch",
+        "batch_size": batch,
+        "spill": bool(args.spill),
+        "mmap": bool(args.mmap),
+        "build_seconds": round(build_seconds, 3),
+        "max_seconds": args.max_seconds,
+        "peak_rss_mb": round(peak_rss, 1),
+        "max_rss_mb": args.max_rss_mb,
+        "label_entries": entries,
+        "avg_label_size": round(avg_label, 2),
+        "label_bytes_per_vertex": round(bytes_per_vertex, 1),
+        "oracle_vertices": args.oracle_vertices,
+        "oracle_identical": oracle_ok,
+        "bfs_samples": args.bfs_samples,
+        "bfs_mismatches": bad,
+        "python_version": platform.python_version(),
+    }
+    _write_report(report, args.output)
+    return 1 if failed else 0
+
+
+def _write_report(report, output):
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tier", default="smoke",
+                        choices=["smoke", "scaling", "nightly"],
+                        help="smoke: engine parity; scaling: 100k budgeted "
+                             "build; nightly: the 1M record run")
+    parser.add_argument("--vertices", type=int, default=None,
+                        help="graph size (default: 10000/100000/1000000 "
+                             "by tier)")
+    parser.add_argument("--attach", type=int, default=3,
+                        help="Barabási–Albert attachment degree (default 3)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--ordering", default="degree")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="smoke: builds per engine; best reported "
+                             "(default 1)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="smoke: fail below this python/csr speedup "
+                             "(default 1.0)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="csr-batch ranks per sweep (default: auto)")
+    parser.add_argument("--oracle-vertices", type=int, default=10_000,
+                        help="scaling/nightly: size of the bit-identity "
+                             "oracle graph (default 10000)")
+    parser.add_argument("--bfs-samples", type=int, default=10,
+                        help="scaling/nightly: single-source BFS spot checks "
+                             "(default 10)")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="scaling/nightly: fail when the build exceeds "
+                             "this wall-clock budget")
+    parser.add_argument("--max-rss-mb", type=float, default=None,
+                        help="scaling/nightly: fail when peak RSS exceeds "
+                             "this budget")
+    parser.add_argument("--spill", action="store_true",
+                        help="scaling/nightly: stream emission chunks to a "
+                             "temp spill dir during the build")
+    parser.add_argument("--mmap", action="store_true",
+                        help="scaling/nightly: memory-map the final label "
+                             "columns instead of allocating them in RAM")
+    parser.add_argument("--output", default="BENCH_construction.json")
+    args = parser.parse_args(argv)
+
+    default_n, default_secs, default_rss = TIER_DEFAULTS[args.tier]
+    if args.vertices is None:
+        args.vertices = default_n
+    if args.max_seconds is None and args.tier != "smoke":
+        args.max_seconds = default_secs
+    if args.max_rss_mb is None and args.tier != "smoke":
+        args.max_rss_mb = default_rss
+
+    if args.tier == "smoke":
+        return run_smoke(args)
+    return run_scaling(args)
 
 
 if __name__ == "__main__":

@@ -12,12 +12,20 @@
 #               shedding, circuit breaker, hot reload), writing
 #               BENCH_serving.json
 #   docs-check  tools/gen_api_docs.py --check (docs/API.md and
-#               docs/METRICS.md must match the live package)
+#               docs/METRICS.md must match the live package) +
+#               tools/perf_report.py --check (docs/PERF.md must match the
+#               committed BENCH_*.json records)
 #   observability-smoke tools/ci_observability_smoke.py (metric coverage,
 #               bit-identity, disabled-instrumentation overhead), writing
 #               BENCH_observability.json
 #   bench-smoke tools/ci_bench_smoke.py + tools/ci_construction_smoke.py at
 #               CI scale, writing BENCH_ci_smoke.json / BENCH_construction.json
+#   scaling-gate tools/ci_construction_smoke.py --tier scaling (CI runs the
+#               100k budgeted csr-batch build; the dry run scales it down
+#               to keep a laptop pass under a minute)
+#
+# The nightly million-vertex job (--tier nightly) is schedule-only and not
+# replicated here.
 #
 # Usage: bash tools/ci_dry_run.sh [--skip-bench]
 
@@ -54,6 +62,7 @@ python -m pytest -x -q || failures=$((failures + 1))
 
 step "docs-check"
 python tools/gen_api_docs.py --check || failures=$((failures + 1))
+python tools/perf_report.py --check || failures=$((failures + 1))
 
 step "chaos-smoke"
 python tools/ci_chaos_smoke.py || failures=$((failures + 1))
@@ -84,6 +93,15 @@ if [ "${1:-}" != "--skip-bench" ]; then
         || failures=$((failures + 1))
     python tools/ci_construction_smoke.py --vertices 4000 \
         --output "${TMPDIR:-/tmp}/BENCH_construction.local.json" \
+        || failures=$((failures + 1))
+
+    step "scaling-gate"
+    # CI runs the full 100k tier; a 20k run keeps the dry run quick while
+    # exercising the same oracle + budget + BFS spot-check machinery.
+    python tools/ci_construction_smoke.py --tier scaling \
+        --vertices 20000 --oracle-vertices 4000 --bfs-samples 5 \
+        --spill --mmap \
+        --output "${TMPDIR:-/tmp}/BENCH_construction_scaling.local.json" \
         || failures=$((failures + 1))
 fi
 
