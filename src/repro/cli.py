@@ -365,6 +365,62 @@ def _run_serve_smoke(args):
     return 0 if stats["counters"][ERROR] == 0 else EXIT_ERROR
 
 
+def _cmd_serve_cluster(args):
+    """Drive a request burst through the multiprocess cluster tier.
+
+    Spawns ``--workers`` processes over one shared-memory SPCF arena,
+    routes ``--random`` pair requests through the batching router
+    (open-loop, then gathers every future), sprinkles in scatter-gather
+    ``single_source`` sweeps when asked, and prints the same terminal
+    status breakdown as ``serve-smoke`` plus per-worker memory-sharing
+    evidence. Exits 0 when no request ended in an unexpected error.
+    """
+    from repro.serving import ERROR, TERMINAL_STATUSES
+    from repro.serving.cluster import ClusterService
+
+    deadline = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    with ClusterService(
+        args.index, workers=args.workers, shards=args.shards,
+        strategy=args.strategy, batch_window=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch, capacity=args.capacity,
+        queue_limit=args.queue, default_deadline=deadline,
+    ) as service:
+        pairs = list(random_pairs(service.n, args.random, rng=args.seed))
+        futures = [service.submit_nowait(s, t) for s, t in pairs]
+        results = [f.result() for f in futures]
+        for result in results:
+            if result.status not in TERMINAL_STATUSES:
+                raise AssertionError(f"non-terminal status {result.status!r}")
+        for k in range(args.single_source):
+            result = service.single_source(k % service.n)
+            results.append(result)
+        stats = service.stats()
+        print(f"requests      : {len(results)}")
+        for status in ("index", "shed", "circuit_open", "deadline",
+                       "invalid", "error"):
+            print(f"{status:14s}: {stats['counters'][status]}")
+        print(f"batches       : {stats['counters']['batches']}")
+        print(f"generation    : {stats['generation']}")
+        print(f"workers       : "
+              f"{sum(1 for w in stats['workers'] if w['state'] != 'dead')}"
+              f"/{len(stats['workers'])} over {stats['shards']} shard(s)")
+        if results:
+            latencies = sorted(r.elapsed for r in results)
+            p95 = latencies[min(len(latencies) - 1,
+                                int(0.95 * len(latencies)))]
+            print(f"p95 latency   : {p95 * 1e3:.2f} ms")
+        try:
+            for worker in service.worker_stats():
+                print(f"worker pid={worker['pid']} "
+                      f"rss={worker['rss_kb']} kB "
+                      f"arena_rss={worker['map_rss_kb']} kB "
+                      f"arena_private_dirty={worker['map_private_dirty_kb']} "
+                      f"kB gen={worker['generation']}")
+        except ReproError as exc:  # stats are best-effort evidence
+            print(f"worker stats unavailable: {exc}", file=sys.stderr)
+        return 0 if stats["counters"][ERROR] == 0 else EXIT_ERROR
+
+
 def _cmd_metrics(args):
     """Exercise build/query/serving on a small graph; dump the registry.
 
@@ -532,6 +588,33 @@ def build_parser():
                    help="record tracing spans for the burst; write them as "
                         "JSON to FILE and print the nested span tree")
     p.set_defaults(func=_cmd_serve_smoke)
+
+    p = sub.add_parser("serve-cluster",
+                       help="drive a request burst through the "
+                            "multiprocess shared-memory cluster")
+    p.add_argument("index", help="SPCF flat label file (raw encoding)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes mapping the shared arena")
+    p.add_argument("--shards", type=int, default=1,
+                   help="shard pools to split routing across")
+    p.add_argument("--strategy", default="range", choices=["range", "hash"],
+                   help="vertex-to-shard assignment")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="max time a pair request waits to be coalesced")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="max pair requests per worker round-trip")
+    p.add_argument("--deadline-ms", type=float, default=50.0,
+                   help="per-request deadline budget (0 = unlimited)")
+    p.add_argument("--capacity", type=int, default=64,
+                   help="admission capacity before the overflow queue")
+    p.add_argument("--queue", type=int, default=256,
+                   help="admission overflow slots before shedding")
+    p.add_argument("--random", type=int, default=500, metavar="N",
+                   help="number of random request pairs (default 500)")
+    p.add_argument("--single-source", type=int, default=0, metavar="K",
+                   help="scatter-gather single-source sweeps to run too")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_serve_cluster)
 
     p = sub.add_parser("metrics",
                        help="run a small instrumented workload and dump "

@@ -15,6 +15,8 @@ refuses wider counts at freeze time). The λ-weighted ``multiplicity``
 evaluation of the reductions stays on the tuple-based path.
 """
 
+import contextlib
+import threading
 from time import perf_counter
 
 import numpy as np
@@ -32,14 +34,57 @@ def _validate_ids(flat, vertices):
     Batched queries index rank-space arrays directly; an out-of-range id
     would otherwise surface as an opaque numpy ``IndexError`` (or, worse,
     a negative id would silently wrap around and answer for the wrong
-    vertex).
+    vertex). The happy path is two allocation-free reductions (min and
+    max); only an actual violation pays for the offender search.
     """
     if vertices.size == 0:
         return
+    if int(vertices.min()) >= 0 and int(vertices.max()) < flat.n:
+        return
     bad = (vertices < 0) | (vertices >= flat.n)
-    if bool(bad.any()):
-        offender = int(vertices[bad][0])
-        raise VertexError(offender, flat.n)
+    offender = int(vertices[bad][0])
+    raise VertexError(offender, flat.n)
+
+
+class _QueryScratch:
+    """Reusable rank-indexed scatter buffers for one :class:`FlatLabels`.
+
+    The batched queries scatter a label row into dense ``(dist, count)``
+    arrays of length ``n``; allocating those per call dominates small
+    batches. One clean pair is cached on the flat store and borrowed
+    under a non-blocking lock — concurrent callers simply allocate a
+    private pair, so reuse is a fast path, never a serialization point.
+
+    Invariant: outside a borrow, ``hub_dist`` is all ``inf`` and
+    ``hub_count`` all zero. Borrowers restore the positions they
+    scattered (under ``try/finally``, so deadline aborts cannot leak a
+    dirty buffer into the next query's answer).
+    """
+
+    __slots__ = ("lock", "hub_dist", "hub_count")
+
+    def __init__(self, n):
+        self.lock = threading.Lock()
+        self.hub_dist = np.full(n, INF)
+        self.hub_count = np.zeros(n, dtype=INT)
+
+
+@contextlib.contextmanager
+def _borrow_scratch(flat):
+    """Yield clean ``(hub_dist, hub_count)`` arrays of length ``flat.n``."""
+    scratch = flat._scratch
+    if scratch is None:
+        # Benign race: two threads may each build one; both are valid and
+        # the loser's copy is garbage-collected with its borrow.
+        scratch = _QueryScratch(flat.n)
+        flat._scratch = scratch
+    if scratch.lock.acquire(blocking=False):
+        try:
+            yield scratch.hub_dist, scratch.hub_count
+        finally:
+            scratch.lock.release()
+    else:
+        yield np.full(flat.n, INF), np.zeros(flat.n, dtype=INT)
 
 
 def _gather_rows(flat, vertices):
@@ -90,36 +135,60 @@ def count_many_arrays(flat, sources, targets, deadline=None):
         return out_dist, out_count
 
     rows = flat.rows()
-    hub_dist = np.full(flat.n, INF)
-    hub_count = np.zeros(flat.n, dtype=INT)
     grouped = np.argsort(sources, kind="stable").tolist()
     source_list = sources.tolist()
     target_list = targets.tolist()
-    current = -1
-    scattered = None
-    for done, i in enumerate(grouped):
-        if deadline is not None and not done & 0x3F:
-            deadline.check()
-        s = source_list[i]
-        if s != current:
+    intp = np.intp
+    f64 = np.float64
+    with _borrow_scratch(flat) as (hub_dist, hub_count):
+        current = -1
+        scattered = None
+        try:
+            for done, i in enumerate(grouped):
+                if deadline is not None and not done & 0x3F:
+                    deadline.check()
+                s = source_list[i]
+                if s != current:
+                    if scattered is not None:
+                        hub_dist[scattered] = INF
+                    rank_s, dist_s, count_s = rows[s]
+                    # Fancy indexing converts a non-intp index array on
+                    # every call; converting once and reusing it for the
+                    # scatter and the reset halves the scatter cost.
+                    # Value dtypes are hoisted for the same reason: an
+                    # in-place uint16->float64 cast inside the scatter is
+                    # several times slower than astype + same-dtype store.
+                    rank_i = rank_s.astype(intp)
+                    hub_dist[rank_i] = dist_s.astype(f64)
+                    hub_count[rank_i] = count_s.astype(INT)
+                    scattered = rank_i
+                    current = s
+                    if metered:
+                        scan_chunks += 1
+                rank_t, dist_t, count_t = rows[target_list[i]]
+                rank_ti = rank_t.astype(intp)
+                totals = hub_dist[rank_ti] + dist_t
+                if totals.size:
+                    best = totals.min()
+                    if best < INF:
+                        # Stale hub_count entries from earlier sources are
+                        # unreadable here: at_best requires a finite
+                        # hub_dist, which only freshly scattered positions
+                        # have — so hub_count needs no per-source reset,
+                        # just the one fill(0) on the way out.
+                        at_best = totals == best
+                        out_dist[i] = best
+                        # dot, not (a * b).sum(): one BLAS-free fused pass
+                        # instead of a temporary product array plus a
+                        # reduction — measurably faster on wide tie sets.
+                        out_count[i] = np.dot(
+                            hub_count[rank_ti[at_best]],
+                            count_t[at_best].astype(INT),
+                        )
+        finally:
             if scattered is not None:
                 hub_dist[scattered] = INF
-                hub_count[scattered] = 0
-            rank_s, dist_s, count_s = rows[s]
-            hub_dist[rank_s] = dist_s
-            hub_count[rank_s] = count_s
-            scattered = rank_s
-            current = s
-            if metered:
-                scan_chunks += 1
-        rank_t, dist_t, count_t = rows[target_list[i]]
-        totals = hub_dist[rank_t] + dist_t
-        if totals.size:
-            best = totals.min()
-            if best < INF:
-                at_best = totals == best
-                out_dist[i] = best
-                out_count[i] = np.sum(hub_count[rank_t[at_best]] * count_t[at_best])
+                hub_count.fill(0)
 
     # Algorithm 2's special case: the empty path, not a hub meeting.
     diagonal = sources == targets
@@ -155,46 +224,74 @@ def count_many(flat, pairs, deadline=None):
     ]
 
 
-def single_source(flat, s):
-    """``(dist, count)`` arrays from ``s`` over every vertex.
+def single_source_range(flat, s, lo, hi, deadline=None):
+    """``(dist, count)`` arrays from ``s`` over targets ``lo <= t < hi``.
 
-    The flat twin of :meth:`repro.core.inverted.InvertedLabelIndex
-    .single_source`: scatter ``L(s)`` into rank-indexed arrays, then one
-    vectorized pass over *all* label entries plus two segmented reductions
-    produce every target at once.
+    The sharded building block behind :func:`single_source`: scatter
+    ``L(s)`` once, then sweep only the CSR slice of rows ``[lo, hi)`` —
+    segmented reductions over a contiguous label range, so a shard worker
+    pays for exactly the vertices it owns. Results are positional:
+    element ``i`` answers target ``lo + i``.
     """
     registry = get_registry()
     if registry.enabled:
         registry.counter("spc_queries_total", engine="flat",
                          kind="single_source").inc()
     _validate_ids(flat, np.asarray([s], dtype=INT))
+    if not 0 <= lo <= hi <= flat.n:
+        raise ValueError(f"invalid target range [{lo}, {hi}) for n={flat.n}")
+    if deadline is not None:
+        deadline.check()
+    width = hi - lo
+    mins = np.full(width, INF)
+    counts = np.zeros(width, dtype=INT)
+    if width == 0:
+        return mins, counts
     rank_s, _, dist_s, count_s = flat.row(s)
-    hub_dist = np.full(flat.n, INF)
-    hub_count = np.zeros(flat.n, dtype=INT)
-    hub_dist[rank_s] = dist_s
-    hub_count[rank_s] = count_s
-
-    totals = hub_dist[flat.rank] + flat.dist
-    mins = np.full(flat.n, INF)
-    counts = np.zeros(flat.n, dtype=INT)
-    if totals.size:
-        seg_starts = flat.indptr[:-1]
-        seg_lens = np.diff(flat.indptr)
-        nonempty = seg_lens > 0
-        clipped = np.minimum(seg_starts, totals.size - 1)
-        raw_min = np.minimum.reduceat(totals, clipped)
-        mins[nonempty] = raw_min[nonempty]
-        at_min = totals == np.repeat(mins, seg_lens)
-        prods = np.where(at_min, hub_count[flat.rank] * flat.count, 0)
-        raw_sum = np.add.reduceat(prods, clipped)
-        counts[nonempty] = raw_sum[nonempty]
+    rank_i = rank_s.astype(np.intp)
+    with _borrow_scratch(flat) as (hub_dist, hub_count):
+        hub_dist[rank_i] = dist_s.astype(np.float64)
+        hub_count[rank_i] = count_s.astype(INT)
+        try:
+            start = int(flat.indptr[lo])
+            stop = int(flat.indptr[hi])
+            ranks = flat.rank[start:stop].astype(np.intp)
+            totals = hub_dist[ranks] + flat.dist[start:stop]
+            if totals.size:
+                seg_starts = np.asarray(flat.indptr[lo:hi], dtype=INT) - start
+                seg_lens = np.diff(flat.indptr[lo:hi + 1])
+                nonempty = seg_lens > 0
+                clipped = np.minimum(seg_starts, totals.size - 1)
+                raw_min = np.minimum.reduceat(totals, clipped)
+                mins[nonempty] = raw_min[nonempty]
+                at_min = totals == np.repeat(mins, seg_lens)
+                prods = np.where(at_min, hub_count[ranks] * flat.count[start:stop],
+                                 0)
+                raw_sum = np.add.reduceat(prods, clipped)
+                counts[nonempty] = raw_sum[nonempty]
+        finally:
+            hub_dist[rank_i] = INF
+            hub_count[rank_i] = 0
     unreachable = ~np.isfinite(mins)
     counts[unreachable] = 0
     mins[unreachable] = INF
-    # The diagonal: the empty path, not a hub meeting.
-    mins[s] = 0.0
-    counts[s] = 1
+    if lo <= s < hi:
+        # The diagonal: the empty path, not a hub meeting.
+        mins[s - lo] = 0.0
+        counts[s - lo] = 1
     return mins, counts
+
+
+def single_source(flat, s):
+    """``(dist, count)`` arrays from ``s`` over every vertex.
+
+    The flat twin of :meth:`repro.core.inverted.InvertedLabelIndex
+    .single_source`: scatter ``L(s)`` into rank-indexed arrays, then one
+    vectorized pass over *all* label entries plus two segmented reductions
+    produce every target at once. Equivalent to
+    :func:`single_source_range` over ``[0, n)``.
+    """
+    return single_source_range(flat, s, 0, flat.n)
 
 
 def count_set_to_set(flat, sources, targets):
@@ -216,21 +313,27 @@ def count_set_to_set(flat, sources, targets):
         return INF, 0
 
     idx_s, _ = _gather_rows(flat, sources)
-    hub_best = np.full(flat.n, INF)
-    np.minimum.at(hub_best, flat.rank[idx_s], flat.dist[idx_s])
-    hub_count = np.zeros(flat.n, dtype=INT)
-    at_best = flat.dist[idx_s] == hub_best[flat.rank[idx_s]]
-    np.add.at(hub_count, flat.rank[idx_s[at_best]], flat.count[idx_s[at_best]])
+    ranks_s = flat.rank[idx_s]
+    with _borrow_scratch(flat) as (hub_best, hub_count):
+        try:
+            np.minimum.at(hub_best, ranks_s, flat.dist[idx_s])
+            at_best = flat.dist[idx_s] == hub_best[ranks_s]
+            np.add.at(hub_count, flat.rank[idx_s[at_best]],
+                      flat.count[idx_s[at_best]])
 
-    idx_t, _ = _gather_rows(flat, targets)
-    ranks_t = flat.rank[idx_t]
-    totals = hub_best[ranks_t] + flat.dist[idx_t]
-    reachable = np.isfinite(totals)
-    if not bool(reachable.any()):
-        return INF, 0
-    delta = totals[reachable].min()
-    at_delta = totals == delta
-    sigma = int(np.sum(hub_count[ranks_t[at_delta]] * flat.count[idx_t[at_delta]]))
+            idx_t, _ = _gather_rows(flat, targets)
+            ranks_t = flat.rank[idx_t]
+            totals = hub_best[ranks_t] + flat.dist[idx_t]
+            reachable = np.isfinite(totals)
+            if not bool(reachable.any()):
+                return INF, 0
+            delta = totals[reachable].min()
+            at_delta = totals == delta
+            sigma = int(np.sum(hub_count[ranks_t[at_delta]]
+                               * flat.count[idx_t[at_delta]]))
+        finally:
+            hub_best[ranks_s] = INF
+            hub_count[ranks_s] = 0
     if sigma == 0:
         return INF, 0
     return int(delta), sigma

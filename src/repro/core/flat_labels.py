@@ -45,7 +45,7 @@ class FlatLabels:
     """
 
     __slots__ = ("n", "indptr", "rank", "dist", "count", "canonical", "order",
-                 "_hub", "_rows")
+                 "_hub", "_rows", "_scratch")
 
     def __init__(self, n, indptr, rank, hub, dist, count, canonical, order):
         self.n = n
@@ -57,6 +57,9 @@ class FlatLabels:
         self.canonical = canonical
         self.order = order
         self._rows = None
+        # Reusable rank-indexed scatter buffers, owned and managed by
+        # repro.core.batch_query (borrowed per call, restored clean).
+        self._scratch = None
 
     @property
     def hub(self):

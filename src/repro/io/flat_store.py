@@ -454,6 +454,59 @@ def load_flat_labels(path, mmap=False, verify=True, retries=0,
     return flat
 
 
+def file_signature(path):
+    """``(st_ino, st_size, st_mtime_ns)`` identity of the file at ``path``.
+
+    The inode number pins the *bytes* (atomic saves replace the inode),
+    so two equal signatures mean two opens mapped the same arena. The
+    cluster router uses this as its generation token: workers report the
+    signature they mapped, and scatter-gather responses must agree.
+    """
+    stat = os.stat(path)
+    return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+
+
+def open_shared(path, verify=True):
+    """Open an SPCF file as a zero-copy, read-only, multi-process arena.
+
+    The serving-cluster contract on top of plain ``mmap=True`` loading:
+
+    * **raw encoding only** — delta files decode their rank column into
+      private RAM, which silently duplicates per worker exactly what the
+      cluster exists to share; refusing is louder than a 10x RSS bill.
+    * **read-only columns** — every mapped column is hardened against
+      writes (``writeable=False``), so a worker bug can never corrupt
+      the arena other processes serve from.
+    * **replace-race guard** — the file identity (:func:`file_signature`)
+      is captured before and after mapping; an atomic save landing
+      mid-open would otherwise let the header checks pass against one
+      inode and the columns map another.
+
+    Returns ``(flat, meta, signature)`` — the signature is the
+    generation token reload protocols compare.
+    """
+    context = str(path)
+    before = file_signature(path)
+    flat, meta = load_flat_labels_with_meta(path, mmap=True, verify=verify)
+    if meta.encoding != "raw":
+        raise SerializationError(
+            f"{context}: shared open needs encoding='raw' (delta files "
+            "decode their rank column into private per-process RAM; "
+            "re-save with save_flat_labels(..., encoding='raw'))"
+        )
+    after = file_signature(path)
+    if before != after:
+        raise SerializationError(
+            f"{context}: file was replaced while being mapped "
+            f"(signature {before} became {after}); retry the open"
+        )
+    for name in ("indptr", "rank", "dist", "count", "canonical", "order"):
+        column = getattr(flat, name)
+        if column.flags.writeable:
+            column.flags.writeable = False
+    return flat, meta, before
+
+
 def read_flat_meta(path, retries=0, retry_wait=0.01):
     """Parse just the SPCF header of ``path`` (no column data is read)."""
     with open(path, "rb") as handle:

@@ -387,7 +387,18 @@ def peek_label_meta(blob, context="<bytes>"):
 
 
 def read_label_meta(path, retries=0, retry_wait=0.01):
-    """Read and parse just the header of a label file on disk."""
+    """Read and parse just the header of a label file on disk.
+
+    Dispatches on the magic like the loaders: packed SPCL files yield a
+    :class:`LabelFileMeta`, SPCF flat files a
+    :class:`repro.io.flat_store.FlatFileMeta` (both carry
+    ``fingerprint``), and neither reads past the header — index watchers
+    poll this on every change, so it must stay cheap for multi-GB files.
+    """
+    if _peek_magic(path, retries, retry_wait) == b"SPCF":
+        from repro.io.flat_store import read_flat_meta
+
+        return read_flat_meta(path, retries=retries, retry_wait=retry_wait)
     blob = _read_with_retries(path, retries, retry_wait)
     return peek_label_meta(blob, context=str(path))
 

@@ -112,6 +112,62 @@ METRICS = (
         "Wall time of checkpoint I/O, labelled save or load.",
     ),
     MetricSpec(
+        "spc_cluster_batch_seconds", "histogram", ("shard",),
+        "Router-observed round-trip of one worker batch (send to reply), "
+        "labelled by the shard that served it.",
+    ),
+    MetricSpec(
+        "spc_cluster_batch_size", "histogram", (),
+        "Pair requests coalesced into one worker round-trip — how much "
+        "amortisation the batch window actually bought.",
+    ),
+    MetricSpec(
+        "spc_cluster_batches_total", "counter", ("shard",),
+        "Worker batches completed (pair batches and scatter subs), "
+        "labelled by shard.",
+    ),
+    MetricSpec(
+        "spc_cluster_gather_retries_total", "counter", (),
+        "Scatter-gather responses discarded and retried whole because "
+        "their sub-replies straddled a reload generation swap.",
+    ),
+    MetricSpec(
+        "spc_cluster_generation", "gauge", (),
+        "Lowest index generation any live cluster worker is serving "
+        "(all workers agree once a rolling reload completes).",
+    ),
+    MetricSpec(
+        "spc_cluster_inflight_requests", "gauge", (),
+        "Requests admitted to the cluster router and not yet terminal.",
+    ),
+    MetricSpec(
+        "spc_cluster_reloads_total", "counter", ("outcome",),
+        "Per-worker arena remaps during rolling reloads, labelled "
+        "success or failure (a failed remap keeps the old arena).",
+    ),
+    MetricSpec(
+        "spc_cluster_request_outcomes_total", "counter", ("status",),
+        "Cluster requests by terminal status (index, shed, circuit_open, "
+        "deadline, invalid, error).",
+    ),
+    MetricSpec(
+        "spc_cluster_request_seconds", "histogram", (),
+        "End-to-end latency of one cluster request, admission to "
+        "terminal result (includes batching wait).",
+    ),
+    MetricSpec(
+        "spc_cluster_requests_total", "counter", (),
+        "Requests entering the cluster front door, whatever their fate.",
+    ),
+    MetricSpec(
+        "spc_cluster_worker_failures_total", "counter", ("shard",),
+        "Worker processes lost (died or unreachable pipe), by shard.",
+    ),
+    MetricSpec(
+        "spc_cluster_workers", "gauge", ("shard",),
+        "Live worker processes per shard.",
+    ),
+    MetricSpec(
         "spc_count_overflow_escapes_total", "counter", (),
         "Label columns widened from uint32 to int64 because a "
         "shortest-path count exceeded 2^32-1 — exactness kept, "

@@ -10,9 +10,18 @@ The pieces compose bottom-up:
 * :class:`~repro.serving.reload.IndexWatcher` /
   :class:`~repro.serving.reload.ReloadThread` — detect a rebuilt index
   file and swap it in atomically between requests.
-* :class:`~repro.serving.service.SPCService` — the front door: bounded
-  admission, load shedding, per-request deadlines, breaker-protected
-  degradation and observable ``health()``/``stats()`` snapshots.
+* :class:`~repro.serving.admission.AdmissionQueue` — bounded
+  concurrency with a deadline-aware wait queue and capped retry-after
+  hints, shared by both front doors.
+* :class:`~repro.serving.service.SPCService` — the in-process front
+  door: bounded admission, load shedding, per-request deadlines,
+  breaker-protected degradation and observable ``health()``/``stats()``
+  snapshots.
+* :class:`~repro.serving.shards.ShardPlan` /
+  :class:`~repro.serving.cluster.ClusterService` — the multiprocess
+  front door: N workers mmap one shared label arena, a selectors-based
+  router coalesces pair queries into vectorized batches and
+  scatter-gathers ``single_source`` / ``set_to_set`` across shards.
 
 The typed errors (:class:`~repro.exceptions.DeadlineExceeded`,
 :class:`~repro.exceptions.ServiceOverloaded`,
@@ -27,7 +36,9 @@ from repro.exceptions import (
     ServiceOverloaded,
     ServingError,
 )
+from repro.serving.admission import DEFAULT_RETRY_AFTER_CAP, AdmissionQueue
 from repro.serving.breaker import CircuitBreaker
+from repro.serving.cluster import ClusterService
 from repro.serving.deadline import Deadline
 from repro.serving.reload import IndexWatcher, ReloadThread
 from repro.serving.service import (
@@ -42,18 +53,24 @@ from repro.serving.service import (
     QueryResult,
     SPCService,
 )
+from repro.serving.shards import STRATEGIES, ShardPlan
 
 __all__ = [
+    "AdmissionQueue",
     "CircuitBreaker",
     "CircuitOpenError",
+    "ClusterService",
     "Deadline",
+    "DEFAULT_RETRY_AFTER_CAP",
     "DeadlineExceeded",
     "IndexWatcher",
     "QueryResult",
     "ReloadThread",
     "SPCService",
+    "STRATEGIES",
     "ServiceOverloaded",
     "ServingError",
+    "ShardPlan",
     "SERVED_INDEX",
     "SERVED_DEGRADED",
     "SHED",

@@ -1,0 +1,1281 @@
+"""Shared-memory multiprocess serving cluster with scatter-gather sharding.
+
+:class:`ClusterService` is the multiprocess sibling of
+:class:`~repro.serving.service.SPCService`. N worker processes each map
+the *same* SPCF v4 flat label file read-only (one physical copy of the
+label columns, shared through the page cache — see
+:func:`repro.io.flat_store.open_shared`), and a selectors-based router
+thread owns the serving defences: admission control with capped
+retry-after hints, a circuit breaker over worker health, hot reload by
+file-signature watching, and the same non-raising
+:class:`~repro.serving.service.QueryResult` surface.
+
+The router earns its throughput from *batching*, not just parallelism:
+pair requests destined for the same shard are coalesced (up to
+``max_batch``, waiting at most ``batch_window`` seconds) into one
+``count_many`` round-trip, so the per-request cost amortises one IPC
+hop and one vectorized kernel over the whole batch instead of paying a
+python merge-join per query.
+
+Sharding is routing, not partitioning — every worker maps the full
+arena, and the :class:`~repro.serving.shards.ShardPlan` decides which
+worker pool answers which vertex range. ``single_source`` scatters one
+range slice per shard and concatenates; ``set_to_set`` scatters the
+target side and merges the partial ``(delta, sigma)`` answers. Every
+worker reply carries its reload generation, and a gather whose replies
+straddle a generation swap is retried whole rather than ever mixing two
+index versions in one response.
+
+Hot reload is shard-by-shard: the router bumps a target generation when
+the watcher sees a new file signature, then tells each worker to remap
+only when that worker is idle and every lower-numbered shard has already
+swapped — in-flight batches always complete on the arena they started
+on, and a worker whose remap fails keeps serving its old (still-mapped)
+inode rather than going dark.
+"""
+
+import asyncio
+import collections
+import multiprocessing
+import os
+import selectors
+import threading
+import time
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceeded,
+    ReproError,
+    SerializationError,
+    ServiceOverloaded,
+    VertexError,
+)
+from repro.io.flat_store import read_flat_meta
+from repro.observability.events import get_event_log
+from repro.observability.metrics import get_registry
+from repro.serving import protocol
+from repro.serving.admission import DEFAULT_RETRY_AFTER_CAP, AdmissionQueue
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.deadline import Deadline
+from repro.serving.reload import IndexWatcher
+from repro.serving.service import (
+    CIRCUIT_OPEN,
+    DEADLINE,
+    ERROR,
+    INVALID,
+    SERVED_INDEX,
+    SHED,
+    QueryResult,
+)
+from repro.serving.shards import ShardPlan
+
+INF = float("inf")
+
+#: Worker lifecycle states as the router sees them.
+STARTING = "starting"
+IDLE = "idle"
+BUSY = "busy"
+RELOADING = "reloading"
+STOPPED = "stopped"
+DEAD = "dead"
+
+#: Whole-gather retries allowed when replies straddle a generation swap.
+GATHER_RETRY_LIMIT = 3
+
+_ERR_STATUS = {
+    protocol.ERR_DEADLINE: DEADLINE,
+    protocol.ERR_VERTEX: INVALID,
+    protocol.ERR_SERIALIZATION: ERROR,
+    protocol.ERR_ERROR: ERROR,
+}
+
+
+def _err_exception(kind, message):
+    """Rehydrate a worker's typed ERR reply into a library exception."""
+    if kind == protocol.ERR_SERIALIZATION:
+        return SerializationError(message)
+    return ReproError(message)
+
+
+def _deadline_error(deadline):
+    """A :class:`DeadlineExceeded` carrying the request's real budget."""
+    if deadline is None:  # pragma: no cover - defensive
+        return DeadlineExceeded(0.0, 0.0)
+    return DeadlineExceeded(deadline.budget, deadline.elapsed())
+
+
+class _Worker:
+    """Router-side record of one worker process and its pipe."""
+
+    __slots__ = ("index", "shard", "process", "conn", "generation", "state",
+                 "pinned")
+
+    def __init__(self, index, shard, process, conn):
+        self.index = index
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+        self.generation = 0
+        self.state = STARTING
+        self.pinned = collections.deque()
+
+    @property
+    def live(self):
+        """True while the worker can still be given work."""
+        return self.state not in (DEAD, STOPPED)
+
+
+class _PairRequest:
+    """One ``submit`` request waiting to be coalesced into a shard batch."""
+
+    __slots__ = ("s", "t", "deadline", "started", "enqueued", "future")
+
+    def __init__(self, s, t, deadline, started, future):
+        self.s = s
+        self.t = t
+        self.deadline = deadline
+        self.started = started
+        self.enqueued = started
+        self.future = future
+
+
+class _Job:
+    """A scatter-gather job: sub-requests per shard, merged on completion."""
+
+    requires_uniform = True
+    admitted = True
+
+    def __init__(self, future, deadline, started):
+        self.future = future
+        self.deadline = deadline
+        self.started = started
+        self.subs = {}
+        self.replies = {}
+        self.retries = 0
+        self.done = False
+
+    def keys(self):
+        """Sub-request keys, each dispatched to one worker."""
+        return list(self.subs)
+
+    def resolve(self, status, answer, error, generation, elapsed):
+        """Complete the caller-visible future with a terminal result."""
+        self.future.set_result(QueryResult(
+            status, answer=answer, error=error, elapsed=elapsed,
+            generation=generation,
+        ))
+
+
+class _SingleSourceJob(_Job):
+    """``single_source`` scattered as one contiguous range per shard."""
+
+    def __init__(self, future, deadline, started, s, plan):
+        super().__init__(future, deadline, started)
+        self.s = s
+        if plan.strategy == "range":
+            for shard, (lo, hi) in enumerate(plan.ranges):
+                if lo < hi:
+                    self.subs[shard] = (lo, hi)
+        else:
+            # Hash shards own no contiguous id range: run the full sweep
+            # on the source's home shard instead of scattering.
+            self.subs[plan.shard_of(s)] = (0, plan.n)
+
+    def shard_for(self, key):
+        """The shard pool that must answer sub ``key``."""
+        return key
+
+    def message(self, key, batch_id, budget):
+        """Wire message for sub ``key``."""
+        lo, hi = self.subs[key]
+        return (protocol.SINGLE_SOURCE, batch_id, self.s, lo, hi, budget)
+
+    def merge(self, payloads):
+        """Concatenate per-range slices back into full (dist, count)."""
+        parts = [payloads[key] for key in sorted(payloads)]
+        dist = np.concatenate([p[0] for p in parts])
+        count = np.concatenate([p[1] for p in parts])
+        return dist, count
+
+
+class _SetToSetJob(_Job):
+    """``set_to_set`` scattered over the target side, min/sum merged."""
+
+    def __init__(self, future, deadline, started, sources, buckets):
+        super().__init__(future, deadline, started)
+        self.sources = sources
+        for shard, targets in enumerate(buckets):
+            if targets:
+                self.subs[shard] = targets
+
+    def shard_for(self, key):
+        """The shard pool that must answer sub ``key``."""
+        return key
+
+    def message(self, key, batch_id, budget):
+        """Wire message for sub ``key``."""
+        return (protocol.SET_TO_SET, batch_id, self.sources, self.subs[key],
+                budget)
+
+    def merge(self, payloads):
+        """Global minimum distance; counts summed at that minimum."""
+        best = min(payloads[key][0] for key in payloads)
+        if best == INF:
+            return INF, 0
+        sigma = sum(payloads[key][1] for key in payloads
+                    if payloads[key][0] == best)
+        return best, sigma
+
+
+class _PairBatchJob(_Job):
+    """A caller-supplied pair batch scattered by source shard.
+
+    The bulk twin of the router's own coalescing: the caller hands over
+    the whole batch up front, so admission, the future, and the inbox
+    hop are paid once per batch instead of once per pair. Each shard
+    gets one ``PAIRS`` sub covering its slice; ``merge`` reassembles the
+    per-shard answers into caller order.
+    """
+
+    def __init__(self, future, deadline, started, sources, targets, plan):
+        super().__init__(future, deadline, started)
+        self.size = len(sources)
+        self._positions = {}
+        owners = plan.shard_of_many(sources)
+        for shard in range(plan.shards):
+            pos = np.nonzero(owners == shard)[0]
+            if pos.size:
+                self.subs[shard] = (sources[pos].tolist(),
+                                    targets[pos].tolist())
+                self._positions[shard] = pos.tolist()
+
+    def shard_for(self, key):
+        """The shard pool that must answer sub ``key``."""
+        return key
+
+    def message(self, key, batch_id, budget):
+        """Wire message for sub ``key``."""
+        sources, targets = self.subs[key]
+        return (protocol.PAIRS, batch_id, sources, targets, budget)
+
+    def merge(self, payloads):
+        """Scatter per-shard answers back to the caller's pair order."""
+        out = [None] * self.size
+        for key, answers in payloads.items():
+            for pos, answer in zip(self._positions[key], answers):
+                out[pos] = answer
+        return out
+
+
+class _StatsJob(_Job):
+    """Memory/identity probe fanned out to every live worker."""
+
+    requires_uniform = False
+    admitted = False
+
+    def __init__(self, future, worker_indexes):
+        super().__init__(future, None, 0.0)
+        for index in worker_indexes:
+            self.subs[index] = index
+
+    def shard_for(self, key):
+        """Stats subs are pinned to a worker, not a shard."""
+        return None
+
+    def message(self, key, batch_id, budget):
+        """Wire message for sub ``key``."""
+        return (protocol.STATS, batch_id)
+
+    def merge(self, payloads):
+        """Worker payload dicts, ordered by worker index."""
+        return [payloads[key] for key in sorted(payloads)]
+
+    def resolve(self, status, answer, error, generation, elapsed):
+        """Stats callers get the raw payload list, or the typed error."""
+        if status == SERVED_INDEX:
+            self.future.set_result(answer)
+        else:
+            self.future.set_exception(
+                error if error is not None else ReproError(status))
+
+
+class _MetricHandles:
+    """Hot-path metric instruments, resolved once at construction.
+
+    Registry lookups build a label key and take a lock per call; at
+    cluster throughput (tens of thousands of requests per second on one
+    core) those few microseconds per request are real capacity. The
+    request path therefore touches pre-resolved handles only. Rare
+    paths (reload, worker death) still look instruments up lazily, so
+    they keep working even if the registry is swapped mid-flight.
+    """
+
+    __slots__ = ("requests", "outcomes", "seconds", "inflight",
+                 "batch_size", "batches", "batch_seconds")
+
+    def __init__(self, registry, shards):
+        self.requests = registry.counter("spc_cluster_requests_total")
+        self.outcomes = {
+            status: registry.counter("spc_cluster_request_outcomes_total",
+                                     status=status)
+            for status in (SERVED_INDEX, SHED, CIRCUIT_OPEN, DEADLINE,
+                           INVALID, ERROR)
+        }
+        self.seconds = registry.histogram("spc_cluster_request_seconds")
+        self.inflight = registry.gauge("spc_cluster_inflight_requests")
+        self.batch_size = registry.histogram(
+            "spc_cluster_batch_size",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256))
+        self.batches = [
+            registry.counter("spc_cluster_batches_total", shard=str(shard))
+            for shard in range(shards)
+        ]
+        self.batch_seconds = [
+            registry.histogram("spc_cluster_batch_seconds", shard=str(shard))
+            for shard in range(shards)
+        ]
+
+
+class ClusterService:
+    """Multiprocess scatter-gather serving tier over one shared arena.
+
+    Parameters
+    ----------
+    index_path:
+        SPCF v4 flat label file (``raw`` encoding — the mmap-shared
+        format; delta files are rejected because decoding privatises
+        the rank column per process).
+    workers / shards / strategy:
+        Worker-process count, shard count (``workers >= shards``; each
+        shard gets ``workers // shards`` processes, remainder spread
+        round-robin) and the :class:`~repro.serving.shards.ShardPlan`
+        strategy (``"range"`` or ``"hash"``).
+    batch_window / max_batch:
+        Router-side coalescing: a shard batch is flushed when it holds
+        ``max_batch`` pair requests or its oldest member has waited
+        ``batch_window`` seconds.
+    capacity / queue_limit / retry_after_cap:
+        Admission control (see
+        :class:`~repro.serving.admission.AdmissionQueue`); the router
+        admits up to ``capacity + queue_limit`` outstanding requests and
+        sheds the rest with a capped retry-after hint.
+    default_deadline:
+        Per-request budget in seconds when the caller gives none.
+    breaker / failure_threshold / reset_timeout:
+        Circuit breaker over worker failures (a worker death or a
+        corrupt-arena error trips it; request-level deadline and vertex
+        errors do not).
+    reload_check_every:
+        Poll the index file signature every N admissions (0 disables
+        polling; :meth:`check_reload` stays available).
+    verify:
+        Forwarded to :func:`~repro.io.flat_store.open_shared` (CRC
+        checks on map).
+    start_timeout:
+        Seconds to wait for every worker's HELLO before giving up.
+    clock:
+        Monotonic clock, injectable for deterministic tests.
+    """
+
+    def __init__(self, index_path, *, workers=2, shards=1, strategy="range",
+                 batch_window=0.002, max_batch=64, capacity=64,
+                 queue_limit=256, retry_after_cap=DEFAULT_RETRY_AFTER_CAP,
+                 default_deadline=None, breaker=None, failure_threshold=5,
+                 reset_timeout=1.0, reload_check_every=64, verify=True,
+                 start_timeout=60.0, clock=time.monotonic):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shards < 1 or shards > workers:
+            raise ValueError(
+                f"shards must be in [1, workers], got {shards} "
+                f"(workers={workers})")
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be positive or None")
+        self.index_path = str(index_path)
+        meta = read_flat_meta(self.index_path)
+        if meta.encoding != "raw":
+            raise SerializationError(
+                f"{self.index_path}: cluster serving requires the "
+                f"mmap-shareable 'raw' encoding, found {meta.encoding!r}")
+        self.n = meta.n
+        self.plan = ShardPlan(meta.n, shards, strategy=strategy)
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.default_deadline = default_deadline
+        self._clock = clock
+        self._admission = AdmissionQueue(capacity, queue_limit,
+                                         retry_after_cap=retry_after_cap,
+                                         clock=clock)
+        if breaker is None:
+            breaker = CircuitBreaker(failure_threshold=failure_threshold,
+                                     reset_timeout=reset_timeout, clock=clock)
+        self.breaker = breaker
+        self._watcher = IndexWatcher(self.index_path)
+        self._reload_check_every = reload_check_every
+        self._target_generation = 0
+        self._closing = False
+        self._closed = False
+        self._stats_lock = threading.Lock()
+        self.counters = {
+            "requests": 0, "batches": 0, "gather_retries": 0,
+            SERVED_INDEX: 0, SHED: 0, CIRCUIT_OPEN: 0, DEADLINE: 0,
+            INVALID: 0, ERROR: 0, "reloads": 0, "reload_failures": 0,
+            "worker_failures": 0,
+        }
+        registry = get_registry()
+        self._metrics = (_MetricHandles(registry, self.plan.shards)
+                         if registry.enabled else None)
+        self._asleep = False
+        self._inbox = collections.deque()
+        self._pending = [collections.deque() for _ in range(self.plan.shards)]
+        self._subs = [collections.deque() for _ in range(self.plan.shards)]
+        self._inflight = {}
+        self._next_batch_id = 0
+        self._start_error = None
+        self._ready = threading.Event()
+        self._selector = selectors.DefaultSelector()
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_w, False)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, None)
+        self._workers = []
+        ctx = self._mp_context()
+        for index in range(workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=worker_entry,
+                args=(child_conn, self.index_path, 0, verify),
+                name=f"spc-cluster-worker-{index}", daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            worker = _Worker(index, index % self.plan.shards, process,
+                             parent_conn)
+            self._workers.append(worker)
+            self._selector.register(parent_conn.fileno(),
+                                    selectors.EVENT_READ, worker)
+        registry = get_registry()
+        if registry.enabled:
+            for shard in range(self.plan.shards):
+                registry.gauge("spc_cluster_workers", shard=str(shard)).set(
+                    sum(1 for w in self._workers if w.shard == shard))
+        self._router = threading.Thread(target=self._run,
+                                        name="spc-cluster-router",
+                                        daemon=True)
+        self._router.start()
+        if not self._ready.wait(start_timeout):
+            self.close()
+            raise SerializationError(
+                f"cluster workers did not come up within {start_timeout}s")
+        if self._start_error is not None:
+            error = self._start_error
+            self.close()
+            raise SerializationError(f"cluster worker failed to start: "
+                                     f"{error}")
+
+    @staticmethod
+    def _mp_context():
+        """Fork context when available (cheap, inherits nothing mutable
+        the worker uses); the platform default otherwise."""
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    # -- submission surface ---------------------------------------------------
+
+    def submit_nowait(self, s, t, timeout=None):
+        """Admit one pair query; resolves to a :class:`QueryResult`.
+
+        Never raises: admission shedding, an open breaker and invalid
+        vertices resolve the returned future immediately with the
+        matching terminal status, exactly like
+        :meth:`SPCService.submit <repro.serving.service.SPCService.submit>`
+        but without blocking the caller.
+        """
+        started = self._clock()
+        future = Future()
+        self._bump("requests")
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.requests.inc()
+        if self._closed or self._closing:
+            return self._reject(future, started, ERROR,
+                                ReproError("cluster is closed"))
+        try:
+            s = int(s)
+            t = int(t)
+            if not (0 <= s < self.n):
+                raise VertexError(s, self.n)
+            if not (0 <= t < self.n):
+                raise VertexError(t, self.n)
+        except (TypeError, ValueError):
+            return self._reject(future, started, INVALID,
+                                ReproError(f"bad vertex pair ({s!r}, {t!r})"))
+        except VertexError as exc:
+            return self._reject(future, started, INVALID, exc)
+        deadline = self._deadline(timeout)
+        try:
+            self.breaker.before_call()
+        except CircuitOpenError as exc:
+            return self._reject(future, started, CIRCUIT_OPEN, exc)
+        try:
+            ordinal = self._admission.offer()
+        except ServiceOverloaded as exc:
+            return self._reject(future, started, SHED, exc)
+        self._observe_admission()
+        request = _PairRequest(s, t, deadline, started, future)
+        self._inbox.append(("pair", request))
+        self._wake()
+        if (self._reload_check_every
+                and ordinal % self._reload_check_every == 0):
+            self.check_reload()
+        return future
+
+    def submit(self, s, t, timeout=None):
+        """Blocking :meth:`submit_nowait`: always a terminal result."""
+        return self.submit_nowait(s, t, timeout=timeout).result()
+
+    def asubmit(self, s, t, timeout=None):
+        """Awaitable :meth:`submit_nowait` for asyncio front ends."""
+        return asyncio.wrap_future(self.submit_nowait(s, t, timeout=timeout))
+
+    def submit_many_nowait(self, pairs, timeout=None):
+        """Admit a whole pair batch as one request; returns a future.
+
+        The future resolves to a single :class:`QueryResult` whose
+        ``answer`` is a list of ``(dist, count)`` tuples aligned with
+        ``pairs``. Admission, deadline, breaker, and the router hop are
+        paid once for the batch — the high-throughput front door for
+        callers that already hold many pairs, where per-pair futures
+        would dominate the (vectorized) kernel cost. The whole batch
+        shares one terminal status: an invalid vertex, expired deadline,
+        or shed rejects all of it, and scatter-gather across shards
+        never merges replies from different index generations.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            started = self._clock()
+            self._bump("requests")
+            future = Future()
+            self._bump(SERVED_INDEX)
+            future.set_result(QueryResult(
+                SERVED_INDEX, answer=[], elapsed=self._clock() - started,
+                generation=self.generation))
+            return future
+        try:
+            sources = np.fromiter((p[0] for p in pairs), dtype=np.int64,
+                                  count=len(pairs))
+            targets = np.fromiter((p[1] for p in pairs), dtype=np.int64,
+                                  count=len(pairs))
+        except (TypeError, ValueError):
+            future = Future()
+            self._bump("requests")
+            return self._reject(future, self._clock(), INVALID,
+                                ReproError("pairs must be (int, int) tuples"))
+        bad = None
+        if int(sources.min()) < 0 or int(sources.max()) >= self.n:
+            bad = sources
+        elif int(targets.min()) < 0 or int(targets.max()) >= self.n:
+            bad = targets
+        if bad is not None:
+            offender = int(bad[(bad < 0) | (bad >= self.n)][0])
+            future = Future()
+            self._bump("requests")
+            return self._reject(future, self._clock(), INVALID,
+                                VertexError(offender, self.n))
+        return self._submit_job(
+            lambda future, deadline, started: _PairBatchJob(
+                future, deadline, started, sources, targets, self.plan),
+            validate=(), timeout=timeout)
+
+    def submit_many(self, pairs, timeout=None):
+        """Blocking :meth:`submit_many_nowait`: always a terminal result."""
+        return self.submit_many_nowait(pairs, timeout=timeout).result()
+
+    def single_source(self, s, timeout=None):
+        """Scatter-gather ``(dist, count)`` arrays from ``s``.
+
+        Range plans scatter one contiguous slice per shard and
+        concatenate; hash plans run the full sweep on the source's home
+        shard. Returns a :class:`QueryResult` whose ``answer`` is the
+        ``(dist, count)`` array pair.
+        """
+        return self._submit_job(
+            lambda future, deadline, started: _SingleSourceJob(
+                future, deadline, started, int(s), self.plan),
+            validate=[s], timeout=timeout).result()
+
+    def set_to_set(self, sources, targets, timeout=None):
+        """Scatter-gather ``(sd(S, T), spc(S, T))`` over target shards."""
+        sources = [int(v) for v in sources]
+        targets = [int(v) for v in targets]
+        if not sources or not targets:
+            result = QueryResult(SERVED_INDEX, answer=(INF, 0),
+                                 generation=self.generation)
+            self._bump(SERVED_INDEX)
+            future = Future()
+            future.set_result(result)
+            return future.result()
+        buckets = self.plan.split_targets(targets)
+        return self._submit_job(
+            lambda future, deadline, started: _SetToSetJob(
+                future, deadline, started, sources, buckets),
+            validate=sources + targets, timeout=timeout).result()
+
+    def _submit_job(self, factory, validate, timeout):
+        """Common admission/validation path for scatter-gather jobs.
+
+        Returns the future; blocking entry points call ``.result()`` on
+        it, :meth:`submit_many_nowait` hands it straight to the caller.
+        """
+        started = self._clock()
+        future = Future()
+        self._bump("requests")
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.requests.inc()
+        if self._closed or self._closing:
+            return self._reject(future, started, ERROR,
+                                ReproError("cluster is closed"))
+        for v in validate:
+            v = int(v)
+            if not (0 <= v < self.n):
+                return self._reject(future, started, INVALID,
+                                    VertexError(v, self.n))
+        deadline = self._deadline(timeout)
+        try:
+            self.breaker.before_call()
+        except CircuitOpenError as exc:
+            return self._reject(future, started, CIRCUIT_OPEN, exc)
+        try:
+            self._admission.offer()
+        except ServiceOverloaded as exc:
+            return self._reject(future, started, SHED, exc)
+        self._observe_admission()
+        job = factory(future, deadline, started)
+        self._inbox.append(("job", job))
+        self._wake()
+        return future
+
+    def _deadline(self, timeout):
+        """Normalise a caller timeout against the service default."""
+        if timeout is None:
+            timeout = self.default_deadline
+        return Deadline.of(timeout, clock=self._clock)
+
+    def _reject(self, future, started, status, error):
+        """Resolve a request terminally before it reaches the router."""
+        self._bump(status)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.outcomes[status].inc()
+        future.set_result(QueryResult(status, error=error,
+                                      elapsed=self._clock() - started,
+                                      generation=self.generation))
+        return future
+
+    # -- hot reload -----------------------------------------------------------
+
+    def check_reload(self):
+        """Poll the file signature; start a rolling swap when it moved."""
+        if self._closed:
+            return False
+        if not self._watcher.poll():
+            return False
+        self._watcher.mark()
+        self.reload()
+        return True
+
+    def reload(self):
+        """Force a rolling, shard-by-shard remap of every worker."""
+        self._inbox.append(("reload", None))
+        self._wake()
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def generation(self):
+        """Lowest generation any live worker is still serving."""
+        generations = [w.generation for w in self._workers if w.live]
+        return min(generations) if generations else 0
+
+    @property
+    def target_generation(self):
+        """Generation the current/last rolling reload is driving toward."""
+        return self._target_generation
+
+    def stats(self):
+        """Counter snapshot plus per-worker state for dashboards."""
+        with self._stats_lock:
+            counters = dict(self.counters)
+        return {
+            "counters": counters,
+            "generation": self.generation,
+            "target_generation": self._target_generation,
+            "shards": self.plan.shards,
+            "strategy": self.plan.strategy,
+            "ema_latency": self._admission.ema_latency,
+            "admission": self._admission.snapshot(),
+            "breaker": self.breaker.snapshot(),
+            "workers": [
+                {"index": w.index, "shard": w.shard, "state": w.state,
+                 "generation": w.generation, "pid": w.process.pid,
+                 "alive": w.process.is_alive()}
+                for w in self._workers
+            ],
+        }
+
+    def worker_stats(self, timeout=30.0):
+        """Memory/identity probes from every live worker (RSS, mapping
+        sharing evidence, arena signature). Raises on a closed cluster."""
+        if self._closed or self._closing:
+            raise ReproError("cluster is closed")
+        live = [w.index for w in self._workers if w.live]
+        if not live:
+            raise ReproError("no live workers")
+        future = Future()
+        job = _StatsJob(future, live)
+        self._inbox.append(("job", job))
+        self._wake()
+        return future.result(timeout=timeout)
+
+    def _bump(self, key):
+        with self._stats_lock:
+            self.counters[key] = self.counters.get(key, 0) + 1
+
+    def _observe_admission(self):
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inflight.set(self._admission.in_flight)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self, timeout=10.0):
+        """Drain in-flight work, stop workers, join the router."""
+        if self._closed:
+            return
+        self._closed = True
+        self._inbox.append(("close", None))
+        self._wake()
+        self._router.join(timeout=timeout)
+        for worker in self._workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        try:
+            self._selector.close()
+        except OSError:  # pragma: no cover
+            pass
+        for fd in (self._wake_r, self._wake_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    def __enter__(self):
+        """Context-manager entry: the service itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        """Context-manager exit: always :meth:`close`."""
+        self.close()
+        return False
+
+    def __repr__(self):
+        live = sum(1 for w in self._workers if w.live)
+        return (f"ClusterService(workers={live}/{len(self._workers)}, "
+                f"shards={self.plan.shards}, generation={self.generation})")
+
+    # -- router thread --------------------------------------------------------
+
+    def _wake(self):
+        # Deduplicated: the write (a syscall per request at peak load) is
+        # only needed when the router is parked in select(). The waker
+        # clears the flag itself so a burst of producers pays one syscall,
+        # not one per request — the byte already in the pipe guarantees
+        # the router will wake and drain everything appended after it.
+        # The router re-checks the inbox *after* re-arming the flag, so a
+        # producer that reads a stale False still gets its item seen
+        # before any sleep.
+        if not self._asleep:
+            return
+        self._asleep = False
+        try:
+            os.write(self._wake_w, b"x")
+        except (OSError, ValueError):
+            pass
+
+    def _run(self):
+        while True:
+            self._drain_inbox()
+            timer = self._dispatch()
+            if self._closing and self._quiescent():
+                break
+            self._asleep = True
+            if self._inbox:
+                self._asleep = False
+                continue
+            try:
+                events = self._selector.select(timer)
+            except OSError:  # pragma: no cover - selector torn down
+                break
+            finally:
+                self._asleep = False
+            for key, _ in events:
+                if key.data is None:
+                    try:
+                        os.read(self._wake_r, 4096)
+                    except OSError:
+                        pass
+                else:
+                    self._on_readable(key.data)
+        self._shutdown_workers()
+
+    def _drain_inbox(self):
+        while self._inbox:
+            kind, payload = None, None
+            try:
+                item = self._inbox.popleft()
+            except IndexError:  # pragma: no cover - racing producer
+                break
+            kind = item[0]
+            payload = item[1] if len(item) > 1 else None
+            if kind == "pair":
+                payload.enqueued = self._clock()
+                self._pending[self.plan.shard_of(payload.s)].append(payload)
+            elif kind == "job":
+                for key in payload.keys():
+                    shard = payload.shard_for(key)
+                    if shard is None:
+                        self._workers[key].pinned.append((payload, key))
+                    else:
+                        self._subs[shard].append((payload, key))
+            elif kind == "reload":
+                self._target_generation += 1
+            elif kind == "close":
+                self._closing = True
+
+    def _quiescent(self):
+        if self._inflight or self._inbox:
+            return False
+        if any(self._pending) or any(self._subs):
+            return False
+        if any(w.state == RELOADING for w in self._workers):
+            return False
+        return all(not w.pinned for w in self._workers)
+
+    def _shard_can_reload(self, shard):
+        """Shard-by-shard ordering: lower shards must finish swapping."""
+        for worker in self._workers:
+            if (worker.live and worker.shard < shard
+                    and worker.generation < self._target_generation):
+                return False
+        return True
+
+    def _dispatch(self):
+        now = self._clock()
+        for worker in self._workers:
+            if worker.state != IDLE:
+                continue
+            if (worker.generation < self._target_generation
+                    and not worker.pinned
+                    and self._shard_can_reload(worker.shard)):
+                worker.conn.send((protocol.RELOAD, self._target_generation))
+                worker.state = RELOADING
+                continue
+            if worker.pinned:
+                job, key = worker.pinned.popleft()
+                self._dispatch_sub(worker, job, key)
+                continue
+            shard = worker.shard
+            if self._subs[shard]:
+                job, key = self._subs[shard].popleft()
+                self._dispatch_sub(worker, job, key)
+                continue
+            if self._batch_ready(shard, now):
+                self._dispatch_pairs(worker, shard)
+        self._fail_orphaned_shards()
+        return self._next_timer(now)
+
+    def _batch_ready(self, shard, now):
+        pending = self._pending[shard]
+        if not pending:
+            return False
+        if self._closing or len(pending) >= self.max_batch:
+            return True
+        return now - pending[0].enqueued >= self.batch_window
+
+    def _next_timer(self, now):
+        """Earliest batch-window expiry, or None to block on events."""
+        timer = None
+        for shard, pending in enumerate(self._pending):
+            if not pending:
+                continue
+            if not any(w.state == IDLE and w.shard == shard
+                       for w in self._workers):
+                continue
+            wait = self.batch_window - (now - pending[0].enqueued)
+            wait = max(wait, 0.0)
+            timer = wait if timer is None else min(timer, wait)
+        return timer
+
+    def _next_id(self):
+        self._next_batch_id += 1
+        return self._next_batch_id
+
+    def _dispatch_pairs(self, worker, shard):
+        pending = self._pending[shard]
+        members = []
+        budget = None
+        unlimited = False
+        while pending and len(members) < self.max_batch:
+            request = pending.popleft()
+            if request.deadline is not None:
+                remaining = request.deadline.remaining()
+                if remaining <= 0:
+                    self._finish_pair(request, DEADLINE,
+                                      error=_deadline_error(request.deadline))
+                    continue
+                budget = remaining if budget is None else max(budget,
+                                                              remaining)
+            else:
+                unlimited = True
+            members.append(request)
+        if not members:
+            return
+        batch_id = self._next_id()
+        message = (protocol.PAIRS, batch_id,
+                   [r.s for r in members], [r.t for r in members],
+                   None if unlimited else budget)
+        try:
+            worker.conn.send(message)
+        except (OSError, ValueError, BrokenPipeError):
+            self._on_worker_death(worker)
+            for request in reversed(members):
+                pending.appendleft(request)
+            return
+        worker.state = BUSY
+        self._inflight[batch_id] = ("pairs", worker, members, self._clock())
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.batch_size.observe(len(members))
+
+    def _dispatch_sub(self, worker, job, key):
+        if job.done:
+            return
+        budget = None
+        if job.deadline is not None:
+            budget = job.deadline.remaining()
+            if budget <= 0:
+                self._finish_job(job, DEADLINE,
+                                 error=_deadline_error(job.deadline))
+                return
+        batch_id = self._next_id()
+        try:
+            worker.conn.send(job.message(key, batch_id, budget))
+        except (OSError, ValueError, BrokenPipeError):
+            self._on_worker_death(worker)
+            shard = job.shard_for(key)
+            if shard is not None:
+                self._subs[shard].append((job, key))
+            else:
+                self._finish_job(job, ERROR,
+                                 error=ReproError("worker died"))
+            return
+        worker.state = BUSY
+        self._inflight[batch_id] = ("sub", worker, job, key, self._clock())
+
+    def _fail_orphaned_shards(self):
+        """Fail queued work for shards whose whole pool is gone."""
+        for shard in range(self.plan.shards):
+            if any(w.live and w.shard == shard for w in self._workers):
+                continue
+            while self._pending[shard]:
+                request = self._pending[shard].popleft()
+                self._finish_pair(request, ERROR,
+                                  error=ReproError(
+                                      f"no live workers for shard {shard}"))
+            while self._subs[shard]:
+                job, _ = self._subs[shard].popleft()
+                self._finish_job(job, ERROR,
+                                 error=ReproError(
+                                     f"no live workers for shard {shard}"))
+
+    # -- reply handling -------------------------------------------------------
+
+    def _on_readable(self, worker):
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            self._on_worker_death(worker)
+            return
+        kind = message[0]
+        if kind == protocol.HELLO:
+            worker.generation = message[1]
+            worker.state = IDLE
+            if all(w.state != STARTING for w in self._workers):
+                self._ready.set()
+            return
+        if kind == protocol.RELOADED:
+            self._on_reloaded(worker, message)
+            return
+        if kind == protocol.ERR and message[1] is None:
+            # Startup failure: the worker could not map the arena.
+            self._start_error = message[3]
+            self._ready.set()
+            self._on_worker_death(worker)
+            return
+        batch_id = message[1]
+        entry = self._inflight.pop(batch_id, None)
+        if entry is None:  # pragma: no cover - stray reply
+            return
+        worker.state = IDLE
+        if entry[0] == "pairs":
+            self._on_pairs_reply(worker, entry, message)
+        else:
+            self._on_sub_reply(worker, entry, message)
+
+    def _on_pairs_reply(self, worker, entry, message):
+        _, _, members, sent_at = entry
+        self._bump("batches")
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.batches[worker.shard].inc()
+            metrics.batch_seconds[worker.shard].observe(
+                self._clock() - sent_at)
+        if message[0] == protocol.ERR:
+            kind, detail = message[2], message[3]
+            status = _ERR_STATUS.get(kind, ERROR)
+            if status == ERROR:
+                self.breaker.record_failure()
+            for request in members:
+                error = (_deadline_error(request.deadline)
+                         if kind == protocol.ERR_DEADLINE
+                         else _err_exception(kind, detail))
+                self._finish_pair(request, status, error=error)
+            return
+        self.breaker.record_success()
+        generation = message[2]
+        answers = message[3]
+        for request, answer in zip(members, answers):
+            if (request.deadline is not None
+                    and request.deadline.remaining() <= 0):
+                self._finish_pair(request, DEADLINE,
+                                  error=_deadline_error(request.deadline))
+            else:
+                self._finish_pair(request, SERVED_INDEX, answer=answer,
+                                  generation=generation)
+
+    def _on_sub_error(self, job, kind, detail):
+        status = _ERR_STATUS.get(kind, ERROR)
+        if status == ERROR:
+            self.breaker.record_failure()
+        error = (_deadline_error(job.deadline)
+                 if kind == protocol.ERR_DEADLINE
+                 else _err_exception(kind, detail))
+        self._finish_job(job, status, error=error)
+
+    def _on_sub_reply(self, worker, entry, message):
+        _, _, job, key, sent_at = entry
+        if isinstance(job, _PairBatchJob):
+            # A bulk sub is one coalesced worker round-trip, same as a
+            # router-built pair batch — account it under the same
+            # counters so the batching instruments cover both doors.
+            self._bump("batches")
+            metrics = self._metrics
+            if metrics is not None:
+                metrics.batches[worker.shard].inc()
+                metrics.batch_seconds[worker.shard].observe(
+                    self._clock() - sent_at)
+                metrics.batch_size.observe(len(job.subs[key][0]))
+        if message[0] == protocol.ERR:
+            self._on_sub_error(job, message[2], message[3])
+            return
+        self.breaker.record_success()
+        if job.done:
+            return
+        job.replies[key] = (message[2], message[3])
+        if len(job.replies) < len(job.subs):
+            return
+        generations = {gen for gen, _ in job.replies.values()}
+        if job.requires_uniform and len(generations) > 1:
+            # A rolling swap landed mid-gather: never merge two index
+            # generations into one answer — retry the whole scatter.
+            self._bump("gather_retries")
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("spc_cluster_gather_retries_total").inc()
+            if job.retries >= GATHER_RETRY_LIMIT:
+                self._finish_job(job, ERROR, error=ReproError(
+                    f"gather saw mixed generations {sorted(generations)} "
+                    f"after {job.retries} retries"))
+                return
+            job.retries += 1
+            job.replies.clear()
+            for sub_key in job.keys():
+                shard = job.shard_for(sub_key)
+                if shard is None:
+                    self._workers[sub_key].pinned.append((job, sub_key))
+                else:
+                    self._subs[shard].append((job, sub_key))
+            return
+        payloads = {k: payload for k, (_, payload) in job.replies.items()}
+        answer = job.merge(payloads)
+        self._finish_job(job, SERVED_INDEX, answer=answer,
+                         generation=min(generations))
+
+    def _on_reloaded(self, worker, message):
+        generation, ok, detail = message[1], message[2], message[3]
+        worker.state = IDLE
+        registry = get_registry()
+        if ok:
+            worker.generation = generation
+            self._bump("reloads")
+            if registry.enabled:
+                registry.counter("spc_cluster_reloads_total",
+                                 outcome="success").inc()
+                registry.gauge("spc_cluster_generation").set(self.generation)
+            get_event_log().emit("cluster_worker_reloaded",
+                                 worker=worker.index, shard=worker.shard,
+                                 generation=generation)
+        else:
+            self._bump("reload_failures")
+            if registry.enabled:
+                registry.counter("spc_cluster_reloads_total",
+                                 outcome="failure").inc()
+            get_event_log().emit("cluster_reload_failed",
+                                 worker=worker.index, shard=worker.shard,
+                                 detail=str(detail))
+
+    def _on_worker_death(self, worker):
+        if worker.state == DEAD:
+            return
+        was_starting = worker.state == STARTING
+        worker.state = DEAD
+        try:
+            self._selector.unregister(worker.conn.fileno())
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        self._bump("worker_failures")
+        self.breaker.record_failure()
+        registry = get_registry()
+        if registry.enabled:
+            shard = str(worker.shard)
+            registry.counter("spc_cluster_worker_failures_total",
+                             shard=shard).inc()
+            registry.gauge("spc_cluster_workers", shard=shard).set(
+                sum(1 for w in self._workers
+                    if w.live and w.shard == worker.shard))
+        get_event_log().emit("cluster_worker_died", worker=worker.index,
+                             shard=worker.shard)
+        dead_batches = [bid for bid, entry in self._inflight.items()
+                        if entry[1] is worker]
+        for batch_id in dead_batches:
+            entry = self._inflight.pop(batch_id)
+            if entry[0] == "pairs":
+                for request in entry[2]:
+                    self._finish_pair(request, ERROR,
+                                      error=ReproError("worker died"))
+            else:
+                self._finish_job(entry[2], ERROR,
+                                 error=ReproError("worker died"))
+        while worker.pinned:
+            job, _ = worker.pinned.popleft()
+            self._finish_job(job, ERROR, error=ReproError("worker died"))
+        if was_starting and not self._ready.is_set():
+            if self._start_error is None:
+                self._start_error = "worker exited before HELLO"
+            self._ready.set()
+
+    def _shutdown_workers(self):
+        for worker in self._workers:
+            if not worker.live:
+                continue
+            try:
+                worker.conn.send((protocol.STOP,))
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+            try:
+                self._selector.unregister(worker.conn.fileno())
+            except (KeyError, ValueError, OSError):
+                pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.state = STOPPED
+        self._fail_everything(ReproError("cluster is closed"))
+
+    def _fail_everything(self, error):
+        for shard in range(self.plan.shards):
+            while self._pending[shard]:
+                self._finish_pair(self._pending[shard].popleft(), ERROR,
+                                  error=error)
+            while self._subs[shard]:
+                job, _ = self._subs[shard].popleft()
+                self._finish_job(job, ERROR, error=error)
+        for entry in list(self._inflight.values()):
+            if entry[0] == "pairs":
+                for request in entry[2]:
+                    self._finish_pair(request, ERROR, error=error)
+            else:
+                self._finish_job(entry[2], ERROR, error=error)
+        self._inflight.clear()
+        for worker in self._workers:
+            while worker.pinned:
+                job, _ = worker.pinned.popleft()
+                self._finish_job(job, ERROR, error=error)
+
+    # -- terminal bookkeeping -------------------------------------------------
+
+    def _finish_pair(self, request, status, answer=None, error=None,
+                     generation=0):
+        elapsed = self._clock() - request.started
+        self._admission.release(elapsed)
+        self._bump(status)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.outcomes[status].inc()
+            metrics.seconds.observe(elapsed)
+            metrics.inflight.set(self._admission.in_flight)
+        request.future.set_result(QueryResult(
+            status, answer=answer, error=error, elapsed=elapsed,
+            generation=generation))
+
+    def _finish_job(self, job, status, answer=None, error=None, generation=0):
+        if job.done:
+            return
+        job.done = True
+        elapsed = self._clock() - job.started
+        if job.admitted:
+            self._admission.release(elapsed)
+            self._bump(status)
+            metrics = self._metrics
+            if metrics is not None:
+                metrics.outcomes[status].inc()
+                metrics.seconds.observe(elapsed)
+        job.resolve(status, answer, error, generation, elapsed)
+
+
+def worker_entry(conn, path, generation, verify):
+    """Process target: import-light wrapper around ``worker_main``.
+
+    Kept at module top level so it stays picklable under spawn-based
+    start methods, and imported lazily so the parent's module graph is
+    not re-imported by fork children.
+    """
+    from repro.serving.worker import worker_main
+
+    worker_main(conn, path, generation, verify=verify)

@@ -1,0 +1,59 @@
+"""Wire protocol between the cluster router and its worker processes.
+
+Messages travel over :class:`multiprocessing.connection.Connection`
+pipes (one duplex pipe per worker), which gives length-prefixed framing,
+pickling of numpy payloads, and a ``fileno()`` the selectors-based
+router can multiplex — without inventing a socket format. Every message
+is a plain tuple whose first element is one of the kind constants below,
+so both ends dispatch with a single comparison and the protocol stays
+greppable.
+
+Router → worker requests::
+
+    (PAIRS, batch_id, sources, targets, budget)      # count_many batch
+    (SINGLE_SOURCE, batch_id, s, lo, hi, budget)     # one shard's slice
+    (SET_TO_SET, batch_id, sources, targets, budget) # one shard's targets
+    (RELOAD, generation)                             # remap the arena
+    (STATS, batch_id)                                # memory/identity probe
+    (STOP,)                                          # clean shutdown
+
+Worker → router replies::
+
+    (HELLO, generation, n, signature)                # once, after spawn
+    (OK, batch_id, generation, payload)              # request succeeded
+    (ERR, batch_id, kind, message)                   # typed request failure
+    (RELOADED, generation, ok, detail)               # reload outcome
+
+``budget`` is the batch's deadline budget in seconds (``None`` =
+unlimited); the worker rebuilds a local
+:class:`~repro.serving.deadline.Deadline` from it, so expiry surfaces as
+an ``ERR`` with kind :data:`ERR_DEADLINE` within one scan chunk.
+``generation`` is the router-assigned reload ordinal the worker's mapped
+arena corresponds to — scatter-gather responses must agree on it, which
+is how the router guarantees a response never mixes index generations.
+
+The protocol is deliberately *sequential per worker*: a worker owns at
+most one outstanding batch, so the router's view of worker state (idle,
+busy, reloading) is exact and reloads can wait for the in-flight batch
+to finish on the old arena instead of interrupting it.
+"""
+
+#: Router → worker request kinds.
+PAIRS = "pairs"
+SINGLE_SOURCE = "single_source"
+SET_TO_SET = "set_to_set"
+RELOAD = "reload"
+STATS = "stats"
+STOP = "stop"
+
+#: Worker → router reply kinds.
+HELLO = "hello"
+OK = "ok"
+ERR = "err"
+RELOADED = "reloaded"
+
+#: Typed failure kinds carried by ``ERR`` replies.
+ERR_DEADLINE = "deadline"
+ERR_VERTEX = "vertex"
+ERR_SERIALIZATION = "serialization"
+ERR_ERROR = "error"

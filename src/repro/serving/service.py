@@ -49,6 +49,7 @@ from repro.observability.events import get_event_log
 from repro.observability.metrics import get_registry
 from repro.observability.tracing import get_tracer
 from repro.resilience import ResilientSPCIndex
+from repro.serving.admission import DEFAULT_RETRY_AFTER_CAP, AdmissionQueue
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.deadline import Deadline
 from repro.serving.reload import IndexWatcher
@@ -105,6 +106,10 @@ class SPCService:
         Maximum concurrently executing requests.
     queue_limit:
         Maximum requests allowed to wait for a slot; more are shed.
+    retry_after_cap:
+        Ceiling (seconds) on the retry-after hint attached to shed
+        requests; ``None`` disables the clamp (see
+        :class:`~repro.serving.admission.AdmissionQueue`).
     default_deadline:
         Per-request budget in seconds when the caller gives none
         (``None`` = unlimited).
@@ -122,16 +127,16 @@ class SPCService:
 
     def __init__(self, graph, index_path=None, index=None, *,
                  capacity=8, queue_limit=16, default_deadline=None,
+                 retry_after_cap=DEFAULT_RETRY_AFTER_CAP,
                  breaker=None, failure_threshold=5, reset_timeout=1.0,
                  reload_check_every=16, bfs_engine="python", io_retries=1,
                  require_fingerprint=False, clock=time.monotonic):
-        if capacity < 1:
-            raise ValueError("capacity must be >= 1")
-        if queue_limit < 0:
-            raise ValueError("queue_limit must be >= 0")
         if default_deadline is not None and default_deadline <= 0:
             raise ValueError("default_deadline must be positive or None")
         self._clock = clock
+        self._admission = AdmissionQueue(capacity, queue_limit,
+                                         retry_after_cap=retry_after_cap,
+                                         clock=clock)
         self.capacity = capacity
         self.queue_limit = queue_limit
         self.default_deadline = default_deadline
@@ -146,11 +151,6 @@ class SPCService:
         self._watcher = None if index_path is None else IndexWatcher(index_path)
         self._reload_check_every = reload_check_every
         self._reload_lock = threading.Lock()
-        self._cond = threading.Condition()
-        self._in_flight = 0
-        self._queued = 0
-        self._admissions = 0
-        self._ema_latency = 0.001  # optimistic 1 ms seed for retry hints
         self._stats_lock = threading.Lock()
         self.counters = {
             "requests": 0,
@@ -167,66 +167,36 @@ class SPCService:
 
     # -- admission control ----------------------------------------------------
 
-    def _retry_after(self):
-        """Seconds until a slot is plausibly free: latency x backlog depth."""
-        backlog = self._in_flight + self._queued + 1 - self.capacity
-        return max(0.001, self._ema_latency * max(1, backlog))
-
     def _admit(self, deadline):
         """Take an execution slot or raise :class:`ServiceOverloaded`.
 
-        A request waits in the bounded queue only while its deadline
-        allows; a full queue (or an exhausted budget while queued) sheds
-        the request immediately — queueing past the deadline would only
-        burn capacity on answers nobody is waiting for.
+        Delegates to the shared :class:`~repro.serving.admission
+        .AdmissionQueue`: a request waits in the bounded queue only while
+        its deadline allows; a full queue (or an exhausted budget while
+        queued) sheds the request immediately with a capped retry-after
+        hint.
         """
-        with self._cond:
-            self._admissions += 1
-            poll = (self._reload_check_every
-                    and self._admissions % self._reload_check_every == 0)
-            if self._in_flight < self.capacity:
-                self._in_flight += 1
-            else:
-                if self._queued >= self.queue_limit:
-                    raise ServiceOverloaded(self._in_flight, self._queued,
-                                            self._retry_after())
-                self._queued += 1
-                try:
-                    while self._in_flight >= self.capacity:
-                        remaining = (None if deadline is None
-                                     else deadline.remaining())
-                        if remaining is not None and remaining <= 0:
-                            raise ServiceOverloaded(
-                                self._in_flight, self._queued,
-                                self._retry_after(),
-                            )
-                        if not self._cond.wait(timeout=remaining):
-                            raise ServiceOverloaded(
-                                self._in_flight, self._queued,
-                                self._retry_after(),
-                            )
-                finally:
-                    self._queued -= 1
-                self._in_flight += 1
+        ordinal = self._admission.admit(deadline)
+        poll = (self._reload_check_every
+                and ordinal % self._reload_check_every == 0)
         registry = get_registry()
         if registry.enabled:
-            registry.gauge("spc_inflight_requests").set(self._in_flight)
-            registry.gauge("spc_queued_requests").set(self._queued)
+            registry.gauge("spc_inflight_requests").set(
+                self._admission.in_flight
+            )
+            registry.gauge("spc_queued_requests").set(self._admission.queued)
         if poll:
             self.check_reload()
 
     def _release(self, elapsed):
-        with self._cond:
-            self._in_flight -= 1
-            self._cond.notify()
-        with self._stats_lock:
-            # EMA over completed requests drives the retry-after hint.
-            self._ema_latency += 0.2 * (elapsed - self._ema_latency)
+        self._admission.release(elapsed)
         registry = get_registry()
         if registry.enabled:
             registry.histogram("spc_request_seconds").observe(elapsed)
-            registry.gauge("spc_inflight_requests").set(self._in_flight)
-            registry.gauge("spc_queued_requests").set(self._queued)
+            registry.gauge("spc_inflight_requests").set(
+                self._admission.in_flight
+            )
+            registry.gauge("spc_queued_requests").set(self._admission.queued)
 
     # -- hot reload -----------------------------------------------------------
 
@@ -377,19 +347,11 @@ class SPCService:
         """Flat counter snapshot for dashboards and the smoke gates."""
         with self._stats_lock:
             counters = dict(self.counters)
-            ema = self._ema_latency
-        with self._cond:
-            in_flight, queued = self._in_flight, self._queued
         return {
             "counters": counters,
             "generation": self._resilient.generation,
-            "ema_latency": ema,
-            "admission": {
-                "in_flight": in_flight,
-                "queued": queued,
-                "capacity": self.capacity,
-                "queue_limit": self.queue_limit,
-            },
+            "ema_latency": self._admission.ema_latency,
+            "admission": self._admission.snapshot(),
         }
 
     def health(self):

@@ -1,0 +1,114 @@
+"""Shard planning for the multiprocess serving cluster.
+
+A :class:`ShardPlan` partitions the vertex-id space ``[0, n)`` into
+``shards`` disjoint pieces and answers the routing questions the
+scatter-gather router asks:
+
+* ``shard_of(v)`` — which shard owns vertex ``v`` (pair-count requests
+  route by their *source* vertex, so repeated sources land on the same
+  worker and its scatter cache);
+* ``ranges`` — the contiguous ``[lo, hi)`` slice each shard owns under
+  the ``"range"`` strategy, which is what the per-shard
+  ``single_source`` partials sweep;
+* ``split_targets(targets)`` — per-shard target subsets for set-to-set
+  scatter-gather.
+
+Two strategies:
+
+* ``"range"`` — contiguous vertex-id ranges, ``ceil(n / shards)`` wide.
+  Required for sharded ``single_source`` (each worker reduces one
+  contiguous CSR slice) and the default.
+* ``"hash"`` — ``v % shards``. Spreads hot sources across workers when
+  vertex ids correlate with popularity; ``single_source`` then runs
+  un-sharded on one worker.
+
+Every worker maps the *same* label file (the zero-copy mmap arena), so a
+shard owns *routing*, not data: any worker could answer any query, and
+the planner's job is purely locality and load spreading. That is also
+why reshaping ``shards``/``workers`` needs no data movement — just a
+restart with different knobs.
+"""
+
+import numpy as np
+
+STRATEGIES = ("range", "hash")
+
+
+class ShardPlan:
+    """Partition of ``[0, n)`` vertex ids into ``shards`` routing shards.
+
+    Parameters
+    ----------
+    n:
+        Vertex count of the served index.
+    shards:
+        Number of shards (``1 <= shards``; clamped to ``n`` so no shard
+        is empty).
+    strategy:
+        ``"range"`` (contiguous ranges, default) or ``"hash"``
+        (``v % shards``).
+    """
+
+    __slots__ = ("n", "shards", "strategy", "_bounds")
+
+    def __init__(self, n, shards, strategy="range"):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown shard strategy {strategy!r}; "
+                             f"expected one of {STRATEGIES}")
+        self.n = n
+        self.shards = min(shards, n)
+        self.strategy = strategy
+        # Range bounds: shard k owns [bounds[k], bounds[k+1]). Width is
+        # ceil(n / shards) so the last shard is the one that runs short.
+        width = -(-n // self.shards)
+        bounds = [min(k * width, n) for k in range(self.shards + 1)]
+        bounds[-1] = n
+        self._bounds = bounds
+
+    @property
+    def ranges(self):
+        """``[(lo, hi), ...]`` per shard — contiguous under ``"range"``.
+
+        Hash plans still report the full ``[0, n)`` split for bookkeeping
+        (worker sizing, stats), but their shards do not own contiguous id
+        ranges; sharded ``single_source`` requires a range plan.
+        """
+        return [(self._bounds[k], self._bounds[k + 1])
+                for k in range(self.shards)]
+
+    def shard_of(self, v):
+        """The shard owning vertex ``v``."""
+        if self.strategy == "hash":
+            return v % self.shards
+        width = self._bounds[1] - self._bounds[0]
+        return min(v // width, self.shards - 1) if width else 0
+
+    def shard_of_many(self, vertices):
+        """Vectorized :meth:`shard_of` over an int array."""
+        vertices = np.asarray(vertices)
+        if self.strategy == "hash":
+            return vertices % self.shards
+        width = self._bounds[1] - self._bounds[0]
+        if not width:
+            return np.zeros(vertices.shape, dtype=np.int64)
+        return np.minimum(vertices // width, self.shards - 1)
+
+    def split_targets(self, targets):
+        """Per-shard subsets of ``targets`` (list of int lists).
+
+        Set-to-set queries scatter the *target* side: each shard
+        aggregates over the targets it owns, the router merges the
+        partial ``(delta, sigma)`` answers.
+        """
+        buckets = [[] for _ in range(self.shards)]
+        for t in targets:
+            buckets[self.shard_of(t)].append(t)
+        return buckets
+
+    def __repr__(self):
+        return (f"ShardPlan(n={self.n}, shards={self.shards}, "
+                f"strategy={self.strategy!r})")

@@ -200,3 +200,97 @@ class TestVertexValidation:
     def test_valid_boundary_ids_accepted(self, flat):
         last = flat.n - 1
         assert count_many(flat, [(0, last), (last, last)])[1] == (0, 1)
+
+
+class TestSingleSourceRange:
+    """The sharded kernel: positional slices that concatenate exactly."""
+
+    @pytest.fixture(scope="class")
+    def flat(self):
+        graph = barabasi_albert_graph(60, 2, seed=21)
+        return SPCIndex.build(graph).to_flat()
+
+    def test_slices_concatenate_to_full_sweep(self, flat):
+        from repro.core.batch_query import single_source_range
+
+        n = flat.n
+        want_d, want_c = single_source(flat, 5)
+        for cuts in ([0, n], [0, 17, n], [0, 1, 30, 59, n]):
+            parts = [single_source_range(flat, 5, lo, hi)
+                     for lo, hi in zip(cuts, cuts[1:])]
+            dist = np.concatenate([p[0] for p in parts])
+            count = np.concatenate([p[1] for p in parts])
+            assert np.array_equal(dist, want_d)
+            assert np.array_equal(count, want_c)
+
+    def test_empty_range(self, flat):
+        from repro.core.batch_query import single_source_range
+
+        dist, count = single_source_range(flat, 0, 10, 10)
+        assert dist.size == 0 and count.size == 0
+
+    def test_diagonal_only_in_owning_slice(self, flat):
+        from repro.core.batch_query import single_source_range
+
+        dist, count = single_source_range(flat, 20, 20, 21)
+        assert dist[0] == 0.0 and count[0] == 1
+        dist, count = single_source_range(flat, 20, 21, 22)
+        assert dist[0] != 0.0 or count[0] != 1 or flat.n == 21
+
+    def test_bad_bounds_rejected(self, flat):
+        from repro.core.batch_query import single_source_range
+
+        for lo, hi in ((-1, 5), (5, 3), (0, flat.n + 1)):
+            with pytest.raises(ValueError):
+                single_source_range(flat, 0, lo, hi)
+
+
+class TestScratchReuse:
+    """Per-flat scratch buffers: reused across calls, always left clean."""
+
+    @pytest.fixture(scope="class")
+    def flat(self):
+        graph = barabasi_albert_graph(50, 2, seed=8)
+        return SPCIndex.build(graph).to_flat()
+
+    def test_scratch_cached_and_clean_between_calls(self, flat):
+        pairs = _all_pairs(12)
+        first = count_many(flat, pairs)
+        scratch = flat._scratch
+        assert scratch is not None
+        second = count_many(flat, pairs)
+        assert flat._scratch is scratch  # reused, not reallocated
+        assert first == second
+        assert np.all(np.isinf(scratch.hub_dist))
+        assert np.all(scratch.hub_count == 0)
+
+    def test_concurrent_borrowers_do_not_corrupt(self, flat):
+        import threading
+
+        pairs = _all_pairs(14)
+        want = count_many(flat, pairs)
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(5):
+                    if count_many(flat, pairs) != want:
+                        raise AssertionError("scratch corruption")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_validation_failure_leaves_scratch_clean(self, flat):
+        from repro.exceptions import VertexError
+
+        count_many(flat, [(0, 1)])  # materialise the scratch
+        with pytest.raises(VertexError):
+            count_many(flat, [(0, flat.n)])
+        assert np.all(np.isinf(flat._scratch.hub_dist))
+        assert np.all(flat._scratch.hub_count == 0)

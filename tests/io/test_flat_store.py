@@ -218,3 +218,60 @@ def test_delta_exception_path(tmp_path):
     meta = read_flat_meta(path)
     assert meta.n_exceptions >= 1
     assert load_flat_labels(path).equals(flat)
+
+
+class TestOpenShared:
+    """Multi-process open guard: read-only columns, raw-only, race check."""
+
+    def test_open_shared_round_trip(self, tmp_path, ba_flat):
+        from repro.io.flat_store import file_signature, open_shared
+
+        path = tmp_path / "labels.spcf"
+        save_flat_labels(ba_flat, path, encoding="raw")
+        flat, meta, signature = open_shared(path)
+        assert meta.encoding == "raw"
+        assert signature == file_signature(path)
+        assert np.array_equal(flat.rank, ba_flat.rank)
+        assert np.array_equal(flat.dist, ba_flat.dist)
+
+    def test_columns_are_read_only(self, tmp_path, ba_flat):
+        from repro.io.flat_store import open_shared
+
+        path = tmp_path / "labels.spcf"
+        save_flat_labels(ba_flat, path, encoding="raw")
+        flat, _, _ = open_shared(path)
+        for column in (flat.order, flat.indptr, flat.rank, flat.dist,
+                       flat.count, flat.canonical):
+            with pytest.raises((ValueError, RuntimeError)):
+                column[0] = 0
+
+    def test_delta_encoding_rejected(self, tmp_path, ba_flat):
+        from repro.io.flat_store import open_shared
+
+        path = tmp_path / "labels.spcf"
+        save_flat_labels(ba_flat, path, encoding="delta")
+        with pytest.raises(SerializationError):
+            open_shared(path)
+
+    def test_signature_tracks_rewrites(self, tmp_path, ba_flat):
+        import time
+
+        from repro.io.flat_store import file_signature
+
+        path = tmp_path / "labels.spcf"
+        save_flat_labels(ba_flat, path, encoding="raw")
+        first = file_signature(path)
+        time.sleep(0.02)
+        save_flat_labels(ba_flat, path, encoding="raw")
+        assert file_signature(path) != first
+
+
+def test_read_label_meta_dispatches_to_spcf(tmp_path, ba_graph, ba_flat):
+    from repro.io.serialize import read_label_meta
+
+    path = tmp_path / "labels.spcf"
+    save_flat_labels(ba_flat, path, encoding="raw",
+                     fingerprint=graph_fingerprint(ba_graph))
+    meta = read_label_meta(path)
+    assert meta.n == ba_flat.n
+    assert meta.encoding == "raw"

@@ -1,0 +1,123 @@
+"""AdmissionQueue: slots, shedding, and the capped retry-after hint."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ServiceOverloaded
+from repro.serving import DEFAULT_RETRY_AFTER_CAP, AdmissionQueue
+from repro.serving.deadline import Deadline
+
+
+class TestSlots:
+    def test_admit_up_to_capacity(self):
+        queue = AdmissionQueue(3, 0)
+        for _ in range(3):
+            queue.admit()
+        assert queue.in_flight == 3
+        with pytest.raises(ServiceOverloaded):
+            queue.admit()
+
+    def test_release_frees_a_slot(self):
+        queue = AdmissionQueue(1, 0)
+        queue.admit()
+        queue.release(0.01)
+        queue.admit()
+        assert queue.in_flight == 1
+
+    def test_ordinals_are_monotonic(self):
+        queue = AdmissionQueue(4, 0)
+        ordinals = [queue.admit() for _ in range(3)]
+        assert ordinals == [1, 2, 3]
+
+    def test_offer_extends_to_queue_limit_then_sheds(self):
+        queue = AdmissionQueue(2, 3)
+        for _ in range(5):
+            queue.offer()
+        with pytest.raises(ServiceOverloaded) as info:
+            queue.offer()
+        assert info.value.retry_after > 0
+
+    def test_queued_waiter_wakes_on_release(self):
+        queue = AdmissionQueue(1, 1)
+        queue.admit()
+        admitted = threading.Event()
+
+        def waiter():
+            queue.admit()
+            admitted.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        for _ in range(100):
+            if queue.queued == 1:
+                break
+            threading.Event().wait(0.01)
+        queue.release(0.001)
+        assert admitted.wait(2.0)
+        thread.join()
+
+    def test_expired_deadline_sheds_instead_of_waiting(self):
+        queue = AdmissionQueue(1, 4)
+        queue.admit()
+        deadline = Deadline(1e-9)
+        with pytest.raises(ServiceOverloaded):
+            queue.admit(deadline)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0, 1)
+        with pytest.raises(ValueError):
+            AdmissionQueue(1, -1)
+        with pytest.raises(ValueError):
+            AdmissionQueue(1, 1, retry_after_cap=0)
+
+
+class TestRetryAfterCap:
+    """Satellite: the EMA-latency x backlog hint must be bounded.
+
+    Before the cap, a 20 ms-deadline burst against a slow service could
+    hand clients retry-after hints near a minute — each shed multiplies
+    the full EMA by the whole backlog. The hint is advice about *when to
+    try again*, not a fair-queueing estimate, so it is clamped.
+    """
+
+    @staticmethod
+    def _saturate(queue, latency, outstanding):
+        # Pump the EMA up with slow completions, then pile on backlog
+        # via the non-blocking path (deterministic: no waiter threads).
+        for _ in range(3):
+            queue.admit()
+            queue.release(latency)
+        for _ in range(outstanding):
+            queue.offer()
+
+    def test_uncapped_hint_grows_without_bound(self):
+        queue = AdmissionQueue(2, 64, retry_after_cap=None)
+        self._saturate(queue, latency=2.0, outstanding=12)
+        assert queue.retry_after() > DEFAULT_RETRY_AFTER_CAP
+
+    def test_default_cap_bounds_the_hint(self):
+        queue = AdmissionQueue(2, 64)
+        self._saturate(queue, latency=2.0, outstanding=12)
+        assert queue.retry_after() <= DEFAULT_RETRY_AFTER_CAP
+
+    def test_custom_cap_applies_to_shed_error(self):
+        queue = AdmissionQueue(1, 0, retry_after_cap=0.25)
+        queue.admit()
+        queue.release(10.0)  # giant EMA
+        queue.admit()
+        with pytest.raises(ServiceOverloaded) as info:
+            queue.admit(Deadline(1e-9))
+        assert info.value.retry_after <= 0.25
+
+    def test_hint_has_a_floor(self):
+        queue = AdmissionQueue(1, 0)
+        assert queue.retry_after() >= 0.001
+
+    def test_snapshot_shape(self):
+        queue = AdmissionQueue(2, 4)
+        queue.admit()
+        snapshot = queue.snapshot()
+        assert snapshot == {"in_flight": 1, "queued": 0,
+                            "capacity": 2, "queue_limit": 4}

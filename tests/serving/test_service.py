@@ -146,6 +146,24 @@ class TestAdmission:
             worker.join(timeout=10.0)
         assert service.counters[SHED] == 1
 
+    def test_retry_after_cap_passes_through_to_shed_hints(self, graph):
+        service = SPCService(graph, capacity=1, queue_limit=0,
+                             retry_after_cap=0.125)
+        # Pump the latency EMA so the uncapped hint would exceed the cap.
+        service._admission.admit()
+        service._admission.release(30.0)
+        blocker = BlockedOracle(service)
+        worker = threading.Thread(target=service.query, args=(0, 40))
+        worker.start()
+        try:
+            assert blocker.entered.wait(timeout=5.0)
+            result = service.submit(1, 41)
+            assert result.status == SHED
+            assert 0 < result.error.retry_after <= 0.125
+        finally:
+            blocker.release.set()
+            worker.join(timeout=10.0)
+
     def test_queued_request_is_served_once_a_slot_frees(self, graph):
         service = SPCService(graph, capacity=1, queue_limit=1)
         blocker = BlockedOracle(service)

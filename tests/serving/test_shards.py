@@ -1,0 +1,71 @@
+"""ShardPlan: routing math for the multiprocess cluster."""
+
+import numpy as np
+import pytest
+
+from repro.serving import STRATEGIES, ShardPlan
+
+
+class TestRangePlan:
+    def test_ranges_cover_exactly(self):
+        plan = ShardPlan(10, 3)
+        ranges = plan.ranges
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 10
+        for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+            assert hi == lo
+
+    def test_shard_of_matches_ranges(self):
+        plan = ShardPlan(1000, 7)
+        for v in (0, 1, 142, 143, 999):
+            shard = plan.shard_of(v)
+            lo, hi = plan.ranges[shard]
+            assert lo <= v < hi
+
+    def test_shard_of_many_agrees_with_scalar(self):
+        plan = ShardPlan(537, 4)
+        vertices = np.arange(537)
+        many = plan.shard_of_many(vertices)
+        assert [plan.shard_of(int(v)) for v in vertices] == list(many)
+
+    def test_shards_clamped_to_n(self):
+        plan = ShardPlan(2, 8)
+        assert plan.shards == 2
+
+    def test_single_shard_owns_everything(self):
+        plan = ShardPlan(100, 1)
+        assert plan.ranges == [(0, 100)]
+        assert plan.shard_of(99) == 0
+
+
+class TestHashPlan:
+    def test_shard_of_is_modular(self):
+        plan = ShardPlan(100, 4, strategy="hash")
+        for v in range(100):
+            assert plan.shard_of(v) == v % 4
+
+    def test_shard_of_many_agrees_with_scalar(self):
+        plan = ShardPlan(100, 3, strategy="hash")
+        vertices = np.arange(100)
+        assert [plan.shard_of(int(v)) for v in vertices] == list(
+            plan.shard_of_many(vertices))
+
+
+class TestSplitTargets:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_buckets_partition_targets(self, strategy):
+        plan = ShardPlan(60, 3, strategy=strategy)
+        targets = [0, 5, 19, 20, 21, 40, 59]
+        buckets = plan.split_targets(targets)
+        assert len(buckets) == 3
+        assert sorted(t for bucket in buckets for t in bucket) == sorted(
+            targets)
+        for shard, bucket in enumerate(buckets):
+            for t in bucket:
+                assert plan.shard_of(t) == shard
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan(10, 0)
+        with pytest.raises(ValueError):
+            ShardPlan(10, 2, strategy="nope")

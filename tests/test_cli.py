@@ -438,3 +438,36 @@ class TestTraceFlag:
         assert main(["build", path, index_path]) == 0
         assert get_tracer().enabled is False  # no tracer leaks past the run
         assert "trace:" not in capsys.readouterr().out
+
+
+class TestServeCluster:
+    @pytest.fixture
+    def arena(self, graph_file, tmp_path):
+        from repro.core.index import SPCIndex
+        from repro.graph.io import read_edge_list
+        from repro.io.flat_store import save_flat_labels
+
+        graph_path, _ = graph_file
+        graph, _ = read_edge_list(graph_path)
+        flat = SPCIndex.build(graph).to_flat()
+        path = tmp_path / "labels.spcf"
+        save_flat_labels(flat, path, encoding="raw")
+        return str(path)
+
+    def test_burst_reports_stats(self, arena, capsys):
+        rc = main(["serve-cluster", arena, "--workers", "2", "--shards", "2",
+                   "--random", "60", "--single-source", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "requests      : 62" in out
+        assert "error         : 0" in out
+        assert "arena_private_dirty=0" in out
+
+    def test_rejects_packed_index(self, graph_file, tmp_path, capsys):
+        graph_path, _ = graph_file
+        index_path = str(tmp_path / "index.bin")
+        main(["build", graph_path, index_path])
+        capsys.readouterr()
+        rc = main(["serve-cluster", index_path, "--workers", "1",
+                   "--random", "5"])
+        assert rc == EXIT_SERIALIZATION

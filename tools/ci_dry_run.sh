@@ -11,6 +11,10 @@
 #   serving-smoke tools/ci_serving_smoke.py SPCService gate (deadlines,
 #               shedding, circuit breaker, hot reload), writing
 #               BENCH_serving.json
+#   serving-sustained tools/ci_serving_smoke.py --tier sustained, scaled
+#               down (CI runs the 10k-vertex cluster-vs-single duel with
+#               the 5x speedup floor; the dry run only exercises the
+#               machinery)
 #   docs-check  tools/gen_api_docs.py --check (docs/API.md and
 #               docs/METRICS.md must match the live package) +
 #               tools/perf_report.py --check (docs/PERF.md must match the
@@ -69,6 +73,15 @@ python tools/ci_chaos_smoke.py || failures=$((failures + 1))
 
 step "serving-smoke"
 python tools/ci_serving_smoke.py \
+    --output "${TMPDIR:-/tmp}/BENCH_serving.local.json" \
+    || failures=$((failures + 1))
+
+step "serving-sustained"
+# CI runs the full 10k-vertex duel where the 5x batching win emerges;
+# the dry run exercises the same driver/gates on a small graph with a
+# token floor so a laptop pass stays under half a minute.
+python tools/ci_serving_smoke.py --tier sustained \
+    --vertices 1500 --degree 10 --duration 2 --speedup-floor 0.1 \
     --output "${TMPDIR:-/tmp}/BENCH_serving.local.json" \
     || failures=$((failures + 1))
 

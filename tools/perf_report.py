@@ -133,7 +133,7 @@ def render_serving(record):
     healthy = record.get("healthy", {})
     recovery = record.get("recovery", {})
     overload = record.get("overload", {})
-    return [
+    lines = [
         f"{_fmt(_get(record, 'config', 'vertices'))}-vertex graph, "
         f"{_fmt(_get(record, 'config', 'threads'))} driver thread(s), "
         f"deadline {_fmt(_get(record, 'config', 'deadline_ms'))} ms.",
@@ -149,6 +149,44 @@ def render_serving(record):
         f"{_fmt(recovery.get('served_index'))} from index | "
         f"{_fmt(recovery.get('p95_ms'), '.2f')} ms |",
     ]
+    sustained = record.get("sustained", {})
+    if sustained:
+        single = sustained.get("single", {})
+        cluster = sustained.get("cluster", {})
+        memory = cluster.get("worker_memory", [])
+        dirty = max((w.get("arena_private_dirty_kb", 0) for w in memory),
+                    default=None)
+        lines += [
+            "",
+            "### Sustained throughput: cluster vs single process",
+            "",
+            f"G(n, p) graph with n = {_fmt(sustained.get('n'))}, "
+            f"m = {_fmt(sustained.get('m'))} "
+            f"({_fmt(sustained.get('entries'))} label entries); "
+            f"{_fmt(_get(sustained, 'config', 'duration'))} s of load per "
+            f"side on {_fmt(sustained.get('cpu_count'))} core(s).",
+            "",
+            "| Tier | QPS | p50 | p95 | p99 |",
+            "|---|---|---|---|---|",
+            f"| single process ({_fmt(single.get('threads'))} threads) | "
+            f"{_fmt(single.get('qps'), ',.0f')} | "
+            f"{_fmt(single.get('p50_ms'), '.2f')} ms | "
+            f"{_fmt(single.get('p95_ms'), '.2f')} ms | "
+            f"{_fmt(single.get('p99_ms'), '.2f')} ms |",
+            f"| cluster ({_fmt(cluster.get('workers'))} workers, "
+            f"{_fmt(cluster.get('shards'))} shards) | "
+            f"{_fmt(cluster.get('qps'), ',.0f')} | "
+            f"{_fmt(cluster.get('p50_ms'), '.2f')} ms | "
+            f"{_fmt(cluster.get('p95_ms'), '.2f')} ms | "
+            f"{_fmt(cluster.get('p99_ms'), '.2f')} ms |",
+            "",
+            f"Speedup {_fmt(cluster.get('speedup'), '.1f')}x from request "
+            f"coalescing ({_fmt(cluster.get('served'))} requests in "
+            f"{_fmt(cluster.get('batches'))} worker batches); every worker "
+            f"maps the label arena copy-on-read shared "
+            f"(max Private_Dirty {_fmt(dirty)} kB).",
+        ]
+    return lines
 
 
 def render_observability(record):
