@@ -1,5 +1,24 @@
-"""Dynamic updates over a static counting index (§8)."""
+"""Dynamic updates over a static counting index (§8).
+
+Three layers, smallest to largest:
+
+* :class:`~repro.dynamic.incremental.DynamicSPCIndex` — the overlay
+  facade: exact answers under pending insertions *and* deletions.
+* :class:`~repro.dynamic.maintenance.MaintenanceController` — rebuild
+  behind: supervised background worker rebuilds, atomic publish, a
+  versioned journal and a bounded-staleness SLO.
+* :func:`~repro.dynamic.streaming.run_streaming_scenario` — the churn
+  harness proving both under sustained mutations with every served
+  answer checked against a BFS oracle.
+"""
 
 from repro.dynamic.incremental import DynamicSPCIndex
+from repro.dynamic.maintenance import MaintenanceController, MaintenanceSLO
+from repro.dynamic.streaming import run_streaming_scenario
 
-__all__ = ["DynamicSPCIndex"]
+__all__ = [
+    "DynamicSPCIndex",
+    "MaintenanceController",
+    "MaintenanceSLO",
+    "run_streaming_scenario",
+]

@@ -1,0 +1,400 @@
+"""The streaming-churn scenario: sustained mutations, concurrent exact queries.
+
+This is the proof obligation of rebuild-behind maintenance, packaged as a
+library so the CI gate (``tools/ci_streaming_smoke.py``), the CLI
+(``repro-spc churn-smoke``) and the test-suite all drive the *same*
+machinery:
+
+* a **mutator** thread applies insert/delete batches through a
+  :class:`~repro.dynamic.maintenance.MaintenanceController` at a target
+  churn rate, mirroring every mutation into a plain adjacency-set oracle;
+* **query** threads hammer the controller concurrently and check *every*
+  answer against a BFS on the mirrored logical graph (reader/writer
+  locking keeps each check atomic against the mutating batch — the
+  answers themselves need no lock, the facade is internally consistent);
+* optionally an :class:`~repro.serving.SPCService` fronts the published
+  index file; the controller's ``on_publish`` hook swaps the service
+  graph and reloads, and served index answers whose generation is stable
+  across the call are checked against the *published* graph of exactly
+  that generation — a swap can lag the logical graph (that is the whole
+  point of bounded staleness) but may never produce a count that is
+  wrong for its own generation;
+* a **sampler** thread records the staleness window (seconds + pending
+  mutations) the controller actually held.
+
+:func:`run_streaming_scenario` returns a plain-dict report; the callers
+decide which numbers gate.
+"""
+
+import os
+import random
+import threading
+import time
+
+from repro.dynamic.maintenance import MaintenanceController, MaintenanceSLO
+from repro.graph.traversal import spc_bfs
+from repro.serving import SPCService
+
+INF = float("inf")
+
+__all__ = ["run_streaming_scenario", "percentile"]
+
+
+def percentile(values, fraction):
+    """The ``fraction``-quantile of ``values`` (nearest-rank, 0 when empty)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+class _ReadWriteLock:
+    """Writer-preference read/write lock for the churn harness.
+
+    Mutator batches take the write side; each query's facade-vs-oracle
+    check takes the read side, so checks run concurrently with each other
+    but atomically against a batch.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self):
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self):
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+def _bfs_count(adj, s, t):
+    """``(dist, count)`` by level-synchronous BFS over adjacency sets."""
+    if s == t:
+        return (0, 1)
+    dist = {s: 0}
+    cnt = {s: 1}
+    frontier = [s]
+    level = 0
+    while frontier:
+        if t in dist and dist[t] <= level:
+            break
+        nxt = []
+        for u in frontier:
+            cu = cnt[u]
+            for w in adj[u]:
+                dw = dist.get(w)
+                if dw is None:
+                    dist[w] = level + 1
+                    cnt[w] = cu
+                    nxt.append(w)
+                elif dw == level + 1:
+                    cnt[w] += cu
+        frontier = nxt
+        level += 1
+    if t in dist:
+        return (dist[t], cnt[t])
+    return (INF, 0)
+
+
+def _same_answer(got, want):
+    return (float(got[0]) == float(want[0])
+            and int(got[1]) == int(want[1]))
+
+
+def run_streaming_scenario(graph, workdir, *, duration=8.0,
+                           churn_per_second=8.0, delete_fraction=0.4,
+                           batch_edges=4, query_threads=2,
+                           service_check_every=4, rebuild_threshold=24,
+                           rebuild_after_seconds=None, slo=None,
+                           engine="csr", ordering="degree", seed=0,
+                           task_timeout=120.0, max_retries=2,
+                           retry_backoff=0.2, checkpoint_every=512,
+                           use_service=True, fault=None, before_retry=None,
+                           drain=True, sample_interval=0.05, min_edges=None,
+                           max_mismatches=10, query_interval=0.0):
+    """Run sustained churn + concurrent checked queries; return a report.
+
+    ``fault`` / ``before_retry`` are forwarded to the controller's chaos
+    hooks. ``drain=True`` waits for one final publish covering every
+    mutation before reporting, so short runs still prove a swap. Every
+    facade answer and every generation-stable served index answer is
+    checked; mismatches (up to ``max_mismatches`` examples) fail the
+    caller's gate — the harness itself never raises for them.
+
+    ``query_interval`` paces each query thread (seconds between checked
+    queries, 0 = flat out). On large graphs the per-query BFS oracle is
+    itself expensive — unpaced threads on a small box starve the
+    background rebuild of CPU and inflate the measured staleness window
+    with harness cost, which is not the quantity under test.
+    """
+    n = graph.n
+    rng = random.Random(seed)
+    adj = [set() for _ in range(n)]
+    edge_list = []
+    edge_pos = {}
+    for u, v in graph.edges():
+        adj[u].add(v)
+        adj[v].add(u)
+        edge_pos[(u, v)] = len(edge_list)
+        edge_list.append((u, v))
+    if min_edges is None:
+        min_edges = max(1, len(edge_list) // 2)
+
+    slo = slo if slo is not None else MaintenanceSLO()
+    index_path = os.path.join(workdir, "streaming.spcl")
+    rw = _ReadWriteLock()
+    stop = threading.Event()
+    errors = []
+
+    service = None
+    service_graphs = []
+    publish_lock = threading.Lock()
+
+    def on_publish(_controller, _version, published_graph):
+        if service is None:
+            return
+        with publish_lock:
+            # Order matters: swap the service graph, make the generation's
+            # oracle graph visible, then reload — any generation a query
+            # observes afterwards has its graph in service_graphs.
+            service.set_graph(published_graph)
+            service_graphs.append(published_graph)
+            service.check_reload()
+
+    controller = MaintenanceController(
+        graph, index_path, ordering=ordering, engine=engine,
+        rebuild_threshold=rebuild_threshold,
+        rebuild_after_seconds=rebuild_after_seconds, slo=slo,
+        task_timeout=task_timeout, max_retries=max_retries,
+        retry_backoff=retry_backoff, checkpoint_every=checkpoint_every,
+        on_publish=on_publish, _fault=fault, _before_retry=before_retry,
+    )
+    if use_service:
+        # reload_check_every=0: reloads happen only from on_publish, under
+        # publish_lock, so generations map 1:1 onto service_graphs entries.
+        service = SPCService(graph, index_path=index_path,
+                             reload_check_every=0, capacity=16,
+                             queue_limit=64)
+        service_graphs.append(graph)
+
+    mutations = {"inserts": 0, "deletes": 0}
+
+    def mutate():
+        interval = batch_edges / churn_per_second
+        try:
+            while not stop.is_set():
+                rw.acquire_write()
+                try:
+                    for _ in range(batch_edges):
+                        if (len(edge_list) > min_edges
+                                and rng.random() < delete_fraction):
+                            i = rng.randrange(len(edge_list))
+                            u, v = edge_list[i]
+                            controller.delete_edge(u, v)
+                            last = edge_list[-1]
+                            edge_list[i] = last
+                            edge_pos[last] = i
+                            edge_list.pop()
+                            del edge_pos[(u, v)]
+                            adj[u].discard(v)
+                            adj[v].discard(u)
+                            mutations["deletes"] += 1
+                        else:
+                            key = None
+                            for _try in range(64):
+                                u = rng.randrange(n)
+                                v = rng.randrange(n)
+                                if u != v and v not in adj[u]:
+                                    key = (u, v) if u < v else (v, u)
+                                    break
+                            if key is None:
+                                continue  # graph (nearly) complete
+                            controller.insert_edge(*key)
+                            adj[key[0]].add(key[1])
+                            adj[key[1]].add(key[0])
+                            edge_pos[key] = len(edge_list)
+                            edge_list.append(key)
+                            mutations["inserts"] += 1
+                finally:
+                    rw.release_write()
+                if stop.wait(interval):
+                    return
+        except Exception as exc:  # pragma: no cover - surfaced in report
+            errors.append(f"mutator: {type(exc).__name__}: {exc}")
+            stop.set()
+
+    facade_queries = [0] * query_threads
+    facade_mismatches = []
+    service_stats = {"checked": 0, "skipped": 0, "submitted": 0}
+    service_mismatches = []
+    mismatch_lock = threading.Lock()
+
+    def query_loop(worker):
+        qrng = random.Random((seed + 1) * 7919 + worker)
+        ticks = 0
+        try:
+            while not stop.is_set():
+                ticks += 1
+                s = qrng.randrange(n)
+                t = qrng.randrange(n)
+                rw.acquire_read()
+                try:
+                    got = controller.count_with_distance(s, t)
+                    want = _bfs_count(adj, s, t)
+                finally:
+                    rw.release_read()
+                facade_queries[worker] += 1
+                if not _same_answer(got, want):
+                    with mismatch_lock:
+                        if len(facade_mismatches) < max_mismatches:
+                            facade_mismatches.append({
+                                "s": s, "t": t,
+                                "got": [float(got[0]), int(got[1])],
+                                "want": [float(want[0]), int(want[1])],
+                            })
+                if service is not None and ticks % service_check_every == 0:
+                    gen_before = service.generation
+                    result = service.submit(s, t)
+                    gen_after = service.generation
+                    with mismatch_lock:
+                        service_stats["submitted"] += 1
+                    if (result.ok and result.status == "index"
+                            and gen_before == gen_after
+                            and 1 <= gen_before <= len(service_graphs)):
+                        oracle_graph = service_graphs[gen_before - 1]
+                        expect = spc_bfs(oracle_graph, s, t)
+                        with mismatch_lock:
+                            service_stats["checked"] += 1
+                            if not _same_answer(result.answer, expect):
+                                if len(service_mismatches) < max_mismatches:
+                                    service_mismatches.append({
+                                        "s": s, "t": t,
+                                        "generation": gen_before,
+                                        "got": [float(result.answer[0]),
+                                                int(result.answer[1])],
+                                        "want": [float(expect[0]),
+                                                 int(expect[1])],
+                                    })
+                    else:
+                        with mismatch_lock:
+                            service_stats["skipped"] += 1
+                if query_interval and stop.wait(query_interval):
+                    return
+        except Exception as exc:  # pragma: no cover - surfaced in report
+            errors.append(f"query[{worker}]: {type(exc).__name__}: {exc}")
+            stop.set()
+
+    staleness_samples = []
+    pending_samples = []
+
+    def sample():
+        while not stop.wait(sample_interval):
+            seconds, pending = controller.staleness()
+            staleness_samples.append(seconds)
+            pending_samples.append(pending)
+
+    threads = [threading.Thread(target=mutate, name="churn-mutator")]
+    threads += [threading.Thread(target=query_loop, args=(w,),
+                                 name=f"churn-query-{w}")
+                for w in range(query_threads)]
+    threads.append(threading.Thread(target=sample, name="churn-sampler"))
+
+    started = time.monotonic()
+    with controller:
+        for thread in threads:
+            thread.start()
+        time.sleep(duration)
+        stop.set()
+        query_window = time.monotonic() - started
+        for thread in threads:
+            thread.join()
+        drained = None
+        if drain and not errors:
+            drained = controller.rebuild_now(
+                timeout=max(60.0, 2 * (task_timeout or 60.0)))
+        elapsed = time.monotonic() - started
+        controller_stats = controller.stats()
+        final_exact = None
+        if drain and not errors:
+            # Post-drain spot check: the published index now covers every
+            # mutation; a fresh sample must agree with the mirror exactly.
+            qrng = random.Random(seed + 4242)
+            final_exact = True
+            for _ in range(50):
+                s = qrng.randrange(n)
+                t = qrng.randrange(n)
+                if not _same_answer(controller.count_with_distance(s, t),
+                                    _bfs_count(adj, s, t)):
+                    final_exact = False
+                    break
+
+    total_queries = sum(facade_queries)
+    report = {
+        "config": {
+            "n": n, "m0": graph.m, "duration": duration,
+            "churn_per_second": churn_per_second,
+            "delete_fraction": delete_fraction,
+            "batch_edges": batch_edges, "query_threads": query_threads,
+            "rebuild_threshold": rebuild_threshold, "engine": engine,
+            "seed": seed, "query_interval": query_interval,
+            "slo_seconds": slo.max_staleness_seconds,
+            "slo_pending": slo.max_pending_mutations,
+            "use_service": use_service,
+        },
+        "elapsed": elapsed,
+        "mutations": dict(mutations),
+        "edges_final": len(edge_list),
+        "queries": {
+            "total": total_queries,
+            "qps": total_queries / query_window if query_window else 0.0,
+            "mismatches": facade_mismatches,
+            "overlay_fallbacks": controller.dynamic.overlay_fallbacks,
+        },
+        "staleness": {
+            "samples": len(staleness_samples),
+            "p50": percentile(staleness_samples, 0.50),
+            "p95": percentile(staleness_samples, 0.95),
+            "max": max(staleness_samples, default=0.0),
+            "pending_p95": percentile(pending_samples, 0.95),
+            "pending_max": max(pending_samples, default=0),
+        },
+        "controller": controller_stats,
+        "drained": drained,
+        "final_exact": final_exact,
+        "errors": errors,
+    }
+    if service is not None:
+        stats = service.stats()
+        report["service"] = {
+            "generation": stats["generation"],
+            "submitted": service_stats["submitted"],
+            "checked": service_stats["checked"],
+            "skipped": service_stats["skipped"],
+            "mismatches": service_mismatches,
+            "counters": stats["counters"],
+        }
+    return report

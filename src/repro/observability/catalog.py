@@ -174,6 +174,17 @@ METRICS = (
         "memory frugality given up.",
     ),
     MetricSpec(
+        "spc_dynamic_mutations_total", "counter", ("op",),
+        "Edge mutations absorbed by the dynamic facade, labelled insert "
+        "or delete (retractions count as the retracting op).",
+    ),
+    MetricSpec(
+        "spc_dynamic_overlay_fallbacks_total", "counter", (),
+        "Dynamic-facade queries answered by an exact online BFS because "
+        "an overlay term crossed a deleted edge (labels unsound for that "
+        "pair until the next rebuild).",
+    ),
+    MetricSpec(
         "spc_flat_freeze_seconds", "histogram", (),
         "Wall time of freezing a LabelSet into FlatLabels CSR columns.",
     ),
@@ -181,7 +192,7 @@ METRICS = (
         "spc_index_events_total", "counter", ("kind",),
         "ResilientSPCIndex lifecycle tallies: index_queries, "
         "fallback_queries, load_failures, verify_failures, "
-        "query_failures, stale_detections.",
+        "query_failures, stale_detections, graph_swaps.",
     ),
     MetricSpec(
         "spc_index_generation", "gauge", (),
@@ -224,6 +235,42 @@ METRICS = (
         "spc_label_total_entries", "gauge", ("engine",),
         "Total label entries of the most recently built labeling "
         "(the labeling size in the paper's sense).",
+    ),
+    MetricSpec(
+        "spc_maintenance_pending_mutations", "gauge", (),
+        "Edge mutations absorbed but not yet covered by a published "
+        "rebuild (the overlay patch size rebuild-behind must bound).",
+    ),
+    MetricSpec(
+        "spc_maintenance_publishes_total", "counter", (),
+        "Finished background rebuilds adopted and published for serving "
+        "(journal prefix folded, tail replayed).",
+    ),
+    MetricSpec(
+        "spc_maintenance_rebuild_retries_total", "counter", (),
+        "Background rebuild attempts resubmitted after a worker crash, "
+        "typed failure or timeout kill.",
+    ),
+    MetricSpec(
+        "spc_maintenance_rebuild_seconds", "histogram", (),
+        "Wall time of one successful background rebuild cycle, worker "
+        "fork to atomic publish (retries included).",
+    ),
+    MetricSpec(
+        "spc_maintenance_rebuilds_total", "counter", ("outcome",),
+        "Background rebuild attempts by outcome: success, timeout "
+        "(killed past task_timeout), crash (died unreported) or error "
+        "(typed worker failure).",
+    ),
+    MetricSpec(
+        "spc_maintenance_slo_breaches_total", "counter", ("kind",),
+        "Staleness-SLO excursions (counted once per excursion), labelled "
+        "staleness (seconds bound) or pending (mutation-count bound).",
+    ),
+    MetricSpec(
+        "spc_maintenance_staleness_seconds", "gauge", (),
+        "Age of the oldest mutation not yet covered by a published "
+        "rebuild; 0 while the published index matches the logical graph.",
     ),
     MetricSpec(
         "spc_queries_total", "counter", ("engine", "kind"),

@@ -96,6 +96,7 @@ class ResilientSPCIndex:
             "verify_failures": 0,
             "query_failures": 0,
             "stale_detections": 0,
+            "graph_swaps": 0,
         }
         if index is not None:
             if index.labels.n != graph.n:
@@ -196,6 +197,29 @@ class ResilientSPCIndex:
             # waiting out a reset timeout that no longer reflects reality.
             self._breaker.reset()
         return True
+
+    def set_graph(self, graph):
+        """Adopt a new live graph (edge churn) and demote the served index.
+
+        Under rebuild-behind maintenance the logical graph moves while the
+        on-disk index lags one swap behind. The moment the facade learns
+        about the new graph, the currently loaded index — built for the
+        *previous* graph — can no longer be trusted, so it is demoted
+        here: queries answer exactly from the (new-graph) BFS oracle
+        until :meth:`reload` verifies the freshly published file against
+        the new fingerprint. Call this *before* ``check_reload()`` from a
+        maintenance ``on_publish`` hook and the swap is
+        degrade-then-promote, never wrong.
+        """
+        with self._lock:
+            self._graph = graph
+            self._oracle = BFSCountingOracle(graph,
+                                             engine=self._oracle._engine)
+            self._record("graph_swaps")
+            if self._index is not None:
+                self._index = None
+                self._publish_state()
+        get_event_log().emit("index.graph_swapped", n=graph.n, m=graph.m)
 
     @property
     def status(self):

@@ -227,6 +227,17 @@ class SPCService:
                              generation=self._resilient.generation)
         return ok
 
+    def set_graph(self, graph):
+        """Adopt a new live graph under edge churn (rebuild-behind swaps).
+
+        Delegates to :meth:`ResilientSPCIndex.set_graph`: the lagging
+        index is demoted (exact BFS answers on the *new* graph take over)
+        until the next :meth:`check_reload` verifies the freshly
+        published file against the new fingerprint. A maintenance
+        ``on_publish`` hook should call this then ``check_reload()``.
+        """
+        self._resilient.set_graph(graph)
+
     # -- request execution ----------------------------------------------------
 
     def _bump(self, status):

@@ -17,6 +17,11 @@ deterministic, so the chaos tests can assert the *exact* recovery path:
 * :class:`CrashingCheckpoint` — SIGKILL between checkpoints: the save
   succeeds, then :class:`SimulatedKill` (a ``BaseException``, so no
   library ``except ReproError`` can swallow it) tears the build down.
+* :class:`KillDuringRebuild` — the rebuild-behind worker process dying
+  (or wedging) right after a checkpoint save, for
+  :class:`~repro.dynamic.maintenance.MaintenanceController`'s ``_fault``
+  hook: supervision must retry, resume from the surviving checkpoint,
+  and never publish a partial index.
 * :class:`SlowFallback` — a pathologically slow degraded path: every
   BFS-fallback query stalls for a fixed delay before running, so
   deadline enforcement and the serving circuit breaker can be exercised
@@ -223,6 +228,50 @@ class FlappingFile:
     def restore(self):
         _write(self.path, self._pristine)
         self.flaps += 1
+
+
+class KillDuringRebuild:
+    """Picklable fault killing (or wedging) a rebuild worker mid-build.
+
+    Wired into :class:`repro.dynamic.maintenance.MaintenanceController`
+    via its ``_fault`` test hook: the rebuild worker process calls
+    :meth:`trigger` after every *completed* checkpoint save. Once
+    ``after_saves`` saves have landed the fault fires ``times`` times —
+    counted via exclusive marker files in ``marker_dir`` exactly like
+    :class:`WorkerFault`, atomic across the supervised retries, so the
+    worker deterministically misbehaves ``times`` times and then builds
+    cleanly. ``kind="kill"`` dies with ``os._exit`` (SIGKILL between
+    checkpoints: the save survives on disk and the next attempt must
+    resume from it); ``kind="hang"`` sleeps ``hang_seconds`` so only the
+    controller's task timeout can reap the worker.
+    """
+
+    def __init__(self, marker_dir, after_saves=1, times=1, kind="kill",
+                 hang_seconds=60.0):
+        if kind not in ("kill", "hang"):
+            raise ValueError(f"unknown rebuild fault kind {kind!r}")
+        self.marker_dir = os.fspath(marker_dir)
+        self.after_saves = after_saves
+        self.times = times
+        self.kind = kind
+        self.hang_seconds = hang_seconds
+
+    def trigger(self, saves):
+        """Called by the rebuild worker after checkpoint save number ``saves``."""
+        if saves < self.after_saves:
+            return
+        for attempt in range(self.times):
+            marker = os.path.join(
+                self.marker_dir, f"rebuild-{self.kind}-{attempt}"
+            )
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                continue  # this firing already happened on an earlier attempt
+            if self.kind == "kill":
+                os._exit(23)
+            time.sleep(self.hang_seconds)
+            return
 
 
 class CrashingCheckpoint(BuildCheckpoint):

@@ -1,4 +1,4 @@
-"""Tests for the incremental (edge-insertion) index."""
+"""Tests for the incremental (edge-insertion and -deletion) index."""
 
 import random
 
@@ -7,7 +7,7 @@ import pytest
 from repro.dynamic.incremental import DynamicSPCIndex
 from repro.exceptions import GraphError, VertexError
 from repro.generators.classic import cycle_graph, path_graph
-from repro.generators.random_graphs import gnp_random_graph
+from repro.generators.random_graphs import barabasi_albert_graph, gnp_random_graph
 from repro.graph.graph import Graph
 from repro.graph.traversal import spc_bfs
 
@@ -99,14 +99,188 @@ class TestValidation:
         with pytest.raises(VertexError):
             index.insert_edge(0, 9)
 
-    def test_deletion_unsupported(self):
-        index = DynamicSPCIndex(cycle_graph(4))
-        with pytest.raises(NotImplementedError, match="deletion"):
-            index.delete_edge(0, 1)
+    def test_absent_edge_deletion_rejected(self):
+        index = DynamicSPCIndex(cycle_graph(4), auto_rebuild=None)
+        with pytest.raises(GraphError, match="not present"):
+            index.delete_edge(0, 2)
+
+    def test_double_deletion_rejected(self):
+        index = DynamicSPCIndex(cycle_graph(5), auto_rebuild=None)
+        index.delete_edge(0, 1)
+        with pytest.raises(GraphError, match="not present"):
+            index.delete_edge(1, 0)
 
     def test_bad_auto_rebuild(self):
         with pytest.raises(ValueError):
             DynamicSPCIndex(cycle_graph(4), auto_rebuild=0)
+
+    def test_bad_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            DynamicSPCIndex(cycle_graph(4), engine="gpu")
+
+
+class TestDeletions:
+    def test_distance_increases(self):
+        # Cutting the chord forces the long way around the cycle.
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5),
+                                 (5, 0), (0, 3)])
+        index = DynamicSPCIndex(g, auto_rebuild=None)
+        assert index.count_with_distance(0, 3) == (1, 1)
+        index.delete_edge(0, 3)
+        assert index.count_with_distance(0, 3) == (3, 2)
+        assert_matches_updated_graph(index)
+
+    def test_disconnects_component(self):
+        index = DynamicSPCIndex(path_graph(6), auto_rebuild=None)
+        index.delete_edge(2, 3)
+        assert index.count_with_distance(0, 5) == (INF, 0)
+        assert index.count_with_distance(0, 2) == (2, 1)
+        assert_matches_updated_graph(index)
+
+    def test_count_drops_when_one_of_two_paths_cut(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 3), (0, 2), (2, 3)])
+        index = DynamicSPCIndex(g, auto_rebuild=None)
+        assert index.count_with_distance(0, 3) == (2, 2)
+        index.delete_edge(1, 3)
+        assert index.count_with_distance(0, 3) == (2, 1)
+        assert_matches_updated_graph(index)
+
+    def test_deleting_pending_insert_retracts_it(self):
+        index = DynamicSPCIndex(path_graph(6), auto_rebuild=None)
+        index.insert_edge(0, 5)
+        assert index.count_with_distance(0, 5) == (1, 1)
+        index.delete_edge(0, 5)
+        assert index.pending_mutations == 0
+        assert index.count_with_distance(0, 5) == (5, 1)
+
+    def test_reinserting_deleted_edge_undeletes(self):
+        index = DynamicSPCIndex(cycle_graph(6), auto_rebuild=None)
+        index.delete_edge(0, 1)
+        index.insert_edge(1, 0)
+        assert index.pending_mutations == 0
+        assert index.count_with_distance(0, 1) == (1, 1)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mixed_churn_stays_exact(self, seed):
+        rng = random.Random(seed)
+        g = gnp_random_graph(14, 0.25, seed=seed)
+        index = DynamicSPCIndex(g, auto_rebuild=None)
+        for _ in range(8):
+            current = index.current_graph()
+            if rng.random() < 0.5 and current.m > 4:
+                edges = list(current.edges())
+                index.delete_edge(*rng.choice(edges))
+            else:
+                while True:
+                    u, v = rng.randrange(g.n), rng.randrange(g.n)
+                    if u != v and not current.has_edge(u, v):
+                        break
+                index.insert_edge(u, v)
+            assert_matches_updated_graph(index)
+
+    def test_rebuild_folds_deletions(self):
+        index = DynamicSPCIndex(cycle_graph(8), auto_rebuild=None)
+        index.delete_edge(0, 1)
+        index.insert_edge(0, 4)
+        assert index.pending_mutations == 2
+        index.rebuild()
+        assert index.pending_mutations == 0
+        assert index.overlay_fallbacks >= 0
+        assert_matches_updated_graph(index)
+
+    def test_fallbacks_counted(self):
+        # A query whose overlay terms touch the deleted edge must fall
+        # back to BFS and count the excursion.
+        index = DynamicSPCIndex(path_graph(8), auto_rebuild=None)
+        index.delete_edge(3, 4)
+        assert index.count_with_distance(0, 7) == (INF, 0)
+        assert index.overlay_fallbacks >= 1
+
+
+class TestEngineKnob:
+    def test_default_engine_is_csr(self):
+        assert DynamicSPCIndex(cycle_graph(4)).engine == "csr"
+
+    def test_csr_rebuild_bit_identical_to_python(self):
+        g = barabasi_albert_graph(60, 2, seed=3)
+        missing = [
+            (u, v)
+            for u in range(g.n)
+            for v in range(u + 1, g.n)
+            if not g.has_edge(u, v)
+        ]
+        indexes = {}
+        for engine in ("python", "csr"):
+            index = DynamicSPCIndex(g, auto_rebuild=None, engine=engine)
+            for u, v in missing[:4]:
+                index.insert_edge(u, v)
+            index.delete_edge(*next(iter(g.edges())))
+            index.rebuild()
+            indexes[engine] = index.base_index
+        a, b = indexes["python"], indexes["csr"]
+        assert a.order == b.order
+        for v in range(a.n):
+            assert a.labels.canonical(v) == b.labels.canonical(v), \
+                f"canonical label of {v} differs"
+            assert a.labels.noncanonical(v) == b.labels.noncanonical(v), \
+                f"non-canonical label of {v} differs"
+
+    def test_per_rebuild_override(self):
+        index = DynamicSPCIndex(path_graph(6), auto_rebuild=None,
+                                engine="csr")
+        index.insert_edge(0, 5)
+        index.rebuild(engine="python")
+        assert index.engine == "csr"  # the knob itself is untouched
+        assert index.count_with_distance(0, 5) == (1, 1)
+
+
+class TestDeferRebuild:
+    def test_insert_never_builds_on_request_path(self, monkeypatch):
+        # O(1) insert-latency regression: in deferred mode, crossing the
+        # threshold must not run an index build on the caller's thread.
+        from repro.core import index as core_index
+
+        builds = []
+        real_build = core_index.SPCIndex.build.__func__
+
+        def counting_build(cls, *args, **kwargs):
+            builds.append(1)
+            return real_build(cls, *args, **kwargs)
+
+        monkeypatch.setattr(core_index.SPCIndex, "build",
+                            classmethod(counting_build))
+        g = cycle_graph(10)
+        index = DynamicSPCIndex(g, auto_rebuild=2, defer_rebuild=True)
+        baseline = len(builds)  # the constructor's initial build
+        index.insert_edge(0, 2)
+        index.insert_edge(0, 3)  # crosses the threshold
+        index.insert_edge(0, 4)
+        assert len(builds) == baseline
+        assert index.rebuild_due
+        index.rebuild()
+        assert len(builds) == baseline + 1
+        assert not index.rebuild_due
+
+    def test_callback_fires_once_per_crossing(self):
+        fired = []
+        index = DynamicSPCIndex(cycle_graph(10), auto_rebuild=2,
+                                defer_rebuild=True,
+                                on_rebuild_due=lambda idx: fired.append(1))
+        index.insert_edge(0, 2)
+        assert fired == []
+        index.insert_edge(0, 3)
+        index.insert_edge(0, 4)  # already due: no second notification
+        assert fired == [1]
+        index.rebuild()
+        index.insert_edge(0, 5)
+        index.insert_edge(0, 6)
+        assert fired == [1, 1]
+
+    def test_inline_mode_still_rebuilds(self):
+        index = DynamicSPCIndex(cycle_graph(10), auto_rebuild=2)
+        index.insert_edge(0, 2)
+        index.insert_edge(0, 3)
+        assert index.pending_mutations == 0  # rebuilt inline
 
 
 class TestRebuild:
@@ -156,7 +330,8 @@ class TestRebuild:
 
     def test_repr(self):
         index = DynamicSPCIndex(cycle_graph(4), auto_rebuild=None)
-        assert "pending=0" in repr(index)
+        assert "pending=+0/-0" in repr(index)
+        assert "engine='csr'" in repr(index)
 
 
 class TestStalenessGuard:

@@ -22,6 +22,10 @@
 #   observability-smoke tools/ci_observability_smoke.py (metric coverage,
 #               bit-identity, disabled-instrumentation overhead), writing
 #               BENCH_observability.json
+#   streaming-gate tools/ci_streaming_smoke.py, scaled down (CI runs 60s of
+#               insert/delete churn on the 10k graph plus the kill/corrupt
+#               chaos legs; the dry run keeps the same gates on a small
+#               graph and short window), writing BENCH_streaming.json
 #   bench-smoke tools/ci_bench_smoke.py + tools/ci_construction_smoke.py at
 #               CI scale, writing BENCH_ci_smoke.json / BENCH_construction.json
 #   scaling-gate tools/ci_construction_smoke.py --tier scaling (CI runs the
@@ -97,6 +101,14 @@ else
         --output "${TMPDIR:-/tmp}/BENCH_observability.local.json" \
         || failures=$((failures + 1))
 fi
+
+step "streaming-gate"
+# CI runs 60 seconds of churn on the 10k graph; the dry run keeps the
+# same zero-wrong-answer and chaos-recovery gates on a small graph.
+python tools/ci_streaming_smoke.py \
+    --vertices 1500 --duration 6 --chaos-vertices 500 --chaos-duration 4 \
+    --output "${TMPDIR:-/tmp}/BENCH_streaming.local.json" \
+    || failures=$((failures + 1))
 
 if [ "${1:-}" != "--skip-bench" ]; then
     step "bench-smoke"
