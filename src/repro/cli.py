@@ -366,6 +366,91 @@ def _run_serve_smoke(args):
     return 0 if stats["counters"][ERROR] == 0 else EXIT_ERROR
 
 
+def _run_cluster_drill(service, script, out=sys.stdout):
+    """Execute a fault-drill script against a live :class:`ClusterService`.
+
+    Lines are either ``S T`` pair requests (submitted and gathered
+    immediately) or ``!`` directives aimed at a worker slot index:
+
+    ``!kill W``          SIGKILL worker ``W``'s current process
+    ``!stall W``         SIGSTOP it (silent stall; heartbeats expose it)
+    ``!resume W``        SIGCONT a previously stalled process
+    ``!drain W``         graceful drain + respawn, waits for the handoff
+    ``!reload``          poll the arena file for a new generation
+    ``!sleep MS``        wall-clock pause
+    ``!wait-healthy [S]``block until every slot serves again (default 10s)
+
+    Returns the list of terminal results; raises ``ValueError`` on a
+    malformed line (the caller maps that to a usage exit).
+    """
+    import os
+    import signal
+
+    results = []
+
+    def pid_of(slot):
+        workers = service.stats()["workers"]
+        if not 0 <= slot < len(workers):
+            raise ValueError(f"no worker slot {slot}")
+        return workers[slot]["pid"]
+
+    for line_no, raw in enumerate(script.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            if line.startswith("!"):
+                directive = line[1:].split()
+                name = directive[0]
+                if name == "kill":
+                    os.kill(pid_of(int(directive[1])), signal.SIGKILL)
+                    print(f"drill: killed worker {directive[1]}", file=out)
+                elif name == "stall":
+                    os.kill(pid_of(int(directive[1])), signal.SIGSTOP)
+                    print(f"drill: stalled worker {directive[1]}", file=out)
+                elif name == "resume":
+                    with contextlib.suppress(ProcessLookupError):
+                        os.kill(pid_of(int(directive[1])), signal.SIGCONT)
+                    print(f"drill: resumed worker {directive[1]}", file=out)
+                elif name == "drain":
+                    slot = int(directive[1])
+                    ok = service.drain(slot).result(timeout=30)
+                    print(f"drill: drained worker {slot} "
+                          f"(handoff {'ok' if ok else 'failed'})", file=out)
+                elif name == "reload":
+                    service.check_reload()
+                elif name == "sleep":
+                    time.sleep(float(directive[1]) / 1000.0)
+                elif name == "wait-healthy":
+                    budget = float(directive[1]) if len(directive) > 1 else 10.0
+                    deadline = time.monotonic() + budget
+                    while time.monotonic() < deadline:
+                        workers = service.stats()["workers"]
+                        if all(w["alive"] and w["state"] in ("idle", "busy")
+                               for w in workers):
+                            break
+                        time.sleep(0.02)
+                    else:
+                        raise ValueError(
+                            f"cluster not healthy after {budget:.1f}s")
+                    print("drill: cluster healthy", file=out)
+                else:
+                    raise ValueError(f"unknown directive {line!r}")
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"expected 'S T', got {line!r}")
+            result = service.submit(int(parts[0]), int(parts[1]))
+            note = ""
+            if result.degraded_shards:
+                note = f" degraded_shards={result.degraded_shards}"
+            print(f"{parts[0]} {parts[1]} -> {result.status}{note}", file=out)
+            results.append(result)
+        except (ValueError, IndexError) as exc:
+            raise ValueError(f"line {line_no}: {exc}") from exc
+    return results
+
+
 def _cmd_serve_cluster(args):
     """Drive a request burst through the multiprocess cluster tier.
 
@@ -374,21 +459,42 @@ def _cmd_serve_cluster(args):
     (open-loop, then gathers every future), sprinkles in scatter-gather
     ``single_source`` sweeps when asked, and prints the same terminal
     status breakdown as ``serve-smoke`` plus per-worker memory-sharing
-    evidence. Exits 0 when no request ended in an unexpected error.
+    evidence. ``--script`` switches to drill mode: a fault-injection
+    script of ``S T`` requests and ``!kill``/``!stall``/``!drain``/...
+    directives exercising the self-healing layer interactively. Exits 0
+    when no request ended in an unexpected error.
     """
     from repro.serving import ERROR, TERMINAL_STATUSES
     from repro.serving.cluster import ClusterService
 
+    graph = None
+    if args.fallback_graph:
+        graph, _ = read_edge_list(args.fallback_graph)
     deadline = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    hedge = "auto" if args.hedge_delay_ms is None else (
+        args.hedge_delay_ms / 1000.0 if args.hedge_delay_ms > 0 else None)
     with ClusterService(
         args.index, workers=args.workers, shards=args.shards,
         strategy=args.strategy, batch_window=args.batch_window_ms / 1000.0,
         max_batch=args.max_batch, capacity=args.capacity,
         queue_limit=args.queue, default_deadline=deadline,
+        respawn=args.respawn, respawn_backoff=args.respawn_backoff_ms / 1000.0,
+        heartbeat_interval=args.heartbeat_ms / 1000.0,
+        stall_timeout=args.stall_timeout_ms / 1000.0,
+        hedge_delay=hedge, graph=graph,
     ) as service:
-        pairs = list(random_pairs(service.n, args.random, rng=args.seed))
-        futures = [service.submit_nowait(s, t) for s, t in pairs]
-        results = [f.result() for f in futures]
+        if args.script:
+            with open(args.script) as handle:
+                script = handle.read()
+            try:
+                results = _run_cluster_drill(service, script)
+            except ValueError as exc:
+                print(f"{args.script}: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+        else:
+            pairs = list(random_pairs(service.n, args.random, rng=args.seed))
+            futures = [service.submit_nowait(s, t) for s, t in pairs]
+            results = [f.result() for f in futures]
         for result in results:
             if result.status not in TERMINAL_STATUSES:
                 raise AssertionError(f"non-terminal status {result.status!r}")
@@ -397,10 +503,14 @@ def _cmd_serve_cluster(args):
             results.append(result)
         stats = service.stats()
         print(f"requests      : {len(results)}")
-        for status in ("index", "shed", "circuit_open", "deadline",
-                       "invalid", "error"):
+        for status in ("index", "degraded", "shed", "circuit_open",
+                       "deadline", "invalid", "error"):
             print(f"{status:14s}: {stats['counters'][status]}")
         print(f"batches       : {stats['counters']['batches']}")
+        for counter in ("respawns", "stalls", "hedges", "hedge_wins",
+                        "degraded_requests", "drains", "replays"):
+            if stats["counters"].get(counter):
+                print(f"{counter:14s}: {stats['counters'][counter]}")
         print(f"generation    : {stats['generation']}")
         print(f"workers       : "
               f"{sum(1 for w in stats['workers'] if w['state'] != 'dead')}"
@@ -688,6 +798,25 @@ def build_parser():
                    help="number of random request pairs (default 500)")
     p.add_argument("--single-source", type=int, default=0, metavar="K",
                    help="scatter-gather single-source sweeps to run too")
+    p.add_argument("--script", default=None, metavar="FILE",
+                   help="fault-drill script: 'S T' requests plus !kill W, "
+                        "!stall W, !resume W, !drain W, !reload, !sleep MS "
+                        "and !wait-healthy [S] directives (replaces --random)")
+    p.add_argument("--no-respawn", dest="respawn", action="store_false",
+                   help="fail fast on worker death instead of supervised "
+                        "respawn")
+    p.add_argument("--respawn-backoff-ms", type=float, default=50.0,
+                   help="initial respawn backoff after a worker death")
+    p.add_argument("--heartbeat-ms", type=float, default=500.0,
+                   help="idle-worker PING interval (0 disables heartbeats)")
+    p.add_argument("--stall-timeout-ms", type=float, default=2000.0,
+                   help="silence budget before a stalled worker is killed")
+    p.add_argument("--hedge-delay-ms", type=float, default=None,
+                   help="fixed hedge delay for slow sub-requests "
+                        "(default: auto from the p95 latency; 0 disables)")
+    p.add_argument("--fallback-graph", default=None, metavar="GRAPH",
+                   help="edge-list graph enabling exact BFS answers for "
+                        "shards with no live worker (status 'degraded')")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_serve_cluster)
 

@@ -183,6 +183,18 @@ class SPCIndex:
 
         return single_source(self.to_flat(), s)
 
+    def set_to_set(self, sources, targets):
+        """``(sd(S, T), spc(S, T))`` over the vectorized flat engine.
+
+        The set-to-set distance is the minimum over all ``(s, t)`` pairs;
+        the count sums shortest paths over exactly the pairs achieving
+        that minimum — same conventions as
+        :func:`repro.core.batch_query.count_set_to_set`.
+        """
+        from repro.core.batch_query import count_set_to_set
+
+        return count_set_to_set(self.to_flat(), sources, targets)
+
     # -- staleness ------------------------------------------------------------
 
     @property

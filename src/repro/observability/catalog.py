@@ -127,6 +127,17 @@ METRICS = (
         "labelled by shard.",
     ),
     MetricSpec(
+        "spc_cluster_degraded_requests_total", "counter", ("shard",),
+        "Requests answered off their home shard (peer adoption or BFS "
+        "fallback) while that shard was down or respawning, labelled by "
+        "the degraded home shard.",
+    ),
+    MetricSpec(
+        "spc_cluster_drains_total", "counter", ("shard",),
+        "Graceful worker drains completed (stop admitting, flush "
+        "in-flight, swap) — rolling restarts count one per worker.",
+    ),
+    MetricSpec(
         "spc_cluster_gather_retries_total", "counter", (),
         "Scatter-gather responses discarded and retried whole because "
         "their sub-replies straddled a reload generation swap.",
@@ -135,6 +146,16 @@ METRICS = (
         "spc_cluster_generation", "gauge", (),
         "Lowest index generation any live cluster worker is serving "
         "(all workers agree once a rolling reload completes).",
+    ),
+    MetricSpec(
+        "spc_cluster_hedge_wins_total", "counter", (),
+        "Hedged duplicates that answered before their primary — tail "
+        "latency the sibling replica actually absorbed.",
+    ),
+    MetricSpec(
+        "spc_cluster_hedges_total", "counter", (),
+        "Duplicate sub-requests dispatched to a sibling replica because "
+        "the primary exceeded its hedge delay.",
     ),
     MetricSpec(
         "spc_cluster_inflight_requests", "gauge", (),
@@ -158,6 +179,21 @@ METRICS = (
     MetricSpec(
         "spc_cluster_requests_total", "counter", (),
         "Requests entering the cluster front door, whatever their fate.",
+    ),
+    MetricSpec(
+        "spc_cluster_respawn_seconds", "histogram", (),
+        "Worker death to replacement HELLO (re-serving its shard), "
+        "including the supervisor's backoff wait.",
+    ),
+    MetricSpec(
+        "spc_cluster_respawns_total", "counter", ("shard",),
+        "Worker processes respawned by the router's supervisor, by "
+        "shard.",
+    ),
+    MetricSpec(
+        "spc_cluster_stalls_total", "counter", ("shard",),
+        "Workers declared stalled (missed heartbeat or batch overran "
+        "its stall allowance) and SIGKILLed for respawn, by shard.",
     ),
     MetricSpec(
         "spc_cluster_worker_failures_total", "counter", ("shard",),

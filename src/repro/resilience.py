@@ -391,6 +391,54 @@ class ResilientSPCIndex:
             lambda: self._oracle.single_source(s, deadline=deadline), 1, deadline,
         )
 
+    def set_to_set(self, sources, targets, deadline=None):
+        """``(sd(S, T), spc(S, T))``: min distance over all pairs, counts
+        summed at that minimum — vectorized when healthy, one counting
+        BFS per source when degraded.
+
+        This is the degraded twin of the cluster's scatter-gather
+        ``set_to_set``, so a shard pool that lost every worker can still
+        answer exactly from the logical graph.
+        """
+        sources = [int(v) for v in sources]
+        targets = [int(v) for v in targets]
+        for v in sources:
+            self._check_vertex(v)
+        for v in targets:
+            self._check_vertex(v)
+        if not sources or not targets:
+            return (float("inf"), 0)
+        index = self._snapshot_index()
+        if index is not None:
+            try:
+                answer = index.set_to_set(sources, targets)
+            except DeadlineExceeded:
+                raise
+            except (SerializationError, LabelingError) as exc:
+                self._demote(index, exc)
+            else:
+                with self._lock:
+                    self._record("index_queries")
+                return answer
+
+        def sweep():
+            best = float("inf")
+            sigma = 0
+            for s in sources:
+                dist, count = self._oracle.single_source(s, deadline=deadline)
+                d = dist[targets]
+                local = float(d.min())
+                if local == float("inf"):
+                    continue
+                local_sigma = int(count[targets][d == local].sum())
+                if local < best:
+                    best, sigma = local, local_sigma
+                elif local == best:
+                    sigma += local_sigma
+            return (best, sigma)
+
+        return self._fallback_call(sweep, len(sources), deadline)
+
     def __repr__(self):
         return (
             f"ResilientSPCIndex(n={self._graph.n}, status={self.status!r}, "

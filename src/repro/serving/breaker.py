@@ -171,6 +171,7 @@ class CircuitBreaker:
                 "state": self._advance(),
                 "consecutive_failures": self._consecutive_failures,
                 "retry_after": self._retry_after(),
+                "probes_in_flight": self._probes_in_flight,
                 "counters": dict(self.counters),
             }
 

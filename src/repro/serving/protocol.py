@@ -15,6 +15,7 @@ Router → worker requests::
     (SET_TO_SET, batch_id, sources, targets, budget) # one shard's targets
     (RELOAD, generation)                             # remap the arena
     (STATS, batch_id)                                # memory/identity probe
+    (PING,)                                          # heartbeat probe
     (STOP,)                                          # clean shutdown
 
 Worker → router replies::
@@ -23,6 +24,19 @@ Worker → router replies::
     (OK, batch_id, generation, payload)              # request succeeded
     (ERR, batch_id, kind, message)                   # typed request failure
     (RELOADED, generation, ok, detail)               # reload outcome
+    (PONG, generation)                               # heartbeat answer
+
+``PING``/``PONG`` is the router's liveness probe for *idle* workers: a
+busy worker is supervised through its in-flight batch instead (the
+protocol is sequential per worker, so a wedged compute can never answer
+a ping anyway). An idle worker that misses its pong within the stall
+timeout is declared dead and respawned.
+
+The router does not trust a worker's framing: replies are deframed by a
+router-side incremental decoder
+(:class:`repro.serving.cluster._FrameDecoder`) that treats a short read,
+a torn length prefix, or an unpicklable frame as *that worker's* death —
+a crashing worker can corrupt at most its own pipe, never the router.
 
 ``budget`` is the batch's deadline budget in seconds (``None`` =
 unlimited); the worker rebuilds a local
@@ -44,6 +58,7 @@ SINGLE_SOURCE = "single_source"
 SET_TO_SET = "set_to_set"
 RELOAD = "reload"
 STATS = "stats"
+PING = "ping"
 STOP = "stop"
 
 #: Worker → router reply kinds.
@@ -51,6 +66,7 @@ HELLO = "hello"
 OK = "ok"
 ERR = "err"
 RELOADED = "reloaded"
+PONG = "pong"
 
 #: Typed failure kinds carried by ``ERR`` replies.
 ERR_DEADLINE = "deadline"

@@ -71,14 +71,17 @@ TERMINAL_STATUSES = frozenset(
 class QueryResult:
     """One request's terminal outcome: status, answer or typed error."""
 
-    __slots__ = ("status", "answer", "error", "elapsed", "generation")
+    __slots__ = ("status", "answer", "error", "elapsed", "generation",
+                 "degraded_shards")
 
-    def __init__(self, status, answer=None, error=None, elapsed=0.0, generation=0):
+    def __init__(self, status, answer=None, error=None, elapsed=0.0, generation=0,
+                 degraded_shards=()):
         self.status = status
         self.answer = answer
         self.error = error
         self.elapsed = elapsed
         self.generation = generation
+        self.degraded_shards = tuple(degraded_shards)
 
     @property
     def ok(self):
@@ -86,9 +89,12 @@ class QueryResult:
         return self.status in (SERVED_INDEX, SERVED_DEGRADED)
 
     def __repr__(self):
+        degraded = (f", degraded_shards={self.degraded_shards}"
+                    if self.degraded_shards else "")
         return (
             f"QueryResult(status={self.status!r}, answer={self.answer!r}, "
-            f"elapsed={self.elapsed * 1e3:.2f}ms, gen={self.generation})"
+            f"elapsed={self.elapsed * 1e3:.2f}ms, gen={self.generation}"
+            f"{degraded})"
         )
 
 

@@ -97,6 +97,17 @@ class ShardPlan:
             return np.zeros(vertices.shape, dtype=np.int64)
         return np.minimum(vertices // width, self.shards - 1)
 
+    def peer_order(self, shard):
+        """Other shards in deterministic rotation order from ``shard``.
+
+        The self-healing router uses this to pick which down shard an
+        idle worker adopts (and which pool a hedge can spill into):
+        starting the walk at ``shard + 1`` spreads adopted load across
+        pools instead of every survivor piling onto shard 0.
+        """
+        return tuple((shard + step) % self.shards
+                     for step in range(1, self.shards))
+
     def split_targets(self, targets):
         """Per-shard subsets of ``targets`` (list of int lists).
 

@@ -98,13 +98,21 @@ def _execute(flat, message):
     raise AssertionError(f"unknown batch kind {kind!r}")
 
 
-def worker_main(conn, path, generation, verify=True):
+def worker_main(conn, path, generation, verify=True, fault=None):
     """Worker process entry point: serve batches from ``conn`` forever.
 
     ``generation`` is the router-assigned ordinal for the arena mapped at
     spawn; reload commands carry the next ordinal. The first message sent
     is always ``HELLO`` (or an ``ERR`` with batch id ``None`` when the
     initial open fails, letting the router fail fast instead of hanging).
+
+    ``fault`` is the chaos-test hook: a picklable object (e.g.
+    :class:`repro.testing.faults.StalledWorker` or
+    :class:`~repro.testing.faults.TornPipeWrite`) whose
+    ``before_reply(conn, reply)`` runs just before each successful batch
+    reply is sent. Returning True means the fault consumed the reply
+    (e.g. it wrote a torn frame); marker-file dedup inside the fault
+    keeps firing deterministic across supervisor respawns.
     """
     try:
         flat, meta, signature = open_shared(path, verify=verify)
@@ -131,6 +139,9 @@ def worker_main(conn, path, generation, verify=True):
                 generation = next_generation
                 conn.send((protocol.RELOADED, generation, True, signature))
             continue
+        if kind == protocol.PING:
+            conn.send((protocol.PONG, generation))
+            continue
         if kind == protocol.STATS:
             batch_id = message[1]
             payload = _memory_stats(path)
@@ -154,5 +165,8 @@ def worker_main(conn, path, generation, verify=True):
         except ReproError as exc:
             conn.send((protocol.ERR, batch_id, protocol.ERR_ERROR, str(exc)))
         else:
-            conn.send((protocol.OK, batch_id, generation, payload))
+            reply = (protocol.OK, batch_id, generation, payload)
+            if fault is not None and fault.before_reply(conn, reply):
+                continue
+            conn.send(reply)
     conn.close()

@@ -29,9 +29,21 @@ deterministic, so the chaos tests can assert the *exact* recovery path:
 * :class:`FlappingFile` — an index file that alternates between corrupt
   and pristine states under test control, driving the hot-reload watcher
   and degradation/recovery transitions.
+* :class:`StalledWorker` — a cluster worker that SIGSTOPs itself just
+  before replying (a wedged-but-alive process), for
+  :class:`~repro.serving.cluster.ClusterService`'s ``_fault`` hook: the
+  router's hedging must cover the in-flight batch and its stall
+  supervision must SIGKILL + respawn the worker.
+* :class:`TornPipeWrite` — a cluster worker that dies mid-frame while
+  replying (a torn pipe write): the router's frame decoder must treat
+  the short read as *that worker's* death, replay its in-flight keys,
+  and keep every other shard serving.
 """
 
 import os
+import pickle
+import signal
+import struct
 import time
 
 from repro.baselines import bfs_counting as _bfs_counting
@@ -272,6 +284,90 @@ class KillDuringRebuild:
                 os._exit(23)
             time.sleep(self.hang_seconds)
             return
+
+
+class StalledWorker:
+    """Picklable cluster fault: SIGSTOP yourself just before replying.
+
+    Wired into :class:`repro.serving.cluster.ClusterService` via its
+    ``_fault`` hook; the worker process calls :meth:`before_reply` right
+    before sending each successful batch reply. From ``after_replies``
+    replies on, the fault fires ``times`` times — counted via exclusive
+    marker files in ``marker_dir`` (atomic across respawned worker
+    incarnations, the :class:`WorkerFault` idiom) — and the process
+    stops itself with ``SIGSTOP``. A stopped process is alive but
+    silent: its pipe stays open, so only heartbeat/stall supervision
+    (not EOF) can detect it, and ``SIGKILL`` still reaps it. Call
+    :meth:`resume` to ``SIGCONT`` a stopped pid instead of letting the
+    supervisor kill it — the held-back reply is then sent normally.
+    """
+
+    def __init__(self, marker_dir, after_replies=1, times=1):
+        self.marker_dir = os.fspath(marker_dir)
+        self.after_replies = after_replies
+        self.times = times
+        self._replies = 0
+
+    def before_reply(self, conn, reply):
+        """Worker-side hook: maybe stop the process; never consumes."""
+        self._replies += 1
+        if self._replies < self.after_replies:
+            return False
+        for attempt in range(self.times):
+            marker = os.path.join(self.marker_dir, f"stall-{attempt}")
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                continue  # this firing already happened
+            os.kill(os.getpid(), signal.SIGSTOP)
+            break
+        return False
+
+    @staticmethod
+    def resume(pid):
+        """SIGCONT a stopped worker so it finishes its held-back reply."""
+        os.kill(pid, signal.SIGCONT)
+
+
+class TornPipeWrite:
+    """Picklable cluster fault: die mid-frame while replying.
+
+    From ``after_replies`` successful replies on (marker-file counted
+    like :class:`StalledWorker`), the worker writes only the first
+    ``keep_bytes`` bytes of a correctly-framed reply — a truncated
+    length-prefixed pickle, exactly what a process crashing inside
+    ``write(2)`` leaves on the pipe — then dies with ``os._exit``. The
+    router's incremental frame decoder must fail *this worker only*:
+    short read ⇒ worker death ⇒ replay, never a router crash.
+    """
+
+    def __init__(self, marker_dir, after_replies=1, times=1, keep_bytes=6):
+        if keep_bytes < 1:
+            raise ValueError("keep_bytes must be >= 1")
+        self.marker_dir = os.fspath(marker_dir)
+        self.after_replies = after_replies
+        self.times = times
+        self.keep_bytes = keep_bytes
+        self._replies = 0
+
+    def before_reply(self, conn, reply):
+        """Worker-side hook: maybe write a torn frame and die."""
+        self._replies += 1
+        if self._replies < self.after_replies:
+            return False
+        for attempt in range(self.times):
+            marker = os.path.join(self.marker_dir, f"torn-{attempt}")
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                continue  # this firing already happened
+            blob = pickle.dumps(reply)
+            # The Connection wire format: 4-byte big-endian length, then
+            # the pickled payload — truncated mid-frame on purpose.
+            frame = struct.pack("!i", len(blob)) + blob
+            os.write(conn.fileno(), frame[:self.keep_bytes])
+            os._exit(21)
+        return False
 
 
 class CrashingCheckpoint(BuildCheckpoint):

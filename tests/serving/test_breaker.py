@@ -98,10 +98,48 @@ class TestStateMachine:
         assert breaker.state == "closed"
         breaker.before_call()
 
+    def test_half_open_probe_race_admits_exactly_the_budget(self, clock):
+        # Many callers hit a half-open breaker at once: exactly
+        # half_open_probes get through, every other racer is rejected
+        # with a typed CircuitOpenError — never more, never fewer.
+        probes = 3
+        racers = 16
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 half_open_probes=probes, clock=clock)
+        trip(breaker, 1)
+        clock.advance(1.0)
+        barrier = threading.Barrier(racers)
+        admitted = []
+        rejected = []
+
+        def race():
+            barrier.wait()
+            try:
+                breaker.before_call()
+            except CircuitOpenError:
+                rejected.append(1)
+            else:
+                admitted.append(1)
+
+        threads = [threading.Thread(target=race) for _ in range(racers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == probes
+        assert len(rejected) == racers - probes
+        assert breaker.snapshot()["probes_in_flight"] == probes
+        # One probe succeeding closes the circuit and clears the gauge.
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.snapshot()["probes_in_flight"] == 0
+        breaker.before_call()
+
     def test_snapshot_shape(self, clock):
         breaker = CircuitBreaker(failure_threshold=2, clock=clock)
         snap = breaker.snapshot()
         assert snap["state"] == "closed"
+        assert snap["probes_in_flight"] == 0
         assert snap["consecutive_failures"] == 0
         assert set(snap["counters"]) == {
             "successes", "failures", "short_circuited", "opened",

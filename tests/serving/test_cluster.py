@@ -209,13 +209,15 @@ class TestLifecycleAndFailure:
         result = service.submit(0, 1)
         assert result.status == ERROR
 
-    def test_worker_death_fails_inflight_and_trips_breaker(self, arena):
+    def test_worker_death_fails_inflight_without_respawn(self, arena):
+        # respawn=False restores the pre-supervision fail-fast contract:
+        # death permanently removes the worker and fails its work.
         with ClusterService(arena, workers=1, batch_window=0.2,
-                            failure_threshold=1) as service:
+                            failure_threshold=1, respawn=False,
+                            heartbeat_interval=0) as service:
             worker = service._workers[0]
             futures = [service.submit_nowait(0, i) for i in range(4)]
             worker.process.terminate()
-            worker.process.join(timeout=10)
             statuses = [f.result(timeout=30).status for f in futures]
             assert set(statuses) == {ERROR}
             deadline = time.monotonic() + 5
@@ -223,6 +225,21 @@ class TestLifecycleAndFailure:
                    and service.stats()["counters"]["worker_failures"] == 0):
                 time.sleep(0.01)
             assert service.stats()["counters"]["worker_failures"] == 1
+
+    def test_worker_death_heals_and_replays_by_default(self, arena):
+        # The supervisor respawns the worker and replays its in-flight
+        # keys, so the same scenario now resolves every future exactly.
+        with ClusterService(arena, workers=1, batch_window=0.2,
+                            respawn_backoff=0.05) as service:
+            worker = service._workers[0]
+            futures = [service.submit_nowait(0, i) for i in range(4)]
+            worker.process.terminate()
+            results = [f.result(timeout=30) for f in futures]
+            assert all(r.status == SERVED_INDEX for r in results)
+            stats = service.stats()
+            assert stats["counters"]["worker_failures"] >= 1
+            assert stats["counters"]["respawns"] >= 1
+            assert stats["workers"][0]["alive"]
 
     def test_validation(self, arena):
         with pytest.raises(ValueError):

@@ -15,6 +15,10 @@
 #               down (CI runs the 10k-vertex cluster-vs-single duel with
 #               the 5x speedup floor; the dry run only exercises the
 #               machinery)
+#   serving-resilience tools/ci_serving_smoke.py --tier resilience,
+#               scaled down (same kills/stalls/drain chaos script and
+#               zero-wrong-answer + availability gates on a smaller
+#               graph and shorter burst)
 #   docs-check  tools/gen_api_docs.py --check (docs/API.md and
 #               docs/METRICS.md must match the live package) +
 #               tools/perf_report.py --check (docs/PERF.md must match the
@@ -86,6 +90,14 @@ step "serving-sustained"
 # token floor so a laptop pass stays under half a minute.
 python tools/ci_serving_smoke.py --tier sustained \
     --vertices 1500 --degree 10 --duration 2 --speedup-floor 0.1 \
+    --output "${TMPDIR:-/tmp}/BENCH_serving.local.json" \
+    || failures=$((failures + 1))
+
+step "serving-resilience"
+# CI runs the 2000-vertex burst; the dry run keeps the same fault
+# schedule and gates on a smaller graph and a shorter window.
+python tools/ci_serving_smoke.py --tier resilience \
+    --vertices 1200 --duration 4 \
     --output "${TMPDIR:-/tmp}/BENCH_serving.local.json" \
     || failures=$((failures + 1))
 

@@ -28,12 +28,22 @@ batches, amortising IPC and the per-request python merge join), and
 every worker must prove the label arena is mapped shared, not copied
 (``Private_Dirty == 0`` for the index mapping in ``/proc``).
 
-Both tiers write into ``BENCH_serving.json`` (each preserves the other
-tier's section) and exit non-zero on the first violated invariant. Run
+A third tier, ``--tier resilience``, points the self-healing layer at
+live process faults: while closed-loop drivers hammer the cluster, a
+chaos thread SIGKILLs workers, SIGSTOPs another mid-burst (exercising
+heartbeat stall detection and request hedging), blacks out a whole
+shard (both replicas at once, forcing peer-degraded coverage), and
+rolls a graceful drain. Gates: zero wrong answers ever, >= 99%
+availability across the burst, at least one supervised respawn per
+injected kill, at least one stall kill, and at least one hedge win.
+
+All tiers write into ``BENCH_serving.json`` (each preserves the other
+tiers' sections) and exit non-zero on the first violated invariant. Run
 from the repo root:
 
     PYTHONPATH=src python tools/ci_serving_smoke.py
     PYTHONPATH=src python tools/ci_serving_smoke.py --tier sustained
+    PYTHONPATH=src python tools/ci_serving_smoke.py --tier resilience
 """
 
 import argparse
@@ -294,12 +304,182 @@ def run_sustained(args):
     return 0
 
 
+def run_resilience(args):
+    """Self-healing gates: kills, stalls, shard blackouts, drains.
+
+    Closed-loop threads drive pair requests through a 2-replica/2-shard
+    cluster for ``--duration`` seconds while a chaos script injects
+    process faults on a fixed schedule. Every answer that claims success
+    is checked bit-exact against ``count_many`` on the same labels; the
+    run then has to end healthy (every slot respawned and serving).
+    """
+    import signal
+
+    from repro.core.batch_query import count_many
+    from repro.generators.random_graphs import gnp_random_graph
+    from repro.io.flat_store import save_flat_labels
+    from repro.kernels.hub_push import build_flat_labels_csr
+    from repro.serving import SERVED_DEGRADED, SERVED_INDEX
+    from repro.serving.cluster import ClusterService
+
+    graph = gnp_random_graph(args.vertices, args.degree / (args.vertices - 1),
+                             seed=args.seed)
+    print(f"graph: gnp(n={graph.n}, m={graph.m})")
+    flat = build_flat_labels_csr(graph)
+    print(f"built {flat.total_entries()} label entries (csr engine)")
+    pairs = [((i * 13) % graph.n, (i * 29 + 5) % graph.n)
+             for i in range(1024)]
+    truth = {pair: tuple(answer)
+             for pair, answer in zip(pairs, count_many(flat, pairs))}
+    deadline = args.deadline_ms / 1000.0
+    section = {"config": vars(args), "python": platform.python_version(),
+               "n": graph.n, "m": graph.m}
+
+    with tempfile.TemporaryDirectory() as scratch:
+        arena = os.path.join(scratch, "labels.spcf")
+        save_flat_labels(flat, arena, encoding="raw")
+        with ClusterService(
+            arena, workers=4, shards=2, graph=graph,
+            batch_window=0.002, max_batch=128, capacity=512,
+            queue_limit=2048, default_deadline=deadline,
+            respawn_backoff=0.1, heartbeat_interval=0.25,
+            stall_timeout=1.0, hedge_delay=0.05, reload_check_every=0,
+        ) as cluster:
+            cluster.submit_many(pairs[:256], timeout=60)
+
+            results = []
+            lock = threading.Lock()
+            stop_at = time.perf_counter() + args.duration
+
+            def closed_loop(offset):
+                i = offset
+                local = []
+                while time.perf_counter() < stop_at:
+                    pair = pairs[i % len(pairs)]
+                    i += 7
+                    local.append((pair, cluster.submit(*pair)))
+                with lock:
+                    results.extend(local)
+
+            kills = []
+
+            def sigkill(slot):
+                pid = cluster.stats()["workers"][slot]["pid"]
+                if pid:
+                    os.kill(pid, signal.SIGKILL)
+                    kills.append((slot, pid))
+                    print(f"chaos: SIGKILL worker {slot} (pid {pid})")
+
+            def chaos():
+                step = args.duration / 6.0
+                time.sleep(step)
+                sigkill(0)                      # replica loss, shard 0
+                time.sleep(step)
+                pid = cluster.stats()["workers"][2]["pid"]
+                os.kill(pid, signal.SIGSTOP)    # silent stall, shard 0
+                print(f"chaos: SIGSTOP worker 2 (pid {pid})")
+                time.sleep(step)
+                sigkill(1)                      # shard-1 blackout: both
+                sigkill(3)                      # replicas at once
+                time.sleep(step)
+                try:
+                    cluster.drain(0).result(timeout=30)
+                    print("chaos: drained worker 0")
+                except Exception as exc:  # drain is best-effort chaos
+                    print(f"chaos: drain failed: {exc}")
+
+            drivers = [threading.Thread(target=closed_loop, args=(k * 97,))
+                       for k in range(args.threads)]
+            chaos_thread = threading.Thread(target=chaos)
+            started = time.perf_counter()
+            for thread in drivers:
+                thread.start()
+            chaos_thread.start()
+            for thread in drivers:
+                thread.join(timeout=300.0)
+                check(not thread.is_alive(), "resilience: driver thread "
+                      "finished")
+            chaos_thread.join(timeout=60.0)
+            check(not chaos_thread.is_alive(), "resilience: chaos thread "
+                  "finished")
+            seconds = time.perf_counter() - started
+
+            deadline_at = time.monotonic() + 30.0
+            while time.monotonic() < deadline_at:
+                workers = cluster.stats()["workers"]
+                if all(w["alive"] and w["state"] in ("idle", "busy")
+                       for w in workers):
+                    break
+                time.sleep(0.05)
+            check(all(w["alive"] for w in cluster.stats()["workers"]),
+                  "resilience: every worker slot healed after the burst")
+            verify = cluster.submit_many(pairs[:256], timeout=60)
+            check(verify.ok and all(
+                tuple(got) == truth[pair]
+                for pair, got in zip(pairs[:256], verify.answer)),
+                  "resilience: post-chaos verification burst is exact")
+
+            stats = cluster.stats()
+
+        tally = {}
+        wrong = 0
+        for pair, result in results:
+            tally[result.status] = tally.get(result.status, 0) + 1
+            if result.ok and tuple(result.answer) != truth[pair]:
+                wrong += 1
+        ok_statuses = (SERVED_INDEX, SERVED_DEGRADED)
+        served = sum(tally.get(status, 0) for status in ok_statuses)
+        total = len(results)
+        availability = served / total if total else 0.0
+        counters = stats["counters"]
+
+        check(total > 0, f"resilience: {total} requests driven "
+              f"({total / seconds:,.0f} qps)")
+        check(wrong == 0, f"resilience: zero wrong answers ({wrong} wrong, "
+              f"tally {tally})")
+        check(availability >= args.availability_floor,
+              f"resilience: availability {availability:.4f} >= "
+              f"{args.availability_floor} ({tally})")
+        check(counters["respawns"] >= len(kills),
+              f"resilience: {counters['respawns']} respawns cover "
+              f"{len(kills)} injected kills")
+        check(counters["stalls"] >= 1,
+              f"resilience: {counters['stalls']} stall kill(s) caught the "
+              "SIGSTOPped worker")
+        check(counters["hedge_wins"] >= 1,
+              f"resilience: {counters['hedges']} hedges, "
+              f"{counters['hedge_wins']} hedge win(s)")
+        check(counters["drains"] >= 1,
+              f"resilience: {counters['drains']} graceful drain(s)")
+
+        section.update({
+            "requests": total, "seconds": seconds,
+            "qps": total / seconds, "availability": availability,
+            "wrong": wrong, "tally": tally,
+            "kills_injected": len(kills),
+            "respawns": counters["respawns"],
+            "stalls": counters["stalls"],
+            "hedges": counters["hedges"],
+            "hedge_wins": counters["hedge_wins"],
+            "degraded_requests": counters["degraded_requests"],
+            "degraded_served": tally.get(SERVED_DEGRADED, 0),
+            "drains": counters["drains"],
+            "replays": counters["replays"],
+            "worker_failures": counters["worker_failures"],
+        })
+    merge_report(args.output, "resilience", section)
+    print("resilience smoke: all invariants hold")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tier", default="chaos",
-                        choices=["chaos", "sustained"],
-                        help="chaos: 4-phase resilience gates (default); "
-                             "sustained: cluster-vs-single throughput duel")
+                        choices=["chaos", "sustained", "resilience"],
+                        help="chaos: 4-phase single-process gates (default); "
+                             "sustained: cluster-vs-single throughput duel; "
+                             "resilience: cluster self-healing under kills, "
+                             "stalls and drains")
     parser.add_argument("--vertices", type=int, default=80,
                         help="graph size (default 80; sustained uses 10000 "
                              "unless overridden)")
@@ -321,6 +501,9 @@ def main(argv=None):
                         help="router batch window (sustained tier)")
     parser.add_argument("--speedup-floor", type=float, default=5.0,
                         help="minimum cluster/single QPS ratio (sustained)")
+    parser.add_argument("--availability-floor", type=float, default=0.99,
+                        help="minimum served fraction under chaos "
+                             "(resilience tier)")
     parser.add_argument("--degree", type=int, default=20,
                         help="average G(n, p) degree (sustained tier)")
     parser.add_argument("--cache-dir", default=None,
@@ -344,6 +527,18 @@ def main(argv=None):
 
         enable_metrics()
         return run_sustained(args)
+
+    if args.tier == "resilience":
+        # Tier-specific defaults: a mid-size graph (labels build in
+        # seconds with the csr kernel) and a deadline loose enough that
+        # healing — not the budget — decides whether a request survives.
+        if args.vertices == 80:
+            args.vertices = 2000
+        if args.degree == 20:
+            args.degree = 8
+        if args.deadline_ms == 20.0:
+            args.deadline_ms = 1000.0
+        return run_resilience(args)
 
     from repro.core.index import SPCIndex
     from repro.generators.random_graphs import barabasi_albert_graph
@@ -473,13 +668,14 @@ def main(argv=None):
         report["service"] = service.stats()
 
     attach_metrics(report)
-    # Keep the sustained tier's section when it ran before this tier.
+    # Keep the other tiers' sections when they ran before this tier.
     if os.path.exists(args.output):
         try:
             with open(args.output) as handle:
                 existing = json.load(handle)
-            if "sustained" in existing:
-                report["sustained"] = existing["sustained"]
+            for key in ("sustained", "resilience"):
+                if key in existing:
+                    report[key] = existing[key]
         except (OSError, ValueError):
             pass
     with open(args.output, "w") as handle:

@@ -187,6 +187,38 @@ def render_serving(record):
             f"maps the label arena copy-on-read shared "
             f"(max Private_Dirty {_fmt(dirty)} kB).",
         ]
+    resilience = record.get("resilience", {})
+    if resilience:
+        tally = resilience.get("tally", {})
+        lines += [
+            "",
+            "### Self-healing under process chaos",
+            "",
+            f"G(n, p) graph with n = {_fmt(resilience.get('n'))}, "
+            f"m = {_fmt(resilience.get('m'))}; "
+            f"{_fmt(_get(resilience, 'config', 'duration'))} s burst with "
+            f"{_fmt(resilience.get('kills_injected'))} SIGKILLed worker(s), "
+            f"one SIGSTOP stall, a shard blackout and a graceful drain.",
+            "",
+            "| Metric | Value |", "|---|---|",
+            f"| Requests | {_fmt(resilience.get('requests'))} "
+            f"({_fmt(resilience.get('qps'), ',.0f')} qps) |",
+            f"| Availability | "
+            f"{_fmt(resilience.get('availability'), '.4f')} |",
+            f"| Wrong answers | {_fmt(resilience.get('wrong'))} |",
+            f"| Supervised respawns | {_fmt(resilience.get('respawns'))} "
+            f"(incl. {_fmt(resilience.get('stalls'))} stall kill(s)) |",
+            f"| Hedges / wins | {_fmt(resilience.get('hedges'))} / "
+            f"{_fmt(resilience.get('hedge_wins'))} |",
+            f"| Degraded-shard requests | "
+            f"{_fmt(resilience.get('degraded_requests'))} annotated, "
+            f"{_fmt(resilience.get('degraded_served'))} BFS-served |",
+            f"| Replays / drains | {_fmt(resilience.get('replays'))} / "
+            f"{_fmt(resilience.get('drains'))} |",
+            "",
+            f"Status tally: {tally}. Every success was checked bit-exact "
+            "against the batch oracle on the same labels.",
+        ]
     return lines
 
 
