@@ -6,11 +6,19 @@ shows what a counting oracle buys for betweenness-*related* analysis
 contributes its dependency to every candidate vertex with three oracle
 queries per (pair, vertex) — no graph traversals at estimation time
 (the VC-dimension sampling bounds of [48] apply to the pair sample).
+
+:func:`sampled_betweenness` compiles to a
+:class:`~repro.query.ast.TopKBetweenness` query and runs through
+:class:`~repro.query.engine.QueryEngine`, whose sampling loop replays
+the exact rng/accumulation sequence this module historically used — the
+driver is a thin AST front-end now, and the same query serves from any
+backend the planner picks.
 """
 
 from collections import deque
 
-from repro.utils.rng import ensure_rng
+from repro.query.ast import TopKBetweenness
+from repro.query.engine import QueryEngine
 
 
 def brandes_betweenness(graph, normalized=False):
@@ -89,16 +97,9 @@ def sampled_betweenness(oracle, n, vertices=None, samples=500, seed=0):
     """
     if n < 2:
         return {v: 0.0 for v in (vertices or range(n))}
-    rng = ensure_rng(seed)
-    targets = list(vertices) if vertices is not None else list(range(n))
-    totals = {v: 0.0 for v in targets}
-    for _ in range(samples):
-        s = rng.randrange(n)
-        t = rng.randrange(n)
-        while t == s:
-            t = rng.randrange(n)
-        for v in targets:
-            totals[v] += pair_dependency(oracle, s, t, v)
-    pair_count = n * (n - 1) / 2.0
-    scale = pair_count / samples
-    return {v: total * scale for v, total in totals.items()}
+    engine = QueryEngine(oracle=oracle, n=n, cache=None)
+    node = TopKBetweenness(
+        samples=samples, seed=seed,
+        vertices=tuple(vertices) if vertices is not None else None,
+    )
+    return dict(engine.run(node))

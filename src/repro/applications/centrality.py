@@ -4,24 +4,28 @@ The inverted index answers a full single-source sweep in one pass over
 the posting lists, which makes distance-aggregating centralities cheap
 once the counting index exists — another §1-style consumer that never
 touches the graph at evaluation time.
+
+Sweeps are expressed as :class:`~repro.query.ast.SingleSource` queries
+compiled through :class:`~repro.query.engine.QueryEngine` (the inverted
+index rides the oracle backend, keeping its one-pass ``single_source``);
+only the aggregation math lives here.
 """
 
 from repro.core.inverted import InvertedLabelIndex
+from repro.query.ast import SingleSource
+from repro.query.engine import QueryEngine
 
 INF = float("inf")
 
 
-def closeness_centrality(inverted, v, wf_improved=True):
-    """Closeness of ``v``: ``(r-1) / Σ dist`` over reachable vertices.
+def _sweep_engine(inverted):
+    """A query engine over the inverted index's sweep-capable oracle."""
+    return QueryEngine(oracle=inverted, cache=None)
 
-    With ``wf_improved`` (Wasserman-Faust, networkx's default) the value
-    scales by ``(r-1)/(n-1)`` so vertices in small components don't win
-    by default. Returns 0.0 for isolated vertices.
-    """
-    dist, _ = inverted.single_source(v)
-    n = len(dist)
+
+def _closeness_from_sweep(dist, n, wf_improved):
     reachable = [d for d in dist if d != INF]
-    r = len(reachable)  # includes v itself at distance 0
+    r = len(reachable)  # includes the source itself at distance 0
     total = sum(reachable)
     if r <= 1 or total == 0:
         return 0.0
@@ -31,25 +35,47 @@ def closeness_centrality(inverted, v, wf_improved=True):
     return closeness
 
 
+def _harmonic_from_sweep(dist, v):
+    return sum(1.0 / d for u, d in enumerate(dist) if u != v and d != INF and d > 0)
+
+
+def closeness_centrality(inverted, v, wf_improved=True):
+    """Closeness of ``v``: ``(r-1) / Σ dist`` over reachable vertices.
+
+    With ``wf_improved`` (Wasserman-Faust, networkx's default) the value
+    scales by ``(r-1)/(n-1)`` so vertices in small components don't win
+    by default. Returns 0.0 for isolated vertices.
+    """
+    dist, _ = _sweep_engine(inverted).run(SingleSource(v))
+    return _closeness_from_sweep(dist, len(dist), wf_improved)
+
+
 def harmonic_centrality(inverted, v):
     """Harmonic centrality: ``Σ_{u != v} 1 / dist(v, u)`` (∞ -> 0)."""
-    dist, _ = inverted.single_source(v)
-    return sum(1.0 / d for u, d in enumerate(dist) if u != v and d != INF and d > 0)
+    dist, _ = _sweep_engine(inverted).run(SingleSource(v))
+    return _harmonic_from_sweep(dist, v)
 
 
 def all_closeness(labels_or_inverted, wf_improved=True):
     """Closeness for every vertex; accepts labels or a prebuilt inverted index."""
     inverted = _as_inverted(labels_or_inverted)
-    return [
-        closeness_centrality(inverted, v, wf_improved=wf_improved)
-        for v in range(inverted.labels.n)
-    ]
+    engine = _sweep_engine(inverted)
+    out = []
+    for v in range(inverted.labels.n):
+        dist, _ = engine.run(SingleSource(v))
+        out.append(_closeness_from_sweep(dist, len(dist), wf_improved))
+    return out
 
 
 def all_harmonic(labels_or_inverted):
     """Harmonic centrality for every vertex."""
     inverted = _as_inverted(labels_or_inverted)
-    return [harmonic_centrality(inverted, v) for v in range(inverted.labels.n)]
+    engine = _sweep_engine(inverted)
+    out = []
+    for v in range(inverted.labels.n):
+        dist, _ = engine.run(SingleSource(v))
+        out.append(_harmonic_from_sweep(dist, v))
+    return out
 
 
 def _as_inverted(labels_or_inverted):

@@ -21,52 +21,83 @@ the forward DP over C's members ordered by distance from s:
 
 Every quantity is a pair query — O(|C|²) queries per pair, zero graph
 searches. :func:`group_betweenness_exact` is the BFS ground truth.
+
+The oracle paths compile to :class:`~repro.query.ast.Batch` es of
+:class:`~repro.query.ast.Count` nodes: one batch gathers ``(s,t)`` plus
+all member anchors (a ``count_with_distance`` answers distance *and*
+count, so the DP reuses it for both), a second batch gathers the inner
+``(c', c)`` pairs — the engine coalesces each batch into a single
+vectorized ``count_many`` on batching-capable backends.
 """
 
 from collections import deque
 
+from repro.query.ast import Batch, Count
+from repro.query.engine import QueryEngine
+
 INF = float("inf")
+
+
+def _pair_engine(oracle):
+    return QueryEngine(oracle=oracle, cache=None)
 
 
 def spc_through_group(oracle, s, t, group):
     """``(spc(s,t), spc_C(s,t))`` using only oracle pair queries."""
-    sd_st, total = oracle.count_with_distance(s, t)
+    return _spc_through_group(_pair_engine(oracle), s, t, group)
+
+
+def _spc_through_group(engine, s, t, group):
+    members = list(group)
+    first = engine.run(Batch(
+        (Count(s, t),)
+        + tuple(Count(s, c) for c in members)
+        + tuple(Count(c, t) for c in members)
+    ))
+    sd_st, total = first[0]
     if total == 0:
         return 0, 0
-    # Members that lie on at least one s-t shortest path.
+    k = len(members)
+    # Members that lie on at least one s-t shortest path, with their
+    # spc(s,c)/spc(c,t) counts carried along from the same batch.
     on_path = []
-    for c in group:
-        d_sc, _ = oracle.count_with_distance(s, c)
-        d_ct, _ = oracle.count_with_distance(c, t)
+    for c, (d_sc, sc), (d_ct, ct) in zip(members, first[1:1 + k],
+                                         first[1 + k:]):
         if d_sc + d_ct == sd_st:
-            on_path.append((d_sc, c))
+            on_path.append((d_sc, c, sc, ct))
     if not on_path:
         return total, 0
-    on_path.sort()
+    on_path.sort(key=lambda row: (row[0], row[1]))
+    inner_nodes = tuple(
+        Count(on_path[j][1], on_path[i][1])
+        for i in range(len(on_path)) for j in range(i)
+    )
+    inner = engine.run(Batch(inner_nodes)) if inner_nodes else ()
     # A(c): shortest s->c paths whose only group vertex is c.
     arrivals = []
     through = 0
-    for d_sc, c in on_path:
-        _, sc = oracle.count_with_distance(s, c)
+    offset = 0
+    for d_sc, c, sc, ct in on_path:
         a = sc
-        for d_prev, c_prev, a_prev in arrivals:
-            d_pc, pc = oracle.count_with_distance(c_prev, c)
+        for j, (d_prev, c_prev, a_prev) in enumerate(arrivals):
+            d_pc, pc = inner[offset + j]
             if d_prev + d_pc == d_sc:
                 a -= a_prev * pc
+        offset += len(arrivals)
         arrivals.append((d_sc, c, a))
-        _, ct = oracle.count_with_distance(c, t)
         through += a * ct
     return total, through
 
 
 def group_betweenness_oracle(oracle, group, pairs):
     """B̈(C) restricted to the given (s, t) pairs, via oracle queries only."""
+    engine = _pair_engine(oracle)
     group_set = set(group)
     total = 0.0
     for s, t in pairs:
         if s == t or s in group_set or t in group_set:
             continue
-        spc, through = spc_through_group(oracle, s, t, group)
+        spc, through = _spc_through_group(engine, s, t, group)
         if spc:
             total += through / spc
     return total
@@ -130,11 +161,17 @@ def pairwise_matrices(oracle, vertices):
     Returns ``(D, Sigma)`` as dicts keyed by vertex pairs — the online
     construction step whose cost the hub labeling slashes (§1).
     """
+    vertices = list(vertices)
     distance = {}
     sigma = {}
+    if not vertices:
+        return distance, sigma
+    engine = _pair_engine(oracle)
+    nodes = tuple(Count(x, y) for x in vertices for y in vertices)
+    answers = iter(engine.run(Batch(nodes)))
     for x in vertices:
         for y in vertices:
-            d, c = oracle.count_with_distance(x, y)
+            d, c = next(answers)
             distance[(x, y)] = d
             sigma[(x, y)] = c
     return distance, sigma
@@ -150,11 +187,20 @@ class GroupBetweennessEvaluator:
 
     def __init__(self, oracle, pairs):
         self._oracle = oracle
+        self._engine = _pair_engine(oracle)
         self._pairs = list(pairs)
 
     def evaluate(self, group):
         """B̈(C) over this evaluator's pair workload."""
-        return group_betweenness_oracle(self._oracle, group, self._pairs)
+        group_set = set(group)
+        total = 0.0
+        for s, t in self._pairs:
+            if s == t or s in group_set or t in group_set:
+                continue
+            spc, through = _spc_through_group(self._engine, s, t, group)
+            if spc:
+                total += through / spc
+        return total
 
     def evaluate_incrementally(self, group):
         """Scores of every prefix C_1 ⊆ C_2 ⊆ ... ⊆ C (the GBC iteration).

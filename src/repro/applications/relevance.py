@@ -2,7 +2,14 @@
 
 Among equally-distant candidates, the one connected to the source by more
 shortest paths is more relevant — the exact scenario (s, t₁, t₂) of §1.
+
+The driver compiles to a :class:`~repro.query.ast.Relevance` query: the
+sort convention (distance asc, count desc, id asc) lives in the query
+engine now and any planner-chosen backend answers it identically.
 """
+
+from repro.query.ast import Relevance
+from repro.query.engine import QueryEngine
 
 
 def relevance_ranking(oracle, source, candidates):
@@ -12,12 +19,8 @@ def relevance_ranking(oracle, source, candidates):
     candidates sort last. Works with any object exposing
     ``count_with_distance``.
     """
-    scored = []
-    for v in candidates:
-        dist, count = oracle.count_with_distance(source, v)
-        scored.append((v, dist, count))
-    scored.sort(key=lambda row: (row[1], -row[2], row[0]))
-    return scored
+    engine = QueryEngine(oracle=oracle, cache=None)
+    return list(engine.run(Relevance(source, tuple(candidates))))
 
 
 def most_relevant(oracle, source, candidates):

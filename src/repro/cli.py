@@ -42,6 +42,7 @@ from repro.core.diagnostics import (
 from repro.core.index import SPCIndex
 from repro.exceptions import (
     GraphParseError,
+    QuerySyntaxError,
     ReproError,
     SerializationError,
     ServingError,
@@ -49,6 +50,7 @@ from repro.exceptions import (
 )
 from repro.graph.io import read_edge_list
 from repro.io.serialize import load_index, save_index
+from repro.query import Batch, QueryEngine, parse_query
 from repro.utils.rng import random_pairs
 
 EXIT_ERROR = 1
@@ -195,6 +197,8 @@ def _cmd_build(args):
 
 def _cmd_query(args):
     index = load_index(args.index, mmap=args.mmap)
+    if args.expr is not None:
+        return _run_query_expr(args, index)
     pairs = []
     if args.random:
         if not args.graph:
@@ -215,6 +219,33 @@ def _cmd_query(args):
     for (s, t), (dist, count) in zip(pairs, answers):
         dist_text = str(dist) if count else "inf"
         print(f"{s:6d}  {t:6d}  {dist_text:>6}  {count}")
+    return 0
+
+
+def _run_query_expr(args, index):
+    """``repro-spc query INDEX --expr '...'``: the compiled-query front end.
+
+    Parses the compact textual form (docs/QUERYLANG.md), plans it over
+    the index (plus the graph's BFS/matrix backends when ``--graph`` is
+    given), optionally prints the plan, and prints one
+    ``statement = answer`` line per statement.
+    """
+    try:
+        node = parse_query(args.expr)
+    except QuerySyntaxError as exc:
+        print(f"query syntax error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    graph = read_edge_list(args.graph)[0] if args.graph else None
+    engine = QueryEngine(index=index, graph=graph)
+    if args.explain:
+        print(engine.explain(node))
+    answer = engine.run(node)
+    if isinstance(node, Batch):
+        statements, answers = node.queries, answer
+    else:
+        statements, answers = (node,), (answer,)
+    for statement, value in zip(statements, answers):
+        print(f"{statement!r} = {value!r}")
     return 0
 
 
@@ -712,7 +743,15 @@ def build_parser():
     p.add_argument("t", nargs="?", type=int, default=None)
     p.add_argument("--random", type=int, default=0, metavar="N",
                    help="answer N random pairs instead")
-    p.add_argument("--graph", default=None, help="graph file (for --random ids)")
+    p.add_argument("--expr", default=None, metavar="EXPR",
+                   help="compiled-query program, e.g. 'count 0 4; distance "
+                        "1 3; topk 3 samples=200' (see docs/QUERYLANG.md)")
+    p.add_argument("--explain", action="store_true",
+                   help="with --expr: print the planner's backend choice "
+                        "per statement before the answers")
+    p.add_argument("--graph", default=None,
+                   help="graph file (for --random ids; with --expr it also "
+                        "unlocks the BFS/matrix fallback backends)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--engine", default="python", choices=["python", "flat"],
                    help="tuple-based merge joins or the vectorized flat engine")

@@ -88,6 +88,33 @@ class ParallelBuildError(ReproError):
     (and sequential fallback was disabled)."""
 
 
+class QueryError(ReproError):
+    """Base class for declarative query-layer failures (:mod:`repro.query`)."""
+
+
+class QuerySyntaxError(QueryError):
+    """The compact textual query form could not be parsed.
+
+    Names the offending statement (1-based) and what was expected, so a
+    CLI user can fix the expression instead of reading a traceback.
+    """
+
+    def __init__(self, message, statement=None):
+        location = f"statement {statement}: " if statement is not None else ""
+        super().__init__(f"{location}{message}")
+        self.statement = statement
+
+
+class PlanError(QueryError):
+    """No available backend can execute an operator of the query.
+
+    Raised at planning time (before any work runs) when the engine was
+    constructed without the resources an operator needs — e.g. a
+    :class:`~repro.query.ast.TopKBetweenness` with no graph, no oracle
+    and no index to sample from.
+    """
+
+
 class ServingError(ReproError):
     """Base class for query-serving failures (:mod:`repro.serving`).
 

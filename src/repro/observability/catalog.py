@@ -314,6 +314,29 @@ METRICS = (
         "single_source, set_to_set).",
     ),
     MetricSpec(
+        "spc_query_backends_chosen_total", "counter", ("backend",),
+        "Execution backends chosen by the query planner, one increment "
+        "per plan node: flat, bfs, matrix, oracle, sampled+<backend>, "
+        "brandes or batch.",
+    ),
+    MetricSpec(
+        "spc_query_cache_hits_total", "counter", (),
+        "Compiled-query result-cache hits (same index generation and "
+        "backend line-up).",
+    ),
+    MetricSpec(
+        "spc_query_cache_misses_total", "counter", (),
+        "Compiled-query result-cache misses, including every lookup "
+        "after a hot reload or staleness demotion changed the cache "
+        "token.",
+    ),
+    MetricSpec(
+        "spc_query_plans_total", "counter", ("operator",),
+        "Query plans produced, labelled by the root operator (count, "
+        "distance, exists, single_source, set_to_set, relevance, "
+        "topk_betweenness, batch).",
+    ),
+    MetricSpec(
         "spc_query_scan_chunks_total", "counter", (),
         "Label-scan chunks executed by the batched engine (one per "
         "distinct-source scatter group).",

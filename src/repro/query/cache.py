@@ -1,0 +1,87 @@
+"""Generation-keyed LRU result cache for compiled queries.
+
+Entries are keyed by ``(token, node.key())`` where ``token`` is the
+engine's cache token — the index generation plus the live backend
+line-up. A hot reload bumps the generation, a staleness demotion flips
+the backend set; either way the token changes and every previously
+cached answer silently misses (mixed-generation hits are impossible by
+construction). Stale-token entries are not proactively purged — they age
+out of the LRU like any other cold entry.
+
+Results stored here are the engine's normalised value tuples, which are
+immutable — a hit can be handed straight back to the caller.
+
+``spc_query_cache_hits_total`` / ``spc_query_cache_misses_total`` mirror
+the hit/miss counters into the metrics registry when it is enabled.
+"""
+
+import threading
+from collections import OrderedDict
+
+from repro.observability.metrics import get_registry
+
+__all__ = ["ResultCache", "DEFAULT_MAX_ENTRIES"]
+
+#: Default cache capacity (entries, whatever their size).
+DEFAULT_MAX_ENTRIES = 4096
+
+
+class ResultCache:
+    """A small thread-safe LRU keyed by ``(token, query key)``."""
+
+    def __init__(self, max_entries=DEFAULT_MAX_ENTRIES):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, token, key):
+        """``(True, value)`` on a same-token hit, else ``(False, None)``."""
+        cache_key = (token, key)
+        with self._lock:
+            if cache_key in self._entries:
+                self._entries.move_to_end(cache_key)
+                self.hits += 1
+                hit = True
+                value = self._entries[cache_key]
+            else:
+                self.misses += 1
+                hit = False
+                value = None
+        registry = get_registry()
+        if registry.enabled:
+            name = ("spc_query_cache_hits_total" if hit
+                    else "spc_query_cache_misses_total")
+            registry.counter(name).inc()
+        return hit, value
+
+    def store(self, token, key, value):
+        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        cache_key = (token, key)
+        with self._lock:
+            self._entries[cache_key] = value
+            self._entries.move_to_end(cache_key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self):
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self):
+        """``{"hits", "misses", "entries", "max_entries"}`` snapshot."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+            }

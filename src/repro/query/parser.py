@@ -1,0 +1,185 @@
+"""Compact textual form of the query AST.
+
+The grammar is one statement per line (or ``;``-separated), each mapping
+onto exactly one AST node::
+
+    count S T                     -> Count(S, T)
+    distance S T                  -> Distance(S, T)
+    exists S T                    -> PathExists(S, T)
+    single-source S               -> SingleSource(S)
+    set S1,S2 -> T1,T2            -> SetToSet((S1, S2), (T1, T2))
+    relevance S C1,C2,...         -> Relevance(S, (C1, C2, ...))
+    topk K [samples=N] [seed=N] [vertices=a,b,...]
+                                  -> TopKBetweenness(...); K may be "all"
+
+Multiple statements compile into one :class:`~repro.query.ast.Batch`
+(executed in order, answers aligned); a single statement parses to its
+bare node. Errors raise :class:`~repro.exceptions.QuerySyntaxError`
+carrying the 1-based statement index, which the CLI maps to a usage
+exit.
+"""
+
+from repro.exceptions import QuerySyntaxError
+from repro.query.ast import (
+    Batch,
+    Count,
+    Distance,
+    PathExists,
+    Relevance,
+    SetToSet,
+    SingleSource,
+    TopKBetweenness,
+)
+
+__all__ = ["parse_query", "parse_statement"]
+
+
+def parse_query(text):
+    """Parse a compact query program into a single AST node.
+
+    One statement returns its node directly; several return a
+    :class:`Batch` preserving statement order.
+    """
+    statements = []
+    for chunk in text.replace("\n", ";").split(";"):
+        chunk = chunk.strip()
+        if chunk:
+            statements.append(chunk)
+    if not statements:
+        raise QuerySyntaxError("empty query")
+    nodes = [parse_statement(stmt, index + 1)
+             for index, stmt in enumerate(statements)]
+    if len(nodes) == 1:
+        return nodes[0]
+    return Batch(tuple(nodes))
+
+
+def parse_statement(text, index=None):
+    """Parse one statement (``index`` is the 1-based position for errors)."""
+    tokens = text.split()
+    op = tokens[0].lower()
+    rest = tokens[1:]
+    if op == "count":
+        s, t = _two_vertices(rest, op, index)
+        return Count(s, t)
+    if op == "distance":
+        s, t = _two_vertices(rest, op, index)
+        return Distance(s, t)
+    if op == "exists":
+        s, t = _two_vertices(rest, op, index)
+        return PathExists(s, t)
+    if op == "single-source":
+        if len(rest) != 1:
+            raise QuerySyntaxError(
+                f"single-source takes one vertex, got {len(rest)} args",
+                statement=index,
+            )
+        return SingleSource(_vertex(rest[0], index))
+    if op == "set":
+        return _parse_set(rest, index)
+    if op == "relevance":
+        if len(rest) != 2:
+            raise QuerySyntaxError(
+                "relevance takes a source and a candidate list "
+                "(relevance S C1,C2,...)",
+                statement=index,
+            )
+        source = _vertex(rest[0], index)
+        candidates = _vertex_list(rest[1], index)
+        return Relevance(source, candidates)
+    if op == "topk":
+        return _parse_topk(rest, index)
+    raise QuerySyntaxError(f"unknown operator {op!r}", statement=index)
+
+
+def _parse_set(rest, index):
+    parts = " ".join(rest).split("->")
+    if len(parts) != 2:
+        raise QuerySyntaxError(
+            "set needs 'S1,S2 -> T1,T2' (one '->' between the lists)",
+            statement=index,
+        )
+    sources = _vertex_list(parts[0].strip(), index)
+    targets = _vertex_list(parts[1].strip(), index)
+    return SetToSet(sources, targets)
+
+
+def _parse_topk(rest, index):
+    if not rest:
+        raise QuerySyntaxError(
+            "topk needs K (a count, or 'all' for every vertex)",
+            statement=index,
+        )
+    k_token = rest[0].lower()
+    if k_token == "all":
+        k = None
+    else:
+        try:
+            k = int(rest[0])
+        except ValueError:
+            raise QuerySyntaxError(
+                f"topk K must be an integer or 'all', got {rest[0]!r}",
+                statement=index,
+            ) from None
+        if k < 0:
+            raise QuerySyntaxError("topk K must be >= 0", statement=index)
+    samples = None
+    seed = 0
+    vertices = None
+    for token in rest[1:]:
+        key, sep, value = token.partition("=")
+        if not sep:
+            raise QuerySyntaxError(
+                f"topk options look like key=value, got {token!r}",
+                statement=index,
+            )
+        if key == "samples":
+            samples = _int_option(key, value, index)
+        elif key == "seed":
+            seed = _int_option(key, value, index)
+        elif key == "vertices":
+            vertices = _vertex_list(value, index)
+        else:
+            raise QuerySyntaxError(
+                f"unknown topk option {key!r} "
+                "(expected samples=, seed= or vertices=)",
+                statement=index,
+            )
+    return TopKBetweenness(k=k, samples=samples, seed=seed, vertices=vertices)
+
+
+def _two_vertices(rest, op, index):
+    if len(rest) != 2:
+        raise QuerySyntaxError(
+            f"{op} takes two vertices, got {len(rest)} args",
+            statement=index,
+        )
+    return _vertex(rest[0], index), _vertex(rest[1], index)
+
+
+def _vertex(token, index):
+    try:
+        return int(token)
+    except ValueError:
+        raise QuerySyntaxError(
+            f"expected a vertex id, got {token!r}", statement=index
+        ) from None
+
+
+def _vertex_list(text, index):
+    tokens = [t for t in text.split(",") if t.strip()]
+    if not tokens:
+        raise QuerySyntaxError(
+            "expected a comma-separated vertex list", statement=index
+        )
+    return tuple(_vertex(t.strip(), index) for t in tokens)
+
+
+def _int_option(key, value, index):
+    try:
+        return int(value)
+    except ValueError:
+        raise QuerySyntaxError(
+            f"topk option {key}= needs an integer, got {value!r}",
+            statement=index,
+        ) from None

@@ -1,0 +1,222 @@
+"""Cost-based planning: pick the cheapest backend for every AST node.
+
+The cost model is deliberately coarse — label scans, BFS sweeps and
+cached matrix rows differ by orders of magnitude, so rough work-unit
+estimates pick the right backend without calibration:
+
+=============  ============================================================
+backend        estimated cost per pair query
+=============  ============================================================
+``flat``       ``2 x avg |L(v)|`` (two label rows scanned)
+``bfs``        ``n + m`` (one counting BFS)
+``matrix``     ``component_size(s)`` on first touch, then ``1`` (row cache)
+``oracle``     a flat-ish constant (usually the only backend available)
+=============  ============================================================
+
+Selection rules that fall out of it (and are asserted by the planner
+tests): the flat engine wins whenever an index generation is loaded and
+fresh; a stale or absent index falls back to BFS; the apsp-matrix row
+cache wins over BFS only inside *tiny* components (``matrix_max``
+vertices, default 32), where its first-touch sweep is cheap and repeat
+queries are O(1). :class:`~repro.query.ast.TopKBetweenness` is a
+strategy choice instead: exact Brandes when ``samples is None`` and a
+graph is attached, otherwise sampled estimation over the cheapest pair
+backend. Plans are explainable (:meth:`Plan.explain`) and cheap enough
+to rebuild per run; the engine re-plans whenever the index generation or
+backend availability changes.
+
+Every produced plan bumps ``spc_query_plans_total{operator=...}`` and
+``spc_query_backends_chosen_total{backend=...}`` when metrics are on.
+"""
+
+from repro.exceptions import PlanError
+from repro.observability.metrics import get_registry
+from repro.query.ast import Batch, PAIR_OPS, Relevance, SetToSet, SingleSource, TopKBetweenness
+
+__all__ = ["PlanNode", "Plan", "QueryPlanner", "DEFAULT_MATRIX_MAX",
+           "DEFAULT_SAMPLES"]
+
+#: Largest component the planner will serve from the matrix row cache.
+DEFAULT_MATRIX_MAX = 32
+
+#: Pair samples for a TopKBetweenness that pinned none but must sample.
+DEFAULT_SAMPLES = 400
+
+
+class PlanNode:
+    """One node's execution decision: backend, strategy, estimated cost."""
+
+    __slots__ = ("node", "backend", "backend_name", "strategy", "cost",
+                 "children", "pair_groups")
+
+    def __init__(self, node, backend, backend_name, cost, strategy=None,
+                 children=()):
+        self.node = node
+        self.backend = backend
+        self.backend_name = backend_name
+        self.strategy = strategy
+        self.cost = cost
+        self.children = tuple(children)
+        # Lazily memoised by the engine for Batch nodes: the per-backend
+        # pair grouping is a pure function of the (immutable) children,
+        # so a CompiledQuery pays for it once, not on every run.
+        self.pair_groups = None
+
+    def describe(self):
+        """One human line: ``operator -> backend (cost ~N)``."""
+        strategy = f" [{self.strategy}]" if self.strategy else ""
+        return (f"{self.node.op} -> {self.backend_name}{strategy} "
+                f"(cost ~{self.cost:.0f})")
+
+
+class Plan:
+    """A planned query tree, ready for the engine to execute."""
+
+    __slots__ = ("root",)
+
+    def __init__(self, root):
+        self.root = root
+
+    def explain(self):
+        """The plan as an indented text tree (CLI ``--explain`` output)."""
+        lines = []
+
+        def walk(plan_node, depth):
+            lines.append("  " * depth + plan_node.describe())
+            for child in plan_node.children:
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+    def walk(self):
+        """Every :class:`PlanNode` of the tree, preorder."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+
+class QueryPlanner:
+    """Chooses backends for AST nodes from a fixed candidate list.
+
+    ``backends`` is the engine's ordered backend list; ``graph`` (when
+    attached) unlocks the exact-Brandes strategy; ``only`` restricts
+    candidates by name (the conformance suite forces one backend at a
+    time through it).
+    """
+
+    def __init__(self, backends, graph=None, matrix_max=DEFAULT_MATRIX_MAX,
+                 default_samples=DEFAULT_SAMPLES, only=None):
+        self._backends = tuple(backends)
+        self._graph = graph
+        self.matrix_max = matrix_max
+        self.default_samples = default_samples
+        self._only = None if only is None else frozenset(only)
+
+    def _candidates(self, node=None):
+        """Backends eligible right now (availability + ``only`` filter).
+
+        ``node`` scopes the matrix backend's tiny-component rule to the
+        node's source vertex when it has one.
+        """
+        out = []
+        for backend in self._backends:
+            if not backend.available():
+                continue
+            if self._only is not None and backend.name not in self._only:
+                continue
+            if backend.name == "matrix" and not self._matrix_eligible(
+                    backend, node):
+                continue
+            out.append(backend)
+        return out
+
+    def _matrix_eligible(self, backend, node):
+        source = getattr(node, "s", None)
+        if source is None:
+            source = getattr(node, "source", None)
+        if source is None:
+            # No anchoring source (set-to-set, topk): bound by graph size.
+            return backend.n is not None and backend.n <= self.matrix_max
+        return backend.component_size(source) <= self.matrix_max
+
+    def _pair_cost(self, backend, node):
+        if backend.name != "matrix":
+            return backend.pair_cost()
+        source = getattr(node, "s", getattr(node, "source", None))
+        if source is not None and not backend.row_cached(source):
+            return float(backend.component_size(source))
+        return backend.pair_cost()
+
+    def _cheapest_pair(self, node):
+        candidates = self._candidates(node)
+        if not candidates:
+            raise PlanError(
+                f"no backend available for operator {node.op!r} "
+                "(engine built without an index, graph or oracle?)"
+            )
+        return min(candidates, key=lambda b: self._pair_cost(b, node))
+
+    def plan(self, node):
+        """Produce a :class:`Plan` for ``node`` and record plan metrics."""
+        root = self._plan_node(node)
+        plan = Plan(root)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("spc_query_plans_total", operator=node.op).inc()
+            for plan_node in plan.walk():
+                registry.counter("spc_query_backends_chosen_total",
+                                 backend=plan_node.backend_name).inc()
+        return plan
+
+    def _plan_node(self, node):
+        if isinstance(node, Batch):
+            children = [self._plan_node(child) for child in node.queries]
+            cost = sum(child.cost for child in children)
+            return PlanNode(node, None, "batch", cost, children=children)
+        if isinstance(node, PAIR_OPS):
+            backend = self._cheapest_pair(node)
+            return PlanNode(node, backend, backend.name,
+                            self._pair_cost(backend, node))
+        if isinstance(node, SingleSource):
+            backend = self._cheapest_pair(node)
+            return PlanNode(node, backend, backend.name,
+                            self._sweep_cost(backend, node.s))
+        if isinstance(node, SetToSet):
+            backend = self._cheapest_pair(node)
+            cost = len(node.sources) * self._sweep_cost(backend, None)
+            return PlanNode(node, backend, backend.name, cost)
+        if isinstance(node, Relevance):
+            backend = self._cheapest_pair(node)
+            cost = max(1, len(node.candidates)) * self._pair_cost(backend, node)
+            return PlanNode(node, backend, backend.name, cost)
+        if isinstance(node, TopKBetweenness):
+            return self._plan_topk(node)
+        raise PlanError(f"unknown query node {type(node).__name__}")
+
+    def _sweep_cost(self, backend, source):
+        """Cost of one full single-source sweep on ``backend``."""
+        n = backend.n or 1
+        if backend.name == "flat":
+            return float(n)  # one pass over all label entries, amortised
+        if backend.name == "matrix":
+            if source is not None and backend.row_cached(source):
+                return float(n)  # read the cached row back out
+            return 2.0 * n
+        return backend.pair_cost()  # bfs/oracle: one sweep ~ one pair query
+
+    def _plan_topk(self, node):
+        graph = self._graph
+        if node.samples is None and graph is not None and self._only is None:
+            # Exact Brandes: one dependency accumulation per source.
+            cost = float(graph.n) * (graph.n + graph.m)
+            return PlanNode(node, None, "brandes", cost, strategy="exact")
+        backend = self._cheapest_pair(node)
+        samples = node.samples or self.default_samples
+        targets = (len(node.vertices) if node.vertices is not None
+                   else (backend.n or 1))
+        cost = 3.0 * samples * targets * self._pair_cost(backend, node)
+        return PlanNode(node, backend, f"sampled+{backend.name}", cost,
+                        strategy="sampled")

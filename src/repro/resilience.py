@@ -227,6 +227,11 @@ class ResilientSPCIndex:
         return "index" if self._index is not None else "degraded"
 
     @property
+    def n(self):
+        """Vertex count of the live graph (the query id space)."""
+        return self._graph.n
+
+    @property
     def last_error(self):
         """The typed error that caused the last load/verify failure, if any."""
         return self._last_error

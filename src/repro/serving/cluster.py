@@ -81,6 +81,9 @@ from repro.exceptions import (
 from repro.io.flat_store import read_flat_meta
 from repro.observability.events import get_event_log
 from repro.observability.metrics import get_registry
+from repro.query.ast import PAIR_OPS, Batch, Count, SetToSet, SingleSource
+from repro.query.backends import normalize_pair, normalize_single_source
+from repro.query.engine import QueryEngine
 from repro.serving import protocol
 from repro.serving.admission import DEFAULT_RETRY_AFTER_CAP, AdmissionQueue
 from repro.serving.breaker import CircuitBreaker
@@ -1061,6 +1064,82 @@ class ClusterService:
             lambda future, deadline, started: _SetToSetJob(
                 future, deadline, started, sources, buckets),
             validate=sources + targets, timeout=timeout).result()
+
+    def submit_query(self, node, timeout=None):
+        """Run a compiled query AST node against the cluster.
+
+        Operators the cluster serves natively map straight onto the
+        scatter-gather entry points — :class:`~repro.query.ast.Count` is
+        :meth:`submit`, a :class:`~repro.query.ast.Batch` of pair
+        operators is one :meth:`submit_many` round-trip, single-source
+        and set-to-set queries keep their sharded gathers. Everything
+        else (relevance, top-k betweenness, mixed batches) compiles
+        through a :class:`~repro.query.engine.QueryEngine` whose backend
+        issues cluster requests, so composite answers inherit the
+        cluster's shedding/deadline/breaker behaviour per sub-request.
+        Answers are normalised to the query layer's value conventions.
+        """
+        deadline = self._deadline(timeout)
+        if type(node) is Count:
+            return self.submit(node.s, node.t, timeout=deadline)
+        if isinstance(node, PAIR_OPS):
+            result = self.submit(node.s, node.t, timeout=deadline)
+            if result.ok:
+                result.answer = node.from_pair(*normalize_pair(*result.answer))
+            return result
+        if isinstance(node, SingleSource):
+            result = self.single_source(node.s, timeout=deadline)
+            if result.ok:
+                result.answer = normalize_single_source(*result.answer)
+            return result
+        if isinstance(node, SetToSet):
+            result = self.set_to_set(list(node.sources), list(node.targets),
+                                     timeout=deadline)
+            if result.ok:
+                result.answer = normalize_pair(*result.answer)
+            return result
+        if isinstance(node, Batch) and all(
+                isinstance(child, PAIR_OPS) for child in node.queries):
+            pairs = [(child.s, child.t) for child in node.queries]
+            result = self.submit_many(pairs, timeout=deadline)
+            if result.ok:
+                result.answer = tuple(
+                    child.from_pair(*normalize_pair(*answer))
+                    for child, answer in zip(node.queries, result.answer)
+                )
+            return result
+        return self._submit_composite(node, deadline)
+
+    def _submit_composite(self, node, deadline):
+        """Compile a non-native node over a cluster-backed query engine.
+
+        Each backend call is a real cluster request (counted and defended
+        individually); the composite result degrades if any sub-request
+        was served degraded, and the first failed sub-request terminates
+        the composite with that sub-request's status.
+        """
+        started = self._clock()
+        adapter = _ClusterOracle(self, deadline)
+        engine = QueryEngine(oracle=adapter, n=self.n, cache=None)
+        try:
+            answer = engine.run(node, deadline=deadline)
+        except ServiceOverloaded as exc:
+            result = QueryResult(SHED, error=exc)
+        except CircuitOpenError as exc:
+            result = QueryResult(CIRCUIT_OPEN, error=exc)
+        except DeadlineExceeded as exc:
+            result = QueryResult(DEADLINE, error=exc)
+        except VertexError as exc:
+            result = QueryResult(INVALID, error=exc)
+        except ReproError as exc:
+            result = QueryResult(ERROR, error=exc)
+        else:
+            status = SERVED_DEGRADED if adapter.degraded else SERVED_INDEX
+            result = QueryResult(status, answer=answer,
+                                 degraded_shards=adapter.degraded_shards)
+        result.elapsed = self._clock() - started
+        result.generation = self.generation
+        return result
 
     def _submit_job(self, factory, validate, timeout):
         """Common admission/validation path for scatter-gather jobs.
@@ -2331,3 +2410,48 @@ def worker_entry(conn, path, generation, verify, fault=None):
     from repro.serving.worker import worker_main
 
     worker_main(conn, path, generation, verify=verify, fault=fault)
+
+
+class _ClusterOracle:
+    """Pair oracle over cluster requests, for composite compiled queries.
+
+    Each method issues a real (counted, admission-controlled) cluster
+    request and unwraps its :class:`QueryResult`: a non-ok sub-request
+    re-raises its typed error so :meth:`ClusterService._submit_composite`
+    can map the whole composite onto that terminal status, and
+    degraded-but-exact sub-answers flip the ``degraded`` flag the
+    composite result reports.
+    """
+
+    def __init__(self, cluster, deadline):
+        self._cluster = cluster
+        self._budget = deadline
+        self.degraded = False
+        self.degraded_shards = ()
+
+    def _absorb(self, result):
+        if not result.ok:
+            if result.error is not None:
+                raise result.error
+            raise ReproError(
+                f"cluster sub-request failed with status {result.status!r}"
+            )
+        if result.status == SERVED_DEGRADED or result.degraded_shards:
+            self.degraded = True
+            if result.degraded_shards:
+                merged = set(self.degraded_shards) | set(result.degraded_shards)
+                self.degraded_shards = tuple(sorted(merged))
+        return result.answer
+
+    def count_with_distance(self, s, t, deadline=None):
+        return self._absorb(self._cluster.submit(s, t, timeout=self._budget))
+
+    def count_many(self, pairs, deadline=None):
+        return self._absorb(
+            self._cluster.submit_many(list(pairs), timeout=self._budget)
+        )
+
+    def single_source(self, s, deadline=None):
+        return self._absorb(
+            self._cluster.single_source(s, timeout=self._budget)
+        )

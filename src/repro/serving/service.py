@@ -48,6 +48,8 @@ from repro.exceptions import (
 from repro.observability.events import get_event_log
 from repro.observability.metrics import get_registry
 from repro.observability.tracing import get_tracer
+from repro.query.ast import Count
+from repro.query.engine import QueryEngine
 from repro.resilience import ResilientSPCIndex
 from repro.serving.admission import DEFAULT_RETRY_AFTER_CAP, AdmissionQueue
 from repro.serving.breaker import CircuitBreaker
@@ -154,6 +156,11 @@ class SPCService:
             io_retries=io_retries, require_fingerprint=require_fingerprint,
             breaker=breaker,
         )
+        # Compiled queries run over the resilient facade with the result
+        # cache OFF: the live graph can mutate in place under churn
+        # without bumping the generation, and a cached answer would
+        # outlive the data it was computed from.
+        self._query_engine = QueryEngine(resilient=self._resilient, cache=None)
         self._watcher = None if index_path is None else IndexWatcher(index_path)
         self._reload_check_every = reload_check_every
         self._reload_lock = threading.Lock()
@@ -314,12 +321,27 @@ class SPCService:
 
         Per-request failures (shed, open circuit, blown deadline, invalid
         vertex, typed library errors) become statuses; only genuine bugs
-        (non-:class:`ReproError` exceptions) propagate.
+        (non-:class:`ReproError` exceptions) propagate. Compiled as a
+        :class:`~repro.query.ast.Count` through :meth:`submit_query`.
+        """
+        return self.submit_query(Count(s, t), timeout=timeout)
+
+    def submit_query(self, node, timeout=None):
+        """Run any compiled query AST node under the service's defences.
+
+        The node is planned and executed by the service's
+        :class:`~repro.query.engine.QueryEngine` over the resilient
+        facade — the plan mirrors the live serving path (``flat`` while
+        an index generation is loaded, ``bfs`` once degraded) — inside
+        exactly the admission/deadline/breaker envelope of :meth:`submit`,
+        with the same terminal :class:`QueryResult` statuses.
         """
         started = self._clock()
         deadline = self._deadline(timeout)
         try:
-            answer = self.query(s, t, timeout=deadline)
+            answer, status = self._execute(
+                lambda d: self._query_engine.run(node, deadline=d), deadline,
+            )
         except ServiceOverloaded as exc:
             self._bump(SHED)
             result = QueryResult(SHED, error=exc)
@@ -336,8 +358,6 @@ class SPCService:
             self._bump(ERROR)
             result = QueryResult(ERROR, error=exc)
         else:
-            status = (SERVED_INDEX if self._resilient.status == "index"
-                      else SERVED_DEGRADED)
             result = QueryResult(status, answer=answer)
         result.elapsed = self._clock() - started
         result.generation = self._resilient.generation

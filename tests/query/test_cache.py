@@ -1,0 +1,59 @@
+"""ResultCache unit behaviour: LRU, token isolation, mirrored metrics."""
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry, scoped_registry
+from repro.query import ResultCache
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        token = (1, ("flat",))
+        assert cache.lookup(token, ("count", 0, 1)) == (False, None)
+        cache.store(token, ("count", 0, 1), (2, 2))
+        assert cache.lookup(token, ("count", 0, 1)) == (True, (2, 2))
+
+    def test_tokens_do_not_mix(self):
+        cache = ResultCache()
+        cache.store((1, ("flat",)), ("count", 0, 1), (2, 2))
+        hit, _ = cache.lookup((2, ("flat",)), ("count", 0, 1))
+        assert not hit
+        hit, _ = cache.lookup((1, ("bfs",)), ("count", 0, 1))
+        assert not hit
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        token = (0, ("flat",))
+        cache.store(token, "a", 1)
+        cache.store(token, "b", 2)
+        cache.lookup(token, "a")  # refresh a; b is now the LRU tail
+        cache.store(token, "c", 3)
+        assert cache.lookup(token, "a") == (True, 1)
+        assert cache.lookup(token, "b") == (False, None)
+        assert cache.lookup(token, "c") == (True, 3)
+        assert len(cache) == 2
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache()
+        token = (0, ())
+        cache.store(token, "a", 1)
+        cache.lookup(token, "a")
+        cache.clear()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["entries"] == 0
+
+    def test_metrics_mirrored_when_enabled(self):
+        with scoped_registry(MetricsRegistry()) as registry:
+            cache = ResultCache()
+            token = (0, ("flat",))
+            cache.lookup(token, "a")
+            cache.store(token, "a", 1)
+            cache.lookup(token, "a")
+            assert registry.sum_values("spc_query_cache_hits_total") == 1
+            assert registry.sum_values("spc_query_cache_misses_total") == 1

@@ -1,0 +1,71 @@
+"""The compact textual form: every production, every diagnostic."""
+
+import pytest
+
+from repro.exceptions import QuerySyntaxError
+from repro.query import (
+    Batch,
+    Count,
+    Distance,
+    PathExists,
+    Relevance,
+    SetToSet,
+    SingleSource,
+    TopKBetweenness,
+    parse_query,
+)
+
+
+class TestGrammar:
+    @pytest.mark.parametrize("text,node", (
+        ("count 0 4", Count(0, 4)),
+        ("distance 1 3", Distance(1, 3)),
+        ("exists 2 6", PathExists(2, 6)),
+        ("single-source 7", SingleSource(7)),
+        ("set 0,1 -> 3,4", SetToSet((0, 1), (3, 4))),
+        ("set 0 ->3", SetToSet((0,), (3,))),
+        ("relevance 0 3,1,5", Relevance(0, (3, 1, 5))),
+        ("topk 3", TopKBetweenness(k=3)),
+        ("topk all", TopKBetweenness(k=None)),
+        ("topk 2 samples=100 seed=7", TopKBetweenness(k=2, samples=100, seed=7)),
+        ("topk all vertices=1,2,3", TopKBetweenness(vertices=(1, 2, 3))),
+        ("COUNT 0 4", Count(0, 4)),  # operators are case-insensitive
+    ))
+    def test_single_statement(self, text, node):
+        assert parse_query(text) == node
+
+    def test_multiple_statements_build_a_batch(self):
+        node = parse_query("count 0 4; distance 1 3\nexists 2 6;")
+        assert node == Batch((Count(0, 4), Distance(1, 3), PathExists(2, 6)))
+
+    def test_single_statement_is_bare(self):
+        assert not isinstance(parse_query("count 0 4;"), Batch)
+
+
+class TestDiagnostics:
+    @pytest.mark.parametrize("text,fragment", (
+        ("", "empty query"),
+        ("frobnicate 1 2", "unknown operator"),
+        ("count 1", "two vertices"),
+        ("count a b", "vertex id"),
+        ("single-source", "one vertex"),
+        ("set 0,1 3,4", "'->'"),
+        ("set , -> 3", "vertex list"),
+        ("relevance 4", "candidate list"),
+        ("topk", "needs K"),
+        ("topk many", "integer or 'all'"),
+        ("topk -1", ">= 0"),
+        ("topk 3 samples", "key=value"),
+        ("topk 3 samples=x", "needs an integer"),
+        ("topk 3 flavor=max", "unknown topk option"),
+    ))
+    def test_syntax_errors(self, text, fragment):
+        with pytest.raises(QuerySyntaxError) as exc_info:
+            parse_query(text)
+        assert fragment in str(exc_info.value)
+
+    def test_error_carries_statement_index(self):
+        with pytest.raises(QuerySyntaxError) as exc_info:
+            parse_query("count 0 1; count 2; exists 0 1")
+        assert exc_info.value.statement == 2
+        assert "statement 2" in str(exc_info.value)

@@ -1,0 +1,137 @@
+"""Planner fallback edges and cache-token invalidation semantics.
+
+The selection matrix under test: a fresh index generation wins, a stale
+or absent index falls back to BFS, the lazy apsp-matrix row cache only
+wins inside tiny components, and ``TopKBetweenness`` flips between the
+exact Brandes strategy and sampled estimation. Cache behaviour: a hot
+reload (generation bump) or a staleness demotion changes the token and
+every previously cached answer must miss.
+"""
+
+import pytest
+
+from repro.core.index import SPCIndex
+from repro.exceptions import PlanError, VertexError
+from repro.generators import cycle_graph, path_graph
+from repro.query import (
+    Batch,
+    Count,
+    QueryEngine,
+    SingleSource,
+    TopKBetweenness,
+)
+
+INF = float("inf")
+
+
+@pytest.fixture()
+def big_graph():
+    # 64 > DEFAULT_MATRIX_MAX: the matrix backend is never eligible.
+    return cycle_graph(64)
+
+
+@pytest.fixture()
+def big_engine(big_graph):
+    return QueryEngine(index=SPCIndex.build(big_graph), graph=big_graph)
+
+
+class TestBackendSelection:
+    def test_fresh_index_wins(self, big_engine):
+        plan = big_engine.plan(Count(0, 40))
+        assert plan.root.backend_name == "flat"
+
+    def test_stale_index_falls_back_to_bfs(self, big_engine):
+        big_engine.index.mark_stale(reason="test")
+        plan = big_engine.plan(Count(0, 40))
+        assert plan.root.backend_name == "bfs"
+        # Exactness survives the demotion.
+        assert big_engine.run(Count(0, 32)) == (32, 2)
+
+    def test_absent_index_falls_back_to_bfs(self, big_graph):
+        engine = QueryEngine(graph=big_graph)
+        assert engine.plan(Count(0, 40)).root.backend_name == "bfs"
+
+    def test_tiny_component_uses_matrix(self):
+        engine = QueryEngine(graph=path_graph(5))
+        assert engine.plan(Count(0, 4)).root.backend_name == "matrix"
+        assert engine.run(Count(0, 4)) == (4, 1)
+
+    def test_no_backend_raises_plan_error(self, big_graph):
+        engine = QueryEngine(index=SPCIndex.build(big_graph))
+        engine.index.mark_stale(reason="test")
+        with pytest.raises(PlanError):
+            engine.run(Count(0, 1))
+
+    def test_batch_children_plan_independently(self, big_engine):
+        plan = big_engine.plan(Batch((Count(0, 1), SingleSource(2))))
+        assert plan.root.backend_name == "batch"
+        assert [child.backend_name for child in plan.root.children] == \
+            ["flat", "flat"]
+
+
+class TestTopKStrategies:
+    def test_unpinned_samples_with_graph_is_exact(self, big_engine):
+        plan = big_engine.plan(TopKBetweenness(k=3))
+        assert plan.root.strategy == "exact"
+        assert plan.root.backend_name == "brandes"
+
+    def test_pinned_samples_is_sampled(self, big_engine):
+        plan = big_engine.plan(TopKBetweenness(k=3, samples=50))
+        assert plan.root.strategy == "sampled"
+        assert plan.root.backend_name == "sampled+flat"
+
+    def test_no_graph_forces_sampling(self, big_graph):
+        engine = QueryEngine(oracle=SPCIndex.build(big_graph),
+                             n=big_graph.n)
+        plan = engine.plan(TopKBetweenness(k=3))
+        assert plan.root.strategy == "sampled"
+
+
+class TestCacheInvalidation:
+    def test_same_generation_hits(self, big_engine):
+        node = Count(0, 17)
+        first = big_engine.run(node)
+        assert big_engine.run(node) == first
+        stats = big_engine.cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_generation_bump_misses(self, big_engine):
+        node = Count(0, 17)
+        big_engine.run(node)
+        big_engine.generation += 1  # a hot reload bumps the generation
+        assert big_engine.run(node) == (17, 1)
+        stats = big_engine.cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_staleness_demotion_misses(self, big_engine):
+        node = Count(0, 17)
+        answer = big_engine.run(node)
+        big_engine.index.mark_stale(reason="churn")
+        # The backend line-up changed, so the token changed: same answer,
+        # but recomputed on the BFS path rather than served from cache.
+        assert big_engine.run(node) == answer
+        stats = big_engine.cache_stats()
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_compiled_query_replans_on_token_change(self, big_engine):
+        compiled = big_engine.compile(Count(0, 9))
+        assert compiled.plan.root.backend_name == "flat"
+        assert compiled.run() == (9, 1)
+        big_engine.index.mark_stale(reason="churn")
+        assert compiled.plan.root.backend_name == "bfs"
+        assert compiled.run() == (9, 1)
+
+
+class TestValidation:
+    def test_vertex_error_through_batch(self, big_engine):
+        with pytest.raises(VertexError):
+            big_engine.run(Batch((Count(0, 1), Count(0, 64))))
+        with pytest.raises(VertexError):
+            big_engine.run(Count(-1, 0))
+        with pytest.raises(VertexError):
+            big_engine.run(Count(True, 0))
+
+    def test_failed_validation_caches_nothing(self, big_engine):
+        with pytest.raises(VertexError):
+            big_engine.run(Count(0, 64))
+        assert big_engine.cache_stats()["entries"] == 0

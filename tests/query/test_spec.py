@@ -1,0 +1,134 @@
+"""Table-driven operator conformance: one spec row, every backend.
+
+Each row specifies an operator in the compact textual form plus its
+expected answer on the spec graph; the test matrix runs every row
+against every exact backend (flat labels, python BFS, CSR BFS, lazy
+apsp-matrix, duck-typed oracle) and asserts bit-identical answers.
+Rows with ``expected=None`` (the sampled estimator) are checked for
+cross-backend agreement against the BFS reference instead of a pinned
+literal. A hypothesis sweep then generates random graphs and random
+plans and asserts the same agreement property.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.query.conftest import BACKEND_KINDS, build_engine
+
+from repro.graph.graph import Graph
+from repro.query import (
+    Batch,
+    Count,
+    Distance,
+    PathExists,
+    Relevance,
+    SetToSet,
+    SingleSource,
+    parse_query,
+)
+
+INF = float("inf")
+
+#: Diamond with a tail and an isolated vertex: two shortest 0-3 paths,
+#: vertex 4 behind the diamond, vertex 5 disconnected.
+SPEC_GRAPH = "n=6: 0-1 0-2 1-3 2-3 3-4"
+
+SPEC = (
+    # -- count: (sd, spc); (0, 1) diagonal; (inf, 0) disconnected ------
+    ("count 0 3", (2, 2)),
+    ("count 3 0", (2, 2)),
+    ("count 0 4", (3, 2)),
+    ("count 0 0", (0, 1)),
+    ("count 0 5", (INF, 0)),
+    # -- distance --------------------------------------------------------
+    ("distance 0 3", 2),
+    ("distance 2 2", 0),
+    ("distance 4 5", INF),
+    # -- exists ----------------------------------------------------------
+    ("exists 0 4", True),
+    ("exists 4 5", False),
+    ("exists 5 5", True),
+    # -- single-source ---------------------------------------------------
+    ("single-source 0", ((0, 1, 1, 2, 3, INF), (1, 1, 1, 2, 2, 0))),
+    ("single-source 5", ((INF, INF, INF, INF, INF, 0), (0, 0, 0, 0, 0, 1))),
+    # -- set-to-set ------------------------------------------------------
+    ("set 0,1 -> 3,4", (1, 1)),
+    ("set 0 -> 5", (INF, 0)),
+    ("set 1,2 -> 0,3", (1, 4)),
+    # -- relevance -------------------------------------------------------
+    ("relevance 0 3,1,5", ((1, 1, 1), (3, 2, 2), (5, INF, 0))),
+    ("relevance 3 1,2", ((1, 1, 1), (2, 1, 1))),
+    # -- batches ---------------------------------------------------------
+    ("count 0 3; distance 1 3; exists 0 5", ((2, 2), 1, False)),
+    ("single-source 5; count 4 0", (((INF, INF, INF, INF, INF, 0),
+                                     (0, 0, 0, 0, 0, 1)), (3, 2))),
+    # -- sampled top-k: pinned (samples, seed) must agree everywhere ----
+    ("topk 3 samples=60 seed=2", None),
+    ("topk all samples=40 seed=0 vertices=1,2,3", None),
+)
+
+
+@pytest.fixture(scope="module")
+def reference(engine_for):
+    return engine_for("bfs", SPEC_GRAPH)
+
+
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+@pytest.mark.parametrize("expr,expected", SPEC, ids=[row[0] for row in SPEC])
+def test_operator_conformance(kind, expr, expected, engine_for, reference):
+    node = parse_query(expr)
+    answer = engine_for(kind, SPEC_GRAPH).run(node)
+    if expected is None:
+        expected = reference.run(node)
+    assert answer == expected
+
+
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+def test_empty_set_sides(kind, engine_for):
+    engine = engine_for(kind, SPEC_GRAPH)
+    assert engine.run(SetToSet((), (0, 1))) == (INF, 0)
+    assert engine.run(SetToSet((0,), ())) == (INF, 0)
+
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graph_and_plan(draw):
+    """A random small graph plus a random Batch over its vertices."""
+    n = draw(st.integers(min_value=2, max_value=9))
+    vertex = st.integers(min_value=0, max_value=n - 1)
+    edges = draw(st.lists(
+        st.tuples(vertex, vertex).filter(lambda e: e[0] != e[1]),
+        max_size=18,
+    ))
+    graph = Graph.from_edges(
+        n, sorted({(min(u, v), max(u, v)) for u, v in edges})
+    )
+    vertex_tuple = st.lists(vertex, min_size=1, max_size=3).map(tuple)
+    nodes = draw(st.lists(
+        st.one_of(
+            st.builds(Count, vertex, vertex),
+            st.builds(Distance, vertex, vertex),
+            st.builds(PathExists, vertex, vertex),
+            st.builds(SingleSource, vertex),
+            st.builds(SetToSet, vertex_tuple, vertex_tuple),
+            st.builds(Relevance, vertex, vertex_tuple),
+        ),
+        min_size=1, max_size=5,
+    ))
+    return graph, Batch(tuple(nodes))
+
+
+@given(case=graph_and_plan())
+@settings(**SETTINGS)
+def test_backends_agree_on_generated_plans(case):
+    graph, batch = case
+    answers = [build_engine(kind, graph).run(batch) for kind in BACKEND_KINDS]
+    for kind, answer in zip(BACKEND_KINDS[1:], answers[1:]):
+        assert answer == answers[0], f"{kind} disagrees with flat"

@@ -56,7 +56,7 @@ def shrink(code, replacements):
 
 
 DOCS = ("README.md", "docs/USAGE.md", "docs/OBSERVABILITY.md",
-        "docs/OPERATIONS.md")
+        "docs/OPERATIONS.md", "docs/QUERYLANG.md")
 
 
 @pytest.mark.parametrize("relpath", DOCS)
@@ -199,3 +199,39 @@ class TestUsageCookbook:
                      "s": 0, "t": 5}
         self.run("BudgetedApproximator", namespace)
         assert namespace["approx"].count(0, 5) >= 0
+
+    def test_compiled_query_block(self, small_graph):
+        namespace = {"graph": small_graph}
+        self.run('parse_query("count 0 5; relevance 0 1,2,3")', namespace)
+        assert namespace["answers"][0] == \
+            namespace["index"].count_with_distance(0, 5)
+
+
+class TestQuerylang:
+    """Every QUERYLANG.md block is self-contained: exec it verbatim.
+
+    The asserts live inside the blocks themselves — the doc states the
+    answers it promises — so a drifted answer fails here by name.
+    """
+
+    BLOCK_SIGNATURES = (
+        "PathExists(0, 5)",
+        "SetToSet((0, 1), (3, 4))",
+        "TopKBetweenness(k=1)",
+        'parse_query("count 0 4; distance 1 3; exists 2 6")',
+        "mark_stale(",
+    )
+
+    @pytest.mark.parametrize("signature", BLOCK_SIGNATURES)
+    def test_block_executes(self, signature):
+        blocks = python_blocks("docs/QUERYLANG.md")
+        code = block_with(blocks, signature, "docs/QUERYLANG.md")
+        exec(code, {})
+
+    def test_every_executable_block_is_wired(self):
+        # Each python block must carry exactly one registered signature.
+        blocks = python_blocks("docs/QUERYLANG.md")
+        for i, code in enumerate(blocks):
+            hits = [s for s in self.BLOCK_SIGNATURES if s in code]
+            assert len(hits) == 1, \
+                f"docs/QUERYLANG.md[block {i}] not wired into the suite"

@@ -7,6 +7,11 @@ to ``BENCH_ci_smoke.json`` and exits non-zero when the flat engine's
 batched throughput falls below ``--min-speedup`` times the python
 engine's (default 1.0: flat must not lose).
 
+A second leg gates the query compilation layer: the same workload as a
+compiled ``Batch`` of ``Count`` nodes must answer bit-identically to raw
+``count_many`` and add less than ``--max-plan-overhead`` relative wall
+time (default 0.05) over it.
+
 Run from the repository root:
 
     PYTHONPATH=src python tools/ci_bench_smoke.py --vertices 4000
@@ -32,6 +37,10 @@ def main(argv=None):
                         help="construction processes (default 1)")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="fail below this flat/python speedup (default 1.0)")
+    parser.add_argument("--max-plan-overhead", type=float, default=0.05,
+                        help="fail when the compiled query layer adds more "
+                             "than this relative overhead over raw "
+                             "count_many (default 0.05)")
     parser.add_argument("--output", default="BENCH_ci_smoke.json")
     args = parser.parse_args(argv)
 
@@ -60,6 +69,33 @@ def main(argv=None):
           f"(freeze {freeze_seconds:.2f}s)")
     print(f"speedup      : {result['speedup']:.2f}x (floor {args.min_speedup:.2f}x)")
 
+    from repro.query import Batch, Count, QueryEngine
+
+    engine = QueryEngine(index=index, cache=None)
+    compiled = engine.compile(Batch(tuple(Count(s, t) for s, t in pairs)))
+    plan_answers = list(compiled.run())
+    direct_answers = [tuple(answer) for answer in index.count_many(pairs)]
+    if plan_answers != direct_answers:
+        print("FAIL: compiled query answers differ from raw count_many",
+              file=sys.stderr)
+        return 1
+    # Interleaved best-of-N: both paths share the same vectorized scans,
+    # so the minimum isolates the compilation layer's per-run overhead
+    # from scheduler/GC noise.
+    direct_seconds = plan_seconds = float("inf")
+    for _ in range(5):
+        started = time.perf_counter()
+        index.count_many(pairs)
+        direct_seconds = min(direct_seconds, time.perf_counter() - started)
+        started = time.perf_counter()
+        compiled.run()
+        plan_seconds = min(plan_seconds, time.perf_counter() - started)
+    plan_overhead = plan_seconds / direct_seconds - 1.0
+    print(f"query layer  : direct {direct_seconds * 1e3:.1f}ms, "
+          f"compiled {plan_seconds * 1e3:.1f}ms, "
+          f"overhead {plan_overhead:+.2%} "
+          f"(ceiling {args.max_plan_overhead:+.2%})")
+
     report = {
         "graph": {"family": "barabasi_albert", "n": graph.n, "m": graph.m,
                   "attach": args.attach, "seed": args.seed},
@@ -73,6 +109,13 @@ def main(argv=None):
         "flat_us_per_query": round(result["flat_us_per_query"], 3),
         "speedup": round(result["speedup"], 3),
         "min_speedup": args.min_speedup,
+        "query_layer": {
+            "answers_identical": True,
+            "direct_seconds": round(direct_seconds, 4),
+            "compiled_seconds": round(plan_seconds, 4),
+            "plan_overhead": round(plan_overhead, 4),
+            "max_plan_overhead": args.max_plan_overhead,
+        },
         "python_version": platform.python_version(),
     }
     attach_metrics(report)
@@ -84,6 +127,10 @@ def main(argv=None):
     if result["speedup"] < args.min_speedup:
         print(f"FAIL: flat engine speedup {result['speedup']:.2f}x "
               f"< floor {args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    if plan_overhead >= args.max_plan_overhead:
+        print(f"FAIL: compiled query overhead {plan_overhead:+.2%} "
+              f">= ceiling {args.max_plan_overhead:+.2%}", file=sys.stderr)
         return 1
     return 0
 

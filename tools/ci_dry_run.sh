@@ -31,7 +31,10 @@
 #               chaos legs; the dry run keeps the same gates on a small
 #               graph and short window), writing BENCH_streaming.json
 #   bench-smoke tools/ci_bench_smoke.py + tools/ci_construction_smoke.py at
-#               CI scale, writing BENCH_ci_smoke.json / BENCH_construction.json
+#               CI scale, writing BENCH_ci_smoke.json / BENCH_construction.json.
+#               The bench smoke also gates the query compilation layer:
+#               compiled Batch(Count...) answers must be bit-identical to
+#               raw count_many with <5% planning overhead
 #   scaling-gate tools/ci_construction_smoke.py --tier scaling (CI runs the
 #               100k budgeted csr-batch build; the dry run scales it down
 #               to keep a laptop pass under a minute)

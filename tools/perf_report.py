@@ -113,7 +113,7 @@ def render_construction(record):
 
 
 def render_ci_smoke(record):
-    return [
+    lines = [
         f"Graph: {_graph_line(record)}; "
         f"{_fmt(record.get('queries'))} random query pairs.",
         "",
@@ -128,6 +128,19 @@ def render_ci_smoke(record):
         f"| Speedup | {_fmt(record.get('speedup'), '.1f')}x "
         f"(floor {_fmt(record.get('min_speedup'), '.1f')}x) |",
     ]
+    query_layer = record.get("query_layer")
+    if query_layer:
+        overhead = query_layer.get("plan_overhead")
+        ceiling = query_layer.get("max_plan_overhead")
+        lines += [
+            f"| Compiled query layer | "
+            f"{_fmt(None if overhead is None else overhead * 100, '+.2f')}% "
+            f"over raw count_many "
+            f"(ceiling {_fmt(None if ceiling is None else ceiling * 100, '+.0f')}%, "
+            f"answers bit-identical: "
+            f"{_fmt(query_layer.get('answers_identical'))}) |",
+        ]
+    return lines
 
 
 def render_serving(record):
